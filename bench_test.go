@@ -1,0 +1,366 @@
+// Benchmarks: one per table/figure of the paper (regenerating the
+// corresponding result) plus the ablation and component benches called
+// out in DESIGN.md. Figure benches use scaled-down configurations per
+// iteration so `go test -bench=.` stays tractable; the full paper-scale
+// runs are produced by cmd/figures.
+package mobicache
+
+import (
+	"testing"
+
+	"mobicache/internal/cache"
+	"mobicache/internal/experiment"
+	"mobicache/internal/knapsack"
+	"mobicache/internal/recency"
+	"mobicache/internal/rng"
+	"mobicache/internal/workload"
+)
+
+// BenchmarkTable1Gen generates one full Table 1 solution-space instance
+// (500 objects, 5000 clients, fixed totals, induced correlations).
+func BenchmarkTable1Gen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := workload.GenInstance(workload.PaperSolutionSpace(rng.Positive, rng.Negative, false, uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates a reduced Figure 2 grid (the bandwidth
+// comparison of async vs on-demand across skews).
+func BenchmarkFigure2(b *testing.B) {
+	cfg := experiment.Figure2Config{
+		Objects: 100, UpdatePeriod: 5, Warmup: 20, Measure: 100,
+		Rates: []int{0, 25, 50, 100}, Seed: 1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates a reduced Figure 3 pair of panels (mean
+// delivered recency vs download cap).
+func BenchmarkFigure3(b *testing.B) {
+	cfg := experiment.Figure3Config{
+		Objects: 100, RatePerTick: 50, Ks: []int{1, 10, 25, 50},
+		Warmup: 20, Measure: 50, LowPeriod: 10, HighPeriod: 1, Seed: 2,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4 at full paper scale (three DP
+// traces over the 500-object/5000-unit instance).
+func BenchmarkFigure4(b *testing.B) {
+	cfg := experiment.DefaultSolutionSpace()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates both Figure 5 panels at full paper scale.
+func BenchmarkFigure5(b *testing.B) {
+	cfg := experiment.DefaultSolutionSpace()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates both Figure 6 panels at full paper scale.
+func BenchmarkFigure6(b *testing.B) {
+	cfg := experiment.DefaultSolutionSpace()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// paperItems builds the canonical Table 1 knapsack instance shared by the
+// solver benches.
+func paperItems(b *testing.B) []knapsack.Item {
+	b.Helper()
+	inst, err := workload.GenInstance(workload.PaperSolutionSpace(rng.None, rng.None, false, 11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst.Items()
+}
+
+// BenchmarkSolverDP times the exact dynamic program at the paper's scale
+// (500 items, budget 2500) — the solver used throughout Section 4.
+func BenchmarkSolverDP(b *testing.B) {
+	items := paperItems(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := knapsack.SolveDP(items, 2500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverTrace times the full best-value-per-budget trace that
+// Figures 4-6 are built from.
+func BenchmarkSolverTrace(b *testing.B) {
+	items := paperItems(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := knapsack.TraceDP(items, 5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverGreedy times the density heuristic on the same instance.
+func BenchmarkSolverGreedy(b *testing.B) {
+	items := paperItems(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := knapsack.SolveGreedy(items, 2500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverFPTAS times the (1-0.1)-approximation on the same
+// instance.
+func BenchmarkSolverFPTAS(b *testing.B) {
+	items := paperItems(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := knapsack.SolveFPTAS(items, 2500, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectorSelect times one full on-demand selection at the
+// paper's batch scale: 500 requested objects, 5000 client requests,
+// budget 2500 — the per-tick cost of the paper's strategy.
+func BenchmarkSelectorSelect(b *testing.B) {
+	inst, err := workload.GenInstance(workload.PaperSolutionSpace(rng.None, rng.None, false, 12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := make([]int64, len(inst.Sizes))
+	for i, s := range inst.Sizes {
+		sizes[i] = int64(s)
+	}
+	sel, err := NewSelector(sizes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reqs []Request
+	for obj, n := range inst.NumRequests {
+		for k := 0; k < n; k++ {
+			reqs = append(reqs, Request{Client: len(reqs), Object: ObjectID(obj), Target: 1})
+		}
+	}
+	recencies := append([]float64(nil), inst.Recency...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sel.Select(reqs, recencies, 2500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpperBound times the budget recommendation (full DP trace +
+// rule scan) on the paper-scale batch.
+func BenchmarkUpperBound(b *testing.B) {
+	inst, err := workload.GenInstance(workload.PaperSolutionSpace(rng.None, rng.None, false, 13))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := make([]int64, len(inst.Sizes))
+	for i, s := range inst.Sizes {
+		sizes[i] = int64(s)
+	}
+	sel, err := NewSelector(sizes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reqs []Request
+	for obj, n := range inst.NumRequests {
+		for k := 0; k < n; k++ {
+			reqs = append(reqs, Request{Client: len(reqs), Object: ObjectID(obj), Target: 1})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := sel.RecommendBudget(reqs, inst.Recency, 5000, BoundConfig{FractionOfMax: 0.9})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplacement times the limited-cache extension study at reduced
+// scale.
+func BenchmarkReplacement(b *testing.B) {
+	cfg := experiment.DefaultReplacement()
+	cfg.Objects, cfg.Warmup, cfg.Measure = 60, 20, 40
+	cfg.Fractions = []float64{0.1, 0.5}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Replacement(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullSystem times the event-driven latency study at reduced
+// scale (processor-sharing fixed link + FIFO downlink).
+func BenchmarkFullSystem(b *testing.B) {
+	cfg := experiment.DefaultFullSystemStudy()
+	cfg.Objects, cfg.RatePerTick, cfg.Ticks = 50, 10, 60
+	cfg.Budgets = []int64{2, 20}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiment.FullSystemStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBroadcastStudy times the broadcast-disk baseline sweep at
+// reduced draw counts.
+func BenchmarkBroadcastStudy(b *testing.B) {
+	cfg := experiment.DefaultBroadcastStudy()
+	cfg.Draws = 10000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.BroadcastStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSleeperStudy times the invalidation-report comparison at
+// reduced tick counts.
+func BenchmarkSleeperStudy(b *testing.B) {
+	cfg := experiment.DefaultSleeperStudy()
+	cfg.Ticks = 4000
+	cfg.SleepProbs = []float64{0, 0.4, 0.8}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.SleeperStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaptiveStudy times the adaptive-budget frontier at reduced
+// scale.
+func BenchmarkAdaptiveStudy(b *testing.B) {
+	cfg := experiment.DefaultAdaptiveStudy()
+	cfg.Objects, cfg.Warmup, cfg.Measure = 120, 20, 60
+	cfg.FixedBudgets = []int64{5, 20, 60}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.AdaptiveStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimationStudy times the exact-vs-TTL staleness ablation at
+// reduced scale.
+func BenchmarkEstimationStudy(b *testing.B) {
+	cfg := experiment.DefaultEstimationStudy()
+	cfg.Objects, cfg.RatePerTick, cfg.Warmup, cfg.Measure = 120, 40, 20, 60
+	cfg.Ks = []int{2, 10, 30}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.EstimationStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuasiStudy times the quasi-copy coherence sweep at reduced
+// scale.
+func BenchmarkQuasiStudy(b *testing.B) {
+	cfg := experiment.DefaultQuasiStudy()
+	cfg.Objects, cfg.Ticks = 80, 600
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.QuasiStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeterogeneityStudy times the update-rate-heterogeneity sweep
+// at reduced scale.
+func BenchmarkHeterogeneityStudy(b *testing.B) {
+	cfg := experiment.DefaultHeterogeneityStudy()
+	cfg.Objects, cfg.RatePerTick, cfg.Warmup, cfg.Measure = 100, 30, 20, 80
+	cfg.VolatileFractions = []float64{0.2, 0.6, 1.0}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.HeterogeneityStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMulticellStudy times the cooperative-caching comparison at two
+// cells.
+func BenchmarkMulticellStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.MulticellStudy(2, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheOps times the hot cache path (Get + master-update decay)
+// under an LRU-bounded cache.
+func BenchmarkCacheOps(b *testing.B) {
+	c := cache.MustNew(1000, recency.DefaultDecay, cache.NewLRU())
+	for i := 0; i < 500; i++ {
+		if err := c.Put(ObjectID(i), int64(i%7+1), 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := ObjectID(i % 500)
+		c.Get(id, float64(i))
+		c.OnMasterUpdate(ObjectID((i * 7) % 500))
+	}
+}
+
+// BenchmarkSimulationTick times one simulated tick of the paper's
+// Figure 3 system (500 objects, 100 requests, knapsack policy, budget 50).
+func BenchmarkSimulationTick(b *testing.B) {
+	ticks := b.N
+	rep, err := RunSimulation(SimulationConfig{
+		Objects:         500,
+		UpdatePeriod:    5,
+		Policy:          "on-demand-knapsack",
+		BudgetPerTick:   50,
+		RequestsPerTick: 100,
+		Access:          "zipf",
+		Warmup:          0,
+		Ticks:           ticks,
+		Seed:            9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Ticks != ticks {
+		b.Fatalf("ran %d ticks, want %d", rep.Ticks, ticks)
+	}
+}

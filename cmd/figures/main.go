@@ -1,0 +1,346 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation, plus the extension studies, printing the series the paper
+// plots as text tables (default), CSV, or ASCII plots.
+//
+// Usage:
+//
+//	figures -fig all                 # everything, paper-scale
+//	figures -fig 2 -format plot     # Figure 2 as an ASCII plot
+//	figures -fig 5 -format csv      # Figure 5 panels as CSV
+//	figures -fig table1             # Table 1
+//	figures -fig replacement        # limited-cache extension study
+//	figures -fig ablation           # knapsack solver ablation
+//	figures -fig fullsystem         # event-driven latency study
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobicache/internal/experiment"
+	"mobicache/internal/metrics"
+)
+
+var (
+	figFlag    = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, table1, replacement, ablation, fullsystem, broadcast, sleeper, adaptive, multicell, estimation, quasi, heterogeneity, or all")
+	format     = flag.String("format", "table", "output format: table, csv, or plot")
+	seed       = flag.Uint64("seed", 0, "override the default experiment seed (0 keeps defaults)")
+	quickFlag  = flag.Bool("quick", false, "run scaled-down configurations (for smoke tests)")
+	plotWidth  = flag.Int("plot-width", 72, "ASCII plot width")
+	plotHeight = flag.Int("plot-height", 20, "ASCII plot height")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(*figFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string) error {
+	switch which {
+	case "2":
+		return figure2()
+	case "3":
+		return figure3()
+	case "4":
+		return figure4()
+	case "5":
+		return figure5()
+	case "6":
+		return figure6()
+	case "table1":
+		fmt.Print(experiment.Table1())
+		return nil
+	case "replacement":
+		return replacement()
+	case "ablation":
+		return ablation()
+	case "fullsystem":
+		return fullsystem()
+	case "broadcast":
+		return broadcastStudy()
+	case "sleeper":
+		return sleeperStudy()
+	case "adaptive":
+		return adaptiveStudy()
+	case "multicell":
+		return multicellStudy()
+	case "estimation":
+		return estimationStudy()
+	case "quasi":
+		return quasiStudy()
+	case "heterogeneity":
+		return heterogeneityStudy()
+	case "all":
+		fmt.Print(experiment.Table1())
+		fmt.Println()
+		for _, f := range []func() error{figure2, figure3, figure4, figure5, figure6,
+			replacement, ablation, fullsystem, broadcastStudy, sleeperStudy,
+			adaptiveStudy, multicellStudy, estimationStudy, quasiStudy, heterogeneityStudy} {
+			if err := f(); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %q", which)
+	}
+}
+
+func emit(fig *metrics.Figure) {
+	switch *format {
+	case "csv":
+		fmt.Printf("# %s\n%s", fig.Title, fig.CSV())
+	case "plot":
+		fmt.Print(fig.Plot(*plotWidth, *plotHeight))
+	default:
+		fmt.Print(fig.Table())
+	}
+}
+
+func figure2() error {
+	cfg := experiment.DefaultFigure2()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *quickFlag {
+		cfg.Objects, cfg.Warmup, cfg.Measure = 100, 20, 100
+		cfg.Rates = []int{0, 25, 50, 100}
+	}
+	fig, err := experiment.Figure2(cfg)
+	if err != nil {
+		return err
+	}
+	emit(fig)
+	return nil
+}
+
+func figure3() error {
+	cfg := experiment.DefaultFigure3()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *quickFlag {
+		cfg.Objects, cfg.RatePerTick = 100, 50
+		cfg.Ks = []int{1, 10, 25, 50}
+		cfg.Warmup, cfg.Measure = 20, 50
+	}
+	figs, err := experiment.Figure3(cfg)
+	if err != nil {
+		return err
+	}
+	for _, fig := range figs {
+		emit(fig)
+	}
+	return nil
+}
+
+func solutionCfg() experiment.SolutionSpaceConfig {
+	cfg := experiment.DefaultSolutionSpace()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	return cfg
+}
+
+func figure4() error {
+	fig, err := experiment.Figure4(solutionCfg())
+	if err != nil {
+		return err
+	}
+	emit(fig)
+	return nil
+}
+
+func figure5() error {
+	figs, err := experiment.Figure5(solutionCfg())
+	if err != nil {
+		return err
+	}
+	for _, fig := range figs {
+		emit(fig)
+		fmt.Printf("# all curves exceed 0.9 at budget %v\n",
+			experiment.ConvergenceAll(fig, 0.9))
+	}
+	return nil
+}
+
+func figure6() error {
+	figs, err := experiment.Figure6(solutionCfg())
+	if err != nil {
+		return err
+	}
+	for _, fig := range figs {
+		emit(fig)
+		fmt.Printf("# all curves exceed 0.9 at budget %v\n",
+			experiment.ConvergenceAll(fig, 0.9))
+	}
+	return nil
+}
+
+func replacement() error {
+	cfg := experiment.DefaultReplacement()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *quickFlag {
+		cfg.Objects, cfg.Warmup, cfg.Measure = 60, 20, 40
+		cfg.Fractions = []float64{0.1, 0.5}
+	}
+	fig, err := experiment.Replacement(cfg)
+	if err != nil {
+		return err
+	}
+	emit(fig)
+	return nil
+}
+
+func ablation() error {
+	s := uint64(1)
+	if *seed != 0 {
+		s = *seed
+	}
+	rows, err := experiment.SolverAblation(s, 2500)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.RenderSolverAblation(rows))
+	return nil
+}
+
+func fullsystem() error {
+	cfg := experiment.DefaultFullSystemStudy()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *quickFlag {
+		cfg.Objects, cfg.RatePerTick, cfg.Ticks = 50, 10, 60
+		cfg.Budgets = []int64{2, 20}
+	}
+	latFig, utilFig, err := experiment.FullSystemStudy(cfg)
+	if err != nil {
+		return err
+	}
+	emit(latFig)
+	emit(utilFig)
+	return nil
+}
+
+func broadcastStudy() error {
+	cfg := experiment.DefaultBroadcastStudy()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *quickFlag {
+		cfg.Draws = 10000
+	}
+	fig, err := experiment.BroadcastStudy(cfg)
+	if err != nil {
+		return err
+	}
+	emit(fig)
+	return nil
+}
+
+func sleeperStudy() error {
+	cfg := experiment.DefaultSleeperStudy()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *quickFlag {
+		cfg.Ticks = 4000
+	}
+	fig, err := experiment.SleeperStudy(cfg)
+	if err != nil {
+		return err
+	}
+	emit(fig)
+	return nil
+}
+
+func adaptiveStudy() error {
+	cfg := experiment.DefaultAdaptiveStudy()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *quickFlag {
+		cfg.Objects, cfg.Warmup, cfg.Measure = 120, 20, 60
+		cfg.FixedBudgets = []int64{5, 20, 60}
+	}
+	fig, err := experiment.AdaptiveStudy(cfg)
+	if err != nil {
+		return err
+	}
+	emit(fig)
+	if s := fig.Lookup("adaptive"); s != nil && s.Len() == 1 {
+		fmt.Printf("# adaptive operating point: %.2f units/tick -> score %.4f\n", s.X[0], s.Y[0])
+	}
+	return nil
+}
+
+func estimationStudy() error {
+	cfg := experiment.DefaultEstimationStudy()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *quickFlag {
+		cfg.Objects, cfg.RatePerTick, cfg.Warmup, cfg.Measure = 120, 40, 20, 60
+		cfg.Ks = []int{2, 10, 30}
+	}
+	fig, err := experiment.EstimationStudy(cfg)
+	if err != nil {
+		return err
+	}
+	emit(fig)
+	return nil
+}
+
+func heterogeneityStudy() error {
+	cfg := experiment.DefaultHeterogeneityStudy()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *quickFlag {
+		cfg.Objects, cfg.RatePerTick, cfg.Warmup, cfg.Measure = 100, 30, 20, 80
+		cfg.VolatileFractions = []float64{0.2, 0.6, 1.0}
+	}
+	fig, err := experiment.HeterogeneityStudy(cfg)
+	if err != nil {
+		return err
+	}
+	emit(fig)
+	return nil
+}
+
+func quasiStudy() error {
+	cfg := experiment.DefaultQuasiStudy()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *quickFlag {
+		cfg.Objects, cfg.Ticks = 80, 600
+	}
+	fig, err := experiment.QuasiStudy(cfg)
+	if err != nil {
+		return err
+	}
+	emit(fig)
+	return nil
+}
+
+func multicellStudy() error {
+	s := uint64(1)
+	if *seed != 0 {
+		s = *seed
+	}
+	out, err := experiment.MulticellStudy(4, s)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}

@@ -1,0 +1,95 @@
+// Command knapsel solves one on-demand selection instance from JSON on
+// stdin and prints the download plan as JSON on stdout.
+//
+// Input format:
+//
+//	{
+//	  "sizes": [3, 1, 4],             // object sizes; object i has ID i
+//	  "recencies": [1.0, 0.25, 0],    // cached recency per object (0 = absent)
+//	  "requests": [                   // client requests
+//	    {"object": 1, "target": 1.0},
+//	    {"object": 2, "target": 0.5}
+//	  ],
+//	  "budget": 5,                    // max data units to download (-1 = unlimited)
+//	  "solver": "dp"                  // optional: dp (default), greedy, fptas
+//	}
+//
+// Example:
+//
+//	echo '{"sizes":[3,1,4],"recencies":[1,0.25,0],
+//	       "requests":[{"object":1,"target":1},{"object":2,"target":0.5}],
+//	       "budget":5}' | knapsel
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"mobicache"
+)
+
+type input struct {
+	Sizes     []int64             `json:"sizes"`
+	Recencies []float64           `json:"recencies"`
+	Requests  []mobicache.Request `json:"requests"`
+	Budget    int64               `json:"budget"`
+	Solver    string              `json:"solver"`
+}
+
+type output struct {
+	Download      []mobicache.ObjectID `json:"download"`
+	FromCache     []mobicache.ObjectID `json:"from_cache"`
+	DownloadUnits int64                `json:"download_units"`
+	AverageScore  float64              `json:"average_score"`
+	Gain          float64              `json:"gain"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "knapsel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdin io.Reader, stdout io.Writer) error {
+	var in input
+	dec := json.NewDecoder(stdin)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return fmt.Errorf("reading input: %w", err)
+	}
+	var opts []mobicache.Option
+	if in.Solver != "" {
+		opts = append(opts, mobicache.WithSolver(in.Solver))
+	}
+	sel, err := mobicache.NewSelector(in.Sizes, opts...)
+	if err != nil {
+		return err
+	}
+	budget := in.Budget
+	if budget < 0 {
+		budget = mobicache.Unlimited
+	}
+	plan, err := sel.Select(in.Requests, in.Recencies, budget)
+	if err != nil {
+		return err
+	}
+	out := output{
+		Download:      plan.Download,
+		FromCache:     plan.FromCache,
+		DownloadUnits: plan.DownloadUnits,
+		AverageScore:  plan.AverageScore(),
+		Gain:          plan.Gain,
+	}
+	if out.Download == nil {
+		out.Download = []mobicache.ObjectID{}
+	}
+	if out.FromCache == nil {
+		out.FromCache = []mobicache.ObjectID{}
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

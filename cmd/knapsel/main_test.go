@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func solve(t *testing.T, in string) output {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(strings.NewReader(in), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var out output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRunBasicInstance(t *testing.T) {
+	out := solve(t, `{
+		"sizes": [3, 1, 4],
+		"recencies": [1, 0.25, 0],
+		"requests": [{"object": 1, "target": 1}, {"object": 2, "target": 0.5}],
+		"budget": 5
+	}`)
+	if len(out.Download) != 2 || out.Download[0] != 1 || out.Download[1] != 2 {
+		t.Fatalf("download = %v", out.Download)
+	}
+	if out.DownloadUnits != 5 || out.AverageScore != 1 {
+		t.Fatalf("units=%d score=%v", out.DownloadUnits, out.AverageScore)
+	}
+}
+
+func TestRunUnlimitedBudget(t *testing.T) {
+	out := solve(t, `{
+		"sizes": [2, 2],
+		"recencies": [0.5, 0.5],
+		"requests": [{"object": 0, "target": 1}, {"object": 1, "target": 1}],
+		"budget": -1
+	}`)
+	if len(out.Download) != 2 {
+		t.Fatalf("unlimited download = %v", out.Download)
+	}
+}
+
+func TestRunSolverSelection(t *testing.T) {
+	for _, solver := range []string{"dp", "greedy", "fptas"} {
+		out := solve(t, `{
+			"sizes": [1, 1],
+			"recencies": [0.2, 1],
+			"requests": [{"object": 0, "target": 1}],
+			"budget": 1,
+			"solver": "`+solver+`"
+		}`)
+		if len(out.Download) != 1 || out.Download[0] != 0 {
+			t.Fatalf("%s: download = %v", solver, out.Download)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(strings.NewReader("{nope"), &buf); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if err := run(strings.NewReader(`{"unknown_field": 1}`), &buf); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if err := run(strings.NewReader(`{"sizes":[], "recencies":[], "budget":1}`), &buf); err == nil {
+		t.Fatal("empty catalog accepted")
+	}
+	if err := run(strings.NewReader(`{"sizes":[1], "recencies":[1,1], "budget":1}`), &buf); err == nil {
+		t.Fatal("mismatched recencies accepted")
+	}
+	if err := run(strings.NewReader(`{"sizes":[1], "recencies":[1], "budget":1, "solver":"bogus"}`), &buf); err == nil {
+		t.Fatal("bogus solver accepted")
+	}
+}
+
+func TestRunEmptyFieldsAreArrays(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(strings.NewReader(`{
+		"sizes": [1], "recencies": [1],
+		"requests": [{"object": 0, "target": 1}], "budget": 5
+	}`), &buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Contains(s, "null") {
+		t.Fatalf("output contains null arrays:\n%s", s)
+	}
+}

@@ -1,0 +1,37 @@
+// Command stationd serves the on-demand selector over HTTP, so a real
+// base station (or web proxy) can call the paper's selection machinery as
+// a sidecar service. The daemon is stateful: it holds a catalog and a
+// live recency vector, decaying entries as update notifications arrive.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/catalog    {"sizes":[3,1,4]}           — (re)install the catalog
+//	POST /v1/updates    {"objects":[1,2]}           — masters changed: decay copies
+//	POST /v1/fetched    {"objects":[1]}             — copies refreshed to fresh
+//	POST /v1/select     {"requests":[...],"budget":5}
+//	POST /v1/recommend  {"requests":[...],"max_budget":50,"fraction_of_max":0.9}
+//	GET  /v1/state                                  — current recency vector
+//
+// Start with:
+//
+//	stationd -addr :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := newServer()
+	log.Printf("stationd: listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "stationd:", err)
+		os.Exit(1)
+	}
+}

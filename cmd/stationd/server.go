@@ -1,0 +1,247 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"mobicache"
+	"mobicache/internal/recency"
+)
+
+// server holds the daemon's state: a selector over the installed catalog
+// and the live per-object recency vector. One mutex guards everything —
+// selection is milliseconds at paper scale, so a single writer is ample.
+type server struct {
+	mu        sync.Mutex
+	selector  *mobicache.Selector
+	recencies []float64
+	decay     recency.Decay
+	mux       *http.ServeMux
+}
+
+func newServer() *server {
+	s := &server{decay: recency.DefaultDecay}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("POST /v1/updates", s.handleUpdates)
+	mux.HandleFunc("POST /v1/fetched", s.handleFetched)
+	mux.HandleFunc("POST /v1/select", s.handleSelect)
+	mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
+	mux.HandleFunc("GET /v1/state", s.handleState)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+type catalogRequest struct {
+	Sizes []int64 `json:"sizes"`
+}
+
+func (s *server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	var req catalogRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sel, err := mobicache.NewSelector(req.Sizes)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.selector = sel
+	// All objects start absent (recency 0): nothing fetched yet.
+	s.recencies = make([]float64, len(req.Sizes))
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]int{"objects": len(req.Sizes)})
+}
+
+type objectsRequest struct {
+	Objects []mobicache.ObjectID `json:"objects"`
+}
+
+// validObjects checks every id against the installed catalog.
+func (s *server) validObjects(ids []mobicache.ObjectID) error {
+	for _, id := range ids {
+		if int(id) < 0 || int(id) >= len(s.recencies) {
+			return fmt.Errorf("object %d out of range (catalog has %d)", id, len(s.recencies))
+		}
+	}
+	return nil
+}
+
+func (s *server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	var req objectsRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.selector == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("no catalog installed"))
+		return
+	}
+	if err := s.validObjects(req.Objects); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, id := range req.Objects {
+		s.recencies[id] = s.decay.Next(s.recencies[id])
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"decayed": len(req.Objects)})
+}
+
+func (s *server) handleFetched(w http.ResponseWriter, r *http.Request) {
+	var req objectsRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.selector == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("no catalog installed"))
+		return
+	}
+	if err := s.validObjects(req.Objects); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, id := range req.Objects {
+		s.recencies[id] = recency.Fresh
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"refreshed": len(req.Objects)})
+}
+
+type selectRequest struct {
+	Requests []mobicache.Request `json:"requests"`
+	Budget   int64               `json:"budget"`
+}
+
+type selectResponse struct {
+	Download      []mobicache.ObjectID `json:"download"`
+	FromCache     []mobicache.ObjectID `json:"from_cache"`
+	DownloadUnits int64                `json:"download_units"`
+	AverageScore  float64              `json:"average_score"`
+}
+
+func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req selectRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.selector == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("no catalog installed"))
+		return
+	}
+	budget := req.Budget
+	if budget < 0 {
+		budget = mobicache.Unlimited
+	}
+	plan, err := s.selector.Select(req.Requests, s.recencies, budget)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := selectResponse{
+		Download:      plan.Download,
+		FromCache:     plan.FromCache,
+		DownloadUnits: plan.DownloadUnits,
+		AverageScore:  plan.AverageScore(),
+	}
+	if resp.Download == nil {
+		resp.Download = []mobicache.ObjectID{}
+	}
+	if resp.FromCache == nil {
+		resp.FromCache = []mobicache.ObjectID{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type recommendRequest struct {
+	Requests      []mobicache.Request `json:"requests"`
+	MaxBudget     int64               `json:"max_budget"`
+	FractionOfMax float64             `json:"fraction_of_max"`
+	MinMarginal   float64             `json:"min_marginal"`
+}
+
+type recommendResponse struct {
+	Budget     int64   `json:"budget"`
+	Efficiency float64 `json:"efficiency"`
+	MaxGain    float64 `json:"max_gain"`
+}
+
+func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req recommendRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.selector == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("no catalog installed"))
+		return
+	}
+	rep, err := s.selector.RecommendBudget(req.Requests, s.recencies, req.MaxBudget, mobicache.BoundConfig{
+		FractionOfMax: req.FractionOfMax,
+		MinMarginal:   req.MinMarginal,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, recommendResponse{
+		Budget:     rep.Budget,
+		Efficiency: rep.Efficiency(),
+		MaxGain:    rep.MaxGain,
+	})
+}
+
+type stateResponse struct {
+	Objects   int       `json:"objects"`
+	Recencies []float64 `json:"recencies"`
+}
+
+func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.selector == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("no catalog installed"))
+		return
+	}
+	writeJSON(w, http.StatusOK, stateResponse{
+		Objects:   len(s.recencies),
+		Recencies: append([]float64(nil), s.recencies...),
+	})
+}

@@ -1,0 +1,132 @@
+// Command tracegen generates, inspects, and replays request traces in the
+// repository's JSON-lines format, so that a workload can be recorded once
+// and replayed bit-for-bit across runs, policies, or implementations.
+//
+// Modes:
+//
+//	tracegen -mode generate -objects 500 -rate 100 -ticks 200 > trace.jsonl
+//	tracegen -mode stats < trace.jsonl
+//	tracegen -mode replay -policy async-round-robin -budget 20 < trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mobicache"
+)
+
+var (
+	mode    = flag.String("mode", "generate", "generate, stats, or replay")
+	objects = flag.Int("objects", 500, "number of unit-size objects")
+	rate    = flag.Int("rate", 100, "requests per tick")
+	access  = flag.String("access", "zipf", "popularity skew: uniform, linear, zipf")
+	ticks   = flag.Int("ticks", 200, "ticks to generate / measure")
+	warmup  = flag.Int("warmup", 0, "warmup ticks (generate: included in trace; replay: excluded from report)")
+	seed    = flag.Uint64("seed", 1, "random seed")
+	policy  = flag.String("policy", "on-demand-knapsack", "refresh policy for -mode replay")
+	budget  = flag.Int64("budget", 0, "download budget per tick for -mode replay (0 = unlimited)")
+	period  = flag.Int("update-period", 5, "server update period for -mode replay")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	switch *mode {
+	case "generate":
+		return generate()
+	case "stats":
+		return stats()
+	case "replay":
+		return replay()
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func cfg() mobicache.SimulationConfig {
+	return mobicache.SimulationConfig{
+		Objects:         *objects,
+		RequestsPerTick: *rate,
+		Access:          *access,
+		Policy:          *policy,
+		BudgetPerTick:   *budget,
+		UpdatePeriod:    *period,
+		Warmup:          *warmup,
+		Ticks:           *ticks,
+		Seed:            *seed,
+	}
+}
+
+func generate() error {
+	reqs, err := mobicache.GenerateTrace(cfg())
+	if err != nil {
+		return err
+	}
+	return mobicache.WriteTrace(os.Stdout, reqs)
+}
+
+func stats() error {
+	reqs, err := mobicache.ReadTrace(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(reqs) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+	perObject := map[mobicache.ObjectID]int{}
+	minTick, maxTick := reqs[0].Tick, reqs[0].Tick
+	var targetSum float64
+	for _, r := range reqs {
+		perObject[r.Object]++
+		if r.Tick < minTick {
+			minTick = r.Tick
+		}
+		if r.Tick > maxTick {
+			maxTick = r.Tick
+		}
+		targetSum += r.Target
+	}
+	counts := make([]int, 0, len(perObject))
+	for _, c := range perObject {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := counts
+	if len(top) > 5 {
+		top = counts[:5]
+	}
+	fmt.Printf("requests         %d\n", len(reqs))
+	fmt.Printf("ticks            %d..%d\n", minTick, maxTick)
+	fmt.Printf("distinct objects %d\n", len(perObject))
+	fmt.Printf("mean target      %.4f\n", targetSum/float64(len(reqs)))
+	fmt.Printf("hottest objects  %v requests\n", top)
+	return nil
+}
+
+func replay() error {
+	reqs, err := mobicache.ReadTrace(os.Stdin)
+	if err != nil {
+		return err
+	}
+	rep, err := mobicache.ReplayTrace(cfg(), reqs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("policy            %s\n", *policy)
+	fmt.Printf("ticks             %d\n", rep.Ticks)
+	fmt.Printf("requests          %d\n", rep.Requests)
+	fmt.Printf("downloads         %d (%d units)\n", rep.Downloads, rep.DownloadUnits)
+	fmt.Printf("mean client score %.4f\n", rep.MeanScore)
+	fmt.Printf("mean recency      %.4f\n", rep.MeanRecency)
+	fmt.Printf("cache hit rate    %.4f\n", rep.CacheHitRate)
+	return nil
+}

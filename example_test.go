@@ -1,0 +1,80 @@
+package mobicache_test
+
+import (
+	"fmt"
+
+	"mobicache"
+)
+
+// The core use case: given cached-copy recencies and a batch of client
+// requests with target recencies, pick the downloads that maximize the
+// mean client score within a byte budget.
+func ExampleSelector_Select() {
+	sel, err := mobicache.NewSelector([]int64{3, 1, 4, 1, 5})
+	if err != nil {
+		panic(err)
+	}
+	recencies := []float64{1.0, 0.25, 0.5, 0.9, 0} // 0 = not cached
+	reqs := []mobicache.Request{
+		{Client: 0, Object: 1, Target: 1.0},
+		{Client: 1, Object: 4, Target: 0.5},
+		{Client: 2, Object: 2, Target: 0.4},
+	}
+	plan, err := sel.Select(reqs, recencies, 6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("download:", plan.Download)
+	fmt.Printf("average score: %.3f\n", plan.AverageScore())
+	// Output:
+	// download: [1 4]
+	// average score: 1.000
+}
+
+// The paper's future-work question — how much data is worth downloading —
+// answered from the exact score-versus-budget curve.
+func ExampleSelector_RecommendBudget() {
+	sel, err := mobicache.NewSelector([]int64{2, 2, 2, 2})
+	if err != nil {
+		panic(err)
+	}
+	recencies := []float64{0.2, 0.4, 0.6, 0.8}
+	reqs := []mobicache.Request{
+		{Object: 0, Target: 1}, {Object: 1, Target: 1},
+		{Object: 2, Target: 1}, {Object: 3, Target: 1},
+	}
+	rep, err := sel.RecommendBudget(reqs, recencies, 8, mobicache.BoundConfig{
+		FractionOfMax: 0.75,
+		Window:        1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("budget:", rep.Budget)
+	// Output:
+	// budget: 6
+}
+
+// A complete seeded simulation of the paper's architecture: servers
+// updating objects, a budgeted on-demand policy, zipf-skewed clients.
+func ExampleRunSimulation() {
+	rep, err := mobicache.RunSimulation(mobicache.SimulationConfig{
+		Objects:         100,
+		UpdatePeriod:    5,
+		Policy:          "on-demand-knapsack",
+		BudgetPerTick:   10,
+		RequestsPerTick: 20,
+		Access:          "zipf",
+		Warmup:          20,
+		Ticks:           50,
+		Seed:            1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("requests:", rep.Requests)
+	fmt.Println("score above 0.9:", rep.MeanScore > 0.9)
+	// Output:
+	// requests: 1000
+	// score above 0.9: true
+}

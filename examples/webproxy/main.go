@@ -1,0 +1,57 @@
+// Web-proxy caching: the paper notes its results "are applicable to any
+// environment where time or bandwidth constraints make it impractical to
+// access all requested data remotely — for example, web proxy caching."
+//
+// This example models a proxy with a bounded cache in front of origin
+// servers whose pages change every few ticks. Pages have zipf popularity
+// and varied sizes. We sweep the cache replacement policies and two
+// download budgets and report the mean client score and hit rate each
+// combination achieves.
+//
+// Run with: go run ./examples/webproxy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobicache"
+)
+
+func main() {
+	// 300 pages, 1..12 units each (think KB).
+	sizes := make([]int64, 300)
+	for i := range sizes {
+		sizes[i] = int64(i%12 + 1)
+	}
+
+	fmt.Println("web proxy: 300 pages, zipf popularity, origin updates every 4 ticks")
+	fmt.Println()
+	fmt.Printf("%-10s %-8s %-12s %-12s %-10s\n", "replace", "budget", "mean score", "recency", "hit rate")
+
+	for _, replacement := range []string{"lru", "lfu", "size", "stalest", "gds"} {
+		for _, budget := range []int64{30, 120} {
+			rep, err := mobicache.RunSimulation(mobicache.SimulationConfig{
+				Sizes:           sizes,
+				UpdatePeriod:    4,
+				Policy:          "on-demand-stale",
+				BudgetPerTick:   budget,
+				RequestsPerTick: 80,
+				Access:          "zipf",
+				CacheCapacity:   400, // ~20% of the catalog
+				Replacement:     replacement,
+				Warmup:          100,
+				Ticks:           300,
+				Seed:            42,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %-8d %-12.4f %-12.4f %-10.4f\n",
+				replacement, budget, rep.MeanScore, rep.MeanRecency, rep.CacheHitRate)
+		}
+	}
+	fmt.Println()
+	fmt.Println("reading: a bigger budget lifts every policy; LRU and GDS track the")
+	fmt.Println("zipf head best, while staleness-only eviction drops hot pages.")
+}

@@ -1,0 +1,108 @@
+package mobicache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobicache/internal/rng"
+)
+
+// TestSimulationInvariantsProperty drives randomly configured end-to-end
+// simulations and checks system-wide invariants: scores and recencies stay
+// in range, policy downloads respect the budget, hit rates are sane, and
+// runs are deterministic under a fixed seed.
+func TestSimulationInvariantsProperty(t *testing.T) {
+	policies := []string{
+		"on-demand-knapsack", "on-demand-stale", "on-demand-lowest-recency",
+		"async-round-robin", "async-freshness", "async-on-update", "hybrid",
+	}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		cfg := SimulationConfig{
+			Objects:         r.IntRange(10, 120),
+			UpdatePeriod:    r.IntRange(1, 10),
+			Policy:          policies[r.Intn(len(policies))],
+			BudgetPerTick:   int64(r.IntRange(0, 30)),
+			RequestsPerTick: r.IntRange(0, 40),
+			Access:          []string{"uniform", "linear", "zipf"}[r.Intn(3)],
+			Warmup:          r.IntRange(0, 20),
+			Ticks:           r.IntRange(1, 60),
+			Seed:            seed,
+		}
+		rep, err := RunSimulation(cfg)
+		if err != nil {
+			t.Logf("seed %d cfg %+v: %v", seed, cfg, err)
+			return false
+		}
+		if rep.MeanScore < 0 || rep.MeanScore > 1 || rep.MeanRecency < 0 || rep.MeanRecency > 1 {
+			t.Logf("seed %d: score %v recency %v out of range", seed, rep.MeanScore, rep.MeanRecency)
+			return false
+		}
+		if rep.CacheHitRate < 0 || rep.CacheHitRate > 1 {
+			t.Logf("seed %d: hit rate %v", seed, rep.CacheHitRate)
+			return false
+		}
+		if rep.Requests != uint64(cfg.RequestsPerTick*cfg.Ticks) {
+			t.Logf("seed %d: requests %d != %d", seed, rep.Requests, cfg.RequestsPerTick*cfg.Ticks)
+			return false
+		}
+		// Download volume: the policy may spend at most budget units per
+		// tick (warmup included), plus compulsory misses bounded by the
+		// number of requests over the whole run.
+		if cfg.BudgetPerTick > 0 {
+			run := cfg.Warmup + cfg.Ticks
+			maxPolicy := cfg.BudgetPerTick * int64(run)
+			maxMisses := int64(cfg.RequestsPerTick * run)
+			if rep.DownloadUnits > maxPolicy+maxMisses {
+				t.Logf("seed %d: downloaded %d units > bound %d", seed, rep.DownloadUnits, maxPolicy+maxMisses)
+				return false
+			}
+		}
+		// Determinism.
+		again, err := RunSimulation(cfg)
+		if err != nil || again != rep {
+			t.Logf("seed %d: non-deterministic rerun", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKnapsackDominatesBaselinesUnderSkew pins the paper's headline
+// comparative claim end-to-end: with a tight budget, skewed demand, and
+// frequent updates, the knapsack policy delivers a mean client score at
+// least as good as every baseline, and strictly better than blind async
+// refresh.
+func TestKnapsackDominatesBaselinesUnderSkew(t *testing.T) {
+	base := SimulationConfig{
+		Objects:         200,
+		UpdatePeriod:    2,
+		BudgetPerTick:   10,
+		RequestsPerTick: 60,
+		Access:          "zipf",
+		Warmup:          50,
+		Ticks:           200,
+		Seed:            77,
+	}
+	score := func(policy string) float64 {
+		cfg := base
+		cfg.Policy = policy
+		rep, err := RunSimulation(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		return rep.MeanScore
+	}
+	knap := score("on-demand-knapsack")
+	for _, pol := range []string{"on-demand-stale", "on-demand-lowest-recency", "async-freshness", "async-round-robin"} {
+		if s := score(pol); knap < s-1e-9 {
+			t.Fatalf("knapsack score %v below %s score %v", knap, pol, s)
+		}
+	}
+	if async := score("async-round-robin"); knap <= async {
+		t.Fatalf("knapsack %v not strictly above async round-robin %v", knap, async)
+	}
+}

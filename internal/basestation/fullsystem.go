@@ -1,0 +1,279 @@
+package basestation
+
+import (
+	"fmt"
+
+	"mobicache/internal/cache"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/metrics"
+	"mobicache/internal/network"
+	"mobicache/internal/policy"
+	"mobicache/internal/recency"
+	"mobicache/internal/rng"
+	"mobicache/internal/server"
+	"mobicache/internal/sim"
+)
+
+// FullSystemConfig configures the event-driven realization of Figure 1:
+// remote servers behind a contended fixed-network link, a base station
+// cache, and a limited wireless downlink to the clients. Where the tick
+// Station measures only scores and download volume, the full system also
+// measures client-perceived latency and channel utilization — the
+// quantities the paper's introduction argues about.
+type FullSystemConfig struct {
+	Catalog *catalog.Catalog
+	// Servers is the number of remote servers in the farm (>=1).
+	Servers int
+	// Schedule drives object updates.
+	Schedule catalog.UpdateSchedule
+	// ServiceLatency models per-server processing time; nil for none.
+	ServiceLatency []server.LatencyModel
+	// FixedBandwidth is the fixed-network link bandwidth (units/tick).
+	FixedBandwidth float64
+	// FixedLatency is the fixed-network propagation latency (ticks).
+	FixedLatency float64
+	// DownlinkBandwidth is the wireless broadcast bandwidth (units/tick).
+	DownlinkBandwidth float64
+	// DownlinkLoss, when positive, models ARQ frame loss on the wireless
+	// channel: frames of DownlinkFrameSize units are lost independently
+	// with this probability and retransmitted.
+	DownlinkLoss float64
+	// DownlinkFrameSize is the ARQ frame size (default 1 data unit).
+	DownlinkFrameSize float64
+	// LossSeed seeds the loss process (used only with DownlinkLoss > 0).
+	LossSeed uint64
+	// Policy decides the per-tick downloads.
+	Policy policy.Policy
+	// BudgetPerTick caps per-tick download volume (0 = unlimited).
+	BudgetPerTick int64
+	// Score measures cache-served requests; defaults to recency.Inverse.
+	Score recency.ScoreFunc
+	// Generator produces the request stream.
+	Generator *client.Generator
+}
+
+// FullSystemResult aggregates a full-system run.
+type FullSystemResult struct {
+	Ticks               int
+	Requests            uint64
+	Served              uint64
+	Downloads           uint64
+	DownloadUnits       float64
+	Latency             metrics.Welford // request issue -> downlink delivery
+	Score               metrics.Welford // per-request client score
+	DeliveredRecency    metrics.Welford // recency of the copy delivered
+	LinkUtilization     float64
+	DownlinkUtilization float64
+}
+
+// wirelessChannel is the downlink surface the full system needs; both
+// the ideal and the lossy downlink satisfy it.
+type wirelessChannel interface {
+	Send(size float64, done func()) error
+	Utilization(t0 float64) float64
+}
+
+// FullSystem is the event-driven simulation.
+type FullSystem struct {
+	cfg      FullSystemConfig
+	engine   *sim.Engine
+	farm     *server.Farm
+	link     *network.Link
+	downlink wirelessChannel
+	cache    *cache.Cache
+	res      FullSystemResult
+	// pending maps an in-flight object to the requests waiting on it.
+	pending map[catalog.ID][]pendingReq
+}
+
+type pendingReq struct {
+	issued float64
+}
+
+// NewFullSystem wires up the event-driven system.
+func NewFullSystem(cfg FullSystemConfig) (*FullSystem, error) {
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("basestation: nil catalog")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("basestation: nil policy")
+	}
+	if cfg.Generator == nil {
+		return nil, fmt.Errorf("basestation: nil generator")
+	}
+	if cfg.Servers <= 0 {
+		cfg.Servers = 1
+	}
+	if cfg.Score == nil {
+		cfg.Score = recency.Inverse
+	}
+	if cfg.BudgetPerTick == 0 {
+		cfg.BudgetPerTick = policy.Unlimited
+	}
+	engine := sim.NewEngine()
+	farm, err := server.NewFarm(cfg.Catalog, cfg.Servers, cfg.Schedule, cfg.ServiceLatency)
+	if err != nil {
+		return nil, err
+	}
+	link, err := network.NewLink(engine, cfg.FixedBandwidth, cfg.FixedLatency)
+	if err != nil {
+		return nil, err
+	}
+	var downlink wirelessChannel
+	if cfg.DownlinkLoss > 0 {
+		frame := cfg.DownlinkFrameSize
+		if frame == 0 {
+			frame = 1
+		}
+		downlink, err = network.NewLossyDownlink(engine, cfg.DownlinkBandwidth, frame, cfg.DownlinkLoss, rng.New(cfg.LossSeed))
+	} else {
+		downlink, err = network.NewDownlink(engine, cfg.DownlinkBandwidth)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fs := &FullSystem{
+		cfg:      cfg,
+		engine:   engine,
+		farm:     farm,
+		link:     link,
+		downlink: downlink,
+		cache:    cache.Unlimited(),
+		pending:  make(map[catalog.ID][]pendingReq),
+	}
+	farm.OnUpdate(fs.cache.OnMasterUpdate)
+	return fs, nil
+}
+
+// Run simulates n ticks and returns the aggregated result.
+func (fs *FullSystem) Run(n int) (*FullSystemResult, error) {
+	ticker := sim.NewTicker(fs.engine, 1)
+	var tickErr error
+	ticker.OnTick("tick", func(tick int) {
+		if tickErr != nil {
+			return
+		}
+		tickErr = fs.tick(tick)
+	})
+	ticker.RunTicks(n)
+	if tickErr != nil {
+		return nil, tickErr
+	}
+	// Drain in-flight work so every request completes.
+	fs.engine.Run(0)
+	fs.res.Ticks = n
+	fs.res.LinkUtilization = fs.link.Utilization(0)
+	fs.res.DownlinkUtilization = fs.downlink.Utilization(0)
+	return &fs.res, nil
+}
+
+func (fs *FullSystem) tick(tick int) error {
+	updated := fs.farm.Tick(tick)
+	reqs := fs.cfg.Generator.Tick(tick)
+	fs.res.Requests += uint64(len(reqs))
+
+	view := policy.TickView{
+		Tick:     tick,
+		Requests: reqs,
+		Updated:  updated,
+		Cache:    fs.cache,
+		Catalog:  fs.cfg.Catalog,
+		Budget:   fs.cfg.BudgetPerTick,
+	}
+	ids, err := fs.cfg.Policy.Decide(&view)
+	if err != nil {
+		return err
+	}
+	downloading := make(map[catalog.ID]bool, len(ids))
+	for _, id := range ids {
+		downloading[id] = true
+	}
+
+	now := fs.engine.Now()
+	for _, r := range reqs {
+		id := r.Object
+		switch {
+		case downloading[id] || fs.pending[id] != nil:
+			// Wait for the in-flight fresh copy.
+			fs.pending[id] = append(fs.pending[id], pendingReq{issued: now})
+		case fs.cache.Contains(id):
+			e, _ := fs.cache.Get(id, now)
+			score := fs.cfg.Score(e.Recency, r.Target)
+			rec := e.Recency
+			issued := now
+			if err := fs.downlink.Send(float64(e.Size), func() {
+				fs.deliver(issued, score, rec)
+			}); err != nil {
+				return err
+			}
+		default:
+			// Absent and not selected: a compulsory miss — fetch it, but
+			// account it as a download all the same.
+			fs.pending[id] = append(fs.pending[id], pendingReq{issued: now})
+			downloading[id] = true
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		if err := fs.startDownload(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// startDownload moves one object across the fixed network (server service
+// time, then the shared link), installs it in the cache, and airs it on
+// the downlink to any waiting clients.
+func (fs *FullSystem) startDownload(id catalog.ID) error {
+	size := float64(fs.cfg.Catalog.Size(id))
+	service := fs.farm.ServiceTime(id)
+	fs.res.Downloads++
+	fs.res.DownloadUnits += size
+	start := func() {
+		version, _ := fs.farm.Download(id)
+		_, err := fs.link.StartTransfer(size, func() {
+			if err := fs.cache.Put(id, fs.cfg.Catalog.Size(id), version, fs.engine.Now()); err != nil {
+				// Unlimited cache; Put only fails on invalid size.
+				panic(err)
+			}
+			waiting := fs.pending[id]
+			delete(fs.pending, id)
+			if len(waiting) == 0 {
+				return
+			}
+			// One broadcast serves every waiting client.
+			if err := fs.downlink.Send(size, func() {
+				for _, w := range waiting {
+					fs.deliver(w.issued, 1, 1)
+				}
+			}); err != nil {
+				panic(err)
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	if service > 0 {
+		fs.engine.MustSchedule(service, start)
+		return nil
+	}
+	start()
+	return nil
+}
+
+func (fs *FullSystem) deliver(issued, score, rec float64) {
+	fs.res.Served++
+	fs.res.Latency.Add(fs.engine.Now() - issued)
+	fs.res.Score.Add(score)
+	fs.res.DeliveredRecency.Add(rec)
+}
+
+// Cache exposes the cache for inspection in tests.
+func (fs *FullSystem) Cache() *cache.Cache { return fs.cache }
+
+// Engine exposes the event engine for inspection in tests.
+func (fs *FullSystem) Engine() *sim.Engine { return fs.engine }

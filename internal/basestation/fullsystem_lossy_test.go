@@ -1,0 +1,51 @@
+package basestation
+
+import (
+	"testing"
+
+	"mobicache/internal/client"
+	"mobicache/internal/rng"
+)
+
+func TestFullSystemLossyDownlink(t *testing.T) {
+	run := func(loss float64) *FullSystemResult {
+		cfg := fullSystemConfig(t)
+		cfg.DownlinkLoss = loss
+		cfg.DownlinkFrameSize = 0.5
+		cfg.LossSeed = 99
+		gen, err := client.NewGenerator(client.GeneratorConfig{
+			Catalog: cfg.Catalog, Pattern: rng.Zipf, RatePerTick: 10, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Generator = gen
+		fs, err := NewFullSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fs.Run(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run(0)
+	lossy := run(0.4)
+	if lossy.Served != lossy.Requests {
+		t.Fatalf("lossy run served %d of %d", lossy.Served, lossy.Requests)
+	}
+	// Retransmissions inflate air time, so delivery latency rises.
+	if lossy.Latency.Mean() <= clean.Latency.Mean() {
+		t.Fatalf("lossy latency %v not above clean latency %v",
+			lossy.Latency.Mean(), clean.Latency.Mean())
+	}
+}
+
+func TestFullSystemLossValidation(t *testing.T) {
+	cfg := fullSystemConfig(t)
+	cfg.DownlinkLoss = 1 // invalid: must be < 1
+	if _, err := NewFullSystem(cfg); err == nil {
+		t.Fatal("loss probability 1 accepted")
+	}
+}

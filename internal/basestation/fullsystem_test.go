@@ -1,0 +1,170 @@
+package basestation
+
+import (
+	"testing"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/policy"
+	"mobicache/internal/rng"
+	"mobicache/internal/server"
+)
+
+func fullSystemConfig(t *testing.T) FullSystemConfig {
+	t.Helper()
+	cat, err := catalog.Uniform(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := client.NewGenerator(client.GeneratorConfig{
+		Catalog: cat, Pattern: rng.Zipf, RatePerTick: 10, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FullSystemConfig{
+		Catalog:           cat,
+		Servers:           2,
+		Schedule:          catalog.NewPeriodicAll(cat, 5),
+		FixedBandwidth:    50,
+		FixedLatency:      0.05,
+		DownlinkBandwidth: 100,
+		Policy:            policy.OnDemandLowestRecency{},
+		BudgetPerTick:     10,
+		Generator:         gen,
+	}
+}
+
+func TestNewFullSystemValidation(t *testing.T) {
+	cfg := fullSystemConfig(t)
+	bad := cfg
+	bad.Catalog = nil
+	if _, err := NewFullSystem(bad); err == nil {
+		t.Fatal("nil catalog accepted")
+	}
+	bad = cfg
+	bad.Policy = nil
+	if _, err := NewFullSystem(bad); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	bad = cfg
+	bad.Generator = nil
+	if _, err := NewFullSystem(bad); err == nil {
+		t.Fatal("nil generator accepted")
+	}
+	bad = cfg
+	bad.FixedBandwidth = 0
+	if _, err := NewFullSystem(bad); err == nil {
+		t.Fatal("zero fixed bandwidth accepted")
+	}
+	bad = cfg
+	bad.DownlinkBandwidth = 0
+	if _, err := NewFullSystem(bad); err == nil {
+		t.Fatal("zero downlink bandwidth accepted")
+	}
+}
+
+func TestFullSystemServesEveryRequest(t *testing.T) {
+	fs, err := NewFullSystem(fullSystemConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ticks = 100
+	res, err := fs.Run(ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 10*ticks {
+		t.Fatalf("requests = %d, want %d", res.Requests, 10*ticks)
+	}
+	if res.Served != res.Requests {
+		t.Fatalf("served %d of %d requests", res.Served, res.Requests)
+	}
+	if res.Downloads == 0 {
+		t.Fatal("no downloads with periodic updates")
+	}
+	if res.Latency.N() != res.Served {
+		t.Fatalf("latency samples = %d, served = %d", res.Latency.N(), res.Served)
+	}
+	// Every delivery needs at least the downlink transmission time.
+	if res.Latency.Min() < 1.0/100-1e-9 {
+		t.Fatalf("min latency %v below downlink transmission time", res.Latency.Min())
+	}
+	if mean := res.Score.Mean(); mean <= 0 || mean > 1 {
+		t.Fatalf("mean score = %v", mean)
+	}
+	if u := res.LinkUtilization; u < 0 || u > 1 {
+		t.Fatalf("link utilization = %v", u)
+	}
+	if u := res.DownlinkUtilization; u <= 0 || u > 1 {
+		t.Fatalf("downlink utilization = %v", u)
+	}
+	if res.Ticks != ticks {
+		t.Fatalf("ticks = %d", res.Ticks)
+	}
+}
+
+func TestFullSystemDownloadedCopiesAreFresh(t *testing.T) {
+	cfg := fullSystemConfig(t)
+	cfg.BudgetPerTick = policy.Unlimited
+	fs, err := NewFullSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fs.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With unlimited budget the on-demand policy refreshes every stale
+	// requested object, so delivered recency should be very high.
+	if res.DeliveredRecency.Mean() < 0.9 {
+		t.Fatalf("delivered recency = %v, want ~1 with unlimited budget", res.DeliveredRecency.Mean())
+	}
+}
+
+func TestFullSystemTightLinkRaisesLatency(t *testing.T) {
+	run := func(bandwidth float64) float64 {
+		cfg := fullSystemConfig(t)
+		cfg.FixedBandwidth = bandwidth
+		// Regenerate the request stream for a fair comparison.
+		gen, err := client.NewGenerator(client.GeneratorConfig{
+			Catalog: cfg.Catalog, Pattern: rng.Zipf, RatePerTick: 10, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Generator = gen
+		fs, err := NewFullSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fs.Run(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Latency.Mean()
+	}
+	fast := run(100)
+	slow := run(2)
+	if slow <= fast {
+		t.Fatalf("tight link latency %v not above fast link latency %v", slow, fast)
+	}
+}
+
+func TestFullSystemWithServiceLatency(t *testing.T) {
+	cfg := fullSystemConfig(t)
+	cfg.ServiceLatency = []server.LatencyModel{
+		server.ConstantLatency(0.5), server.ConstantLatency(0.5),
+	}
+	fs, err := NewFullSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fs.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != res.Requests {
+		t.Fatalf("served %d of %d with service latency", res.Served, res.Requests)
+	}
+}

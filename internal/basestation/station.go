@@ -1,0 +1,235 @@
+// Package basestation ties the system together: per time unit it lets the
+// remote servers update objects, hands the tick's client requests and the
+// cache state to a refresh policy, executes the policy's downloads, and
+// serves every request — fresh downloads at score 1.0, cache reads scored
+// by the client's target recency. This is the executable form of the
+// paper's Figure 1 architecture.
+package basestation
+
+import (
+	"fmt"
+
+	"mobicache/internal/cache"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/policy"
+	"mobicache/internal/recency"
+	"mobicache/internal/server"
+)
+
+// Config configures a Station.
+type Config struct {
+	Catalog *catalog.Catalog
+	Server  *server.Server
+	Policy  policy.Policy
+	// Cache defaults to an unlimited cache with C=1 decay.
+	Cache *cache.Cache
+	// Score measures the satisfaction of a request served from cache;
+	// defaults to recency.Inverse.
+	Score recency.ScoreFunc
+	// BudgetPerTick limits the data units the policy may download per
+	// tick; 0 or policy.Unlimited means no limit.
+	BudgetPerTick int64
+	// CompulsoryMisses, when true, downloads requested objects absent
+	// from the cache outside the budget (they cannot be served at all
+	// otherwise). The paper sidesteps this by warming the cache;
+	// compulsory downloads are tracked separately so experiments can
+	// exclude warmup effects.
+	CompulsoryMisses bool
+}
+
+// TickResult reports what happened in one tick.
+type TickResult struct {
+	Tick            int
+	Updated         int     // objects updated at the servers
+	Requests        int     // client requests served
+	PolicyDownloads int     // downloads chosen by the policy
+	MissDownloads   int     // compulsory downloads for cache misses
+	DownloadUnits   int64   // data units fetched over the fixed network
+	ScoreSum        float64 // sum of per-request client scores
+	RecencySum      float64 // sum of per-request delivered recency values
+}
+
+// Totals accumulates TickResults.
+type Totals struct {
+	Ticks           int
+	Updated         uint64
+	Requests        uint64
+	PolicyDownloads uint64
+	MissDownloads   uint64
+	DownloadUnits   int64
+	ScoreSum        float64
+	RecencySum      float64
+}
+
+// Add folds one tick into the totals.
+func (t *Totals) Add(r TickResult) {
+	t.Ticks++
+	t.Updated += uint64(r.Updated)
+	t.Requests += uint64(r.Requests)
+	t.PolicyDownloads += uint64(r.PolicyDownloads)
+	t.MissDownloads += uint64(r.MissDownloads)
+	t.DownloadUnits += r.DownloadUnits
+	t.ScoreSum += r.ScoreSum
+	t.RecencySum += r.RecencySum
+}
+
+// Downloads returns all downloads (policy plus compulsory).
+func (t *Totals) Downloads() uint64 { return t.PolicyDownloads + t.MissDownloads }
+
+// MeanScore returns the mean per-request client score.
+func (t *Totals) MeanScore() float64 {
+	if t.Requests == 0 {
+		return 0
+	}
+	return t.ScoreSum / float64(t.Requests)
+}
+
+// MeanRecency returns the mean delivered recency per request (the measure
+// plotted in Figure 3).
+func (t *Totals) MeanRecency() float64 {
+	if t.Requests == 0 {
+		return 0
+	}
+	return t.RecencySum / float64(t.Requests)
+}
+
+// Station is the base station of one cell.
+type Station struct {
+	cfg   Config
+	cache *cache.Cache
+}
+
+// New creates a Station and wires the server's update stream into the
+// cache's recency decay.
+func New(cfg Config) (*Station, error) {
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("basestation: nil catalog")
+	}
+	if cfg.Server == nil {
+		return nil, fmt.Errorf("basestation: nil server")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("basestation: nil policy")
+	}
+	if cfg.BudgetPerTick < 0 {
+		return nil, fmt.Errorf("basestation: negative budget %d", cfg.BudgetPerTick)
+	}
+	if cfg.Score == nil {
+		cfg.Score = recency.Inverse
+	}
+	if cfg.BudgetPerTick == 0 {
+		cfg.BudgetPerTick = policy.Unlimited
+	}
+	c := cfg.Cache
+	if c == nil {
+		c = cache.Unlimited()
+	}
+	st := &Station{cfg: cfg, cache: c}
+	cfg.Server.OnUpdate(c.OnMasterUpdate)
+	return st, nil
+}
+
+// Cache returns the station's cache.
+func (s *Station) Cache() *cache.Cache { return s.cache }
+
+// RunTick advances one time unit: server updates, policy decision, the
+// decided downloads, and request service.
+func (s *Station) RunTick(tick int, reqs []client.Request) (TickResult, error) {
+	return s.ServeTick(tick, reqs, s.cfg.Server.Tick(tick))
+}
+
+// ServeTick runs the policy and serves requests for a tick whose server
+// updates were applied externally (multi-cell deployments share one
+// server and tick it once, then call ServeTick on every cell's station).
+func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.ID) (TickResult, error) {
+	res := TickResult{Tick: tick}
+	now := float64(tick)
+	res.Updated = len(updated)
+
+	view := policy.TickView{
+		Tick:     tick,
+		Requests: reqs,
+		Updated:  updated,
+		Cache:    s.cache,
+		Catalog:  s.cfg.Catalog,
+		Budget:   s.cfg.BudgetPerTick,
+	}
+	ids, err := s.cfg.Policy.Decide(&view)
+	if err != nil {
+		return res, fmt.Errorf("basestation: policy %s: %w", s.cfg.Policy.Name(), err)
+	}
+	downloadedNow := make(map[catalog.ID]bool, len(ids))
+	var used int64
+	for _, id := range ids {
+		if !s.cfg.Catalog.Valid(id) {
+			return res, fmt.Errorf("basestation: policy %s chose invalid object %d", s.cfg.Policy.Name(), id)
+		}
+		if downloadedNow[id] {
+			return res, fmt.Errorf("basestation: policy %s chose object %d twice", s.cfg.Policy.Name(), id)
+		}
+		if err := s.download(id, now); err != nil {
+			return res, err
+		}
+		downloadedNow[id] = true
+		used += s.cfg.Catalog.Size(id)
+		res.PolicyDownloads++
+	}
+	if s.cfg.BudgetPerTick != policy.Unlimited && used > s.cfg.BudgetPerTick {
+		return res, fmt.Errorf("basestation: policy %s exceeded budget: %d > %d",
+			s.cfg.Policy.Name(), used, s.cfg.BudgetPerTick)
+	}
+	res.DownloadUnits += used
+
+	// Serve the tick's requests.
+	for _, r := range reqs {
+		res.Requests++
+		if downloadedNow[r.Object] {
+			res.ScoreSum += 1
+			res.RecencySum += 1
+			continue
+		}
+		if e, ok := s.cache.Get(r.Object, now); ok {
+			res.ScoreSum += s.cfg.Score(e.Recency, r.Target)
+			res.RecencySum += e.Recency
+			continue
+		}
+		// Cache miss: the object cannot be served from the cache at all.
+		if s.cfg.CompulsoryMisses {
+			if err := s.download(r.Object, now); err != nil {
+				return res, err
+			}
+			downloadedNow[r.Object] = true
+			res.MissDownloads++
+			res.DownloadUnits += s.cfg.Catalog.Size(r.Object)
+			res.ScoreSum += 1
+			res.RecencySum += 1
+		}
+		// Without compulsory misses the request scores 0 (nothing
+		// delivered) — both sums simply gain nothing.
+	}
+	return res, nil
+}
+
+// Run executes ticks [start, start+n) with requests drawn from gen (which
+// may be nil for request-free background runs), accumulating totals.
+func (s *Station) Run(start, n int, gen *client.Generator) (Totals, error) {
+	var totals Totals
+	for tick := start; tick < start+n; tick++ {
+		var reqs []client.Request
+		if gen != nil {
+			reqs = gen.Tick(tick)
+		}
+		res, err := s.RunTick(tick, reqs)
+		if err != nil {
+			return totals, err
+		}
+		totals.Add(res)
+	}
+	return totals, nil
+}
+
+func (s *Station) download(id catalog.ID, now float64) error {
+	version, size := s.cfg.Server.Download(id)
+	return s.cache.Put(id, size, version, now)
+}

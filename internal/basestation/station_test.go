@@ -1,0 +1,283 @@
+package basestation
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mobicache/internal/cache"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/core"
+	"mobicache/internal/policy"
+	"mobicache/internal/rng"
+	"mobicache/internal/server"
+)
+
+func makeStation(t *testing.T, nObjects, updatePeriod int, pol policy.Policy, budget int64) (*Station, *server.Server, *catalog.Catalog) {
+	t.Helper()
+	cat, err := catalog.Uniform(nObjects, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(cat, catalog.NewPeriodicAll(cat, updatePeriod))
+	st, err := New(Config{
+		Catalog:       cat,
+		Server:        srv,
+		Policy:        pol,
+		BudgetPerTick: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, srv, cat
+}
+
+func TestNewValidation(t *testing.T) {
+	cat := catalog.MustNew([]int64{1})
+	srv := server.New(cat, nil)
+	if _, err := New(Config{Server: srv, Policy: policy.OnDemandStale{}}); err == nil {
+		t.Fatal("nil catalog accepted")
+	}
+	if _, err := New(Config{Catalog: cat, Policy: policy.OnDemandStale{}}); err == nil {
+		t.Fatal("nil server accepted")
+	}
+	if _, err := New(Config{Catalog: cat, Server: srv}); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	if _, err := New(Config{Catalog: cat, Server: srv, Policy: policy.OnDemandStale{}, BudgetPerTick: -1}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestServerUpdatesDecayCache(t *testing.T) {
+	st, _, _ := makeStation(t, 3, 2, policy.OnDemandStale{}, 0)
+	// Prime the cache via compulsory path: use RunTick with requests and
+	// on-demand policy (downloads stale/absent requested objects).
+	res, err := st.RunTick(1, []client.Request{{Object: 0, Target: 1}}) // tick 1: no update
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PolicyDownloads != 1 {
+		t.Fatalf("initial download count = %d", res.PolicyDownloads)
+	}
+	// Tick 2 updates all objects; cached object 0 decays.
+	res, err = st.RunTick(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updated != 3 {
+		t.Fatalf("updated = %d, want 3", res.Updated)
+	}
+	if got := st.Cache().Recency(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("cached recency after update = %v, want 0.5", got)
+	}
+}
+
+func TestOnDemandServesFreshDownloadsAtFullScore(t *testing.T) {
+	st, _, _ := makeStation(t, 2, 1000, policy.OnDemandStale{}, 0)
+	reqs := []client.Request{{Object: 0, Target: 1}, {Object: 0, Target: 1}}
+	res, err := st.RunTick(1, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 2 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	// Object downloaded once, both requests scored 1.0.
+	if res.PolicyDownloads != 1 || res.DownloadUnits != 1 {
+		t.Fatalf("downloads = %d units = %d", res.PolicyDownloads, res.DownloadUnits)
+	}
+	if res.ScoreSum != 2 || res.RecencySum != 2 {
+		t.Fatalf("scores = %v recency = %v", res.ScoreSum, res.RecencySum)
+	}
+}
+
+func TestStaleCacheReadScoredByTarget(t *testing.T) {
+	cat := catalog.MustNew([]int64{1})
+	srv := server.New(cat, catalog.NewPeriodicAll(cat, 2))
+	// A policy that never downloads.
+	st, err := New(Config{Catalog: cat, Server: srv, Policy: nullPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manually seed the cache, then let tick 2 decay it.
+	if err := st.Cache().Put(0, 1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.RunTick(2, []client.Request{{Object: 0, Target: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recency 0.5, target 1 → Inverse(0.5,1) = 1/(1+0.5) = 2/3.
+	if math.Abs(res.ScoreSum-2.0/3) > 1e-12 {
+		t.Fatalf("score = %v, want 2/3", res.ScoreSum)
+	}
+	if math.Abs(res.RecencySum-0.5) > 1e-12 {
+		t.Fatalf("recency = %v, want 0.5", res.RecencySum)
+	}
+}
+
+type nullPolicy struct{}
+
+func (nullPolicy) Name() string                                  { return "null" }
+func (nullPolicy) Decide(*policy.TickView) ([]catalog.ID, error) { return nil, nil }
+
+type badPolicy struct{ ids []catalog.ID }
+
+func (badPolicy) Name() string                                    { return "bad" }
+func (b badPolicy) Decide(*policy.TickView) ([]catalog.ID, error) { return b.ids, nil }
+
+func TestPolicyViolationsCaught(t *testing.T) {
+	cat := catalog.MustNew([]int64{1, 1})
+	srv := server.New(cat, nil)
+	// Invalid object.
+	st, _ := New(Config{Catalog: cat, Server: srv, Policy: badPolicy{ids: []catalog.ID{5}}})
+	if _, err := st.RunTick(0, nil); err == nil {
+		t.Fatal("invalid download accepted")
+	}
+	// Duplicate download.
+	st, _ = New(Config{Catalog: cat, Server: srv, Policy: badPolicy{ids: []catalog.ID{0, 0}}})
+	if _, err := st.RunTick(0, nil); err == nil {
+		t.Fatal("duplicate download accepted")
+	}
+	// Budget violation.
+	st, _ = New(Config{Catalog: cat, Server: srv, Policy: badPolicy{ids: []catalog.ID{0, 1}}, BudgetPerTick: 1})
+	_, err := st.RunTick(0, nil)
+	if err == nil || !strings.Contains(err.Error(), "exceeded budget") {
+		t.Fatalf("budget violation error = %v", err)
+	}
+}
+
+func TestCompulsoryMisses(t *testing.T) {
+	cat := catalog.MustNew([]int64{1})
+	srv := server.New(cat, nil)
+	st, err := New(Config{
+		Catalog: cat, Server: srv, Policy: nullPolicy{}, CompulsoryMisses: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.RunTick(0, []client.Request{{Object: 0, Target: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissDownloads != 1 || res.ScoreSum != 1 {
+		t.Fatalf("compulsory miss result = %+v", res)
+	}
+	if !st.Cache().Contains(0) {
+		t.Fatal("miss download not cached")
+	}
+	// Without compulsory misses the request scores zero.
+	st2, _ := New(Config{Catalog: cat, Server: srv, Policy: nullPolicy{}})
+	res2, err := st2.RunTick(1, []client.Request{{Object: 0, Target: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MissDownloads != 0 || res2.ScoreSum != 0 {
+		t.Fatalf("miss without compulsory = %+v", res2)
+	}
+}
+
+func TestRunAccumulatesTotals(t *testing.T) {
+	st, _, cat := makeStation(t, 10, 5, policy.OnDemandStale{}, 0)
+	gen, err := client.NewGenerator(client.GeneratorConfig{
+		Catalog: cat, Pattern: rng.Uniform, RatePerTick: 20, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals, err := st.Run(0, 50, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals.Ticks != 50 {
+		t.Fatalf("ticks = %d", totals.Ticks)
+	}
+	if totals.Requests != 1000 {
+		t.Fatalf("requests = %d, want 1000", totals.Requests)
+	}
+	if totals.Downloads() == 0 {
+		t.Fatal("no downloads in 50 ticks with updates every 5")
+	}
+	if totals.MeanScore() <= 0 || totals.MeanScore() > 1 {
+		t.Fatalf("mean score = %v", totals.MeanScore())
+	}
+	if totals.MeanRecency() <= 0 || totals.MeanRecency() > 1 {
+		t.Fatalf("mean recency = %v", totals.MeanRecency())
+	}
+}
+
+func TestTotalsEmptyMeans(t *testing.T) {
+	var tot Totals
+	if tot.MeanScore() != 0 || tot.MeanRecency() != 0 {
+		t.Fatal("empty totals means != 0")
+	}
+}
+
+func TestKnapsackStationEndToEnd(t *testing.T) {
+	cat, _ := catalog.Uniform(20, 1)
+	srv := server.New(cat, catalog.NewPeriodicAll(cat, 2))
+	sel, err := core.NewSelector(cat, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := policy.NewOnDemandKnapsack(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cache.Unlimited()
+	st, err := New(Config{
+		Catalog: cat, Server: srv, Policy: pol, Cache: c,
+		BudgetPerTick: 5, CompulsoryMisses: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _ := client.NewGenerator(client.GeneratorConfig{
+		Catalog: cat, Pattern: rng.Zipf, RatePerTick: 10, Seed: 1,
+	})
+	totals, err := st.Run(0, 100, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals.MeanScore() < 0.5 {
+		t.Fatalf("knapsack policy mean score = %v, suspiciously low", totals.MeanScore())
+	}
+	// The budget means at most 5 policy downloads per tick (unit sizes).
+	if totals.PolicyDownloads > 5*100 {
+		t.Fatalf("policy downloads %d exceed budget*ticks", totals.PolicyDownloads)
+	}
+}
+
+func TestBudgetedOnDemandBeatsRoundRobinOnRecency(t *testing.T) {
+	// A miniature Figure 3: same workload, budget k=5, high update
+	// frequency — on-demand lowest-recency must beat async round-robin.
+	run := func(pol policy.Policy) float64 {
+		cat, _ := catalog.Uniform(100, 1)
+		srv := server.New(cat, catalog.NewPeriodicAll(cat, 1))
+		st, err := New(Config{
+			Catalog: cat, Server: srv, Policy: pol,
+			BudgetPerTick: 5, CompulsoryMisses: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, _ := client.NewGenerator(client.GeneratorConfig{
+			Catalog: cat, Pattern: rng.Uniform, RatePerTick: 20, Seed: 7,
+		})
+		if _, err := st.Run(0, 30, gen); err != nil { // warmup
+			t.Fatal(err)
+		}
+		totals, err := st.Run(30, 100, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return totals.MeanRecency()
+	}
+	onDemand := run(policy.OnDemandLowestRecency{})
+	async := run(&policy.AsyncRoundRobin{})
+	if onDemand <= async {
+		t.Fatalf("on-demand recency %v not better than async %v", onDemand, async)
+	}
+}

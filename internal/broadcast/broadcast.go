@@ -1,0 +1,215 @@
+// Package broadcast implements the data-dissemination baseline the paper
+// positions itself against (its related work [4-6], Acharya, Franklin &
+// Zdonik's Broadcast Disks): a base station pushes objects on a broadcast
+// schedule, and clients wait for the object they want to come around.
+//
+// Three schemes are provided:
+//
+//   - a flat program (every object once per cycle),
+//   - multi-disk programs (hot objects broadcast more frequently, built
+//     with the chunk-interleaving algorithm of the SIGMOD'95 paper),
+//   - a hybrid push/pull channel with a pull backchannel ([6]): a slice of
+//     the broadcast slots is reserved for explicitly requested objects.
+//
+// The package computes exact expected waits from the program geometry and
+// simulates request streams against it, which is what the comparison
+// experiment against the paper's pull-based caching uses.
+package broadcast
+
+import (
+	"fmt"
+	"sort"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/rng"
+)
+
+// Program is a fixed cyclic broadcast schedule: slot i of a cycle carries
+// Slots[i].
+type Program struct {
+	Slots []catalog.ID
+	// occurrences[id] lists the ascending slot indexes carrying id.
+	occurrences map[catalog.ID][]int
+}
+
+// NewProgram builds a Program from an explicit slot sequence.
+func NewProgram(slots []catalog.ID) (*Program, error) {
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("broadcast: empty program")
+	}
+	p := &Program{
+		Slots:       append([]catalog.ID(nil), slots...),
+		occurrences: make(map[catalog.ID][]int),
+	}
+	for i, id := range p.Slots {
+		p.occurrences[id] = append(p.occurrences[id], i)
+	}
+	return p, nil
+}
+
+// Flat builds the flat program: each object exactly once per cycle, in ID
+// order.
+func Flat(cat *catalog.Catalog) *Program {
+	p, err := NewProgram(cat.IDs())
+	if err != nil {
+		// A catalog is never empty.
+		panic(err)
+	}
+	return p
+}
+
+// Disk is one broadcast disk: a set of objects spun at a relative
+// frequency (higher = broadcast more often).
+type Disk struct {
+	Objects []catalog.ID
+	Freq    int
+}
+
+// MultiDisk builds a broadcast-disk program with the chunk-interleaving
+// algorithm: with L = lcm(frequencies), disk i is split into L/freq_i
+// chunks and minor cycle j carries chunk j mod chunks_i of every disk.
+// Objects on a disk of frequency f appear f times per major cycle,
+// equally spaced.
+func MultiDisk(disks []Disk) (*Program, error) {
+	if len(disks) == 0 {
+		return nil, fmt.Errorf("broadcast: no disks")
+	}
+	L := 1
+	for i, d := range disks {
+		if d.Freq <= 0 {
+			return nil, fmt.Errorf("broadcast: disk %d frequency %d must be positive", i, d.Freq)
+		}
+		if len(d.Objects) == 0 {
+			return nil, fmt.Errorf("broadcast: disk %d is empty", i)
+		}
+		L = lcm(L, d.Freq)
+	}
+	type chunked struct {
+		chunks [][]catalog.ID
+	}
+	var cds []chunked
+	for i, d := range disks {
+		numChunks := L / d.Freq
+		if len(d.Objects)%numChunks != 0 {
+			return nil, fmt.Errorf(
+				"broadcast: disk %d has %d objects, not divisible into %d chunks (pad the disk)",
+				i, len(d.Objects), numChunks)
+		}
+		per := len(d.Objects) / numChunks
+		var cd chunked
+		for c := 0; c < numChunks; c++ {
+			cd.chunks = append(cd.chunks, d.Objects[c*per:(c+1)*per])
+		}
+		cds = append(cds, cd)
+	}
+	var slots []catalog.ID
+	for j := 0; j < L; j++ {
+		for _, cd := range cds {
+			slots = append(slots, cd.chunks[j%len(cd.chunks)]...)
+		}
+	}
+	return NewProgram(slots)
+}
+
+// Len returns the number of slots in one major cycle.
+func (p *Program) Len() int { return len(p.Slots) }
+
+// Carries reports whether the program ever broadcasts id.
+func (p *Program) Carries(id catalog.ID) bool {
+	return len(p.occurrences[id]) > 0
+}
+
+// NextOccurrence returns the number of slots from position `from` (0 =
+// the slot about to air) until id airs, or -1 if the program never
+// carries it.
+func (p *Program) NextOccurrence(id catalog.ID, from int) int {
+	occ := p.occurrences[id]
+	if len(occ) == 0 {
+		return -1
+	}
+	n := len(p.Slots)
+	pos := ((from % n) + n) % n
+	i := sort.SearchInts(occ, pos)
+	if i < len(occ) {
+		return occ[i] - pos
+	}
+	return occ[0] + n - pos
+}
+
+// ExpectedWait returns the mean number of slots a client arriving at a
+// uniformly random instant waits for id (half-slot granularity ignored:
+// arrival is at a slot boundary), or -1 if the program never carries it.
+// For occurrences with gaps g_k summing to N, the exact value is
+// sum(g_k * (g_k - 1) / 2) / N.
+func (p *Program) ExpectedWait(id catalog.ID) float64 {
+	occ := p.occurrences[id]
+	if len(occ) == 0 {
+		return -1
+	}
+	n := len(p.Slots)
+	total := 0.0
+	for i, slot := range occ {
+		var gap int
+		if i == 0 {
+			gap = slot + n - occ[len(occ)-1]
+		} else {
+			gap = slot - occ[i-1]
+		}
+		total += float64(gap) * float64(gap-1) / 2
+	}
+	return total / float64(n)
+}
+
+// MeanExpectedWait returns the request-weighted mean expected wait for a
+// popularity weight vector over object IDs 0..len(weights)-1. Objects the
+// program does not carry contribute the full cycle length (they never
+// arrive — the value is a pessimistic floor rather than infinity).
+func (p *Program) MeanExpectedWait(weights []float64) float64 {
+	var sum, wsum float64
+	for id, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		wait := p.ExpectedWait(catalog.ID(id))
+		if wait < 0 {
+			wait = float64(p.Len())
+		}
+		sum += w * wait
+		wsum += w
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+// SimulateWaits draws n requests from the popularity sampler and measures
+// each one's wait at a uniformly random cycle position, returning the
+// mean. This validates ExpectedWait and drives the comparison study.
+func (p *Program) SimulateWaits(src *rng.Source, sampler *rng.Alias, rank []catalog.ID, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		id := rank[sampler.Sample(src)]
+		pos := src.Intn(p.Len())
+		w := p.NextOccurrence(id, pos)
+		if w < 0 {
+			w = p.Len()
+		}
+		total += float64(w)
+	}
+	return total / float64(n)
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int {
+	return a / gcd(a, b) * b
+}

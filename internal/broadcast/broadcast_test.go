@@ -1,0 +1,207 @@
+package broadcast
+
+import (
+	"math"
+	"testing"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/rng"
+)
+
+func unitCatalog(n int) *catalog.Catalog {
+	c, err := catalog.Uniform(n, 1)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestNewProgramEmpty(t *testing.T) {
+	if _, err := NewProgram(nil); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+func TestFlatProgram(t *testing.T) {
+	p := Flat(unitCatalog(5))
+	if p.Len() != 5 {
+		t.Fatalf("flat program length = %d", p.Len())
+	}
+	for id := catalog.ID(0); id < 5; id++ {
+		if !p.Carries(id) {
+			t.Fatalf("flat program misses %d", id)
+		}
+	}
+	if p.Carries(99) {
+		t.Fatal("program carries unknown object")
+	}
+}
+
+func TestNextOccurrence(t *testing.T) {
+	p, err := NewProgram([]catalog.ID{0, 1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		id   catalog.ID
+		from int
+		want int
+	}{
+		{0, 0, 0}, // airs immediately
+		{0, 1, 1}, // next at slot 2
+		{0, 3, 1}, // wraps to slot 0
+		{1, 2, 3}, // wraps: slots 2,3,0 then 1
+		{2, 0, 3},
+		{2, 3, 0},
+		{0, 4, 0},  // from == len wraps to 0
+		{0, -1, 1}, // negative positions normalize
+	}
+	for _, c := range cases {
+		if got := p.NextOccurrence(c.id, c.from); got != c.want {
+			t.Fatalf("NextOccurrence(%d, %d) = %d, want %d", c.id, c.from, got, c.want)
+		}
+	}
+	if got := p.NextOccurrence(9, 0); got != -1 {
+		t.Fatalf("NextOccurrence(missing) = %d", got)
+	}
+}
+
+func TestExpectedWaitFlat(t *testing.T) {
+	p := Flat(unitCatalog(10))
+	// One occurrence in a 10-slot cycle: gaps of 10, expected wait
+	// 10*9/2/10 = 4.5.
+	for id := catalog.ID(0); id < 10; id++ {
+		if got := p.ExpectedWait(id); math.Abs(got-4.5) > 1e-12 {
+			t.Fatalf("ExpectedWait(%d) = %v, want 4.5", id, got)
+		}
+	}
+	if got := p.ExpectedWait(99); got != -1 {
+		t.Fatalf("ExpectedWait(missing) = %v", got)
+	}
+}
+
+func TestExpectedWaitTwiceBroadcast(t *testing.T) {
+	// Object 0 at slots 0 and 2 of a 4-slot cycle: gaps 2,2 → wait
+	// (2*1/2 + 2*1/2)/4 = 0.5.
+	p, _ := NewProgram([]catalog.ID{0, 1, 0, 2})
+	if got := p.ExpectedWait(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("ExpectedWait = %v, want 0.5", got)
+	}
+}
+
+func TestExpectedWaitMatchesSimulation(t *testing.T) {
+	cat := unitCatalog(20)
+	disks := []Disk{
+		{Objects: cat.IDs()[:4], Freq: 4},
+		{Objects: cat.IDs()[4:12], Freq: 2},
+		{Objects: cat.IDs()[12:], Freq: 1},
+	}
+	p, err := MultiDisk(disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := rng.Zipf.Weights(20)
+	analytic := p.MeanExpectedWait(weights)
+	sampler := rng.Zipf.NewSampler(20)
+	src := rng.New(5)
+	simulated := p.SimulateWaits(src, sampler, cat.IDs(), 200000)
+	if math.Abs(analytic-simulated) > 0.05*analytic {
+		t.Fatalf("analytic wait %v vs simulated %v", analytic, simulated)
+	}
+}
+
+func TestMultiDiskFrequencies(t *testing.T) {
+	cat := unitCatalog(6)
+	p, err := MultiDisk([]Disk{
+		{Objects: cat.IDs()[:2], Freq: 2}, // hot: 2x per major cycle
+		{Objects: cat.IDs()[2:], Freq: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[catalog.ID]int{}
+	for _, id := range p.Slots {
+		counts[id]++
+	}
+	for _, id := range cat.IDs()[:2] {
+		if counts[id] != 2 {
+			t.Fatalf("hot object %d aired %d times, want 2", id, counts[id])
+		}
+	}
+	for _, id := range cat.IDs()[2:] {
+		if counts[id] != 1 {
+			t.Fatalf("cold object %d aired %d times, want 1", id, counts[id])
+		}
+	}
+	// Hot objects wait less than cold objects.
+	if p.ExpectedWait(0) >= p.ExpectedWait(3) {
+		t.Fatalf("hot wait %v not below cold wait %v", p.ExpectedWait(0), p.ExpectedWait(3))
+	}
+}
+
+func TestMultiDiskValidation(t *testing.T) {
+	cat := unitCatalog(4)
+	if _, err := MultiDisk(nil); err == nil {
+		t.Fatal("no disks accepted")
+	}
+	if _, err := MultiDisk([]Disk{{Objects: cat.IDs(), Freq: 0}}); err == nil {
+		t.Fatal("zero frequency accepted")
+	}
+	if _, err := MultiDisk([]Disk{{Objects: nil, Freq: 1}}); err == nil {
+		t.Fatal("empty disk accepted")
+	}
+	// 3 objects cannot split into 2 chunks.
+	if _, err := MultiDisk([]Disk{
+		{Objects: cat.IDs()[:3], Freq: 1},
+		{Objects: cat.IDs()[3:], Freq: 2},
+	}); err == nil {
+		t.Fatal("indivisible chunking accepted")
+	}
+}
+
+func TestMultiDiskBeatsFlatUnderSkew(t *testing.T) {
+	cat := unitCatalog(40)
+	flat := Flat(cat)
+	ids := cat.IDs()
+	multi, err := MultiDisk([]Disk{
+		{Objects: ids[:4], Freq: 4},
+		{Objects: ids[4:12], Freq: 2},
+		{Objects: ids[12:40], Freq: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := rng.Zipf.Weights(40)
+	if multi.MeanExpectedWait(weights) >= flat.MeanExpectedWait(weights) {
+		t.Fatalf("multi-disk wait %v not below flat wait %v under zipf",
+			multi.MeanExpectedWait(weights), flat.MeanExpectedWait(weights))
+	}
+	// Under uniform access flat is (weakly) better: multi-disk trades
+	// cold-object latency for hot-object latency.
+	uw := rng.Uniform.Weights(40)
+	if multi.MeanExpectedWait(uw) < flat.MeanExpectedWait(uw)-1e-9 {
+		t.Fatalf("multi-disk should not beat flat under uniform access")
+	}
+}
+
+func TestMeanExpectedWaitEdge(t *testing.T) {
+	p := Flat(unitCatalog(3))
+	if got := p.MeanExpectedWait(nil); got != 0 {
+		t.Fatalf("empty weights wait = %v", got)
+	}
+	if got := p.MeanExpectedWait([]float64{0, 0, 0}); got != 0 {
+		t.Fatalf("zero weights wait = %v", got)
+	}
+	// Weights longer than the program: missing objects cost a full cycle.
+	w := p.MeanExpectedWait([]float64{0, 0, 0, 1})
+	if w != 3 {
+		t.Fatalf("missing-object wait = %v, want cycle length 3", w)
+	}
+}
+
+func TestSimulateWaitsZero(t *testing.T) {
+	p := Flat(unitCatalog(3))
+	if got := p.SimulateWaits(rng.New(1), rng.Uniform.NewSampler(3), unitCatalog(3).IDs(), 0); got != 0 {
+		t.Fatalf("zero draws wait = %v", got)
+	}
+}

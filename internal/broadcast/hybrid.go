@@ -1,0 +1,151 @@
+package broadcast
+
+import (
+	"container/list"
+	"fmt"
+
+	"mobicache/internal/catalog"
+)
+
+// Hybrid is the push/pull channel of the paper's related work [6]
+// (Acharya, Franklin & Zdonik, "Balancing push and pull for data
+// broadcast"): most slots follow the broadcast program, but every
+// PullEvery-th slot serves the head of a pull queue fed by an explicit
+// client backchannel. A client requests via the backchannel only when the
+// broadcast would make it wait longer than Threshold slots.
+type Hybrid struct {
+	program    *Program
+	pullEvery  int
+	threshold  int
+	queue      *list.List
+	queued     map[catalog.ID]bool
+	slot       int // absolute slot counter
+	pullServed uint64
+	pushServed uint64
+}
+
+// NewHybrid builds a hybrid channel. pullEvery = n dedicates every n-th
+// slot to the pull queue (n >= 2); threshold is the wait (in slots) above
+// which clients use the backchannel.
+func NewHybrid(p *Program, pullEvery, threshold int) (*Hybrid, error) {
+	if p == nil {
+		return nil, fmt.Errorf("broadcast: nil program")
+	}
+	if pullEvery < 2 {
+		return nil, fmt.Errorf("broadcast: pullEvery %d must be >= 2", pullEvery)
+	}
+	if threshold < 0 {
+		return nil, fmt.Errorf("broadcast: negative threshold %d", threshold)
+	}
+	return &Hybrid{
+		program:   p,
+		pullEvery: pullEvery,
+		threshold: threshold,
+		queue:     list.New(),
+		queued:    make(map[catalog.ID]bool),
+	}, nil
+}
+
+// Slot returns the absolute slot counter (slots aired so far).
+func (h *Hybrid) Slot() int { return h.slot }
+
+// QueueLen returns the number of distinct objects in the pull queue.
+func (h *Hybrid) QueueLen() int { return h.queue.Len() }
+
+// PullServed and PushServed count requests satisfied by each path.
+func (h *Hybrid) PullServed() uint64 { return h.pullServed }
+
+// PushServed counts requests satisfied by the broadcast schedule.
+func (h *Hybrid) PushServed() uint64 { return h.pushServed }
+
+// programPosition maps the absolute slot counter to a position in the
+// underlying program, skipping pull slots.
+func (h *Hybrid) isPullSlot(abs int) bool {
+	return abs%h.pullEvery == h.pullEvery-1
+}
+
+// Request registers a client request arriving at the current slot and
+// returns the number of slots the client will wait until its object airs.
+// The decision rule of [6]: if the broadcast delivers the object within
+// threshold slots, wait for it (push); otherwise enqueue it on the
+// backchannel (pull), where it is served FIFO in the dedicated slots.
+func (h *Hybrid) Request(id catalog.ID) int {
+	pushWait := h.pushWait(id)
+	if pushWait >= 0 && pushWait <= h.threshold {
+		h.pushServed++
+		return pushWait
+	}
+	pullWait := h.pullWait(id)
+	if pushWait >= 0 && pushWait < pullWait {
+		h.pushServed++
+		return pushWait
+	}
+	if !h.queued[id] {
+		h.queue.PushBack(id)
+		h.queued[id] = true
+	}
+	h.pullServed++
+	return pullWait
+}
+
+// pushWait computes how many slots until the broadcast airs id, starting
+// from the current absolute slot and accounting for interleaved pull
+// slots.
+func (h *Hybrid) pushWait(id catalog.ID) int {
+	if !h.program.Carries(id) {
+		return -1
+	}
+	s := h.slot
+	// Program position airing at (or, from a pull slot, right after) s.
+	q := s - s/h.pullEvery
+	if h.isPullSlot(s) {
+		q = (s + 1) - (s+1)/h.pullEvery
+	}
+	d := h.program.NextOccurrence(id, q)
+	// Program position p airs at absolute slot p + p/(pullEvery-1): each
+	// run of pullEvery-1 program slots is followed by one pull slot.
+	target := q + d
+	absTarget := target + target/(h.pullEvery-1)
+	return absTarget - s
+}
+
+// pullWait computes how many slots until the pull queue would deliver id
+// if enqueued now (position in queue times the pull-slot spacing).
+func (h *Hybrid) pullWait(id catalog.ID) int {
+	pos := h.queue.Len() // 0-based position if appended now
+	if h.queued[id] {
+		pos = 0
+		for e := h.queue.Front(); e != nil; e = e.Next() {
+			if e.Value.(catalog.ID) == id {
+				break
+			}
+			pos++
+		}
+	}
+	// The (pos+1)-th upcoming pull slot delivers it.
+	need := pos + 1
+	// Slots until the need-th pull slot from h.slot.
+	untilFirst := (h.pullEvery - 1) - (h.slot % h.pullEvery)
+	if untilFirst < 0 {
+		untilFirst += h.pullEvery
+	}
+	return untilFirst + (need-1)*h.pullEvery
+}
+
+// Air advances one slot, returning the object aired (or -1 for an idle
+// pull slot with an empty queue).
+func (h *Hybrid) Air() catalog.ID {
+	defer func() { h.slot++ }()
+	if h.isPullSlot(h.slot) {
+		front := h.queue.Front()
+		if front == nil {
+			return -1
+		}
+		id := front.Value.(catalog.ID)
+		h.queue.Remove(front)
+		delete(h.queued, id)
+		return id
+	}
+	progPos := h.slot - (h.slot / h.pullEvery)
+	return h.program.Slots[progPos%h.program.Len()]
+}

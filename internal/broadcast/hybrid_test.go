@@ -1,0 +1,140 @@
+package broadcast
+
+import (
+	"testing"
+
+	"mobicache/internal/catalog"
+)
+
+func TestNewHybridValidation(t *testing.T) {
+	p := Flat(unitCatalog(4))
+	if _, err := NewHybrid(nil, 2, 1); err == nil {
+		t.Fatal("nil program accepted")
+	}
+	if _, err := NewHybrid(p, 1, 1); err == nil {
+		t.Fatal("pullEvery < 2 accepted")
+	}
+	if _, err := NewHybrid(p, 2, -1); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}
+
+func TestHybridAirInterleavesPullSlots(t *testing.T) {
+	p := Flat(unitCatalog(3)) // program: 0 1 2
+	h, err := NewHybrid(p, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slots: prog, prog, pull, prog, prog, pull, ...
+	var aired []catalog.ID
+	for i := 0; i < 6; i++ {
+		aired = append(aired, h.Air())
+	}
+	want := []catalog.ID{0, 1, -1, 2, 0, -1} // empty pull queue airs -1
+	for i := range want {
+		if aired[i] != want[i] {
+			t.Fatalf("aired = %v, want %v", aired, want)
+		}
+	}
+	if h.Slot() != 6 {
+		t.Fatalf("slot counter = %d", h.Slot())
+	}
+}
+
+func TestHybridPullPath(t *testing.T) {
+	// 10-object flat program, pull every 2nd slot, threshold 0: every
+	// request goes to the backchannel unless the object airs immediately.
+	p := Flat(unitCatalog(10))
+	h, err := NewHybrid(p, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := h.Request(7) // program would take a while; pulled instead
+	if wait < 0 {
+		t.Fatalf("pull wait = %d", wait)
+	}
+	if h.PullServed() != 1 {
+		t.Fatalf("pull served = %d", h.PullServed())
+	}
+	if h.QueueLen() != 1 {
+		t.Fatalf("queue length = %d", h.QueueLen())
+	}
+	// Air until the pull slot: the pulled object must appear within
+	// `wait+1` slots.
+	served := false
+	for i := 0; i <= wait; i++ {
+		if h.Air() == 7 {
+			served = true
+		}
+	}
+	if !served {
+		t.Fatalf("pulled object not aired within promised wait %d", wait)
+	}
+	if h.QueueLen() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestHybridPushPathWithinThreshold(t *testing.T) {
+	p := Flat(unitCatalog(10))
+	h, _ := NewHybrid(p, 5, 20) // generous threshold: everything pushes
+	w := h.Request(3)
+	if h.PushServed() != 1 || h.PullServed() != 0 {
+		t.Fatalf("push/pull served = %d/%d", h.PushServed(), h.PullServed())
+	}
+	// The promise must hold: object 3 airs within w+1 slots.
+	served := false
+	for i := 0; i <= w; i++ {
+		if h.Air() == 3 {
+			served = true
+		}
+	}
+	if !served {
+		t.Fatalf("pushed object not aired within promised wait %d", w)
+	}
+}
+
+func TestHybridDuplicateRequestsShareSlot(t *testing.T) {
+	p := Flat(unitCatalog(10))
+	h, _ := NewHybrid(p, 2, 0)
+	w1 := h.Request(9)
+	w2 := h.Request(9) // same object: shares the queued broadcast
+	if h.QueueLen() != 1 {
+		t.Fatalf("queue holds %d entries for one object", h.QueueLen())
+	}
+	if w2 > w1 {
+		t.Fatalf("duplicate request waits longer: %d > %d", w2, w1)
+	}
+}
+
+func TestHybridWaitPromisesHold(t *testing.T) {
+	// Property-style: across many random requests, the promised wait is
+	// always honored (the object airs no later than promised).
+	p := Flat(unitCatalog(20))
+	h, _ := NewHybrid(p, 4, 3)
+	type due struct {
+		id       catalog.ID
+		deadline int
+	}
+	var pendingReqs []due
+	served := map[int]bool{}
+	for step := 0; step < 400; step++ {
+		if step%3 == 0 {
+			id := catalog.ID(step * 7 % 20)
+			w := h.Request(id)
+			pendingReqs = append(pendingReqs, due{id: id, deadline: h.Slot() + w})
+		}
+		aired := h.Air()
+		for i := range pendingReqs {
+			if !served[i] && pendingReqs[i].id == aired && h.Slot()-1 <= pendingReqs[i].deadline {
+				served[i] = true
+			}
+		}
+		for i, d := range pendingReqs {
+			if !served[i] && h.Slot() > d.deadline {
+				t.Fatalf("request %d for object %d missed its promised deadline %d (slot %d)",
+					i, d.id, d.deadline, h.Slot())
+			}
+		}
+	}
+}

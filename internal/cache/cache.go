@@ -1,0 +1,303 @@
+// Package cache implements the base-station cache: a byte-capacity store
+// of object copies, each carrying the version it holds and a recency score
+// that decays as the remote master is updated (paper Section 3.2).
+//
+// The paper's main experiments assume "the base station can cache a copy
+// of every object that is requested"; an unlimited cache (capacity 0)
+// models that. The paper's future-work section asks for caching policies
+// when space is limited; the package therefore also provides pluggable
+// replacement policies (LRU, LFU, largest-size-first, Greedy-Dual-Size,
+// and stalest-first), which the replacement study in the experiment
+// harness compares.
+package cache
+
+import (
+	"errors"
+	"fmt"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/recency"
+)
+
+// Entry is the cached state of one object.
+type Entry struct {
+	ID         catalog.ID
+	Size       int64
+	Version    uint64  // server version this copy reflects
+	Recency    float64 // decayed recency score in (0, 1]
+	Lag        int     // master updates missed since download
+	LastAccess float64 // logical time of last Get/Put
+	FetchedAt  float64 // logical time the copy was downloaded/refreshed
+	Hits       uint64  // number of Gets served from this entry
+	hindex     int     // policy heap index; -1 when not heap-managed
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits      uint64 // Gets that found an entry
+	FreshHits uint64 // Gets that found an up-to-date entry
+	StaleHits uint64 // Gets that found a stale entry
+	Misses    uint64 // Gets that found nothing
+	Inserts   uint64
+	Refreshes uint64
+	Evictions uint64
+}
+
+// Cache is a single-owner (not concurrency-safe) base-station cache. The
+// base station is a single simulated entity; confining the cache to its
+// goroutine follows the simulation design rather than locking every op.
+type Cache struct {
+	capacity int64 // 0 = unlimited
+	used     int64
+	entries  map[catalog.ID]*Entry
+	decay    recency.Decay
+	policy   Policy
+	stats    Stats
+}
+
+// ErrTooLarge is returned when an object cannot fit even in an empty
+// cache.
+var ErrTooLarge = errors.New("cache: object larger than cache capacity")
+
+// New creates a cache. capacity 0 means unlimited (the paper's default
+// assumption); policy may be nil only for an unlimited cache.
+func New(capacity int64, decay recency.Decay, policy Policy) (*Cache, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: negative capacity %d", capacity)
+	}
+	if capacity > 0 && policy == nil {
+		return nil, errors.New("cache: bounded cache requires a replacement policy")
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[catalog.ID]*Entry),
+		decay:    decay,
+		policy:   policy,
+	}, nil
+}
+
+// MustNew is New for arguments known to be valid; it panics on error.
+func MustNew(capacity int64, decay recency.Decay, policy Policy) *Cache {
+	c, err := New(capacity, decay, policy)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Unlimited creates the paper's default cache: unbounded, C=1 decay.
+func Unlimited() *Cache {
+	return MustNew(0, recency.DefaultDecay, nil)
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Used returns the total size of cached entries.
+func (c *Cache) Used() int64 { return c.used }
+
+// Capacity returns the configured capacity (0 = unlimited).
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Get looks up an object, recording hit/miss statistics and access
+// recency for the replacement policy. now is the logical access time.
+func (c *Cache) Get(id catalog.ID, now float64) (*Entry, bool) {
+	e, ok := c.entries[id]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	if e.Lag == 0 {
+		c.stats.FreshHits++
+	} else {
+		c.stats.StaleHits++
+	}
+	e.LastAccess = now
+	e.Hits++
+	if c.policy != nil {
+		c.policy.OnAccess(e)
+	}
+	return e, true
+}
+
+// Peek looks up an object without touching statistics or access state.
+func (c *Cache) Peek(id catalog.ID) (*Entry, bool) {
+	e, ok := c.entries[id]
+	return e, ok
+}
+
+// Put inserts a freshly downloaded copy (recency 1.0) of the object,
+// evicting per the replacement policy if space is needed. If the object is
+// already cached this is equivalent to Refresh. version is the server
+// version the copy reflects.
+func (c *Cache) Put(id catalog.ID, size int64, version uint64, now float64) error {
+	if size <= 0 {
+		return fmt.Errorf("cache: non-positive object size %d", size)
+	}
+	if e, ok := c.entries[id]; ok {
+		e.Version = version
+		e.Recency = recency.Fresh
+		e.Lag = 0
+		e.LastAccess = now
+		e.FetchedAt = now
+		c.stats.Refreshes++
+		if c.policy != nil {
+			c.policy.OnAccess(e)
+		}
+		return nil
+	}
+	if c.capacity > 0 {
+		if size > c.capacity {
+			return fmt.Errorf("%w: size %d > capacity %d", ErrTooLarge, size, c.capacity)
+		}
+		for c.used+size > c.capacity {
+			victim, ok := c.policy.Victim()
+			if !ok {
+				// Unreachable while used > 0; guards a buggy policy.
+				return fmt.Errorf("cache: policy yielded no victim with %d/%d used", c.used, c.capacity)
+			}
+			c.evict(victim)
+		}
+	}
+	e := &Entry{
+		ID:         id,
+		Size:       size,
+		Version:    version,
+		Recency:    recency.Fresh,
+		LastAccess: now,
+		FetchedAt:  now,
+		hindex:     -1,
+	}
+	c.entries[id] = e
+	c.used += size
+	c.stats.Inserts++
+	if c.policy != nil {
+		c.policy.OnInsert(e)
+	}
+	return nil
+}
+
+// PutCopy installs a copy of an entry from another cache (cooperative
+// caching between base stations), preserving its version, recency, and
+// lag rather than treating it as a fresh download. Eviction follows the
+// replacement policy exactly as in Put.
+func (c *Cache) PutCopy(src *Entry, now float64) error {
+	if src == nil {
+		return errors.New("cache: nil source entry")
+	}
+	if err := c.Put(src.ID, src.Size, src.Version, now); err != nil {
+		return err
+	}
+	e := c.entries[src.ID]
+	e.Recency = src.Recency
+	e.Lag = src.Lag
+	e.FetchedAt = src.FetchedAt
+	if c.policy != nil {
+		c.policy.OnRecencyChange(e)
+	}
+	return nil
+}
+
+// Refresh marks an already-cached object as holding the given server
+// version with full recency. It reports whether the object was cached.
+func (c *Cache) Refresh(id catalog.ID, version uint64, now float64) bool {
+	e, ok := c.entries[id]
+	if !ok {
+		return false
+	}
+	e.Version = version
+	e.Recency = recency.Fresh
+	e.Lag = 0
+	e.LastAccess = now
+	e.FetchedAt = now
+	c.stats.Refreshes++
+	if c.policy != nil {
+		c.policy.OnAccess(e)
+	}
+	return true
+}
+
+// OnMasterUpdate records that the remote master of id changed: the cached
+// copy (if any) becomes one update more stale and its recency decays.
+func (c *Cache) OnMasterUpdate(id catalog.ID) {
+	e, ok := c.entries[id]
+	if !ok {
+		return
+	}
+	e.Lag++
+	e.Recency = c.decay.Next(e.Recency)
+	if c.policy != nil {
+		c.policy.OnRecencyChange(e)
+	}
+}
+
+// Invalidate drops the cached copy of id if present (the invalidation-
+// report strategy of Barbara & Imielinski discussed in related work). It
+// reports whether a copy was dropped.
+func (c *Cache) Invalidate(id catalog.ID) bool {
+	if _, ok := c.entries[id]; !ok {
+		return false
+	}
+	c.evict(id)
+	return true
+}
+
+// Recency returns the cached copy's recency score, or 0 if the object is
+// not cached (an absent object has no usable copy).
+func (c *Cache) Recency(id catalog.ID) float64 {
+	if e, ok := c.entries[id]; ok {
+		return e.Recency
+	}
+	return 0
+}
+
+// Stale reports whether the cached copy of id is stale; absent objects
+// report true (they cannot be served at all without a download).
+func (c *Cache) Stale(id catalog.ID) bool {
+	e, ok := c.entries[id]
+	return !ok || e.Lag > 0
+}
+
+// Contains reports whether id is cached.
+func (c *Cache) Contains(id catalog.ID) bool {
+	_, ok := c.entries[id]
+	return ok
+}
+
+// Each calls fn for every entry in unspecified order.
+func (c *Cache) Each(fn func(*Entry)) {
+	for _, e := range c.entries {
+		fn(e)
+	}
+}
+
+// MeanRecency returns the mean recency score over all cached entries, or
+// 0 for an empty cache. This is the cache-freshness measure of the
+// asynchronous-refresh literature the paper contrasts with.
+func (c *Cache) MeanRecency() float64 {
+	if len(c.entries) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range c.entries {
+		sum += e.Recency
+	}
+	return sum / float64(len(c.entries))
+}
+
+func (c *Cache) evict(id catalog.ID) {
+	e := c.entries[id]
+	if e == nil {
+		return
+	}
+	delete(c.entries, id)
+	c.used -= e.Size
+	c.stats.Evictions++
+	if c.policy != nil {
+		c.policy.OnEvict(e)
+	}
+}

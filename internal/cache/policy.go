@@ -1,0 +1,226 @@
+package cache
+
+import (
+	"container/heap"
+	"container/list"
+
+	"mobicache/internal/catalog"
+)
+
+// Policy is a cache replacement policy. The cache notifies the policy of
+// inserts, accesses, recency changes, and evictions; Victim asks for the
+// next entry to evict. Implementations own their bookkeeping structures.
+type Policy interface {
+	// Name returns a short identifier used in experiment reports.
+	Name() string
+	OnInsert(*Entry)
+	OnAccess(*Entry)
+	OnRecencyChange(*Entry)
+	OnEvict(*Entry)
+	// Victim returns the ID to evict next and whether one exists.
+	Victim() (catalog.ID, bool)
+}
+
+// --- LRU ---
+
+// LRU evicts the least recently used entry. O(1) per operation.
+type LRU struct {
+	order *list.List // front = most recent
+	elem  map[catalog.ID]*list.Element
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU {
+	return &LRU{order: list.New(), elem: make(map[catalog.ID]*list.Element)}
+}
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "lru" }
+
+// OnInsert implements Policy.
+func (p *LRU) OnInsert(e *Entry) { p.elem[e.ID] = p.order.PushFront(e.ID) }
+
+// OnAccess implements Policy.
+func (p *LRU) OnAccess(e *Entry) {
+	if el, ok := p.elem[e.ID]; ok {
+		p.order.MoveToFront(el)
+	}
+}
+
+// OnRecencyChange implements Policy (no-op for LRU).
+func (p *LRU) OnRecencyChange(*Entry) {}
+
+// OnEvict implements Policy.
+func (p *LRU) OnEvict(e *Entry) {
+	if el, ok := p.elem[e.ID]; ok {
+		p.order.Remove(el)
+		delete(p.elem, e.ID)
+	}
+}
+
+// Victim implements Policy.
+func (p *LRU) Victim() (catalog.ID, bool) {
+	back := p.order.Back()
+	if back == nil {
+		return 0, false
+	}
+	return back.Value.(catalog.ID), true
+}
+
+// --- heap-backed priority policies ---
+
+// entryHeap is a min-heap of entries ordered by a priority function:
+// Victim pops the minimum-priority entry.
+type entryHeap struct {
+	entries []*Entry
+	prio    func(*Entry) float64
+}
+
+func (h *entryHeap) Len() int { return len(h.entries) }
+func (h *entryHeap) Less(i, j int) bool {
+	pi, pj := h.prio(h.entries[i]), h.prio(h.entries[j])
+	if pi != pj {
+		return pi < pj
+	}
+	return h.entries[i].ID < h.entries[j].ID // deterministic ties
+}
+func (h *entryHeap) Swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.entries[i].hindex = i
+	h.entries[j].hindex = j
+}
+func (h *entryHeap) Push(x any) {
+	e := x.(*Entry)
+	e.hindex = len(h.entries)
+	h.entries = append(h.entries, e)
+}
+func (h *entryHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.hindex = -1
+	h.entries = old[:n-1]
+	return e
+}
+
+// heapPolicy is the shared mechanics of heap-ordered policies.
+type heapPolicy struct {
+	name     string
+	h        entryHeap
+	onAccess func(p *heapPolicy, e *Entry)
+	onRec    func(p *heapPolicy, e *Entry)
+}
+
+// Name implements Policy.
+func (p *heapPolicy) Name() string { return p.name }
+
+// OnInsert implements Policy.
+func (p *heapPolicy) OnInsert(e *Entry) { heap.Push(&p.h, e) }
+
+// OnAccess implements Policy.
+func (p *heapPolicy) OnAccess(e *Entry) {
+	if p.onAccess != nil {
+		p.onAccess(p, e)
+	}
+}
+
+// OnRecencyChange implements Policy.
+func (p *heapPolicy) OnRecencyChange(e *Entry) {
+	if p.onRec != nil {
+		p.onRec(p, e)
+	}
+}
+
+// OnEvict implements Policy.
+func (p *heapPolicy) OnEvict(e *Entry) {
+	if e.hindex >= 0 && e.hindex < len(p.h.entries) && p.h.entries[e.hindex] == e {
+		heap.Remove(&p.h, e.hindex)
+	}
+}
+
+// Victim implements Policy.
+func (p *heapPolicy) Victim() (catalog.ID, bool) {
+	if len(p.h.entries) == 0 {
+		return 0, false
+	}
+	return p.h.entries[0].ID, true
+}
+
+func (p *heapPolicy) fix(e *Entry) {
+	if e.hindex >= 0 && e.hindex < len(p.h.entries) && p.h.entries[e.hindex] == e {
+		heap.Fix(&p.h, e.hindex)
+	}
+}
+
+// NewLFU returns a policy evicting the least frequently used entry.
+func NewLFU() Policy {
+	p := &heapPolicy{name: "lfu"}
+	p.h.prio = func(e *Entry) float64 { return float64(e.Hits) }
+	p.onAccess = func(p *heapPolicy, e *Entry) { p.fix(e) }
+	return p
+}
+
+// NewSizeBased returns a policy evicting the largest entry first (the
+// classic SIZE policy from web caching: large objects pay for many small
+// ones).
+func NewSizeBased() Policy {
+	p := &heapPolicy{name: "size"}
+	p.h.prio = func(e *Entry) float64 { return -float64(e.Size) }
+	return p
+}
+
+// NewStalestFirst returns a policy evicting the lowest-recency entry
+// first: a stale copy contributes the least client score, so it is the
+// cheapest to lose. This is the recency-aware policy suggested by the
+// paper's future-work discussion.
+func NewStalestFirst() Policy {
+	p := &heapPolicy{name: "stalest"}
+	p.h.prio = func(e *Entry) float64 { return e.Recency }
+	p.onRec = func(p *heapPolicy, e *Entry) { p.fix(e) }
+	return p
+}
+
+// GDS implements Greedy-Dual-Size with cost 1 (Cao & Irani): each entry
+// carries H = L + cost/size; eviction takes the smallest H and raises the
+// global floor L to it, so recently re-accessed and small objects survive.
+type GDS struct {
+	heapPolicy
+	floor float64
+	hval  map[catalog.ID]float64
+}
+
+// NewGDS returns a Greedy-Dual-Size policy.
+func NewGDS() *GDS {
+	g := &GDS{hval: make(map[catalog.ID]float64)}
+	g.name = "gds"
+	g.h.prio = func(e *Entry) float64 { return g.hval[e.ID] }
+	return g
+}
+
+// OnInsert implements Policy.
+func (g *GDS) OnInsert(e *Entry) {
+	g.hval[e.ID] = g.floor + 1/float64(e.Size)
+	g.heapPolicy.OnInsert(e)
+}
+
+// OnAccess implements Policy.
+func (g *GDS) OnAccess(e *Entry) {
+	g.hval[e.ID] = g.floor + 1/float64(e.Size)
+	g.fix(e)
+}
+
+// OnEvict implements Policy.
+func (g *GDS) OnEvict(e *Entry) {
+	if h, ok := g.hval[e.ID]; ok && h > g.floor {
+		g.floor = h
+	}
+	delete(g.hval, e.ID)
+	g.heapPolicy.OnEvict(e)
+}
+
+// Policies returns one instance of every replacement policy, for the
+// replacement study.
+func Policies() []Policy {
+	return []Policy{NewLRU(), NewLFU(), NewSizeBased(), NewStalestFirst(), NewGDS()}
+}

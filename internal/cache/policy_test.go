@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"testing"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/recency"
+)
+
+func TestLRUVictimOrder(t *testing.T) {
+	p := NewLRU()
+	c := MustNew(100, recency.DefaultDecay, p)
+	_ = c.Put(1, 1, 1, 0)
+	_ = c.Put(2, 1, 1, 1)
+	_ = c.Put(3, 1, 1, 2)
+	c.Get(1, 3) // order now (MRU→LRU): 1, 3, 2
+	if v, ok := p.Victim(); !ok || v != 2 {
+		t.Fatalf("victim = %v,%v, want 2", v, ok)
+	}
+	c.Invalidate(2)
+	if v, ok := p.Victim(); !ok || v != 3 {
+		t.Fatalf("victim after evicting 2 = %v,%v, want 3", v, ok)
+	}
+}
+
+func TestLRUEmptyVictim(t *testing.T) {
+	p := NewLRU()
+	if _, ok := p.Victim(); ok {
+		t.Fatal("empty LRU returned a victim")
+	}
+}
+
+func TestLFUVictim(t *testing.T) {
+	p := NewLFU()
+	c := MustNew(100, recency.DefaultDecay, p)
+	_ = c.Put(1, 1, 1, 0)
+	_ = c.Put(2, 1, 1, 0)
+	_ = c.Put(3, 1, 1, 0)
+	c.Get(1, 1)
+	c.Get(1, 2)
+	c.Get(3, 3)
+	// Hits: 1→2, 2→0, 3→1.
+	if v, ok := p.Victim(); !ok || v != 2 {
+		t.Fatalf("LFU victim = %v,%v, want 2", v, ok)
+	}
+}
+
+func TestSizeBasedVictim(t *testing.T) {
+	p := NewSizeBased()
+	c := MustNew(100, recency.DefaultDecay, p)
+	_ = c.Put(1, 5, 1, 0)
+	_ = c.Put(2, 9, 1, 0)
+	_ = c.Put(3, 2, 1, 0)
+	if v, ok := p.Victim(); !ok || v != 2 {
+		t.Fatalf("SIZE victim = %v,%v, want 2 (largest)", v, ok)
+	}
+}
+
+func TestStalestFirstVictim(t *testing.T) {
+	p := NewStalestFirst()
+	c := MustNew(100, recency.DefaultDecay, p)
+	_ = c.Put(1, 1, 1, 0)
+	_ = c.Put(2, 1, 1, 0)
+	_ = c.Put(3, 1, 1, 0)
+	c.OnMasterUpdate(2)
+	c.OnMasterUpdate(2)
+	c.OnMasterUpdate(3)
+	// Recency: 1→1.0, 2→1/3, 3→1/2.
+	if v, ok := p.Victim(); !ok || v != 2 {
+		t.Fatalf("stalest victim = %v,%v, want 2", v, ok)
+	}
+	// Refreshing 2 should move the victim to 3.
+	c.Refresh(2, 5, 1)
+	p.OnRecencyChange(mustPeek(t, c, 2))
+	if v, ok := p.Victim(); !ok || v != 3 {
+		t.Fatalf("victim after refresh = %v,%v, want 3", v, ok)
+	}
+}
+
+func TestGDSPrefersSmallAndRecent(t *testing.T) {
+	p := NewGDS()
+	c := MustNew(100, recency.DefaultDecay, p)
+	_ = c.Put(1, 10, 1, 0) // H = 0.1
+	_ = c.Put(2, 2, 1, 0)  // H = 0.5
+	if v, ok := p.Victim(); !ok || v != 1 {
+		t.Fatalf("GDS victim = %v,%v, want 1 (large)", v, ok)
+	}
+	// Evict 1; floor rises to 0.1. New same-size object should now carry
+	// H = floor + 1/size and still lose to an accessed small object.
+	c.Invalidate(1)
+	_ = c.Put(3, 10, 1, 1) // H = 0.1 + 0.1 = 0.2
+	c.Get(2, 2)            // refreshes 2's H to 0.1 + 0.5 = 0.6
+	if v, ok := p.Victim(); !ok || v != 3 {
+		t.Fatalf("GDS victim = %v,%v, want 3", v, ok)
+	}
+}
+
+func TestPoliciesNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Policies() {
+		if p.Name() == "" {
+			t.Fatal("policy with empty name")
+		}
+		if seen[p.Name()] {
+			t.Fatalf("duplicate policy name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("expected 5 policies, got %d", len(seen))
+	}
+}
+
+func TestHeapPolicyEvictUntracked(t *testing.T) {
+	// Evicting an entry not tracked by the heap must not panic.
+	p := NewLFU()
+	e := &Entry{ID: 1, Size: 1, hindex: -1}
+	p.OnEvict(e)
+	if _, ok := p.Victim(); ok {
+		t.Fatal("empty heap policy returned victim")
+	}
+}
+
+func TestHeapPolicyDeterministicTies(t *testing.T) {
+	p := NewLFU()
+	c := MustNew(100, recency.DefaultDecay, p)
+	_ = c.Put(5, 1, 1, 0)
+	_ = c.Put(3, 1, 1, 0)
+	_ = c.Put(4, 1, 1, 0)
+	// All have 0 hits; tie broken by smallest ID.
+	if v, ok := p.Victim(); !ok || v != 3 {
+		t.Fatalf("tie victim = %v,%v, want 3", v, ok)
+	}
+}
+
+func mustPeek(t *testing.T, c *Cache, id catalog.ID) *Entry {
+	t.Helper()
+	e, ok := c.Peek(id)
+	if !ok {
+		t.Fatalf("object %d not cached", id)
+	}
+	return e
+}

@@ -1,0 +1,105 @@
+// Package catalog models the universe of remote data objects: their
+// identities, sizes, and server-side update schedules. A Catalog is the
+// shared vocabulary between the remote servers (which update objects), the
+// base station cache (which stores copies), and the workload generators
+// (which request them).
+package catalog
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ID identifies an object. IDs are dense: a catalog of n objects uses IDs
+// 0..n-1, which lets components index per-object state with slices.
+type ID int
+
+// Object is immutable object metadata.
+type Object struct {
+	ID   ID
+	Size int64 // in the paper's abstract "units of data"
+}
+
+// Catalog is an immutable set of objects.
+type Catalog struct {
+	objects   []Object
+	totalSize int64
+	maxSize   int64
+}
+
+// ErrEmptyCatalog is returned when constructing a catalog with no objects.
+var ErrEmptyCatalog = errors.New("catalog: no objects")
+
+// New builds a catalog of len(sizes) objects with the given sizes.
+func New(sizes []int64) (*Catalog, error) {
+	if len(sizes) == 0 {
+		return nil, ErrEmptyCatalog
+	}
+	c := &Catalog{objects: make([]Object, len(sizes))}
+	for i, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("catalog: object %d has non-positive size %d", i, s)
+		}
+		c.objects[i] = Object{ID: ID(i), Size: s}
+		c.totalSize += s
+		if s > c.maxSize {
+			c.maxSize = s
+		}
+	}
+	return c, nil
+}
+
+// MustNew is New for sizes known to be valid; it panics on error.
+func MustNew(sizes []int64) *Catalog {
+	c, err := New(sizes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Uniform builds a catalog of n objects all of the given size (the paper's
+// Section 3 setup uses 500 unit-size objects).
+func Uniform(n int, size int64) (*Catalog, error) {
+	if n <= 0 {
+		return nil, ErrEmptyCatalog
+	}
+	sizes := make([]int64, n)
+	for i := range sizes {
+		sizes[i] = size
+	}
+	return New(sizes)
+}
+
+// Len returns the number of objects.
+func (c *Catalog) Len() int { return len(c.objects) }
+
+// Object returns object metadata by ID. It panics on an out-of-range ID (a
+// programming error: IDs are produced by the catalog itself).
+func (c *Catalog) Object(id ID) Object {
+	return c.objects[id]
+}
+
+// Size returns the size of the object with the given ID.
+func (c *Catalog) Size(id ID) int64 { return c.objects[id].Size }
+
+// TotalSize returns the sum of all object sizes.
+func (c *Catalog) TotalSize() int64 { return c.totalSize }
+
+// MaxSize returns the largest object size.
+func (c *Catalog) MaxSize() int64 { return c.maxSize }
+
+// IDs returns all object IDs in ascending order. The slice is fresh and
+// owned by the caller.
+func (c *Catalog) IDs() []ID {
+	ids := make([]ID, len(c.objects))
+	for i := range ids {
+		ids[i] = ID(i)
+	}
+	return ids
+}
+
+// Valid reports whether id names an object in this catalog.
+func (c *Catalog) Valid(id ID) bool {
+	return id >= 0 && int(id) < len(c.objects)
+}

@@ -1,0 +1,177 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+
+	"mobicache/internal/rng"
+)
+
+func TestNew(t *testing.T) {
+	c, err := New([]int64{3, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if c.TotalSize() != 8 {
+		t.Fatalf("TotalSize = %d, want 8", c.TotalSize())
+	}
+	if c.MaxSize() != 4 {
+		t.Fatalf("MaxSize = %d, want 4", c.MaxSize())
+	}
+	if got := c.Object(1); got.ID != 1 || got.Size != 1 {
+		t.Fatalf("Object(1) = %+v", got)
+	}
+	if c.Size(2) != 4 {
+		t.Fatalf("Size(2) = %d, want 4", c.Size(2))
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrEmptyCatalog) {
+		t.Fatalf("New(nil) error = %v, want ErrEmptyCatalog", err)
+	}
+	if _, err := New([]int64{1, 0}); err == nil {
+		t.Fatal("New with zero size succeeded")
+	}
+	if _, err := New([]int64{-1}); err == nil {
+		t.Fatal("New with negative size succeeded")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(nil) did not panic")
+		}
+	}()
+	MustNew(nil)
+}
+
+func TestUniform(t *testing.T) {
+	c, err := Uniform(500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 500 || c.TotalSize() != 500 {
+		t.Fatalf("Uniform(500,1): len=%d total=%d", c.Len(), c.TotalSize())
+	}
+	if _, err := Uniform(0, 1); !errors.Is(err, ErrEmptyCatalog) {
+		t.Fatalf("Uniform(0,1) error = %v", err)
+	}
+}
+
+func TestIDsAndValid(t *testing.T) {
+	c := MustNew([]int64{1, 2})
+	ids := c.IDs()
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if !c.Valid(0) || !c.Valid(1) {
+		t.Fatal("valid IDs reported invalid")
+	}
+	if c.Valid(-1) || c.Valid(2) {
+		t.Fatal("invalid IDs reported valid")
+	}
+	// Returned slice is a copy: mutating it must not affect the catalog.
+	ids[0] = 99
+	if c.IDs()[0] != 0 {
+		t.Fatal("IDs() exposed internal state")
+	}
+}
+
+func TestPeriodicAll(t *testing.T) {
+	c := MustNew([]int64{1, 1, 1})
+	s := NewPeriodicAll(c, 5)
+	if got := s.UpdatedAt(0); len(got) != 3 {
+		t.Fatalf("tick 0: %d updates, want 3", len(got))
+	}
+	for tick := 1; tick < 5; tick++ {
+		if got := s.UpdatedAt(tick); len(got) != 0 {
+			t.Fatalf("tick %d: %d updates, want 0", tick, len(got))
+		}
+	}
+	if got := s.UpdatedAt(5); len(got) != 3 {
+		t.Fatalf("tick 5: %d updates, want 3", len(got))
+	}
+	if s.Period() != 5 {
+		t.Fatalf("Period = %v", s.Period())
+	}
+}
+
+func TestPeriodicAllBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPeriodicAll(0) did not panic")
+		}
+	}()
+	NewPeriodicAll(MustNew([]int64{1}), 0)
+}
+
+func TestStaggeredCoversAllOncePerPeriod(t *testing.T) {
+	c := MustNew(make64(10, 1))
+	s := NewStaggered(c, 3)
+	counts := make(map[ID]int)
+	for tick := 0; tick < 3; tick++ {
+		for _, id := range s.UpdatedAt(tick) {
+			counts[id]++
+		}
+	}
+	if len(counts) != 10 {
+		t.Fatalf("staggered schedule covered %d objects in one period, want 10", len(counts))
+	}
+	for id, n := range counts {
+		if n != 1 {
+			t.Fatalf("object %d updated %d times in one period", id, n)
+		}
+	}
+	if s.Period() != 3 {
+		t.Fatalf("Period = %v", s.Period())
+	}
+}
+
+func TestPoissonScheduleRate(t *testing.T) {
+	c := MustNew(make64(100, 1))
+	s := NewPoissonSchedule(c, 10, rng.New(7))
+	total := 0
+	const ticks = 2000
+	for tick := 0; tick < ticks; tick++ {
+		total += len(s.UpdatedAt(tick))
+	}
+	// Expected: 100 objects * 2000 ticks / period 10 = 20000 updates.
+	if total < 18000 || total > 22000 {
+		t.Fatalf("poisson schedule produced %d updates, want ~20000", total)
+	}
+	if s.Period() != 10 {
+		t.Fatalf("Period = %v", s.Period())
+	}
+}
+
+func TestPoissonScheduleBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPoissonSchedule(0.5) did not panic")
+		}
+	}()
+	NewPoissonSchedule(MustNew([]int64{1}), 0.5, rng.New(1))
+}
+
+func TestNeverSchedule(t *testing.T) {
+	var n Never
+	if got := n.UpdatedAt(0); len(got) != 0 {
+		t.Fatalf("Never.UpdatedAt = %v", got)
+	}
+	if n.Period() != 0 {
+		t.Fatalf("Never.Period = %v", n.Period())
+	}
+}
+
+func make64(n int, v int64) []int64 {
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}

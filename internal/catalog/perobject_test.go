@@ -1,0 +1,48 @@
+package catalog
+
+import "testing"
+
+func TestNewPerObjectValidation(t *testing.T) {
+	cat := MustNew([]int64{1, 1, 1})
+	if _, err := NewPerObject(cat, []int{1, 2}); err == nil {
+		t.Fatal("wrong period count accepted")
+	}
+	if _, err := NewPerObject(cat, []int{1, 0, 2}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestPerObjectSchedule(t *testing.T) {
+	cat := MustNew([]int64{1, 1, 1})
+	s, err := NewPerObject(cat, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.UpdatedAt(0); len(got) != 0 {
+		t.Fatalf("tick 0 updated %v, want none", got)
+	}
+	counts := map[ID]int{}
+	for tick := 1; tick <= 6; tick++ {
+		for _, id := range s.UpdatedAt(tick) {
+			counts[id]++
+		}
+	}
+	// Over 6 ticks: object 0 every tick (6), object 1 every 2 (3),
+	// object 2 every 3 (2).
+	if counts[0] != 6 || counts[1] != 3 || counts[2] != 2 {
+		t.Fatalf("update counts = %v, want map[0:6 1:3 2:2]", counts)
+	}
+	if got := s.Period(); got != 2 {
+		t.Fatalf("mean period = %v, want 2", got)
+	}
+}
+
+func TestPerObjectIsolatedFromInput(t *testing.T) {
+	cat := MustNew([]int64{1})
+	periods := []int{5}
+	s, _ := NewPerObject(cat, periods)
+	periods[0] = 1 // mutating the input must not affect the schedule
+	if got := s.UpdatedAt(1); len(got) != 0 {
+		t.Fatalf("schedule observed input mutation: %v", got)
+	}
+}

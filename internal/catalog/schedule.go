@@ -1,0 +1,172 @@
+package catalog
+
+import (
+	"fmt"
+
+	"mobicache/internal/rng"
+)
+
+// UpdateSchedule decides, tick by tick, which objects a remote server
+// updates. The paper's Section 3 experiments use simultaneous periodic
+// updates ("all objects are updated ... once every 5 time units"); the
+// package also provides staggered-periodic and Poisson schedules so that
+// the sensitivity of the results to the update process can be studied.
+type UpdateSchedule interface {
+	// UpdatedAt returns the IDs updated at the given tick. The returned
+	// slice is valid until the next call.
+	UpdatedAt(tick int) []ID
+	// Period returns the mean ticks between updates of a single object
+	// (used for reporting), or 0 if not meaningful.
+	Period() float64
+}
+
+// PeriodicAll updates every object simultaneously every period ticks,
+// starting at tick 0 — the paper's Figure 2/3 schedule.
+type PeriodicAll struct {
+	catalog *Catalog
+	period  int
+	buf     []ID
+}
+
+// NewPeriodicAll constructs the paper's simultaneous periodic schedule.
+// It panics if period is not positive.
+func NewPeriodicAll(c *Catalog, period int) *PeriodicAll {
+	if period <= 0 {
+		panic(fmt.Sprintf("catalog: periodic update period %d must be positive", period))
+	}
+	return &PeriodicAll{catalog: c, period: period}
+}
+
+// UpdatedAt implements UpdateSchedule.
+func (p *PeriodicAll) UpdatedAt(tick int) []ID {
+	if tick%p.period != 0 {
+		return nil
+	}
+	if p.buf == nil {
+		p.buf = p.catalog.IDs()
+	}
+	return p.buf
+}
+
+// Period implements UpdateSchedule.
+func (p *PeriodicAll) Period() float64 { return float64(p.period) }
+
+// Staggered updates each object every period ticks, with object phases
+// spread evenly so roughly n/period objects update per tick.
+type Staggered struct {
+	catalog *Catalog
+	period  int
+	buf     []ID
+}
+
+// NewStaggered constructs a staggered periodic schedule. It panics if
+// period is not positive.
+func NewStaggered(c *Catalog, period int) *Staggered {
+	if period <= 0 {
+		panic(fmt.Sprintf("catalog: staggered update period %d must be positive", period))
+	}
+	return &Staggered{catalog: c, period: period}
+}
+
+// UpdatedAt implements UpdateSchedule.
+func (s *Staggered) UpdatedAt(tick int) []ID {
+	s.buf = s.buf[:0]
+	phase := tick % s.period
+	for i := phase; i < s.catalog.Len(); i += s.period {
+		s.buf = append(s.buf, ID(i))
+	}
+	return s.buf
+}
+
+// Period implements UpdateSchedule.
+func (s *Staggered) Period() float64 { return float64(s.period) }
+
+// PoissonSchedule updates each object independently with probability
+// 1/period per tick (a geometric inter-update time — the discrete analogue
+// of Poisson updates at rate 1/period).
+type PoissonSchedule struct {
+	catalog *Catalog
+	period  float64
+	src     *rng.Source
+	buf     []ID
+}
+
+// NewPoissonSchedule constructs an independent random update schedule. It
+// panics if period < 1.
+func NewPoissonSchedule(c *Catalog, period float64, src *rng.Source) *PoissonSchedule {
+	if period < 1 {
+		panic(fmt.Sprintf("catalog: poisson update period %v must be >= 1", period))
+	}
+	return &PoissonSchedule{catalog: c, period: period, src: src}
+}
+
+// UpdatedAt implements UpdateSchedule.
+func (p *PoissonSchedule) UpdatedAt(tick int) []ID {
+	p.buf = p.buf[:0]
+	prob := 1 / p.period
+	for i := 0; i < p.catalog.Len(); i++ {
+		if p.src.Bernoulli(prob) {
+			p.buf = append(p.buf, ID(i))
+		}
+	}
+	return p.buf
+}
+
+// Period implements UpdateSchedule.
+func (p *PoissonSchedule) Period() float64 { return p.period }
+
+// PerObject updates each object on its own period (object i every
+// periods[i] ticks, starting at tick periods[i]). Heterogeneous update
+// rates are where request-aware refresh pays most: a blind refresher
+// wastes bandwidth on objects that rarely change.
+type PerObject struct {
+	periods []int
+	buf     []ID
+}
+
+// NewPerObject validates per-object periods (one per catalog object, all
+// positive).
+func NewPerObject(c *Catalog, periods []int) (*PerObject, error) {
+	if len(periods) != c.Len() {
+		return nil, fmt.Errorf("catalog: %d periods for %d objects", len(periods), c.Len())
+	}
+	for i, p := range periods {
+		if p <= 0 {
+			return nil, fmt.Errorf("catalog: object %d period %d must be positive", i, p)
+		}
+	}
+	return &PerObject{periods: append([]int(nil), periods...)}, nil
+}
+
+// UpdatedAt implements UpdateSchedule.
+func (p *PerObject) UpdatedAt(tick int) []ID {
+	p.buf = p.buf[:0]
+	if tick == 0 {
+		return p.buf // periods start counting from tick 0
+	}
+	for i, period := range p.periods {
+		if tick%period == 0 {
+			p.buf = append(p.buf, ID(i))
+		}
+	}
+	return p.buf
+}
+
+// Period implements UpdateSchedule (mean period across objects).
+func (p *PerObject) Period() float64 {
+	sum := 0
+	for _, v := range p.periods {
+		sum += v
+	}
+	return float64(sum) / float64(len(p.periods))
+}
+
+// Never is a schedule under which no object is ever updated (useful for
+// isolating cache behaviour in tests).
+type Never struct{}
+
+// UpdatedAt implements UpdateSchedule.
+func (Never) UpdatedAt(int) []ID { return nil }
+
+// Period implements UpdateSchedule.
+func (Never) Period() float64 { return 0 }

@@ -1,0 +1,223 @@
+package client
+
+import (
+	"testing"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/rng"
+)
+
+func testCatalog(n int) *catalog.Catalog {
+	c, err := catalog.Uniform(n, 1)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(GeneratorConfig{}); err == nil {
+		t.Fatal("nil catalog accepted")
+	}
+	if _, err := NewGenerator(GeneratorConfig{Catalog: testCatalog(5), RatePerTick: -1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestGeneratorRateAndFields(t *testing.T) {
+	g, err := NewGenerator(GeneratorConfig{
+		Catalog:     testCatalog(10),
+		Pattern:     rng.Uniform,
+		RatePerTick: 25,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := g.Tick(3)
+	if len(reqs) != 25 {
+		t.Fatalf("tick produced %d requests, want 25", len(reqs))
+	}
+	if g.Rate() != 25 {
+		t.Fatalf("Rate = %d", g.Rate())
+	}
+	for _, r := range reqs {
+		if r.Object < 0 || int(r.Object) >= 10 {
+			t.Fatalf("request object %d out of range", r.Object)
+		}
+		if r.Target != 1 {
+			t.Fatalf("default target = %v, want 1 (AlwaysFresh)", r.Target)
+		}
+		if r.Tick != 3 {
+			t.Fatalf("request tick = %d, want 3", r.Tick)
+		}
+	}
+	// Client serials are unique and increasing across ticks.
+	seen := map[int]bool{}
+	for _, r := range reqs {
+		if seen[r.Client] {
+			t.Fatalf("duplicate client serial %d", r.Client)
+		}
+		seen[r.Client] = true
+	}
+	next := g.Tick(4)
+	if next[0].Client != 25 {
+		t.Fatalf("second tick starts at client %d, want 25", next[0].Client)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := GeneratorConfig{Catalog: testCatalog(50), Pattern: rng.Zipf, RatePerTick: 100, Seed: 42, ShuffleRanks: true}
+	a, _ := NewGenerator(cfg)
+	b, _ := NewGenerator(cfg)
+	ra := a.Tick(0)
+	rb := b.Tick(0)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("same-seed generators diverged at %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestGeneratorZipfSkew(t *testing.T) {
+	g, _ := NewGenerator(GeneratorConfig{
+		Catalog: testCatalog(100), Pattern: rng.Zipf, RatePerTick: 1000, Seed: 7,
+	})
+	counts := make(map[catalog.ID]int)
+	for tick := 0; tick < 50; tick++ {
+		for _, r := range g.Tick(tick) {
+			counts[r.Object]++
+		}
+	}
+	// Without rank shuffling, object 0 is the most popular.
+	if counts[0] <= counts[99] {
+		t.Fatalf("zipf skew missing: head %d <= tail %d", counts[0], counts[99])
+	}
+}
+
+func TestTargetDists(t *testing.T) {
+	src := rng.New(1)
+	if (AlwaysFresh{}).Sample(src) != 1 {
+		t.Fatal("AlwaysFresh != 1")
+	}
+	if FixedTarget(0.4).Sample(src) != 0.4 {
+		t.Fatal("FixedTarget wrong")
+	}
+	u := UniformTargets{Lo: 0.2, Hi: 0.8}
+	for i := 0; i < 1000; i++ {
+		v := u.Sample(src)
+		if v < 0.2 || v >= 0.8 {
+			t.Fatalf("UniformTargets sample %v out of range", v)
+		}
+	}
+}
+
+func TestGeneratorUniformTargetsApplied(t *testing.T) {
+	g, _ := NewGenerator(GeneratorConfig{
+		Catalog: testCatalog(5), Pattern: rng.Uniform, RatePerTick: 100,
+		Targets: UniformTargets{Lo: 0.1, Hi: 0.5}, Seed: 9,
+	})
+	for _, r := range g.Tick(0) {
+		if r.Target < 0.1 || r.Target >= 0.5 {
+			t.Fatalf("target %v out of configured range", r.Target)
+		}
+	}
+}
+
+func TestPopulationValidation(t *testing.T) {
+	if _, err := NewPopulation(0, 1, DefaultMobility, 1); err == nil {
+		t.Fatal("empty population accepted")
+	}
+	if _, err := NewPopulation(1, 0, DefaultMobility, 1); err == nil {
+		t.Fatal("zero cells accepted")
+	}
+	bad := DefaultMobility
+	bad.MeanResidence = 0
+	if _, err := NewPopulation(1, 1, bad, 1); err == nil {
+		t.Fatal("zero residence accepted")
+	}
+	bad = DefaultMobility
+	bad.PDisconnect = 1.5
+	if _, err := NewPopulation(1, 1, bad, 1); err == nil {
+		t.Fatal("invalid disconnect probability accepted")
+	}
+	bad = DefaultMobility
+	bad.MeanAbsence = 0
+	if _, err := NewPopulation(1, 1, bad, 1); err == nil {
+		t.Fatal("zero absence accepted")
+	}
+}
+
+func TestPopulationInitialSpread(t *testing.T) {
+	p, err := NewPopulation(10, 3, DefaultMobility, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 10 || p.ConnectedCount() != 10 {
+		t.Fatalf("len=%d connected=%d", p.Len(), p.ConnectedCount())
+	}
+	total := 0
+	for cell := 0; cell < 3; cell++ {
+		in := p.InCell(cell)
+		total += len(in)
+		for _, c := range in {
+			if p.Cell(c) != cell || !p.Connected(c) {
+				t.Fatalf("client %d inconsistent cell state", c)
+			}
+		}
+	}
+	if total != 10 {
+		t.Fatalf("cells hold %d clients, want 10", total)
+	}
+}
+
+func TestPopulationDynamics(t *testing.T) {
+	m := Mobility{MeanResidence: 5, PDisconnect: 0.5, MeanAbsence: 5}
+	p, err := NewPopulation(500, 4, m, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 200; tick++ {
+		p.Tick()
+	}
+	if p.Handoffs() == 0 {
+		t.Fatal("no handoffs after 200 ticks of fast mobility")
+	}
+	if p.Drops() == 0 {
+		t.Fatal("no disconnections after 200 ticks")
+	}
+	// With symmetric rates, roughly a third of clients are disconnected in
+	// steady state (pLeave*pDisc = 0.1 out, pReturn = 0.2 back →
+	// disconnected fraction = 0.1/(0.1+0.2) = 1/3). Allow a broad band.
+	frac := float64(p.ConnectedCount()) / float64(p.Len())
+	if frac < 0.5 || frac > 0.85 {
+		t.Fatalf("connected fraction = %v, want roughly 2/3", frac)
+	}
+}
+
+func TestPopulationSingleCellNoHandoffs(t *testing.T) {
+	m := Mobility{MeanResidence: 2, PDisconnect: 0, MeanAbsence: 2}
+	p, _ := NewPopulation(100, 1, m, 3)
+	for tick := 0; tick < 100; tick++ {
+		p.Tick()
+	}
+	if p.Handoffs() != 0 {
+		t.Fatalf("single-cell population recorded %d handoffs", p.Handoffs())
+	}
+	if p.Drops() != 0 {
+		t.Fatalf("PDisconnect=0 population recorded %d drops", p.Drops())
+	}
+	if p.ConnectedCount() != 100 {
+		t.Fatal("clients vanished without any disconnection path")
+	}
+}
+
+func TestPopulationHandoffChangesCell(t *testing.T) {
+	m := Mobility{MeanResidence: 1, PDisconnect: 0, MeanAbsence: 100}
+	p, _ := NewPopulation(1, 5, m, 1)
+	before := p.Cell(0)
+	p.Tick() // with MeanResidence 1, departure is certain
+	if p.Cell(0) == before {
+		t.Fatalf("handoff kept client in cell %d", before)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"mobicache/internal/knapsack"
+)
+
+// BoundConfig tunes the upper-bound recommendation (the paper's §6 future
+// work: "techniques to determine how much data the base station should
+// download to satisfy a set of requests").
+type BoundConfig struct {
+	// MinMarginal stops raising the budget once the average score gain
+	// per additional data unit over the entire remaining budget falls
+	// below this value — i.e. once even the best use of every further
+	// unit pays less than MinMarginal per unit. The forward-looking
+	// average makes the rule robust to the staircase shape of the exact
+	// knapsack curve (integral weights mean the gain arrives in jumps).
+	// Zero disables the marginal rule.
+	MinMarginal float64
+	// Window is the step at which candidate budgets are examined;
+	// defaults to 1/100 of the max budget (min 1).
+	Window int64
+	// FractionOfMax stops once this fraction of the maximum attainable
+	// gain is reached. Zero disables the fraction rule. With both rules
+	// disabled the recommendation is the budget achieving the full gain.
+	FractionOfMax float64
+}
+
+// BoundReport is the outcome of UpperBound.
+type BoundReport struct {
+	// Budget is the recommended upper bound on downloaded data units.
+	Budget int64
+	// GainAtBudget is the score gain attainable at the recommendation.
+	GainAtBudget float64
+	// MaxGain is the gain attainable at the full probe budget.
+	MaxGain float64
+	// Trace is the underlying best-gain-per-budget curve.
+	Trace *knapsack.Trace
+}
+
+// Efficiency returns the fraction of the maximum gain the recommended
+// budget attains (1 if there is nothing to gain).
+func (b BoundReport) Efficiency() float64 {
+	if b.MaxGain == 0 {
+		return 1
+	}
+	return b.GainAtBudget / b.MaxGain
+}
+
+// UpperBound recommends how much data to download for a batch: it traces
+// the exact solution-quality curve up to maxBudget and picks the smallest
+// budget at which continuing is no longer worthwhile under cfg's rules.
+func (s *Selector) UpperBound(demands []Demand, c CacheView, maxBudget int64, cfg BoundConfig) (BoundReport, error) {
+	if maxBudget < 0 {
+		return BoundReport{}, fmt.Errorf("core: negative max budget %d", maxBudget)
+	}
+	if cfg.MinMarginal < 0 || cfg.FractionOfMax < 0 || cfg.FractionOfMax > 1 {
+		return BoundReport{}, fmt.Errorf("core: invalid bound config %+v", cfg)
+	}
+	tr, _, err := s.Trace(demands, c, maxBudget)
+	if err != nil {
+		return BoundReport{}, err
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = maxBudget / 100
+		if window < 1 {
+			window = 1
+		}
+	}
+	maxGain := tr.At(maxBudget)
+	report := BoundReport{Trace: tr, MaxGain: maxGain}
+
+	budget := maxBudget // fall back to "everything helps"
+	for b := int64(0); b <= maxBudget; b += window {
+		gain := tr.At(b)
+		// The epsilon absorbs rounding in gain/maxGain products so the
+		// reported efficiency never lands microscopically below the
+		// requested fraction.
+		if cfg.FractionOfMax > 0 && gain >= cfg.FractionOfMax*maxGain-1e-9*maxGain {
+			budget = b
+			break
+		}
+		if cfg.MinMarginal > 0 && b < maxBudget {
+			remaining := (maxGain - gain) / float64(maxBudget-b)
+			if remaining < cfg.MinMarginal {
+				budget = b
+				break
+			}
+		}
+		if gain >= maxGain {
+			budget = b
+			break
+		}
+	}
+	report.Budget = budget
+	report.GainAtBudget = tr.At(budget)
+	return report, nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"mobicache/internal/cache"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+)
+
+func boundFixture(t *testing.T) (*Selector, []Demand, *cache.Cache, int64) {
+	t.Helper()
+	sizes := make([]int64, 20)
+	for i := range sizes {
+		sizes[i] = int64(i%5 + 1)
+	}
+	cat := catalog.MustNew(sizes)
+	lags := map[catalog.ID]int{}
+	for _, id := range cat.IDs() {
+		lags[id] = int(id)%7 + 1
+	}
+	c := freshCache(cat, lags)
+	var reqs []client.Request
+	for _, id := range cat.IDs() {
+		for k := 0; k <= int(id)%3; k++ {
+			reqs = append(reqs, client.Request{Object: id, Target: 1})
+		}
+	}
+	s, err := NewSelector(cat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, Aggregate(reqs), c, cat.TotalSize()
+}
+
+func TestUpperBoundFullGainDefault(t *testing.T) {
+	s, demands, c, maxB := boundFixture(t)
+	rep, err := s.UpperBound(demands, c, maxB, BoundConfig{Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GainAtBudget != rep.MaxGain {
+		t.Fatalf("default rules stopped early: gain %v of %v", rep.GainAtBudget, rep.MaxGain)
+	}
+	if rep.Budget > maxB {
+		t.Fatalf("budget %d beyond probe %d", rep.Budget, maxB)
+	}
+	if rep.Efficiency() != 1 {
+		t.Fatalf("efficiency = %v, want 1", rep.Efficiency())
+	}
+	// The full gain is typically reached before the entire catalog size.
+	if rep.Trace == nil {
+		t.Fatal("report missing trace")
+	}
+}
+
+func TestUpperBoundFractionRule(t *testing.T) {
+	s, demands, c, maxB := boundFixture(t)
+	full, err := s.UpperBound(demands, c, maxB, BoundConfig{Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.UpperBound(demands, c, maxB, BoundConfig{FractionOfMax: 0.8, Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Budget > full.Budget {
+		t.Fatalf("80%% budget %d exceeds full budget %d", rep.Budget, full.Budget)
+	}
+	if rep.Efficiency() < 0.8 {
+		t.Fatalf("efficiency %v below requested fraction", rep.Efficiency())
+	}
+}
+
+func TestUpperBoundMarginalRule(t *testing.T) {
+	s, demands, c, maxB := boundFixture(t)
+	// A very high marginal threshold stops almost immediately.
+	rep, err := s.UpperBound(demands, c, maxB, BoundConfig{MinMarginal: 1e6, Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Budget > 2 {
+		t.Fatalf("huge marginal threshold still recommended budget %d", rep.Budget)
+	}
+	// A tiny threshold should recommend (nearly) the full-gain budget.
+	tiny, err := s.UpperBound(demands, c, maxB, BoundConfig{MinMarginal: 1e-12, Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Efficiency() < 0.99 {
+		t.Fatalf("tiny threshold efficiency = %v", tiny.Efficiency())
+	}
+}
+
+func TestUpperBoundValidation(t *testing.T) {
+	s, demands, c, _ := boundFixture(t)
+	if _, err := s.UpperBound(demands, c, -1, BoundConfig{}); err == nil {
+		t.Fatal("negative max budget accepted")
+	}
+	if _, err := s.UpperBound(demands, c, 10, BoundConfig{MinMarginal: -1}); err == nil {
+		t.Fatal("negative marginal accepted")
+	}
+	if _, err := s.UpperBound(demands, c, 10, BoundConfig{FractionOfMax: 2}); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}
+
+func TestUpperBoundEmptyDemands(t *testing.T) {
+	s, _, c, _ := boundFixture(t)
+	rep, err := s.UpperBound(nil, c, 100, BoundConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxGain != 0 || rep.Budget != 0 {
+		t.Fatalf("empty-demand report = %+v", rep)
+	}
+	if rep.Efficiency() != 1 {
+		t.Fatalf("empty-demand efficiency = %v", rep.Efficiency())
+	}
+}
+
+func TestUpperBoundDefaultWindow(t *testing.T) {
+	s, demands, c, maxB := boundFixture(t)
+	rep, err := s.UpperBound(demands, c, maxB, BoundConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Budget < 0 || rep.Budget > maxB {
+		t.Fatalf("budget %d out of range", rep.Budget)
+	}
+}

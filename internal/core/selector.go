@@ -1,0 +1,274 @@
+// Package core implements the paper's primary contribution: the on-demand
+// download selector. Given the batch of client requests a base station has
+// accumulated, the state of its cache, and an upper bound on how much data
+// may be downloaded from the fixed network, the selector decides which
+// objects to access remotely and which to serve from the (possibly stale)
+// cache so as to maximize the mean client recency score.
+//
+// The mapping to 0/1 knapsack follows Section 2 of the paper exactly: each
+// candidate object u is an item of weight size(u); its profit is the sum,
+// over the clients requesting u, of the benefit of downloading —
+// 1 − f_C(x), where x is the cached copy's recency score and C the
+// client's target recency. Objects not in the cache at all must be
+// downloaded to be served; they enter the knapsack with per-client benefit
+// 1 (score 0 from the cache).
+//
+// The package also implements the paper's future-work extension: choosing
+// the upper bound itself. UpperBound inspects the dynamic program's
+// best-score-per-budget curve and picks the smallest budget at which the
+// marginal gain per data unit falls below a threshold (or a fraction of
+// the maximum attainable score is reached), formalizing the paper's
+// observation that "under some circumstances there is not a great benefit
+// to downloading large amounts of data".
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/knapsack"
+	"mobicache/internal/recency"
+)
+
+// Unlimited is the budget value meaning "no limit on downloaded data".
+const Unlimited int64 = math.MaxInt64
+
+// CacheView is the read-only slice of cache state the selector needs:
+// whether an object has a cached copy and how recent that copy is.
+// *cache.Cache implements it; so do lightweight snapshots (the public
+// facade builds one from a recency slice).
+type CacheView interface {
+	// Recency returns the cached copy's recency score in (0, 1], or 0 if
+	// the object is not cached.
+	Recency(catalog.ID) float64
+	// Contains reports whether the object has a cached copy at all.
+	Contains(catalog.ID) bool
+}
+
+// Demand aggregates the requests for one object within a batch.
+type Demand struct {
+	Object  catalog.ID
+	Targets []float64 // one per requesting client
+}
+
+// Count returns the number of clients requesting the object.
+func (d Demand) Count() int { return len(d.Targets) }
+
+// Aggregate groups a request batch by object, preserving first-seen object
+// order for determinism.
+func Aggregate(reqs []client.Request) []Demand {
+	index := make(map[catalog.ID]int)
+	var out []Demand
+	for _, r := range reqs {
+		i, ok := index[r.Object]
+		if !ok {
+			i = len(out)
+			index[r.Object] = i
+			out = append(out, Demand{Object: r.Object})
+		}
+		out[i].Targets = append(out[i].Targets, r.Target)
+	}
+	return out
+}
+
+// SolverKind selects the knapsack algorithm used by the selector.
+type SolverKind int
+
+const (
+	// SolverDP is the exact dynamic program (paper's choice).
+	SolverDP SolverKind = iota
+	// SolverGreedy is the density heuristic with best-single fallback.
+	SolverGreedy
+	// SolverFPTAS is the (1-eps)-approximation scheme.
+	SolverFPTAS
+)
+
+// String implements fmt.Stringer.
+func (k SolverKind) String() string {
+	switch k {
+	case SolverDP:
+		return "dp"
+	case SolverGreedy:
+		return "greedy"
+	case SolverFPTAS:
+		return "fptas"
+	default:
+		return fmt.Sprintf("SolverKind(%d)", int(k))
+	}
+}
+
+// Config configures a Selector.
+type Config struct {
+	// Score maps (cached recency, client target) to a client score.
+	// Defaults to recency.Inverse, the paper's first scoring function.
+	Score recency.ScoreFunc
+	// Solver selects the knapsack algorithm; defaults to SolverDP.
+	Solver SolverKind
+	// Eps is the FPTAS approximation parameter (used only by
+	// SolverFPTAS); defaults to 0.1.
+	Eps float64
+}
+
+// Selector maps request batches to download plans.
+type Selector struct {
+	cat *catalog.Catalog
+	cfg Config
+}
+
+// NewSelector creates a selector for the given catalog.
+func NewSelector(cat *catalog.Catalog, cfg Config) (*Selector, error) {
+	if cat == nil {
+		return nil, fmt.Errorf("core: nil catalog")
+	}
+	if cfg.Score == nil {
+		cfg.Score = recency.Inverse
+	}
+	if cfg.Eps == 0 {
+		cfg.Eps = 0.1
+	}
+	if cfg.Eps < 0 || cfg.Eps >= 1 {
+		return nil, fmt.Errorf("core: eps %v out of (0,1)", cfg.Eps)
+	}
+	switch cfg.Solver {
+	case SolverDP, SolverGreedy, SolverFPTAS:
+	default:
+		return nil, fmt.Errorf("core: unknown solver %d", int(cfg.Solver))
+	}
+	return &Selector{cat: cat, cfg: cfg}, nil
+}
+
+// Plan is the selector's decision for one batch.
+type Plan struct {
+	// Download lists the objects to fetch remotely, ascending by ID.
+	Download []catalog.ID
+	// FromCache lists the requested objects served from the cache,
+	// ascending by ID.
+	FromCache []catalog.ID
+	// DownloadUnits is the total size of the Download set.
+	DownloadUnits int64
+	// Requests is the number of client requests in the batch.
+	Requests int
+	// CachedScore is the total client score if nothing were downloaded.
+	CachedScore float64
+	// Gain is the total client score added by the planned downloads.
+	Gain float64
+}
+
+// AverageScore returns the mean per-client recency score the plan
+// achieves (paper Section 4's Average Score), or 0 for an empty batch.
+func (p Plan) AverageScore() float64 {
+	if p.Requests == 0 {
+		return 0
+	}
+	return (p.CachedScore + p.Gain) / float64(p.Requests)
+}
+
+// Select chooses the objects to download for the aggregated demands given
+// the cache state and a budget in data units (Unlimited for no limit).
+func (s *Selector) Select(demands []Demand, c CacheView, budget int64) (Plan, error) {
+	if budget < 0 {
+		return Plan{}, fmt.Errorf("core: negative budget %d", budget)
+	}
+	items, meta, plan := s.buildItems(demands, c)
+	if len(items) == 0 {
+		sort.Slice(plan.FromCache, func(i, j int) bool { return plan.FromCache[i] < plan.FromCache[j] })
+		return plan, nil
+	}
+
+	// An unlimited budget means every positive-profit item is taken; skip
+	// the solver (and its O(n·budget) cost).
+	if budget == Unlimited {
+		for i, it := range items {
+			plan.Download = append(plan.Download, meta[i].object)
+			plan.DownloadUnits += it.Weight
+			plan.Gain += it.Profit
+		}
+	} else {
+		sol, err := s.solve(items, budget)
+		if err != nil {
+			return Plan{}, err
+		}
+		taken := make(map[int]bool, len(sol.Take))
+		for _, i := range sol.Take {
+			taken[i] = true
+			plan.Download = append(plan.Download, meta[i].object)
+		}
+		plan.DownloadUnits = sol.Weight
+		plan.Gain = sol.Profit
+		for i := range items {
+			if !taken[i] {
+				plan.FromCache = append(plan.FromCache, meta[i].object)
+			}
+		}
+	}
+	sort.Slice(plan.Download, func(i, j int) bool { return plan.Download[i] < plan.Download[j] })
+	sort.Slice(plan.FromCache, func(i, j int) bool { return plan.FromCache[i] < plan.FromCache[j] })
+	return plan, nil
+}
+
+type itemMeta struct {
+	object catalog.ID
+}
+
+// buildItems constructs the knapsack instance for a batch: one item per
+// requested object whose download would add client score. Objects already
+// fresh enough for all their requesters go straight to FromCache.
+func (s *Selector) buildItems(demands []Demand, c CacheView) ([]knapsack.Item, []itemMeta, Plan) {
+	var items []knapsack.Item
+	var meta []itemMeta
+	var plan Plan
+	for _, d := range demands {
+		if !s.cat.Valid(d.Object) {
+			// Unknown object: nothing to serve; skip defensively.
+			continue
+		}
+		x := c.Recency(d.Object) // 0 when absent
+		profit := 0.0
+		for _, target := range d.Targets {
+			score := 0.0
+			if c.Contains(d.Object) {
+				score = s.cfg.Score(x, target)
+			}
+			plan.CachedScore += score
+			profit += recency.Benefit(score)
+		}
+		plan.Requests += d.Count()
+		if profit > 0 {
+			items = append(items, knapsack.Item{Weight: s.cat.Size(d.Object), Profit: profit})
+			meta = append(meta, itemMeta{object: d.Object})
+		} else {
+			plan.FromCache = append(plan.FromCache, d.Object)
+		}
+	}
+	return items, meta, plan
+}
+
+func (s *Selector) solve(items []knapsack.Item, budget int64) (knapsack.Solution, error) {
+	switch s.cfg.Solver {
+	case SolverGreedy:
+		return knapsack.SolveGreedy(items, budget)
+	case SolverFPTAS:
+		return knapsack.SolveFPTAS(items, budget, s.cfg.Eps)
+	default:
+		return knapsack.SolveDP(items, budget)
+	}
+}
+
+// Trace computes the exact best-gain-per-budget curve for a batch — the
+// object of study in the paper's Section 4. The returned trace's Value[b]
+// is the score gain achievable with budget b; combine with the plan's
+// CachedScore to obtain Average Score curves.
+func (s *Selector) Trace(demands []Demand, c CacheView, maxBudget int64) (*knapsack.Trace, Plan, error) {
+	if maxBudget < 0 {
+		return nil, Plan{}, fmt.Errorf("core: negative budget %d", maxBudget)
+	}
+	items, _, plan := s.buildItems(demands, c)
+	tr, err := knapsack.TraceDP(items, maxBudget)
+	if err != nil {
+		return nil, Plan{}, err
+	}
+	return tr, plan, nil
+}

@@ -1,0 +1,54 @@
+package experiment
+
+import "testing"
+
+func TestEstimationStudyShape(t *testing.T) {
+	cfg := DefaultEstimationStudy()
+	cfg.Objects = 120
+	cfg.RatePerTick = 40
+	cfg.Ks = []int{2, 10, 30}
+	cfg.Warmup = 20
+	cfg.Measure = 60
+	fig, err := EstimationStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := fig.Lookup("exact")
+	ttl := fig.Lookup("ttl-estimate")
+	async := fig.Lookup("async")
+	if exact == nil || ttl == nil || async == nil {
+		t.Fatal("missing series")
+	}
+	for i := range exact.Y {
+		// Exact knowledge is an upper bound on the estimator (allow a
+		// tiny tolerance: the estimator can win a coin flip on which
+		// equally-stale object to refresh).
+		if ttl.Y[i] > exact.Y[i]+0.02 {
+			t.Fatalf("estimator beat exact knowledge at k=%v: %v > %v",
+				exact.X[i], ttl.Y[i], exact.Y[i])
+		}
+		// The informed estimator beats blind round-robin.
+		if ttl.Y[i] <= async.Y[i] {
+			t.Fatalf("TTL estimate %v not above async %v at k=%v",
+				ttl.Y[i], async.Y[i], ttl.X[i])
+		}
+		if exact.Y[i] <= 0 || exact.Y[i] > 1 {
+			t.Fatalf("recency out of range: %v", exact.Y[i])
+		}
+	}
+	// The estimator tracks exact knowledge closely when its model is
+	// correctly specified (memoryless updates).
+	last := len(exact.Y) - 1
+	if exact.Y[last]-ttl.Y[last] > 0.1 {
+		t.Fatalf("estimator gap too large at k=%v: exact %v vs ttl %v",
+			exact.X[last], exact.Y[last], ttl.Y[last])
+	}
+}
+
+func TestEstimationStudyValidation(t *testing.T) {
+	cfg := DefaultEstimationStudy()
+	cfg.Period = 0
+	if _, err := EstimationStudy(cfg); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}

@@ -1,0 +1,393 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"mobicache/internal/metrics"
+)
+
+// smallFigure2 is a scaled-down Figure 2 configuration for fast tests;
+// the full-size run is exercised by the benchmark harness.
+func smallFigure2() Figure2Config {
+	return Figure2Config{
+		Objects:      100,
+		UpdatePeriod: 5,
+		Warmup:       20,
+		Measure:      100,
+		Rates:        []int{0, 10, 40, 100},
+		Seed:         1,
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	fig, err := Figure2(smallFigure2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	async := fig.Lookup("asynchronous")
+	uniform := fig.Lookup("on-demand uniform")
+	linear := fig.Lookup("on-demand skewed(uniform)")
+	zipf := fig.Lookup("on-demand skewed(zipf)")
+	if async == nil || uniform == nil || linear == nil || zipf == nil {
+		t.Fatalf("missing series in %v", fig.Series)
+	}
+	// Async bound: 100 objects x (100/5) updates = 2000, independent of rate.
+	for i := range async.Y {
+		if async.Y[i] != 2000 {
+			t.Fatalf("async downloads = %v, want constant 2000", async.Y[i])
+		}
+	}
+	for _, s := range []*metrics.Series{uniform, linear, zipf} {
+		// At rate 0 nothing is requested, so on-demand downloads nothing.
+		if s.Y[0] != 0 {
+			t.Fatalf("%s at rate 0 downloaded %v objects", s.Name, s.Y[0])
+		}
+		for i := range s.Y {
+			if s.Y[i] > 2000 {
+				t.Fatalf("%s exceeded the asynchronous bound: %v", s.Name, s.Y[i])
+			}
+			if i > 0 && s.Y[i] < s.Y[i-1] {
+				t.Fatalf("%s downloads not non-decreasing in rate: %v", s.Name, s.Y)
+			}
+		}
+	}
+	// Higher skew → fewer downloads (paper: "for higher degrees of skew in
+	// requests, the on-demand approach provides greater savings").
+	last := len(uniform.Y) - 1
+	if !(zipf.Y[last] < linear.Y[last] && linear.Y[last] < uniform.Y[last]) {
+		t.Fatalf("skew ordering violated at top rate: zipf=%v linear=%v uniform=%v",
+			zipf.Y[last], linear.Y[last], uniform.Y[last])
+	}
+	// At high rates under uniform access, on-demand approaches async.
+	if uniform.Y[last] < 0.8*2000 {
+		t.Fatalf("uniform on-demand at high rate = %v, expected near the async bound", uniform.Y[last])
+	}
+}
+
+func TestFigure2Validation(t *testing.T) {
+	bad := smallFigure2()
+	bad.Objects = 0
+	if _, err := Figure2(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestDefaultFigure2(t *testing.T) {
+	cfg := DefaultFigure2()
+	if cfg.Objects != 500 || cfg.UpdatePeriod != 5 || cfg.Warmup != 100 || cfg.Measure != 500 {
+		t.Fatalf("default figure 2 config = %+v", cfg)
+	}
+	if len(cfg.Rates) != 21 || cfg.Rates[0] != 0 || cfg.Rates[20] != 500 {
+		t.Fatalf("default rates = %v", cfg.Rates)
+	}
+}
+
+func smallFigure3() Figure3Config {
+	return Figure3Config{
+		Objects:     100,
+		RatePerTick: 50,
+		Ks:          []int{1, 10, 25, 50},
+		Warmup:      20,
+		Measure:     50,
+		LowPeriod:   10,
+		HighPeriod:  1,
+		Seed:        2,
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	figs, err := Figure3(smallFigure3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("panels = %d, want 2", len(figs))
+	}
+	for p, fig := range figs {
+		od := fig.Lookup("on-demand")
+		as := fig.Lookup("asynchronous")
+		if od == nil || as == nil {
+			t.Fatalf("panel %d missing series", p)
+		}
+		for i := range od.Y {
+			if od.Y[i] <= 0 || od.Y[i] > 1 || as.Y[i] <= 0 || as.Y[i] > 1 {
+				t.Fatalf("panel %d recency out of (0,1]: od=%v as=%v", p, od.Y[i], as.Y[i])
+			}
+		}
+		// On-demand recency rises with budget toward 1.
+		lastOD := od.Y[len(od.Y)-1]
+		if lastOD < od.Y[0] {
+			t.Fatalf("panel %d on-demand recency fell with budget: %v", p, od.Y)
+		}
+	}
+	// High update frequency: on-demand clearly beats async (paper: "when
+	// objects are updated with high frequency, the asynchronous approach
+	// performs poorly").
+	high := figs[1]
+	od, as := high.Lookup("on-demand"), high.Lookup("asynchronous")
+	for i := range od.Y {
+		if od.Y[i] < as.Y[i] {
+			t.Fatalf("high-frequency panel: on-demand %v below async %v at k=%v",
+				od.Y[i], as.Y[i], od.X[i])
+		}
+	}
+	// With k = request rate, on-demand can refresh every requested object:
+	// recency approaches 1.
+	if last := od.Y[len(od.Y)-1]; last < 0.95 {
+		t.Fatalf("on-demand recency at k=rate = %v, want ~1", last)
+	}
+}
+
+func TestFigure3Validation(t *testing.T) {
+	bad := smallFigure3()
+	bad.Measure = 0
+	if _, err := Figure3(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestDefaultFigure3(t *testing.T) {
+	cfg := DefaultFigure3()
+	if cfg.Objects != 500 || cfg.RatePerTick != 100 || cfg.LowPeriod != 10 || cfg.HighPeriod != 1 {
+		t.Fatalf("default figure 3 config = %+v", cfg)
+	}
+	if cfg.Ks[0] != 1 || cfg.Ks[len(cfg.Ks)-1] != 100 {
+		t.Fatalf("default ks = %v", cfg.Ks)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	fig, err := Figure4(DefaultSolutionSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := fig.Lookup("large objs high scores")
+	neg := fig.Lookup("large objs low scores")
+	none := fig.Lookup("no correlation")
+	if pos == nil || neg == nil || none == nil {
+		t.Fatal("missing series")
+	}
+	for _, s := range fig.Series {
+		assertMonotoneTo1(t, s)
+	}
+	// Positive correlation (large objects fresh) rises rapidly: at a small
+	// budget it clearly leads; the uncorrelated case lies between.
+	const probe = 1500.0
+	pv, nv, uv := pos.YAt(probe), neg.YAt(probe), none.YAt(probe)
+	if !(pv > uv && uv > nv) {
+		t.Fatalf("ordering at budget %v: pos=%v none=%v neg=%v", probe, pv, uv, nv)
+	}
+}
+
+func TestFigure5Convergence(t *testing.T) {
+	figs, err := Figure5(DefaultSolutionSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("panels = %d", len(figs))
+	}
+	for _, fig := range figs {
+		if len(fig.Series) != 3 {
+			t.Fatalf("%s has %d series", fig.Title, len(fig.Series))
+		}
+		for _, s := range fig.Series {
+			assertMonotoneTo1(t, s)
+		}
+	}
+	smallHot := ConvergenceAll(figs[0], 0.9)
+	largeHot := ConvergenceAll(figs[1], 0.9)
+	if smallHot < 0 || largeHot < 0 {
+		t.Fatalf("curves never converge: %v %v", smallHot, largeHot)
+	}
+	// Paper: small objects hot converges around 2000 units, large objects
+	// hot only around 3500 — a clear separation.
+	if smallHot >= largeHot {
+		t.Fatalf("small-hot convergence %v not below large-hot %v", smallHot, largeHot)
+	}
+}
+
+func TestFigure6Convergence(t *testing.T) {
+	figs, err := Figure6(DefaultSolutionSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("panels = %d", len(figs))
+	}
+	for _, fig := range figs {
+		for _, s := range fig.Series {
+			assertMonotoneTo1(t, s)
+		}
+	}
+	smallFresh := ConvergenceAll(figs[0], 0.9)
+	largeFresh := ConvergenceAll(figs[1], 0.9)
+	if smallFresh < 0 || largeFresh < 0 {
+		t.Fatalf("curves never converge: %v %v", smallFresh, largeFresh)
+	}
+	// Paper: when small objects are freshest (large objects must be
+	// fetched), convergence needs far more data (~4000) than when large
+	// objects are freshest (~2000).
+	if largeFresh >= smallFresh {
+		t.Fatalf("large-fresh convergence %v not below small-fresh %v", largeFresh, smallFresh)
+	}
+	// Panel legends.
+	for _, name := range []string{"large objects hot", "small objects hot", "uniform access"} {
+		if figs[0].Lookup(name) == nil {
+			t.Fatalf("figure 6 missing series %q", name)
+		}
+	}
+}
+
+func assertMonotoneTo1(t *testing.T, s *metrics.Series) {
+	t.Helper()
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] < s.Y[i-1]-1e-9 {
+			t.Fatalf("%s not monotone at %v: %v < %v", s.Name, s.X[i], s.Y[i], s.Y[i-1])
+		}
+	}
+	if last := s.Y[len(s.Y)-1]; last < 0.999 {
+		t.Fatalf("%s does not reach 1.0 at full budget: %v", s.Name, last)
+	}
+	if s.Y[0] >= 1 {
+		t.Fatalf("%s already at 1.0 with zero budget", s.Name)
+	}
+}
+
+func TestConvergenceHelpers(t *testing.T) {
+	fig := metrics.NewFigure("t", "x", "y")
+	a := fig.AddSeries("a")
+	a.Add(0, 0.5)
+	a.Add(10, 0.95)
+	b := fig.AddSeries("b")
+	b.Add(0, 0.2)
+	b.Add(10, 0.5)
+	m := Convergence(fig, 0.9)
+	if m["a"] != 10 || m["b"] != -1 {
+		t.Fatalf("Convergence = %v", m)
+	}
+	if got := ConvergenceAll(fig, 0.9); got != -1 {
+		t.Fatalf("ConvergenceAll = %v, want -1", got)
+	}
+	b.Y[1] = 0.93
+	if got := ConvergenceAll(fig, 0.9); got != 10 {
+		t.Fatalf("ConvergenceAll = %v, want 10", got)
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	s := Table1()
+	for _, want := range []string{"Object_Size", "Num_Requests", "Cache_Recency_Score", "[1-20]", "[0.1-1.0]", "5000"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReplacementStudy(t *testing.T) {
+	cfg := DefaultReplacement()
+	cfg.Objects = 60
+	cfg.RatePerTick = 30
+	cfg.Warmup = 20
+	cfg.Measure = 40
+	cfg.Fractions = []float64{0.1, 0.5}
+	cfg.BudgetPerTick = 40
+	fig, err := Replacement(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d, want 5 policies", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if s.Len() != 2 {
+			t.Fatalf("%s has %d points", s.Name, s.Len())
+		}
+		for _, y := range s.Y {
+			if y <= 0 || y > 1 {
+				t.Fatalf("%s score %v out of (0,1]", s.Name, y)
+			}
+		}
+		// A bigger cache should not make things much worse.
+		if s.Y[1] < s.Y[0]-0.05 {
+			t.Fatalf("%s: larger cache markedly worse: %v", s.Name, s.Y)
+		}
+	}
+	bad := cfg
+	bad.Objects = 0
+	if _, err := Replacement(bad); err == nil {
+		t.Fatal("invalid replacement config accepted")
+	}
+}
+
+func TestSolverAblation(t *testing.T) {
+	rows, err := SolverAblation(1, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Solver != "dp" || rows[0].OptFraction != 1 {
+		t.Fatalf("dp row = %+v", rows[0])
+	}
+	for _, r := range rows {
+		if r.OptFraction < 0.5 || r.OptFraction > 1.0001 {
+			t.Fatalf("%s fraction = %v", r.Solver, r.OptFraction)
+		}
+	}
+	// fptas(0.01) must be within its guarantee.
+	for _, r := range rows {
+		if r.Solver == "fptas(0.01)" && r.OptFraction < 0.99 {
+			t.Fatalf("fptas(0.01) fraction = %v", r.OptFraction)
+		}
+		if r.Solver == "branch-and-bound" && r.OptFraction < 0.999999 {
+			t.Fatalf("branch-and-bound fraction = %v (must be exact)", r.OptFraction)
+		}
+	}
+	out := RenderSolverAblation(rows)
+	if !strings.Contains(out, "dp") || !strings.Contains(out, "fraction-of-optimal") {
+		t.Fatalf("rendered ablation missing columns:\n%s", out)
+	}
+}
+
+func TestFullSystemStudySmall(t *testing.T) {
+	cfg := DefaultFullSystemStudy()
+	cfg.Objects = 50
+	cfg.RatePerTick = 10
+	cfg.Ticks = 60
+	cfg.Budgets = []int64{2, 20}
+	latFig, utilFig, err := FullSystemStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := latFig.Lookup("mean latency")
+	if lat == nil || lat.Len() != 2 {
+		t.Fatal("latency series malformed")
+	}
+	for _, y := range lat.Y {
+		if y <= 0 {
+			t.Fatalf("non-positive latency %v", y)
+		}
+	}
+	score := utilFig.Lookup("mean client score")
+	if score == nil {
+		t.Fatal("missing score series")
+	}
+	// A larger budget yields fresher data, hence a better score.
+	if score.Y[1] < score.Y[0] {
+		t.Fatalf("score fell with budget: %v", score.Y)
+	}
+	for _, name := range []string{"fixed-link utilization", "downlink utilization"} {
+		s := utilFig.Lookup(name)
+		if s == nil {
+			t.Fatalf("missing %s", name)
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("%s out of [0,1]: %v", name, y)
+			}
+		}
+	}
+}

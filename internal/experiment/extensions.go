@@ -1,0 +1,286 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"mobicache/internal/basestation"
+	"mobicache/internal/cache"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/knapsack"
+	"mobicache/internal/metrics"
+	"mobicache/internal/policy"
+	"mobicache/internal/recency"
+	"mobicache/internal/rng"
+	"mobicache/internal/server"
+	"mobicache/internal/workload"
+)
+
+// ReplacementConfig parameterizes the limited-cache study (the paper's
+// future-work question: "developing caching policies when cache space at
+// the base station is limited").
+type ReplacementConfig struct {
+	// Objects and SizeLo/SizeHi define the catalog (sized objects make
+	// replacement interesting).
+	Objects        int
+	SizeLo, SizeHi int
+	// Fractions are the cache capacities to test, as fractions of the
+	// total catalog size.
+	Fractions []float64
+	// RatePerTick, UpdatePeriod, Warmup, Measure mirror Figure 3.
+	RatePerTick  int
+	UpdatePeriod int
+	Warmup       int
+	Measure      int
+	// BudgetPerTick caps per-tick downloads.
+	BudgetPerTick int64
+	Seed          uint64
+}
+
+// DefaultReplacement returns the study's default configuration.
+func DefaultReplacement() ReplacementConfig {
+	return ReplacementConfig{
+		Objects:       500,
+		SizeLo:        1,
+		SizeHi:        20,
+		Fractions:     []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8},
+		RatePerTick:   100,
+		UpdatePeriod:  5,
+		Warmup:        100,
+		Measure:       200,
+		BudgetPerTick: 200,
+		Seed:          5000,
+	}
+}
+
+// Replacement runs the limited-cache study: mean client score versus
+// cache capacity for each replacement policy, under a zipf workload with
+// the on-demand knapsack download policy.
+func Replacement(cfg ReplacementConfig) (*metrics.Figure, error) {
+	if cfg.Objects <= 0 || len(cfg.Fractions) == 0 {
+		return nil, fmt.Errorf("experiment: invalid replacement config %+v", cfg)
+	}
+	src := rng.New(cfg.Seed)
+	sizes64 := make([]int64, cfg.Objects)
+	for i := range sizes64 {
+		sizes64[i] = int64(src.IntRange(cfg.SizeLo, cfg.SizeHi))
+	}
+	fig := metrics.NewFigure("Replacement study: mean client score vs cache capacity",
+		"cache capacity (fraction of catalog)", "mean client score")
+
+	for _, mk := range []func() cache.Policy{
+		func() cache.Policy { return cache.NewLRU() },
+		cache.NewLFU,
+		cache.NewSizeBased,
+		cache.NewStalestFirst,
+		func() cache.Policy { return cache.NewGDS() },
+	} {
+		name := mk().Name()
+		series := fig.AddSeries(name)
+		for _, frac := range cfg.Fractions {
+			score, err := replacementRun(cfg, sizes64, frac, mk())
+			if err != nil {
+				return nil, err
+			}
+			series.Add(frac, score)
+		}
+	}
+	return fig, nil
+}
+
+func replacementRun(cfg ReplacementConfig, sizes []int64, frac float64, pol cache.Policy) (float64, error) {
+	cat, err := catalog.New(sizes)
+	if err != nil {
+		return 0, err
+	}
+	capacity := int64(frac * float64(cat.TotalSize()))
+	if capacity < cat.MaxSize() {
+		capacity = cat.MaxSize() // every object must be cacheable
+	}
+	c, err := cache.New(capacity, recency.DefaultDecay, pol)
+	if err != nil {
+		return 0, err
+	}
+	srv := server.New(cat, catalog.NewPeriodicAll(cat, cfg.UpdatePeriod))
+	// Misses are NOT compulsory here: an absent object competes for the
+	// download budget like any stale one (OnDemandStale treats absent as
+	// stale), and an unserved miss scores zero. This is what makes the
+	// replacement policy matter — with free compulsory fetches a smaller
+	// cache would perversely score higher by missing more often.
+	st, err := basestation.New(basestation.Config{
+		Catalog:       cat,
+		Server:        srv,
+		Policy:        policy.OnDemandStale{},
+		Cache:         c,
+		BudgetPerTick: cfg.BudgetPerTick,
+	})
+	if err != nil {
+		return 0, err
+	}
+	gen, err := client.NewGenerator(client.GeneratorConfig{
+		Catalog:     cat,
+		Pattern:     rng.Zipf,
+		RatePerTick: cfg.RatePerTick,
+		Seed:        cfg.Seed + 17,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := st.Run(0, cfg.Warmup, gen); err != nil {
+		return 0, err
+	}
+	totals, err := st.Run(cfg.Warmup, cfg.Measure, gen)
+	if err != nil {
+		return 0, err
+	}
+	return totals.MeanScore(), nil
+}
+
+// SolverAblationRow is one line of the solver comparison.
+type SolverAblationRow struct {
+	Solver      string
+	Profit      float64
+	OptFraction float64
+	Elapsed     time.Duration
+}
+
+// SolverAblation compares the exact DP against the greedy heuristic,
+// the FPTAS at two epsilons, and branch-and-bound on one Table 1
+// instance at the given budget, reporting achieved profit and runtime.
+func SolverAblation(seed uint64, budget int64) ([]SolverAblationRow, error) {
+	inst, err := workload.GenInstance(workload.PaperSolutionSpace(rng.None, rng.None, false, seed))
+	if err != nil {
+		return nil, err
+	}
+	items := inst.Items()
+	type solver struct {
+		name string
+		run  func() (knapsack.Solution, error)
+	}
+	solvers := []solver{
+		{"dp", func() (knapsack.Solution, error) { return knapsack.SolveDP(items, budget) }},
+		{"greedy", func() (knapsack.Solution, error) { return knapsack.SolveGreedy(items, budget) }},
+		{"fptas(0.1)", func() (knapsack.Solution, error) { return knapsack.SolveFPTAS(items, budget, 0.1) }},
+		{"fptas(0.01)", func() (knapsack.Solution, error) { return knapsack.SolveFPTAS(items, budget, 0.01) }},
+		{"branch-and-bound", func() (knapsack.Solution, error) { return knapsack.SolveBB(items, budget) }},
+	}
+	var rows []SolverAblationRow
+	var opt float64
+	for i, s := range solvers {
+		startT := time.Now()
+		sol, err := s.run()
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(startT)
+		if i == 0 {
+			opt = sol.Profit
+		}
+		frac := 1.0
+		if opt > 0 {
+			frac = sol.Profit / opt
+		}
+		rows = append(rows, SolverAblationRow{Solver: s.name, Profit: sol.Profit, OptFraction: frac, Elapsed: elapsed})
+	}
+	return rows, nil
+}
+
+// RenderSolverAblation formats the ablation as a text table.
+func RenderSolverAblation(rows []SolverAblationRow) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Solver,
+			fmt.Sprintf("%.2f", r.Profit),
+			fmt.Sprintf("%.4f", r.OptFraction),
+			r.Elapsed.Round(time.Microsecond).String(),
+		})
+	}
+	return "# Solver ablation (Table 1 instance, budget 2500)\n" +
+		metrics.RenderTable([]string{"solver", "profit", "fraction-of-optimal", "time"}, cells)
+}
+
+// FullSystemConfig parameterizes the event-driven latency/utilization
+// study (the Figure 1 architecture made executable).
+type FullSystemStudyConfig struct {
+	Objects           int
+	Servers           int
+	UpdatePeriod      int
+	RatePerTick       int
+	Ticks             int
+	FixedBandwidth    float64
+	DownlinkBandwidth float64
+	Budgets           []int64
+	Seed              uint64
+}
+
+// DefaultFullSystemStudy returns the study's default configuration.
+func DefaultFullSystemStudy() FullSystemStudyConfig {
+	return FullSystemStudyConfig{
+		Objects:           200,
+		Servers:           4,
+		UpdatePeriod:      5,
+		RatePerTick:       50,
+		Ticks:             300,
+		FixedBandwidth:    20,
+		DownlinkBandwidth: 60,
+		Budgets:           []int64{5, 10, 20, 40, 80},
+		Seed:              6000,
+	}
+}
+
+// FullSystemStudy sweeps the per-tick download budget and reports mean
+// request latency, mean client score, and channel utilizations — the
+// paper's qualitative claim that downloading too much data increases
+// latency while downloading too little wastes recency.
+func FullSystemStudy(cfg FullSystemStudyConfig) (*metrics.Figure, *metrics.Figure, error) {
+	latFig := metrics.NewFigure("Full system: request latency vs download budget",
+		"download budget (units/tick)", "mean latency (ticks)")
+	utilFig := metrics.NewFigure("Full system: utilization and score vs download budget",
+		"download budget (units/tick)", "fraction")
+	latency := latFig.AddSeries("mean latency")
+	score := utilFig.AddSeries("mean client score")
+	linkU := utilFig.AddSeries("fixed-link utilization")
+	downU := utilFig.AddSeries("downlink utilization")
+
+	for _, budget := range cfg.Budgets {
+		cat, err := catalog.Uniform(cfg.Objects, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		gen, err := client.NewGenerator(client.GeneratorConfig{
+			Catalog:     cat,
+			Pattern:     rng.Zipf,
+			RatePerTick: cfg.RatePerTick,
+			Seed:        cfg.Seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		fs, err := basestation.NewFullSystem(basestation.FullSystemConfig{
+			Catalog:           cat,
+			Servers:           cfg.Servers,
+			Schedule:          catalog.NewPeriodicAll(cat, cfg.UpdatePeriod),
+			FixedBandwidth:    cfg.FixedBandwidth,
+			FixedLatency:      0.1,
+			DownlinkBandwidth: cfg.DownlinkBandwidth,
+			Policy:            policy.OnDemandLowestRecency{},
+			BudgetPerTick:     budget,
+			Generator:         gen,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := fs.Run(cfg.Ticks)
+		if err != nil {
+			return nil, nil, err
+		}
+		x := float64(budget)
+		latency.Add(x, res.Latency.Mean())
+		score.Add(x, res.Score.Mean())
+		linkU.Add(x, res.LinkUtilization)
+		downU.Add(x, res.DownlinkUtilization)
+	}
+	return latFig, utilFig, nil
+}

@@ -1,0 +1,134 @@
+// Package experiment contains one runner per table and figure of the
+// paper's evaluation, each regenerating the corresponding rows/series, plus
+// the extension studies listed in DESIGN.md (replacement policies, solver
+// ablation, full-system latency).
+package experiment
+
+import (
+	"fmt"
+
+	"mobicache/internal/basestation"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/metrics"
+	"mobicache/internal/parallel"
+	"mobicache/internal/policy"
+	"mobicache/internal/rng"
+	"mobicache/internal/server"
+)
+
+// Figure2Config parameterizes the Section 3.1 bandwidth analysis: how much
+// data must be downloaded to deliver the most recent data to all clients,
+// asynchronous vs on-demand, for varying request rates and skew.
+type Figure2Config struct {
+	// Objects is the catalog size (paper: 500, unit size).
+	Objects int
+	// UpdatePeriod is the simultaneous update period (paper: 5).
+	UpdatePeriod int
+	// Warmup and Measure are the tick counts (paper: 100 and 500).
+	Warmup, Measure int
+	// Rates are the requests-per-tick sample points (paper: 0..500).
+	Rates []int
+	// Seed drives the request streams.
+	Seed uint64
+}
+
+// DefaultFigure2 returns the paper's configuration.
+func DefaultFigure2() Figure2Config {
+	cfg := Figure2Config{
+		Objects:      500,
+		UpdatePeriod: 5,
+		Warmup:       100,
+		Measure:      500,
+		Seed:         2000,
+	}
+	for r := 0; r <= 500; r += 25 {
+		cfg.Rates = append(cfg.Rates, r)
+	}
+	return cfg
+}
+
+// Figure2 regenerates Figure 2: total objects downloaded during the
+// measurement phase, for the asynchronous approach (every update fetched)
+// and the on-demand approach (fetch iff requested and stale) under
+// uniform, linearly skewed, and zipf access.
+func Figure2(cfg Figure2Config) (*metrics.Figure, error) {
+	if cfg.Objects <= 0 || cfg.UpdatePeriod <= 0 || cfg.Measure <= 0 || cfg.Warmup < 0 {
+		return nil, fmt.Errorf("experiment: invalid figure 2 config %+v", cfg)
+	}
+	fig := metrics.NewFigure(
+		"Figure 2: data downloaded to provide the most recent data to all clients",
+		"requests/time-unit", "objects downloaded")
+
+	// The asynchronous bound is analytic: every object re-downloaded at
+	// every update, independent of requests (paper: 500 x 100 = 50,000).
+	asyncDownloads := float64(cfg.Objects * (cfg.Measure / cfg.UpdatePeriod))
+	async := fig.AddSeries("asynchronous")
+	for _, r := range cfg.Rates {
+		async.Add(float64(r), asyncDownloads)
+	}
+
+	// Every (pattern, rate) cell is an independent seeded simulation, so
+	// the grid runs on a worker pool; results are collected in index
+	// order to keep the output deterministic.
+	patterns := []rng.Popularity{rng.Uniform, rng.Linear, rng.Zipf}
+	type cell struct {
+		pattern int
+		rate    int
+	}
+	var cells []cell
+	for p := range patterns {
+		for _, r := range cfg.Rates {
+			cells = append(cells, cell{pattern: p, rate: r})
+		}
+	}
+	counts, err := parallel.Map(len(cells), 0, func(i int) (uint64, error) {
+		return figure2Run(cfg, patterns[cells[i].pattern], cells[i].rate)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, pattern := range patterns {
+		series := fig.AddSeries("on-demand " + pattern.String())
+		for j, rate := range cfg.Rates {
+			series.Add(float64(rate), float64(counts[p*len(cfg.Rates)+j]))
+		}
+	}
+	return fig, nil
+}
+
+// figure2Run simulates one (pattern, rate) cell and returns the number of
+// objects downloaded during the measurement phase.
+func figure2Run(cfg Figure2Config, pattern rng.Popularity, rate int) (uint64, error) {
+	cat, err := catalog.Uniform(cfg.Objects, 1)
+	if err != nil {
+		return 0, err
+	}
+	srv := server.New(cat, catalog.NewPeriodicAll(cat, cfg.UpdatePeriod))
+	st, err := basestation.New(basestation.Config{
+		Catalog:          cat,
+		Server:           srv,
+		Policy:           policy.OnDemandStale{},
+		CompulsoryMisses: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	gen, err := client.NewGenerator(client.GeneratorConfig{
+		Catalog:     cat,
+		Pattern:     pattern,
+		RatePerTick: rate,
+		Seed:        cfg.Seed + uint64(rate)*31 + uint64(pattern),
+	})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := st.Run(0, cfg.Warmup, gen); err != nil {
+		return 0, err
+	}
+	totals, err := st.Run(cfg.Warmup, cfg.Measure, gen)
+	if err != nil {
+		return 0, err
+	}
+	return totals.Downloads(), nil
+}

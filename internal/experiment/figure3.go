@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mobicache/internal/basestation"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/metrics"
+	"mobicache/internal/parallel"
+	"mobicache/internal/policy"
+	"mobicache/internal/rng"
+	"mobicache/internal/server"
+)
+
+// Figure3Config parameterizes the Section 3.2 recency analysis: mean
+// recency of data delivered to clients as the per-tick download cap k
+// grows, asynchronous round-robin vs on-demand lowest-recency.
+type Figure3Config struct {
+	// Objects is the catalog size (paper: 500, unit size).
+	Objects int
+	// RatePerTick is the request rate (paper: 100, uniform access).
+	RatePerTick int
+	// Ks are the download-cap sample points (paper: 1..100).
+	Ks []int
+	// Warmup and Measure are the tick counts (paper: 50 and 100).
+	Warmup, Measure int
+	// LowPeriod and HighPeriod are the update periods of the two panels
+	// (paper: every 10 ticks and every tick).
+	LowPeriod, HighPeriod int
+	// Seed drives the request streams; both policies replay the same
+	// stream, as in the paper ("both simulations used the same set of
+	// randomly generated client requests").
+	Seed uint64
+}
+
+// DefaultFigure3 returns the paper's configuration.
+func DefaultFigure3() Figure3Config {
+	cfg := Figure3Config{
+		Objects:     500,
+		RatePerTick: 100,
+		Warmup:      50,
+		Measure:     100,
+		LowPeriod:   10,
+		HighPeriod:  1,
+		Seed:        3000,
+	}
+	cfg.Ks = append(cfg.Ks, 1)
+	for k := 5; k <= 100; k += 5 {
+		cfg.Ks = append(cfg.Ks, k)
+	}
+	return cfg
+}
+
+// Figure3 regenerates both panels of Figure 3 (low and high update
+// frequency). The cache is pre-filled with fresh copies at time zero —
+// the paper considers "only objects that are stored in the cache" — and
+// then warmed for cfg.Warmup ticks so staleness reaches steady state
+// before measurement.
+func Figure3(cfg Figure3Config) ([]*metrics.Figure, error) {
+	if cfg.Objects <= 0 || cfg.RatePerTick < 0 || cfg.Measure <= 0 {
+		return nil, fmt.Errorf("experiment: invalid figure 3 config %+v", cfg)
+	}
+	panels := []struct {
+		title  string
+		period int
+	}{
+		{"Figure 3 (low update frequency: every " + fmt.Sprint(cfg.LowPeriod) + " time units)", cfg.LowPeriod},
+		{"Figure 3 (high update frequency: every " + fmt.Sprint(cfg.HighPeriod) + " time unit)", cfg.HighPeriod},
+	}
+	// Each (panel, k, policy) cell is independent; sweep on a worker
+	// pool. Policies are constructed per cell — AsyncRoundRobin carries a
+	// cursor and must not be shared across concurrent runs.
+	type cell struct {
+		panel int
+		k     int
+		async bool
+	}
+	var cells []cell
+	for p := range panels {
+		for _, k := range cfg.Ks {
+			cells = append(cells, cell{panel: p, k: k, async: false})
+			cells = append(cells, cell{panel: p, k: k, async: true})
+		}
+	}
+	recencies, err := parallel.Map(len(cells), 0, func(i int) (float64, error) {
+		c := cells[i]
+		var pol policy.Policy = policy.OnDemandLowestRecency{}
+		if c.async {
+			pol = &policy.AsyncRoundRobin{}
+		}
+		return figure3Run(cfg, panels[c.panel].period, c.k, pol)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var figs []*metrics.Figure
+	for p, panel := range panels {
+		fig := metrics.NewFigure(panel.title, "data downloaded per time unit", "average recency")
+		onDemand := fig.AddSeries("on-demand")
+		async := fig.AddSeries("asynchronous")
+		for j, k := range cfg.Ks {
+			base := (p*len(cfg.Ks) + j) * 2
+			onDemand.Add(float64(k), recencies[base])
+			async.Add(float64(k), recencies[base+1])
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// figure3Run simulates one (period, k, policy) cell and returns the mean
+// recency of data delivered during the measurement phase.
+func figure3Run(cfg Figure3Config, period, k int, pol policy.Policy) (float64, error) {
+	cat, err := catalog.Uniform(cfg.Objects, 1)
+	if err != nil {
+		return 0, err
+	}
+	srv := server.New(cat, catalog.NewPeriodicAll(cat, period))
+	st, err := basestation.New(basestation.Config{
+		Catalog:       cat,
+		Server:        srv,
+		Policy:        pol,
+		BudgetPerTick: int64(k),
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Pre-fill the cache with fresh copies (version 0).
+	for _, id := range cat.IDs() {
+		if err := st.Cache().Put(id, 1, 0, 0); err != nil {
+			return 0, err
+		}
+	}
+	gen, err := client.NewGenerator(client.GeneratorConfig{
+		Catalog:     cat,
+		Pattern:     rng.Uniform,
+		RatePerTick: cfg.RatePerTick,
+		Seed:        cfg.Seed, // identical stream across policies and ks
+	})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := st.Run(0, cfg.Warmup, gen); err != nil {
+		return 0, err
+	}
+	totals, err := st.Run(cfg.Warmup, cfg.Measure, gen)
+	if err != nil {
+		return 0, err
+	}
+	return totals.MeanRecency(), nil
+}

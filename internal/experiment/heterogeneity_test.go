@@ -1,0 +1,54 @@
+package experiment
+
+import "testing"
+
+func TestHeterogeneityStudyShape(t *testing.T) {
+	cfg := DefaultHeterogeneityStudy()
+	cfg.Objects = 100
+	cfg.RatePerTick = 30
+	cfg.Budget = 8
+	cfg.Warmup = 20
+	cfg.Measure = 80
+	cfg.VolatileFractions = []float64{0.2, 0.6, 1.0}
+	fig, err := HeterogeneityStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od := fig.Lookup("on-demand")
+	learned := fig.Lookup("async-learned")
+	rr := fig.Lookup("async-round-robin")
+	if od == nil || learned == nil || rr == nil {
+		t.Fatal("missing series")
+	}
+	for i := range od.Y {
+		// Request awareness dominates both async variants.
+		if od.Y[i] < learned.Y[i]-1e-9 {
+			t.Fatalf("on-demand %v below learned %v at frac %v", od.Y[i], learned.Y[i], od.X[i])
+		}
+		if od.Y[i] <= rr.Y[i] {
+			t.Fatalf("on-demand %v not above round-robin %v at frac %v", od.Y[i], rr.Y[i], od.X[i])
+		}
+		for _, y := range []float64{od.Y[i], learned.Y[i], rr.Y[i]} {
+			if y <= 0 || y > 1 {
+				t.Fatalf("recency %v out of range", y)
+			}
+		}
+	}
+	// Popularity learning recovers part of the gap over blind refresh at
+	// partial volatility (at full volatility every object is equal again).
+	if learned.Y[0] <= rr.Y[0] {
+		t.Fatalf("learned %v not above round-robin %v at low volatility", learned.Y[0], rr.Y[0])
+	}
+	// More volatility → lower achievable recency at a fixed budget.
+	if od.Y[len(od.Y)-1] >= od.Y[0] {
+		t.Fatalf("on-demand recency did not fall with volatility: %v", od.Y)
+	}
+}
+
+func TestHeterogeneityStudyValidation(t *testing.T) {
+	cfg := DefaultHeterogeneityStudy()
+	cfg.FastPeriod = 0
+	if _, err := HeterogeneityStudy(cfg); err == nil {
+		t.Fatal("zero fast period accepted")
+	}
+}

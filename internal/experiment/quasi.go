@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mobicache/internal/metrics"
+	"mobicache/internal/quasi"
+)
+
+// QuasiStudyConfig parameterizes the quasi-copy baseline (related work
+// [7]): how server-push refresh traffic and realized deviation scale with
+// the coherence window.
+type QuasiStudyConfig struct {
+	Objects int
+	// Sigma is the per-tick standard deviation of the value walks.
+	Sigma float64
+	// Start is the initial value (stock price).
+	Start float64
+	// Fractions are the relative-deviation coherence windows swept (the
+	// related-work example is 0.05).
+	Fractions []float64
+	Ticks     int
+	Seed      uint64
+}
+
+// DefaultQuasiStudy returns the study's default configuration.
+func DefaultQuasiStudy() QuasiStudyConfig {
+	return QuasiStudyConfig{
+		Objects:   200,
+		Sigma:     0.5,
+		Start:     100,
+		Fractions: []float64{0.01, 0.02, 0.05, 0.1, 0.2},
+		Ticks:     2000,
+		Seed:      9900,
+	}
+}
+
+// QuasiStudy measures push refreshes per tick and the mean relative
+// deviation of served values for each coherence window.
+func QuasiStudy(cfg QuasiStudyConfig) (*metrics.Figure, error) {
+	if cfg.Objects <= 0 || cfg.Ticks <= 0 || len(cfg.Fractions) == 0 {
+		return nil, fmt.Errorf("experiment: invalid quasi config %+v", cfg)
+	}
+	fig := metrics.NewFigure("Quasi-copies: push traffic and served deviation vs coherence window",
+		"allowed relative deviation", "value")
+	pushes := fig.AddSeries("push refreshes per tick")
+	deviation := fig.AddSeries("mean served deviation")
+
+	for _, frac := range cfg.Fractions {
+		walk, err := quasi.NewWalk(cfg.Objects, cfg.Start, cfg.Sigma, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		m, err := quasi.NewMonitor(walk, quasi.Relative{Fraction: frac})
+		if err != nil {
+			return nil, err
+		}
+		for tick := 0; tick < cfg.Ticks; tick++ {
+			m.Tick()
+			// One read per object per tick: the serving side of the cell.
+			for i := 0; i < cfg.Objects; i++ {
+				m.Serve(i)
+			}
+		}
+		pushes.Add(frac, m.PushRate())
+		deviation.Add(frac, m.MeanDeviation())
+	}
+	return fig, nil
+}

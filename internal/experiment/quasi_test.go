@@ -1,0 +1,42 @@
+package experiment
+
+import "testing"
+
+func TestQuasiStudyShape(t *testing.T) {
+	cfg := DefaultQuasiStudy()
+	cfg.Objects = 80
+	cfg.Ticks = 600
+	fig, err := QuasiStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushes := fig.Lookup("push refreshes per tick")
+	dev := fig.Lookup("mean served deviation")
+	if pushes == nil || dev == nil {
+		t.Fatal("missing series")
+	}
+	// Tighter coherence → more pushes; push rate strictly decreasing in
+	// the window.
+	for i := 1; i < pushes.Len(); i++ {
+		if pushes.Y[i] >= pushes.Y[i-1] {
+			t.Fatalf("push rate not decreasing with looser window: %v", pushes.Y)
+		}
+	}
+	// Served deviation grows with the window but never exceeds it.
+	for i := range dev.Y {
+		if dev.Y[i] > dev.X[i] {
+			t.Fatalf("served deviation %v above coherence bound %v", dev.Y[i], dev.X[i])
+		}
+		if i > 0 && dev.Y[i] < dev.Y[i-1]-1e-6 {
+			t.Fatalf("deviation not non-decreasing: %v", dev.Y)
+		}
+	}
+}
+
+func TestQuasiStudyValidation(t *testing.T) {
+	cfg := DefaultQuasiStudy()
+	cfg.Ticks = 0
+	if _, err := QuasiStudy(cfg); err == nil {
+		t.Fatal("zero ticks accepted")
+	}
+}

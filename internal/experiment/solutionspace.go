@@ -1,0 +1,204 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mobicache/internal/knapsack"
+	"mobicache/internal/metrics"
+	"mobicache/internal/rng"
+	"mobicache/internal/workload"
+)
+
+// SolutionSpaceConfig parameterizes the Section 4 knapsack solution-space
+// analysis (Figures 4-6), built on Table 1's instance generator.
+type SolutionSpaceConfig struct {
+	// Seed drives the instance draws.
+	Seed uint64
+	// Step is the budget sampling step for the curves (default 100).
+	Step int64
+	// Threshold is the paper's convergence score (the "dotted rectangle"
+	// level; default 0.9).
+	Threshold float64
+}
+
+// DefaultSolutionSpace returns the configuration used in the paper
+// reproduction runs.
+func DefaultSolutionSpace() SolutionSpaceConfig {
+	return SolutionSpaceConfig{Seed: 4000, Step: 100, Threshold: 0.9}
+}
+
+func (cfg *SolutionSpaceConfig) normalize() {
+	if cfg.Step <= 0 {
+		cfg.Step = 100
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 0.9
+	}
+}
+
+// recencyCorrLabel names a size-recency correlation the way the paper's
+// legends do.
+func recencyCorrLabel(c rng.Correlation) string {
+	switch c {
+	case rng.Positive:
+		return "large objs high scores"
+	case rng.Negative:
+		return "large objs low scores"
+	default:
+		return "no correlation"
+	}
+}
+
+// popularityCorrLabel names a size-popularity correlation the way the
+// paper's legends do.
+func popularityCorrLabel(c rng.Correlation, uniform bool) string {
+	if uniform {
+		return "uniform access"
+	}
+	switch c {
+	case rng.Positive:
+		return "large objects hot"
+	case rng.Negative:
+		return "small objects hot"
+	default:
+		return "no correlation"
+	}
+}
+
+// curve generates one Table 1 instance, traces the exact knapsack curve
+// to the full catalog size, and appends the Average Score series.
+func curve(cfg SolutionSpaceConfig, fig *metrics.Figure, name string,
+	sizeRecency, sizeNumReq rng.Correlation, uniformRequests bool) error {
+	inst, err := workload.GenInstance(workload.PaperSolutionSpace(sizeRecency, sizeNumReq, uniformRequests, cfg.Seed))
+	if err != nil {
+		return err
+	}
+	tr, err := knapsack.TraceDP(inst.Items(), inst.TotalSize())
+	if err != nil {
+		return err
+	}
+	budgets, scores := inst.AverageScoreCurve(tr, cfg.Step)
+	s := fig.AddSeries(name)
+	for i := range budgets {
+		s.Add(float64(budgets[i]), scores[i])
+	}
+	return nil
+}
+
+// Figure4 regenerates Figure 4: uniform access (every object requested by
+// the same number of clients), three curves for the correlation between
+// Object_Size and Cache_Recency_Score.
+func Figure4(cfg SolutionSpaceConfig) (*metrics.Figure, error) {
+	cfg.normalize()
+	fig := metrics.NewFigure("Figure 4: all objects accessed equally",
+		"units of data downloaded", "average score")
+	for _, c := range []rng.Correlation{rng.Positive, rng.Negative, rng.None} {
+		if err := curve(cfg, fig, recencyCorrLabel(c), c, rng.None, true); err != nil {
+			return nil, err
+		}
+	}
+	return fig, nil
+}
+
+// Figure5 regenerates Figure 5: skewed access controlled by the
+// correlation between Object_Size and Num_Requests. Panel (a) makes small
+// objects hot (negative correlation), panel (b) large objects hot.
+func Figure5(cfg SolutionSpaceConfig) ([]*metrics.Figure, error) {
+	cfg.normalize()
+	panels := []struct {
+		title      string
+		sizeNumReq rng.Correlation
+	}{
+		{"Figure 5(a): small objects hot", rng.Negative},
+		{"Figure 5(b): large objects hot", rng.Positive},
+	}
+	var figs []*metrics.Figure
+	for _, p := range panels {
+		fig := metrics.NewFigure(p.title, "units of data downloaded", "average score")
+		for _, c := range []rng.Correlation{rng.Positive, rng.Negative, rng.None} {
+			if err := curve(cfg, fig, recencyCorrLabel(c), c, p.sizeNumReq, false); err != nil {
+				return nil, err
+			}
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Figure6 regenerates Figure 6: the effect of the Object_Size /
+// Cache_Recency_Score correlation. Panel (a) gives small objects the
+// highest recency scores (negative correlation), panel (b) large objects.
+// Each panel draws three curves for the access skew.
+func Figure6(cfg SolutionSpaceConfig) ([]*metrics.Figure, error) {
+	cfg.normalize()
+	panels := []struct {
+		title       string
+		sizeRecency rng.Correlation
+	}{
+		{"Figure 6(a): small objects have highest recency scores", rng.Negative},
+		{"Figure 6(b): large objects have highest recency scores", rng.Positive},
+	}
+	pops := []struct {
+		corr    rng.Correlation
+		uniform bool
+	}{
+		{rng.Positive, false}, // large objects hot
+		{rng.Negative, false}, // small objects hot
+		{rng.None, true},      // uniform access
+	}
+	var figs []*metrics.Figure
+	for _, p := range panels {
+		fig := metrics.NewFigure(p.title, "units of data downloaded", "average score")
+		for _, pop := range pops {
+			name := popularityCorrLabel(pop.corr, pop.uniform)
+			if err := curve(cfg, fig, name, p.sizeRecency, pop.corr, pop.uniform); err != nil {
+				return nil, err
+			}
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Convergence reports, for each series of a solution-space figure, the
+// smallest budget at which the Average Score reaches the threshold —
+// the paper's "corner of the dotted rectangle". Series that never reach
+// it report -1.
+func Convergence(fig *metrics.Figure, threshold float64) map[string]float64 {
+	out := make(map[string]float64, len(fig.Series))
+	for _, s := range fig.Series {
+		out[s.Name] = s.FirstXWhere(threshold)
+	}
+	return out
+}
+
+// ConvergenceAll returns the largest convergence budget across a figure's
+// series (the budget at which *all* curves exceed the threshold), or -1
+// if any series never converges.
+func ConvergenceAll(fig *metrics.Figure, threshold float64) float64 {
+	worst := -1.0
+	for _, s := range fig.Series {
+		x := s.FirstXWhere(threshold)
+		if x < 0 {
+			return -1
+		}
+		if x > worst {
+			worst = x
+		}
+	}
+	return worst
+}
+
+// Table1 renders the paper's Table 1 (the parameter ranges of the
+// solution-space analysis) alongside the fixed totals.
+func Table1() string {
+	rows := [][]string{
+		{"Object_Size", "[1-20]", "uniform"},
+		{"Num_Requests", "[1-20]", "uniform or constant"},
+		{"Cache_Recency_Score", "[0.1-1.0]", "uniform"},
+	}
+	table := metrics.RenderTable([]string{"Parameter", "range", "distribution"}, rows)
+	return "# Table 1: parameter values for each object and their distributions\n" +
+		table +
+		fmt.Sprintf("\nclients = 5000, distinct objects = 500, total object size = 5000 units\n")
+}

@@ -1,0 +1,219 @@
+// Package invalidation implements the cache-consistency baseline of the
+// paper's related work [8] (Barbara & Imielinski, "Sleepers and
+// workaholics: caching strategies in mobile environments"): the server
+// periodically broadcasts invalidation reports, and mobile terminals that
+// keep their own caches use them to drop outdated entries.
+//
+// Two classic strategies are provided:
+//
+//   - TS (timestamps): the report covers a window of w broadcast
+//     intervals and carries update timestamps; a terminal that slept
+//     through less than the window patches its cache, one that slept
+//     longer must drop it entirely;
+//   - AT (amnesic terminals): the report only lists objects updated since
+//     the previous report; any terminal that missed even one report must
+//     drop its cache.
+//
+// The paper's base-station cache serves *stale* data deliberately,
+// trading recency for latency; this package supplies the opposite design
+// point for comparison: client caches that never knowingly serve data
+// older than one broadcast interval.
+package invalidation
+
+import (
+	"fmt"
+	"sort"
+
+	"mobicache/internal/catalog"
+)
+
+// Update is one entry of a report: an object and the tick it was last
+// updated within the report window.
+type Update struct {
+	Object catalog.ID
+	Tick   int
+}
+
+// Report is one invalidation broadcast.
+type Report struct {
+	// Tick is the broadcast time.
+	Tick int
+	// WindowStart is the earliest update time covered; updates at or
+	// before WindowStart are NOT reflected in Updates.
+	WindowStart int
+	// Updates lists the objects updated in (WindowStart, Tick], each with
+	// its latest update tick, ascending by object ID.
+	Updates []Update
+}
+
+// Broadcaster tracks server-side updates and issues periodic reports.
+type Broadcaster struct {
+	interval int // L: ticks between reports
+	window   int // w: intervals covered by a TS report
+	lastTick map[catalog.ID]int
+}
+
+// NewBroadcaster creates a broadcaster issuing a report every interval
+// ticks covering window intervals of history. window >= 1.
+func NewBroadcaster(interval, window int) (*Broadcaster, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("invalidation: interval %d must be positive", interval)
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("invalidation: window %d must be >= 1", window)
+	}
+	return &Broadcaster{
+		interval: interval,
+		window:   window,
+		lastTick: make(map[catalog.ID]int),
+	}, nil
+}
+
+// Interval returns the ticks between reports.
+func (b *Broadcaster) Interval() int { return b.interval }
+
+// Window returns the report window in intervals.
+func (b *Broadcaster) Window() int { return b.window }
+
+// RecordUpdate notes that id was updated at tick.
+func (b *Broadcaster) RecordUpdate(id catalog.ID, tick int) {
+	if last, ok := b.lastTick[id]; !ok || tick > last {
+		b.lastTick[id] = tick
+	}
+}
+
+// ReportAt builds the report broadcast at tick (normally a multiple of
+// the interval).
+func (b *Broadcaster) ReportAt(tick int) Report {
+	start := tick - b.interval*b.window
+	r := Report{Tick: tick, WindowStart: start}
+	for id, t := range b.lastTick {
+		if t > start && t <= tick {
+			r.Updates = append(r.Updates, Update{Object: id, Tick: t})
+		}
+	}
+	sort.Slice(r.Updates, func(i, j int) bool { return r.Updates[i].Object < r.Updates[j].Object })
+	return r
+}
+
+// Strategy selects the terminal's consistency scheme.
+type Strategy int
+
+const (
+	// TS is the timestamp strategy: survives sleeping up to window
+	// intervals.
+	TS Strategy = iota
+	// AT is the amnesic strategy: any missed report drops the cache.
+	AT
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case TS:
+		return "ts"
+	case AT:
+		return "at"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Stats counts terminal cache activity.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Invalidated uint64 // entries dropped by report contents
+	Purges      uint64 // whole-cache drops after sleeping too long
+}
+
+// Terminal is one mobile client cache driven by invalidation reports.
+type Terminal struct {
+	strategy Strategy
+	interval int
+	window   int
+	// entries maps object -> tick at which the cached value was current.
+	entries map[catalog.ID]int
+	// lastReport is the tick of the last report processed, or -1.
+	lastReport int
+	stats      Stats
+}
+
+// NewTerminal creates a terminal for a broadcaster's parameters.
+func NewTerminal(strategy Strategy, b *Broadcaster) *Terminal {
+	return &Terminal{
+		strategy:   strategy,
+		interval:   b.Interval(),
+		window:     b.Window(),
+		entries:    make(map[catalog.ID]int),
+		lastReport: -1,
+	}
+}
+
+// Len returns the number of cached entries.
+func (t *Terminal) Len() int { return len(t.entries) }
+
+// Stats returns a copy of the counters.
+func (t *Terminal) Stats() Stats { return t.stats }
+
+// Fill installs a value fetched at the given tick.
+func (t *Terminal) Fill(id catalog.ID, tick int) {
+	t.entries[id] = tick
+}
+
+// Query reports whether the terminal can answer for id from its cache.
+func (t *Terminal) Query(id catalog.ID) bool {
+	if _, ok := t.entries[id]; ok {
+		t.stats.Hits++
+		return true
+	}
+	t.stats.Misses++
+	return false
+}
+
+// OnReport processes a report heard at its broadcast tick. A terminal
+// that was asleep simply does not call OnReport for the reports it
+// missed; the strategy decides what survives.
+func (t *Terminal) OnReport(r Report) {
+	defer func() { t.lastReport = r.Tick }()
+	switch t.strategy {
+	case AT:
+		// Amnesic: the report only covers one interval of history, so a
+		// single missed report makes the cache unverifiable.
+		if t.lastReport >= 0 && r.Tick-t.lastReport > t.interval {
+			t.purge()
+			return
+		}
+	case TS:
+		// Timestamps: the report covers window intervals; sleeping past
+		// that loses coverage.
+		if t.lastReport >= 0 && r.Tick-t.lastReport > t.interval*t.window {
+			t.purge()
+			return
+		}
+	}
+	// First report ever heard: nothing cached before it can be verified
+	// unless it was filled after the window start.
+	if t.lastReport < 0 {
+		for id, ts := range t.entries {
+			if ts <= r.WindowStart {
+				delete(t.entries, id)
+				t.stats.Invalidated++
+			}
+		}
+	}
+	for _, u := range r.Updates {
+		ts, ok := t.entries[u.Object]
+		if ok && u.Tick > ts {
+			delete(t.entries, u.Object)
+			t.stats.Invalidated++
+		}
+	}
+}
+
+func (t *Terminal) purge() {
+	n := len(t.entries)
+	t.entries = make(map[catalog.ID]int)
+	t.stats.Purges++
+	t.stats.Invalidated += uint64(n)
+}

@@ -1,0 +1,249 @@
+package invalidation
+
+import (
+	"testing"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/rng"
+)
+
+func TestNewBroadcasterValidation(t *testing.T) {
+	if _, err := NewBroadcaster(0, 1); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := NewBroadcaster(5, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestReportWindow(t *testing.T) {
+	b, err := NewBroadcaster(10, 2) // reports every 10, cover 20 ticks
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.RecordUpdate(1, 5)
+	b.RecordUpdate(2, 15)
+	b.RecordUpdate(3, 25)
+	r := b.ReportAt(30)
+	if r.WindowStart != 10 {
+		t.Fatalf("window start = %d, want 10", r.WindowStart)
+	}
+	// Updates in (10, 30]: objects 2 and 3; object 1 (tick 5) aged out.
+	if len(r.Updates) != 2 || r.Updates[0].Object != 2 || r.Updates[1].Object != 3 {
+		t.Fatalf("updates = %+v", r.Updates)
+	}
+}
+
+func TestReportKeepsLatestTick(t *testing.T) {
+	b, _ := NewBroadcaster(10, 1)
+	b.RecordUpdate(7, 3)
+	b.RecordUpdate(7, 8)
+	b.RecordUpdate(7, 6) // out of order: must not regress
+	r := b.ReportAt(10)
+	if len(r.Updates) != 1 || r.Updates[0].Tick != 8 {
+		t.Fatalf("updates = %+v", r.Updates)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if TS.String() != "ts" || AT.String() != "at" || Strategy(9).String() != "Strategy(9)" {
+		t.Fatal("strategy names wrong")
+	}
+}
+
+func TestTerminalInvalidatesUpdatedEntries(t *testing.T) {
+	b, _ := NewBroadcaster(10, 2)
+	term := NewTerminal(TS, b)
+	term.OnReport(b.ReportAt(10)) // first report: empty cache, establishes sync
+	term.Fill(1, 12)
+	term.Fill(2, 13)
+	b.RecordUpdate(1, 15) // object 1 changes after the fill
+	term.OnReport(b.ReportAt(20))
+	if term.Query(1) {
+		t.Fatal("updated entry survived the report")
+	}
+	if !term.Query(2) {
+		t.Fatal("untouched entry was dropped")
+	}
+	s := term.Stats()
+	if s.Invalidated != 1 || s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestTerminalKeepsEntryFilledAfterUpdate(t *testing.T) {
+	b, _ := NewBroadcaster(10, 2)
+	term := NewTerminal(TS, b)
+	term.OnReport(b.ReportAt(10))
+	b.RecordUpdate(1, 12)
+	term.Fill(1, 15) // fetched AFTER the update: still current
+	term.OnReport(b.ReportAt(20))
+	if !term.Query(1) {
+		t.Fatal("entry newer than the update was invalidated")
+	}
+}
+
+func TestTSSleeperWithinWindowPatches(t *testing.T) {
+	b, _ := NewBroadcaster(10, 3) // window covers 30 ticks
+	term := NewTerminal(TS, b)
+	term.OnReport(b.ReportAt(10))
+	term.Fill(1, 11)
+	term.Fill(2, 12)
+	b.RecordUpdate(2, 25)
+	// Sleeps through reports at 20 and 30, wakes for 40: gap 30 == w*L,
+	// still within coverage.
+	term.OnReport(b.ReportAt(40))
+	if term.Stats().Purges != 0 {
+		t.Fatal("in-window sleeper purged its cache")
+	}
+	if term.Query(2) {
+		t.Fatal("stale entry survived in-window patch")
+	}
+	if !term.Query(1) {
+		t.Fatal("fresh entry dropped by in-window patch")
+	}
+}
+
+func TestTSLongSleeperPurges(t *testing.T) {
+	b, _ := NewBroadcaster(10, 2) // coverage 20 ticks
+	term := NewTerminal(TS, b)
+	term.OnReport(b.ReportAt(10))
+	term.Fill(1, 11)
+	// Sleeps 30 ticks > 20: whole cache dropped.
+	term.OnReport(b.ReportAt(40))
+	if term.Stats().Purges != 1 {
+		t.Fatalf("purges = %d, want 1", term.Stats().Purges)
+	}
+	if term.Len() != 0 {
+		t.Fatal("entries survived a purge")
+	}
+}
+
+func TestATMissedReportPurges(t *testing.T) {
+	b, _ := NewBroadcaster(10, 1)
+	term := NewTerminal(AT, b)
+	term.OnReport(b.ReportAt(10))
+	term.Fill(1, 11)
+	// Misses the report at 20; hears 30.
+	term.OnReport(b.ReportAt(30))
+	if term.Stats().Purges != 1 {
+		t.Fatalf("amnesic terminal kept cache across a missed report")
+	}
+}
+
+func TestATConsecutiveReportsKeepCache(t *testing.T) {
+	b, _ := NewBroadcaster(10, 1)
+	term := NewTerminal(AT, b)
+	term.OnReport(b.ReportAt(10))
+	term.Fill(1, 11)
+	term.OnReport(b.ReportAt(20))
+	term.OnReport(b.ReportAt(30))
+	if term.Stats().Purges != 0 {
+		t.Fatal("attentive amnesic terminal purged")
+	}
+	if !term.Query(1) {
+		t.Fatal("entry lost without updates")
+	}
+}
+
+func TestFirstReportDropsUnverifiableEntries(t *testing.T) {
+	b, _ := NewBroadcaster(10, 1)
+	term := NewTerminal(TS, b)
+	// Filled before ever hearing a report, older than the window.
+	term.Fill(1, 2)
+	term.Fill(2, 15) // within (10, 20]: verifiable by the report at 20
+	term.OnReport(b.ReportAt(20))
+	if term.Query(1) {
+		t.Fatal("unverifiable pre-sync entry survived")
+	}
+	if !term.Query(2) {
+		t.Fatal("verifiable entry dropped")
+	}
+}
+
+// TestNoStaleReadsInvariant is the core correctness property: a terminal
+// that processes every report never serves data more than one broadcast
+// interval stale, under a randomized update/query workload.
+func TestNoStaleReadsInvariant(t *testing.T) {
+	const (
+		objects  = 50
+		interval = 10
+		ticks    = 2000
+	)
+	src := rng.New(42)
+	b, _ := NewBroadcaster(interval, 2)
+	term := NewTerminal(TS, b)
+	// trueUpdate[i] is the latest update tick of object i.
+	trueUpdate := make([]int, objects)
+	for i := range trueUpdate {
+		trueUpdate[i] = -1
+	}
+	cachedAt := make(map[catalog.ID]int)
+
+	for tick := 1; tick <= ticks; tick++ {
+		// Random updates.
+		for i := 0; i < objects; i++ {
+			if src.Bernoulli(0.02) {
+				trueUpdate[i] = tick
+				b.RecordUpdate(catalog.ID(i), tick)
+			}
+		}
+		if tick%interval == 0 {
+			term.OnReport(b.ReportAt(tick))
+			for id := range cachedAt {
+				if !term.Query(id) {
+					delete(cachedAt, id)
+				}
+			}
+		}
+		// Random query + fill.
+		id := catalog.ID(src.Intn(objects))
+		if term.Query(id) {
+			// Cached: its value must not predate an update older than one
+			// report interval (updates since the last report are the
+			// permitted staleness).
+			fetched := cachedAt[id]
+			if trueUpdate[id] > fetched && tick-trueUpdate[id] > interval {
+				t.Fatalf("tick %d: served object %d fetched at %d despite update at %d",
+					tick, id, fetched, trueUpdate[id])
+			}
+		} else {
+			term.Fill(id, tick)
+			cachedAt[id] = tick
+		}
+	}
+	if term.Stats().Hits == 0 {
+		t.Fatal("workload produced no cache hits; invariant untested")
+	}
+}
+
+func TestTSHitRatioBeatsATUnderSleep(t *testing.T) {
+	// A terminal that periodically sleeps for one report interval: TS
+	// patches and keeps its cache, AT purges every time.
+	run := func(strategy Strategy) uint64 {
+		src := rng.New(7)
+		b, _ := NewBroadcaster(10, 4)
+		term := NewTerminal(strategy, b)
+		for tick := 1; tick <= 4000; tick++ {
+			if src.Bernoulli(0.01) {
+				b.RecordUpdate(catalog.ID(src.Intn(100)), tick)
+			}
+			if tick%10 == 0 {
+				// Sleep through every other report.
+				if (tick/10)%2 == 0 {
+					term.OnReport(b.ReportAt(tick))
+				}
+			}
+			id := catalog.ID(src.Intn(100))
+			if !term.Query(id) {
+				term.Fill(id, tick)
+			}
+		}
+		return term.Stats().Hits
+	}
+	ts := run(TS)
+	at := run(AT)
+	if ts <= at {
+		t.Fatalf("TS hits %d not above AT hits %d for a sleeper", ts, at)
+	}
+}

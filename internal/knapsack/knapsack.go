@@ -1,0 +1,358 @@
+// Package knapsack implements the 0/1 knapsack solvers the paper's
+// on-demand download selection reduces to (Section 2): an exact dynamic
+// program that also yields the full best-value-per-capacity trace the
+// Section 4 solution-space analysis plots, a density-greedy heuristic, a
+// fully polynomial-time approximation scheme (FPTAS), and a depth-first
+// branch-and-bound solver. Item weights are integral "units of data";
+// profits are real-valued client benefits.
+package knapsack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Item is one candidate object: Weight is its size in data units and
+// Profit the total benefit of downloading it.
+type Item struct {
+	Weight int64
+	Profit float64
+}
+
+// Solution is the outcome of a solve: the chosen item indexes (ascending),
+// their total profit, and their total weight.
+type Solution struct {
+	Take   []int
+	Profit float64
+	Weight int64
+}
+
+// Validate checks items for solver preconditions: positive weights and
+// non-negative, finite profits.
+func Validate(items []Item) error {
+	for i, it := range items {
+		if it.Weight <= 0 {
+			return fmt.Errorf("knapsack: item %d has non-positive weight %d", i, it.Weight)
+		}
+		if it.Profit < 0 || math.IsNaN(it.Profit) || math.IsInf(it.Profit, 0) {
+			return fmt.Errorf("knapsack: item %d has invalid profit %v", i, it.Profit)
+		}
+	}
+	return nil
+}
+
+// ErrNegativeCapacity is returned when the capacity is negative.
+var ErrNegativeCapacity = errors.New("knapsack: negative capacity")
+
+// SolveDP solves the instance exactly by dynamic programming over
+// capacity, in O(n·capacity) time and O(n·capacity) bits of memory for
+// choice reconstruction.
+func SolveDP(items []Item, capacity int64) (Solution, error) {
+	if capacity < 0 {
+		return Solution{}, ErrNegativeCapacity
+	}
+	if err := Validate(items); err != nil {
+		return Solution{}, err
+	}
+	n := len(items)
+	c := int(capacity)
+	value := make([]float64, c+1)
+	// One bitset row of decisions per item.
+	words := (c + 1 + 63) / 64
+	decisions := make([][]uint64, n)
+
+	for i, it := range items {
+		row := make([]uint64, words)
+		w := int(it.Weight)
+		if w <= c {
+			for cap := c; cap >= w; cap-- {
+				cand := value[cap-w] + it.Profit
+				if cand > value[cap] {
+					value[cap] = cand
+					row[cap/64] |= 1 << (cap % 64)
+				}
+			}
+		}
+		decisions[i] = row
+	}
+
+	sol := Solution{Profit: value[c]}
+	remaining := c
+	for i := n - 1; i >= 0; i-- {
+		if decisions[i][remaining/64]&(1<<(remaining%64)) != 0 {
+			sol.Take = append(sol.Take, i)
+			sol.Weight += items[i].Weight
+			remaining -= int(items[i].Weight)
+		}
+	}
+	reverse(sol.Take)
+	return sol, nil
+}
+
+// Trace holds the exact best achievable profit for every integral budget
+// from 0 to its capacity: Value[b] is the optimum with budget b. This is
+// precisely the curve the paper's Figures 4-6 plot ("the algorithm ...
+// allows us to observe how the quality of the solution changes as the
+// upper bound increases").
+type Trace struct {
+	Value []float64
+}
+
+// Capacity returns the largest budget covered by the trace.
+func (t *Trace) Capacity() int64 { return int64(len(t.Value) - 1) }
+
+// At returns the optimal profit at budget b, clamping b to the traced
+// range.
+func (t *Trace) At(b int64) float64 {
+	if b < 0 {
+		return t.Value[0]
+	}
+	if b >= int64(len(t.Value)) {
+		return t.Value[len(t.Value)-1]
+	}
+	return t.Value[b]
+}
+
+// Marginal returns the profit gain of raising the budget from b-1 to b.
+func (t *Trace) Marginal(b int64) float64 {
+	if b <= 0 || b >= int64(len(t.Value)) {
+		return 0
+	}
+	return t.Value[b] - t.Value[b-1]
+}
+
+// TraceDP computes the full best-value-per-capacity curve in
+// O(n·capacity) time and O(capacity) memory (no reconstruction).
+func TraceDP(items []Item, capacity int64) (*Trace, error) {
+	if capacity < 0 {
+		return nil, ErrNegativeCapacity
+	}
+	if err := Validate(items); err != nil {
+		return nil, err
+	}
+	c := int(capacity)
+	value := make([]float64, c+1)
+	for _, it := range items {
+		w := int(it.Weight)
+		if w > c {
+			continue
+		}
+		for cap := c; cap >= w; cap-- {
+			if cand := value[cap-w] + it.Profit; cand > value[cap] {
+				value[cap] = cand
+			}
+		}
+	}
+	return &Trace{Value: value}, nil
+}
+
+// SolveGreedy applies the classic density heuristic: consider items in
+// decreasing profit/weight order, taking each that fits. The result is
+// then compared against the best single item, which restores the standard
+// 1/2-approximation guarantee.
+func SolveGreedy(items []Item, capacity int64) (Solution, error) {
+	if capacity < 0 {
+		return Solution{}, ErrNegativeCapacity
+	}
+	if err := Validate(items); err != nil {
+		return Solution{}, err
+	}
+	order := densityOrder(items)
+	var sol Solution
+	remaining := capacity
+	for _, i := range order {
+		if items[i].Weight <= remaining {
+			sol.Take = append(sol.Take, i)
+			sol.Profit += items[i].Profit
+			sol.Weight += items[i].Weight
+			remaining -= items[i].Weight
+		}
+	}
+	// Best single item that fits.
+	best := -1
+	for i, it := range items {
+		if it.Weight <= capacity && (best < 0 || it.Profit > items[best].Profit) {
+			best = i
+		}
+	}
+	if best >= 0 && items[best].Profit > sol.Profit {
+		sol = Solution{Take: []int{best}, Profit: items[best].Profit, Weight: items[best].Weight}
+	}
+	sort.Ints(sol.Take)
+	return sol, nil
+}
+
+// SolveFPTAS returns a solution with profit at least (1-eps) times the
+// optimum, in O(n^3/eps) time independent of capacity magnitude, by
+// scaling profits and running the min-weight-per-profit dynamic program.
+func SolveFPTAS(items []Item, capacity int64, eps float64) (Solution, error) {
+	if capacity < 0 {
+		return Solution{}, ErrNegativeCapacity
+	}
+	if eps <= 0 || eps >= 1 {
+		return Solution{}, fmt.Errorf("knapsack: eps %v out of (0,1)", eps)
+	}
+	if err := Validate(items); err != nil {
+		return Solution{}, err
+	}
+	n := len(items)
+	maxProfit := 0.0
+	for _, it := range items {
+		if it.Weight <= capacity && it.Profit > maxProfit {
+			maxProfit = it.Profit
+		}
+	}
+	if maxProfit == 0 {
+		return Solution{}, nil
+	}
+	scale := eps * maxProfit / float64(n)
+	scaled := make([]int, n)
+	maxTotal := 0
+	for i, it := range items {
+		scaled[i] = int(it.Profit / scale)
+		if it.Weight <= capacity {
+			maxTotal += scaled[i]
+		}
+	}
+
+	// minWeight[p] = least weight achieving scaled profit exactly p.
+	const inf = math.MaxInt64
+	minWeight := make([]int64, maxTotal+1)
+	choice := make([][]uint64, n)
+	words := (maxTotal + 1 + 63) / 64
+	for p := 1; p <= maxTotal; p++ {
+		minWeight[p] = inf
+	}
+	for i, it := range items {
+		row := make([]uint64, words)
+		if it.Weight <= capacity {
+			sp := scaled[i]
+			for p := maxTotal; p >= sp; p-- {
+				if minWeight[p-sp] != inf {
+					if cand := minWeight[p-sp] + it.Weight; cand < minWeight[p] {
+						minWeight[p] = cand
+						row[p/64] |= 1 << (p % 64)
+					}
+				}
+			}
+		}
+		choice[i] = row
+	}
+	bestP := 0
+	for p := maxTotal; p > 0; p-- {
+		if minWeight[p] <= capacity {
+			bestP = p
+			break
+		}
+	}
+	var sol Solution
+	p := bestP
+	for i := n - 1; i >= 0; i-- {
+		if p > 0 && choice[i][p/64]&(1<<(p%64)) != 0 {
+			sol.Take = append(sol.Take, i)
+			sol.Profit += items[i].Profit
+			sol.Weight += items[i].Weight
+			p -= scaled[i]
+		}
+	}
+	reverse(sol.Take)
+	return sol, nil
+}
+
+// SolveBB solves the instance exactly by depth-first branch-and-bound
+// with the fractional-relaxation upper bound. Exponential in the worst
+// case but fast on the correlated instances of Section 4; used to cross-
+// check the DP in tests.
+func SolveBB(items []Item, capacity int64) (Solution, error) {
+	if capacity < 0 {
+		return Solution{}, ErrNegativeCapacity
+	}
+	if err := Validate(items); err != nil {
+		return Solution{}, err
+	}
+	order := densityOrder(items)
+	b := &bbState{items: items, order: order, capacity: capacity, bestTake: nil}
+	// Seed the incumbent with the greedy solution: a strong initial lower
+	// bound prunes most of the tree on large correlated instances.
+	if greedy, err := SolveGreedy(items, capacity); err == nil && greedy.Profit > 0 {
+		b.bestProfit = greedy.Profit
+		b.bestWeight = greedy.Weight
+		b.bestTake = append(b.bestTake, greedy.Take...)
+	}
+	b.search(0, 0, 0, nil)
+	sol := Solution{Profit: b.bestProfit, Weight: b.bestWeight}
+	sol.Take = append(sol.Take, b.bestTake...)
+	sort.Ints(sol.Take)
+	return sol, nil
+}
+
+type bbState struct {
+	items      []Item
+	order      []int
+	capacity   int64
+	bestProfit float64
+	bestWeight int64
+	bestTake   []int
+}
+
+// bound computes the fractional-knapsack upper bound for the subproblem
+// starting at position pos with the given used weight and accumulated
+// profit.
+func (b *bbState) bound(pos int, weight int64, profit float64) float64 {
+	remaining := b.capacity - weight
+	bound := profit
+	for _, i := range b.order[pos:] {
+		it := b.items[i]
+		if it.Weight <= remaining {
+			remaining -= it.Weight
+			bound += it.Profit
+		} else {
+			bound += it.Profit * float64(remaining) / float64(it.Weight)
+			break
+		}
+	}
+	return bound
+}
+
+func (b *bbState) search(pos int, weight int64, profit float64, take []int) {
+	if profit > b.bestProfit {
+		b.bestProfit = profit
+		b.bestWeight = weight
+		b.bestTake = append(b.bestTake[:0], take...)
+	}
+	if pos >= len(b.order) {
+		return
+	}
+	if b.bound(pos, weight, profit) <= b.bestProfit {
+		return
+	}
+	i := b.order[pos]
+	it := b.items[i]
+	if weight+it.Weight <= b.capacity {
+		b.search(pos+1, weight+it.Weight, profit+it.Profit, append(take, i))
+	}
+	b.search(pos+1, weight, profit, take)
+}
+
+// densityOrder returns item indexes sorted by decreasing profit/weight
+// density, ties broken by index for determinism.
+func densityOrder(items []Item) []int {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da := items[order[a]].Profit / float64(items[order[a]].Weight)
+		db := items[order[b]].Profit / float64(items[order[b]].Weight)
+		return da > db
+	})
+	return order
+}
+
+func reverse(v []int) {
+	for i, j := 0, len(v)-1; i < j; i, j = i+1, j-1 {
+		v[i], v[j] = v[j], v[i]
+	}
+}

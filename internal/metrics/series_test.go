@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesAddAndLen(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestSeriesYAt(t *testing.T) {
+	s := &Series{X: []float64{0, 10, 20}, Y: []float64{0, 100, 50}}
+	cases := []struct{ x, want float64 }{
+		{-5, 0},   // clamp below
+		{0, 0},    // exact
+		{5, 50},   // interpolate
+		{10, 100}, // exact
+		{15, 75},  // interpolate downward
+		{25, 50},  // clamp above
+	}
+	for _, c := range cases {
+		if got := s.YAt(c.x); got != c.want {
+			t.Fatalf("YAt(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	empty := &Series{}
+	if empty.YAt(1) != 0 {
+		t.Fatal("empty YAt != 0")
+	}
+}
+
+func TestSeriesFirstXWhere(t *testing.T) {
+	s := &Series{X: []float64{0, 1000, 2000, 3000}, Y: []float64{0.5, 0.8, 0.92, 0.99}}
+	if got := s.FirstXWhere(0.9); got != 2000 {
+		t.Fatalf("FirstXWhere(0.9) = %v, want 2000", got)
+	}
+	if got := s.FirstXWhere(1.5); got != -1 {
+		t.Fatalf("FirstXWhere(1.5) = %v, want -1", got)
+	}
+}
+
+func TestFigureTableAndCSV(t *testing.T) {
+	f := NewFigure("Test Figure", "budget", "score")
+	a := f.AddSeries("alpha")
+	b := f.AddSeries("beta")
+	a.Add(0, 0.1)
+	a.Add(10, 0.9)
+	b.Add(0, 0.2)
+	b.Add(10, 0.8)
+	tab := f.Table()
+	for _, want := range []string{"Test Figure", "budget", "alpha", "beta", "0.9000", "0.8000"} {
+		if !strings.Contains(tab, want) {
+			t.Fatalf("table missing %q:\n%s", want, tab)
+		}
+	}
+	csv := f.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV line count = %d, want 3:\n%s", len(lines), csv)
+	}
+	if lines[0] != "budget,alpha,beta" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if lines[1] != "0,0.1000,0.2000" {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+}
+
+func TestFigureLookup(t *testing.T) {
+	f := NewFigure("t", "x", "y")
+	s := f.AddSeries("s1")
+	if f.Lookup("s1") != s {
+		t.Fatal("Lookup failed to find series")
+	}
+	if f.Lookup("nope") != nil {
+		t.Fatal("Lookup invented a series")
+	}
+}
+
+func TestFigurePlot(t *testing.T) {
+	f := NewFigure("Shape", "x", "y")
+	s := f.AddSeries("line")
+	for i := 0; i <= 10; i++ {
+		s.Add(float64(i), float64(i))
+	}
+	p := f.Plot(40, 10)
+	if !strings.Contains(p, "Shape") || !strings.Contains(p, "* = line") {
+		t.Fatalf("plot missing title or legend:\n%s", p)
+	}
+	// An increasing line must put a glyph in the top-right region and
+	// bottom-left region.
+	lines := strings.Split(p, "\n")
+	var gridLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "| ") {
+			gridLines = append(gridLines, l)
+		}
+	}
+	if len(gridLines) != 10 {
+		t.Fatalf("grid height = %d, want 10", len(gridLines))
+	}
+	if !strings.Contains(gridLines[0], "*") {
+		t.Fatalf("top row has no glyph: %q", gridLines[0])
+	}
+	if !strings.Contains(gridLines[len(gridLines)-1], "*") {
+		t.Fatalf("bottom row has no glyph: %q", gridLines[len(gridLines)-1])
+	}
+}
+
+func TestFigurePlotEmptyAndDegenerate(t *testing.T) {
+	f := NewFigure("Empty", "x", "y")
+	if p := f.Plot(40, 10); !strings.Contains(p, "(empty)") {
+		t.Fatalf("empty plot = %q", p)
+	}
+	g := NewFigure("Flat", "x", "y")
+	s := g.AddSeries("flat")
+	s.Add(1, 5)
+	if p := g.Plot(2, 2); !strings.Contains(p, "Flat") { // forces fallback dims
+		t.Fatalf("degenerate plot = %q", p)
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if got := csvEscape(`a,b`); got != `"a,b"` {
+		t.Fatalf("csvEscape = %q", got)
+	}
+	if got := csvEscape(`say "hi"`); got != `"say ""hi"""` {
+		t.Fatalf("csvEscape = %q", got)
+	}
+	if got := csvEscape("plain"); got != "plain" {
+		t.Fatalf("csvEscape = %q", got)
+	}
+}
+
+func TestRenderTableAlignment(t *testing.T) {
+	out := RenderTable([]string{"a", "long"}, [][]string{{"1", "2"}, {"333", "4"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("missing separator: %q", lines[1])
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if got := trimFloat(3); got != "3" {
+		t.Fatalf("trimFloat(3) = %q", got)
+	}
+	if got := trimFloat(3.5); got != "3.5000" {
+		t.Fatalf("trimFloat(3.5) = %q", got)
+	}
+}

@@ -1,0 +1,248 @@
+// Package metrics provides the statistics and reporting primitives used by
+// every experiment in this repository: streaming moments (Welford),
+// fixed-bucket histograms, time series, counters, and renderers that print
+// the rows and series the paper's tables and figures report (ASCII tables,
+// ASCII line plots, CSV).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a streaming mean and variance without storing
+// samples. The zero value is ready to use.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds a sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// AddN folds the same sample n times (used when many clients share one
+// object's score).
+func (w *Welford) AddN(x float64, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		w.Add(x)
+	}
+}
+
+// N returns the sample count.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the sample mean, or 0 for an empty accumulator.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance, or 0 with fewer than two
+// samples.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest sample, or 0 for an empty accumulator.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.min
+}
+
+// Max returns the largest sample, or 0 for an empty accumulator.
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.max
+}
+
+// Merge folds another accumulator into w (Chan et al. parallel variance).
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += delta * float64(o.n) / float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n = n
+}
+
+// Reset clears the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// String implements fmt.Stringer.
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f std=%.4f min=%.4f max=%.4f",
+		w.n, w.Mean(), w.Std(), w.Min(), w.Max())
+}
+
+// Histogram is a fixed-width-bucket histogram over [lo, hi). Samples
+// outside the range land in saturating edge buckets.
+type Histogram struct {
+	lo, hi  float64
+	buckets []uint64
+	under   uint64
+	over    uint64
+	n       uint64
+}
+
+// NewHistogram creates a histogram with n equal buckets over [lo, hi).
+// It panics if n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic(fmt.Sprintf("metrics: invalid histogram [%v,%v) x %d", lo, hi, n))
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]uint64, n)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int(float64(len(h.buckets)) * (x - h.lo) / (h.hi - h.lo))
+		if i == len(h.buckets) { // x == hi up to rounding
+			i--
+		}
+		h.buckets[i]++
+	}
+}
+
+// N returns the total number of samples, including out-of-range ones.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Buckets returns the number of in-range buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// OutOfRange returns the counts of samples below lo and at/above hi.
+func (h *Histogram) OutOfRange() (under, over uint64) { return h.under, h.over }
+
+// Quantile returns an approximate q-quantile (q in [0,1]) assuming samples
+// are uniform within buckets. Out-of-range samples clamp to the edges.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.n)
+	cum := float64(h.under)
+	if target <= cum {
+		return h.lo
+	}
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	for i, c := range h.buckets {
+		next := cum + float64(c)
+		if target <= next && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + width*(float64(i)+frac)
+		}
+		cum = next
+	}
+	return h.hi
+}
+
+// Quantiles computes exact quantiles of a sample slice (the slice is
+// sorted in place). Used where the full sample set is small enough to keep.
+func Quantiles(samples []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(samples) == 0 {
+		return out
+	}
+	sort.Float64s(samples)
+	for i, q := range qs {
+		if q <= 0 {
+			out[i] = samples[0]
+			continue
+		}
+		if q >= 1 {
+			out[i] = samples[len(samples)-1]
+			continue
+		}
+		pos := q * float64(len(samples)-1)
+		lo := int(pos)
+		frac := pos - float64(lo)
+		if lo+1 < len(samples) {
+			out[i] = samples[lo]*(1-frac) + samples[lo+1]*frac
+		} else {
+			out[i] = samples[lo]
+		}
+	}
+	return out
+}
+
+// Counter is a named monotonic counter set.
+type Counter struct {
+	counts map[string]uint64
+	order  []string
+}
+
+// NewCounter returns an empty counter set.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]uint64)}
+}
+
+// Inc adds n to the named counter, creating it on first use.
+func (c *Counter) Inc(name string, n uint64) {
+	if _, ok := c.counts[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.counts[name] += n
+}
+
+// Get returns the named counter's value (0 if never incremented).
+func (c *Counter) Get(name string) uint64 { return c.counts[name] }
+
+// Names returns counter names in first-use order.
+func (c *Counter) Names() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Min() != 0 || w.Max() != 0 {
+		t.Fatal("zero Welford must report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d, want 8", w.N())
+	}
+	if got := w.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", got)
+	}
+	// Unbiased variance of that classic sample is 32/7.
+	if got := w.Var(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("var = %v, want %v", got, 32.0/7)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v, want 2/9", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordSingleSampleVar(t *testing.T) {
+	var w Welford
+	w.Add(3)
+	if w.Var() != 0 || w.Std() != 0 {
+		t.Fatalf("single-sample var/std = %v/%v, want 0/0", w.Var(), w.Std())
+	}
+}
+
+func TestWelfordAddN(t *testing.T) {
+	var a, b Welford
+	a.AddN(2.5, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(2.5)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() || a.Var() != b.Var() {
+		t.Fatalf("AddN mismatch: %v vs %v", a.String(), b.String())
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		clean := func(v []float64) []float64 {
+			out := v[:0]
+			for _, x := range v {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		var a, b, all Welford
+		for _, x := range xs {
+			a.Add(x)
+			all.Add(x)
+		}
+		for _, y := range ys {
+			b.Add(y)
+			all.Add(y)
+		}
+		a.Merge(&b)
+		if a.N() != all.N() {
+			return false
+		}
+		if a.N() == 0 {
+			return true
+		}
+		tol := 1e-6 * (1 + math.Abs(all.Mean()) + all.Var())
+		return math.Abs(a.Mean()-all.Mean()) < tol && math.Abs(a.Var()-all.Var()) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	mean, v := a.Mean(), a.Var()
+	a.Merge(&b) // merging empty changes nothing
+	if a.Mean() != mean || a.Var() != v || a.N() != 2 {
+		t.Fatal("merging empty accumulator changed state")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.Mean() != mean || b.N() != 2 {
+		t.Fatal("merging into empty accumulator did not copy")
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.Add(5)
+	w.Reset()
+	if w.N() != 0 || w.Mean() != 0 {
+		t.Fatal("Reset did not clear accumulator")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Fatalf("bucket %d = %d, want 1", i, h.Bucket(i))
+		}
+	}
+	if h.Buckets() != 10 {
+		t.Fatalf("Buckets() = %d", h.Buckets())
+	}
+	h.Add(-1)
+	h.Add(10)
+	h.Add(11)
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("out of range = (%d,%d), want (1,2)", under, over)
+	}
+	if h.N() != 13 {
+		t.Fatalf("N = %d, want 13", h.N())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Fatalf("median = %v, want ~50", med)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Fatal("quantiles not monotone")
+	}
+	empty := NewHistogram(0, 1, 4)
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}
+
+func TestQuantilesExact(t *testing.T) {
+	s := []float64{5, 1, 4, 2, 3}
+	qs := Quantiles(s, 0, 0.5, 1)
+	if qs[0] != 1 || qs[1] != 3 || qs[2] != 5 {
+		t.Fatalf("Quantiles = %v, want [1 3 5]", qs)
+	}
+	if got := Quantiles(nil, 0.5); got[0] != 0 {
+		t.Fatalf("empty Quantiles = %v", got)
+	}
+	interp := Quantiles([]float64{0, 10}, 0.25)
+	if math.Abs(interp[0]-2.5) > 1e-12 {
+		t.Fatalf("interpolated quantile = %v, want 2.5", interp[0])
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc("hits", 2)
+	c.Inc("misses", 1)
+	c.Inc("hits", 3)
+	if c.Get("hits") != 5 || c.Get("misses") != 1 || c.Get("absent") != 0 {
+		t.Fatalf("counter values wrong: hits=%d misses=%d", c.Get("hits"), c.Get("misses"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "hits" || names[1] != "misses" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestWelfordString(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(2)
+	s := w.String()
+	if !strings.Contains(s, "n=2") || !strings.Contains(s, "mean=1.5") {
+		t.Fatalf("String() = %q", s)
+	}
+}

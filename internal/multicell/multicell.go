@@ -1,0 +1,216 @@
+// Package multicell realizes the full geography of the paper's Figure 1:
+// several wireless cells, each with its own base station and cache, all
+// pulling from the same remote servers, with clients that move between
+// cells and occasionally disconnect. Optionally the base stations
+// cooperate: on a local cache miss a station copies a neighbouring cell's
+// cached entry (staleness preserved) over the fixed network instead of
+// reaching the remote server.
+package multicell
+
+import (
+	"fmt"
+
+	"mobicache/internal/basestation"
+	"mobicache/internal/cache"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/core"
+	"mobicache/internal/policy"
+	"mobicache/internal/rng"
+	"mobicache/internal/server"
+)
+
+// Config configures a multi-cell system.
+type Config struct {
+	// Cells is the number of cells (>= 1).
+	Cells int
+	// Objects is the number of unit-size objects served.
+	Objects int
+	// UpdatePeriod is the simultaneous update period.
+	UpdatePeriod int
+	// BudgetPerTick is each station's per-tick download budget
+	// (0 = unlimited).
+	BudgetPerTick int64
+	// Clients is the mobile population size.
+	Clients int
+	// Mobility drives residence/handoff/disconnection.
+	Mobility client.Mobility
+	// RequestProb is each connected client's per-tick request
+	// probability.
+	RequestProb float64
+	// Pattern is the shared popularity skew.
+	Pattern rng.Popularity
+	// CacheSharing enables cooperative base-station caching.
+	CacheSharing bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Report aggregates a run.
+type Report struct {
+	Ticks         int
+	Requests      uint64
+	Downloads     uint64 // remote-server downloads across all cells
+	SharedCopies  uint64 // cooperative copies between stations
+	MeanScore     float64
+	MeanRecency   float64
+	Handoffs      uint64
+	Drops         uint64
+	PerCellScores []float64
+}
+
+// System is a running multi-cell deployment.
+type System struct {
+	cfg      Config
+	cat      *catalog.Catalog
+	srv      *server.Server
+	stations []*basestation.Station
+	pop      *client.Population
+	src      *rng.Source
+	sampler  *rng.Alias
+	shared   uint64
+}
+
+// New builds the system: one shared server, one station per cell (each
+// with its own unlimited cache and on-demand knapsack policy), and a
+// mobile population spread over the cells.
+func New(cfg Config) (*System, error) {
+	if cfg.Cells <= 0 || cfg.Objects <= 0 || cfg.Clients <= 0 {
+		return nil, fmt.Errorf("multicell: cells %d / objects %d / clients %d must be positive",
+			cfg.Cells, cfg.Objects, cfg.Clients)
+	}
+	if cfg.RequestProb < 0 || cfg.RequestProb > 1 {
+		return nil, fmt.Errorf("multicell: request probability %v out of [0,1]", cfg.RequestProb)
+	}
+	if cfg.UpdatePeriod <= 0 {
+		cfg.UpdatePeriod = 5
+	}
+	if cfg.Mobility == (client.Mobility{}) {
+		cfg.Mobility = client.DefaultMobility
+	}
+	cat, err := catalog.Uniform(cfg.Objects, 1)
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(cat, catalog.NewPeriodicAll(cat, cfg.UpdatePeriod))
+	sys := &System{
+		cfg:     cfg,
+		cat:     cat,
+		srv:     srv,
+		src:     rng.New(cfg.Seed),
+		sampler: cfg.Pattern.NewSampler(cat.Len()),
+	}
+	for c := 0; c < cfg.Cells; c++ {
+		sel, err := core.NewSelector(cat, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		pol, err := policy.NewOnDemandKnapsack(sel)
+		if err != nil {
+			return nil, err
+		}
+		st, err := basestation.New(basestation.Config{
+			Catalog:          cat,
+			Server:           srv,
+			Policy:           pol,
+			BudgetPerTick:    cfg.BudgetPerTick,
+			CompulsoryMisses: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sys.stations = append(sys.stations, st)
+	}
+	pop, err := client.NewPopulation(cfg.Clients, cfg.Cells, cfg.Mobility, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	sys.pop = pop
+	return sys, nil
+}
+
+// Station returns cell c's base station (for inspection).
+func (s *System) Station(c int) *basestation.Station { return s.stations[c] }
+
+// Run executes n ticks and returns the aggregated report.
+func (s *System) Run(n int) (Report, error) {
+	var rep Report
+	cellTotals := make([]basestation.Totals, s.cfg.Cells)
+	for tick := 0; tick < n; tick++ {
+		s.pop.Tick()
+		updated := s.srv.Tick(tick)
+
+		// Connected clients issue requests to their cell's station.
+		perCell := make([][]client.Request, s.cfg.Cells)
+		for i := 0; i < s.pop.Len(); i++ {
+			if !s.pop.Connected(i) || !s.src.Bernoulli(s.cfg.RequestProb) {
+				continue
+			}
+			cell := s.pop.Cell(i)
+			perCell[cell] = append(perCell[cell], client.Request{
+				Client: i,
+				Object: catalog.ID(s.sampler.Sample(s.src)),
+				Target: 1,
+				Tick:   tick,
+			})
+		}
+
+		for c, st := range s.stations {
+			if s.cfg.CacheSharing {
+				s.shareInto(c, perCell[c], float64(tick))
+			}
+			res, err := st.ServeTick(tick, perCell[c], updated)
+			if err != nil {
+				return rep, fmt.Errorf("multicell: cell %d: %w", c, err)
+			}
+			cellTotals[c].Add(res)
+		}
+	}
+	rep.Ticks = n
+	rep.Handoffs = s.pop.Handoffs()
+	rep.Drops = s.pop.Drops()
+	rep.SharedCopies = s.shared
+	var scoreSum, recencySum float64
+	for c := range cellTotals {
+		t := &cellTotals[c]
+		rep.Requests += t.Requests
+		rep.Downloads += t.Downloads()
+		scoreSum += t.ScoreSum
+		recencySum += t.RecencySum
+		rep.PerCellScores = append(rep.PerCellScores, t.MeanScore())
+	}
+	if rep.Requests > 0 {
+		rep.MeanScore = scoreSum / float64(rep.Requests)
+		rep.MeanRecency = recencySum / float64(rep.Requests)
+	}
+	return rep, nil
+}
+
+// shareInto copies entries for cell's requested-but-absent objects from
+// whichever other cell holds the freshest copy.
+func (s *System) shareInto(cell int, reqs []client.Request, now float64) {
+	local := s.stations[cell].Cache()
+	seen := make(map[catalog.ID]bool)
+	for _, r := range reqs {
+		if seen[r.Object] || local.Contains(r.Object) {
+			continue
+		}
+		seen[r.Object] = true
+		var best *cache.Entry
+		for o, other := range s.stations {
+			if o == cell {
+				continue
+			}
+			if e, ok := other.Cache().Peek(r.Object); ok {
+				if best == nil || e.Recency > best.Recency {
+					best = e
+				}
+			}
+		}
+		if best != nil {
+			if err := local.PutCopy(best, now); err == nil {
+				s.shared++
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package multicell
+
+import (
+	"testing"
+
+	"mobicache/internal/client"
+	"mobicache/internal/rng"
+)
+
+func baseConfig() Config {
+	return Config{
+		Cells:         3,
+		Objects:       100,
+		UpdatePeriod:  5,
+		BudgetPerTick: 10,
+		Clients:       120,
+		Mobility:      client.Mobility{MeanResidence: 20, PDisconnect: 0.2, MeanAbsence: 10},
+		RequestProb:   0.3,
+		Pattern:       rng.Zipf,
+		Seed:          1,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := baseConfig()
+	bad.Cells = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("zero cells accepted")
+	}
+	bad = baseConfig()
+	bad.Objects = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("zero objects accepted")
+	}
+	bad = baseConfig()
+	bad.Clients = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+	bad = baseConfig()
+	bad.RequestProb = 1.5
+	if _, err := New(bad); err == nil {
+		t.Fatal("bad probability accepted")
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	sys, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ticks != 200 {
+		t.Fatalf("ticks = %d", rep.Ticks)
+	}
+	if rep.Requests == 0 || rep.Downloads == 0 {
+		t.Fatalf("no activity: %+v", rep)
+	}
+	if rep.MeanScore <= 0 || rep.MeanScore > 1 {
+		t.Fatalf("mean score = %v", rep.MeanScore)
+	}
+	if rep.MeanRecency <= 0 || rep.MeanRecency > 1 {
+		t.Fatalf("mean recency = %v", rep.MeanRecency)
+	}
+	if rep.Handoffs == 0 {
+		t.Fatal("no handoffs with fast mobility")
+	}
+	if len(rep.PerCellScores) != 3 {
+		t.Fatalf("per-cell scores = %v", rep.PerCellScores)
+	}
+	for c, sc := range rep.PerCellScores {
+		if sc <= 0 || sc > 1 {
+			t.Fatalf("cell %d score = %v", c, sc)
+		}
+	}
+	if rep.SharedCopies != 0 {
+		t.Fatal("sharing disabled but copies recorded")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := a.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(baseConfig())
+	rb, err := b.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Requests != rb.Requests || ra.Downloads != rb.Downloads || ra.MeanScore != rb.MeanScore {
+		t.Fatalf("same-seed systems differ:\n%+v\n%+v", ra, rb)
+	}
+}
+
+func TestCacheSharingReducesServerDownloads(t *testing.T) {
+	run := func(sharing bool) Report {
+		cfg := baseConfig()
+		cfg.CacheSharing = sharing
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.Run(300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	without := run(false)
+	with := run(true)
+	if with.SharedCopies == 0 {
+		t.Fatal("sharing enabled but no copies made")
+	}
+	// A shared copy avoids a compulsory miss download, so the server sees
+	// fewer downloads overall.
+	if with.Downloads >= without.Downloads {
+		t.Fatalf("sharing did not reduce server downloads: %d >= %d",
+			with.Downloads, without.Downloads)
+	}
+	if with.MeanScore <= 0 {
+		t.Fatalf("sharing score = %v", with.MeanScore)
+	}
+}
+
+func TestStationAccessor(t *testing.T) {
+	sys, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Station(0) == nil || sys.Station(2) == nil {
+		t.Fatal("stations missing")
+	}
+}

@@ -1,0 +1,94 @@
+package network
+
+import (
+	"fmt"
+
+	"mobicache/internal/rng"
+	"mobicache/internal/sim"
+)
+
+// LossyDownlink wraps a Downlink with a simple stop-and-wait ARQ model of
+// wireless loss: each transmission is divided into frames, every frame is
+// lost independently with the given probability and retransmitted until
+// received, so the air time of a transmission is inflated by a geometric
+// number of attempts per frame. The paper's downlink is ideal; this model
+// quantifies how much of its "limited bandwidth" a real channel loses to
+// retransmission.
+type LossyDownlink struct {
+	inner     *Downlink
+	frameSize float64
+	lossProb  float64
+	src       *rng.Source
+	frames    uint64
+	retries   uint64
+}
+
+// NewLossyDownlink creates a lossy downlink. frameSize is the ARQ frame
+// size in data units; lossProb in [0, 1) is the per-frame loss
+// probability.
+func NewLossyDownlink(engine *sim.Engine, bandwidth, frameSize, lossProb float64, src *rng.Source) (*LossyDownlink, error) {
+	if frameSize <= 0 {
+		return nil, fmt.Errorf("network: frame size %v must be positive", frameSize)
+	}
+	if lossProb < 0 || lossProb >= 1 {
+		return nil, fmt.Errorf("network: loss probability %v out of [0,1)", lossProb)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("network: nil random source")
+	}
+	inner, err := NewDownlink(engine, bandwidth)
+	if err != nil {
+		return nil, err
+	}
+	return &LossyDownlink{inner: inner, frameSize: frameSize, lossProb: lossProb, src: src}, nil
+}
+
+// Send enqueues a transmission; done fires when every frame has been
+// received. The air time charged equals frames x attempts at the channel
+// bandwidth.
+func (d *LossyDownlink) Send(size float64, done func()) error {
+	if size <= 0 {
+		return fmt.Errorf("network: transmission size %v must be positive", size)
+	}
+	frames := int(size / d.frameSize)
+	if float64(frames)*d.frameSize < size {
+		frames++ // partial trailing frame airs as a full frame
+	}
+	airUnits := 0.0
+	for f := 0; f < frames; f++ {
+		attempts := 1
+		for d.src.Bernoulli(d.lossProb) {
+			attempts++
+		}
+		airUnits += float64(attempts) * d.frameSize
+		d.frames++
+		d.retries += uint64(attempts - 1)
+	}
+	return d.inner.Send(airUnits, done)
+}
+
+// Frames returns the number of (logical) frames sent so far.
+func (d *LossyDownlink) Frames() uint64 { return d.frames }
+
+// Retransmissions returns the number of extra frame transmissions caused
+// by loss.
+func (d *LossyDownlink) Retransmissions() uint64 { return d.retries }
+
+// Goodput returns the fraction of air time that carried first-attempt
+// frames (1 = lossless).
+func (d *LossyDownlink) Goodput() float64 {
+	total := d.frames + d.retries
+	if total == 0 {
+		return 1
+	}
+	return float64(d.frames) / float64(total)
+}
+
+// Sent returns the number of completed transmissions.
+func (d *LossyDownlink) Sent() uint64 { return d.inner.Sent() }
+
+// Utilization returns the fraction of time since t0 the channel was busy.
+func (d *LossyDownlink) Utilization(t0 float64) float64 { return d.inner.Utilization(t0) }
+
+// QueueLen returns the number of queued transmissions.
+func (d *LossyDownlink) QueueLen() int { return d.inner.QueueLen() }

@@ -1,0 +1,117 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"mobicache/internal/rng"
+	"mobicache/internal/sim"
+)
+
+func TestNewLossyDownlinkValidation(t *testing.T) {
+	e := sim.NewEngine()
+	src := rng.New(1)
+	if _, err := NewLossyDownlink(e, 1, 0, 0.1, src); err == nil {
+		t.Fatal("zero frame size accepted")
+	}
+	if _, err := NewLossyDownlink(e, 1, 1, 1, src); err == nil {
+		t.Fatal("loss probability 1 accepted")
+	}
+	if _, err := NewLossyDownlink(e, 1, 1, -0.1, src); err == nil {
+		t.Fatal("negative loss accepted")
+	}
+	if _, err := NewLossyDownlink(e, 1, 1, 0.1, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := NewLossyDownlink(e, 0, 1, 0.1, src); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	d, err := NewLossyDownlink(e, 1, 1, 0.1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Send(0, nil); err == nil {
+		t.Fatal("zero-size send accepted")
+	}
+}
+
+func TestLosslessMatchesIdealDownlink(t *testing.T) {
+	e := sim.NewEngine()
+	d, _ := NewLossyDownlink(e, 2, 1, 0, rng.New(1))
+	var doneAt float64 = -1
+	_ = d.Send(4, func() { doneAt = e.Now() })
+	e.Run(0)
+	if math.Abs(doneAt-2) > 1e-9 { // 4 units at bandwidth 2
+		t.Fatalf("lossless transmission finished at %v, want 2", doneAt)
+	}
+	if d.Retransmissions() != 0 || d.Goodput() != 1 {
+		t.Fatalf("lossless channel recorded retries: %d (goodput %v)", d.Retransmissions(), d.Goodput())
+	}
+	if d.Frames() != 4 || d.Sent() != 1 {
+		t.Fatalf("frames=%d sent=%d", d.Frames(), d.Sent())
+	}
+}
+
+func TestPartialFrameRoundsUp(t *testing.T) {
+	e := sim.NewEngine()
+	d, _ := NewLossyDownlink(e, 1, 2, 0, rng.New(1))
+	var doneAt float64 = -1
+	_ = d.Send(3, func() { doneAt = e.Now() }) // 2 frames of size 2 = 4 units air
+	e.Run(0)
+	if math.Abs(doneAt-4) > 1e-9 {
+		t.Fatalf("padded transmission finished at %v, want 4", doneAt)
+	}
+	if d.Frames() != 2 {
+		t.Fatalf("frames = %d, want 2", d.Frames())
+	}
+}
+
+func TestLossInflatesAirTimeGeometrically(t *testing.T) {
+	e := sim.NewEngine()
+	const p = 0.5
+	d, _ := NewLossyDownlink(e, 1, 1, p, rng.New(7))
+	served := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		_ = d.Send(1, func() { served++ })
+	}
+	e.Run(0)
+	if served != n {
+		t.Fatalf("served %d of %d", served, n)
+	}
+	// Expected attempts per frame = 1/(1-p) = 2; total air time ~2n at
+	// bandwidth 1.
+	air := e.Now()
+	if air < 1.85*n || air > 2.15*n {
+		t.Fatalf("total air time %v, want ~%v", air, 2*n)
+	}
+	// Goodput ~ 1-p.
+	if g := d.Goodput(); math.Abs(g-(1-p)) > 0.03 {
+		t.Fatalf("goodput = %v, want ~%v", g, 1-p)
+	}
+	if d.Retransmissions() == 0 {
+		t.Fatal("no retransmissions at 50% loss")
+	}
+}
+
+func TestLossyDownlinkFIFOOrderPreserved(t *testing.T) {
+	e := sim.NewEngine()
+	d, _ := NewLossyDownlink(e, 5, 1, 0.3, rng.New(3))
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		_ = d.Send(2, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("completion order = %v", order)
+		}
+	}
+	if d.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d", d.QueueLen())
+	}
+	if u := d.Utilization(0); math.Abs(u-1) > 1e-9 {
+		t.Fatalf("back-to-back utilization = %v, want 1", u)
+	}
+}

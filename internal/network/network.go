@@ -1,0 +1,266 @@
+// Package network models the two communication resources of the paper's
+// Figure 1 architecture:
+//
+//   - the fixed network between the base station and the remote servers,
+//     modeled as a processor-sharing Link: concurrent downloads share the
+//     bandwidth equally, so "as the base station downloads more data over
+//     the fixed network, the overall latency may increase due to bandwidth
+//     contention";
+//
+//   - the wireless downlink from the base station to the mobile clients,
+//     modeled as a FIFO broadcast channel of limited bandwidth whose
+//     utilization the paper argues should be kept high ("if there is too
+//     much delay in downloading data from remote sources, some of the
+//     available downlink bandwidth may be idle").
+//
+// Both components run on the sim.Engine event clock and report busy-time
+// utilization.
+package network
+
+import (
+	"container/list"
+	"fmt"
+
+	"mobicache/internal/sim"
+)
+
+// Transfer is one in-flight data movement on a Link.
+type Transfer struct {
+	size      float64
+	remaining float64
+	start     float64
+	done      func()
+	link      *Link
+}
+
+// Size returns the transfer's total size in data units.
+func (t *Transfer) Size() float64 { return t.size }
+
+// Start returns the simulation time the transfer began.
+func (t *Transfer) Start() float64 { return t.start }
+
+// Link is a processor-sharing (fluid) link: n concurrent transfers each
+// progress at bandwidth/n. Completion events are recomputed whenever the
+// set of active transfers changes.
+type Link struct {
+	engine    *sim.Engine
+	bandwidth float64
+	latency   float64
+	active    map[*Transfer]struct{}
+	nextEv    *sim.Event
+	lastSync  float64
+	busyFrom  float64
+	busyTime  float64
+	completed uint64
+	moved     float64
+}
+
+// NewLink creates a link with the given bandwidth (units per time unit)
+// and per-transfer propagation latency added after transmission.
+func NewLink(engine *sim.Engine, bandwidth, latency float64) (*Link, error) {
+	if bandwidth <= 0 {
+		return nil, fmt.Errorf("network: link bandwidth %v must be positive", bandwidth)
+	}
+	if latency < 0 {
+		return nil, fmt.Errorf("network: negative link latency %v", latency)
+	}
+	return &Link{
+		engine:    engine,
+		bandwidth: bandwidth,
+		latency:   latency,
+		active:    make(map[*Transfer]struct{}),
+		lastSync:  engine.Now(),
+	}, nil
+}
+
+// Active returns the number of in-flight transfers.
+func (l *Link) Active() int { return len(l.active) }
+
+// Completed returns the number of finished transfers.
+func (l *Link) Completed() uint64 { return l.completed }
+
+// BytesMoved returns the total data units fully transferred.
+func (l *Link) BytesMoved() float64 { return l.moved }
+
+// Utilization returns the fraction of time the link was busy since t0.
+func (l *Link) Utilization(t0 float64) float64 {
+	now := l.engine.Now()
+	busy := l.busyTime
+	if len(l.active) > 0 {
+		busy += now - l.busyFrom
+	}
+	if now <= t0 {
+		return 0
+	}
+	return busy / (now - t0)
+}
+
+// StartTransfer begins moving size units; done fires when the transfer
+// (plus propagation latency) completes. Size must be positive.
+func (l *Link) StartTransfer(size float64, done func()) (*Transfer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("network: transfer size %v must be positive", size)
+	}
+	l.sync()
+	if len(l.active) == 0 {
+		l.busyFrom = l.engine.Now()
+	}
+	t := &Transfer{size: size, remaining: size, start: l.engine.Now(), done: done, link: l}
+	l.active[t] = struct{}{}
+	l.reschedule()
+	return t, nil
+}
+
+// sync advances all active transfers' progress to the current time.
+func (l *Link) sync() {
+	now := l.engine.Now()
+	dt := now - l.lastSync
+	l.lastSync = now
+	if dt <= 0 || len(l.active) == 0 {
+		return
+	}
+	rate := l.bandwidth / float64(len(l.active))
+	for t := range l.active {
+		t.remaining -= rate * dt
+		if t.remaining < 1e-9 {
+			t.remaining = 0
+		}
+	}
+}
+
+// reschedule cancels the pending completion event and schedules the next
+// one (for the transfer with least remaining data).
+func (l *Link) reschedule() {
+	if l.nextEv != nil {
+		l.nextEv.Cancel()
+		l.nextEv = nil
+	}
+	if len(l.active) == 0 {
+		return
+	}
+	var next *Transfer
+	for t := range l.active {
+		if next == nil || t.remaining < next.remaining {
+			next = t
+		}
+	}
+	rate := l.bandwidth / float64(len(l.active))
+	delay := next.remaining / rate
+	ev, err := l.engine.Schedule(delay, func() { l.complete(next) })
+	if err != nil {
+		// Unreachable: delay is non-negative by construction.
+		panic(err)
+	}
+	l.nextEv = ev
+}
+
+func (l *Link) complete(t *Transfer) {
+	l.sync()
+	// The scheduled transfer is complete up to fluid rounding; force it.
+	t.remaining = 0
+	delete(l.active, t)
+	l.completed++
+	l.moved += t.size
+	if len(l.active) == 0 {
+		l.busyTime += l.engine.Now() - l.busyFrom
+	}
+	l.reschedule()
+	if t.done != nil {
+		if l.latency > 0 {
+			l.engine.MustSchedule(l.latency, t.done)
+		} else {
+			t.done()
+		}
+	}
+}
+
+// Downlink is the base-station-to-clients wireless broadcast channel: a
+// FIFO queue drained at fixed bandwidth. One transmission is on the air at
+// a time; queued transmissions follow back to back.
+type Downlink struct {
+	engine    *sim.Engine
+	bandwidth float64
+	queue     *list.List
+	busy      bool
+	busyTime  float64
+	busyFrom  float64
+	sent      uint64
+	units     float64
+	maxQueue  int
+}
+
+type dlItem struct {
+	size float64
+	done func()
+}
+
+// NewDownlink creates a downlink with the given bandwidth (units per time
+// unit).
+func NewDownlink(engine *sim.Engine, bandwidth float64) (*Downlink, error) {
+	if bandwidth <= 0 {
+		return nil, fmt.Errorf("network: downlink bandwidth %v must be positive", bandwidth)
+	}
+	return &Downlink{engine: engine, bandwidth: bandwidth, queue: list.New()}, nil
+}
+
+// Send enqueues a transmission of size units; done fires when it finishes
+// airing. Size must be positive.
+func (d *Downlink) Send(size float64, done func()) error {
+	if size <= 0 {
+		return fmt.Errorf("network: transmission size %v must be positive", size)
+	}
+	d.queue.PushBack(dlItem{size: size, done: done})
+	if n := d.queue.Len(); n > d.maxQueue {
+		d.maxQueue = n
+	}
+	if !d.busy {
+		d.busy = true
+		d.busyFrom = d.engine.Now()
+		d.transmitNext()
+	}
+	return nil
+}
+
+func (d *Downlink) transmitNext() {
+	front := d.queue.Front()
+	if front == nil {
+		d.busy = false
+		d.busyTime += d.engine.Now() - d.busyFrom
+		return
+	}
+	item := front.Value.(dlItem)
+	d.queue.Remove(front)
+	d.engine.MustSchedule(item.size/d.bandwidth, func() {
+		d.sent++
+		d.units += item.size
+		if item.done != nil {
+			item.done()
+		}
+		d.transmitNext()
+	})
+}
+
+// QueueLen returns the number of queued (not yet airing) transmissions.
+func (d *Downlink) QueueLen() int { return d.queue.Len() }
+
+// MaxQueueLen returns the high-water mark of the queue.
+func (d *Downlink) MaxQueueLen() int { return d.maxQueue }
+
+// Sent returns the number of completed transmissions.
+func (d *Downlink) Sent() uint64 { return d.sent }
+
+// UnitsSent returns the total data units aired.
+func (d *Downlink) UnitsSent() float64 { return d.units }
+
+// Utilization returns the fraction of time since t0 the channel was busy.
+func (d *Downlink) Utilization(t0 float64) float64 {
+	now := d.engine.Now()
+	busy := d.busyTime
+	if d.busy {
+		busy += now - d.busyFrom
+	}
+	if now <= t0 {
+		return 0
+	}
+	return busy / (now - t0)
+}

@@ -1,0 +1,208 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"mobicache/internal/sim"
+)
+
+func TestLinkSingleTransfer(t *testing.T) {
+	e := sim.NewEngine()
+	l, err := NewLink(e, 10, 0) // 10 units/tick
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneAt float64 = -1
+	if _, err := l.StartTransfer(50, func() { doneAt = e.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(0)
+	if math.Abs(doneAt-5) > 1e-9 {
+		t.Fatalf("transfer finished at %v, want 5", doneAt)
+	}
+	if l.Completed() != 1 || l.BytesMoved() != 50 {
+		t.Fatalf("completed=%d moved=%v", l.Completed(), l.BytesMoved())
+	}
+}
+
+func TestLinkLatencyAddsDelay(t *testing.T) {
+	e := sim.NewEngine()
+	l, err := NewLink(e, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneAt float64 = -1
+	_, _ = l.StartTransfer(10, func() { doneAt = e.Now() })
+	e.Run(0)
+	if math.Abs(doneAt-3) > 1e-9 { // 1 transmit + 2 propagation
+		t.Fatalf("done at %v, want 3", doneAt)
+	}
+}
+
+func TestLinkProcessorSharing(t *testing.T) {
+	e := sim.NewEngine()
+	l, _ := NewLink(e, 10, 0)
+	var aDone, bDone float64 = -1, -1
+	// Two equal transfers started together: each sees 5 units/tick, both
+	// finish at t=2 for size 10.
+	_, _ = l.StartTransfer(10, func() { aDone = e.Now() })
+	_, _ = l.StartTransfer(10, func() { bDone = e.Now() })
+	e.Run(0)
+	if math.Abs(aDone-2) > 1e-6 || math.Abs(bDone-2) > 1e-6 {
+		t.Fatalf("shared transfers done at %v, %v, want 2, 2", aDone, bDone)
+	}
+}
+
+func TestLinkContentionSlowsTransfers(t *testing.T) {
+	// A transfer joining midway slows the first: size 10 at bw 10 alone
+	// takes 1 tick; if a second size-10 transfer starts at t=0.5, the
+	// first has 5 left shared at rate 5 → finishes at 1.5.
+	e := sim.NewEngine()
+	l, _ := NewLink(e, 10, 0)
+	var first, second float64 = -1, -1
+	_, _ = l.StartTransfer(10, func() { first = e.Now() })
+	e.MustSchedule(0.5, func() {
+		_, _ = l.StartTransfer(10, func() { second = e.Now() })
+	})
+	e.Run(0)
+	if math.Abs(first-1.5) > 1e-6 {
+		t.Fatalf("first done at %v, want 1.5", first)
+	}
+	// Second: 5 shared until t=1.5 (progress 5), then alone at 10 → +0.5.
+	if math.Abs(second-2.0) > 1e-6 {
+		t.Fatalf("second done at %v, want 2.0", second)
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	e := sim.NewEngine()
+	l, _ := NewLink(e, 10, 0)
+	_, _ = l.StartTransfer(10, nil) // busy t=0..1
+	e.Run(0)
+	e.RunUntil(2) // idle t=1..2
+	if got := l.Utilization(0); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+	if l.Utilization(5) != 0 {
+		t.Fatal("utilization with future t0 != 0")
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	e := sim.NewEngine()
+	if _, err := NewLink(e, 0, 0); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if _, err := NewLink(e, 1, -1); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+	l, _ := NewLink(e, 1, 0)
+	if _, err := l.StartTransfer(0, nil); err == nil {
+		t.Fatal("zero-size transfer accepted")
+	}
+}
+
+func TestTransferAccessors(t *testing.T) {
+	e := sim.NewEngine()
+	l, _ := NewLink(e, 1, 0)
+	e.RunUntil(3)
+	tr, err := l.StartTransfer(7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 7 || tr.Start() != 3 {
+		t.Fatalf("transfer size=%v start=%v", tr.Size(), tr.Start())
+	}
+}
+
+func TestLinkManyTransfersConservation(t *testing.T) {
+	e := sim.NewEngine()
+	l, _ := NewLink(e, 7, 0)
+	total := 0.0
+	const n = 50
+	for i := 0; i < n; i++ {
+		size := float64(i%9 + 1)
+		total += size
+		delay := float64(i) * 0.3
+		e.MustSchedule(delay, func() { _, _ = l.StartTransfer(size, nil) })
+	}
+	e.Run(0)
+	if l.Completed() != n {
+		t.Fatalf("completed %d of %d transfers", l.Completed(), n)
+	}
+	if math.Abs(l.BytesMoved()-total) > 1e-6 {
+		t.Fatalf("moved %v, want %v", l.BytesMoved(), total)
+	}
+	if l.Active() != 0 {
+		t.Fatalf("still %d active after drain", l.Active())
+	}
+	// Busy time must be at least total/bandwidth (work conservation).
+	minBusy := total / 7
+	if got := l.Utilization(0) * e.Now(); got < minBusy-1e-6 {
+		t.Fatalf("busy time %v below work-conservation floor %v", got, minBusy)
+	}
+}
+
+func TestDownlinkFIFO(t *testing.T) {
+	e := sim.NewEngine()
+	d, err := NewDownlink(e, 2) // 2 units/tick
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done []float64
+	_ = d.Send(4, func() { done = append(done, e.Now()) }) // airs 0..2
+	_ = d.Send(2, func() { done = append(done, e.Now()) }) // airs 2..3
+	if d.QueueLen() != 1 {
+		t.Fatalf("queue length = %d, want 1", d.QueueLen())
+	}
+	e.Run(0)
+	if len(done) != 2 || math.Abs(done[0]-2) > 1e-9 || math.Abs(done[1]-3) > 1e-9 {
+		t.Fatalf("completion times = %v, want [2 3]", done)
+	}
+	if d.Sent() != 2 || d.UnitsSent() != 6 {
+		t.Fatalf("sent=%d units=%v", d.Sent(), d.UnitsSent())
+	}
+	if d.MaxQueueLen() != 1 {
+		t.Fatalf("max queue = %d", d.MaxQueueLen())
+	}
+}
+
+func TestDownlinkUtilization(t *testing.T) {
+	e := sim.NewEngine()
+	d, _ := NewDownlink(e, 1)
+	_ = d.Send(2, nil) // busy 0..2
+	e.Run(0)
+	e.RunUntil(4) // idle 2..4
+	if got := d.Utilization(0); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("downlink utilization = %v, want 0.5", got)
+	}
+	if d.Utilization(99) != 0 {
+		t.Fatal("future-t0 utilization != 0")
+	}
+}
+
+func TestDownlinkValidation(t *testing.T) {
+	e := sim.NewEngine()
+	if _, err := NewDownlink(e, 0); err == nil {
+		t.Fatal("zero-bandwidth downlink accepted")
+	}
+	d, _ := NewDownlink(e, 1)
+	if err := d.Send(0, nil); err == nil {
+		t.Fatal("zero-size send accepted")
+	}
+}
+
+func TestDownlinkIdleThenBusyAgain(t *testing.T) {
+	e := sim.NewEngine()
+	d, _ := NewDownlink(e, 1)
+	_ = d.Send(1, nil) // busy 0..1
+	e.Run(0)
+	e.RunUntil(3)
+	_ = d.Send(1, nil) // busy 3..4
+	e.Run(0)
+	// Busy 2 ticks of 4 total.
+	if got := d.Utilization(0); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+}

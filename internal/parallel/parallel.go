@@ -1,0 +1,92 @@
+// Package parallel provides small deterministic fan-out helpers for the
+// experiment harness: figure grids are embarrassingly parallel (one
+// independent simulation per parameter cell), so sweeps run on a bounded
+// worker pool while results land in order-stable slices.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns a sensible default worker count: GOMAXPROCS capped at n.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines.
+// All invocations run even if one fails; the first error (by lowest index)
+// is returned. A panic in fn is captured and re-thrown on the caller's
+// goroutine with the offending index attached.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = Workers(n)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	panics := make([]any, n)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = r
+						}
+					}()
+					errs[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("parallel: task %d panicked: %v", i, p))
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map computes out[i] = fn(i) for every i in [0, n) on a bounded worker
+// pool, preserving index order. The first error (by lowest index) is
+// returned along with the partial results.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,133 @@
+package parallel
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	err := ForEach(n, 8, func(i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-5, 4, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	var count int32
+	if err := ForEach(10, 0, func(int) error {
+		atomic.AddInt32(&count, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("ran %d of 10", count)
+	}
+}
+
+func TestForEachFirstErrorByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := ForEach(100, 4, func(i int) error {
+		switch i {
+		case 90:
+			return errB
+		case 10:
+			return errA
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("error = %v, want lowest-index error %v", err, errA)
+	}
+}
+
+func TestForEachAllRunDespiteError(t *testing.T) {
+	var count int32
+	_ = ForEach(50, 4, func(i int) error {
+		atomic.AddInt32(&count, 1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if count != 50 {
+		t.Fatalf("only %d of 50 tasks ran after an error", count)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		if !strings.Contains(r.(string), "task 3 panicked") {
+			t.Fatalf("panic message = %v", r)
+		}
+	}()
+	_ = ForEach(10, 2, func(i int) error {
+		if i == 3 {
+			panic("kaboom")
+		}
+		return nil
+	})
+}
+
+func TestMapOrder(t *testing.T) {
+	out, err := Map(100, 7, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Map(10, 3, func(i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if err != boom {
+		t.Fatalf("error = %v", err)
+	}
+	if out[4] != 4 {
+		t.Fatal("partial results not preserved")
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(1); w != 1 {
+		t.Fatalf("Workers(1) = %d", w)
+	}
+	if w := Workers(1000000); w < 1 {
+		t.Fatalf("Workers large = %d", w)
+	}
+}

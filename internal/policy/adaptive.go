@@ -1,0 +1,75 @@
+package policy
+
+import (
+	"fmt"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/core"
+)
+
+// Adaptive closes the paper's future-work loop ("techniques to determine
+// how much data the base station should download to satisfy a set of
+// requests"): instead of a fixed per-tick budget, it first asks the
+// selector's UpperBound machinery how much data is actually worth
+// downloading for this batch, then selects within that recommendation.
+// When the marginal payoff of bandwidth is low (fresh cache, lenient
+// targets) it downloads little; when the cache is badly stale it spends
+// up to the tick's full budget.
+type Adaptive struct {
+	selector *core.Selector
+	bound    core.BoundConfig
+	// spent accumulates the recommended budgets for reporting.
+	spent int64
+	ticks int
+}
+
+// NewAdaptive wraps a selector with a budget recommendation rule.
+func NewAdaptive(s *core.Selector, bound core.BoundConfig) (*Adaptive, error) {
+	if s == nil {
+		return nil, fmt.Errorf("policy: nil selector")
+	}
+	if bound.MinMarginal < 0 || bound.FractionOfMax < 0 || bound.FractionOfMax > 1 {
+		return nil, fmt.Errorf("policy: invalid bound config %+v", bound)
+	}
+	return &Adaptive{selector: s, bound: bound}, nil
+}
+
+// Name implements Policy.
+func (*Adaptive) Name() string { return "adaptive" }
+
+// MeanBudget returns the mean recommended budget per tick so far.
+func (a *Adaptive) MeanBudget() float64 {
+	if a.ticks == 0 {
+		return 0
+	}
+	return float64(a.spent) / float64(a.ticks)
+}
+
+// Decide implements Policy.
+func (a *Adaptive) Decide(v *TickView) ([]catalog.ID, error) {
+	demands := core.Aggregate(v.Requests)
+	// Probe up to the tick's budget; an unlimited tick budget probes up
+	// to the total size of the requested objects.
+	probe := v.Budget
+	if probe == Unlimited {
+		probe = 0
+		seen := make(map[catalog.ID]bool)
+		for _, d := range demands {
+			if !seen[d.Object] && v.Catalog.Valid(d.Object) {
+				seen[d.Object] = true
+				probe += v.Catalog.Size(d.Object)
+			}
+		}
+	}
+	rep, err := a.selector.UpperBound(demands, v.Cache, probe, a.bound)
+	if err != nil {
+		return nil, err
+	}
+	a.ticks++
+	a.spent += rep.Budget
+	plan, err := a.selector.Select(demands, v.Cache, rep.Budget)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Download, nil
+}

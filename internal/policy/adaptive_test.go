@@ -1,0 +1,95 @@
+package policy
+
+import (
+	"testing"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/core"
+)
+
+func TestNewAdaptiveValidation(t *testing.T) {
+	cat, _ := fixture(t, []int64{1}, nil)
+	sel, _ := core.NewSelector(cat, core.Config{})
+	if _, err := NewAdaptive(nil, core.BoundConfig{}); err == nil {
+		t.Fatal("nil selector accepted")
+	}
+	if _, err := NewAdaptive(sel, core.BoundConfig{MinMarginal: -1}); err == nil {
+		t.Fatal("invalid bound config accepted")
+	}
+}
+
+func TestAdaptiveSpendsLittleOnFreshCache(t *testing.T) {
+	cat, c := fixture(t, []int64{1, 1, 1, 1}, nil) // all fresh
+	sel, _ := core.NewSelector(cat, core.Config{})
+	a, err := NewAdaptive(sel, core.BoundConfig{FractionOfMax: 0.9, Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := view(cat, c, 100)
+	v.Requests = []client.Request{{Object: 0, Target: 1}, {Object: 1, Target: 1}}
+	ids, err := a.Decide(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("fresh cache but adaptive downloaded %v", ids)
+	}
+	if a.MeanBudget() != 0 {
+		t.Fatalf("mean budget = %v, want 0", a.MeanBudget())
+	}
+}
+
+func TestAdaptiveSpendsOnStaleCache(t *testing.T) {
+	cat, c := fixture(t, []int64{1, 1, 1, 1}, map[catalog.ID]int{0: 5, 1: 5, 2: 5, 3: 5})
+	sel, _ := core.NewSelector(cat, core.Config{})
+	a, _ := NewAdaptive(sel, core.BoundConfig{FractionOfMax: 0.9, Window: 1})
+	v := view(cat, c, 100)
+	v.Requests = []client.Request{
+		{Object: 0, Target: 1}, {Object: 1, Target: 1},
+		{Object: 2, Target: 1}, {Object: 3, Target: 1},
+	}
+	ids, err := a.Decide(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) < 3 {
+		t.Fatalf("stale cache but adaptive downloaded only %v", ids)
+	}
+	if a.MeanBudget() <= 0 {
+		t.Fatalf("mean budget = %v", a.MeanBudget())
+	}
+}
+
+func TestAdaptiveRespectsTickBudget(t *testing.T) {
+	cat, c := fixture(t, []int64{3, 3, 3, 3}, map[catalog.ID]int{0: 5, 1: 5, 2: 5, 3: 5})
+	sel, _ := core.NewSelector(cat, core.Config{})
+	a, _ := NewAdaptive(sel, core.BoundConfig{})
+	v := view(cat, c, 6) // budget fits two objects
+	v.Requests = []client.Request{
+		{Object: 0, Target: 1}, {Object: 1, Target: 1},
+		{Object: 2, Target: 1}, {Object: 3, Target: 1},
+	}
+	ids, err := a.Decide(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalSize(cat, ids) > 6 {
+		t.Fatalf("adaptive exceeded tick budget: %v", ids)
+	}
+}
+
+func TestAdaptiveUnlimitedBudgetProbesDemandSize(t *testing.T) {
+	cat, c := fixture(t, []int64{2, 2}, map[catalog.ID]int{0: 3, 1: 3})
+	sel, _ := core.NewSelector(cat, core.Config{})
+	a, _ := NewAdaptive(sel, core.BoundConfig{})
+	v := view(cat, c, Unlimited)
+	v.Requests = []client.Request{{Object: 0, Target: 1}, {Object: 1, Target: 1}}
+	ids, err := a.Decide(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("unlimited adaptive downloads = %v", ids)
+	}
+}

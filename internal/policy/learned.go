@@ -1,0 +1,97 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"mobicache/internal/cache"
+	"mobicache/internal/catalog"
+)
+
+// AsyncLearnedFreshness is a stronger asynchronous baseline than blind
+// round-robin: it refreshes in the background, but orders candidates by
+// (estimated popularity x staleness benefit), learning popularity online
+// from the requests it observes with an exponentially weighted moving
+// average. It still ignores *which* objects this tick's clients want —
+// that is what separates any asynchronous strategy from the paper's
+// on-demand approach — but it spends its budget where demand has
+// historically been.
+//
+// This is the freshness-x-importance weighting of the cache-
+// synchronization literature ([1] in the paper) transplanted to the base
+// station.
+type AsyncLearnedFreshness struct {
+	// Alpha is the EWMA smoothing factor in (0, 1]; higher adapts faster.
+	alpha float64
+	// pop[i] is the learned per-tick request rate of object i.
+	pop []float64
+}
+
+// NewAsyncLearnedFreshness creates the learning refresher for a catalog
+// of n objects.
+func NewAsyncLearnedFreshness(n int, alpha float64) (*AsyncLearnedFreshness, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("policy: catalog size %d must be positive", n)
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("policy: alpha %v out of (0,1]", alpha)
+	}
+	return &AsyncLearnedFreshness{alpha: alpha, pop: make([]float64, n)}, nil
+}
+
+// Name implements Policy.
+func (*AsyncLearnedFreshness) Name() string { return "async-learned-freshness" }
+
+// Popularity returns the learned request rate of an object (for tests).
+func (p *AsyncLearnedFreshness) Popularity(id catalog.ID) float64 {
+	if int(id) < 0 || int(id) >= len(p.pop) {
+		return 0
+	}
+	return p.pop[id]
+}
+
+// Decide implements Policy.
+func (p *AsyncLearnedFreshness) Decide(v *TickView) ([]catalog.ID, error) {
+	if v.Catalog.Len() != len(p.pop) {
+		return nil, fmt.Errorf("policy: learned freshness sized for %d objects, catalog has %d",
+			len(p.pop), v.Catalog.Len())
+	}
+	// Learn from this tick's observed requests (counts per object).
+	counts := make(map[catalog.ID]int, len(v.Requests))
+	for _, r := range v.Requests {
+		counts[r.Object]++
+	}
+	for i := range p.pop {
+		p.pop[i] *= 1 - p.alpha
+	}
+	for id, n := range counts {
+		p.pop[id] += p.alpha * float64(n)
+	}
+
+	// Background refresh: highest (popularity x staleness benefit) per
+	// unit of size first. Note: candidates come from the whole cache, not
+	// from this tick's requests — the policy remains asynchronous.
+	type cand struct {
+		id    catalog.ID
+		score float64
+	}
+	var cands []cand
+	v.Cache.Each(func(e *cache.Entry) {
+		if e.Lag == 0 {
+			return
+		}
+		benefit := (1 - e.Recency) * (p.pop[e.ID] + 1e-9)
+		cands = append(cands, cand{id: e.ID, score: benefit / float64(e.Size)})
+	})
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].id < cands[j].id
+	})
+	ids := make([]catalog.ID, len(cands))
+	for i, c := range cands {
+		ids[i] = c.id
+	}
+	return fillBudget(v.Catalog, ids, v.Budget), nil
+}

@@ -1,0 +1,89 @@
+package policy
+
+import (
+	"testing"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+)
+
+func TestNewAsyncLearnedFreshnessValidation(t *testing.T) {
+	if _, err := NewAsyncLearnedFreshness(0, 0.5); err == nil {
+		t.Fatal("zero objects accepted")
+	}
+	if _, err := NewAsyncLearnedFreshness(5, 0); err == nil {
+		t.Fatal("zero alpha accepted")
+	}
+	if _, err := NewAsyncLearnedFreshness(5, 1.5); err == nil {
+		t.Fatal("alpha > 1 accepted")
+	}
+}
+
+func TestLearnedFreshnessLearnsPopularity(t *testing.T) {
+	cat, c := fixture(t, []int64{1, 1, 1}, nil)
+	p, err := NewAsyncLearnedFreshness(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := view(cat, c, 0)
+	// Object 2 requested heavily over several ticks.
+	for tick := 0; tick < 10; tick++ {
+		v.Requests = []client.Request{
+			{Object: 2}, {Object: 2}, {Object: 2}, {Object: 0},
+		}
+		if _, err := p.Decide(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Popularity(2) <= p.Popularity(0) || p.Popularity(0) <= p.Popularity(1) {
+		t.Fatalf("popularity ordering wrong: %v %v %v",
+			p.Popularity(0), p.Popularity(1), p.Popularity(2))
+	}
+	if p.Popularity(99) != 0 {
+		t.Fatal("out-of-range popularity nonzero")
+	}
+}
+
+func TestLearnedFreshnessPrefersPopularStaleObjects(t *testing.T) {
+	cat, c := fixture(t, []int64{1, 1, 1}, map[catalog.ID]int{0: 2, 1: 2, 2: 2})
+	p, _ := NewAsyncLearnedFreshness(3, 0.5)
+	v := view(cat, c, 1)
+	// Teach it that object 1 is hot.
+	for tick := 0; tick < 5; tick++ {
+		v.Requests = []client.Request{{Object: 1}, {Object: 1}}
+		if _, err := p.Decide(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Now decide with no requests at all: a pure background refresh.
+	v.Requests = nil
+	ids, err := p.Decide(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("background refresh chose %v, want the hot object [1]", ids)
+	}
+}
+
+func TestLearnedFreshnessSkipsFreshEntries(t *testing.T) {
+	cat, c := fixture(t, []int64{1, 1}, nil) // all fresh
+	p, _ := NewAsyncLearnedFreshness(2, 0.5)
+	v := view(cat, c, 10)
+	v.Requests = []client.Request{{Object: 0}}
+	ids, err := p.Decide(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("fresh cache refreshed: %v", ids)
+	}
+}
+
+func TestLearnedFreshnessCatalogMismatch(t *testing.T) {
+	cat, c := fixture(t, []int64{1, 1, 1}, nil)
+	p, _ := NewAsyncLearnedFreshness(2, 0.5) // sized for 2, catalog has 3
+	if _, err := p.Decide(view(cat, c, 1)); err == nil {
+		t.Fatal("catalog mismatch accepted")
+	}
+}

@@ -1,0 +1,306 @@
+// Package policy implements the refresh/download strategies the paper
+// compares:
+//
+//   - AsyncOnUpdate: the idealized asynchronous strategy of Section 3.1 —
+//     every object is re-downloaded every time it is updated at the remote
+//     server, regardless of client interest;
+//   - AsyncRoundRobin: the budgeted asynchronous strategy of Section 3.2 —
+//     per tick, the next k objects in a fixed order are refreshed;
+//   - AsyncFreshness: a freshness-priority background refresher in the
+//     spirit of Cho & Garcia-Molina's cache-synchronization work ([1] in
+//     the paper) — per tick, the stalest cached objects are refreshed;
+//   - OnDemandStale: the on-demand strategy of Section 3.1 — download a
+//     requested object iff its cached copy is stale;
+//   - OnDemandLowestRecency: the budgeted on-demand strategy of Section
+//     3.2 — the k requested objects with the lowest cache recency;
+//   - OnDemandKnapsack: the paper's contribution (Section 2/4), wrapping
+//     core.Selector;
+//   - Hybrid: a push/pull mix that splits the budget between on-demand
+//     knapsack selection and background freshness refresh (inspired by
+//     the balancing-push-and-pull line of related work).
+//
+// Policies see one tick at a time through TickView and return the set of
+// objects to download this tick.
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"mobicache/internal/cache"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/core"
+)
+
+// Unlimited re-exports the unlimited budget marker.
+const Unlimited = core.Unlimited
+
+// TickView is what a policy may observe when deciding a tick: the batch
+// of requests, the objects the servers updated this tick, the cache, the
+// catalog, and the download budget (data units) available this tick.
+type TickView struct {
+	Tick     int
+	Requests []client.Request
+	Updated  []catalog.ID
+	Cache    *cache.Cache
+	Catalog  *catalog.Catalog
+	Budget   int64
+}
+
+// Policy decides which objects to download each tick.
+type Policy interface {
+	// Name returns a short identifier used in experiment reports.
+	Name() string
+	// Decide returns the IDs to download this tick. Implementations must
+	// not exceed the view's budget (in total object size) and must not
+	// return duplicates.
+	Decide(v *TickView) ([]catalog.ID, error)
+}
+
+// fillBudget appends ids in order while their sizes fit within budget.
+func fillBudget(cat *catalog.Catalog, ids []catalog.ID, budget int64) []catalog.ID {
+	if budget == Unlimited {
+		out := make([]catalog.ID, len(ids))
+		copy(out, ids)
+		return out
+	}
+	var out []catalog.ID
+	var used int64
+	for _, id := range ids {
+		size := cat.Size(id)
+		if used+size > budget {
+			continue
+		}
+		out = append(out, id)
+		used += size
+	}
+	return out
+}
+
+// --- asynchronous strategies ---
+
+// AsyncOnUpdate downloads every object the moment it is updated,
+// regardless of requests — the bandwidth-hungry upper bound of Figure 2.
+type AsyncOnUpdate struct{}
+
+// Name implements Policy.
+func (AsyncOnUpdate) Name() string { return "async-on-update" }
+
+// Decide implements Policy.
+func (AsyncOnUpdate) Decide(v *TickView) ([]catalog.ID, error) {
+	return fillBudget(v.Catalog, v.Updated, v.Budget), nil
+}
+
+// AsyncRoundRobin refreshes the cache in a fixed cyclic order, k objects
+// (budget units) per tick, ignoring client requests — the asynchronous
+// baseline of Figure 3.
+type AsyncRoundRobin struct {
+	cursor int
+}
+
+// Name implements Policy.
+func (*AsyncRoundRobin) Name() string { return "async-round-robin" }
+
+// Decide implements Policy.
+func (p *AsyncRoundRobin) Decide(v *TickView) ([]catalog.ID, error) {
+	n := v.Catalog.Len()
+	if n == 0 || v.Budget <= 0 {
+		return nil, nil
+	}
+	if v.Budget == Unlimited {
+		return v.Catalog.IDs(), nil
+	}
+	var out []catalog.ID
+	var used int64
+	for scanned := 0; scanned < n; scanned++ {
+		id := catalog.ID(p.cursor % n)
+		size := v.Catalog.Size(id)
+		if used+size > v.Budget {
+			break
+		}
+		out = append(out, id)
+		used += size
+		p.cursor = (p.cursor + 1) % n
+	}
+	return out, nil
+}
+
+// AsyncFreshness refreshes the stalest cached objects first (background
+// synchronization ordered by recency), ignoring client requests.
+type AsyncFreshness struct{}
+
+// Name implements Policy.
+func (AsyncFreshness) Name() string { return "async-freshness" }
+
+// Decide implements Policy.
+func (AsyncFreshness) Decide(v *TickView) ([]catalog.ID, error) {
+	type staleEntry struct {
+		id      catalog.ID
+		recency float64
+	}
+	var stale []staleEntry
+	v.Cache.Each(func(e *cache.Entry) {
+		if e.Lag > 0 {
+			stale = append(stale, staleEntry{id: e.ID, recency: e.Recency})
+		}
+	})
+	sort.Slice(stale, func(i, j int) bool {
+		if stale[i].recency != stale[j].recency {
+			return stale[i].recency < stale[j].recency
+		}
+		return stale[i].id < stale[j].id
+	})
+	ids := make([]catalog.ID, len(stale))
+	for i, s := range stale {
+		ids[i] = s.id
+	}
+	return fillBudget(v.Catalog, ids, v.Budget), nil
+}
+
+// --- on-demand strategies ---
+
+// OnDemandStale downloads a requested object iff its cached copy is stale
+// (or absent) — Section 3.1's on-demand strategy.
+type OnDemandStale struct{}
+
+// Name implements Policy.
+func (OnDemandStale) Name() string { return "on-demand-stale" }
+
+// Decide implements Policy.
+func (OnDemandStale) Decide(v *TickView) ([]catalog.ID, error) {
+	var ids []catalog.ID
+	seen := make(map[catalog.ID]bool)
+	for _, r := range v.Requests {
+		if seen[r.Object] {
+			continue
+		}
+		seen[r.Object] = true
+		if v.Cache.Stale(r.Object) {
+			ids = append(ids, r.Object)
+		}
+	}
+	return fillBudget(v.Catalog, ids, v.Budget), nil
+}
+
+// OnDemandLowestRecency downloads the requested objects with the lowest
+// cache recency, as many as the budget allows — Section 3.2's on-demand
+// strategy. Absent objects count as recency 0 (most urgent).
+type OnDemandLowestRecency struct{}
+
+// Name implements Policy.
+func (OnDemandLowestRecency) Name() string { return "on-demand-lowest-recency" }
+
+// Decide implements Policy.
+func (OnDemandLowestRecency) Decide(v *TickView) ([]catalog.ID, error) {
+	type cand struct {
+		id      catalog.ID
+		recency float64
+	}
+	var cands []cand
+	seen := make(map[catalog.ID]bool)
+	for _, r := range v.Requests {
+		if seen[r.Object] {
+			continue
+		}
+		seen[r.Object] = true
+		if !v.Cache.Stale(r.Object) {
+			continue // fresh copies gain nothing
+		}
+		cands = append(cands, cand{id: r.Object, recency: v.Cache.Recency(r.Object)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].recency != cands[j].recency {
+			return cands[i].recency < cands[j].recency
+		}
+		return cands[i].id < cands[j].id
+	})
+	ids := make([]catalog.ID, len(cands))
+	for i, c := range cands {
+		ids[i] = c.id
+	}
+	return fillBudget(v.Catalog, ids, v.Budget), nil
+}
+
+// OnDemandKnapsack is the paper's contribution: profit-maximizing
+// selection via core.Selector.
+type OnDemandKnapsack struct {
+	selector *core.Selector
+}
+
+// NewOnDemandKnapsack wraps a selector as a tick policy.
+func NewOnDemandKnapsack(s *core.Selector) (*OnDemandKnapsack, error) {
+	if s == nil {
+		return nil, fmt.Errorf("policy: nil selector")
+	}
+	return &OnDemandKnapsack{selector: s}, nil
+}
+
+// Name implements Policy.
+func (*OnDemandKnapsack) Name() string { return "on-demand-knapsack" }
+
+// Decide implements Policy.
+func (p *OnDemandKnapsack) Decide(v *TickView) ([]catalog.ID, error) {
+	plan, err := p.selector.Select(core.Aggregate(v.Requests), v.Cache, v.Budget)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Download, nil
+}
+
+// Hybrid spends a fraction of the budget on the on-demand knapsack and
+// the remainder on background freshness refresh.
+type Hybrid struct {
+	demand   *OnDemandKnapsack
+	fresh    AsyncFreshness
+	fraction float64
+}
+
+// NewHybrid creates a hybrid policy giving the on-demand component the
+// given fraction of each tick's budget (0..1).
+func NewHybrid(s *core.Selector, fraction float64) (*Hybrid, error) {
+	if fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("policy: hybrid fraction %v out of [0,1]", fraction)
+	}
+	od, err := NewOnDemandKnapsack(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Hybrid{demand: od, fraction: fraction}, nil
+}
+
+// Name implements Policy.
+func (*Hybrid) Name() string { return "hybrid" }
+
+// Decide implements Policy.
+func (h *Hybrid) Decide(v *TickView) ([]catalog.ID, error) {
+	if v.Budget == Unlimited {
+		return h.demand.Decide(v)
+	}
+	demandBudget := int64(h.fraction * float64(v.Budget))
+	dv := *v
+	dv.Budget = demandBudget
+	ids, err := h.demand.Decide(&dv)
+	if err != nil {
+		return nil, err
+	}
+	var used int64
+	chosen := make(map[catalog.ID]bool, len(ids))
+	for _, id := range ids {
+		used += v.Catalog.Size(id)
+		chosen[id] = true
+	}
+	fv := *v
+	fv.Budget = v.Budget - used
+	rest, err := h.fresh.Decide(&fv)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range rest {
+		if !chosen[id] {
+			ids = append(ids, id)
+			chosen[id] = true
+		}
+	}
+	return ids, nil
+}

@@ -1,0 +1,286 @@
+package policy
+
+import (
+	"testing"
+
+	"mobicache/internal/cache"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/core"
+)
+
+func fixture(t *testing.T, sizes []int64, lags map[catalog.ID]int) (*catalog.Catalog, *cache.Cache) {
+	t.Helper()
+	cat := catalog.MustNew(sizes)
+	c := cache.Unlimited()
+	for _, id := range cat.IDs() {
+		if err := c.Put(id, cat.Size(id), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id, lag := range lags {
+		for i := 0; i < lag; i++ {
+			c.OnMasterUpdate(id)
+		}
+	}
+	return cat, c
+}
+
+func view(cat *catalog.Catalog, c *cache.Cache, budget int64) *TickView {
+	return &TickView{Cache: c, Catalog: cat, Budget: budget}
+}
+
+func totalSize(cat *catalog.Catalog, ids []catalog.ID) int64 {
+	var s int64
+	for _, id := range ids {
+		s += cat.Size(id)
+	}
+	return s
+}
+
+func assertNoDuplicates(t *testing.T, ids []catalog.ID) {
+	t.Helper()
+	seen := map[catalog.ID]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate download of %d in %v", id, ids)
+		}
+		seen[id] = true
+	}
+}
+
+func TestAsyncOnUpdate(t *testing.T) {
+	cat, c := fixture(t, []int64{1, 1, 1}, nil)
+	v := view(cat, c, Unlimited)
+	v.Updated = []catalog.ID{0, 2}
+	ids, err := AsyncOnUpdate{}.Decide(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
+		t.Fatalf("downloads = %v, want [0 2]", ids)
+	}
+	// Budgeted: only what fits.
+	v.Budget = 1
+	ids, _ = AsyncOnUpdate{}.Decide(v)
+	if len(ids) != 1 {
+		t.Fatalf("budget 1 downloads = %v", ids)
+	}
+}
+
+func TestAsyncRoundRobinCycles(t *testing.T) {
+	cat, c := fixture(t, []int64{1, 1, 1, 1, 1}, nil)
+	p := &AsyncRoundRobin{}
+	v := view(cat, c, 2)
+	got, _ := p.Decide(v)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("tick 1 = %v, want [0 1]", got)
+	}
+	got, _ = p.Decide(v)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("tick 2 = %v, want [2 3]", got)
+	}
+	got, _ = p.Decide(v)
+	if len(got) != 2 || got[0] != 4 || got[1] != 0 {
+		t.Fatalf("tick 3 wraps = %v, want [4 0]", got)
+	}
+}
+
+func TestAsyncRoundRobinEdgeBudgets(t *testing.T) {
+	cat, c := fixture(t, []int64{1, 1}, nil)
+	p := &AsyncRoundRobin{}
+	if got, _ := p.Decide(view(cat, c, 0)); len(got) != 0 {
+		t.Fatalf("budget 0 downloads %v", got)
+	}
+	if got, _ := p.Decide(view(cat, c, Unlimited)); len(got) != 2 {
+		t.Fatalf("unlimited budget downloads %v", got)
+	}
+	// Budget larger than the catalog: each object downloaded at most once
+	// per tick.
+	got, _ := p.Decide(view(cat, c, 100))
+	assertNoDuplicates(t, got)
+	if len(got) != 2 {
+		t.Fatalf("oversized budget downloads %v", got)
+	}
+}
+
+func TestAsyncFreshnessOrdersByStaleness(t *testing.T) {
+	cat, c := fixture(t, []int64{1, 1, 1, 1}, map[catalog.ID]int{1: 3, 2: 1, 3: 5})
+	ids, err := AsyncFreshness{}.Decide(view(cat, c, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stalest first: 3 (lag 5), then 1 (lag 3). Fresh object 0 excluded.
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 1 {
+		t.Fatalf("freshness downloads = %v, want [3 1]", ids)
+	}
+}
+
+func TestOnDemandStale(t *testing.T) {
+	cat, c := fixture(t, []int64{1, 1, 1}, map[catalog.ID]int{1: 1})
+	v := view(cat, c, Unlimited)
+	v.Requests = []client.Request{
+		{Object: 0, Target: 1}, // fresh: no download
+		{Object: 1, Target: 1}, // stale: download
+		{Object: 1, Target: 1}, // duplicate request: one download
+	}
+	ids, err := OnDemandStale{}.Decide(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("downloads = %v, want [1]", ids)
+	}
+}
+
+func TestOnDemandStaleAbsentObject(t *testing.T) {
+	cat := catalog.MustNew([]int64{1})
+	c := cache.Unlimited() // empty
+	v := view(cat, c, Unlimited)
+	v.Requests = []client.Request{{Object: 0, Target: 1}}
+	ids, _ := OnDemandStale{}.Decide(v)
+	if len(ids) != 1 {
+		t.Fatalf("absent object not downloaded: %v", ids)
+	}
+}
+
+func TestOnDemandLowestRecency(t *testing.T) {
+	cat, c := fixture(t, []int64{1, 1, 1, 1}, map[catalog.ID]int{0: 1, 1: 4, 2: 2})
+	v := view(cat, c, 2)
+	v.Requests = []client.Request{
+		{Object: 0}, {Object: 1}, {Object: 2}, {Object: 3},
+	}
+	ids, err := OnDemandLowestRecency{}.Decide(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recencies: 0→0.5, 1→0.2, 2→1/3, 3→1.0(fresh, excluded).
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("downloads = %v, want [1 2]", ids)
+	}
+}
+
+func TestOnDemandKnapsackPrefersProfit(t *testing.T) {
+	cat, c := fixture(t, []int64{5, 5}, map[catalog.ID]int{0: 1, 1: 1})
+	sel, err := core.NewSelector(cat, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewOnDemandKnapsack(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := view(cat, c, 5)
+	v.Requests = []client.Request{
+		{Object: 0, Target: 1},
+		{Object: 1, Target: 1}, {Object: 1, Target: 1}, {Object: 1, Target: 1},
+	}
+	ids, err := p.Decide(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("knapsack downloads = %v, want the popular [1]", ids)
+	}
+	if p.Name() == "" {
+		t.Fatal("empty policy name")
+	}
+}
+
+func TestNewOnDemandKnapsackNil(t *testing.T) {
+	if _, err := NewOnDemandKnapsack(nil); err == nil {
+		t.Fatal("nil selector accepted")
+	}
+}
+
+func TestHybridSplitsBudget(t *testing.T) {
+	cat, c := fixture(t, []int64{1, 1, 1, 1}, map[catalog.ID]int{0: 1, 1: 1, 2: 3, 3: 3})
+	sel, _ := core.NewSelector(cat, core.Config{})
+	h, err := NewHybrid(sel, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := view(cat, c, 2)
+	// Only objects 0 and 1 are requested; 2 and 3 are stale background.
+	v.Requests = []client.Request{{Object: 0, Target: 1}, {Object: 1, Target: 1}}
+	ids, err := h.Decide(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNoDuplicates(t, ids)
+	if totalSize(cat, ids) > 2 {
+		t.Fatalf("hybrid exceeded budget: %v", ids)
+	}
+	// One requested object (on-demand half) plus one background stale
+	// object must be covered.
+	var hasRequested, hasBackground bool
+	for _, id := range ids {
+		if id == 0 || id == 1 {
+			hasRequested = true
+		}
+		if id == 2 || id == 3 {
+			hasBackground = true
+		}
+	}
+	if !hasRequested || !hasBackground {
+		t.Fatalf("hybrid downloads %v missing a component", ids)
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	cat, _ := fixture(t, []int64{1}, nil)
+	sel, _ := core.NewSelector(cat, core.Config{})
+	if _, err := NewHybrid(sel, -0.1); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	if _, err := NewHybrid(sel, 1.1); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	if _, err := NewHybrid(nil, 0.5); err == nil {
+		t.Fatal("nil selector accepted")
+	}
+}
+
+func TestHybridUnlimitedBudget(t *testing.T) {
+	cat, c := fixture(t, []int64{1, 1}, map[catalog.ID]int{0: 1})
+	sel, _ := core.NewSelector(cat, core.Config{})
+	h, _ := NewHybrid(sel, 0.3)
+	v := view(cat, c, Unlimited)
+	v.Requests = []client.Request{{Object: 0, Target: 1}}
+	ids, err := h.Decide(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("unlimited hybrid = %v", ids)
+	}
+}
+
+func TestAllPoliciesRespectBudget(t *testing.T) {
+	cat, c := fixture(t, []int64{2, 3, 4, 5, 6}, map[catalog.ID]int{0: 2, 1: 1, 2: 3, 3: 1, 4: 2})
+	sel, _ := core.NewSelector(cat, core.Config{})
+	od, _ := NewOnDemandKnapsack(sel)
+	hy, _ := NewHybrid(sel, 0.5)
+	policies := []Policy{
+		AsyncOnUpdate{}, &AsyncRoundRobin{}, AsyncFreshness{},
+		OnDemandStale{}, OnDemandLowestRecency{}, od, hy,
+	}
+	for _, p := range policies {
+		for _, budget := range []int64{0, 3, 7, 20} {
+			v := view(cat, c, budget)
+			v.Updated = cat.IDs()
+			v.Requests = []client.Request{
+				{Object: 0, Target: 1}, {Object: 1, Target: 0.5},
+				{Object: 2, Target: 1}, {Object: 4, Target: 0.8},
+			}
+			ids, err := p.Decide(v)
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name(), err)
+			}
+			assertNoDuplicates(t, ids)
+			if got := totalSize(cat, ids); got > budget {
+				t.Fatalf("%s exceeded budget %d with %d units (%v)", p.Name(), budget, got, ids)
+			}
+		}
+	}
+}

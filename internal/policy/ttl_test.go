@@ -1,0 +1,95 @@
+package policy
+
+import (
+	"testing"
+
+	"mobicache/internal/cache"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/recency"
+)
+
+func TestNewOnDemandTTLValidation(t *testing.T) {
+	m, _ := recency.NewAgeModel(5)
+	if _, err := NewOnDemandTTL(nil, 0.5); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := NewOnDemandTTL(m, 0); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+	if _, err := NewOnDemandTTL(m, 1.5); err == nil {
+		t.Fatal("threshold > 1 accepted")
+	}
+}
+
+func TestTTLPolicyAgeOrdering(t *testing.T) {
+	cat, c := fixture(t, []int64{1, 1, 1}, nil)
+	// Refresh objects at different times: 0 stays from t=0, 1 at t=6,
+	// 2 at t=9.
+	c.Refresh(1, 1, 6)
+	c.Refresh(2, 1, 9)
+	m, _ := recency.NewAgeModel(5)
+	p, err := NewOnDemandTTL(m, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := view(cat, c, 2)
+	v.Tick = 10
+	v.Requests = []client.Request{{Object: 0}, {Object: 1}, {Object: 2}}
+	ids, err := p.Decide(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ages: 10, 4, 1 → estimates 1/3, 5/9, 5/6. Threshold 0.9 admits all;
+	// budget 2 takes the two oldest: 0 then 1.
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("downloads = %v, want [0 1]", ids)
+	}
+	if p.Name() != "on-demand-ttl" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+func TestTTLPolicyThresholdSkipsYoungCopies(t *testing.T) {
+	cat, c := fixture(t, []int64{1, 1}, nil)
+	c.Refresh(0, 1, 9) // age 1 at tick 10 → estimate 5/6 ≈ 0.83
+	c.Refresh(1, 1, 0) // age 10 → estimate 1/3
+	m, _ := recency.NewAgeModel(5)
+	p, _ := NewOnDemandTTL(m, 0.5)
+	v := view(cat, c, Unlimited)
+	v.Tick = 10
+	v.Requests = []client.Request{{Object: 0}, {Object: 1}}
+	ids, err := p.Decide(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("downloads = %v, want only the old copy [1]", ids)
+	}
+}
+
+func TestTTLPolicyAbsentObjectsFirst(t *testing.T) {
+	cat := catalog.MustNew([]int64{1, 1})
+	c := cacheWithOnly(t, cat, 0, 0) // only object 0 cached, at t=0
+	m, _ := recency.NewAgeModel(5)
+	p, _ := NewOnDemandTTL(m, 1)
+	v := view(cat, c, 1) // budget for one download
+	v.Tick = 3
+	v.Requests = []client.Request{{Object: 0}, {Object: 1}}
+	ids, err := p.Decide(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("downloads = %v, want the absent object [1]", ids)
+	}
+}
+
+func cacheWithOnly(t *testing.T, cat *catalog.Catalog, id catalog.ID, now float64) *cache.Cache {
+	t.Helper()
+	c := cache.Unlimited()
+	if err := c.Put(id, cat.Size(id), 0, now); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,220 @@
+// Package quasi implements the quasi-copy consistency model of the
+// paper's related work [7] (Alonso, Barbara & Garcia-Molina, "Data caching
+// issues in an information retrieval system"): a cached value is allowed
+// to deviate from the server value in a controlled way — by age, by
+// version count, or by (absolute or relative) arithmetic deviation, the
+// paper's "stock prices within 5 percent of actual prices" example.
+//
+// The model is push-based, in contrast to the paper's pull design: the
+// server tracks every cached copy's coherence condition and pushes a
+// refresh the moment a condition is violated. The Monitor type implements
+// that server-side machinery over a random-walk value process, and the
+// experiment harness uses it to measure how refresh traffic scales with
+// the coherence window.
+package quasi
+
+import (
+	"fmt"
+	"math"
+
+	"mobicache/internal/rng"
+)
+
+// Walk is a set of numeric server values, each following an independent
+// random walk with Gaussian steps — the canonical model for the stock
+// prices of the related-work example.
+type Walk struct {
+	src    *rng.Source
+	values []float64
+	sigma  float64
+	vers   []int
+}
+
+// NewWalk creates n values starting at start, stepping with standard
+// deviation sigma per tick.
+func NewWalk(n int, start, sigma float64, seed uint64) (*Walk, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("quasi: n %d must be positive", n)
+	}
+	if sigma < 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+		return nil, fmt.Errorf("quasi: sigma %v must be a non-negative finite number", sigma)
+	}
+	w := &Walk{
+		src:    rng.New(seed),
+		values: make([]float64, n),
+		sigma:  sigma,
+		vers:   make([]int, n),
+	}
+	for i := range w.values {
+		w.values[i] = start
+	}
+	return w, nil
+}
+
+// Len returns the number of values.
+func (w *Walk) Len() int { return len(w.values) }
+
+// Tick advances every value one step.
+func (w *Walk) Tick() {
+	for i := range w.values {
+		w.values[i] += w.src.Norm() * w.sigma
+		w.vers[i]++
+	}
+}
+
+// Value returns the current server value of object i.
+func (w *Walk) Value(i int) float64 { return w.values[i] }
+
+// Version returns how many steps object i has taken.
+func (w *Walk) Version(i int) int { return w.vers[i] }
+
+// Copy is the cached state of one value.
+type Copy struct {
+	Value    float64
+	Version  int
+	CachedAt int
+}
+
+// Condition is a coherence condition on a quasi-copy (Alonso et al. §3):
+// it decides whether a cached copy may still be served given the current
+// server state.
+type Condition interface {
+	// Name identifies the condition in reports.
+	Name() string
+	// Violated reports whether the copy must be refreshed.
+	Violated(copy Copy, current float64, currentVersion, now int) bool
+}
+
+// Delay invalidates copies older than MaxAge ticks (a time-based window
+// w(x) — the TTL of the quasi-copy world).
+type Delay struct {
+	MaxAge int
+}
+
+// Name implements Condition.
+func (d Delay) Name() string { return fmt.Sprintf("delay(%d)", d.MaxAge) }
+
+// Violated implements Condition.
+func (d Delay) Violated(copy Copy, _ float64, _, now int) bool {
+	return now-copy.CachedAt > d.MaxAge
+}
+
+// Versions invalidates copies more than MaxLag versions behind.
+type Versions struct {
+	MaxLag int
+}
+
+// Name implements Condition.
+func (v Versions) Name() string { return fmt.Sprintf("versions(%d)", v.MaxLag) }
+
+// Violated implements Condition.
+func (v Versions) Violated(copy Copy, _ float64, currentVersion, _ int) bool {
+	return currentVersion-copy.Version > v.MaxLag
+}
+
+// Absolute invalidates copies whose value deviates from the server value
+// by more than Epsilon.
+type Absolute struct {
+	Epsilon float64
+}
+
+// Name implements Condition.
+func (a Absolute) Name() string { return fmt.Sprintf("abs(%g)", a.Epsilon) }
+
+// Violated implements Condition.
+func (a Absolute) Violated(copy Copy, current float64, _, _ int) bool {
+	return math.Abs(current-copy.Value) > a.Epsilon
+}
+
+// Relative invalidates copies deviating by more than Fraction of the
+// current value — the paper's "within 5 percent of actual prices" is
+// Relative{Fraction: 0.05}.
+type Relative struct {
+	Fraction float64
+}
+
+// Name implements Condition.
+func (r Relative) Name() string { return fmt.Sprintf("rel(%g)", r.Fraction) }
+
+// Violated implements Condition.
+func (r Relative) Violated(copy Copy, current float64, _, _ int) bool {
+	denom := math.Abs(current)
+	if denom == 0 {
+		return copy.Value != current
+	}
+	return math.Abs(current-copy.Value)/denom > r.Fraction
+}
+
+// Monitor is the server-side quasi-caching machinery: it tracks the
+// cached copy of every object and, each tick, pushes refreshes for every
+// violated condition.
+type Monitor struct {
+	walk   *Walk
+	cond   Condition
+	copies []Copy
+	pushes uint64
+	ticks  int
+	// devSum accumulates |served - current| / |current| across serves,
+	// to report the realized deviation.
+	devSum   float64
+	devCount uint64
+}
+
+// NewMonitor creates a monitor with all copies initially coherent.
+func NewMonitor(walk *Walk, cond Condition) (*Monitor, error) {
+	if walk == nil || cond == nil {
+		return nil, fmt.Errorf("quasi: nil walk or condition")
+	}
+	m := &Monitor{walk: walk, cond: cond, copies: make([]Copy, walk.Len())}
+	for i := range m.copies {
+		m.copies[i] = Copy{Value: walk.Value(i), Version: walk.Version(i)}
+	}
+	return m, nil
+}
+
+// Tick advances the value process one step and pushes refreshes for every
+// violated copy. It returns the number of refreshes pushed this tick.
+func (m *Monitor) Tick() int {
+	m.walk.Tick()
+	m.ticks++
+	pushed := 0
+	for i := range m.copies {
+		if m.cond.Violated(m.copies[i], m.walk.Value(i), m.walk.Version(i), m.ticks) {
+			m.copies[i] = Copy{Value: m.walk.Value(i), Version: m.walk.Version(i), CachedAt: m.ticks}
+			pushed++
+		}
+	}
+	m.pushes += uint64(pushed)
+	return pushed
+}
+
+// Serve records a read of object i from the cached copy and returns the
+// served value. Deviation statistics accumulate for reporting.
+func (m *Monitor) Serve(i int) float64 {
+	copyVal := m.copies[i].Value
+	cur := m.walk.Value(i)
+	if cur != 0 {
+		m.devSum += math.Abs(cur-copyVal) / math.Abs(cur)
+	}
+	m.devCount++
+	return copyVal
+}
+
+// Pushes returns the total refreshes pushed.
+func (m *Monitor) Pushes() uint64 { return m.pushes }
+
+// PushRate returns the mean refreshes pushed per tick.
+func (m *Monitor) PushRate() float64 {
+	if m.ticks == 0 {
+		return 0
+	}
+	return float64(m.pushes) / float64(m.ticks)
+}
+
+// MeanDeviation returns the mean relative deviation of served values.
+func (m *Monitor) MeanDeviation() float64 {
+	if m.devCount == 0 {
+		return 0
+	}
+	return m.devSum / float64(m.devCount)
+}

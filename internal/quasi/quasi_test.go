@@ -1,0 +1,191 @@
+package quasi
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewWalkValidation(t *testing.T) {
+	if _, err := NewWalk(0, 100, 1, 1); err == nil {
+		t.Fatal("zero objects accepted")
+	}
+	if _, err := NewWalk(5, 100, -1, 1); err == nil {
+		t.Fatal("negative sigma accepted")
+	}
+	if _, err := NewWalk(5, 100, math.NaN(), 1); err == nil {
+		t.Fatal("NaN sigma accepted")
+	}
+}
+
+func TestWalkSteps(t *testing.T) {
+	w, err := NewWalk(10, 100, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 10 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if w.Value(i) != 100 || w.Version(i) != 0 {
+			t.Fatalf("initial value/version wrong: %v/%d", w.Value(i), w.Version(i))
+		}
+	}
+	w.Tick()
+	moved := 0
+	for i := 0; i < 10; i++ {
+		if w.Version(i) != 1 {
+			t.Fatalf("version after tick = %d", w.Version(i))
+		}
+		if w.Value(i) != 100 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no value moved after a tick")
+	}
+}
+
+func TestWalkVarianceGrowth(t *testing.T) {
+	w, _ := NewWalk(2000, 0, 1, 7)
+	const steps = 100
+	for i := 0; i < steps; i++ {
+		w.Tick()
+	}
+	// Var after k unit steps ~ k.
+	var sum, sq float64
+	for i := 0; i < w.Len(); i++ {
+		v := w.Value(i)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(w.Len())
+	variance := sq/float64(w.Len()) - mean*mean
+	if variance < 80 || variance > 120 {
+		t.Fatalf("variance after %d steps = %v, want ~%d", steps, variance, steps)
+	}
+}
+
+func TestConditions(t *testing.T) {
+	copyAt5 := Copy{Value: 100, Version: 3, CachedAt: 5}
+	cases := []struct {
+		cond    Condition
+		current float64
+		version int
+		now     int
+		want    bool
+	}{
+		{Delay{MaxAge: 2}, 100, 3, 7, false},
+		{Delay{MaxAge: 2}, 100, 3, 8, true},
+		{Versions{MaxLag: 1}, 100, 4, 6, false},
+		{Versions{MaxLag: 1}, 100, 5, 6, true},
+		{Absolute{Epsilon: 3}, 102, 3, 6, false},
+		{Absolute{Epsilon: 3}, 104, 3, 6, true},
+		{Relative{Fraction: 0.05}, 104, 3, 6, false}, // 4/104 < 5%
+		{Relative{Fraction: 0.05}, 106, 3, 6, true},  // 6/106 > 5%
+	}
+	for _, c := range cases {
+		if got := c.cond.Violated(copyAt5, c.current, c.version, c.now); got != c.want {
+			t.Fatalf("%s.Violated(current=%v, ver=%d, now=%d) = %v, want %v",
+				c.cond.Name(), c.current, c.version, c.now, got, c.want)
+		}
+	}
+}
+
+func TestRelativeZeroCurrent(t *testing.T) {
+	r := Relative{Fraction: 0.05}
+	if !r.Violated(Copy{Value: 1}, 0, 0, 0) {
+		t.Fatal("nonzero copy of zero value not violated")
+	}
+	if r.Violated(Copy{Value: 0}, 0, 0, 0) {
+		t.Fatal("exact zero copy violated")
+	}
+}
+
+func TestConditionNames(t *testing.T) {
+	for _, c := range []Condition{Delay{2}, Versions{3}, Absolute{0.5}, Relative{0.05}} {
+		if c.Name() == "" || !strings.Contains(c.Name(), "(") {
+			t.Fatalf("bad condition name %q", c.Name())
+		}
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	w, _ := NewWalk(2, 100, 1, 1)
+	if _, err := NewMonitor(nil, Delay{1}); err == nil {
+		t.Fatal("nil walk accepted")
+	}
+	if _, err := NewMonitor(w, nil); err == nil {
+		t.Fatal("nil condition accepted")
+	}
+}
+
+func TestMonitorMaintainsCondition(t *testing.T) {
+	w, _ := NewWalk(50, 100, 2, 3)
+	m, err := NewMonitor(w, Relative{Fraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 500; tick++ {
+		m.Tick()
+		// Invariant: after the push pass, no copy violates the condition.
+		for i := 0; i < w.Len(); i++ {
+			served := m.Serve(i)
+			cur := w.Value(i)
+			if cur != 0 && math.Abs(cur-served)/math.Abs(cur) > 0.05+1e-12 {
+				t.Fatalf("tick %d: served %v deviates more than 5%% from %v", tick, served, cur)
+			}
+		}
+	}
+	if m.Pushes() == 0 {
+		t.Fatal("no pushes over 500 volatile ticks")
+	}
+	if m.MeanDeviation() > 0.05 {
+		t.Fatalf("mean served deviation %v above the coherence bound", m.MeanDeviation())
+	}
+}
+
+func TestTighterConditionPushesMore(t *testing.T) {
+	rate := func(frac float64) float64 {
+		w, _ := NewWalk(100, 100, 1, 9)
+		m, _ := NewMonitor(w, Relative{Fraction: frac})
+		for tick := 0; tick < 300; tick++ {
+			m.Tick()
+		}
+		return m.PushRate()
+	}
+	tight := rate(0.01)
+	loose := rate(0.10)
+	if tight <= loose {
+		t.Fatalf("tight condition push rate %v not above loose %v", tight, loose)
+	}
+}
+
+func TestDelayConditionPushPeriod(t *testing.T) {
+	w, _ := NewWalk(10, 100, 0, 1) // frozen values: only age matters
+	m, _ := NewMonitor(w, Delay{MaxAge: 4})
+	pushesAt := []int{}
+	for tick := 1; tick <= 20; tick++ {
+		if m.Tick() > 0 {
+			pushesAt = append(pushesAt, tick)
+		}
+	}
+	// Initial copies at tick 0: first violation at tick 5, then every 5.
+	want := []int{5, 10, 15, 20}
+	if len(pushesAt) != len(want) {
+		t.Fatalf("push ticks = %v, want %v", pushesAt, want)
+	}
+	for i := range want {
+		if pushesAt[i] != want[i] {
+			t.Fatalf("push ticks = %v, want %v", pushesAt, want)
+		}
+	}
+}
+
+func TestMonitorEmptyStats(t *testing.T) {
+	w, _ := NewWalk(1, 100, 1, 1)
+	m, _ := NewMonitor(w, Delay{1})
+	if m.PushRate() != 0 || m.MeanDeviation() != 0 {
+		t.Fatal("empty monitor stats nonzero")
+	}
+}

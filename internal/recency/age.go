@@ -1,0 +1,101 @@
+package recency
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper assumes the base station observes every server update (its
+// recency scores decay exactly per missed update). Real deployments — web
+// proxies in particular — usually cannot: they only know how long ago a
+// copy was fetched. AgeModel supplies that estimated view: for a master
+// updated by a memoryless (Poisson-like) process with a known mean period,
+// the probability that a copy of the given age is still identical to the
+// master is exp(-age/period), and the expected number of updates missed is
+// age/period, which plugs into the same decay law the paper uses.
+type AgeModel struct {
+	// Period is the object's mean ticks between master updates.
+	Period float64
+	// Decay converts an expected missed-update count into a recency
+	// score; the zero value uses DefaultDecay.
+	Decay Decay
+}
+
+// NewAgeModel validates and builds an estimator.
+func NewAgeModel(period float64) (*AgeModel, error) {
+	if period <= 0 || math.IsNaN(period) || math.IsInf(period, 0) {
+		return nil, fmt.Errorf("recency: update period %v must be positive and finite", period)
+	}
+	return &AgeModel{Period: period, Decay: DefaultDecay}, nil
+}
+
+// PFresh returns the probability that a copy of the given age still
+// matches the master: exp(-age/period). Negative ages clamp to fresh.
+func (m *AgeModel) PFresh(age float64) float64 {
+	if age <= 0 {
+		return 1
+	}
+	return math.Exp(-age / m.Period)
+}
+
+// ExpectedLag returns the expected number of master updates a copy of the
+// given age has missed.
+func (m *AgeModel) ExpectedLag(age float64) float64 {
+	if age <= 0 {
+		return 0
+	}
+	return age / m.Period
+}
+
+// Score estimates the recency score of a copy of the given age by
+// evaluating the paper's decay law at the expected lag: with C = 1 the
+// closed form is 1/(lag+1).
+func (m *AgeModel) Score(age float64) float64 {
+	lag := m.ExpectedLag(age)
+	d := m.Decay
+	if d.C == 0 {
+		d = DefaultDecay
+	}
+	if d.C == 1 {
+		return 1 / (lag + 1)
+	}
+	// General C: interpolate between the integer-lag decay values.
+	lo := int(lag)
+	frac := lag - float64(lo)
+	x0 := d.AfterUpdates(lo)
+	x1 := d.AfterUpdates(lo + 1)
+	return x0*(1-frac) + x1*frac
+}
+
+// TTL returns the age at which the estimated recency score falls to the
+// given threshold in (0, 1) — the classic time-to-live a cache would
+// assign under this model. For C = 1: score = 1/(age/period+1), so
+// TTL = period*(1/threshold - 1). For general C it bisects.
+func (m *AgeModel) TTL(threshold float64) (float64, error) {
+	if threshold <= 0 || threshold >= 1 {
+		return 0, fmt.Errorf("recency: TTL threshold %v out of (0,1)", threshold)
+	}
+	d := m.Decay
+	if d.C == 0 {
+		d = DefaultDecay
+	}
+	if d.C == 1 {
+		return m.Period * (1/threshold - 1), nil
+	}
+	lo, hi := 0.0, m.Period
+	for m.Score(hi) > threshold {
+		hi *= 2
+		if hi > m.Period*1e9 {
+			return 0, fmt.Errorf("recency: decay C=%v never reaches threshold %v", d.C, threshold)
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-9*m.Period; i++ {
+		mid := (lo + hi) / 2
+		if m.Score(mid) > threshold {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,137 @@
+package recency
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAgeModelValidation(t *testing.T) {
+	for _, period := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewAgeModel(period); err == nil {
+			t.Fatalf("period %v accepted", period)
+		}
+	}
+	if _, err := NewAgeModel(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPFresh(t *testing.T) {
+	m, _ := NewAgeModel(10)
+	if m.PFresh(0) != 1 || m.PFresh(-5) != 1 {
+		t.Fatal("fresh copy probability != 1")
+	}
+	if got, want := m.PFresh(10), math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PFresh(period) = %v, want %v", got, want)
+	}
+	// Strictly decreasing in age.
+	if m.PFresh(20) >= m.PFresh(10) {
+		t.Fatal("PFresh not decreasing")
+	}
+}
+
+func TestExpectedLag(t *testing.T) {
+	m, _ := NewAgeModel(4)
+	if m.ExpectedLag(0) != 0 || m.ExpectedLag(-1) != 0 {
+		t.Fatal("non-positive age lag != 0")
+	}
+	if got := m.ExpectedLag(8); got != 2 {
+		t.Fatalf("ExpectedLag(8) = %v, want 2", got)
+	}
+}
+
+func TestScoreClosedForm(t *testing.T) {
+	m, _ := NewAgeModel(5)
+	// C=1: score = 1/(age/period + 1).
+	cases := []struct{ age, want float64 }{
+		{0, 1},
+		{5, 0.5},
+		{10, 1.0 / 3},
+		{20, 0.2},
+	}
+	for _, c := range cases {
+		if got := m.Score(c.age); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Score(%v) = %v, want %v", c.age, got, c.want)
+		}
+	}
+}
+
+func TestScoreMatchesExactDecayAtIntegerLags(t *testing.T) {
+	// When the copy's age is an exact multiple of the period, the
+	// estimated score equals the paper's exact decay at that lag.
+	m, _ := NewAgeModel(3)
+	for lag := 0; lag <= 10; lag++ {
+		est := m.Score(float64(lag) * 3)
+		exact := DefaultDecay.AfterUpdates(lag)
+		if math.Abs(est-exact) > 1e-12 {
+			t.Fatalf("lag %d: estimate %v != exact %v", lag, est, exact)
+		}
+	}
+}
+
+func TestScoreGeneralC(t *testing.T) {
+	m := &AgeModel{Period: 2, Decay: Decay{C: 0.5}}
+	// At age = period (expected lag 1): exact decay value for one update.
+	want := Decay{C: 0.5}.AfterUpdates(1)
+	if got := m.Score(2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Score at one period = %v, want %v", got, want)
+	}
+	// Between integer lags: strictly between neighbouring decay values.
+	mid := m.Score(3)
+	lo := Decay{C: 0.5}.AfterUpdates(2)
+	hi := Decay{C: 0.5}.AfterUpdates(1)
+	if mid <= lo || mid >= hi {
+		t.Fatalf("interpolated score %v not in (%v, %v)", mid, lo, hi)
+	}
+}
+
+func TestScoreMonotoneProperty(t *testing.T) {
+	m, _ := NewAgeModel(7)
+	f := func(a, b uint16) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.Score(x) >= m.Score(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTTLClosedForm(t *testing.T) {
+	m, _ := NewAgeModel(10)
+	// threshold 0.5 → TTL = period*(1/0.5 - 1) = 10.
+	ttl, err := m.TTL(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ttl-10) > 1e-9 {
+		t.Fatalf("TTL(0.5) = %v, want 10", ttl)
+	}
+	// Score at the TTL equals the threshold.
+	if got := m.Score(ttl); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("Score(TTL) = %v, want 0.5", got)
+	}
+}
+
+func TestTTLGeneralCBisection(t *testing.T) {
+	m := &AgeModel{Period: 4, Decay: Decay{C: 0.9}}
+	ttl, err := m.TTL(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Score(ttl); math.Abs(got-0.3) > 1e-6 {
+		t.Fatalf("Score(TTL) = %v, want 0.3", got)
+	}
+}
+
+func TestTTLValidation(t *testing.T) {
+	m, _ := NewAgeModel(10)
+	for _, thr := range []float64{0, 1, -0.5, 2} {
+		if _, err := m.TTL(thr); err == nil {
+			t.Fatalf("threshold %v accepted", thr)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package recency
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecayClosedForm(t *testing.T) {
+	d := DefaultDecay
+	// With C = 1: after n updates an initially fresh copy scores 1/(n+1).
+	for n := 0; n <= 10; n++ {
+		want := 1 / float64(n+1)
+		if got := d.AfterUpdates(n); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("AfterUpdates(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestDecayIterationMatchesClosedForm(t *testing.T) {
+	d := DefaultDecay
+	x := Fresh
+	for n := 1; n <= 20; n++ {
+		x = d.Next(x)
+		if got := d.AfterUpdates(n); math.Abs(got-x) > 1e-12 {
+			t.Fatalf("iterated decay %v != AfterUpdates(%d) = %v", x, n, got)
+		}
+	}
+}
+
+func TestDecayGeneralC(t *testing.T) {
+	d := Decay{C: 0.5}
+	// x' = 0.5/(1/1+1) = 0.25 after one update of a fresh copy.
+	if got := d.Next(1); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("Next(1) with C=0.5 = %v, want 0.25", got)
+	}
+	if got := d.AfterUpdates(1); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("AfterUpdates(1) = %v, want 0.25", got)
+	}
+}
+
+func TestDecayMonotoneDecreasing(t *testing.T) {
+	f := func(seed int64) bool {
+		// Any starting score in (0,1] strictly decreases under C=1 decay.
+		x := float64(uint64(seed)%1000+1) / 1000
+		next := DefaultDecay.Next(x)
+		return next < x && next > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecayEdgeCases(t *testing.T) {
+	if got := DefaultDecay.Next(0); got != 0 {
+		t.Fatalf("Next(0) = %v, want 0", got)
+	}
+	if got := DefaultDecay.Next(-1); got != 0 {
+		t.Fatalf("Next(-1) = %v, want 0", got)
+	}
+}
+
+func TestAfterUpdatesNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AfterUpdates(-1) did not panic")
+		}
+	}()
+	DefaultDecay.AfterUpdates(-1)
+}
+
+func TestInverseScore(t *testing.T) {
+	// Meets target: exact 1.0.
+	if got := Inverse(0.8, 0.5); got != 1 {
+		t.Fatalf("Inverse(0.8, 0.5) = %v, want 1", got)
+	}
+	if got := Inverse(0.5, 0.5); got != 1 {
+		t.Fatalf("Inverse(0.5, 0.5) = %v, want 1", got)
+	}
+	// Below target: 1/(1+|x/C-1|).
+	got := Inverse(0.25, 0.5)
+	want := 1 / (1 + 0.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Inverse(0.25, 0.5) = %v, want %v", got, want)
+	}
+}
+
+func TestExponentialScore(t *testing.T) {
+	if got := Exponential(1, 0.5); got != 1 {
+		t.Fatalf("Exponential(1, 0.5) = %v, want 1", got)
+	}
+	got := Exponential(0.25, 0.5)
+	want := math.Exp(-0.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Exponential(0.25, 0.5) = %v, want %v", got, want)
+	}
+}
+
+func TestScoreFunctionsApproachZero(t *testing.T) {
+	// "The score approaches 0 as x gets further from C."
+	for _, f := range []ScoreFunc{Inverse, Exponential} {
+		prev := f(0.9, 1)
+		for _, x := range []float64{0.5, 0.1, 0.01, 0.001} {
+			cur := f(x, 1)
+			if cur >= prev {
+				t.Fatalf("score not decreasing as x falls: f(%v)=%v >= %v", x, cur, prev)
+			}
+			prev = cur
+		}
+		if prev > 0.6 {
+			t.Fatalf("score at x=0.001 is %v, expected near its floor", prev)
+		}
+	}
+}
+
+func TestScoreFuncProperty(t *testing.T) {
+	// Property: scores always lie in (0, 1] for x in (0,1], target in (0,1].
+	f := func(xi, ti uint16) bool {
+		x := float64(xi%1000+1) / 1000
+		target := float64(ti%1000+1) / 1000
+		for _, fn := range []ScoreFunc{Inverse, Exponential, Identity} {
+			s := fn(x, target)
+			if s <= 0 || s > 1 {
+				return false
+			}
+			if x >= target && fn(x, target) != 1 && !isIdentity(fn) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isIdentity(fn ScoreFunc) bool {
+	return fn(0.37, 0.01) == 0.37
+}
+
+func TestIdentityScore(t *testing.T) {
+	if got := Identity(0.4, 0.9); got != 0.4 {
+		t.Fatalf("Identity(0.4, _) = %v, want 0.4", got)
+	}
+	if got := Identity(1.5, 0); got != 1 {
+		t.Fatalf("Identity(1.5, _) = %v, want 1", got)
+	}
+	if got := Identity(-0.5, 0); got != 0 {
+		t.Fatalf("Identity(-0.5, _) = %v, want 0", got)
+	}
+}
+
+func TestBenefit(t *testing.T) {
+	if got := Benefit(1); got != 0 {
+		t.Fatalf("Benefit(1) = %v, want 0", got)
+	}
+	if got := Benefit(0.3); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("Benefit(0.3) = %v, want 0.7", got)
+	}
+	if got := Benefit(-0.5); got != 1 {
+		t.Fatalf("Benefit(-0.5) = %v, want 1", got)
+	}
+	if got := Benefit(1.2); got != 0 {
+		t.Fatalf("Benefit(1.2) = %v, want 0", got)
+	}
+}
+
+func TestBenefitIncreasesWithStaleness(t *testing.T) {
+	// Paper: "the value of benefit(i) increases as C_i is more recent and
+	// when the cached object is older."
+	d := DefaultDecay
+	target := 0.9
+	prev := -1.0
+	for lag := 0; lag < 10; lag++ {
+		b := Benefit(Inverse(d.AfterUpdates(lag), target))
+		if b < prev {
+			t.Fatalf("benefit decreased with staleness at lag %d: %v < %v", lag, b, prev)
+		}
+		prev = b
+	}
+	// And with a more demanding target for the same staleness.
+	x := d.AfterUpdates(3)
+	if Benefit(Inverse(x, 0.9)) <= Benefit(Inverse(x, 0.2)) {
+		t.Fatal("benefit did not increase with a more recent target")
+	}
+}
+
+func TestTracker(t *testing.T) {
+	tr := NewTracker(DefaultDecay)
+	if tr.Stale() || tr.Lag() != 0 || tr.Score() != 1 {
+		t.Fatalf("fresh tracker: stale=%v lag=%d score=%v", tr.Stale(), tr.Lag(), tr.Score())
+	}
+	tr.OnMasterUpdate()
+	tr.OnMasterUpdate()
+	if !tr.Stale() || tr.Lag() != 2 {
+		t.Fatalf("after 2 updates: stale=%v lag=%d", tr.Stale(), tr.Lag())
+	}
+	if got := tr.Score(); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("score after 2 missed updates = %v, want 1/3", got)
+	}
+	tr.OnRefresh()
+	if tr.Stale() || tr.Score() != 1 {
+		t.Fatalf("after refresh: stale=%v score=%v", tr.Stale(), tr.Score())
+	}
+}

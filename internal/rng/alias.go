@@ -1,0 +1,99 @@
+package rng
+
+// Alias is a Vose alias-method sampler: after O(n) setup it draws from an
+// arbitrary discrete distribution over [0, n) in O(1) per sample. The
+// experiment harness uses it for the skewed request streams of Figure 2,
+// where millions of draws from a fixed 500-point distribution are needed.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table from the (unnormalized, non-negative)
+// weights. It returns ErrEmptyWeights if weights is empty or sums to zero,
+// and panics on a negative weight (a programming error, not an input
+// condition).
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, ErrEmptyWeights
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("rng: negative weight in NewAlias")
+		}
+		_ = i
+		total += w
+	}
+	if total == 0 {
+		return nil, ErrEmptyWeights
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	// Scaled probabilities: mean 1.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, p := range scaled {
+		if p < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = (scaled[l] + scaled[s]) - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are 1 up to floating-point error.
+	for _, i := range large {
+		a.prob[i] = 1
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+	}
+	return a, nil
+}
+
+// N returns the size of the sampled domain.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Sample draws one index from the distribution using r.
+func (a *Alias) Sample(r *Source) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// Prob returns the normalized probability of index i, reconstructed from
+// the alias table. It is O(n) and intended for tests.
+func (a *Alias) Prob(i int) float64 {
+	n := float64(len(a.prob))
+	p := a.prob[i] / n
+	for j := range a.alias {
+		if a.alias[j] == i && a.prob[j] < 1 {
+			p += (1 - a.prob[j]) / n
+		}
+	}
+	return p
+}

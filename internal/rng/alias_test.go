@@ -1,0 +1,169 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAliasErrors(t *testing.T) {
+	if _, err := NewAlias(nil); err != ErrEmptyWeights {
+		t.Fatalf("NewAlias(nil) error = %v, want ErrEmptyWeights", err)
+	}
+	if _, err := NewAlias([]float64{0, 0, 0}); err != ErrEmptyWeights {
+		t.Fatalf("NewAlias(zeros) error = %v, want ErrEmptyWeights", err)
+	}
+}
+
+func TestNewAliasPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAlias with negative weight did not panic")
+		}
+	}()
+	_, _ = NewAlias([]float64{1, -1})
+}
+
+func TestAliasSingleton(t *testing.T) {
+	a, err := NewAlias([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if got := a.Sample(r); got != 0 {
+			t.Fatalf("singleton sampler returned %d", got)
+		}
+	}
+}
+
+func TestAliasEmpiricalFrequencies(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(99)
+	const draws = 400000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(r)]++
+	}
+	total := 10.0
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("index %d: frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasZipfOrdering(t *testing.T) {
+	a := Zipf.NewSampler(50)
+	r := New(7)
+	counts := make([]int, 50)
+	for i := 0; i < 200000; i++ {
+		counts[a.Sample(r)]++
+	}
+	// Popularity must be (statistically) decreasing: compare head to tail.
+	if counts[0] <= counts[49] {
+		t.Fatalf("zipf head count %d not greater than tail count %d", counts[0], counts[49])
+	}
+	if counts[0] <= counts[10] {
+		t.Fatalf("zipf rank 0 count %d not greater than rank 10 count %d", counts[0], counts[10])
+	}
+}
+
+func TestAliasProbReconstruction(t *testing.T) {
+	weights := []float64{3, 1, 2, 2, 8}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 16.0
+	for i, w := range weights {
+		if got, want := a.Prob(i), w/total; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Prob(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasProbProperty(t *testing.T) {
+	// Property: reconstructed probabilities of any valid weight vector sum
+	// to 1 and are each proportional to the input weight.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		total := 0.0
+		for i, b := range raw {
+			weights[i] = float64(b)
+			total += weights[i]
+		}
+		if total == 0 {
+			return true
+		}
+		a, err := NewAlias(weights)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for i := range weights {
+			p := a.Prob(i)
+			if math.Abs(p-weights[i]/total) > 1e-9 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopularityWeights(t *testing.T) {
+	for _, p := range []Popularity{Uniform, Linear, Zipf} {
+		w := p.Weights(10)
+		if len(w) != 10 {
+			t.Fatalf("%v: weight count %d", p, len(w))
+		}
+		for i := 1; i < len(w); i++ {
+			if w[i] > w[i-1] {
+				t.Fatalf("%v: weights not non-increasing at %d: %v > %v", p, i, w[i], w[i-1])
+			}
+		}
+	}
+	u := Uniform.Weights(5)
+	for _, w := range u {
+		if w != 1 {
+			t.Fatalf("uniform weight = %v, want 1", w)
+		}
+	}
+}
+
+func TestPopularityString(t *testing.T) {
+	cases := map[Popularity]string{
+		Uniform:        "uniform",
+		Linear:         "skewed(uniform)",
+		Zipf:           "skewed(zipf)",
+		Popularity(99): "Popularity(99)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestZipfWeightsExponent(t *testing.T) {
+	w := ZipfWeights(4, 2)
+	want := []float64{1, 0.25, 1.0 / 9, 1.0 / 16}
+	for i := range w {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Fatalf("ZipfWeights[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+}

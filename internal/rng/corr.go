@@ -1,0 +1,143 @@
+package rng
+
+import "sort"
+
+// Correlation selects how two per-object attribute vectors are aligned in
+// the Table 1 workloads of the paper's Section 4: positively correlated
+// (largest objects get the largest values), negatively correlated (largest
+// objects get the smallest values), or uncorrelated (random pairing).
+type Correlation int
+
+const (
+	// Positive induces rank correlation +1 between the key and the value.
+	Positive Correlation = iota + 1
+	// Negative induces rank correlation -1.
+	Negative
+	// None pairs values with keys uniformly at random.
+	None
+)
+
+// String implements fmt.Stringer.
+func (c Correlation) String() string {
+	switch c {
+	case Positive:
+		return "positive"
+	case Negative:
+		return "negative"
+	case None:
+		return "none"
+	default:
+		return "invalid"
+	}
+}
+
+// CorrelateFloats reorders values so that their ranks have the requested
+// correlation with keys, and returns the reordered copy. keys is not
+// modified. Ties in keys are broken by original index, which keeps the
+// procedure deterministic.
+func CorrelateFloats(r *Source, keys []int, values []float64, c Correlation) []float64 {
+	out := make([]float64, len(values))
+	copy(out, values)
+	if len(keys) != len(values) {
+		panic("rng: CorrelateFloats length mismatch")
+	}
+	switch c {
+	case None:
+		r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	case Positive, Negative:
+		rank := rankOf(keys)
+		sort.Float64s(out)
+		if c == Negative {
+			reverseFloats(out)
+		}
+		res := make([]float64, len(out))
+		for i, rk := range rank {
+			res[i] = out[rk]
+		}
+		return res
+	default:
+		panic("rng: invalid Correlation")
+	}
+}
+
+// CorrelateInts is CorrelateFloats for integer value vectors (used for
+// NumRequests in Table 1).
+func CorrelateInts(r *Source, keys, values []int, c Correlation) []int {
+	out := make([]int, len(values))
+	copy(out, values)
+	if len(keys) != len(values) {
+		panic("rng: CorrelateInts length mismatch")
+	}
+	switch c {
+	case None:
+		r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	case Positive, Negative:
+		rank := rankOf(keys)
+		sort.Ints(out)
+		if c == Negative {
+			reverseInts(out)
+		}
+		res := make([]int, len(out))
+		for i, rk := range rank {
+			res[i] = out[rk]
+		}
+		return res
+	default:
+		panic("rng: invalid Correlation")
+	}
+}
+
+// rankOf returns, for each index i of keys, the rank of keys[i] in
+// ascending order (0 = smallest), with ties broken by index.
+func rankOf(keys []int) []int {
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	rank := make([]int, len(keys))
+	for r, i := range idx {
+		rank[i] = r
+	}
+	return rank
+}
+
+func reverseFloats(v []float64) {
+	for i, j := 0, len(v)-1; i < j; i, j = i+1, j-1 {
+		v[i], v[j] = v[j], v[i]
+	}
+}
+
+func reverseInts(v []int) {
+	for i, j := 0, len(v)-1; i < j; i, j = i+1, j-1 {
+		v[i], v[j] = v[j], v[i]
+	}
+}
+
+// SpearmanInts computes the Spearman rank-correlation coefficient between
+// an int key vector and a float value vector. It is used by tests to
+// verify that CorrelateFloats induces the correlation it promises.
+func SpearmanInts(keys []int, values []float64) float64 {
+	if len(keys) != len(values) || len(keys) < 2 {
+		return 0
+	}
+	kr := rankOf(keys)
+	vi := make([]int, len(values))
+	for i := range vi {
+		vi[i] = i
+	}
+	sort.SliceStable(vi, func(a, b int) bool { return values[vi[a]] < values[vi[b]] })
+	vr := make([]int, len(values))
+	for r, i := range vi {
+		vr[i] = r
+	}
+	n := float64(len(keys))
+	var d2 float64
+	for i := range keys {
+		d := float64(kr[i] - vr[i])
+		d2 += d * d
+	}
+	return 1 - 6*d2/(n*(n*n-1))
+}

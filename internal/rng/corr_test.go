@@ -1,0 +1,144 @@
+package rng
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCorrelateFloatsPositive(t *testing.T) {
+	r := New(1)
+	keys := []int{5, 1, 3, 2, 4}
+	values := []float64{0.9, 0.1, 0.5, 0.3, 0.7}
+	got := CorrelateFloats(r, keys, values, Positive)
+	// Largest key (index 0) must get the largest value, etc.
+	want := []float64{0.9, 0.1, 0.5, 0.3, 0.7}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("positive correlation: got[%d] = %v, want %v (full %v)", i, got[i], want[i], got)
+		}
+	}
+	if rho := SpearmanInts(keys, got); rho != 1 {
+		t.Fatalf("positive correlation rho = %v, want 1", rho)
+	}
+}
+
+func TestCorrelateFloatsNegative(t *testing.T) {
+	r := New(1)
+	keys := []int{5, 1, 3, 2, 4}
+	values := []float64{0.9, 0.1, 0.5, 0.3, 0.7}
+	got := CorrelateFloats(r, keys, values, Negative)
+	if rho := SpearmanInts(keys, got); rho != -1 {
+		t.Fatalf("negative correlation rho = %v, want -1 (values %v)", rho, got)
+	}
+}
+
+func TestCorrelateFloatsNoneIsUncorrelated(t *testing.T) {
+	r := New(2)
+	n := 2000
+	keys := make([]int, n)
+	values := make([]float64, n)
+	for i := range keys {
+		keys[i] = i
+		values[i] = float64(i)
+	}
+	got := CorrelateFloats(r, keys, values, None)
+	rho := SpearmanInts(keys, got)
+	if rho > 0.1 || rho < -0.1 {
+		t.Fatalf("uncorrelated pairing has |rho| = %v > 0.1", rho)
+	}
+}
+
+func TestCorrelatePreservesMultiset(t *testing.T) {
+	f := func(seed uint64, raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		r := New(seed)
+		keys := make([]int, len(raw))
+		values := make([]float64, len(raw))
+		for i, b := range raw {
+			keys[i] = int(b % 16)
+			values[i] = float64(b)
+		}
+		for _, c := range []Correlation{Positive, Negative, None} {
+			got := CorrelateFloats(r, keys, values, c)
+			a := append([]float64(nil), values...)
+			b := append([]float64(nil), got...)
+			sort.Float64s(a)
+			sort.Float64s(b)
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorrelateInts(t *testing.T) {
+	r := New(3)
+	keys := []int{10, 20, 30, 40}
+	values := []int{7, 1, 9, 3}
+	pos := CorrelateInts(r, keys, values, Positive)
+	wantPos := []int{1, 3, 7, 9}
+	for i := range pos {
+		if pos[i] != wantPos[i] {
+			t.Fatalf("positive: got %v, want %v", pos, wantPos)
+		}
+	}
+	neg := CorrelateInts(r, keys, values, Negative)
+	wantNeg := []int{9, 7, 3, 1}
+	for i := range neg {
+		if neg[i] != wantNeg[i] {
+			t.Fatalf("negative: got %v, want %v", neg, wantNeg)
+		}
+	}
+}
+
+func TestCorrelateLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	CorrelateFloats(New(1), []int{1, 2}, []float64{1}, Positive)
+}
+
+func TestCorrelationString(t *testing.T) {
+	cases := map[Correlation]string{
+		Positive:       "positive",
+		Negative:       "negative",
+		None:           "none",
+		Correlation(0): "invalid",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Fatalf("Correlation(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestSpearmanDegenerate(t *testing.T) {
+	if got := SpearmanInts([]int{1}, []float64{1}); got != 0 {
+		t.Fatalf("Spearman of length-1 input = %v, want 0", got)
+	}
+	if got := SpearmanInts([]int{1, 2}, []float64{1}); got != 0 {
+		t.Fatalf("Spearman of mismatched input = %v, want 0", got)
+	}
+}
+
+func TestRankOfTies(t *testing.T) {
+	rank := rankOf([]int{3, 1, 3, 1})
+	// Ties broken by index: the first 1 ranks 0, second 1 ranks 1, etc.
+	want := []int{2, 0, 3, 1}
+	for i := range rank {
+		if rank[i] != want[i] {
+			t.Fatalf("rankOf = %v, want %v", rank, want)
+		}
+	}
+}

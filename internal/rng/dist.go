@@ -1,0 +1,124 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Popularity identifies one of the client access patterns studied in the
+// paper's Figure 2: uniform access, "skewed (uniform)" — read as a linearly
+// decreasing popularity, since the literal OCR text "proportional to i"
+// would make the most popular object the least requested — and Zipf.
+type Popularity int
+
+const (
+	// Uniform gives every object equal request probability.
+	Uniform Popularity = iota
+	// Linear gives the i-th most popular of N objects probability
+	// proportional to N-i (the paper's "skewed (uniform)" pattern).
+	Linear
+	// Zipf gives the i-th most popular object probability proportional
+	// to 1/(i+1)^s with s = 1 by default (the paper's zipf pattern).
+	Zipf
+)
+
+// String implements fmt.Stringer.
+func (p Popularity) String() string {
+	switch p {
+	case Uniform:
+		return "uniform"
+	case Linear:
+		return "skewed(uniform)"
+	case Zipf:
+		return "skewed(zipf)"
+	default:
+		return fmt.Sprintf("Popularity(%d)", int(p))
+	}
+}
+
+// Weights returns the unnormalized popularity weights for n objects, where
+// index 0 is the most popular object.
+func (p Popularity) Weights(n int) []float64 {
+	w := make([]float64, n)
+	switch p {
+	case Uniform:
+		for i := range w {
+			w[i] = 1
+		}
+	case Linear:
+		for i := range w {
+			w[i] = float64(n - i)
+		}
+	case Zipf:
+		for i := range w {
+			w[i] = 1 / float64(i+1)
+		}
+	default:
+		panic(fmt.Sprintf("rng: unknown Popularity %d", int(p)))
+	}
+	return w
+}
+
+// NewSampler builds an O(1) sampler over [0, n) for this access pattern.
+func (p Popularity) NewSampler(n int) *Alias {
+	a, err := NewAlias(p.Weights(n))
+	if err != nil {
+		// Weights above are never empty or all-zero for n > 0.
+		panic(fmt.Sprintf("rng: building %v sampler over %d objects: %v", p, n, err))
+	}
+	return a
+}
+
+// ZipfWeights returns unnormalized generalized-Zipf weights 1/(i+1)^s for
+// i in [0, n).
+func ZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -s)
+	}
+	return w
+}
+
+// UniformInts fills a slice of n uniform ints in [lo, hi] inclusive.
+func UniformInts(r *Source, n, lo, hi int) []int {
+	v := make([]int, n)
+	for i := range v {
+		v[i] = r.IntRange(lo, hi)
+	}
+	return v
+}
+
+// UniformFloats fills a slice of n uniform float64s in [lo, hi).
+func UniformFloats(r *Source, n int, lo, hi float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.FloatRange(lo, hi)
+	}
+	return v
+}
+
+// AdjustIntSum nudges the values of v (each kept within [lo, hi]) by ±1
+// steps at random positions until they sum exactly to target, and reports
+// whether it succeeded. The paper fixes the total object size at 5000
+// units for 500 objects drawn from U[1,20]; this reconciles the draw with
+// the fixed total without distorting the distribution's shape.
+func AdjustIntSum(r *Source, v []int, lo, hi, target int) bool {
+	if len(v)*lo > target || len(v)*hi < target {
+		return false
+	}
+	sum := 0
+	for _, x := range v {
+		sum += x
+	}
+	for sum != target {
+		i := r.Intn(len(v))
+		if sum < target && v[i] < hi {
+			v[i]++
+			sum++
+		} else if sum > target && v[i] > lo {
+			v[i]--
+			sum--
+		}
+	}
+	return true
+}

@@ -1,0 +1,224 @@
+// Package sim is a minimal discrete-event simulation kernel.
+//
+// The paper's evaluation mixes two simulation styles: the tick-based loops
+// of Sections 3 and 4 (objects update every k "time units", requests arrive
+// per time unit) and the latency/bandwidth behaviour of Figure 1's
+// architecture, which is naturally event-driven. This kernel supports both:
+// Engine is a classic event-heap simulator with float64 time, and Ticker
+// layers a fixed-step driver on top of it so tick experiments and
+// event-driven components can share one clock.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is simulation time in the paper's abstract "time units".
+type Time = float64
+
+// Event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled (FIFO), which keeps runs deterministic.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int // heap index, -1 once fired or cancelled
+	dead bool
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() {
+	e.dead = true
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (e *Event) Pending() bool {
+	return !e.dead && e.idx >= 0
+}
+
+// Time returns the simulation time the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an Engine whose clock starts at time 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled (not yet fired) events,
+// including cancelled events that have not been garbage-collected yet.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// ErrPastEvent is returned by ScheduleAt for a time before Now.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// ScheduleAt schedules fn to run at absolute time at.
+func (e *Engine) ScheduleAt(at Time, fn func()) (*Event, error) {
+	if at < e.now {
+		return nil, fmt.Errorf("%w: at %v < now %v", ErrPastEvent, at, e.now)
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		return nil, fmt.Errorf("sim: invalid event time %v", at)
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev, nil
+}
+
+// Schedule schedules fn to run after a non-negative delay.
+func (e *Engine) Schedule(delay Time, fn func()) (*Event, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("%w: negative delay %v", ErrPastEvent, delay)
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// MustSchedule is Schedule for delays known to be valid; it panics on error.
+func (e *Engine) MustSchedule(delay Time, fn func()) *Event {
+	ev, err := e.Schedule(delay, fn)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
+// Step fires the next event and reports whether one existed.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events until the clock would pass deadline, then advances
+// the clock exactly to deadline. Events scheduled at exactly deadline fire.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 {
+		// Peek.
+		next := e.events[0]
+		if next.dead {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// Run fires events until none remain or the event budget is exhausted; it
+// returns the number of events fired. A budget of 0 means unlimited. The
+// budget guards against runaway self-rescheduling processes.
+func (e *Engine) Run(budget uint64) uint64 {
+	var n uint64
+	for e.Step() {
+		n++
+		if budget > 0 && n >= budget {
+			break
+		}
+	}
+	return n
+}
+
+// Every schedules fn to run at now+period, then every period thereafter,
+// until the returned Repeater is stopped. period must be positive.
+func (e *Engine) Every(period Time, fn func()) (*Repeater, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: Every period %v must be positive", period)
+	}
+	r := &Repeater{engine: e, period: period, fn: fn}
+	r.schedule()
+	return r, nil
+}
+
+// Repeater is a self-rescheduling periodic event.
+type Repeater struct {
+	engine  *Engine
+	period  Time
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (r *Repeater) schedule() {
+	ev, err := r.engine.Schedule(r.period, func() {
+		if r.stopped {
+			return
+		}
+		r.fn()
+		if !r.stopped {
+			r.schedule()
+		}
+	})
+	if err != nil {
+		// Unreachable: period is validated positive and the clock is finite.
+		panic(err)
+	}
+	r.ev = ev
+}
+
+// Stop cancels future firings. Safe to call multiple times.
+func (r *Repeater) Stop() {
+	r.stopped = true
+	if r.ev != nil {
+		r.ev.Cancel()
+	}
+}

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.MustSchedule(3, func() { order = append(order, 3) })
+	e.MustSchedule(1, func() { order = append(order, 1) })
+	e.MustSchedule(2, func() { order = append(order, 2) })
+	e.Run(0)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestFIFOAtEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.MustSchedule(5, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestSchedulePast(t *testing.T) {
+	e := NewEngine()
+	e.MustSchedule(10, func() {})
+	e.Run(0)
+	if _, err := e.ScheduleAt(5, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("ScheduleAt(past) error = %v, want ErrPastEvent", err)
+	}
+	if _, err := e.Schedule(-1, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("Schedule(-1) error = %v, want ErrPastEvent", err)
+	}
+}
+
+func TestScheduleInvalidTime(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.ScheduleAt(nan(), func() {}); err == nil {
+		t.Fatal("ScheduleAt(NaN) succeeded")
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.MustSchedule(1, func() { fired = true })
+	if !ev.Pending() {
+		t.Fatal("event not pending after schedule")
+	}
+	ev.Cancel()
+	if ev.Pending() {
+		t.Fatal("event still pending after cancel")
+	}
+	e.Run(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("Fired() = %d, want 0", e.Fired())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	var log []Time
+	e.MustSchedule(1, func() {
+		log = append(log, e.Now())
+		e.MustSchedule(1, func() { log = append(log, e.Now()) })
+	})
+	e.Run(0)
+	if len(log) != 2 || log[0] != 1 || log[1] != 2 {
+		t.Fatalf("log = %v, want [1 2]", log)
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	e := NewEngine()
+	var reschedule func()
+	count := 0
+	reschedule = func() {
+		count++
+		e.MustSchedule(1, reschedule)
+	}
+	e.MustSchedule(1, reschedule)
+	n := e.Run(100)
+	if n != 100 || count != 100 {
+		t.Fatalf("budgeted run fired %d events (count %d), want 100", n, count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		e.MustSchedule(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(3) fired %d events, want 3 (%v)", len(fired), fired)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+	e.RunUntil(10)
+	if len(fired) != 5 {
+		t.Fatalf("RunUntil(10) total fired = %d, want 5", len(fired))
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %v, want 10", e.Now())
+	}
+}
+
+func TestRunUntilSkipsCancelled(t *testing.T) {
+	e := NewEngine()
+	ev := e.MustSchedule(1, func() { t.Fatal("cancelled event fired") })
+	ev.Cancel()
+	e.RunUntil(5)
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after RunUntil drained cancelled event", e.Pending())
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	rep, err := e.Every(2, func() { times = append(times, e.Now()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(7)
+	if len(times) != 3 || times[0] != 2 || times[1] != 4 || times[2] != 6 {
+		t.Fatalf("periodic times = %v, want [2 4 6]", times)
+	}
+	rep.Stop()
+	e.RunUntil(20)
+	if len(times) != 3 {
+		t.Fatalf("repeater fired after Stop: %v", times)
+	}
+}
+
+func TestEveryInvalidPeriod(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Every(0, func() {}); err == nil {
+		t.Fatal("Every(0) succeeded")
+	}
+}
+
+func TestEveryStopInsideCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var rep *Repeater
+	rep, _ = e.Every(1, func() {
+		count++
+		if count == 2 {
+			rep.Stop()
+		}
+	})
+	e.RunUntil(10)
+	if count != 2 {
+		t.Fatalf("repeater fired %d times, want 2", count)
+	}
+}
+
+func TestTickerPhasesOrder(t *testing.T) {
+	e := NewEngine()
+	tk := NewTicker(e, 1)
+	var log []string
+	tk.OnTick("update", func(tick int) { log = append(log, "u") })
+	tk.OnTick("request", func(tick int) { log = append(log, "r") })
+	tk.RunTicks(2)
+	want := "urur"
+	got := ""
+	for _, s := range log {
+		got += s
+	}
+	if got != want {
+		t.Fatalf("phase order = %q, want %q", got, want)
+	}
+	if tk.Tick() != 2 {
+		t.Fatalf("Tick() = %d, want 2", tk.Tick())
+	}
+	if e.Now() != 2 {
+		t.Fatalf("engine clock = %v, want 2", e.Now())
+	}
+}
+
+func TestTickerInterleavesEngineEvents(t *testing.T) {
+	e := NewEngine()
+	tk := NewTicker(e, 1)
+	var log []string
+	tk.OnTick("tick", func(tick int) {
+		if tick == 0 {
+			e.MustSchedule(0.5, func() { log = append(log, "event@0.5") })
+		}
+		log = append(log, "tick")
+	})
+	tk.RunTicks(2)
+	if len(log) != 3 || log[0] != "tick" || log[1] != "event@0.5" || log[2] != "tick" {
+		t.Fatalf("log = %v", log)
+	}
+}
+
+func TestTickerBadStepPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTicker(0) did not panic")
+		}
+	}()
+	NewTicker(NewEngine(), 0)
+}
+
+func TestEventAccessors(t *testing.T) {
+	e := NewEngine()
+	ev := e.MustSchedule(4, func() {})
+	if ev.Time() != 4 {
+		t.Fatalf("Time() = %v, want 4", ev.Time())
+	}
+	e.Run(0)
+	if ev.Pending() {
+		t.Fatal("fired event reports Pending")
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import "fmt"
+
+// Ticker drives a tick-based experiment on top of an Engine: each tick is
+// one of the paper's "time units". Phases registered with OnTick run in
+// registration order every tick; this matches the paper's loops where, per
+// time unit, (1) servers may update objects, (2) clients issue requests,
+// (3) the base station downloads up to k objects and answers.
+type Ticker struct {
+	engine *Engine
+	step   Time
+	phases []phase
+	tick   int
+}
+
+type phase struct {
+	name string
+	fn   func(tick int)
+}
+
+// NewTicker creates a Ticker with the given step size (use 1 for the
+// paper's unit ticks). It panics if step is not positive.
+func NewTicker(engine *Engine, step Time) *Ticker {
+	if step <= 0 {
+		panic(fmt.Sprintf("sim: ticker step %v must be positive", step))
+	}
+	return &Ticker{engine: engine, step: step}
+}
+
+// OnTick registers a named phase; phases run in registration order.
+func (t *Ticker) OnTick(name string, fn func(tick int)) {
+	t.phases = append(t.phases, phase{name: name, fn: fn})
+}
+
+// Tick returns the index of the tick currently executing (or the number of
+// completed ticks between runs).
+func (t *Ticker) Tick() int { return t.tick }
+
+// RunTicks executes n ticks, interleaving with any engine events that fall
+// inside each tick's window.
+func (t *Ticker) RunTicks(n int) {
+	for i := 0; i < n; i++ {
+		for _, p := range t.phases {
+			p.fn(t.tick)
+		}
+		t.tick++
+		t.engine.RunUntil(t.engine.Now() + t.step)
+	}
+}
+
+// Engine exposes the underlying event engine, e.g. for scheduling
+// intra-tick latency events.
+func (t *Ticker) Engine() *Engine { return t.engine }

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mobicache/internal/client"
+)
+
+// WriteTrace writes requests as JSON lines (one request per line) so that
+// a simulated workload can be recorded and replayed across runs and
+// implementations.
+func WriteTrace(w io.Writer, reqs []client.Request) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range reqs {
+		if err := enc.Encode(&reqs[i]); err != nil {
+			return fmt.Errorf("workload: encoding request %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace reads a JSON-lines request trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]client.Request, error) {
+	dec := json.NewDecoder(r)
+	var out []client.Request
+	for {
+		var req client.Request
+		if err := dec.Decode(&req); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("workload: decoding request %d: %w", len(out), err)
+		}
+		out = append(out, req)
+	}
+}
+
+// SplitByTick partitions a trace into per-tick batches indexed from the
+// lowest tick in the trace to the highest; ticks with no requests yield
+// empty batches.
+func SplitByTick(reqs []client.Request) [][]client.Request {
+	if len(reqs) == 0 {
+		return nil
+	}
+	lo, hi := reqs[0].Tick, reqs[0].Tick
+	for _, r := range reqs {
+		if r.Tick < lo {
+			lo = r.Tick
+		}
+		if r.Tick > hi {
+			hi = r.Tick
+		}
+	}
+	out := make([][]client.Request, hi-lo+1)
+	for _, r := range reqs {
+		out[r.Tick-lo] = append(out[r.Tick-lo], r)
+	}
+	return out
+}

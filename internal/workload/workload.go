@@ -1,0 +1,201 @@
+// Package workload generates the synthetic workloads of the paper's
+// evaluation: the Table 1 solution-space instances of Section 4 (500
+// objects with correlated size / popularity / cache-recency attributes,
+// 5000 clients, total size 5000 units) and request traces for the
+// Section 3 simulations, with JSON-lines record/replay so runs can be
+// reproduced bit for bit.
+package workload
+
+import (
+	"fmt"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/knapsack"
+	"mobicache/internal/rng"
+)
+
+// SolutionSpaceConfig mirrors Table 1 of the paper.
+type SolutionSpaceConfig struct {
+	// Objects is the number of distinct requested objects (paper: 500).
+	Objects int
+	// Clients is the total number of requesting clients (paper: 5000).
+	Clients int
+	// TotalSize fixes the sum of object sizes (paper: 5000 units); 0
+	// leaves sizes as drawn.
+	TotalSize int64
+	// SizeLo/SizeHi bound the uniform object-size draw (paper: 1..20).
+	SizeLo, SizeHi int
+	// NumReqLo/NumReqHi bound the uniform per-object request-count draw
+	// (paper: 1..20), used when UniformRequests is false.
+	NumReqLo, NumReqHi int
+	// UniformRequests gives every object the same number of requests
+	// (Clients/Objects), the paper's "uniform access" case.
+	UniformRequests bool
+	// RecencyLo/RecencyHi bound the uniform cache-recency draw
+	// (paper: 0.1..1.0).
+	RecencyLo, RecencyHi float64
+	// CorrSizeRecency correlates Cache_Recency_Score with Object_Size.
+	CorrSizeRecency rng.Correlation
+	// CorrSizeNumReq correlates Num_Requests with Object_Size.
+	CorrSizeNumReq rng.Correlation
+	// Seed drives all draws.
+	Seed uint64
+}
+
+// PaperSolutionSpace returns Table 1's configuration with the given
+// correlations. Pass rng.None for an uncorrelated attribute.
+func PaperSolutionSpace(sizeRecency, sizeNumReq rng.Correlation, uniformRequests bool, seed uint64) SolutionSpaceConfig {
+	return SolutionSpaceConfig{
+		Objects:         500,
+		Clients:         5000,
+		TotalSize:       5000,
+		SizeLo:          1,
+		SizeHi:          20,
+		NumReqLo:        1,
+		NumReqHi:        20,
+		UniformRequests: uniformRequests,
+		RecencyLo:       0.1,
+		RecencyHi:       1.0,
+		CorrSizeRecency: sizeRecency,
+		CorrSizeNumReq:  sizeNumReq,
+		Seed:            seed,
+	}
+}
+
+// Instance is one generated solution-space instance: per-object size,
+// request count, and mean cache recency score.
+type Instance struct {
+	Sizes       []int
+	NumRequests []int
+	Recency     []float64
+}
+
+// GenInstance draws an instance per the configuration. The request counts
+// are reconciled to sum exactly to cfg.Clients and the sizes to
+// cfg.TotalSize (when set), matching the paper's fixed totals.
+func GenInstance(cfg SolutionSpaceConfig) (*Instance, error) {
+	if cfg.Objects <= 0 {
+		return nil, fmt.Errorf("workload: %d objects", cfg.Objects)
+	}
+	if cfg.SizeLo <= 0 || cfg.SizeHi < cfg.SizeLo {
+		return nil, fmt.Errorf("workload: size range [%d,%d]", cfg.SizeLo, cfg.SizeHi)
+	}
+	if cfg.RecencyLo <= 0 || cfg.RecencyHi < cfg.RecencyLo || cfg.RecencyHi > 1 {
+		return nil, fmt.Errorf("workload: recency range [%v,%v]", cfg.RecencyLo, cfg.RecencyHi)
+	}
+	if cfg.CorrSizeRecency == 0 || (!cfg.UniformRequests && cfg.CorrSizeNumReq == 0) {
+		return nil, fmt.Errorf("workload: correlations must be set (use rng.None for uncorrelated)")
+	}
+	src := rng.New(cfg.Seed)
+
+	sizes := rng.UniformInts(src, cfg.Objects, cfg.SizeLo, cfg.SizeHi)
+	if cfg.TotalSize > 0 {
+		if !rng.AdjustIntSum(src, sizes, cfg.SizeLo, cfg.SizeHi, int(cfg.TotalSize)) {
+			return nil, fmt.Errorf("workload: total size %d infeasible for %d objects in [%d,%d]",
+				cfg.TotalSize, cfg.Objects, cfg.SizeLo, cfg.SizeHi)
+		}
+	}
+
+	var numReq []int
+	if cfg.UniformRequests {
+		if cfg.Clients%cfg.Objects != 0 {
+			return nil, fmt.Errorf("workload: %d clients not divisible by %d objects for uniform access",
+				cfg.Clients, cfg.Objects)
+		}
+		per := cfg.Clients / cfg.Objects
+		numReq = make([]int, cfg.Objects)
+		for i := range numReq {
+			numReq[i] = per
+		}
+	} else {
+		if cfg.NumReqLo <= 0 || cfg.NumReqHi < cfg.NumReqLo {
+			return nil, fmt.Errorf("workload: request range [%d,%d]", cfg.NumReqLo, cfg.NumReqHi)
+		}
+		numReq = rng.UniformInts(src, cfg.Objects, cfg.NumReqLo, cfg.NumReqHi)
+		if cfg.Clients > 0 {
+			if !rng.AdjustIntSum(src, numReq, cfg.NumReqLo, cfg.NumReqHi, cfg.Clients) {
+				return nil, fmt.Errorf("workload: %d clients infeasible for %d objects in [%d,%d]",
+					cfg.Clients, cfg.Objects, cfg.NumReqLo, cfg.NumReqHi)
+			}
+		}
+		numReq = rng.CorrelateInts(src, sizes, numReq, cfg.CorrSizeNumReq)
+	}
+
+	recencies := rng.UniformFloats(src, cfg.Objects, cfg.RecencyLo, cfg.RecencyHi)
+	recencies = rng.CorrelateFloats(src, sizes, recencies, cfg.CorrSizeRecency)
+
+	return &Instance{Sizes: sizes, NumRequests: numReq, Recency: recencies}, nil
+}
+
+// TotalClients returns the number of client requests in the instance.
+func (inst *Instance) TotalClients() int {
+	n := 0
+	for _, r := range inst.NumRequests {
+		n += r
+	}
+	return n
+}
+
+// TotalSize returns the sum of object sizes.
+func (inst *Instance) TotalSize() int64 {
+	var s int64
+	for _, sz := range inst.Sizes {
+		s += int64(sz)
+	}
+	return s
+}
+
+// BaseScore returns the total client score if nothing is downloaded: each
+// of an object's requesters scores the cached copy's recency (the paper's
+// Section 4 instances specify the recency score averaged over requesting
+// clients directly, so the identity scoring applies).
+func (inst *Instance) BaseScore() float64 {
+	s := 0.0
+	for i := range inst.Sizes {
+		s += float64(inst.NumRequests[i]) * inst.Recency[i]
+	}
+	return s
+}
+
+// Items maps the instance to its knapsack items: weight = size, profit =
+// NumRequests × (1 − recency) (paper Section 2's profit with identity
+// scoring).
+func (inst *Instance) Items() []knapsack.Item {
+	items := make([]knapsack.Item, len(inst.Sizes))
+	for i := range items {
+		items[i] = knapsack.Item{
+			Weight: int64(inst.Sizes[i]),
+			Profit: float64(inst.NumRequests[i]) * (1 - inst.Recency[i]),
+		}
+	}
+	return items
+}
+
+// Catalog builds the object catalog matching the instance sizes.
+func (inst *Instance) Catalog() (*catalog.Catalog, error) {
+	sizes := make([]int64, len(inst.Sizes))
+	for i, s := range inst.Sizes {
+		sizes[i] = int64(s)
+	}
+	return catalog.New(sizes)
+}
+
+// AverageScoreCurve converts a knapsack gain trace into the paper's
+// Average Score curve: (BaseScore + gain(b)) / TotalClients at each
+// budget b.
+func (inst *Instance) AverageScoreCurve(tr *knapsack.Trace, step int64) (budgets []int64, scores []float64) {
+	if step <= 0 {
+		step = 1
+	}
+	base := inst.BaseScore()
+	clients := float64(inst.TotalClients())
+	for b := int64(0); b <= tr.Capacity(); b += step {
+		budgets = append(budgets, b)
+		scores = append(scores, (base+tr.At(b))/clients)
+	}
+	if last := tr.Capacity(); len(budgets) == 0 || budgets[len(budgets)-1] != last {
+		budgets = append(budgets, last)
+		scores = append(scores, (base+tr.At(last))/clients)
+	}
+	return budgets, scores
+}

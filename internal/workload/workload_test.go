@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mobicache/internal/client"
+	"mobicache/internal/knapsack"
+	"mobicache/internal/rng"
+)
+
+func TestGenInstancePaperTotals(t *testing.T) {
+	cfg := PaperSolutionSpace(rng.None, rng.None, false, 1)
+	inst, err := GenInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Sizes) != 500 {
+		t.Fatalf("objects = %d", len(inst.Sizes))
+	}
+	if inst.TotalSize() != 5000 {
+		t.Fatalf("total size = %d, want 5000", inst.TotalSize())
+	}
+	if inst.TotalClients() != 5000 {
+		t.Fatalf("total clients = %d, want 5000", inst.TotalClients())
+	}
+	for i := range inst.Sizes {
+		if inst.Sizes[i] < 1 || inst.Sizes[i] > 20 {
+			t.Fatalf("size %d out of [1,20]", inst.Sizes[i])
+		}
+		if inst.NumRequests[i] < 1 || inst.NumRequests[i] > 20 {
+			t.Fatalf("numreq %d out of [1,20]", inst.NumRequests[i])
+		}
+		if inst.Recency[i] < 0.1 || inst.Recency[i] >= 1.0 {
+			t.Fatalf("recency %v out of [0.1,1.0)", inst.Recency[i])
+		}
+	}
+}
+
+func TestGenInstanceUniformRequests(t *testing.T) {
+	cfg := PaperSolutionSpace(rng.Positive, rng.None, true, 2)
+	inst, err := GenInstance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range inst.NumRequests {
+		if n != 10 {
+			t.Fatalf("uniform request count = %d, want 10", n)
+		}
+	}
+}
+
+func TestGenInstanceCorrelations(t *testing.T) {
+	pos, err := GenInstance(PaperSolutionSpace(rng.Positive, rng.Negative, false, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho := rng.SpearmanInts(pos.Sizes, pos.Recency); rho < 0.95 {
+		t.Fatalf("size-recency rho = %v, want ~1", rho)
+	}
+	nr := make([]float64, len(pos.NumRequests))
+	for i, v := range pos.NumRequests {
+		nr[i] = float64(v)
+	}
+	if rho := rng.SpearmanInts(pos.Sizes, nr); rho > -0.9 {
+		t.Fatalf("size-numreq rho = %v, want ~-1", rho)
+	}
+	neg, err := GenInstance(PaperSolutionSpace(rng.Negative, rng.Positive, false, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho := rng.SpearmanInts(neg.Sizes, neg.Recency); rho > -0.95 {
+		t.Fatalf("negative size-recency rho = %v", rho)
+	}
+}
+
+func TestGenInstanceDeterministic(t *testing.T) {
+	cfg := PaperSolutionSpace(rng.None, rng.None, false, 7)
+	a, _ := GenInstance(cfg)
+	b, _ := GenInstance(cfg)
+	for i := range a.Sizes {
+		if a.Sizes[i] != b.Sizes[i] || a.NumRequests[i] != b.NumRequests[i] || a.Recency[i] != b.Recency[i] {
+			t.Fatal("same-seed instances differ")
+		}
+	}
+}
+
+func TestGenInstanceValidation(t *testing.T) {
+	bad := PaperSolutionSpace(rng.None, rng.None, false, 1)
+	bad.Objects = 0
+	if _, err := GenInstance(bad); err == nil {
+		t.Fatal("zero objects accepted")
+	}
+	bad = PaperSolutionSpace(rng.None, rng.None, false, 1)
+	bad.SizeLo = 0
+	if _, err := GenInstance(bad); err == nil {
+		t.Fatal("zero size lo accepted")
+	}
+	bad = PaperSolutionSpace(rng.None, rng.None, false, 1)
+	bad.RecencyHi = 2
+	if _, err := GenInstance(bad); err == nil {
+		t.Fatal("recency > 1 accepted")
+	}
+	bad = PaperSolutionSpace(rng.None, rng.None, false, 1)
+	bad.CorrSizeRecency = 0
+	if _, err := GenInstance(bad); err == nil {
+		t.Fatal("missing correlation accepted")
+	}
+	bad = PaperSolutionSpace(rng.None, rng.None, false, 1)
+	bad.TotalSize = 50000 // infeasible: 500 objects max 20 each
+	if _, err := GenInstance(bad); err == nil {
+		t.Fatal("infeasible total size accepted")
+	}
+	bad = PaperSolutionSpace(rng.None, rng.None, true, 1)
+	bad.Clients = 5001 // not divisible
+	if _, err := GenInstance(bad); err == nil {
+		t.Fatal("indivisible uniform clients accepted")
+	}
+	bad = PaperSolutionSpace(rng.None, rng.None, false, 1)
+	bad.NumReqLo = 0
+	if _, err := GenInstance(bad); err == nil {
+		t.Fatal("zero request lo accepted")
+	}
+}
+
+func TestItemsAndBaseScore(t *testing.T) {
+	inst := &Instance{
+		Sizes:       []int{2, 4},
+		NumRequests: []int{3, 1},
+		Recency:     []float64{0.5, 0.9},
+	}
+	items := inst.Items()
+	if items[0].Weight != 2 || math.Abs(items[0].Profit-1.5) > 1e-12 {
+		t.Fatalf("item 0 = %+v", items[0])
+	}
+	if items[1].Weight != 4 || math.Abs(items[1].Profit-0.1) > 1e-12 {
+		t.Fatalf("item 1 = %+v", items[1])
+	}
+	if got, want := inst.BaseScore(), 3*0.5+1*0.9; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("BaseScore = %v, want %v", got, want)
+	}
+}
+
+func TestCatalogFromInstance(t *testing.T) {
+	inst := &Instance{Sizes: []int{1, 2}, NumRequests: []int{1, 1}, Recency: []float64{1, 1}}
+	cat, err := inst.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Len() != 2 || cat.TotalSize() != 3 {
+		t.Fatalf("catalog len=%d total=%d", cat.Len(), cat.TotalSize())
+	}
+}
+
+func TestAverageScoreCurve(t *testing.T) {
+	inst := &Instance{
+		Sizes:       []int{1, 1},
+		NumRequests: []int{1, 1},
+		Recency:     []float64{0.5, 0.5},
+	}
+	tr, err := knapsack.TraceDP(inst.Items(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets, scores := inst.AverageScoreCurve(tr, 1)
+	if len(budgets) != 3 {
+		t.Fatalf("curve points = %d, want 3", len(budgets))
+	}
+	// b=0: avg 0.5; b=1: one download → (1+0.5)/2; b=2: both → 1.
+	want := []float64{0.5, 0.75, 1.0}
+	for i := range want {
+		if math.Abs(scores[i]-want[i]) > 1e-12 {
+			t.Fatalf("score[%d] = %v, want %v", i, scores[i], want[i])
+		}
+	}
+	// Monotone non-decreasing always.
+	for i := 1; i < len(scores); i++ {
+		if scores[i] < scores[i-1] {
+			t.Fatal("average score curve decreased")
+		}
+	}
+	// Degenerate step defaults to 1.
+	b2, _ := inst.AverageScoreCurve(tr, 0)
+	if len(b2) != 3 {
+		t.Fatalf("step-0 curve points = %d", len(b2))
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	reqs := []client.Request{
+		{Client: 1, Object: 3, Target: 0.5, Tick: 0},
+		{Client: 2, Object: 4, Target: 1.0, Tick: 1},
+		{Client: 3, Object: 3, Target: 0.25, Tick: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("round trip length %d != %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("request %d = %+v, want %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestReadTraceGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+}
+
+func TestReadTraceEmpty(t *testing.T) {
+	got, err := ReadTrace(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty trace yielded %d requests", len(got))
+	}
+}
+
+func TestSplitByTick(t *testing.T) {
+	reqs := []client.Request{
+		{Client: 1, Tick: 2}, {Client: 2, Tick: 4}, {Client: 3, Tick: 2},
+	}
+	batches := SplitByTick(reqs)
+	if len(batches) != 3 {
+		t.Fatalf("batches = %d, want 3 (ticks 2..4)", len(batches))
+	}
+	if len(batches[0]) != 2 || len(batches[1]) != 0 || len(batches[2]) != 1 {
+		t.Fatalf("batch sizes = %d,%d,%d", len(batches[0]), len(batches[1]), len(batches[2]))
+	}
+	if SplitByTick(nil) != nil {
+		t.Fatal("empty split not nil")
+	}
+}

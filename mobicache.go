@@ -1,0 +1,202 @@
+// Package mobicache is a library for efficient remote data access in
+// mobile computing environments, reproducing Bright & Raschid, "Efficient
+// Remote Data Access in a Mobile Computing Environment" (ICPP 2000
+// Workshop on Pervasive Computing).
+//
+// A base station caches objects fetched from remote servers over a
+// bandwidth-constrained fixed network and serves mobile clients over a
+// wireless downlink. Cached copies go stale as the remote masters are
+// updated; each client states a target recency, and the base station must
+// decide — per batch of requests and per download budget — which objects
+// to fetch remotely and which to serve from the cache so that the mean
+// client recency score is maximized. The problem maps to a 0/1 knapsack
+// (object size = weight, summed client benefit = profit); this package
+// exposes the paper's dynamic-programming selection, the approximate
+// solvers, the budget recommendation derived from the DP's
+// score-versus-budget trace, and a complete tick simulation of the
+// architecture for experimentation.
+//
+// # Quick start
+//
+//	sel, err := mobicache.NewSelector([]int64{3, 1, 4, 1, 5})
+//	if err != nil { ... }
+//	reqs := []mobicache.Request{
+//		{Client: 0, Object: 2, Target: 1.0},
+//		{Client: 1, Object: 4, Target: 0.5},
+//	}
+//	// recencies[i] is the cached copy's recency score (0 = not cached).
+//	plan, err := sel.Select(reqs, []float64{1, 1, 0.25, 1, 0}, 6)
+//	// plan.Download lists the objects to fetch; plan.AverageScore() is
+//	// the resulting mean client score.
+//
+// The runnable programs under examples/ and cmd/ exercise the full
+// simulation and regenerate every table and figure of the paper.
+package mobicache
+
+import (
+	"fmt"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/core"
+	"mobicache/internal/recency"
+)
+
+// ObjectID identifies an object in the catalog (dense, 0-based).
+type ObjectID = catalog.ID
+
+// Request is one client's request for one object with a target recency in
+// (0, 1]: 1.0 demands the most recent data, lower values accept staler
+// copies.
+type Request = client.Request
+
+// Plan is a download decision: which objects to fetch remotely, which to
+// serve from cache, and the resulting client scores.
+type Plan = core.Plan
+
+// BoundReport is the outcome of a budget recommendation.
+type BoundReport = core.BoundReport
+
+// BoundConfig tunes RecommendBudget.
+type BoundConfig = core.BoundConfig
+
+// ScoreFunc maps (cached recency, client target) to a client score.
+type ScoreFunc = recency.ScoreFunc
+
+// The paper's two scoring functions, plus the identity used by the
+// solution-space analysis.
+var (
+	InverseScore     ScoreFunc = recency.Inverse
+	ExponentialScore ScoreFunc = recency.Exponential
+	IdentityScore    ScoreFunc = recency.Identity
+)
+
+// Unlimited is the budget value meaning "no limit on downloaded data".
+const Unlimited = core.Unlimited
+
+// Option customizes a Selector.
+type Option func(*core.Config) error
+
+// WithScore sets the scoring function (default InverseScore).
+func WithScore(f ScoreFunc) Option {
+	return func(c *core.Config) error {
+		if f == nil {
+			return fmt.Errorf("mobicache: nil score function")
+		}
+		c.Score = f
+		return nil
+	}
+}
+
+// WithSolver selects the knapsack solver: "dp" (exact, default), "greedy"
+// (fast 1/2-approximation), or "fptas" (1-eps approximation).
+func WithSolver(name string) Option {
+	return func(c *core.Config) error {
+		switch name {
+		case "dp":
+			c.Solver = core.SolverDP
+		case "greedy":
+			c.Solver = core.SolverGreedy
+		case "fptas":
+			c.Solver = core.SolverFPTAS
+		default:
+			return fmt.Errorf("mobicache: unknown solver %q (want dp, greedy, or fptas)", name)
+		}
+		return nil
+	}
+}
+
+// WithEps sets the FPTAS approximation parameter (default 0.1).
+func WithEps(eps float64) Option {
+	return func(c *core.Config) error {
+		if eps <= 0 || eps >= 1 {
+			return fmt.Errorf("mobicache: eps %v out of (0,1)", eps)
+		}
+		c.Eps = eps
+		return nil
+	}
+}
+
+// Selector decides which objects a base station should download for a
+// batch of client requests.
+type Selector struct {
+	cat   *catalog.Catalog
+	inner *core.Selector
+}
+
+// NewSelector creates a selector over a catalog of len(sizes) objects
+// whose sizes (in data units) are given; object i has ObjectID i.
+func NewSelector(sizes []int64, opts ...Option) (*Selector, error) {
+	cat, err := catalog.New(sizes)
+	if err != nil {
+		return nil, err
+	}
+	var cfg core.Config
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	inner, err := core.NewSelector(cat, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Selector{cat: cat, inner: inner}, nil
+}
+
+// NumObjects returns the catalog size.
+func (s *Selector) NumObjects() int { return s.cat.Len() }
+
+// TotalSize returns the summed size of all objects.
+func (s *Selector) TotalSize() int64 { return s.cat.TotalSize() }
+
+// recencyView adapts a per-object recency slice to core.CacheView:
+// recencies[i] is object i's cached recency score, 0 meaning not cached.
+type recencyView []float64
+
+func (v recencyView) Recency(id catalog.ID) float64 {
+	if int(id) >= len(v) || v[id] <= 0 {
+		return 0
+	}
+	return v[id]
+}
+
+func (v recencyView) Contains(id catalog.ID) bool {
+	return int(id) < len(v) && v[id] > 0
+}
+
+func (s *Selector) view(recencies []float64) (recencyView, error) {
+	if len(recencies) != s.cat.Len() {
+		return nil, fmt.Errorf("mobicache: %d recency values for %d objects", len(recencies), s.cat.Len())
+	}
+	for i, r := range recencies {
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("mobicache: recency[%d] = %v out of [0,1]", i, r)
+		}
+	}
+	return recencyView(recencies), nil
+}
+
+// Select decides which objects to download for the given requests.
+// recencies[i] is object i's cached recency score (0 = not cached; such
+// objects must be downloaded to be served). budget caps the total size of
+// the Download set; pass Unlimited for no cap.
+func (s *Selector) Select(reqs []Request, recencies []float64, budget int64) (Plan, error) {
+	v, err := s.view(recencies)
+	if err != nil {
+		return Plan{}, err
+	}
+	return s.inner.Select(core.Aggregate(reqs), v, budget)
+}
+
+// RecommendBudget implements the paper's future-work extension: it traces
+// the exact score-versus-budget curve up to maxBudget and recommends the
+// smallest budget at which further downloading is not worthwhile under
+// cfg's rules (see BoundConfig).
+func (s *Selector) RecommendBudget(reqs []Request, recencies []float64, maxBudget int64, cfg BoundConfig) (BoundReport, error) {
+	v, err := s.view(recencies)
+	if err != nil {
+		return BoundReport{}, err
+	}
+	return s.inner.UpperBound(core.Aggregate(reqs), v, maxBudget, cfg)
+}

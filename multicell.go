@@ -1,0 +1,112 @@
+package mobicache
+
+import (
+	"mobicache/internal/client"
+	"mobicache/internal/multicell"
+	"mobicache/internal/rng"
+)
+
+// MulticellConfig configures a multi-cell deployment: several wireless
+// cells, each with its own base station and cache, one shared set of
+// remote servers, and a mobile client population that moves between cells
+// and occasionally disconnects (the full geography of the paper's
+// Figure 1).
+type MulticellConfig struct {
+	// Cells is the number of cells (>= 1).
+	Cells int
+	// Objects is the number of unit-size objects served.
+	Objects int
+	// UpdatePeriod is the simultaneous server-update period (default 5).
+	UpdatePeriod int
+	// BudgetPerTick is each station's download budget (0 = unlimited).
+	BudgetPerTick int64
+	// Clients is the mobile population size.
+	Clients int
+	// MeanResidence is the mean ticks a client stays in one cell
+	// (default 200).
+	MeanResidence float64
+	// PDisconnect is the probability a departure disconnects rather than
+	// hands off (default 0.2).
+	PDisconnect float64
+	// MeanAbsence is the mean ticks a disconnected client stays away
+	// (default 50).
+	MeanAbsence float64
+	// RequestProb is each connected client's per-tick request probability.
+	RequestProb float64
+	// Access is the popularity skew: "uniform" (default), "linear", "zipf".
+	Access string
+	// CacheSharing lets base stations copy entries from neighbouring
+	// cells on a miss instead of reaching the remote server.
+	CacheSharing bool
+	// Ticks is the simulated duration.
+	Ticks int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// MulticellReport aggregates a multi-cell run.
+type MulticellReport struct {
+	Ticks         int
+	Requests      uint64
+	Downloads     uint64 // remote-server downloads across all cells
+	SharedCopies  uint64 // cooperative copies between base stations
+	MeanScore     float64
+	MeanRecency   float64
+	Handoffs      uint64
+	Drops         uint64
+	PerCellScores []float64
+}
+
+// RunMulticell builds and runs the configured deployment.
+func RunMulticell(cfg MulticellConfig) (MulticellReport, error) {
+	var rep MulticellReport
+	pattern, err := parseAccess(cfg.Access)
+	if err != nil {
+		return rep, err
+	}
+	mobility := client.Mobility{
+		MeanResidence: cfg.MeanResidence,
+		PDisconnect:   cfg.PDisconnect,
+		MeanAbsence:   cfg.MeanAbsence,
+	}
+	if mobility == (client.Mobility{}) {
+		mobility = client.DefaultMobility
+	} else {
+		if mobility.MeanResidence == 0 {
+			mobility.MeanResidence = client.DefaultMobility.MeanResidence
+		}
+		if mobility.MeanAbsence == 0 {
+			mobility.MeanAbsence = client.DefaultMobility.MeanAbsence
+		}
+	}
+	sys, err := multicell.New(multicell.Config{
+		Cells:         cfg.Cells,
+		Objects:       cfg.Objects,
+		UpdatePeriod:  cfg.UpdatePeriod,
+		BudgetPerTick: cfg.BudgetPerTick,
+		Clients:       cfg.Clients,
+		Mobility:      mobility,
+		RequestProb:   cfg.RequestProb,
+		Pattern:       rng.Popularity(pattern),
+		CacheSharing:  cfg.CacheSharing,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return rep, err
+	}
+	r, err := sys.Run(cfg.Ticks)
+	if err != nil {
+		return rep, err
+	}
+	return MulticellReport{
+		Ticks:         r.Ticks,
+		Requests:      r.Requests,
+		Downloads:     r.Downloads,
+		SharedCopies:  r.SharedCopies,
+		MeanScore:     r.MeanScore,
+		MeanRecency:   r.MeanRecency,
+		Handoffs:      r.Handoffs,
+		Drops:         r.Drops,
+		PerCellScores: r.PerCellScores,
+	}, nil
+}

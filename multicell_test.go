@@ -1,0 +1,86 @@
+package mobicache
+
+import "testing"
+
+func baseMulticell() MulticellConfig {
+	return MulticellConfig{
+		Cells:         3,
+		Objects:       100,
+		BudgetPerTick: 10,
+		Clients:       90,
+		MeanResidence: 20,
+		PDisconnect:   0.2,
+		MeanAbsence:   10,
+		RequestProb:   0.3,
+		Access:        "zipf",
+		Ticks:         150,
+		Seed:          1,
+	}
+}
+
+func TestRunMulticellBasics(t *testing.T) {
+	rep, err := RunMulticell(baseMulticell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ticks != 150 {
+		t.Fatalf("ticks = %d", rep.Ticks)
+	}
+	if rep.Requests == 0 || rep.Downloads == 0 {
+		t.Fatalf("no activity: %+v", rep)
+	}
+	if rep.MeanScore <= 0 || rep.MeanScore > 1 {
+		t.Fatalf("score = %v", rep.MeanScore)
+	}
+	if len(rep.PerCellScores) != 3 {
+		t.Fatalf("per-cell scores = %v", rep.PerCellScores)
+	}
+	if rep.Handoffs == 0 {
+		t.Fatal("no handoffs with fast mobility")
+	}
+}
+
+func TestRunMulticellSharing(t *testing.T) {
+	cfg := baseMulticell()
+	cfg.CacheSharing = true
+	rep, err := RunMulticell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SharedCopies == 0 {
+		t.Fatal("sharing enabled but no copies recorded")
+	}
+}
+
+func TestRunMulticellDefaults(t *testing.T) {
+	// Zeroed mobility fields fall back to defaults rather than erroring.
+	cfg := baseMulticell()
+	cfg.MeanResidence = 0
+	cfg.MeanAbsence = 0
+	cfg.PDisconnect = 0
+	if _, err := RunMulticell(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMulticellValidation(t *testing.T) {
+	cfg := baseMulticell()
+	cfg.Cells = 0
+	if _, err := RunMulticell(cfg); err == nil {
+		t.Fatal("zero cells accepted")
+	}
+	cfg = baseMulticell()
+	cfg.Access = "bogus"
+	if _, err := RunMulticell(cfg); err == nil {
+		t.Fatal("bogus access accepted")
+	}
+	cfg = baseMulticell()
+	cfg.Ticks = 0
+	rep, err := RunMulticell(cfg)
+	if err != nil {
+		t.Fatal(err) // zero ticks is a no-op run
+	}
+	if rep.Requests != 0 {
+		t.Fatalf("zero-tick run produced requests: %+v", rep)
+	}
+}

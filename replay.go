@@ -1,0 +1,66 @@
+package mobicache
+
+import (
+	"fmt"
+	"io"
+
+	"mobicache/internal/basestation"
+	"mobicache/internal/workload"
+)
+
+// WriteTrace records a request batch as JSON lines (one request per
+// line), the repository's interchange format for workloads.
+func WriteTrace(w io.Writer, reqs []Request) error {
+	return workload.WriteTrace(w, reqs)
+}
+
+// ReadTrace reads a JSON-lines request trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Request, error) {
+	return workload.ReadTrace(r)
+}
+
+// GenerateTrace produces the request stream the given simulation
+// configuration would feed to its base station, without running the
+// simulation — useful for recording reproducible workloads or feeding
+// other implementations. Warmup ticks are included (ticks 0..Warmup-1).
+func GenerateTrace(cfg SimulationConfig) ([]Request, error) {
+	gen, _, err := buildGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Warmup < 0 || cfg.Ticks <= 0 {
+		return nil, fmt.Errorf("mobicache: warmup %d / ticks %d invalid", cfg.Warmup, cfg.Ticks)
+	}
+	var out []Request
+	for tick := 0; tick < cfg.Warmup+cfg.Ticks; tick++ {
+		out = append(out, gen.Tick(tick)...)
+	}
+	return out, nil
+}
+
+// ReplayTrace runs the configured system against a recorded request
+// trace instead of a generated stream. The trace's tick numbers drive
+// the clock; cfg's Access / RequestsPerTick / Target fields are ignored.
+// Ticks up to cfg.Warmup are executed but excluded from the report.
+func ReplayTrace(cfg SimulationConfig, reqs []Request) (SimulationReport, error) {
+	var rep SimulationReport
+	st, srv, err := buildStation(cfg)
+	if err != nil {
+		return rep, err
+	}
+	if len(reqs) == 0 {
+		return rep, fmt.Errorf("mobicache: empty trace")
+	}
+	batches := workload.SplitByTick(reqs)
+	var totals basestation.Totals
+	for tick, batch := range batches {
+		res, err := st.RunTick(tick, batch)
+		if err != nil {
+			return rep, err
+		}
+		if tick >= cfg.Warmup {
+			totals.Add(res)
+		}
+	}
+	return report(st, srv, totals), nil
+}

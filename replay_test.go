@@ -1,0 +1,108 @@
+package mobicache
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGenerateTraceAndReplayMatchesLive(t *testing.T) {
+	cfg := SimulationConfig{
+		Objects:         60,
+		Policy:          "on-demand-stale",
+		RequestsPerTick: 15,
+		BudgetPerTick:   8,
+		Access:          "zipf",
+		Warmup:          10,
+		Ticks:           40,
+		Seed:            5,
+	}
+	reqs, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 15*(10+40) {
+		t.Fatalf("trace has %d requests, want %d", len(reqs), 15*50)
+	}
+	live, err := RunSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReplayTrace(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The replay consumes the exact stream the live run generated, so
+	// every measured quantity matches.
+	if live != replayed {
+		t.Fatalf("replay differs from live run:\nlive    %+v\nreplay  %+v", live, replayed)
+	}
+}
+
+func TestTraceRoundTripThroughWriter(t *testing.T) {
+	cfg := SimulationConfig{
+		Objects: 10, RequestsPerTick: 5, Ticks: 4, Seed: 9,
+	}
+	reqs, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("round trip %d != %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("request %d changed: %+v vs %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestReplayTraceValidation(t *testing.T) {
+	cfg := SimulationConfig{Objects: 5, Ticks: 10}
+	if _, err := ReplayTrace(cfg, nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := GenerateTrace(SimulationConfig{Objects: 5, Ticks: 0}); err == nil {
+		t.Fatal("zero ticks accepted")
+	}
+	if _, err := GenerateTrace(SimulationConfig{Objects: 0, Ticks: 1}); err == nil {
+		t.Fatal("no objects accepted")
+	}
+}
+
+func TestReplayDifferentPolicySameTrace(t *testing.T) {
+	gen := SimulationConfig{
+		Objects: 60, RequestsPerTick: 20, Access: "zipf", Ticks: 50, Seed: 11,
+	}
+	reqs, err := GenerateTrace(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knap := gen
+	knap.Policy = "on-demand-knapsack"
+	knap.BudgetPerTick = 5
+	async := gen
+	async.Policy = "async-round-robin"
+	async.BudgetPerTick = 5
+	a, err := ReplayTrace(knap, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplayTrace(async, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Requests != b.Requests {
+		t.Fatalf("same trace, different request counts: %d vs %d", a.Requests, b.Requests)
+	}
+	if a.MeanScore <= b.MeanScore {
+		t.Fatalf("knapsack score %v not above async %v on the same trace", a.MeanScore, b.MeanScore)
+	}
+}

@@ -1,0 +1,265 @@
+package mobicache
+
+import (
+	"fmt"
+
+	"mobicache/internal/basestation"
+	"mobicache/internal/cache"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/core"
+	"mobicache/internal/policy"
+	"mobicache/internal/recency"
+	"mobicache/internal/rng"
+	"mobicache/internal/server"
+)
+
+// SimulationConfig configures a tick-based simulation of the paper's
+// architecture: remote servers updating objects on a schedule, a base
+// station cache, a refresh policy with a per-tick download budget, and a
+// stream of client requests.
+type SimulationConfig struct {
+	// Objects is the catalog size; all objects have unit size unless
+	// Sizes is set.
+	Objects int
+	// Sizes optionally gives explicit object sizes (overrides Objects).
+	Sizes []int64
+	// UpdatePeriod is the simultaneous server-update period in ticks
+	// (default 5, the paper's Section 3 value).
+	UpdatePeriod int
+	// Policy selects the refresh strategy: "on-demand-knapsack"
+	// (default), "on-demand-stale", "on-demand-lowest-recency",
+	// "async-round-robin", "async-freshness", "async-on-update", or
+	// "hybrid".
+	Policy string
+	// HybridFraction is the on-demand share of the budget for "hybrid"
+	// (default 0.5).
+	HybridFraction float64
+	// BudgetPerTick caps downloaded data units per tick (0 = unlimited).
+	BudgetPerTick int64
+	// RequestsPerTick is the client request rate.
+	RequestsPerTick int
+	// Access is the popularity skew: "uniform" (default), "linear", or
+	// "zipf".
+	Access string
+	// TargetLo/TargetHi draw client target recencies uniformly; both 0
+	// means every client demands fully fresh data (target 1.0).
+	TargetLo, TargetHi float64
+	// CacheCapacity bounds the cache in data units (0 = unlimited).
+	CacheCapacity int64
+	// Replacement selects the eviction policy for a bounded cache:
+	// "lru" (default), "lfu", "size", "stalest", or "gds".
+	Replacement string
+	// Warmup ticks run before measurement; Ticks are measured.
+	Warmup, Ticks int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// SimulationReport summarizes the measured phase of a simulation.
+type SimulationReport struct {
+	Ticks         int
+	Requests      uint64
+	Downloads     uint64
+	DownloadUnits int64
+	MeanScore     float64 // mean per-request client score
+	MeanRecency   float64 // mean recency of delivered data
+	CacheHitRate  float64 // cache hits / lookups over the whole run
+	ServerUpdates uint64  // object updates applied during the whole run
+}
+
+// RunSimulation builds and runs the configured system, returning the
+// measured-phase report.
+func RunSimulation(cfg SimulationConfig) (SimulationReport, error) {
+	var rep SimulationReport
+	st, srv, err := buildStation(cfg)
+	if err != nil {
+		return rep, err
+	}
+	gen, _, err := buildGenerator(cfg)
+	if err != nil {
+		return rep, err
+	}
+	if cfg.Warmup < 0 || cfg.Ticks <= 0 {
+		return rep, fmt.Errorf("mobicache: warmup %d / ticks %d invalid", cfg.Warmup, cfg.Ticks)
+	}
+	if _, err := st.Run(0, cfg.Warmup, gen); err != nil {
+		return rep, err
+	}
+	totals, err := st.Run(cfg.Warmup, cfg.Ticks, gen)
+	if err != nil {
+		return rep, err
+	}
+	return report(st, srv, totals), nil
+}
+
+// buildCatalog resolves the configured object sizes.
+func buildCatalog(cfg SimulationConfig) (*catalog.Catalog, error) {
+	sizes := cfg.Sizes
+	if sizes == nil {
+		if cfg.Objects <= 0 {
+			return nil, fmt.Errorf("mobicache: simulation needs Objects or Sizes")
+		}
+		sizes = make([]int64, cfg.Objects)
+		for i := range sizes {
+			sizes[i] = 1
+		}
+	}
+	return catalog.New(sizes)
+}
+
+// buildStation assembles catalog, server, cache, policy, and station.
+func buildStation(cfg SimulationConfig) (*basestation.Station, *server.Server, error) {
+	cat, err := buildCatalog(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	period := cfg.UpdatePeriod
+	if period == 0 {
+		period = 5
+	}
+	if period < 0 {
+		return nil, nil, fmt.Errorf("mobicache: negative update period %d", period)
+	}
+	srv := server.New(cat, catalog.NewPeriodicAll(cat, period))
+	pol, err := buildPolicy(cfg, cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := buildCache(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := basestation.New(basestation.Config{
+		Catalog:          cat,
+		Server:           srv,
+		Policy:           pol,
+		Cache:            c,
+		BudgetPerTick:    cfg.BudgetPerTick,
+		CompulsoryMisses: cfg.CacheCapacity == 0,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, srv, nil
+}
+
+// buildGenerator assembles the client request generator.
+func buildGenerator(cfg SimulationConfig) (*client.Generator, *catalog.Catalog, error) {
+	cat, err := buildCatalog(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	pattern, err := parseAccess(cfg.Access)
+	if err != nil {
+		return nil, nil, err
+	}
+	var targets client.TargetDist
+	if cfg.TargetLo != 0 || cfg.TargetHi != 0 {
+		if cfg.TargetLo <= 0 || cfg.TargetHi > 1 || cfg.TargetHi < cfg.TargetLo {
+			return nil, nil, fmt.Errorf("mobicache: target range [%v,%v] out of (0,1]", cfg.TargetLo, cfg.TargetHi)
+		}
+		targets = client.UniformTargets{Lo: cfg.TargetLo, Hi: cfg.TargetHi}
+	}
+	gen, err := client.NewGenerator(client.GeneratorConfig{
+		Catalog:     cat,
+		Pattern:     pattern,
+		RatePerTick: cfg.RequestsPerTick,
+		Targets:     targets,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return gen, cat, nil
+}
+
+// report converts station totals into the public report type.
+func report(st *basestation.Station, srv *server.Server, totals basestation.Totals) SimulationReport {
+	rep := SimulationReport{
+		Ticks:         totals.Ticks,
+		Requests:      totals.Requests,
+		Downloads:     totals.Downloads(),
+		DownloadUnits: totals.DownloadUnits,
+		MeanScore:     totals.MeanScore(),
+		MeanRecency:   totals.MeanRecency(),
+		ServerUpdates: srv.TotalUpdates(),
+	}
+	stats := st.Cache().Stats()
+	if lookups := stats.Hits + stats.Misses; lookups > 0 {
+		rep.CacheHitRate = float64(stats.Hits) / float64(lookups)
+	}
+	return rep
+}
+
+func buildPolicy(cfg SimulationConfig, cat *catalog.Catalog) (policy.Policy, error) {
+	name := cfg.Policy
+	if name == "" {
+		name = "on-demand-knapsack"
+	}
+	switch name {
+	case "on-demand-stale":
+		return policy.OnDemandStale{}, nil
+	case "on-demand-lowest-recency":
+		return policy.OnDemandLowestRecency{}, nil
+	case "async-round-robin":
+		return &policy.AsyncRoundRobin{}, nil
+	case "async-freshness":
+		return policy.AsyncFreshness{}, nil
+	case "async-on-update":
+		return policy.AsyncOnUpdate{}, nil
+	case "on-demand-knapsack":
+		sel, err := core.NewSelector(cat, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return policy.NewOnDemandKnapsack(sel)
+	case "hybrid":
+		sel, err := core.NewSelector(cat, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		frac := cfg.HybridFraction
+		if frac == 0 {
+			frac = 0.5
+		}
+		return policy.NewHybrid(sel, frac)
+	default:
+		return nil, fmt.Errorf("mobicache: unknown policy %q", name)
+	}
+}
+
+func buildCache(cfg SimulationConfig) (*cache.Cache, error) {
+	if cfg.CacheCapacity == 0 {
+		return cache.Unlimited(), nil
+	}
+	var pol cache.Policy
+	switch cfg.Replacement {
+	case "", "lru":
+		pol = cache.NewLRU()
+	case "lfu":
+		pol = cache.NewLFU()
+	case "size":
+		pol = cache.NewSizeBased()
+	case "stalest":
+		pol = cache.NewStalestFirst()
+	case "gds":
+		pol = cache.NewGDS()
+	default:
+		return nil, fmt.Errorf("mobicache: unknown replacement policy %q", cfg.Replacement)
+	}
+	return cache.New(cfg.CacheCapacity, recency.DefaultDecay, pol)
+}
+
+func parseAccess(name string) (rng.Popularity, error) {
+	switch name {
+	case "", "uniform":
+		return rng.Uniform, nil
+	case "linear", "skewed", "skewed(uniform)":
+		return rng.Linear, nil
+	case "zipf", "skewed(zipf)":
+		return rng.Zipf, nil
+	default:
+		return 0, fmt.Errorf("mobicache: unknown access pattern %q", name)
+	}
+}
