@@ -100,51 +100,69 @@ func paperItems(b *testing.B) []knapsack.Item {
 }
 
 // BenchmarkSolverDP times the exact dynamic program at the paper's scale
-// (500 items, budget 2500) — the solver used throughout Section 4.
+// (500 items, budget 2500) — the solver used throughout Section 4 — on a
+// reused Solver workspace, so steady-state iterations are allocation-free.
 func BenchmarkSolverDP(b *testing.B) {
 	items := paperItems(b)
+	var s knapsack.Solver
+	if _, err := s.SolveDP(items, 2500); err != nil { // warm the workspace
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := knapsack.SolveDP(items, 2500); err != nil {
+		if _, err := s.SolveDP(items, 2500); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 // BenchmarkSolverTrace times the full best-value-per-budget trace that
-// Figures 4-6 are built from.
+// Figures 4-6 are built from, on a reused Solver workspace.
 func BenchmarkSolverTrace(b *testing.B) {
 	items := paperItems(b)
+	var s knapsack.Solver
+	if _, err := s.TraceDP(items, 5000); err != nil { // warm the workspace
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := knapsack.TraceDP(items, 5000); err != nil {
+		if _, err := s.TraceDP(items, 5000); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkSolverGreedy times the density heuristic on the same instance.
+// BenchmarkSolverGreedy times the density heuristic on the same instance,
+// on a reused Solver workspace.
 func BenchmarkSolverGreedy(b *testing.B) {
 	items := paperItems(b)
+	var s knapsack.Solver
+	if _, err := s.SolveGreedy(items, 2500); err != nil { // warm the workspace
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := knapsack.SolveGreedy(items, 2500); err != nil {
+		if _, err := s.SolveGreedy(items, 2500); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 // BenchmarkSolverFPTAS times the (1-0.1)-approximation on the same
-// instance.
+// instance, on a reused Solver workspace.
 func BenchmarkSolverFPTAS(b *testing.B) {
 	items := paperItems(b)
+	var s knapsack.Solver
+	if _, err := s.SolveFPTAS(items, 2500, 0.1); err != nil { // warm the workspace
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := knapsack.SolveFPTAS(items, 2500, 0.1); err != nil {
+		if _, err := s.SolveFPTAS(items, 2500, 0.1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -173,6 +191,9 @@ func BenchmarkSelectorSelect(b *testing.B) {
 		}
 	}
 	recencies := append([]float64(nil), inst.Recency...)
+	if _, err := sel.Select(reqs, recencies, 2500); err != nil { // warm the workspace
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

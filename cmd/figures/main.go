@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mobicache/internal/experiment"
 	"mobicache/internal/metrics"
@@ -29,12 +31,42 @@ var (
 	quickFlag  = flag.Bool("quick", false, "run scaled-down configurations (for smoke tests)")
 	plotWidth  = flag.Int("plot-width", 72, "ASCII plot width")
 	plotHeight = flag.Int("plot-height", 20, "ASCII plot height")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(*figFlag); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	err := run(*figFlag)
+	if *memProfile != "" {
+		f, merr := os.Create(*memProfile)
+		if merr == nil {
+			runtime.GC() // flush recently freed objects out of the profile
+			merr = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "figures:", merr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"mobicache"
+)
+
+// TestConcurrentSelects hammers the read path (select, recommend, state)
+// from many goroutines while a writer decays recencies and another
+// reinstalls the catalog, exercising the RWMutex and the selector pool.
+// Run under -race this is the daemon's concurrency regression test; the
+// responses are also checked for internal consistency, which would catch
+// a pooled workspace shared between two in-flight selections.
+func TestConcurrentSelects(t *testing.T) {
+	ts := newTestServer(t)
+	sizes := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	resp, body := post(t, ts, "/v1/catalog", map[string]any{"sizes": sizes})
+	mustStatus(t, resp, http.StatusOK, body)
+	resp, body = post(t, ts, "/v1/fetched", map[string]any{"objects": []int{0, 1, 2, 3, 4, 5, 6, 7}})
+	mustStatus(t, resp, http.StatusOK, body)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	report := func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+	}
+
+	const readers = 8
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			reqs := []mobicache.Request{
+				{Client: 0, Object: mobicache.ObjectID(g % len(sizes)), Target: 1},
+				{Client: 1, Object: mobicache.ObjectID((g + 3) % len(sizes)), Target: 0.5},
+				{Client: 2, Object: mobicache.ObjectID((g + 5) % len(sizes)), Target: 0.8},
+			}
+			for i := 0; i < 50; i++ {
+				resp, body := post(t, ts, "/v1/select", map[string]any{"requests": reqs, "budget": 6})
+				if resp.StatusCode != http.StatusOK {
+					report(fmt.Errorf("select: status %d (%s)", resp.StatusCode, body))
+					return
+				}
+				var out selectResponse
+				if err := json.Unmarshal(body, &out); err != nil {
+					report(fmt.Errorf("select: %v", err))
+					return
+				}
+				var units int64
+				for _, id := range out.Download {
+					if int(id) < 0 || int(id) >= len(sizes) {
+						report(fmt.Errorf("select: object %d out of range", id))
+						return
+					}
+					units += sizes[id]
+				}
+				if units != out.DownloadUnits {
+					report(fmt.Errorf("select: download units %d != summed sizes %d (torn response?)",
+						out.DownloadUnits, units))
+					return
+				}
+				if i%10 == 0 {
+					resp, body := post(t, ts, "/v1/recommend", map[string]any{
+						"requests": reqs, "max_budget": 20, "fraction_of_max": 0.9,
+					})
+					if resp.StatusCode != http.StatusOK {
+						report(fmt.Errorf("recommend: status %d (%s)", resp.StatusCode, body))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Writer 1: decay recencies concurrently with the selects.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			resp, body := post(t, ts, "/v1/updates", map[string]any{"objects": []int{i % len(sizes)}})
+			if resp.StatusCode != http.StatusOK {
+				report(fmt.Errorf("updates: status %d (%s)", resp.StatusCode, body))
+				return
+			}
+		}
+	}()
+
+	// Writer 2: reinstall the catalog mid-flight (rebuilds the pool).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			resp, body := post(t, ts, "/v1/catalog", map[string]any{"sizes": sizes})
+			if resp.StatusCode != http.StatusOK {
+				report(fmt.Errorf("catalog: status %d (%s)", resp.StatusCode, body))
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}

@@ -11,11 +11,17 @@ import (
 )
 
 // server holds the daemon's state: a selector over the installed catalog
-// and the live per-object recency vector. One mutex guards everything —
-// selection is milliseconds at paper scale, so a single writer is ample.
+// and the live per-object recency vector. A RWMutex lets read-only
+// traffic (select, recommend, state) run concurrently while catalog
+// installs and recency writes take the exclusive lock. Because a
+// mobicache.Selector owns a mutable workspace, concurrent readers never
+// share one: each select/recommend borrows a clone from a pool that is
+// rebuilt whenever a catalog is installed. Steady-state requests reuse
+// pooled workspaces, so the selection hot path allocates nothing.
 type server struct {
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	selector  *mobicache.Selector
+	pool      *sync.Pool // of *mobicache.Selector clones for s.selector
 	recencies []float64
 	decay     recency.Decay
 	mux       *http.ServeMux
@@ -76,6 +82,7 @@ func (s *server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	s.selector = sel
+	s.pool = &sync.Pool{New: func() any { return sel.Clone() }}
 	// All objects start absent (recency 0): nothing fetched yet.
 	s.recencies = make([]float64, len(req.Sizes))
 	s.mu.Unlock()
@@ -158,8 +165,8 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.selector == nil {
 		writeErr(w, http.StatusConflict, fmt.Errorf("no catalog installed"))
 		return
@@ -168,8 +175,10 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if budget < 0 {
 		budget = mobicache.Unlimited
 	}
-	plan, err := s.selector.Select(req.Requests, s.recencies, budget)
+	worker := s.pool.Get().(*mobicache.Selector)
+	plan, err := worker.Select(req.Requests, s.recencies, budget)
 	if err != nil {
+		s.pool.Put(worker)
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -185,7 +194,10 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if resp.FromCache == nil {
 		resp.FromCache = []mobicache.ObjectID{}
 	}
+	// The plan's slices alias the worker's workspace: serialize the
+	// response before the worker goes back in the pool.
 	writeJSON(w, http.StatusOK, resp)
+	s.pool.Put(worker)
 }
 
 type recommendRequest struct {
@@ -207,25 +219,31 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.selector == nil {
 		writeErr(w, http.StatusConflict, fmt.Errorf("no catalog installed"))
 		return
 	}
-	rep, err := s.selector.RecommendBudget(req.Requests, s.recencies, req.MaxBudget, mobicache.BoundConfig{
+	worker := s.pool.Get().(*mobicache.Selector)
+	rep, err := worker.RecommendBudget(req.Requests, s.recencies, req.MaxBudget, mobicache.BoundConfig{
 		FractionOfMax: req.FractionOfMax,
 		MinMarginal:   req.MinMarginal,
 	})
 	if err != nil {
+		s.pool.Put(worker)
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, recommendResponse{
+	// Only scalar fields of the report are used, so the worker can be
+	// returned once the response values are extracted.
+	resp := recommendResponse{
 		Budget:     rep.Budget,
 		Efficiency: rep.Efficiency(),
 		MaxGain:    rep.MaxGain,
-	})
+	}
+	s.pool.Put(worker)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type stateResponse struct {
@@ -234,8 +252,8 @@ type stateResponse struct {
 }
 
 func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.selector == nil {
 		writeErr(w, http.StatusConflict, fmt.Errorf("no catalog installed"))
 		return

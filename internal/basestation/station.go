@@ -98,6 +98,12 @@ func (t *Totals) MeanRecency() float64 {
 type Station struct {
 	cfg   Config
 	cache *cache.Cache
+	// downloadedNow flags the objects fetched in the current tick;
+	// downloadedIDs lists the flagged entries so the per-tick reset is
+	// O(downloads) instead of O(catalog). Both persist across ticks so
+	// steady-state ticks allocate nothing here.
+	downloadedNow []bool
+	downloadedIDs []catalog.ID
 }
 
 // New creates a Station and wires the server's update stream into the
@@ -125,7 +131,7 @@ func New(cfg Config) (*Station, error) {
 	if c == nil {
 		c = cache.Unlimited()
 	}
-	st := &Station{cfg: cfg, cache: c}
+	st := &Station{cfg: cfg, cache: c, downloadedNow: make([]bool, cfg.Catalog.Len())}
 	cfg.Server.OnUpdate(c.OnMasterUpdate)
 	return st, nil
 }
@@ -159,19 +165,19 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 	if err != nil {
 		return res, fmt.Errorf("basestation: policy %s: %w", s.cfg.Policy.Name(), err)
 	}
-	downloadedNow := make(map[catalog.ID]bool, len(ids))
+	defer s.resetDownloadedNow()
 	var used int64
 	for _, id := range ids {
 		if !s.cfg.Catalog.Valid(id) {
 			return res, fmt.Errorf("basestation: policy %s chose invalid object %d", s.cfg.Policy.Name(), id)
 		}
-		if downloadedNow[id] {
+		if s.downloadedNow[id] {
 			return res, fmt.Errorf("basestation: policy %s chose object %d twice", s.cfg.Policy.Name(), id)
 		}
 		if err := s.download(id, now); err != nil {
 			return res, err
 		}
-		downloadedNow[id] = true
+		s.markDownloaded(id)
 		used += s.cfg.Catalog.Size(id)
 		res.PolicyDownloads++
 	}
@@ -184,7 +190,7 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 	// Serve the tick's requests.
 	for _, r := range reqs {
 		res.Requests++
-		if downloadedNow[r.Object] {
+		if int(r.Object) >= 0 && int(r.Object) < len(s.downloadedNow) && s.downloadedNow[r.Object] {
 			res.ScoreSum += 1
 			res.RecencySum += 1
 			continue
@@ -199,7 +205,7 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 			if err := s.download(r.Object, now); err != nil {
 				return res, err
 			}
-			downloadedNow[r.Object] = true
+			s.markDownloaded(r.Object)
 			res.MissDownloads++
 			res.DownloadUnits += s.cfg.Catalog.Size(r.Object)
 			res.ScoreSum += 1
@@ -232,4 +238,19 @@ func (s *Station) Run(start, n int, gen *client.Generator) (Totals, error) {
 func (s *Station) download(id catalog.ID, now float64) error {
 	version, size := s.cfg.Server.Download(id)
 	return s.cache.Put(id, size, version, now)
+}
+
+// markDownloaded flags id as fetched during the current tick and records it
+// for the end-of-tick reset.
+func (s *Station) markDownloaded(id catalog.ID) {
+	s.downloadedNow[id] = true
+	s.downloadedIDs = append(s.downloadedIDs, id)
+}
+
+// resetDownloadedNow clears this tick's download flags in O(downloads).
+func (s *Station) resetDownloadedNow() {
+	for _, id := range s.downloadedIDs {
+		s.downloadedNow[id] = false
+	}
+	s.downloadedIDs = s.downloadedIDs[:0]
 }

@@ -25,7 +25,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"mobicache/internal/catalog"
 	"mobicache/internal/client"
@@ -58,7 +58,9 @@ type Demand struct {
 func (d Demand) Count() int { return len(d.Targets) }
 
 // Aggregate groups a request batch by object, preserving first-seen object
-// order for determinism.
+// order for determinism. The result is freshly allocated; on the per-tick
+// hot path prefer Selector.AggregateRequests, which reuses the selector's
+// workspace.
 func Aggregate(reqs []client.Request) []Demand {
 	index := make(map[catalog.ID]int)
 	var out []Demand
@@ -113,9 +115,26 @@ type Config struct {
 }
 
 // Selector maps request batches to download plans.
+//
+// A Selector owns a reusable solver workspace and scratch buffers, so at
+// steady state Select allocates nothing; in exchange it is not safe for
+// concurrent use, and the slices inside a returned Plan (Download,
+// FromCache) alias that workspace: they are valid until the selector's
+// next call. Use Clone to give each goroutine its own selector over the
+// same catalog and configuration.
 type Selector struct {
 	cat *catalog.Catalog
 	cfg Config
+
+	// Per-call workspace, reused across ticks.
+	solver    knapsack.Solver
+	demands   []Demand
+	demandOf  []int32 // object -> index into demands, -1 when absent
+	items     []knapsack.Item
+	meta      []itemMeta
+	download  []catalog.ID
+	fromCache []catalog.ID
+	taken     []bool
 }
 
 // NewSelector creates a selector for the given catalog.
@@ -138,6 +157,13 @@ func NewSelector(cat *catalog.Catalog, cfg Config) (*Selector, error) {
 		return nil, fmt.Errorf("core: unknown solver %d", int(cfg.Solver))
 	}
 	return &Selector{cat: cat, cfg: cfg}, nil
+}
+
+// Clone returns a selector sharing this selector's catalog and
+// configuration but owning a fresh workspace, so each goroutine of a
+// concurrent server can select independently.
+func (s *Selector) Clone() *Selector {
+	return &Selector{cat: s.cat, cfg: s.cfg}
 }
 
 // Plan is the selector's decision for one batch.
@@ -166,15 +192,66 @@ func (p Plan) AverageScore() float64 {
 	return (p.CachedScore + p.Gain) / float64(p.Requests)
 }
 
+// AggregateRequests groups a request batch by object, preserving
+// first-seen object order, into the selector's reusable workspace.
+// Requests for objects outside the catalog are dropped (Select would skip
+// them anyway). The returned demands are valid until the next
+// AggregateRequests or SelectRequests call on this selector.
+func (s *Selector) AggregateRequests(reqs []client.Request) []Demand {
+	if s.demandOf == nil {
+		s.demandOf = make([]int32, s.cat.Len())
+		for i := range s.demandOf {
+			s.demandOf[i] = -1
+		}
+	}
+	ds := s.demands[:0]
+	for _, r := range reqs {
+		if !s.cat.Valid(r.Object) {
+			continue
+		}
+		idx := s.demandOf[r.Object]
+		if idx < 0 {
+			idx = int32(len(ds))
+			s.demandOf[r.Object] = idx
+			if len(ds) < cap(ds) {
+				// Reclaim the slot along with its Targets capacity.
+				ds = ds[:len(ds)+1]
+				d := &ds[idx]
+				d.Object = r.Object
+				d.Targets = d.Targets[:0]
+			} else {
+				ds = append(ds, Demand{Object: r.Object})
+			}
+		}
+		ds[idx].Targets = append(ds[idx].Targets, r.Target)
+	}
+	for i := range ds {
+		s.demandOf[ds[i].Object] = -1
+	}
+	s.demands = ds
+	return ds
+}
+
+// SelectRequests aggregates a raw request batch and selects the objects
+// to download, reusing the selector's workspace throughout — the
+// allocation-free form of Aggregate + Select for the per-tick hot path.
+func (s *Selector) SelectRequests(reqs []client.Request, c CacheView, budget int64) (Plan, error) {
+	return s.Select(s.AggregateRequests(reqs), c, budget)
+}
+
 // Select chooses the objects to download for the aggregated demands given
 // the cache state and a budget in data units (Unlimited for no limit).
+// The returned plan's slices alias the selector's workspace and are valid
+// until the next call on this selector.
 func (s *Selector) Select(demands []Demand, c CacheView, budget int64) (Plan, error) {
 	if budget < 0 {
 		return Plan{}, fmt.Errorf("core: negative budget %d", budget)
 	}
 	items, meta, plan := s.buildItems(demands, c)
+	plan.Download = s.download[:0]
 	if len(items) == 0 {
-		sort.Slice(plan.FromCache, func(i, j int) bool { return plan.FromCache[i] < plan.FromCache[j] })
+		slices.Sort(plan.FromCache)
+		s.storeScratch(items, meta, plan)
 		return plan, nil
 	}
 
@@ -191,7 +268,11 @@ func (s *Selector) Select(demands []Demand, c CacheView, budget int64) (Plan, er
 		if err != nil {
 			return Plan{}, err
 		}
-		taken := make(map[int]bool, len(sol.Take))
+		if len(s.taken) < len(items) {
+			s.taken = make([]bool, len(items))
+		}
+		taken := s.taken[:len(items)]
+		clear(taken)
 		for _, i := range sol.Take {
 			taken[i] = true
 			plan.Download = append(plan.Download, meta[i].object)
@@ -204,9 +285,21 @@ func (s *Selector) Select(demands []Demand, c CacheView, budget int64) (Plan, er
 			}
 		}
 	}
-	sort.Slice(plan.Download, func(i, j int) bool { return plan.Download[i] < plan.Download[j] })
-	sort.Slice(plan.FromCache, func(i, j int) bool { return plan.FromCache[i] < plan.FromCache[j] })
+	slices.Sort(plan.Download)
+	slices.Sort(plan.FromCache)
+	s.storeScratch(items, meta, plan)
 	return plan, nil
+}
+
+// storeScratch hands the (possibly regrown) working slices back to the
+// selector so their capacity carries over to the next call.
+func (s *Selector) storeScratch(items []knapsack.Item, meta []itemMeta, plan Plan) {
+	s.items = items
+	s.meta = meta
+	if plan.Download != nil {
+		s.download = plan.Download
+	}
+	s.fromCache = plan.FromCache
 }
 
 type itemMeta struct {
@@ -217,9 +310,10 @@ type itemMeta struct {
 // requested object whose download would add client score. Objects already
 // fresh enough for all their requesters go straight to FromCache.
 func (s *Selector) buildItems(demands []Demand, c CacheView) ([]knapsack.Item, []itemMeta, Plan) {
-	var items []knapsack.Item
-	var meta []itemMeta
+	items := s.items[:0]
+	meta := s.meta[:0]
 	var plan Plan
+	plan.FromCache = s.fromCache[:0]
 	for _, d := range demands {
 		if !s.cat.Valid(d.Object) {
 			// Unknown object: nothing to serve; skip defensively.
@@ -249,26 +343,29 @@ func (s *Selector) buildItems(demands []Demand, c CacheView) ([]knapsack.Item, [
 func (s *Selector) solve(items []knapsack.Item, budget int64) (knapsack.Solution, error) {
 	switch s.cfg.Solver {
 	case SolverGreedy:
-		return knapsack.SolveGreedy(items, budget)
+		return s.solver.SolveGreedy(items, budget)
 	case SolverFPTAS:
-		return knapsack.SolveFPTAS(items, budget, s.cfg.Eps)
+		return s.solver.SolveFPTAS(items, budget, s.cfg.Eps)
 	default:
-		return knapsack.SolveDP(items, budget)
+		return s.solver.SolveDP(items, budget)
 	}
 }
 
 // Trace computes the exact best-gain-per-budget curve for a batch — the
 // object of study in the paper's Section 4. The returned trace's Value[b]
 // is the score gain achievable with budget b; combine with the plan's
-// CachedScore to obtain Average Score curves.
+// CachedScore to obtain Average Score curves. The trace aliases the
+// selector's workspace: it stays valid across Select calls but is
+// overwritten by the next Trace (or UpperBound) call.
 func (s *Selector) Trace(demands []Demand, c CacheView, maxBudget int64) (*knapsack.Trace, Plan, error) {
 	if maxBudget < 0 {
 		return nil, Plan{}, fmt.Errorf("core: negative budget %d", maxBudget)
 	}
-	items, _, plan := s.buildItems(demands, c)
-	tr, err := knapsack.TraceDP(items, maxBudget)
+	items, meta, plan := s.buildItems(demands, c)
+	tr, err := s.solver.TraceDP(items, maxBudget)
 	if err != nil {
 		return nil, Plan{}, err
 	}
+	s.storeScratch(items, meta, plan)
 	return tr, plan, nil
 }

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+)
+
+// clonePlan deep-copies a plan so it survives the selector's next call
+// (plan slices alias the workspace).
+func clonePlan(p Plan) Plan {
+	p.Download = append([]catalog.ID(nil), p.Download...)
+	p.FromCache = append([]catalog.ID(nil), p.FromCache...)
+	return p
+}
+
+func samePlan(a, b Plan) bool {
+	if a.DownloadUnits != b.DownloadUnits || a.Requests != b.Requests ||
+		a.CachedScore != b.CachedScore || a.Gain != b.Gain ||
+		len(a.Download) != len(b.Download) || len(a.FromCache) != len(b.FromCache) {
+		return false
+	}
+	for i := range a.Download {
+		if a.Download[i] != b.Download[i] {
+			return false
+		}
+	}
+	for i := range a.FromCache {
+		if a.FromCache[i] != b.FromCache[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// randRequests draws a batch over [0, objects) with a sprinkling of
+// out-of-catalog IDs, which both aggregation paths must drop or skip.
+func randRequests(r *rand.Rand, n, objects int) []client.Request {
+	reqs := make([]client.Request, n)
+	for i := range reqs {
+		obj := catalog.ID(r.Intn(objects))
+		if r.Intn(10) == 0 {
+			obj = catalog.ID(objects + r.Intn(3)) // invalid on purpose
+		}
+		reqs[i] = client.Request{Client: i, Object: obj, Target: 0.1 + 0.9*r.Float64()}
+	}
+	return reqs
+}
+
+// TestSelectRequestsMatchesAggregateSelect checks that the workspace-reusing
+// hot path (AggregateRequests + Select on one selector, repeatedly) gives
+// exactly the plans of the allocating Aggregate + a fresh selector.
+func TestSelectRequestsMatchesAggregateSelect(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	sizes := make([]int64, 40)
+	for i := range sizes {
+		sizes[i] = int64(r.Intn(9) + 1)
+	}
+	cat := testCatalog(sizes...)
+	c := freshCache(cat, map[catalog.ID]int{2: 3, 7: 1, 11: 5, 30: 2})
+
+	reused, err := NewSelector(cat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 20; round++ {
+		reqs := randRequests(r, r.Intn(200)+1, cat.Len())
+		budget := int64(r.Intn(60))
+		if round%7 == 0 {
+			budget = Unlimited
+		}
+
+		got, err := reused.SelectRequests(reqs, c, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = clonePlan(got)
+
+		fresh, err := NewSelector(cat, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Select(Aggregate(reqs), c, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePlan(got, clonePlan(want)) {
+			t.Fatalf("round %d (budget %d): reused %+v != fresh %+v", round, budget, got, want)
+		}
+	}
+}
+
+// TestAggregateRequestsMatchesAggregate compares the workspace aggregation
+// against the package function demand by demand (modulo the dropped
+// invalid objects, which Select skips anyway).
+func TestAggregateRequestsMatchesAggregate(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	cat := testCatalog(1, 2, 3, 4, 5, 6, 7, 8)
+	s, err := NewSelector(cat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 20; round++ {
+		reqs := randRequests(r, r.Intn(100), cat.Len())
+		got := s.AggregateRequests(reqs)
+
+		var want []Demand
+		for _, d := range Aggregate(reqs) {
+			if cat.Valid(d.Object) {
+				want = append(want, d)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d demands, want %d", round, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Object != want[i].Object || got[i].Count() != want[i].Count() {
+				t.Fatalf("round %d demand %d: %+v != %+v", round, i, got[i], want[i])
+			}
+			for j := range got[i].Targets {
+				if got[i].Targets[j] != want[i].Targets[j] {
+					t.Fatalf("round %d demand %d target %d: %v != %v",
+						round, i, j, got[i].Targets[j], want[i].Targets[j])
+				}
+			}
+		}
+	}
+}
+
+// TestSelectorSteadyStateAllocs locks in the tentpole guarantee for the
+// full per-tick path: once the selector's workspace is warm, Select (and
+// the request-level SelectRequests) allocate nothing.
+func TestSelectorSteadyStateAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	sizes := make([]int64, 100)
+	for i := range sizes {
+		sizes[i] = int64(r.Intn(9) + 1)
+	}
+	cat := testCatalog(sizes...)
+	lags := map[catalog.ID]int{}
+	for i := 0; i < 40; i++ {
+		lags[catalog.ID(r.Intn(cat.Len()))] = r.Intn(6) + 1
+	}
+	c := freshCache(cat, lags)
+	reqs := randRequests(r, 500, cat.Len())
+
+	s, err := NewSelector(cat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SelectRequests(reqs, c, 120); err != nil { // warm the workspace
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.SelectRequests(reqs, c, 120); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("steady-state SelectRequests: %v allocs/op, want 0", allocs)
+	}
+
+	demands := s.AggregateRequests(reqs)
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.Select(demands, c, 120); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("steady-state Select: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestCloneIsIndependent verifies a clone shares configuration but not
+// workspace: plans from a clone match a fresh selector's, and using the
+// clone does not disturb a plan held from the original.
+func TestCloneIsIndependent(t *testing.T) {
+	cat := testCatalog(3, 1, 4, 1, 5, 9)
+	c := freshCache(cat, map[catalog.ID]int{0: 2, 2: 4, 4: 1})
+	s, err := NewSelector(cat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []client.Request{
+		{Client: 0, Object: 0, Target: 1},
+		{Client: 1, Object: 2, Target: 0.9},
+		{Client: 2, Object: 4, Target: 0.5},
+		{Client: 3, Object: 2, Target: 1},
+	}
+	orig, err := s.SelectRequests(reqs, c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origCopy := clonePlan(orig)
+
+	cl := s.Clone()
+	clPlan, err := cl.SelectRequests(reqs[:2], c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = clPlan
+
+	// The original's plan (aliasing s's workspace) must be untouched by
+	// the clone's work.
+	if !samePlan(orig, origCopy) {
+		t.Fatalf("clone's Select disturbed the original's plan: %+v != %+v", orig, origCopy)
+	}
+
+	again, err := cl.SelectRequests(reqs, c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePlan(clonePlan(again), origCopy) {
+		t.Fatalf("clone disagrees with original: %+v != %+v", again, origCopy)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"mobicache/internal/knapsack"
 	"mobicache/internal/metrics"
+	"mobicache/internal/parallel"
 	"mobicache/internal/rng"
 	"mobicache/internal/workload"
 )
@@ -65,24 +66,48 @@ func popularityCorrLabel(c rng.Correlation, uniform bool) string {
 	}
 }
 
-// curve generates one Table 1 instance, traces the exact knapsack curve
-// to the full catalog size, and appends the Average Score series.
-func curve(cfg SolutionSpaceConfig, fig *metrics.Figure, name string,
-	sizeRecency, sizeNumReq rng.Correlation, uniformRequests bool) error {
-	inst, err := workload.GenInstance(workload.PaperSolutionSpace(sizeRecency, sizeNumReq, uniformRequests, cfg.Seed))
-	if err != nil {
-		return err
-	}
-	tr, err := knapsack.TraceDP(inst.Items(), inst.TotalSize())
-	if err != nil {
-		return err
-	}
-	budgets, scores := inst.AverageScoreCurve(tr, cfg.Step)
+// curveSpec names one solution-space cell: a Table 1 instance draw plus
+// the series label it renders under.
+type curveSpec struct {
+	name        string
+	sizeRecency rng.Correlation
+	sizeNumReq  rng.Correlation
+	uniform     bool
+}
+
+// curveData holds one cell's sampled Average Score curve.
+type curveData struct {
+	budgets []int64
+	scores  []float64
+}
+
+// computeCurves evaluates every cell on a bounded worker pool. Each cell
+// generates its own instance and traces the exact knapsack curve with its
+// own solver workspace, so cells are independent and results land in spec
+// order — the assembled figures are byte-identical to a sequential run.
+func computeCurves(cfg SolutionSpaceConfig, specs []curveSpec) ([]curveData, error) {
+	return parallel.Map(len(specs), 0, func(i int) (curveData, error) {
+		sp := specs[i]
+		inst, err := workload.GenInstance(workload.PaperSolutionSpace(sp.sizeRecency, sp.sizeNumReq, sp.uniform, cfg.Seed))
+		if err != nil {
+			return curveData{}, err
+		}
+		var solver knapsack.Solver
+		tr, err := solver.TraceDP(inst.Items(), inst.TotalSize())
+		if err != nil {
+			return curveData{}, err
+		}
+		budgets, scores := inst.AverageScoreCurve(tr, cfg.Step)
+		return curveData{budgets: budgets, scores: scores}, nil
+	})
+}
+
+// addCurve appends one computed cell to a figure as a named series.
+func addCurve(fig *metrics.Figure, name string, c curveData) {
 	s := fig.AddSeries(name)
-	for i := range budgets {
-		s.Add(float64(budgets[i]), scores[i])
+	for i := range c.budgets {
+		s.Add(float64(c.budgets[i]), c.scores[i])
 	}
-	return nil
 }
 
 // Figure4 regenerates Figure 4: uniform access (every object requested by
@@ -92,10 +117,16 @@ func Figure4(cfg SolutionSpaceConfig) (*metrics.Figure, error) {
 	cfg.normalize()
 	fig := metrics.NewFigure("Figure 4: all objects accessed equally",
 		"units of data downloaded", "average score")
+	var specs []curveSpec
 	for _, c := range []rng.Correlation{rng.Positive, rng.Negative, rng.None} {
-		if err := curve(cfg, fig, recencyCorrLabel(c), c, rng.None, true); err != nil {
-			return nil, err
-		}
+		specs = append(specs, curveSpec{name: recencyCorrLabel(c), sizeRecency: c, sizeNumReq: rng.None, uniform: true})
+	}
+	curves, err := computeCurves(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, sp := range specs {
+		addCurve(fig, sp.name, curves[i])
 	}
 	return fig, nil
 }
@@ -112,13 +143,22 @@ func Figure5(cfg SolutionSpaceConfig) ([]*metrics.Figure, error) {
 		{"Figure 5(a): small objects hot", rng.Negative},
 		{"Figure 5(b): large objects hot", rng.Positive},
 	}
-	var figs []*metrics.Figure
+	var specs []curveSpec
 	for _, p := range panels {
-		fig := metrics.NewFigure(p.title, "units of data downloaded", "average score")
 		for _, c := range []rng.Correlation{rng.Positive, rng.Negative, rng.None} {
-			if err := curve(cfg, fig, recencyCorrLabel(c), c, p.sizeNumReq, false); err != nil {
-				return nil, err
-			}
+			specs = append(specs, curveSpec{name: recencyCorrLabel(c), sizeRecency: c, sizeNumReq: p.sizeNumReq})
+		}
+	}
+	curves, err := computeCurves(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	var figs []*metrics.Figure
+	for pi, p := range panels {
+		fig := metrics.NewFigure(p.title, "units of data downloaded", "average score")
+		for ci := 0; ci < 3; ci++ {
+			i := pi*3 + ci
+			addCurve(fig, specs[i].name, curves[i])
 		}
 		figs = append(figs, fig)
 	}
@@ -146,14 +186,27 @@ func Figure6(cfg SolutionSpaceConfig) ([]*metrics.Figure, error) {
 		{rng.Negative, false}, // small objects hot
 		{rng.None, true},      // uniform access
 	}
-	var figs []*metrics.Figure
+	var specs []curveSpec
 	for _, p := range panels {
-		fig := metrics.NewFigure(p.title, "units of data downloaded", "average score")
 		for _, pop := range pops {
-			name := popularityCorrLabel(pop.corr, pop.uniform)
-			if err := curve(cfg, fig, name, p.sizeRecency, pop.corr, pop.uniform); err != nil {
-				return nil, err
-			}
+			specs = append(specs, curveSpec{
+				name:        popularityCorrLabel(pop.corr, pop.uniform),
+				sizeRecency: p.sizeRecency,
+				sizeNumReq:  pop.corr,
+				uniform:     pop.uniform,
+			})
+		}
+	}
+	curves, err := computeCurves(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	var figs []*metrics.Figure
+	for pi, p := range panels {
+		fig := metrics.NewFigure(p.title, "units of data downloaded", "average score")
+		for ci := range pops {
+			i := pi*len(pops) + ci
+			addCurve(fig, specs[i].name, curves[i])
 		}
 		figs = append(figs, fig)
 	}

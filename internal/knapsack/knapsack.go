@@ -5,6 +5,11 @@
 // fully polynomial-time approximation scheme (FPTAS), and a depth-first
 // branch-and-bound solver. Item weights are integral "units of data";
 // profits are real-valued client benefits.
+//
+// The solvers come in two forms: the package-level functions, which
+// allocate fresh working memory per call, and the methods on Solver, a
+// reusable workspace whose buffers persist across calls so the per-tick
+// hot path is allocation-free at steady state.
 package knapsack
 
 import (
@@ -46,25 +51,105 @@ func Validate(items []Item) error {
 // ErrNegativeCapacity is returned when the capacity is negative.
 var ErrNegativeCapacity = errors.New("knapsack: negative capacity")
 
+// Solver is a reusable solver workspace. Its methods compute the same
+// results as the package-level functions but keep every internal buffer
+// (DP value rows, decision bitsets, sort and scratch slices) between
+// calls, so repeated solves over same-scale instances allocate nothing.
+//
+// A Solver is not safe for concurrent use, and the Solution.Take slice
+// and *Trace returned by its methods alias workspace memory: they are
+// valid only until the next call of the same kind on the workspace.
+// Solutions are invalidated by the next Solve* call; traces by the next
+// TraceDP call (a trace survives intervening Solve* calls).
+type Solver struct {
+	value     []float64 // DP best-value row (SolveDP)
+	decisions []uint64  // flat n x words decision bitsets (SolveDP)
+	traceVal  []float64 // DP value row for TraceDP, kept separate so a
+	// trace stays valid while the same workspace keeps solving
+	trace  Trace
+	take   []int // Take backing store for returned Solutions
+	order  []int // item permutation for greedy / unit fast path
+	byDens densitySorter
+	byProf profitSorter
+	scaled []int   // FPTAS scaled profits
+	minWt  []int64 // FPTAS min-weight-per-profit row
+	choice []uint64
+}
+
+// NewSolver returns an empty workspace; buffers grow on first use.
+func NewSolver() *Solver { return &Solver{} }
+
+// totalWeight returns the sum of all item weights, saturating at
+// math.MaxInt64 (weights are validated positive, so wraparound shows up
+// as a negative running sum).
+func totalWeight(items []Item) int64 {
+	var sum int64
+	for _, it := range items {
+		sum += it.Weight
+		if sum < 0 {
+			return math.MaxInt64
+		}
+	}
+	return sum
+}
+
+// clampCapacity bounds the DP table size: beyond the total item weight
+// extra capacity cannot change any solution, so budgets near
+// core.Unlimited (math.MaxInt64) no longer overflow int on 32-bit
+// platforms or attempt absurd table allocations on 64-bit ones.
+func clampCapacity(items []Item, capacity int64) int {
+	if tw := totalWeight(items); capacity > tw {
+		capacity = tw
+	}
+	return int(capacity)
+}
+
+// growFloats returns buf resized to n elements, all zero, reusing its
+// backing array when large enough.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// growWords is growFloats for bitset backing stores.
+func growWords(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
 // SolveDP solves the instance exactly by dynamic programming over
-// capacity, in O(n·capacity) time and O(n·capacity) bits of memory for
-// choice reconstruction.
-func SolveDP(items []Item, capacity int64) (Solution, error) {
+// capacity, in O(n·min(capacity, Σweights)) time. All-unit-weight
+// instances (the paper's Section 3 workloads) take an O(n log n)
+// top-k-by-profit fast path instead. See the Solver doc for the lifetime
+// of the returned Take slice.
+func (s *Solver) SolveDP(items []Item, capacity int64) (Solution, error) {
 	if capacity < 0 {
 		return Solution{}, ErrNegativeCapacity
 	}
 	if err := Validate(items); err != nil {
 		return Solution{}, err
 	}
+	c := clampCapacity(items, capacity)
+	if unitWeights(items) {
+		return s.solveUnit(items, c), nil
+	}
 	n := len(items)
-	c := int(capacity)
-	value := make([]float64, c+1)
-	// One bitset row of decisions per item.
+	s.value = growFloats(s.value, c+1)
+	value := s.value
+	// One bitset row of decisions per item, in one flat allocation.
 	words := (c + 1 + 63) / 64
-	decisions := make([][]uint64, n)
+	s.decisions = growWords(s.decisions, n*words)
 
 	for i, it := range items {
-		row := make([]uint64, words)
+		row := s.decisions[i*words : (i+1)*words]
 		w := int(it.Weight)
 		if w <= c {
 			for cap := c; cap >= w; cap-- {
@@ -75,33 +160,126 @@ func SolveDP(items []Item, capacity int64) (Solution, error) {
 				}
 			}
 		}
-		decisions[i] = row
 	}
 
-	sol := Solution{Profit: value[c]}
+	sol := Solution{Profit: value[c], Take: s.take[:0]}
 	remaining := c
 	for i := n - 1; i >= 0; i-- {
-		if decisions[i][remaining/64]&(1<<(remaining%64)) != 0 {
+		if s.decisions[i*words+remaining/64]&(1<<(remaining%64)) != 0 {
 			sol.Take = append(sol.Take, i)
 			sol.Weight += items[i].Weight
 			remaining -= int(items[i].Weight)
 		}
 	}
 	reverse(sol.Take)
+	s.take = sol.Take
 	return sol, nil
+}
+
+// unitWeights reports whether every item weighs exactly one data unit —
+// the Figure 2/3 workloads, where the capacity-indexed DP degenerates to
+// picking the top-capacity items by profit.
+func unitWeights(items []Item) bool {
+	if len(items) == 0 {
+		return false
+	}
+	for _, it := range items {
+		if it.Weight != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// solveUnit is the all-unit-weight fast path: rank items by (profit
+// descending, index ascending) and take the best c with positive profit.
+// That is exactly the set the strict-improvement DP reconstructs — equal
+// profits never displace an earlier item — and summing the taken profits
+// in ascending index order reproduces the DP's accumulation order, so
+// the result is bit-identical to the dynamic program (the equivalence is
+// enforced by tests).
+func (s *Solver) solveUnit(items []Item, c int) Solution {
+	n := len(items)
+	order := s.orderIdentity(n)
+	s.byProf = profitSorter{items: items, order: order}
+	sort.Sort(&s.byProf)
+	k := c
+	if k > n {
+		k = n
+	}
+	// Zero-profit items are never an improvement for the DP; stop early.
+	for k > 0 && items[order[k-1]].Profit <= 0 {
+		k--
+	}
+	take := append(s.take[:0], order[:k]...)
+	sort.Ints(take)
+	sol := Solution{Take: take, Weight: int64(k)}
+	for _, i := range take {
+		sol.Profit += items[i].Profit
+	}
+	s.take = take
+	return sol
+}
+
+// orderIdentity returns the workspace permutation buffer reset to the
+// identity over n items.
+func (s *Solver) orderIdentity(n int) []int {
+	if cap(s.order) < n {
+		s.order = make([]int, n)
+	}
+	s.order = s.order[:n]
+	for i := range s.order {
+		s.order[i] = i
+	}
+	return s.order
+}
+
+// profitSorter orders items by decreasing profit with an explicit
+// secondary key on index, so equal profits rank deterministically.
+type profitSorter struct {
+	items []Item
+	order []int
+}
+
+func (p *profitSorter) Len() int      { return len(p.order) }
+func (p *profitSorter) Swap(i, j int) { p.order[i], p.order[j] = p.order[j], p.order[i] }
+func (p *profitSorter) Less(i, j int) bool {
+	a, b := p.order[i], p.order[j]
+	if p.items[a].Profit != p.items[b].Profit {
+		return p.items[a].Profit > p.items[b].Profit
+	}
+	return a < b
+}
+
+// SolveDP solves the instance exactly by dynamic programming, allocating
+// fresh working memory; use a Solver to amortize allocations across
+// repeated calls.
+func SolveDP(items []Item, capacity int64) (Solution, error) {
+	var s Solver
+	return s.SolveDP(items, capacity)
 }
 
 // Trace holds the exact best achievable profit for every integral budget
 // from 0 to its capacity: Value[b] is the optimum with budget b. This is
 // precisely the curve the paper's Figures 4-6 plot ("the algorithm ...
 // allows us to observe how the quality of the solution changes as the
-// upper bound increases").
+// upper bound increases"). The table is only materialized up to the
+// total item weight — the curve is flat beyond it — so Value may be
+// shorter than Capacity()+1; At and Marginal account for the flat tail.
 type Trace struct {
 	Value []float64
+	// cap records a requested capacity larger than the materialized
+	// table (zero for traces built literally from a Value slice).
+	cap int64
 }
 
 // Capacity returns the largest budget covered by the trace.
-func (t *Trace) Capacity() int64 { return int64(len(t.Value) - 1) }
+func (t *Trace) Capacity() int64 {
+	if c := int64(len(t.Value) - 1); t.cap < c {
+		return c
+	}
+	return t.cap
+}
 
 // At returns the optimal profit at budget b, clamping b to the traced
 // range.
@@ -124,16 +302,19 @@ func (t *Trace) Marginal(b int64) float64 {
 }
 
 // TraceDP computes the full best-value-per-capacity curve in
-// O(n·capacity) time and O(capacity) memory (no reconstruction).
-func TraceDP(items []Item, capacity int64) (*Trace, error) {
+// O(n·min(capacity, Σweights)) time with no reconstruction state. The
+// returned trace aliases workspace memory and is valid until the next
+// TraceDP call on this workspace (it survives Solve* calls).
+func (s *Solver) TraceDP(items []Item, capacity int64) (*Trace, error) {
 	if capacity < 0 {
 		return nil, ErrNegativeCapacity
 	}
 	if err := Validate(items); err != nil {
 		return nil, err
 	}
-	c := int(capacity)
-	value := make([]float64, c+1)
+	c := clampCapacity(items, capacity)
+	s.traceVal = growFloats(s.traceVal, c+1)
+	value := s.traceVal
 	for _, it := range items {
 		w := int(it.Weight)
 		if w > c {
@@ -145,22 +326,32 @@ func TraceDP(items []Item, capacity int64) (*Trace, error) {
 			}
 		}
 	}
-	return &Trace{Value: value}, nil
+	s.trace = Trace{Value: value, cap: capacity}
+	return &s.trace, nil
+}
+
+// TraceDP computes the full best-value-per-capacity curve, allocating a
+// fresh table; use a Solver to amortize allocations across repeated
+// calls.
+func TraceDP(items []Item, capacity int64) (*Trace, error) {
+	var s Solver
+	return s.TraceDP(items, capacity)
 }
 
 // SolveGreedy applies the classic density heuristic: consider items in
 // decreasing profit/weight order, taking each that fits. The result is
 // then compared against the best single item, which restores the standard
-// 1/2-approximation guarantee.
-func SolveGreedy(items []Item, capacity int64) (Solution, error) {
+// 1/2-approximation guarantee. See the Solver doc for the lifetime of the
+// returned Take slice.
+func (s *Solver) SolveGreedy(items []Item, capacity int64) (Solution, error) {
 	if capacity < 0 {
 		return Solution{}, ErrNegativeCapacity
 	}
 	if err := Validate(items); err != nil {
 		return Solution{}, err
 	}
-	order := densityOrder(items)
-	var sol Solution
+	order := s.densityOrder(items)
+	sol := Solution{Take: s.take[:0]}
 	remaining := capacity
 	for _, i := range order {
 		if items[i].Weight <= remaining {
@@ -178,16 +369,34 @@ func SolveGreedy(items []Item, capacity int64) (Solution, error) {
 		}
 	}
 	if best >= 0 && items[best].Profit > sol.Profit {
-		sol = Solution{Take: []int{best}, Profit: items[best].Profit, Weight: items[best].Weight}
+		sol = Solution{Take: append(sol.Take[:0], best), Profit: items[best].Profit, Weight: items[best].Weight}
 	}
 	sort.Ints(sol.Take)
+	s.take = sol.Take
 	return sol, nil
+}
+
+// SolveGreedy applies the density heuristic with fresh working memory;
+// use a Solver to amortize allocations across repeated calls.
+func SolveGreedy(items []Item, capacity int64) (Solution, error) {
+	var s Solver
+	return s.SolveGreedy(items, capacity)
+}
+
+// densityOrder fills the workspace permutation with item indexes sorted
+// by decreasing profit/weight density, ties broken by ascending index.
+func (s *Solver) densityOrder(items []Item) []int {
+	order := s.orderIdentity(len(items))
+	s.byDens = densitySorter{items: items, order: order}
+	sort.Sort(&s.byDens)
+	return order
 }
 
 // SolveFPTAS returns a solution with profit at least (1-eps) times the
 // optimum, in O(n^3/eps) time independent of capacity magnitude, by
 // scaling profits and running the min-weight-per-profit dynamic program.
-func SolveFPTAS(items []Item, capacity int64, eps float64) (Solution, error) {
+// See the Solver doc for the lifetime of the returned Take slice.
+func (s *Solver) SolveFPTAS(items []Item, capacity int64, eps float64) (Solution, error) {
 	if capacity < 0 {
 		return Solution{}, ErrNegativeCapacity
 	}
@@ -205,10 +414,13 @@ func SolveFPTAS(items []Item, capacity int64, eps float64) (Solution, error) {
 		}
 	}
 	if maxProfit == 0 {
-		return Solution{}, nil
+		return Solution{Take: s.take[:0]}, nil
 	}
 	scale := eps * maxProfit / float64(n)
-	scaled := make([]int, n)
+	if cap(s.scaled) < n {
+		s.scaled = make([]int, n)
+	}
+	scaled := s.scaled[:n]
 	maxTotal := 0
 	for i, it := range items {
 		scaled[i] = int(it.Profit / scale)
@@ -217,16 +429,20 @@ func SolveFPTAS(items []Item, capacity int64, eps float64) (Solution, error) {
 		}
 	}
 
-	// minWeight[p] = least weight achieving scaled profit exactly p.
+	// minWt[p] = least weight achieving scaled profit exactly p.
 	const inf = math.MaxInt64
-	minWeight := make([]int64, maxTotal+1)
-	choice := make([][]uint64, n)
+	if cap(s.minWt) < maxTotal+1 {
+		s.minWt = make([]int64, maxTotal+1)
+	}
+	minWeight := s.minWt[:maxTotal+1]
 	words := (maxTotal + 1 + 63) / 64
+	s.choice = growWords(s.choice, n*words)
+	minWeight[0] = 0
 	for p := 1; p <= maxTotal; p++ {
 		minWeight[p] = inf
 	}
 	for i, it := range items {
-		row := make([]uint64, words)
+		row := s.choice[i*words : (i+1)*words]
 		if it.Weight <= capacity {
 			sp := scaled[i]
 			for p := maxTotal; p >= sp; p-- {
@@ -238,7 +454,6 @@ func SolveFPTAS(items []Item, capacity int64, eps float64) (Solution, error) {
 				}
 			}
 		}
-		choice[i] = row
 	}
 	bestP := 0
 	for p := maxTotal; p > 0; p-- {
@@ -247,10 +462,10 @@ func SolveFPTAS(items []Item, capacity int64, eps float64) (Solution, error) {
 			break
 		}
 	}
-	var sol Solution
+	sol := Solution{Take: s.take[:0]}
 	p := bestP
 	for i := n - 1; i >= 0; i-- {
-		if p > 0 && choice[i][p/64]&(1<<(p%64)) != 0 {
+		if p > 0 && s.choice[i*words+p/64]&(1<<(p%64)) != 0 {
 			sol.Take = append(sol.Take, i)
 			sol.Profit += items[i].Profit
 			sol.Weight += items[i].Weight
@@ -258,7 +473,15 @@ func SolveFPTAS(items []Item, capacity int64, eps float64) (Solution, error) {
 		}
 	}
 	reverse(sol.Take)
+	s.take = sol.Take
 	return sol, nil
+}
+
+// SolveFPTAS runs the approximation scheme with fresh working memory;
+// use a Solver to amortize allocations across repeated calls.
+func SolveFPTAS(items []Item, capacity int64, eps float64) (Solution, error) {
+	var s Solver
+	return s.SolveFPTAS(items, capacity, eps)
 }
 
 // SolveBB solves the instance exactly by depth-first branch-and-bound
@@ -336,6 +559,27 @@ func (b *bbState) search(pos int, weight int64, profit float64, take []int) {
 	b.search(pos+1, weight, profit, take)
 }
 
+// densitySorter orders items by decreasing profit/weight density with an
+// explicit secondary key on index, so equal densities (and profit/weight
+// ties in particular) rank deterministically regardless of the sort
+// algorithm's stability.
+type densitySorter struct {
+	items []Item
+	order []int
+}
+
+func (d *densitySorter) Len() int      { return len(d.order) }
+func (d *densitySorter) Swap(i, j int) { d.order[i], d.order[j] = d.order[j], d.order[i] }
+func (d *densitySorter) Less(i, j int) bool {
+	a, b := d.order[i], d.order[j]
+	da := d.items[a].Profit / float64(d.items[a].Weight)
+	db := d.items[b].Profit / float64(d.items[b].Weight)
+	if da != db {
+		return da > db
+	}
+	return a < b
+}
+
 // densityOrder returns item indexes sorted by decreasing profit/weight
 // density, ties broken by index for determinism.
 func densityOrder(items []Item) []int {
@@ -343,11 +587,8 @@ func densityOrder(items []Item) []int {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		da := items[order[a]].Profit / float64(items[order[a]].Weight)
-		db := items[order[b]].Profit / float64(items[order[b]].Weight)
-		return da > db
-	})
+	s := densitySorter{items: items, order: order}
+	sort.Sort(&s)
 	return order
 }
 

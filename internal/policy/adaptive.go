@@ -47,7 +47,7 @@ func (a *Adaptive) MeanBudget() float64 {
 
 // Decide implements Policy.
 func (a *Adaptive) Decide(v *TickView) ([]catalog.ID, error) {
-	demands := core.Aggregate(v.Requests)
+	demands := a.selector.AggregateRequests(v.Requests)
 	// Probe up to the tick's budget; an unlimited tick budget probes up
 	// to the total size of the requested objects.
 	probe := v.Budget

@@ -239,9 +239,11 @@ func NewOnDemandKnapsack(s *core.Selector) (*OnDemandKnapsack, error) {
 // Name implements Policy.
 func (*OnDemandKnapsack) Name() string { return "on-demand-knapsack" }
 
-// Decide implements Policy.
+// Decide implements Policy. The returned IDs alias the selector's
+// workspace and are valid until its next selection — the station
+// consumes them within the tick.
 func (p *OnDemandKnapsack) Decide(v *TickView) ([]catalog.ID, error) {
-	plan, err := p.selector.Select(core.Aggregate(v.Requests), v.Cache, v.Budget)
+	plan, err := p.selector.SelectRequests(v.Requests, v.Cache, v.Budget)
 	if err != nil {
 		return nil, err
 	}

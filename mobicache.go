@@ -119,9 +119,17 @@ func WithEps(eps float64) Option {
 
 // Selector decides which objects a base station should download for a
 // batch of client requests.
+//
+// A Selector owns a reusable solver workspace: at steady state Select
+// allocates nothing, but the slices inside a returned Plan alias that
+// workspace and are valid only until the selector's next call, and a
+// Selector must not be used from multiple goroutines at once. Servers
+// handling concurrent requests should give each goroutine its own
+// selector via Clone (cheap: the catalog and configuration are shared).
 type Selector struct {
 	cat   *catalog.Catalog
 	inner *core.Selector
+	view  recencyView
 }
 
 // NewSelector creates a selector over a catalog of len(sizes) objects
@@ -150,43 +158,55 @@ func (s *Selector) NumObjects() int { return s.cat.Len() }
 // TotalSize returns the summed size of all objects.
 func (s *Selector) TotalSize() int64 { return s.cat.TotalSize() }
 
-// recencyView adapts a per-object recency slice to core.CacheView:
-// recencies[i] is object i's cached recency score, 0 meaning not cached.
-type recencyView []float64
+// Clone returns a selector sharing this selector's catalog and
+// configuration but owning a fresh workspace, so each goroutine of a
+// concurrent server can select independently (e.g. via a sync.Pool).
+func (s *Selector) Clone() *Selector {
+	return &Selector{cat: s.cat, inner: s.inner.Clone()}
+}
 
-func (v recencyView) Recency(id catalog.ID) float64 {
-	if int(id) >= len(v) || v[id] <= 0 {
+// recencyView adapts a per-object recency slice to core.CacheView:
+// r[i] is object i's cached recency score, 0 meaning not cached. It is
+// embedded in the Selector and passed by pointer so the per-call
+// interface conversion does not allocate.
+type recencyView struct {
+	r []float64
+}
+
+func (v *recencyView) Recency(id catalog.ID) float64 {
+	if int(id) >= len(v.r) || v.r[id] <= 0 {
 		return 0
 	}
-	return v[id]
+	return v.r[id]
 }
 
-func (v recencyView) Contains(id catalog.ID) bool {
-	return int(id) < len(v) && v[id] > 0
+func (v *recencyView) Contains(id catalog.ID) bool {
+	return int(id) < len(v.r) && v.r[id] > 0
 }
 
-func (s *Selector) view(recencies []float64) (recencyView, error) {
+func (s *Selector) setView(recencies []float64) error {
 	if len(recencies) != s.cat.Len() {
-		return nil, fmt.Errorf("mobicache: %d recency values for %d objects", len(recencies), s.cat.Len())
+		return fmt.Errorf("mobicache: %d recency values for %d objects", len(recencies), s.cat.Len())
 	}
 	for i, r := range recencies {
 		if r < 0 || r > 1 {
-			return nil, fmt.Errorf("mobicache: recency[%d] = %v out of [0,1]", i, r)
+			return fmt.Errorf("mobicache: recency[%d] = %v out of [0,1]", i, r)
 		}
 	}
-	return recencyView(recencies), nil
+	s.view.r = recencies
+	return nil
 }
 
 // Select decides which objects to download for the given requests.
 // recencies[i] is object i's cached recency score (0 = not cached; such
 // objects must be downloaded to be served). budget caps the total size of
-// the Download set; pass Unlimited for no cap.
+// the Download set; pass Unlimited for no cap. The returned plan's slices
+// are valid until the selector's next call.
 func (s *Selector) Select(reqs []Request, recencies []float64, budget int64) (Plan, error) {
-	v, err := s.view(recencies)
-	if err != nil {
+	if err := s.setView(recencies); err != nil {
 		return Plan{}, err
 	}
-	return s.inner.Select(core.Aggregate(reqs), v, budget)
+	return s.inner.SelectRequests(reqs, &s.view, budget)
 }
 
 // RecommendBudget implements the paper's future-work extension: it traces
@@ -194,9 +214,8 @@ func (s *Selector) Select(reqs []Request, recencies []float64, budget int64) (Pl
 // smallest budget at which further downloading is not worthwhile under
 // cfg's rules (see BoundConfig).
 func (s *Selector) RecommendBudget(reqs []Request, recencies []float64, maxBudget int64, cfg BoundConfig) (BoundReport, error) {
-	v, err := s.view(recencies)
-	if err != nil {
+	if err := s.setView(recencies); err != nil {
 		return BoundReport{}, err
 	}
-	return s.inner.UpperBound(core.Aggregate(reqs), v, maxBudget, cfg)
+	return s.inner.UpperBound(s.inner.AggregateRequests(reqs), &s.view, maxBudget, cfg)
 }

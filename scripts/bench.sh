@@ -1,0 +1,33 @@
+#!/bin/sh
+# bench.sh — run the hot-path benchmarks and record the numbers as JSON.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Runs the solver, selector, and full-system benchmarks with -benchmem and
+# writes one JSON object per benchmark (name, ns/op, B/op, allocs/op) as a
+# JSON array to BENCH_1.json (or the given path). The raw `go test` output
+# is echoed to stderr so regressions are visible in CI logs.
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_1.json}"
+benches='BenchmarkSolverDP|BenchmarkSolverTrace|BenchmarkSolverGreedy|BenchmarkSelectorSelect|BenchmarkSimulationTick'
+
+raw=$(go test -run '^$' -bench "^(${benches})\$" -benchmem -benchtime 30x .)
+printf '%s\n' "$raw" >&2
+
+printf '%s\n' "$raw" | awk '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    rows[++n] = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                        name, $3, $5, $7)
+  }
+  END {
+    print "["
+    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+    print "]"
+  }
+' > "$out"
+
+echo "wrote $out" >&2

@@ -1,0 +1,18 @@
+#!/bin/sh
+# check.sh — the tier-1 gate: formatting, vet, build, and race-enabled
+# tests. Run before sending any change.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    printf '%s\n' "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+echo "all checks passed"
