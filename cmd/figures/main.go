@@ -25,7 +25,7 @@ import (
 )
 
 var (
-	figFlag    = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, table1, replacement, ablation, fullsystem, broadcast, sleeper, adaptive, multicell, estimation, quasi, heterogeneity, or all")
+	figFlag    = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, table1, replacement, ablation, fullsystem, broadcast, sleeper, adaptive, multicell, estimation, quasi, heterogeneity, faults, or all")
 	format     = flag.String("format", "table", "output format: table, csv, or plot")
 	seed       = flag.Uint64("seed", 0, "override the default experiment seed (0 keeps defaults)")
 	quickFlag  = flag.Bool("quick", false, "run scaled-down configurations (for smoke tests)")
@@ -106,12 +106,15 @@ func run(which string) error {
 		return quasiStudy()
 	case "heterogeneity":
 		return heterogeneityStudy()
+	case "faults":
+		return faultStudy()
 	case "all":
 		fmt.Print(experiment.Table1())
 		fmt.Println()
 		for _, f := range []func() error{figure2, figure3, figure4, figure5, figure6,
 			replacement, ablation, fullsystem, broadcastStudy, sleeperStudy,
-			adaptiveStudy, multicellStudy, estimationStudy, quasiStudy, heterogeneityStudy} {
+			adaptiveStudy, multicellStudy, estimationStudy, quasiStudy, heterogeneityStudy,
+			faultStudy} {
 			if err := f(); err != nil {
 				return err
 			}
@@ -341,6 +344,23 @@ func heterogeneityStudy() error {
 		cfg.VolatileFractions = []float64{0.2, 0.6, 1.0}
 	}
 	fig, err := experiment.HeterogeneityStudy(cfg)
+	if err != nil {
+		return err
+	}
+	emit(fig)
+	return nil
+}
+
+func faultStudy() error {
+	cfg := experiment.DefaultFaultStudy()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *quickFlag {
+		cfg.Objects, cfg.RatePerTick, cfg.Warmup, cfg.Measure = 100, 30, 20, 50
+		cfg.FailureProbs = []float64{0, 0.3, 0.6, 0.9}
+	}
+	fig, err := experiment.FaultStudy(cfg)
 	if err != nil {
 		return err
 	}

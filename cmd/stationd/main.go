@@ -10,11 +10,17 @@
 //	POST /v1/fetched    {"objects":[1]}             — copies refreshed to fresh
 //	POST /v1/select     {"requests":[...],"budget":5}
 //	POST /v1/recommend  {"requests":[...],"max_budget":50,"fraction_of_max":0.9}
+//	POST /v1/failed     {"objects":[1],"retries":2}  — downloads lost to faults
 //	GET  /v1/state                                  — current recency vector
+//	GET  /v1/status                                 — fault counters + retry policy
 //
 // Start with:
 //
-//	stationd -addr :8080
+//	stationd -addr :8080 -fetch-attempts 3 -fetch-backoff 0.5 -fetch-timeout 10
+//
+// The fetch flags describe the retry policy the fronting proxy should
+// apply to upstream fetches; the daemon reports the policy on /v1/status
+// so operators can confirm what a station is configured to do.
 package main
 
 import (
@@ -23,13 +29,30 @@ import (
 	"log"
 	"net/http"
 	"os"
+
+	"mobicache"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	attempts := flag.Int("fetch-attempts", 1, "fetch attempts per download (1 = no retry)")
+	backoff := flag.Float64("fetch-backoff", 0, "backoff before the second fetch attempt, doubling per retry")
+	maxBackoff := flag.Float64("fetch-max-backoff", 0, "cap on the exponential fetch backoff (0 = uncapped)")
+	timeout := flag.Float64("fetch-timeout", 0, "total fetch budget per download across attempts (0 = none)")
 	flag.Parse()
-	srv := newServer()
-	log.Printf("stationd: listening on %s", *addr)
+	retry := mobicache.RetryConfig{
+		MaxAttempts: *attempts,
+		BaseBackoff: *backoff,
+		MaxBackoff:  *maxBackoff,
+		Timeout:     *timeout,
+	}
+	srv, err := newServer(retry)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stationd:", err)
+		os.Exit(2)
+	}
+	log.Printf("stationd: listening on %s (fetch attempts %d, backoff %g, timeout %g)",
+		*addr, retry.MaxAttempts, retry.BaseBackoff, retry.Timeout)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fmt.Fprintln(os.Stderr, "stationd:", err)
 		os.Exit(1)

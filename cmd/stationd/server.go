@@ -24,20 +24,37 @@ type server struct {
 	pool      *sync.Pool // of *mobicache.Selector clones for s.selector
 	recencies []float64
 	decay     recency.Decay
+	retry     mobicache.RetryConfig
+	faults    faultStats
 	mux       *http.ServeMux
 }
 
-func newServer() *server {
-	s := &server{decay: recency.DefaultDecay}
+// faultStats accumulates what the fronting proxy reports via /v1/failed.
+type faultStats struct {
+	FailedDownloads uint64 `json:"failed_downloads"`
+	Retries         uint64 `json:"retries"`
+	StaleFallbacks  uint64 `json:"stale_fallbacks"`
+}
+
+func newServer(retry mobicache.RetryConfig) (*server, error) {
+	if retry.MaxAttempts < 1 {
+		return nil, fmt.Errorf("fetch attempts %d, need at least 1", retry.MaxAttempts)
+	}
+	if retry.BaseBackoff < 0 || retry.MaxBackoff < 0 || retry.Timeout < 0 {
+		return nil, fmt.Errorf("negative fetch backoff or timeout")
+	}
+	s := &server{decay: recency.DefaultDecay, retry: retry}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("POST /v1/updates", s.handleUpdates)
 	mux.HandleFunc("POST /v1/fetched", s.handleFetched)
+	mux.HandleFunc("POST /v1/failed", s.handleFailed)
 	mux.HandleFunc("POST /v1/select", s.handleSelect)
 	mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
 	mux.HandleFunc("GET /v1/state", s.handleState)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux = mux
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -145,6 +162,78 @@ func (s *server) handleFetched(w http.ResponseWriter, r *http.Request) {
 		s.recencies[id] = recency.Fresh
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"refreshed": len(req.Objects)})
+}
+
+type failedRequest struct {
+	Objects []mobicache.ObjectID `json:"objects"`
+	Retries uint64               `json:"retries"`
+}
+
+// handleFailed records downloads the fronting proxy lost to upstream
+// faults after exhausting its retry budget. An object that still has a
+// cached copy (recency > 0) was served stale and counts as a fallback;
+// the copy keeps its current recency — only a successful fetch refreshes
+// it. Recency of failed objects is left untouched.
+func (s *server) handleFailed(w http.ResponseWriter, r *http.Request) {
+	var req failedRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.selector == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("no catalog installed"))
+		return
+	}
+	if err := s.validObjects(req.Objects); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	fallbacks := 0
+	for _, id := range req.Objects {
+		s.faults.FailedDownloads++
+		if s.recencies[id] > 0 {
+			s.faults.StaleFallbacks++
+			fallbacks++
+		}
+	}
+	s.faults.Retries += req.Retries
+	writeJSON(w, http.StatusOK, map[string]int{
+		"failed":          len(req.Objects),
+		"stale_fallbacks": fallbacks,
+	})
+}
+
+type retryPolicy struct {
+	MaxAttempts int     `json:"max_attempts"`
+	BaseBackoff float64 `json:"base_backoff"`
+	MaxBackoff  float64 `json:"max_backoff"`
+	Timeout     float64 `json:"timeout"`
+}
+
+type statusResponse struct {
+	Objects int         `json:"objects"`
+	Retry   retryPolicy `json:"retry"`
+	Faults  faultStats  `json:"faults"`
+}
+
+// handleStatus reports the fault counters and the configured retry
+// policy. Unlike the other endpoints it works before a catalog is
+// installed, so it can double as a liveness probe.
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, statusResponse{
+		Objects: len(s.recencies),
+		Retry: retryPolicy{
+			MaxAttempts: s.retry.MaxAttempts,
+			BaseBackoff: s.retry.BaseBackoff,
+			MaxBackoff:  s.retry.MaxBackoff,
+			Timeout:     s.retry.Timeout,
+		},
+		Faults: s.faults,
+	})
 }
 
 type selectRequest struct {

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"mobicache"
 )
 
 func post(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
@@ -35,14 +37,30 @@ func mustStatus(t *testing.T, resp *http.Response, want int, body []byte) {
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer())
+	srv, err := newServer(mobicache.RetryConfig{MaxAttempts: 3, BaseBackoff: 0.5, MaxBackoff: 2, Timeout: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return ts
 }
 
+func TestNewServerRejectsBadRetryConfig(t *testing.T) {
+	for _, retry := range []mobicache.RetryConfig{
+		{MaxAttempts: 0},
+		{MaxAttempts: 2, BaseBackoff: -1},
+		{MaxAttempts: 2, Timeout: -0.1},
+	} {
+		if _, err := newServer(retry); err == nil {
+			t.Errorf("retry %+v accepted", retry)
+		}
+	}
+}
+
 func TestEndpointsRequireCatalog(t *testing.T) {
 	ts := newTestServer(t)
-	for _, path := range []string{"/v1/updates", "/v1/fetched", "/v1/select", "/v1/recommend"} {
+	for _, path := range []string{"/v1/updates", "/v1/fetched", "/v1/failed", "/v1/select", "/v1/recommend"} {
 		resp, body := post(t, ts, path, map[string]any{})
 		mustStatus(t, resp, http.StatusConflict, body)
 	}
@@ -200,6 +218,72 @@ func TestStateReflectsMutations(t *testing.T) {
 	}
 	if st.Recencies[0] != 0.5 || st.Recencies[1] != 0 {
 		t.Fatalf("recencies = %v, want [0.5 0]", st.Recencies)
+	}
+}
+
+func TestFailedAndStatus(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Status works before a catalog and reports the retry policy.
+	resp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Objects != 0 {
+		t.Fatalf("objects = %d before catalog", st.Objects)
+	}
+	want := retryPolicy{MaxAttempts: 3, BaseBackoff: 0.5, MaxBackoff: 2, Timeout: 10}
+	if st.Retry != want {
+		t.Fatalf("retry policy = %+v, want %+v", st.Retry, want)
+	}
+
+	post(t, ts, "/v1/catalog", map[string]any{"sizes": []int64{1, 1, 1}})
+	// Object 0 has a (stale-able) copy; objects 1-2 were never fetched.
+	post(t, ts, "/v1/fetched", map[string]any{"objects": []int{0}})
+	post(t, ts, "/v1/updates", map[string]any{"objects": []int{0}})
+
+	resp2, body := post(t, ts, "/v1/failed", map[string]any{"objects": []int{0, 1}, "retries": 3})
+	mustStatus(t, resp2, http.StatusOK, body)
+	var ack map[string]int
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack["failed"] != 2 || ack["stale_fallbacks"] != 1 {
+		t.Fatalf("ack = %v, want 2 failed / 1 stale fallback", ack)
+	}
+
+	// Out-of-range object rejected, counters untouched by the bad call.
+	resp2, body = post(t, ts, "/v1/failed", map[string]any{"objects": []int{9}})
+	mustStatus(t, resp2, http.StatusBadRequest, body)
+
+	resp, err = http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Faults != (faultStats{FailedDownloads: 2, Retries: 3, StaleFallbacks: 1}) {
+		t.Fatalf("fault counters = %+v", st.Faults)
+	}
+	// A failed download must not refresh recency: object 0 stays at 0.5.
+	var state stateResponse
+	resp, err = http.Get(ts.URL + "/v1/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	if state.Recencies[0] != 0.5 {
+		t.Fatalf("recency after failed download = %v, want 0.5", state.Recencies[0])
 	}
 }
 

@@ -71,6 +71,192 @@ func TestSimulationInvariantsProperty(t *testing.T) {
 	}
 }
 
+// faultCounters are the exact-match fault counters a scenario pins.
+type faultCounters struct {
+	FailedDownloads, Retries, StaleFallbacks uint64
+}
+
+// TestFaultScenariosDeterministic is the fault-injection harness: each
+// scenario runs the full simulation against a seeded fault schedule and
+// asserts EXACT counter values. The counts are pinned from the fixed
+// seeds below; any change to the rng draw order, the retry loop, or the
+// schedule semantics shows up as a diff here.
+func TestFaultScenariosDeterministic(t *testing.T) {
+	base := SimulationConfig{
+		Objects:         50,
+		UpdatePeriod:    1,
+		Policy:          "on-demand-stale",
+		RequestsPerTick: 20,
+		Access:          "zipf",
+		Warmup:          10,
+		Ticks:           40,
+		Seed:            12345,
+	}
+	scenarios := []struct {
+		name  string
+		fault FaultConfig
+		tweak func(*SimulationConfig)
+		want  faultCounters
+		check func(t *testing.T, rep SimulationReport)
+	}{
+		{
+			// A mid-run blackout of every upstream server: refreshes
+			// fail for 10 ticks and clients ride out the gap on stale
+			// copies.
+			name: "blackout",
+			fault: FaultConfig{
+				Outages: []FaultWindow{{Server: AllServers, From: 20, To: 30}},
+				Retry:   RetryConfig{MaxAttempts: 2, BaseBackoff: 0.5},
+			},
+			want: faultCounters{FailedDownloads: 127, Retries: 127, StaleFallbacks: 198},
+			check: func(t *testing.T, rep SimulationReport) {
+				if rep.StaleFallbacks == 0 || rep.StaleFallbacks >= rep.Requests {
+					t.Errorf("blackout should stale-serve some but not all requests; got %d/%d", rep.StaleFallbacks, rep.Requests)
+				}
+			},
+		},
+		{
+			// One upstream server out of four flapping: down 3 ticks out
+			// of every 6. Only the quarter of the catalog it owns is
+			// affected, and retries within a down tick cannot save a
+			// fetch (the whole tick is inside the window).
+			name: "flapping-server",
+			fault: FaultConfig{
+				Servers: 4,
+				Outages: []FaultWindow{{Server: 2, From: 12, To: 15, Every: 6}},
+				Retry:   RetryConfig{MaxAttempts: 3, BaseBackoff: 1, MaxBackoff: 4},
+			},
+			want: faultCounters{FailedDownloads: 61, Retries: 122, StaleFallbacks: 91},
+		},
+		{
+			// A latency spike during the run: with base fetch latency 1
+			// and an 8x spike, every attempt inside the window blows the
+			// 5-unit fetch timeout, so spiked downloads are abandoned
+			// after a single attempt (no retries burned).
+			name: "latency-spike-burst",
+			fault: FaultConfig{
+				BaseLatency: 1,
+				Spikes:      []FaultSpike{{FaultWindow: FaultWindow{Server: AllServers, From: 25, To: 35}, Factor: 8}},
+				Retry:       RetryConfig{MaxAttempts: 2, BaseBackoff: 1, Timeout: 5},
+			},
+			want: faultCounters{FailedDownloads: 133, Retries: 0, StaleFallbacks: 194},
+			check: func(t *testing.T, rep SimulationReport) {
+				if rep.Retries != 0 {
+					t.Errorf("spiked fetches must be abandoned by the timeout before any retry; got %d retries", rep.Retries)
+				}
+				if rep.MeanFetchLatency <= 1 {
+					t.Errorf("mean fetch latency %v should exceed the base latency 1", rep.MeanFetchLatency)
+				}
+			},
+		},
+		{
+			// Total outage for the entire measured phase: the cache is
+			// warmed while the network is healthy, then every refresh
+			// fails and every single request is a stale fallback.
+			name: "total-outage-stale-fallback",
+			fault: FaultConfig{
+				Outages: []FaultWindow{{Server: AllServers, From: 40, To: 1 << 20}},
+				Retry:   RetryConfig{MaxAttempts: 1},
+			},
+			// Uniform access and a long healthy warmup so every object
+			// is cached before the network dies; the outage starts at
+			// the first measured tick.
+			tweak: func(cfg *SimulationConfig) {
+				cfg.Access = "uniform"
+				cfg.Warmup = 40
+			},
+			want: faultCounters{FailedDownloads: 654, Retries: 0, StaleFallbacks: 800},
+			check: func(t *testing.T, rep SimulationReport) {
+				if rep.StaleFallbacks != rep.Requests {
+					t.Errorf("total outage: %d stale fallbacks, want all %d requests", rep.StaleFallbacks, rep.Requests)
+				}
+				if rep.Downloads != 0 {
+					t.Errorf("total outage: %d downloads succeeded", rep.Downloads)
+				}
+			},
+		},
+		{
+			// Seeded per-request failures: every fetch fails with
+			// probability 0.2 on an independent, replayable stream, and
+			// the retry loop absorbs most of them.
+			name: "random-failures",
+			fault: FaultConfig{
+				FailureProb: 0.2,
+				Retry:       RetryConfig{MaxAttempts: 3, BaseBackoff: 0.5},
+			},
+			want: faultCounters{FailedDownloads: 4, Retries: 102, StaleFallbacks: 8},
+		},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			cfg := base
+			fault := sc.fault
+			cfg.Fault = &fault
+			if sc.tweak != nil {
+				sc.tweak(&cfg)
+			}
+			rep, err := RunSimulation(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := faultCounters{rep.FailedDownloads, rep.Retries, rep.StaleFallbacks}
+			if got != sc.want {
+				t.Errorf("counters %+v, want %+v", got, sc.want)
+			}
+			if rep.Requests != uint64(base.RequestsPerTick*base.Ticks) {
+				t.Errorf("requests %d, want %d", rep.Requests, base.RequestsPerTick*base.Ticks)
+			}
+			if rep.MeanScore <= 0 || rep.MeanScore > 1 {
+				t.Errorf("mean score %v out of range", rep.MeanScore)
+			}
+			if sc.check != nil {
+				sc.check(t, rep)
+			}
+			// The whole point: an identical rerun reproduces the report
+			// bit for bit, floats included.
+			again, err := RunSimulation(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != rep {
+				t.Errorf("rerun diverged:\n first %+v\nsecond %+v", rep, again)
+			}
+		})
+	}
+}
+
+// TestZeroFaultScheduleMatchesIdealPath locks that installing the fault
+// layer with an empty schedule changes nothing: the report (scores,
+// recencies, downloads, every float) is identical to a run with no fault
+// layer at all. This is what keeps Figures 2-6 byte-identical while the
+// fault machinery is merged.
+func TestZeroFaultScheduleMatchesIdealPath(t *testing.T) {
+	base := SimulationConfig{
+		Objects:         80,
+		UpdatePeriod:    3,
+		Policy:          "on-demand-knapsack",
+		BudgetPerTick:   12,
+		RequestsPerTick: 30,
+		Access:          "zipf",
+		Warmup:          20,
+		Ticks:           100,
+		Seed:            7,
+	}
+	ideal, err := RunSimulation(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withLayer := base
+	withLayer.Fault = &FaultConfig{Retry: RetryConfig{MaxAttempts: 3, BaseBackoff: 0.5, Timeout: 50}}
+	faulted, err := RunSimulation(withLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal != faulted {
+		t.Fatalf("zero-fault schedule diverged from the ideal path:\nideal   %+v\nfaulted %+v", ideal, faulted)
+	}
+}
+
 // TestKnapsackDominatesBaselinesUnderSkew pins the paper's headline
 // comparative claim end-to-end: with a tight budget, skewed demand, and
 // frequent updates, the knapsack policy delivers a mean client score at

@@ -12,10 +12,48 @@ import (
 	"mobicache/internal/cache"
 	"mobicache/internal/catalog"
 	"mobicache/internal/client"
+	"mobicache/internal/metrics"
 	"mobicache/internal/policy"
 	"mobicache/internal/recency"
 	"mobicache/internal/server"
 )
+
+// Fetcher is a remote-fetch path that can fail or take time: the shape of
+// server.FaultyServer.Fetch. A failed fetch returns a non-nil error and
+// must not deliver data; the returned latency is the simulated time the
+// attempt cost whether or not it succeeded.
+type Fetcher interface {
+	Fetch(id catalog.ID, tick int) (version uint64, size int64, latency float64, err error)
+}
+
+// RetryConfig governs how the station retries failed remote fetches.
+// The zero value means one attempt, no backoff, no timeout — the paper's
+// ideal fetch path.
+type RetryConfig struct {
+	// MaxAttempts is the total number of fetch attempts per download
+	// (1 = no retry). 0 is treated as 1.
+	MaxAttempts int
+	// BaseBackoff is the simulated-time wait before the second attempt;
+	// each further attempt doubles it (capped by MaxBackoff).
+	BaseBackoff float64
+	// MaxBackoff caps the exponential backoff (0 = uncapped).
+	MaxBackoff float64
+	// Timeout is the per-download budget in simulated time, spanning all
+	// attempts and backoff waits; a fetch whose cumulative cost exceeds
+	// it is abandoned even if attempts remain (0 = no timeout).
+	Timeout float64
+}
+
+// validate checks the retry configuration.
+func (r RetryConfig) validate() error {
+	if r.MaxAttempts < 0 {
+		return fmt.Errorf("basestation: negative retry attempts %d", r.MaxAttempts)
+	}
+	if r.BaseBackoff < 0 || r.MaxBackoff < 0 || r.Timeout < 0 {
+		return fmt.Errorf("basestation: negative retry timing %+v", r)
+	}
+	return nil
+}
 
 // Config configures a Station.
 type Config struct {
@@ -36,6 +74,14 @@ type Config struct {
 	// compulsory downloads are tracked separately so experiments can
 	// exclude warmup effects.
 	CompulsoryMisses bool
+	// Fetcher, when non-nil, replaces direct Server downloads on the
+	// fetch path (fault injection, instrumentation). A download whose
+	// fetch ultimately fails is skipped: requests for the object fall
+	// back to the stale cached copy, scored by the recency curve rather
+	// than 1.0. Nil keeps the paper's ideal always-succeeds path.
+	Fetcher Fetcher
+	// Retry governs retries of failed fetches (used only with Fetcher).
+	Retry RetryConfig
 }
 
 // TickResult reports what happened in one tick.
@@ -45,9 +91,13 @@ type TickResult struct {
 	Requests        int     // client requests served
 	PolicyDownloads int     // downloads chosen by the policy
 	MissDownloads   int     // compulsory downloads for cache misses
+	FailedDownloads int     // downloads abandoned after retries/timeout
+	Retries         int     // extra fetch attempts beyond the first
+	StaleFallbacks  int     // requests served a stale copy because the refresh failed
 	DownloadUnits   int64   // data units fetched over the fixed network
 	ScoreSum        float64 // sum of per-request client scores
 	RecencySum      float64 // sum of per-request delivered recency values
+	FetchLatency    float64 // simulated time spent fetching (attempts + backoff)
 }
 
 // Totals accumulates TickResults.
@@ -57,9 +107,13 @@ type Totals struct {
 	Requests        uint64
 	PolicyDownloads uint64
 	MissDownloads   uint64
+	FailedDownloads uint64
+	Retries         uint64
+	StaleFallbacks  uint64
 	DownloadUnits   int64
 	ScoreSum        float64
 	RecencySum      float64
+	FetchLatency    float64
 }
 
 // Add folds one tick into the totals.
@@ -69,9 +123,13 @@ func (t *Totals) Add(r TickResult) {
 	t.Requests += uint64(r.Requests)
 	t.PolicyDownloads += uint64(r.PolicyDownloads)
 	t.MissDownloads += uint64(r.MissDownloads)
+	t.FailedDownloads += uint64(r.FailedDownloads)
+	t.Retries += uint64(r.Retries)
+	t.StaleFallbacks += uint64(r.StaleFallbacks)
 	t.DownloadUnits += r.DownloadUnits
 	t.ScoreSum += r.ScoreSum
 	t.RecencySum += r.RecencySum
+	t.FetchLatency += r.FetchLatency
 }
 
 // Downloads returns all downloads (policy plus compulsory).
@@ -101,9 +159,17 @@ type Station struct {
 	// downloadedNow flags the objects fetched in the current tick;
 	// downloadedIDs lists the flagged entries so the per-tick reset is
 	// O(downloads) instead of O(catalog). Both persist across ticks so
-	// steady-state ticks allocate nothing here.
+	// steady-state ticks allocate nothing here. failedNow/failedIDs do
+	// the same for downloads the fetch layer abandoned this tick, so
+	// requests for those objects fall back to the stale cached copy
+	// without re-hammering a down server within the tick.
 	downloadedNow []bool
 	downloadedIDs []catalog.ID
+	failedNow     []bool
+	failedIDs     []catalog.ID
+	// fetchLatency samples the per-download simulated fetch time
+	// (attempts plus backoff) whenever a Fetcher is installed.
+	fetchLatency metrics.Welford
 }
 
 // New creates a Station and wires the server's update stream into the
@@ -121,6 +187,12 @@ func New(cfg Config) (*Station, error) {
 	if cfg.BudgetPerTick < 0 {
 		return nil, fmt.Errorf("basestation: negative budget %d", cfg.BudgetPerTick)
 	}
+	if err := cfg.Retry.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Retry.MaxAttempts == 0 {
+		cfg.Retry.MaxAttempts = 1
+	}
 	if cfg.Score == nil {
 		cfg.Score = recency.Inverse
 	}
@@ -131,13 +203,23 @@ func New(cfg Config) (*Station, error) {
 	if c == nil {
 		c = cache.Unlimited()
 	}
-	st := &Station{cfg: cfg, cache: c, downloadedNow: make([]bool, cfg.Catalog.Len())}
+	st := &Station{
+		cfg:           cfg,
+		cache:         c,
+		downloadedNow: make([]bool, cfg.Catalog.Len()),
+		failedNow:     make([]bool, cfg.Catalog.Len()),
+	}
 	cfg.Server.OnUpdate(c.OnMasterUpdate)
 	return st, nil
 }
 
 // Cache returns the station's cache.
 func (s *Station) Cache() *cache.Cache { return s.cache }
+
+// FetchLatency returns the distribution of per-download simulated fetch
+// time (attempts plus backoff waits) observed so far. It only accumulates
+// when a Fetcher is installed; the ideal path is instantaneous.
+func (s *Station) FetchLatency() *metrics.Welford { return &s.fetchLatency }
 
 // RunTick advances one time unit: server updates, policy decision, the
 // decided downloads, and request service.
@@ -171,11 +253,18 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 		if !s.cfg.Catalog.Valid(id) {
 			return res, fmt.Errorf("basestation: policy %s chose invalid object %d", s.cfg.Policy.Name(), id)
 		}
-		if s.downloadedNow[id] {
+		if s.downloadedNow[id] || s.failedNow[id] {
 			return res, fmt.Errorf("basestation: policy %s chose object %d twice", s.cfg.Policy.Name(), id)
 		}
-		if err := s.download(id, now); err != nil {
+		ok, err := s.download(id, tick, now, &res)
+		if err != nil {
 			return res, err
+		}
+		if !ok {
+			// Graceful degradation: the download is skipped; requests
+			// for the object fall back to the (stale) cached copy.
+			s.markFailed(id)
+			continue
 		}
 		s.markDownloaded(id)
 		used += s.cfg.Catalog.Size(id)
@@ -190,20 +279,32 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 	// Serve the tick's requests.
 	for _, r := range reqs {
 		res.Requests++
-		if int(r.Object) >= 0 && int(r.Object) < len(s.downloadedNow) && s.downloadedNow[r.Object] {
+		inRange := int(r.Object) >= 0 && int(r.Object) < len(s.downloadedNow)
+		if inRange && s.downloadedNow[r.Object] {
 			res.ScoreSum += 1
 			res.RecencySum += 1
 			continue
 		}
 		if e, ok := s.cache.Get(r.Object, now); ok {
+			if inRange && s.failedNow[r.Object] {
+				res.StaleFallbacks++
+			}
 			res.ScoreSum += s.cfg.Score(e.Recency, r.Target)
 			res.RecencySum += e.Recency
 			continue
 		}
 		// Cache miss: the object cannot be served from the cache at all.
-		if s.cfg.CompulsoryMisses {
-			if err := s.download(r.Object, now); err != nil {
+		// A compulsory download is attempted once per tick; if the fetch
+		// layer already gave up on the object this tick, the request
+		// scores 0 rather than hammering a down server again.
+		if s.cfg.CompulsoryMisses && !(inRange && s.failedNow[r.Object]) {
+			ok, err := s.download(r.Object, tick, now, &res)
+			if err != nil {
 				return res, err
+			}
+			if !ok {
+				s.markFailed(r.Object)
+				continue
 			}
 			s.markDownloaded(r.Object)
 			res.MissDownloads++
@@ -235,9 +336,40 @@ func (s *Station) Run(start, n int, gen *client.Generator) (Totals, error) {
 	return totals, nil
 }
 
-func (s *Station) download(id catalog.ID, now float64) error {
-	version, size := s.cfg.Server.Download(id)
-	return s.cache.Put(id, size, version, now)
+// download fetches one object into the cache. With no Fetcher installed
+// it is the paper's ideal path: a direct server download that always
+// succeeds. With a Fetcher it retries per the RetryConfig (capped
+// exponential backoff, per-download timeout) and reports ok=false when
+// the download was abandoned, updating the tick's fault counters.
+func (s *Station) download(id catalog.ID, tick int, now float64, res *TickResult) (bool, error) {
+	if s.cfg.Fetcher == nil {
+		version, size := s.cfg.Server.Download(id)
+		return true, s.cache.Put(id, size, version, now)
+	}
+	elapsed := 0.0
+	backoff := s.cfg.Retry.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		version, size, latency, err := s.cfg.Fetcher.Fetch(id, tick)
+		elapsed += latency
+		timedOut := s.cfg.Retry.Timeout > 0 && elapsed > s.cfg.Retry.Timeout
+		if err == nil && !timedOut {
+			res.FetchLatency += elapsed
+			s.fetchLatency.Add(elapsed)
+			return true, s.cache.Put(id, size, version, now)
+		}
+		if timedOut || attempt >= s.cfg.Retry.MaxAttempts {
+			res.FailedDownloads++
+			res.FetchLatency += elapsed
+			s.fetchLatency.Add(elapsed)
+			return false, nil
+		}
+		res.Retries++
+		elapsed += backoff
+		backoff *= 2
+		if s.cfg.Retry.MaxBackoff > 0 && backoff > s.cfg.Retry.MaxBackoff {
+			backoff = s.cfg.Retry.MaxBackoff
+		}
+	}
 }
 
 // markDownloaded flags id as fetched during the current tick and records it
@@ -247,10 +379,21 @@ func (s *Station) markDownloaded(id catalog.ID) {
 	s.downloadedIDs = append(s.downloadedIDs, id)
 }
 
-// resetDownloadedNow clears this tick's download flags in O(downloads).
+// markFailed flags id as abandoned by the fetch layer this tick.
+func (s *Station) markFailed(id catalog.ID) {
+	s.failedNow[id] = true
+	s.failedIDs = append(s.failedIDs, id)
+}
+
+// resetDownloadedNow clears this tick's download and failure flags in
+// O(downloads + failures).
 func (s *Station) resetDownloadedNow() {
 	for _, id := range s.downloadedIDs {
 		s.downloadedNow[id] = false
 	}
 	s.downloadedIDs = s.downloadedIDs[:0]
+	for _, id := range s.failedIDs {
+		s.failedNow[id] = false
+	}
+	s.failedIDs = s.failedIDs[:0]
 }

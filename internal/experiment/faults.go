@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mobicache/internal/basestation"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/core"
+	"mobicache/internal/fault"
+	"mobicache/internal/metrics"
+	"mobicache/internal/parallel"
+	"mobicache/internal/policy"
+	"mobicache/internal/rng"
+	"mobicache/internal/server"
+)
+
+// FaultStudyConfig parameterizes the fault-tolerance extension study:
+// mean client score as the per-fetch failure probability of the fixed
+// network grows, on-demand knapsack selection vs blind asynchronous
+// refresh. The paper assumes an always-answering fixed network; this
+// study measures how gracefully each policy degrades when that
+// assumption breaks and failed refreshes fall back to stale copies.
+type FaultStudyConfig struct {
+	// Objects is the catalog size (unit-size objects).
+	Objects int
+	// UpdatePeriod is the simultaneous master-update period in ticks.
+	UpdatePeriod int
+	// BudgetPerTick caps downloaded units per tick.
+	BudgetPerTick int64
+	// RatePerTick is the client request rate (Zipf access).
+	RatePerTick int
+	// FailureProbs are the per-fetch failure probabilities to sweep.
+	FailureProbs []float64
+	// Retry is the station's retry policy against failed fetches.
+	Retry basestation.RetryConfig
+	// Warmup and Measure are the tick counts.
+	Warmup, Measure int
+	// Seed drives the request stream and the failure draws; every cell
+	// replays the same request stream, as in the paper's Figure 3
+	// methodology.
+	Seed uint64
+}
+
+// DefaultFaultStudy returns the configuration used in EXPERIMENTS.md.
+func DefaultFaultStudy() FaultStudyConfig {
+	return FaultStudyConfig{
+		Objects:       500,
+		UpdatePeriod:  2,
+		BudgetPerTick: 20,
+		RatePerTick:   100,
+		FailureProbs:  []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		Retry:         basestation.RetryConfig{MaxAttempts: 3, BaseBackoff: 0.5, MaxBackoff: 4},
+		Warmup:        50,
+		Measure:       100,
+		Seed:          4200,
+	}
+}
+
+// FaultStudy sweeps the failure probability for both policies and
+// returns the mean-client-score curves. The cache is pre-filled with
+// fresh copies at time zero (the Figure 3 setup), so every request can
+// be answered and the curves isolate how refresh failures erode
+// delivered recency rather than availability.
+func FaultStudy(cfg FaultStudyConfig) (*metrics.Figure, error) {
+	if cfg.Objects <= 0 || cfg.RatePerTick < 0 || cfg.Measure <= 0 || cfg.UpdatePeriod <= 0 {
+		return nil, fmt.Errorf("experiment: invalid fault study config %+v", cfg)
+	}
+	for _, p := range cfg.FailureProbs {
+		if p < 0 || p >= 1 {
+			return nil, fmt.Errorf("experiment: failure probability %v out of [0,1)", p)
+		}
+	}
+	type cell struct {
+		prob  float64
+		async bool
+	}
+	var cells []cell
+	for _, p := range cfg.FailureProbs {
+		cells = append(cells, cell{prob: p, async: false}, cell{prob: p, async: true})
+	}
+	scores, err := parallel.Map(len(cells), 0, func(i int) (float64, error) {
+		return faultRun(cfg, cells[i].prob, cells[i].async)
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig := metrics.NewFigure("Fault study (extension): graceful degradation under fetch failures",
+		"per-fetch failure probability", "mean client score")
+	onDemand := fig.AddSeries("on-demand (knapsack)")
+	async := fig.AddSeries("asynchronous (round-robin)")
+	for j, p := range cfg.FailureProbs {
+		onDemand.Add(p, scores[2*j])
+		async.Add(p, scores[2*j+1])
+	}
+	return fig, nil
+}
+
+// faultRun simulates one (failure probability, policy) cell and returns
+// the mean client score of the measurement phase.
+func faultRun(cfg FaultStudyConfig, prob float64, async bool) (float64, error) {
+	cat, err := catalog.Uniform(cfg.Objects, 1)
+	if err != nil {
+		return 0, err
+	}
+	srv := server.New(cat, catalog.NewPeriodicAll(cat, cfg.UpdatePeriod))
+	sched, err := fault.NewSchedule(1, cfg.Seed)
+	if err != nil {
+		return 0, err
+	}
+	if prob > 0 {
+		if err := sched.SetFailureProb(fault.AllServers, prob); err != nil {
+			return 0, err
+		}
+	}
+	fs, err := server.NewFaultyServer(srv, sched, nil)
+	if err != nil {
+		return 0, err
+	}
+	var pol policy.Policy = &policy.AsyncRoundRobin{}
+	if !async {
+		sel, err := core.NewSelector(cat, core.Config{})
+		if err != nil {
+			return 0, err
+		}
+		if pol, err = policy.NewOnDemandKnapsack(sel); err != nil {
+			return 0, err
+		}
+	}
+	st, err := basestation.New(basestation.Config{
+		Catalog:       cat,
+		Server:        srv,
+		Policy:        pol,
+		BudgetPerTick: cfg.BudgetPerTick,
+		Fetcher:       fs,
+		Retry:         cfg.Retry,
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Pre-fill the cache with fresh copies (version 0).
+	for _, id := range cat.IDs() {
+		if err := st.Cache().Put(id, 1, 0, 0); err != nil {
+			return 0, err
+		}
+	}
+	gen, err := client.NewGenerator(client.GeneratorConfig{
+		Catalog:     cat,
+		Pattern:     rng.Zipf,
+		RatePerTick: cfg.RatePerTick,
+		Seed:        cfg.Seed, // identical stream across probabilities and policies
+	})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := st.Run(0, cfg.Warmup, gen); err != nil {
+		return 0, err
+	}
+	totals, err := st.Run(cfg.Warmup, cfg.Measure, gen)
+	if err != nil {
+		return 0, err
+	}
+	return totals.MeanScore(), nil
+}

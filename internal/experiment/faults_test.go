@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"testing"
+
+	"mobicache/internal/basestation"
+)
+
+func quickFaultStudy() FaultStudyConfig {
+	cfg := DefaultFaultStudy()
+	cfg.Objects, cfg.RatePerTick = 100, 30
+	cfg.Warmup, cfg.Measure = 20, 50
+	cfg.FailureProbs = []float64{0, 0.5, 0.9}
+	return cfg
+}
+
+func TestFaultStudyShape(t *testing.T) {
+	cfg := quickFaultStudy()
+	fig, err := FaultStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDemand := fig.Lookup("on-demand (knapsack)")
+	async := fig.Lookup("asynchronous (round-robin)")
+	if onDemand == nil || async == nil {
+		t.Fatal("missing series")
+	}
+	if onDemand.Len() != len(cfg.FailureProbs) || async.Len() != len(cfg.FailureProbs) {
+		t.Fatalf("series lengths %d/%d, want %d", onDemand.Len(), async.Len(), len(cfg.FailureProbs))
+	}
+	for _, s := range []*struct {
+		name string
+		y    []float64
+	}{{"on-demand", onDemand.Y}, {"async", async.Y}} {
+		for i, y := range s.y {
+			if y <= 0 || y > 1 {
+				t.Errorf("%s score %v at prob %v out of (0,1]", s.name, y, cfg.FailureProbs[i])
+			}
+		}
+		// Failures can only hurt: the fault-free score bounds the curve.
+		for i := 1; i < len(s.y); i++ {
+			if s.y[i] > s.y[0]+1e-9 {
+				t.Errorf("%s score %v at prob %v beats the fault-free score %v", s.name, s.y[i], cfg.FailureProbs[i], s.y[0])
+			}
+		}
+	}
+	// The paper's headline ordering must survive the fault layer: at
+	// every failure level the knapsack policy stays above blind async
+	// refresh (it spends the same budget on the objects clients want).
+	for i := range cfg.FailureProbs {
+		if onDemand.Y[i] <= async.Y[i] {
+			t.Errorf("prob %v: on-demand %v not above async %v", cfg.FailureProbs[i], onDemand.Y[i], async.Y[i])
+		}
+	}
+	// Heavy failure must visibly degrade the on-demand curve (retries
+	// cannot absorb p=0.9).
+	if onDemand.Y[len(onDemand.Y)-1] >= onDemand.Y[0] {
+		t.Errorf("p=0.9 score %v did not degrade from fault-free %v", onDemand.Y[len(onDemand.Y)-1], onDemand.Y[0])
+	}
+}
+
+func TestFaultStudyDeterministic(t *testing.T) {
+	cfg := quickFaultStudy()
+	cfg.FailureProbs = []float64{0.5}
+	a, err := FaultStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.Lookup("on-demand (knapsack)"), b.Lookup("on-demand (knapsack)")
+	if sa.Y[0] != sb.Y[0] {
+		t.Fatalf("reruns diverged: %v vs %v", sa.Y[0], sb.Y[0])
+	}
+}
+
+func TestFaultStudyValidation(t *testing.T) {
+	for _, cfg := range []FaultStudyConfig{
+		{Objects: 0, RatePerTick: 1, Measure: 10, UpdatePeriod: 1},
+		{Objects: 10, RatePerTick: 1, Measure: 0, UpdatePeriod: 1},
+		{Objects: 10, RatePerTick: 1, Measure: 10, UpdatePeriod: 0},
+		{Objects: 10, RatePerTick: 1, Measure: 10, UpdatePeriod: 1, FailureProbs: []float64{1.5},
+			Retry: basestation.RetryConfig{MaxAttempts: 1}},
+	} {
+		if _, err := FaultStudy(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}

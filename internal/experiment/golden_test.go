@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobicache/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden figure files under results/golden")
+
+// goldenDir is the checked-in location of the figure goldens, relative to
+// this package.
+const goldenDir = "../../results/golden"
+
+// renderFigures renders figures exactly as `cmd/figures -format csv` does
+// for the data panels: a title comment line followed by the CSV body.
+func renderFigures(figs ...*metrics.Figure) string {
+	var b strings.Builder
+	for _, fig := range figs {
+		fmt.Fprintf(&b, "# %s\n%s", fig.Title, fig.CSV())
+	}
+	return b.String()
+}
+
+// TestFiguresGolden regenerates Figures 2-6 at full paper scale and
+// compares the CSV output byte-for-byte against the goldens under
+// results/golden. Run with -update to rewrite the goldens after an
+// intentional change. This turns "byte-identical figures" from a manual
+// claim into a regression test: any change to the simulation, the
+// solvers, or the random-number machinery that perturbs a figure fails
+// here.
+func TestFiguresGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		render func() (string, error)
+	}{
+		{"figure2.csv", func() (string, error) {
+			fig, err := Figure2(DefaultFigure2())
+			if err != nil {
+				return "", err
+			}
+			return renderFigures(fig), nil
+		}},
+		{"figure3.csv", func() (string, error) {
+			figs, err := Figure3(DefaultFigure3())
+			if err != nil {
+				return "", err
+			}
+			return renderFigures(figs...), nil
+		}},
+		{"figure4.csv", func() (string, error) {
+			fig, err := Figure4(DefaultSolutionSpace())
+			if err != nil {
+				return "", err
+			}
+			return renderFigures(fig), nil
+		}},
+		{"figure5.csv", func() (string, error) {
+			figs, err := Figure5(DefaultSolutionSpace())
+			if err != nil {
+				return "", err
+			}
+			return renderFigures(figs...), nil
+		}},
+		{"figure6.csv", func() (string, error) {
+			figs, err := Figure6(DefaultSolutionSpace())
+			if err != nil {
+				return "", err
+			}
+			return renderFigures(figs...), nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got, err := tc.render()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(goldenDir, tc.name)
+			if *updateGolden {
+				if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with go test ./internal/experiment -run TestFiguresGolden -update): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("%s drifted from golden (%d bytes vs %d); first diff at byte %d\nregenerate intentionally with -update",
+					tc.name, len(got), len(want), firstDiff(got, string(want)))
+			}
+		})
+	}
+}
+
+// firstDiff returns the index of the first differing byte.
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -1,0 +1,256 @@
+// Package fault provides deterministic, seeded fault schedules for the
+// fixed-network fetch path. The paper assumes the remote servers always
+// answer — every chosen download completes at full bandwidth — but a
+// production base station must decide what to do when a server is down,
+// flapping, or slow. A Schedule describes, per logical upstream server:
+//
+//   - outage windows, during which every fetch is refused;
+//   - latency spikes, windows that multiply fetch latency;
+//   - a per-request failure probability, drawn from a seeded rng stream;
+//   - slow-start throttling, a latency penalty that decays linearly to 1
+//     over a fixed number of ticks after each outage ends (a server
+//     rebuilding its caches and connection pools answers slowly at first).
+//
+// Everything is a pure function of (server, tick) except the per-request
+// failure draws, which consume a per-server stream seeded at construction
+// — so two identical simulations observe identical faults, and the
+// fault-scenario harness can assert exact counter values.
+package fault
+
+import (
+	"fmt"
+
+	"mobicache/internal/rng"
+)
+
+// AllServers targets every server in schedule-mutating calls.
+const AllServers = -1
+
+// Window is a half-open tick interval [From, To). If Every > 0 the window
+// repeats with that period: it then covers [From+k·Every, From+k·Every+
+// (To-From)) for every k ≥ 0, which models a flapping server.
+type Window struct {
+	From, To int
+	Every    int
+}
+
+// Contains reports whether tick falls inside the window (or one of its
+// repetitions).
+func (w Window) Contains(tick int) bool {
+	if tick < w.From {
+		return false
+	}
+	if w.Every <= 0 {
+		return tick < w.To
+	}
+	return (tick-w.From)%w.Every < w.To-w.From
+}
+
+// lastEnd returns the end tick of the most recent (possibly repeating)
+// occurrence that finished at or before tick, and whether one exists.
+func (w Window) lastEnd(tick int) (int, bool) {
+	length := w.To - w.From
+	if w.Every <= 0 {
+		if tick >= w.To {
+			return w.To, true
+		}
+		return 0, false
+	}
+	if tick < w.From+length {
+		return 0, false
+	}
+	k := (tick - w.From - length) / w.Every
+	return w.From + k*w.Every + length, true
+}
+
+// Validate checks the window bounds.
+func (w Window) Validate() error {
+	if w.From < 0 || w.To <= w.From {
+		return fmt.Errorf("fault: window [%d,%d) invalid", w.From, w.To)
+	}
+	if w.Every < 0 {
+		return fmt.Errorf("fault: negative repeat period %d", w.Every)
+	}
+	if w.Every > 0 && w.To-w.From > w.Every {
+		return fmt.Errorf("fault: window length %d exceeds repeat period %d", w.To-w.From, w.Every)
+	}
+	return nil
+}
+
+// spike is one latency-spike window with its multiplier.
+type spike struct {
+	win    Window
+	factor float64
+}
+
+// slowStart is the post-outage throttle: latency is multiplied by a
+// factor decaying linearly from Factor to 1 over Ticks ticks.
+type slowStart struct {
+	ticks  int
+	factor float64
+}
+
+// serverFaults is the compiled fault description of one logical server.
+type serverFaults struct {
+	outages     []Window
+	spikes      []spike
+	failureProb float64
+	slow        slowStart
+	src         *rng.Source
+}
+
+// Schedule holds the fault description for a set of logical upstream
+// servers, identified by dense indexes 0..Servers()-1. The zero value is
+// not usable; construct with NewSchedule. A Schedule is not safe for
+// concurrent use (the failure draws mutate per-server rng state), which
+// matches the single-owner discipline of the tick simulation.
+type Schedule struct {
+	servers []serverFaults
+	seed    uint64
+}
+
+// NewSchedule creates an empty (fault-free) schedule for n logical
+// servers. seed drives the per-request failure streams; identical seeds
+// replay identical fault sequences.
+func NewSchedule(n int, seed uint64) (*Schedule, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fault: schedule needs at least one server, got %d", n)
+	}
+	s := &Schedule{servers: make([]serverFaults, n), seed: seed}
+	s.Reset()
+	return s, nil
+}
+
+// MustSchedule is NewSchedule for arguments known to be valid.
+func MustSchedule(n int, seed uint64) *Schedule {
+	s, err := NewSchedule(n, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Servers returns the number of logical servers covered.
+func (s *Schedule) Servers() int { return len(s.servers) }
+
+// Reset rewinds the per-request failure streams to their seeded start, so
+// a replayed simulation observes the same fault sequence.
+func (s *Schedule) Reset() {
+	base := rng.New(s.seed)
+	for i := range s.servers {
+		s.servers[i].src = base.Split()
+	}
+}
+
+// each applies fn to one server's faults, or to every server's when
+// server is AllServers.
+func (s *Schedule) each(server int, fn func(*serverFaults)) error {
+	if server == AllServers {
+		for i := range s.servers {
+			fn(&s.servers[i])
+		}
+		return nil
+	}
+	if server < 0 || server >= len(s.servers) {
+		return fmt.Errorf("fault: server %d out of range (schedule has %d)", server, len(s.servers))
+	}
+	fn(&s.servers[server])
+	return nil
+}
+
+// AddOutage marks the window as a total outage of the given server
+// (AllServers for a network-wide blackout): every fetch inside it fails.
+func (s *Schedule) AddOutage(server int, w Window) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	return s.each(server, func(f *serverFaults) { f.outages = append(f.outages, w) })
+}
+
+// AddSpike multiplies the server's fetch latency by factor inside the
+// window. Overlapping spikes compound.
+func (s *Schedule) AddSpike(server int, w Window, factor float64) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	if factor < 1 {
+		return fmt.Errorf("fault: spike factor %v below 1", factor)
+	}
+	return s.each(server, func(f *serverFaults) { f.spikes = append(f.spikes, spike{win: w, factor: factor}) })
+}
+
+// SetFailureProb makes every fetch from the server fail independently
+// with probability p (drawn from the server's seeded stream).
+func (s *Schedule) SetFailureProb(server int, p float64) error {
+	if p < 0 || p >= 1 {
+		return fmt.Errorf("fault: failure probability %v out of [0,1)", p)
+	}
+	return s.each(server, func(f *serverFaults) { f.failureProb = p })
+}
+
+// SetSlowStart throttles the server for ticks ticks after each outage
+// ends: fetch latency is multiplied by a factor decaying linearly from
+// factor down to 1.
+func (s *Schedule) SetSlowStart(server int, ticks int, factor float64) error {
+	if ticks < 0 {
+		return fmt.Errorf("fault: negative slow-start window %d", ticks)
+	}
+	if factor < 1 {
+		return fmt.Errorf("fault: slow-start factor %v below 1", factor)
+	}
+	return s.each(server, func(f *serverFaults) { f.slow = slowStart{ticks: ticks, factor: factor} })
+}
+
+// Down reports whether the server is inside an outage window at tick.
+func (s *Schedule) Down(server, tick int) bool {
+	for _, w := range s.servers[server].outages {
+		if w.Contains(tick) {
+			return true
+		}
+	}
+	return false
+}
+
+// LatencyFactor returns the multiplier on the server's fetch latency at
+// tick: the product of all active spikes and the slow-start penalty.
+// A fault-free tick returns exactly 1.
+func (s *Schedule) LatencyFactor(server, tick int) float64 {
+	f := &s.servers[server]
+	factor := 1.0
+	for _, sp := range f.spikes {
+		if sp.win.Contains(tick) {
+			factor *= sp.factor
+		}
+	}
+	if f.slow.ticks > 0 {
+		if end, ok := s.lastOutageEnd(server, tick); ok {
+			if elapsed := tick - end; elapsed < f.slow.ticks {
+				frac := float64(elapsed) / float64(f.slow.ticks)
+				factor *= f.slow.factor - (f.slow.factor-1)*frac
+			}
+		}
+	}
+	return factor
+}
+
+// lastOutageEnd returns the end tick of the most recent outage occurrence
+// that finished at or before tick.
+func (s *Schedule) lastOutageEnd(server, tick int) (int, bool) {
+	best, found := 0, false
+	for _, w := range s.servers[server].outages {
+		if end, ok := w.lastEnd(tick); ok && (!found || end > best) {
+			best, found = end, true
+		}
+	}
+	return best, found
+}
+
+// DrawFailure reports whether the next fetch from the server fails its
+// per-request coin flip, consuming one draw from the server's stream.
+func (s *Schedule) DrawFailure(server int) bool {
+	f := &s.servers[server]
+	if f.failureProb <= 0 {
+		return false
+	}
+	return f.src.Bernoulli(f.failureProb)
+}

@@ -1,0 +1,204 @@
+package fault
+
+import "testing"
+
+func TestWindowContains(t *testing.T) {
+	cases := []struct {
+		w    Window
+		tick int
+		want bool
+	}{
+		{Window{From: 5, To: 10}, 4, false},
+		{Window{From: 5, To: 10}, 5, true},
+		{Window{From: 5, To: 10}, 9, true},
+		{Window{From: 5, To: 10}, 10, false},
+		// Flapping: down 2 ticks out of every 6, starting at 10.
+		{Window{From: 10, To: 12, Every: 6}, 9, false},
+		{Window{From: 10, To: 12, Every: 6}, 10, true},
+		{Window{From: 10, To: 12, Every: 6}, 11, true},
+		{Window{From: 10, To: 12, Every: 6}, 12, false},
+		{Window{From: 10, To: 12, Every: 6}, 16, true},
+		{Window{From: 10, To: 12, Every: 6}, 17, true},
+		{Window{From: 10, To: 12, Every: 6}, 18, false},
+		{Window{From: 10, To: 12, Every: 6}, 100, true},
+		{Window{From: 10, To: 12, Every: 6}, 101, true},
+		{Window{From: 10, To: 12, Every: 6}, 102, false},
+	}
+	for _, tc := range cases {
+		if got := tc.w.Contains(tc.tick); got != tc.want {
+			t.Errorf("%+v.Contains(%d) = %v, want %v", tc.w, tc.tick, got, tc.want)
+		}
+	}
+}
+
+func TestWindowValidate(t *testing.T) {
+	for _, w := range []Window{
+		{From: -1, To: 3},
+		{From: 3, To: 3},
+		{From: 5, To: 4},
+		{From: 0, To: 2, Every: -1},
+		{From: 0, To: 5, Every: 3}, // longer than its period
+	} {
+		if err := w.Validate(); err == nil {
+			t.Errorf("%+v.Validate() = nil, want error", w)
+		}
+	}
+	if err := (Window{From: 0, To: 3, Every: 3}).Validate(); err != nil {
+		t.Errorf("full-period window rejected: %v", err)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule(0, 1); err == nil {
+		t.Error("NewSchedule(0) succeeded")
+	}
+	s := MustSchedule(3, 1)
+	if s.Servers() != 3 {
+		t.Fatalf("Servers() = %d, want 3", s.Servers())
+	}
+	if err := s.AddOutage(3, Window{From: 0, To: 1}); err == nil {
+		t.Error("out-of-range server accepted")
+	}
+	if err := s.AddSpike(0, Window{From: 0, To: 1}, 0.5); err == nil {
+		t.Error("spike factor < 1 accepted")
+	}
+	if err := s.SetFailureProb(0, 1); err == nil {
+		t.Error("failure probability 1 accepted")
+	}
+	if err := s.SetSlowStart(0, -1, 2); err == nil {
+		t.Error("negative slow-start accepted")
+	}
+	if err := s.SetSlowStart(0, 5, 0.9); err == nil {
+		t.Error("slow-start factor < 1 accepted")
+	}
+}
+
+func TestDownPerServerAndAll(t *testing.T) {
+	s := MustSchedule(3, 1)
+	if err := s.AddOutage(1, Window{From: 10, To: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Down(0, 15) || s.Down(2, 15) {
+		t.Error("outage leaked to other servers")
+	}
+	if !s.Down(1, 15) || s.Down(1, 20) {
+		t.Error("server 1 outage window wrong")
+	}
+	if err := s.AddOutage(AllServers, Window{From: 30, To: 31}); err != nil {
+		t.Fatal(err)
+	}
+	for srv := 0; srv < 3; srv++ {
+		if !s.Down(srv, 30) {
+			t.Errorf("blackout missed server %d", srv)
+		}
+	}
+}
+
+func TestLatencyFactorSpikesCompound(t *testing.T) {
+	s := MustSchedule(1, 1)
+	if err := s.AddSpike(0, Window{From: 5, To: 10}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddSpike(0, Window{From: 8, To: 12}, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		tick int
+		want float64
+	}{{4, 1}, {5, 3}, {8, 6}, {10, 2}, {12, 1}} {
+		if got := s.LatencyFactor(0, tc.tick); got != tc.want {
+			t.Errorf("LatencyFactor(0, %d) = %v, want %v", tc.tick, got, tc.want)
+		}
+	}
+}
+
+func TestSlowStartDecaysLinearly(t *testing.T) {
+	s := MustSchedule(1, 1)
+	if err := s.AddOutage(0, Window{From: 10, To: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetSlowStart(0, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Before any outage ended: no penalty.
+	if got := s.LatencyFactor(0, 5); got != 1 {
+		t.Errorf("pre-outage factor = %v, want 1", got)
+	}
+	// tick 20 is the first tick after the outage: full penalty, then a
+	// linear walk down to 1 at tick 24.
+	for i, want := range []float64{5, 4, 3, 2, 1} {
+		if got := s.LatencyFactor(0, 20+i); got != want {
+			t.Errorf("LatencyFactor(0, %d) = %v, want %v", 20+i, got, want)
+		}
+	}
+}
+
+func TestSlowStartAfterFlappingWindow(t *testing.T) {
+	s := MustSchedule(1, 1)
+	// Down 1 tick out of every 10 starting at 10; 2-tick slow start.
+	if err := s.AddOutage(0, Window{From: 10, To: 11, Every: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetSlowStart(0, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		tick int
+		want float64
+	}{{11, 3}, {12, 2}, {13, 1}, {21, 3}, {22, 2}, {23, 1}} {
+		if got := s.LatencyFactor(0, tc.tick); got != tc.want {
+			t.Errorf("LatencyFactor(0, %d) = %v, want %v", tc.tick, got, tc.want)
+		}
+	}
+}
+
+func TestDrawFailureDeterministicAndResettable(t *testing.T) {
+	build := func() *Schedule {
+		s := MustSchedule(2, 42)
+		if err := s.SetFailureProb(0, 0.3); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := build(), build()
+	var seqA, seqB []bool
+	for i := 0; i < 100; i++ {
+		seqA = append(seqA, a.DrawFailure(0))
+		seqB = append(seqB, b.DrawFailure(0))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("draw %d differs across identically seeded schedules", i)
+		}
+	}
+	// Reset rewinds the stream.
+	a.Reset()
+	for i := 0; i < 100; i++ {
+		if a.DrawFailure(0) != seqA[i] {
+			t.Fatalf("draw %d differs after Reset", i)
+		}
+	}
+	// Zero probability consumes no draws and never fails.
+	for i := 0; i < 10; i++ {
+		if a.DrawFailure(1) {
+			t.Fatal("zero-probability server failed a draw")
+		}
+	}
+}
+
+func TestDrawFailureFrequencyMatchesProbability(t *testing.T) {
+	s := MustSchedule(1, 7)
+	if err := s.SetFailureProb(0, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	fails := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.DrawFailure(0) {
+			fails++
+		}
+	}
+	if rate := float64(fails) / n; rate < 0.23 || rate > 0.27 {
+		t.Fatalf("failure rate %v far from 0.25", rate)
+	}
+}

@@ -1,0 +1,75 @@
+package knapsack
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzSolveDP feeds arbitrary byte-encoded instances to the exact solver
+// and asserts structural invariants: no panic, any accepted solution
+// respects the capacity, its reported profit/weight match its Take set,
+// and the greedy heuristic never beats it. Item weights/profits are
+// decoded from 9-byte records (uint8 weight, float64 profit) so the
+// fuzzer can mutate instances field by field.
+func FuzzSolveDP(f *testing.F) {
+	seed := func(capacity int64, pairs ...any) []byte {
+		buf := binary.AppendVarint(nil, capacity)
+		for i := 0; i < len(pairs); i += 2 {
+			buf = append(buf, byte(pairs[i].(int)))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pairs[i+1].(float64)))
+		}
+		return buf
+	}
+	f.Add(seed(10, 3, 2.5, 1, 0.75, 7, 4.0))
+	f.Add(seed(0, 1, 1.0))
+	f.Add(seed(-5, 2, 3.0))
+	f.Add(seed(1<<40, 1, 0.0, 1, 1.0, 1, 2.0)) // unit fast path
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		capacity, n := binary.Varint(data)
+		if n <= 0 {
+			return
+		}
+		data = data[n:]
+		var items []Item
+		for len(data) >= 9 && len(items) < 24 {
+			w := int64(data[0])
+			p := math.Float64frombits(binary.LittleEndian.Uint64(data[1:9]))
+			items = append(items, Item{Weight: w, Profit: p})
+			data = data[9:]
+		}
+		sol, err := SolveDP(items, capacity)
+		if err != nil {
+			return // invalid instance rejected cleanly, nothing to check
+		}
+		if capacity >= 0 && sol.Weight > capacity {
+			t.Fatalf("solution weight %d exceeds capacity %d", sol.Weight, capacity)
+		}
+		var weight int64
+		profit := 0.0
+		prev := -1
+		for _, i := range sol.Take {
+			if i <= prev || i >= len(items) {
+				t.Fatalf("take %v not strictly ascending within range", sol.Take)
+			}
+			prev = i
+			weight += items[i].Weight
+			profit += items[i].Profit
+		}
+		if weight != sol.Weight {
+			t.Fatalf("reported weight %d != recomputed %d", sol.Weight, weight)
+		}
+		if math.Abs(profit-sol.Profit) > 1e-6*(1+math.Abs(profit)) {
+			t.Fatalf("reported profit %v != recomputed %v", sol.Profit, profit)
+		}
+		greedy, err := SolveGreedy(items, capacity)
+		if err != nil {
+			t.Fatalf("greedy rejected an instance the DP accepted: %v", err)
+		}
+		if greedy.Profit > sol.Profit+1e-6*(1+sol.Profit) {
+			t.Fatalf("greedy %v beat the exact DP %v", greedy.Profit, sol.Profit)
+		}
+	})
+}

@@ -67,6 +67,24 @@ func (d *LossyDownlink) Send(size float64, done func()) error {
 	return d.inner.Send(airUnits, done)
 }
 
+// DownlinkStats is a snapshot of the lossy channel's ARQ counters.
+type DownlinkStats struct {
+	Frames          uint64  // logical frames carried
+	Retransmissions uint64  // extra transmissions caused by loss
+	Sent            uint64  // completed transmissions
+	Goodput         float64 // frames / (frames + retransmissions)
+}
+
+// Stats returns a consistent snapshot of the channel counters.
+func (d *LossyDownlink) Stats() DownlinkStats {
+	return DownlinkStats{
+		Frames:          d.frames,
+		Retransmissions: d.retries,
+		Sent:            d.Sent(),
+		Goodput:         d.Goodput(),
+	}
+}
+
 // Frames returns the number of (logical) frames sent so far.
 func (d *LossyDownlink) Frames() uint64 { return d.frames }
 

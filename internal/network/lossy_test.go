@@ -66,6 +66,33 @@ func TestPartialFrameRoundsUp(t *testing.T) {
 	}
 }
 
+func TestLossyDownlinkStatsSnapshot(t *testing.T) {
+	e := sim.NewEngine()
+	d, _ := NewLossyDownlink(e, 1, 1, 0.4, rng.New(9))
+	if st := d.Stats(); st != (DownlinkStats{Goodput: 1}) {
+		t.Fatalf("idle stats = %+v", st)
+	}
+	for i := 0; i < 5; i++ {
+		if err := d.Send(10, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run(0)
+	st := d.Stats()
+	if st.Frames != 50 || st.Sent != 5 {
+		t.Fatalf("stats = %+v, want 50 frames over 5 sends", st)
+	}
+	if st.Retransmissions == 0 {
+		t.Fatal("40% loss produced no retransmissions")
+	}
+	if st.Retransmissions != d.Retransmissions() || st.Goodput != d.Goodput() {
+		t.Fatalf("snapshot %+v disagrees with accessors (%d, %v)", st, d.Retransmissions(), d.Goodput())
+	}
+	if want := float64(st.Frames) / float64(st.Frames+st.Retransmissions); st.Goodput != want {
+		t.Fatalf("goodput %v, want %v", st.Goodput, want)
+	}
+}
+
 func TestLossInflatesAirTimeGeometrically(t *testing.T) {
 	e := sim.NewEngine()
 	const p = 0.5

@@ -1,0 +1,58 @@
+package recency
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRecencyCurve feeds arbitrary (x, target) pairs from the valid
+// domain (x in [0,1], target in (0,1]) to the decay and scoring curves
+// and asserts the paper's range invariants: every score lands in [0, 1],
+// a copy meeting its target scores exactly 1, decay never increases a
+// score, and Benefit is the exact complement of the score.
+func FuzzRecencyCurve(f *testing.F) {
+	f.Add(1.0, 1.0)
+	f.Add(0.5, 1.0)
+	f.Add(0.25, 0.3)
+	f.Add(0.0, 0.01)
+	f.Add(1.0, 0.125)
+
+	f.Fuzz(func(t *testing.T, x, target float64) {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(target) || math.IsInf(target, 0) {
+			return
+		}
+		// Fold arbitrary floats into the model's domain.
+		x = math.Abs(math.Mod(x, 1))
+		target = math.Abs(math.Mod(target, 1))
+		if target == 0 {
+			target = 1
+		}
+
+		for name, fn := range map[string]ScoreFunc{
+			"inverse": Inverse, "exponential": Exponential, "identity": Identity,
+		} {
+			s := fn(x, target)
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				t.Fatalf("%s(%v, %v) = %v out of [0,1]", name, x, target, s)
+			}
+			if name != "identity" && x >= target && s != 1 {
+				t.Fatalf("%s(%v, %v) = %v, want 1 when the target is met", name, x, target, s)
+			}
+			b := Benefit(s)
+			if b < 0 || b > 1 || (s <= 1 && math.Abs(b-(1-s)) > 1e-15) {
+				t.Fatalf("Benefit(%v) = %v", s, b)
+			}
+		}
+
+		next := DefaultDecay.Next(x)
+		if next < 0 || next > x || math.IsNaN(next) {
+			t.Fatalf("Next(%v) = %v: decay must stay in [0, x]", x, next)
+		}
+		if x > 0 {
+			// C = 1 closed form: one update on 1/(n+1) gives 1/(n+2).
+			if want := x / (x + 1); math.Abs(next-want) > 1e-12 {
+				t.Fatalf("Next(%v) = %v, want %v", x, next, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/fault"
+)
+
+func faultyFixture(t *testing.T, servers int) (*Server, *fault.Schedule, *FaultyServer) {
+	t.Helper()
+	cat, err := catalog.Uniform(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := New(cat, catalog.NewPeriodicAll(cat, 1))
+	sched := fault.MustSchedule(servers, 1)
+	fs, err := NewFaultyServer(inner, sched, ConstantLatency(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inner, sched, fs
+}
+
+func TestNewFaultyServerValidation(t *testing.T) {
+	cat, err := catalog.Uniform(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := New(cat, nil)
+	if _, err := NewFaultyServer(nil, fault.MustSchedule(1, 1), nil); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewFaultyServer(inner, nil, nil); err == nil {
+		t.Error("nil schedule accepted")
+	}
+}
+
+func TestFaultyServerCleanFetch(t *testing.T) {
+	inner, _, fs := faultyFixture(t, 1)
+	inner.Tick(0) // all objects now at version 1
+	version, size, latency, err := fs.Fetch(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 || size != 2 {
+		t.Errorf("Fetch = (v%d, %d units), want (v1, 2)", version, size)
+	}
+	if latency != 0.5 {
+		t.Errorf("latency = %v, want 0.5", latency)
+	}
+	if inner.TotalDownloads() != 1 {
+		t.Errorf("inner downloads = %d, want 1", inner.TotalDownloads())
+	}
+	st := fs.Stats()
+	if st.Attempts != 1 || st.Fetches != 1 || st.OutageFailures != 0 || st.RandomFailures != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFaultyServerOutage(t *testing.T) {
+	inner, sched, fs := faultyFixture(t, 2)
+	// Server 1 (odd object ids) is down over [10, 20).
+	if err := sched.AddOutage(1, fault.Window{From: 10, To: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := fs.Fetch(3, 15); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("odd object during outage: err = %v, want ErrServerDown", err)
+	}
+	if _, _, _, err := fs.Fetch(4, 15); err != nil {
+		t.Fatalf("even object during odd-server outage: %v", err)
+	}
+	if _, _, _, err := fs.Fetch(3, 20); err != nil {
+		t.Fatalf("odd object after outage: %v", err)
+	}
+	if inner.TotalDownloads() != 2 {
+		t.Errorf("inner recorded %d downloads, want 2 (failed fetch must not count)", inner.TotalDownloads())
+	}
+	st := fs.Stats()
+	if st.Attempts != 3 || st.Fetches != 2 || st.OutageFailures != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFaultyServerRandomFailuresDeterministic(t *testing.T) {
+	run := func() []bool {
+		_, sched, fs := faultyFixture(t, 1)
+		if err := sched.SetFailureProb(0, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		var outcomes []bool
+		for i := 0; i < 200; i++ {
+			_, _, _, err := fs.Fetch(catalog.ID(i%10), i)
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fetch %d outcome differs across identically seeded runs", i)
+		}
+		if !a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("%d/%d failures: probability 0.5 not exercising both outcomes", fails, len(a))
+	}
+}
+
+func TestFaultyServerLatencyFactors(t *testing.T) {
+	_, sched, fs := faultyFixture(t, 1)
+	if err := sched.AddSpike(0, fault.Window{From: 10, To: 12}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, lat, _ := fs.Fetch(0, 5); lat != 0.5 {
+		t.Errorf("off-spike latency = %v, want 0.5", lat)
+	}
+	if _, _, lat, _ := fs.Fetch(0, 11); lat != 2 {
+		t.Errorf("spike latency = %v, want 2", lat)
+	}
+}

@@ -8,11 +8,107 @@ import (
 	"mobicache/internal/catalog"
 	"mobicache/internal/client"
 	"mobicache/internal/core"
+	"mobicache/internal/fault"
 	"mobicache/internal/policy"
 	"mobicache/internal/recency"
 	"mobicache/internal/rng"
 	"mobicache/internal/server"
 )
+
+// RetryConfig governs retries of failed remote fetches (see
+// basestation.RetryConfig). The zero value means one attempt, no backoff,
+// no timeout.
+type RetryConfig = basestation.RetryConfig
+
+// AllServers targets every upstream server in a FaultWindow or
+// FaultSpike.
+const AllServers = fault.AllServers
+
+// FaultWindow is a half-open tick interval [From, To) of faulty behavior
+// on one upstream server (or AllServers). If Every > 0 the window repeats
+// with that period, which models a flapping server.
+type FaultWindow struct {
+	Server   int
+	From, To int
+	Every    int
+}
+
+// FaultSpike multiplies fetch latency by Factor inside its window.
+type FaultSpike struct {
+	FaultWindow
+	Factor float64
+}
+
+// FaultConfig enables deterministic fault injection on the fixed-network
+// fetch path. The catalog is partitioned over Servers logical upstream
+// servers (object id mod Servers, as in server.Farm); outages, latency
+// spikes, per-request failures, and post-outage slow-start throttling are
+// all seeded and replayable. A failed download degrades gracefully: the
+// affected requests are served the stale cached copy, scored by the
+// recency curve instead of 1.0.
+type FaultConfig struct {
+	// Servers is the number of logical upstream servers (default 1).
+	Servers int
+	// Seed drives the per-request failure streams; 0 derives one from
+	// the simulation seed.
+	Seed uint64
+	// FailureProb makes every fetch fail independently with this
+	// probability, on every server.
+	FailureProb float64
+	// Outages are total-outage windows; fetches inside them are refused.
+	Outages []FaultWindow
+	// Spikes are latency-spike windows.
+	Spikes []FaultSpike
+	// SlowStartTicks and SlowStartFactor throttle a server after each
+	// outage ends: latency is multiplied by a factor decaying linearly
+	// from SlowStartFactor to 1 over SlowStartTicks ticks.
+	SlowStartTicks  int
+	SlowStartFactor float64
+	// BaseLatency and PerUnitLatency give the fault-free fetch latency:
+	// BaseLatency + PerUnitLatency x object size, in simulated time.
+	BaseLatency    float64
+	PerUnitLatency float64
+	// Retry governs the station's retry/backoff/timeout behavior.
+	Retry RetryConfig
+}
+
+// schedule compiles the configuration into a seeded fault.Schedule.
+func (f *FaultConfig) schedule(simSeed uint64) (*fault.Schedule, error) {
+	servers := f.Servers
+	if servers == 0 {
+		servers = 1
+	}
+	seed := f.Seed
+	if seed == 0 {
+		// An independent stream: faults must not perturb the workload rng.
+		seed = simSeed ^ 0x5fa17bea7e12c0de
+	}
+	sched, err := fault.NewSchedule(servers, seed)
+	if err != nil {
+		return nil, err
+	}
+	if f.FailureProb != 0 {
+		if err := sched.SetFailureProb(fault.AllServers, f.FailureProb); err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range f.Outages {
+		if err := sched.AddOutage(w.Server, fault.Window{From: w.From, To: w.To, Every: w.Every}); err != nil {
+			return nil, err
+		}
+	}
+	for _, sp := range f.Spikes {
+		if err := sched.AddSpike(sp.Server, fault.Window{From: sp.From, To: sp.To, Every: sp.Every}, sp.Factor); err != nil {
+			return nil, err
+		}
+	}
+	if f.SlowStartTicks != 0 || f.SlowStartFactor != 0 {
+		if err := sched.SetSlowStart(fault.AllServers, f.SlowStartTicks, f.SlowStartFactor); err != nil {
+			return nil, err
+		}
+	}
+	return sched, nil
+}
 
 // SimulationConfig configures a tick-based simulation of the paper's
 // architecture: remote servers updating objects on a schedule, a base
@@ -54,6 +150,10 @@ type SimulationConfig struct {
 	Warmup, Ticks int
 	// Seed drives all randomness.
 	Seed uint64
+	// Fault, when non-nil, injects deterministic faults into the
+	// fixed-network fetch path (outages, latency spikes, per-request
+	// failures). Nil keeps the paper's ideal always-answering servers.
+	Fault *FaultConfig
 }
 
 // SimulationReport summarizes the measured phase of a simulation.
@@ -66,6 +166,12 @@ type SimulationReport struct {
 	MeanRecency   float64 // mean recency of delivered data
 	CacheHitRate  float64 // cache hits / lookups over the whole run
 	ServerUpdates uint64  // object updates applied during the whole run
+
+	// Fault-path counters (all zero without a FaultConfig).
+	FailedDownloads  uint64  // downloads abandoned after retries/timeout
+	Retries          uint64  // extra fetch attempts beyond the first
+	StaleFallbacks   uint64  // requests served a stale copy because the refresh failed
+	MeanFetchLatency float64 // mean simulated fetch time per download (attempts + backoff)
 }
 
 // RunSimulation builds and runs the configured system, returning the
@@ -130,14 +236,31 @@ func buildStation(cfg SimulationConfig) (*basestation.Station, *server.Server, e
 	if err != nil {
 		return nil, nil, err
 	}
-	st, err := basestation.New(basestation.Config{
+	bcfg := basestation.Config{
 		Catalog:          cat,
 		Server:           srv,
 		Policy:           pol,
 		Cache:            c,
 		BudgetPerTick:    cfg.BudgetPerTick,
 		CompulsoryMisses: cfg.CacheCapacity == 0,
-	})
+	}
+	if cfg.Fault != nil {
+		sched, err := cfg.Fault.schedule(cfg.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		var latency server.LatencyModel
+		if cfg.Fault.BaseLatency != 0 || cfg.Fault.PerUnitLatency != 0 {
+			latency = server.SizeProportionalLatency{Setup: cfg.Fault.BaseLatency, PerUnit: cfg.Fault.PerUnitLatency}
+		}
+		fetcher, err := server.NewFaultyServer(srv, sched, latency)
+		if err != nil {
+			return nil, nil, err
+		}
+		bcfg.Fetcher = fetcher
+		bcfg.Retry = cfg.Fault.Retry
+	}
+	st, err := basestation.New(bcfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -177,13 +300,19 @@ func buildGenerator(cfg SimulationConfig) (*client.Generator, *catalog.Catalog, 
 // report converts station totals into the public report type.
 func report(st *basestation.Station, srv *server.Server, totals basestation.Totals) SimulationReport {
 	rep := SimulationReport{
-		Ticks:         totals.Ticks,
-		Requests:      totals.Requests,
-		Downloads:     totals.Downloads(),
-		DownloadUnits: totals.DownloadUnits,
-		MeanScore:     totals.MeanScore(),
-		MeanRecency:   totals.MeanRecency(),
-		ServerUpdates: srv.TotalUpdates(),
+		Ticks:           totals.Ticks,
+		Requests:        totals.Requests,
+		Downloads:       totals.Downloads(),
+		DownloadUnits:   totals.DownloadUnits,
+		MeanScore:       totals.MeanScore(),
+		MeanRecency:     totals.MeanRecency(),
+		ServerUpdates:   srv.TotalUpdates(),
+		FailedDownloads: totals.FailedDownloads,
+		Retries:         totals.Retries,
+		StaleFallbacks:  totals.StaleFallbacks,
+	}
+	if lat := st.FetchLatency(); lat.N() > 0 {
+		rep.MeanFetchLatency = lat.Mean()
 	}
 	stats := st.Cache().Stats()
 	if lookups := stats.Hits + stats.Misses; lookups > 0 {
