@@ -14,14 +14,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"mobicache/internal/experiment"
 	"mobicache/internal/metrics"
+	"mobicache/internal/obs"
 )
 
 var (
@@ -33,10 +36,20 @@ var (
 	plotHeight = flag.Int("plot-height", 20, "ASCII plot height")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+	metricsOut = flag.String("metrics-out", "", "write a JSON snapshot of the run's station metrics to this file")
 )
+
+// reg is non-nil when -metrics-out is set: station counters/histograms
+// aggregate across every figure run, and each dispatched figure records
+// its wall time as a gauge.
+var reg *obs.Registry
 
 func main() {
 	flag.Parse()
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		experiment.SetMetrics(obs.NewStationMetrics(reg, 0))
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -51,6 +64,9 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	err := run(*figFlag)
+	if err == nil && *metricsOut != "" {
+		err = writeMetricsSnapshot(*metricsOut)
+	}
 	if *memProfile != "" {
 		f, merr := os.Create(*memProfile)
 		if merr == nil {
@@ -71,59 +87,62 @@ func main() {
 	}
 }
 
+// timed runs one figure, recording its wall time in the metrics registry
+// when -metrics-out is active.
+func timed(name string, f func() error) error {
+	if reg == nil {
+		return f()
+	}
+	start := time.Now()
+	err := f()
+	reg.Gauge(fmt.Sprintf("figures_run_seconds{fig=%q}", name),
+		"wall-clock time of the last run of each figure").Set(time.Since(start).Seconds())
+	return err
+}
+
+// writeMetricsSnapshot dumps the registry as indented JSON, the artifact
+// scripts/bench.sh archives next to the benchmark numbers.
+func writeMetricsSnapshot(path string) error {
+	data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func run(which string) error {
-	switch which {
-	case "2":
-		return figure2()
-	case "3":
-		return figure3()
-	case "4":
-		return figure4()
-	case "5":
-		return figure5()
-	case "6":
-		return figure6()
-	case "table1":
+	type figure struct {
+		name string
+		f    func() error
+	}
+	figures := []figure{
+		{"2", figure2}, {"3", figure3}, {"4", figure4}, {"5", figure5}, {"6", figure6},
+		{"replacement", replacement}, {"ablation", ablation}, {"fullsystem", fullsystem},
+		{"broadcast", broadcastStudy}, {"sleeper", sleeperStudy}, {"adaptive", adaptiveStudy},
+		{"multicell", multicellStudy}, {"estimation", estimationStudy}, {"quasi", quasiStudy},
+		{"heterogeneity", heterogeneityStudy}, {"faults", faultStudy},
+	}
+	if which == "table1" {
 		fmt.Print(experiment.Table1())
 		return nil
-	case "replacement":
-		return replacement()
-	case "ablation":
-		return ablation()
-	case "fullsystem":
-		return fullsystem()
-	case "broadcast":
-		return broadcastStudy()
-	case "sleeper":
-		return sleeperStudy()
-	case "adaptive":
-		return adaptiveStudy()
-	case "multicell":
-		return multicellStudy()
-	case "estimation":
-		return estimationStudy()
-	case "quasi":
-		return quasiStudy()
-	case "heterogeneity":
-		return heterogeneityStudy()
-	case "faults":
-		return faultStudy()
-	case "all":
+	}
+	if which == "all" {
 		fmt.Print(experiment.Table1())
 		fmt.Println()
-		for _, f := range []func() error{figure2, figure3, figure4, figure5, figure6,
-			replacement, ablation, fullsystem, broadcastStudy, sleeperStudy,
-			adaptiveStudy, multicellStudy, estimationStudy, quasiStudy, heterogeneityStudy,
-			faultStudy} {
-			if err := f(); err != nil {
+		for _, fig := range figures {
+			if err := timed(fig.name, fig.f); err != nil {
 				return err
 			}
 			fmt.Println()
 		}
 		return nil
-	default:
-		return fmt.Errorf("unknown figure %q", which)
 	}
+	for _, fig := range figures {
+		if fig.name == which {
+			return timed(fig.name, fig.f)
+		}
+	}
+	return fmt.Errorf("unknown figure %q", which)
 }
 
 func emit(fig *metrics.Figure) {

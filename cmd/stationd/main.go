@@ -13,10 +13,14 @@
 //	POST /v1/failed     {"objects":[1],"retries":2}  — downloads lost to faults
 //	GET  /v1/state                                  — current recency vector
 //	GET  /v1/status                                 — fault counters + retry policy
+//	GET  /v1/trace?n=K                              — last K selection decisions
+//	GET  /metrics                                   — Prometheus text exposition
 //
 // Start with:
 //
 //	stationd -addr :8080 -fetch-attempts 3 -fetch-backoff 0.5 -fetch-timeout 10
+//
+// Pass -pprof to additionally expose net/http/pprof under /debug/pprof/.
 //
 // The fetch flags describe the retry policy the fronting proxy should
 // apply to upstream fetches; the daemon reports the policy on /v1/status
@@ -39,6 +43,7 @@ func main() {
 	backoff := flag.Float64("fetch-backoff", 0, "backoff before the second fetch attempt, doubling per retry")
 	maxBackoff := flag.Float64("fetch-max-backoff", 0, "cap on the exponential fetch backoff (0 = uncapped)")
 	timeout := flag.Float64("fetch-timeout", 0, "total fetch budget per download across attempts (0 = none)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	retry := mobicache.RetryConfig{
 		MaxAttempts: *attempts,
@@ -50,6 +55,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stationd:", err)
 		os.Exit(2)
+	}
+	if *pprofOn {
+		srv.enablePprof()
+		log.Printf("stationd: pprof enabled on /debug/pprof/")
 	}
 	log.Printf("stationd: listening on %s (fetch attempts %d, backoff %g, timeout %g)",
 		*addr, retry.MaxAttempts, retry.BaseBackoff, retry.Timeout)

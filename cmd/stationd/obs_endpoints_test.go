@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := post(t, ts, "/v1/catalog", map[string]any{"sizes": []int64{3, 1, 4}})
+	mustStatus(t, resp, http.StatusOK, body)
+
+	// Two selections (one budget-starved so some candidates stay stale)
+	// and one reported fault populate the series.
+	reqs := []map[string]any{
+		{"object": 0, "target": 1.0},
+		{"object": 1, "target": 1.0},
+		{"object": 2, "target": 1.0},
+	}
+	resp, body = post(t, ts, "/v1/select", map[string]any{"requests": reqs, "budget": 4})
+	mustStatus(t, resp, http.StatusOK, body)
+	resp, body = post(t, ts, "/v1/select", map[string]any{"requests": reqs, "budget": -1})
+	mustStatus(t, resp, http.StatusOK, body)
+	resp, body = post(t, ts, "/v1/failed", map[string]any{"objects": []int{0}, "retries": 2})
+	mustStatus(t, resp, http.StatusOK, body)
+
+	resp, raw := get(t, ts, "/metrics")
+	mustStatus(t, resp, http.StatusOK, raw)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		"# TYPE stationd_requests_total counter",
+		`stationd_requests_total{endpoint="select"} 2`,
+		`stationd_requests_total{endpoint="catalog"} 1`,
+		"# TYPE stationd_select_seconds histogram",
+		"stationd_select_seconds_count 2",
+		`stationd_select_seconds_bucket{le="+Inf"} 2`,
+		"# TYPE stationd_select_score histogram",
+		"stationd_select_score_count 2",
+		"stationd_failed_downloads_total 1",
+		"stationd_fetch_retries_total 2",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := post(t, ts, "/v1/catalog", map[string]any{"sizes": []int64{3, 1, 4}})
+	mustStatus(t, resp, http.StatusOK, body)
+
+	// Empty ring before any selection.
+	resp, raw := get(t, ts, "/v1/trace")
+	mustStatus(t, resp, http.StatusOK, raw)
+	var tr traceResponse
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total != 0 || len(tr.Decisions) != 0 {
+		t.Fatalf("fresh trace not empty: %+v", tr)
+	}
+
+	// A budget of 4 fits only object 1 (weight 1) or 0 (weight 3): the
+	// selection records downloads for the taken and stale for the rest.
+	resp, body = post(t, ts, "/v1/select", map[string]any{
+		"requests": []map[string]any{
+			{"object": 0, "target": 1.0},
+			{"object": 1, "target": 1.0},
+			{"object": 2, "target": 1.0},
+		},
+		"budget": 4,
+	})
+	mustStatus(t, resp, http.StatusOK, body)
+
+	resp, raw = get(t, ts, "/v1/trace")
+	mustStatus(t, resp, http.StatusOK, raw)
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total != 3 || len(tr.Decisions) != 3 {
+		t.Fatalf("trace after selection: %+v", tr)
+	}
+	downloads, stale := 0, 0
+	for _, d := range tr.Decisions {
+		if d.Tick != 1 {
+			t.Fatalf("decision not stamped with selection 1: %+v", d)
+		}
+		switch d.Action.String() {
+		case "download":
+			downloads++
+		case "stale":
+			stale++
+		default:
+			t.Fatalf("unexpected action %q", d.Action)
+		}
+	}
+	if downloads == 0 || stale == 0 {
+		t.Fatalf("want a mix of download/stale decisions, got %d/%d", downloads, stale)
+	}
+
+	// ?n=1 returns only the newest decision; bad n is a client error.
+	resp, raw = get(t, ts, "/v1/trace?n=1")
+	mustStatus(t, resp, http.StatusOK, raw)
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Decisions) != 1 || tr.Total != 3 {
+		t.Fatalf("n=1 trace: %+v", tr)
+	}
+	resp, raw = get(t, ts, "/v1/trace?n=bogus")
+	mustStatus(t, resp, http.StatusBadRequest, raw)
+}

@@ -4,9 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mobicache"
+	"mobicache/internal/obs"
 	"mobicache/internal/recency"
 )
 
@@ -27,6 +32,25 @@ type server struct {
 	retry     mobicache.RetryConfig
 	faults    faultStats
 	mux       *http.ServeMux
+
+	// Observability: a metrics registry scraped by GET /metrics, the
+	// daemon's own series, and the decision-trace ring served by
+	// GET /v1/trace. The ring is installed on every selector before its
+	// clone pool is built, so pooled workers share it.
+	reg       *obs.Registry
+	met       daemonMetrics
+	trace     *obs.TraceRing
+	selectSeq atomic.Uint64 // stamps trace records with a selection number
+}
+
+// daemonMetrics holds the daemon-level series (per-endpoint request
+// counters live behind counted()).
+type daemonMetrics struct {
+	selectSeconds   *obs.Histogram // wall time per /v1/select solve
+	selectScore     *obs.Histogram // mean client score per selection
+	failedDownloads *obs.Counter   // mirrors faultStats.FailedDownloads
+	retries         *obs.Counter   // mirrors faultStats.Retries
+	staleFallbacks  *obs.Counter   // mirrors faultStats.StaleFallbacks
 }
 
 // faultStats accumulates what the fronting proxy reports via /v1/failed.
@@ -44,17 +68,50 @@ func newServer(retry mobicache.RetryConfig) (*server, error) {
 		return nil, fmt.Errorf("negative fetch backoff or timeout")
 	}
 	s := &server{decay: recency.DefaultDecay, retry: retry}
+	s.reg = obs.NewRegistry()
+	s.trace = obs.NewTraceRing(0)
+	s.met = daemonMetrics{
+		selectSeconds:   s.reg.Histogram("stationd_select_seconds", "wall-clock solve time per selection", obs.SolveTimeBounds),
+		selectScore:     s.reg.Histogram("stationd_select_score", "mean client score per selection", obs.ClientScoreBounds),
+		failedDownloads: s.reg.Counter("stationd_failed_downloads_total", "downloads the fronting proxy lost to upstream faults"),
+		retries:         s.reg.Counter("stationd_fetch_retries_total", "extra fetch attempts reported by the fronting proxy"),
+		staleFallbacks:  s.reg.Counter("stationd_stale_fallbacks_total", "failed objects served from a stale cached copy"),
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/catalog", s.handleCatalog)
-	mux.HandleFunc("POST /v1/updates", s.handleUpdates)
-	mux.HandleFunc("POST /v1/fetched", s.handleFetched)
-	mux.HandleFunc("POST /v1/failed", s.handleFailed)
-	mux.HandleFunc("POST /v1/select", s.handleSelect)
-	mux.HandleFunc("POST /v1/recommend", s.handleRecommend)
-	mux.HandleFunc("GET /v1/state", s.handleState)
-	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("POST /v1/catalog", s.counted("catalog", s.handleCatalog))
+	mux.HandleFunc("POST /v1/updates", s.counted("updates", s.handleUpdates))
+	mux.HandleFunc("POST /v1/fetched", s.counted("fetched", s.handleFetched))
+	mux.HandleFunc("POST /v1/failed", s.counted("failed", s.handleFailed))
+	mux.HandleFunc("POST /v1/select", s.counted("select", s.handleSelect))
+	mux.HandleFunc("POST /v1/recommend", s.counted("recommend", s.handleRecommend))
+	mux.HandleFunc("GET /v1/state", s.counted("state", s.handleState))
+	mux.HandleFunc("GET /v1/status", s.counted("status", s.handleStatus))
+	mux.HandleFunc("GET /v1/trace", s.counted("trace", s.handleTrace))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s, nil
+}
+
+// counted wraps a handler with a per-endpoint request counter, rendered
+// as one labeled series per endpoint in the shared family
+// stationd_requests_total.
+func (s *server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	c := s.reg.Counter(fmt.Sprintf("stationd_requests_total{endpoint=%q}", endpoint),
+		"HTTP requests served, by endpoint")
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		h(w, r)
+	}
+}
+
+// enablePprof mounts net/http/pprof under /debug/pprof/ (explicitly, so
+// profiling stays off unless the -pprof flag asked for it).
+func (s *server) enablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // ServeHTTP implements http.Handler.
@@ -97,6 +154,9 @@ func (s *server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// Install the trace ring before the clone pool exists so every pooled
+	// worker records into the shared ring.
+	sel.SetTrace(s.trace)
 	s.mu.Lock()
 	s.selector = sel
 	s.pool = &sync.Pool{New: func() any { return sel.Clone() }}
@@ -193,12 +253,15 @@ func (s *server) handleFailed(w http.ResponseWriter, r *http.Request) {
 	fallbacks := 0
 	for _, id := range req.Objects {
 		s.faults.FailedDownloads++
+		s.met.failedDownloads.Inc()
 		if s.recencies[id] > 0 {
 			s.faults.StaleFallbacks++
+			s.met.staleFallbacks.Inc()
 			fallbacks++
 		}
 	}
 	s.faults.Retries += req.Retries
+	s.met.retries.Add(req.Retries)
 	writeJSON(w, http.StatusOK, map[string]int{
 		"failed":          len(req.Objects),
 		"stale_fallbacks": fallbacks,
@@ -265,12 +328,18 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		budget = mobicache.Unlimited
 	}
 	worker := s.pool.Get().(*mobicache.Selector)
+	// Trace records carry a selection sequence number in the tick slot —
+	// the daemon has no simulated clock.
+	worker.SetTraceTick(int(s.selectSeq.Add(1)))
+	start := time.Now()
 	plan, err := worker.Select(req.Requests, s.recencies, budget)
+	s.met.selectSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
 		s.pool.Put(worker)
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	s.met.selectScore.Observe(plan.AverageScore())
 	resp := selectResponse{
 		Download:      plan.Download,
 		FromCache:     plan.FromCache,
@@ -351,4 +420,35 @@ func (s *server) handleState(w http.ResponseWriter, r *http.Request) {
 		Objects:   len(s.recencies),
 		Recencies: append([]float64(nil), s.recencies...),
 	})
+}
+
+// handleMetrics renders every registered series in the Prometheus text
+// exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+type traceResponse struct {
+	Total     uint64               `json:"total"`
+	Decisions []mobicache.Decision `json:"decisions"`
+}
+
+// handleTrace returns the most recent selection decisions, oldest first.
+// ?n=K bounds the count (default: everything the ring holds).
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := s.trace.Cap()
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", v))
+			return
+		}
+		n = parsed
+	}
+	decisions := s.trace.Last(n)
+	if decisions == nil {
+		decisions = []mobicache.Decision{}
+	}
+	writeJSON(w, http.StatusOK, traceResponse{Total: s.trace.Total(), Decisions: decisions})
 }

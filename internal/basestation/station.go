@@ -8,11 +8,13 @@ package basestation
 
 import (
 	"fmt"
+	"time"
 
 	"mobicache/internal/cache"
 	"mobicache/internal/catalog"
 	"mobicache/internal/client"
 	"mobicache/internal/metrics"
+	"mobicache/internal/obs"
 	"mobicache/internal/policy"
 	"mobicache/internal/recency"
 	"mobicache/internal/server"
@@ -82,6 +84,11 @@ type Config struct {
 	Fetcher Fetcher
 	// Retry governs retries of failed fetches (used only with Fetcher).
 	Retry RetryConfig
+	// Metrics, when non-nil, receives per-tick observability updates
+	// (counters, histograms, failed-download trace records). The bundle
+	// is pre-registered and lock-cheap, so steady-state ticks stay
+	// allocation-free; nil costs one branch per site.
+	Metrics *obs.StationMetrics
 }
 
 // TickResult reports what happened in one tick.
@@ -234,6 +241,7 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 	res := TickResult{Tick: tick}
 	now := float64(tick)
 	res.Updated = len(updated)
+	m := s.cfg.Metrics
 
 	view := policy.TickView{
 		Tick:     tick,
@@ -243,7 +251,14 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 		Catalog:  s.cfg.Catalog,
 		Budget:   s.cfg.BudgetPerTick,
 	}
+	var solveStart time.Time
+	if m != nil {
+		solveStart = time.Now()
+	}
 	ids, err := s.cfg.Policy.Decide(&view)
+	if m != nil {
+		m.SolveTime.Observe(time.Since(solveStart).Seconds())
+	}
 	if err != nil {
 		return res, fmt.Errorf("basestation: policy %s: %w", s.cfg.Policy.Name(), err)
 	}
@@ -264,6 +279,20 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 			// Graceful degradation: the download is skipped; requests
 			// for the object fall back to the (stale) cached copy.
 			s.markFailed(id)
+			if m != nil && m.Trace != nil {
+				remaining := obs.UnlimitedBudget
+				if s.cfg.BudgetPerTick != policy.Unlimited {
+					remaining = s.cfg.BudgetPerTick - used
+				}
+				m.Trace.Record(obs.Decision{
+					Tick:            tick,
+					Object:          int(id),
+					Action:          obs.ActionFailed,
+					Weight:          s.cfg.Catalog.Size(id),
+					Recency:         s.cache.Recency(id),
+					BudgetRemaining: remaining,
+				})
+			}
 			continue
 		}
 		s.markDownloaded(id)
@@ -275,6 +304,13 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 			s.cfg.Policy.Name(), used, s.cfg.BudgetPerTick)
 	}
 	res.DownloadUnits += used
+	if m != nil {
+		if s.cfg.BudgetPerTick == policy.Unlimited {
+			m.BudgetRemaining.Set(float64(obs.UnlimitedBudget))
+		} else {
+			m.BudgetRemaining.Set(float64(s.cfg.BudgetPerTick - used))
+		}
+	}
 
 	// Serve the tick's requests.
 	for _, r := range reqs {
@@ -283,14 +319,21 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 		if inRange && s.downloadedNow[r.Object] {
 			res.ScoreSum += 1
 			res.RecencySum += 1
+			if m != nil {
+				m.ClientScore.Observe(1)
+			}
 			continue
 		}
 		if e, ok := s.cache.Get(r.Object, now); ok {
 			if inRange && s.failedNow[r.Object] {
 				res.StaleFallbacks++
 			}
-			res.ScoreSum += s.cfg.Score(e.Recency, r.Target)
+			score := s.cfg.Score(e.Recency, r.Target)
+			res.ScoreSum += score
 			res.RecencySum += e.Recency
+			if m != nil {
+				m.ClientScore.Observe(score)
+			}
 			continue
 		}
 		// Cache miss: the object cannot be served from the cache at all.
@@ -302,20 +345,46 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 			if err != nil {
 				return res, err
 			}
-			if !ok {
-				s.markFailed(r.Object)
+			if ok {
+				s.markDownloaded(r.Object)
+				res.MissDownloads++
+				res.DownloadUnits += s.cfg.Catalog.Size(r.Object)
+				res.ScoreSum += 1
+				res.RecencySum += 1
+				if m != nil {
+					m.ClientScore.Observe(1)
+				}
 				continue
 			}
-			s.markDownloaded(r.Object)
-			res.MissDownloads++
-			res.DownloadUnits += s.cfg.Catalog.Size(r.Object)
-			res.ScoreSum += 1
-			res.RecencySum += 1
+			s.markFailed(r.Object)
 		}
-		// Without compulsory misses the request scores 0 (nothing
-		// delivered) — both sums simply gain nothing.
+		// Without compulsory misses (or when the fetch layer gave up) the
+		// request scores 0 (nothing delivered) — both sums gain nothing.
+		if m != nil {
+			m.ClientScore.Observe(0)
+		}
+	}
+	if m != nil {
+		s.observeTick(&res)
 	}
 	return res, nil
+}
+
+// observeTick folds one tick's result into the metrics bundle. Every
+// update is an atomic add or a fixed-bucket histogram observation, so the
+// instrumented tick stays allocation-free.
+func (s *Station) observeTick(res *TickResult) {
+	m := s.cfg.Metrics
+	m.Ticks.Inc()
+	m.Requests.Add(uint64(res.Requests))
+	m.ServerUpdates.Add(uint64(res.Updated))
+	m.PolicyDownloads.Add(uint64(res.PolicyDownloads))
+	m.MissDownloads.Add(uint64(res.MissDownloads))
+	m.FailedDownloads.Add(uint64(res.FailedDownloads))
+	m.Retries.Add(uint64(res.Retries))
+	m.StaleFallbacks.Add(uint64(res.StaleFallbacks))
+	m.DownloadUnits.Add(uint64(res.DownloadUnits))
+	m.TickBytes.Observe(float64(res.DownloadUnits))
 }
 
 // Run executes ticks [start, start+n) with requests drawn from gen (which
@@ -355,12 +424,18 @@ func (s *Station) download(id catalog.ID, tick int, now float64, res *TickResult
 		if err == nil && !timedOut {
 			res.FetchLatency += elapsed
 			s.fetchLatency.Add(elapsed)
+			if m := s.cfg.Metrics; m != nil {
+				m.FetchLatency.Observe(elapsed)
+			}
 			return true, s.cache.Put(id, size, version, now)
 		}
 		if timedOut || attempt >= s.cfg.Retry.MaxAttempts {
 			res.FailedDownloads++
 			res.FetchLatency += elapsed
 			s.fetchLatency.Add(elapsed)
+			if m := s.cfg.Metrics; m != nil {
+				m.FetchLatency.Observe(elapsed)
+			}
 			return false, nil
 		}
 		res.Retries++

@@ -221,3 +221,35 @@ func TestPopulationHandoffChangesCell(t *testing.T) {
 		t.Fatalf("handoff kept client in cell %d", before)
 	}
 }
+
+func TestMobilityWithDefaults(t *testing.T) {
+	if got := (Mobility{}).WithDefaults(); got != DefaultMobility {
+		t.Fatalf("zero mobility = %+v, want DefaultMobility", got)
+	}
+	// Partially-set profiles get per-field defaults, keeping explicit
+	// non-zero values.
+	got := Mobility{MeanResidence: 300}.WithDefaults()
+	want := Mobility{MeanResidence: 300, PDisconnect: 0, MeanAbsence: DefaultMobility.MeanAbsence}
+	if got != want {
+		t.Fatalf("partial mobility = %+v, want %+v", got, want)
+	}
+	// The sentinel normalizes to an explicit zero disconnect probability.
+	got = Mobility{PDisconnect: NeverDisconnect}.WithDefaults()
+	want = Mobility{
+		MeanResidence: DefaultMobility.MeanResidence,
+		PDisconnect:   0,
+		MeanAbsence:   DefaultMobility.MeanAbsence,
+	}
+	if got != want {
+		t.Fatalf("sentinel mobility = %+v, want %+v", got, want)
+	}
+	// Idempotent: normalizing twice changes nothing.
+	if again := got.WithDefaults(); again != got {
+		t.Fatalf("WithDefaults not idempotent: %+v vs %+v", again, got)
+	}
+	// A fully explicit profile passes through untouched.
+	full := Mobility{MeanResidence: 10, PDisconnect: 0.5, MeanAbsence: 20}
+	if got := full.WithDefaults(); got != full {
+		t.Fatalf("explicit mobility changed: %+v", got)
+	}
+}

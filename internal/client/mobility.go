@@ -24,6 +24,34 @@ type Mobility struct {
 // disconnections.
 var DefaultMobility = Mobility{MeanResidence: 200, PDisconnect: 0.2, MeanAbsence: 50}
 
+// NeverDisconnect is a sentinel for Mobility.PDisconnect meaning "clients
+// never disconnect" (an effective probability of zero). A literal zero
+// cannot express this: WithDefaults treats an all-zero Mobility as "use
+// DefaultMobility" and fills a zero PDisconnect alongside other zero
+// fields, so an explicit never-disconnect profile must use the sentinel.
+const NeverDisconnect = -1
+
+// WithDefaults resolves the configuration conventions: an all-zero
+// Mobility becomes DefaultMobility; otherwise zero MeanResidence and
+// MeanAbsence take their defaults, and a NeverDisconnect PDisconnect is
+// normalized to probability 0. The result is what NewPopulation should
+// validate; WithDefaults itself never fails and is idempotent.
+func (m Mobility) WithDefaults() Mobility {
+	if m == (Mobility{}) {
+		return DefaultMobility
+	}
+	if m.MeanResidence == 0 {
+		m.MeanResidence = DefaultMobility.MeanResidence
+	}
+	if m.MeanAbsence == 0 {
+		m.MeanAbsence = DefaultMobility.MeanAbsence
+	}
+	if m.PDisconnect == NeverDisconnect {
+		m.PDisconnect = 0
+	}
+	return m
+}
+
 type clientState struct {
 	cell      int
 	connected bool

@@ -30,6 +30,7 @@ import (
 	"mobicache/internal/catalog"
 	"mobicache/internal/client"
 	"mobicache/internal/knapsack"
+	"mobicache/internal/obs"
 	"mobicache/internal/recency"
 )
 
@@ -112,6 +113,12 @@ type Config struct {
 	// Eps is the FPTAS approximation parameter (used only by
 	// SolverFPTAS); defaults to 0.1.
 	Eps float64
+	// Trace, when non-nil, receives one obs.Decision per knapsack
+	// candidate on every Select call — why the object was downloaded or
+	// left to its stale copy (profit, weight, cached recency, budget
+	// remaining). Clones share the ring; recording is bounded and
+	// allocation-free.
+	Trace *obs.TraceRing
 }
 
 // Selector maps request batches to download plans.
@@ -125,6 +132,9 @@ type Config struct {
 type Selector struct {
 	cat *catalog.Catalog
 	cfg Config
+
+	// tick stamps decision-trace records (see SetTick).
+	tick int
 
 	// Per-call workspace, reused across ticks.
 	solver    knapsack.Solver
@@ -160,11 +170,21 @@ func NewSelector(cat *catalog.Catalog, cfg Config) (*Selector, error) {
 }
 
 // Clone returns a selector sharing this selector's catalog and
-// configuration but owning a fresh workspace, so each goroutine of a
-// concurrent server can select independently.
+// configuration (including any decision-trace ring) but owning a fresh
+// workspace, so each goroutine of a concurrent server can select
+// independently.
 func (s *Selector) Clone() *Selector {
 	return &Selector{cat: s.cat, cfg: s.cfg}
 }
+
+// SetTraceRing installs (or, with nil, removes) the decision-trace sink
+// for subsequent Select calls. Clones made after the call inherit it.
+func (s *Selector) SetTraceRing(r *obs.TraceRing) { s.cfg.Trace = r }
+
+// SetTick sets the tick stamped on subsequent decision-trace records.
+// Tick-driven callers (the knapsack policy) set the simulated tick; the
+// daemon stamps a selection sequence number instead.
+func (s *Selector) SetTick(tick int) { s.tick = tick }
 
 // Plan is the selector's decision for one batch.
 type Plan struct {
@@ -257,7 +277,8 @@ func (s *Selector) Select(demands []Demand, c CacheView, budget int64) (Plan, er
 
 	// An unlimited budget means every positive-profit item is taken; skip
 	// the solver (and its O(n·budget) cost).
-	if budget == Unlimited {
+	unlimited := budget == Unlimited
+	if unlimited {
 		for i, it := range items {
 			plan.Download = append(plan.Download, meta[i].object)
 			plan.DownloadUnits += it.Weight
@@ -285,10 +306,60 @@ func (s *Selector) Select(demands []Demand, c CacheView, budget int64) (Plan, er
 			}
 		}
 	}
+	if s.cfg.Trace != nil {
+		s.recordDecisions(items, meta, budget, unlimited)
+	}
 	slices.Sort(plan.Download)
 	slices.Sort(plan.FromCache)
 	s.storeScratch(items, meta, plan)
 	return plan, nil
+}
+
+// recordDecisions writes one trace entry per knapsack candidate of the
+// Select call that just ran: taken items first (with the running budget
+// remaining as each download is committed), then the candidates whose
+// requests stay on their stale cached copies. It reuses the workspace's
+// taken flags and allocates nothing.
+func (s *Selector) recordDecisions(items []knapsack.Item, meta []itemMeta, budget int64, unlimited bool) {
+	ring := s.cfg.Trace
+	remaining := obs.UnlimitedBudget
+	if !unlimited {
+		remaining = budget
+	}
+	for i, it := range items {
+		if !unlimited && !s.taken[i] {
+			continue
+		}
+		if !unlimited {
+			remaining -= it.Weight
+		}
+		ring.Record(obs.Decision{
+			Tick:            s.tick,
+			Object:          int(meta[i].object),
+			Action:          obs.ActionDownload,
+			Profit:          it.Profit,
+			Weight:          it.Weight,
+			Recency:         meta[i].recency,
+			BudgetRemaining: remaining,
+		})
+	}
+	if unlimited {
+		return // every candidate was downloaded
+	}
+	for i, it := range items {
+		if s.taken[i] {
+			continue
+		}
+		ring.Record(obs.Decision{
+			Tick:            s.tick,
+			Object:          int(meta[i].object),
+			Action:          obs.ActionStale,
+			Profit:          it.Profit,
+			Weight:          it.Weight,
+			Recency:         meta[i].recency,
+			BudgetRemaining: remaining,
+		})
+	}
 }
 
 // storeScratch hands the (possibly regrown) working slices back to the
@@ -303,7 +374,8 @@ func (s *Selector) storeScratch(items []knapsack.Item, meta []itemMeta, plan Pla
 }
 
 type itemMeta struct {
-	object catalog.ID
+	object  catalog.ID
+	recency float64 // cached recency at decision time (0 = absent)
 }
 
 // buildItems constructs the knapsack instance for a batch: one item per
@@ -332,7 +404,7 @@ func (s *Selector) buildItems(demands []Demand, c CacheView) ([]knapsack.Item, [
 		plan.Requests += d.Count()
 		if profit > 0 {
 			items = append(items, knapsack.Item{Weight: s.cat.Size(d.Object), Profit: profit})
-			meta = append(meta, itemMeta{object: d.Object})
+			meta = append(meta, itemMeta{object: d.Object, recency: x})
 		} else {
 			plan.FromCache = append(plan.FromCache, d.Object)
 		}

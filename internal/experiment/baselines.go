@@ -277,6 +277,7 @@ func adaptiveRun(cfg AdaptiveStudyConfig, pol policy.Policy, budget int64) (unit
 		Policy:           pol,
 		BudgetPerTick:    budget,
 		CompulsoryMisses: true,
+		Metrics:          metricsBundle(),
 	})
 	if err != nil {
 		return 0, 0, err

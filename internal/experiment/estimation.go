@@ -117,6 +117,7 @@ func estimationRun(cfg EstimationStudyConfig, k int, pol policy.Policy) (float64
 		Server:        srv,
 		Policy:        pol,
 		BudgetPerTick: int64(k),
+		Metrics:       metricsBundle(),
 	})
 	if err != nil {
 		return 0, err

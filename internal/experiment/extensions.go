@@ -114,6 +114,7 @@ func replacementRun(cfg ReplacementConfig, sizes []int64, frac float64, pol cach
 		Policy:        policy.OnDemandStale{},
 		Cache:         c,
 		BudgetPerTick: cfg.BudgetPerTick,
+		Metrics:       metricsBundle(),
 	})
 	if err != nil {
 		return 0, err

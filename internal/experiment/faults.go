@@ -134,6 +134,7 @@ func faultRun(cfg FaultStudyConfig, prob float64, async bool) (float64, error) {
 		BudgetPerTick: cfg.BudgetPerTick,
 		Fetcher:       fs,
 		Retry:         cfg.Retry,
+		Metrics:       metricsBundle(),
 	})
 	if err != nil {
 		return 0, err

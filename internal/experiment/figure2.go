@@ -110,6 +110,7 @@ func figure2Run(cfg Figure2Config, pattern rng.Popularity, rate int) (uint64, er
 		Server:           srv,
 		Policy:           policy.OnDemandStale{},
 		CompulsoryMisses: true,
+		Metrics:          metricsBundle(),
 	})
 	if err != nil {
 		return 0, err

@@ -122,6 +122,7 @@ func figure3Run(cfg Figure3Config, period, k int, pol policy.Policy) (float64, e
 		Server:        srv,
 		Policy:        pol,
 		BudgetPerTick: int64(k),
+		Metrics:       metricsBundle(),
 	})
 	if err != nil {
 		return 0, err

@@ -138,6 +138,7 @@ func heterogeneityRun(cfg HeterogeneityStudyConfig, volatileFrac float64, kind s
 		Server:        srv,
 		Policy:        pol,
 		BudgetPerTick: cfg.Budget,
+		Metrics:       metricsBundle(),
 	})
 	if err != nil {
 		return 0, err

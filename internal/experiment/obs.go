@@ -1,0 +1,21 @@
+package experiment
+
+import (
+	"sync/atomic"
+
+	"mobicache/internal/obs"
+)
+
+// stationMetrics, when set, is attached to every base station the
+// experiment runners build, aggregating counters and histograms across
+// all figures, studies, and parallel workers (the bundle's fields are
+// atomic, so the worker pool needs no extra locking).
+var stationMetrics atomic.Pointer[obs.StationMetrics]
+
+// SetMetrics installs (or, with nil, removes) the metrics bundle attached
+// to stations built by subsequent experiment runs. The figures CLI uses
+// this for its -metrics-out snapshot.
+func SetMetrics(m *obs.StationMetrics) { stationMetrics.Store(m) }
+
+// metricsBundle returns the installed bundle, or nil.
+func metricsBundle() *obs.StationMetrics { return stationMetrics.Load() }

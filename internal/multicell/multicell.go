@@ -15,6 +15,7 @@ import (
 	"mobicache/internal/catalog"
 	"mobicache/internal/client"
 	"mobicache/internal/core"
+	"mobicache/internal/obs"
 	"mobicache/internal/policy"
 	"mobicache/internal/rng"
 	"mobicache/internal/server"
@@ -44,6 +45,10 @@ type Config struct {
 	CacheSharing bool
 	// Seed drives all randomness.
 	Seed uint64
+	// Metrics, when non-nil, receives live observability updates. All
+	// cells share the bundle's aggregate station metrics (the counters
+	// are atomic), so mobicache_ticks_total counts cell-ticks.
+	Metrics *obs.MulticellMetrics
 }
 
 // Report aggregates a run.
@@ -69,6 +74,10 @@ type System struct {
 	src      *rng.Source
 	sampler  *rng.Alias
 	shared   uint64
+	// lastHandoffs/lastDrops remember the population counters at the end
+	// of the previous tick so metrics record per-tick deltas.
+	lastHandoffs uint64
+	lastDrops    uint64
 }
 
 // New builds the system: one shared server, one station per cell (each
@@ -85,9 +94,7 @@ func New(cfg Config) (*System, error) {
 	if cfg.UpdatePeriod <= 0 {
 		cfg.UpdatePeriod = 5
 	}
-	if cfg.Mobility == (client.Mobility{}) {
-		cfg.Mobility = client.DefaultMobility
-	}
+	cfg.Mobility = cfg.Mobility.WithDefaults()
 	cat, err := catalog.Uniform(cfg.Objects, 1)
 	if err != nil {
 		return nil, err
@@ -100,8 +107,16 @@ func New(cfg Config) (*System, error) {
 		src:     rng.New(cfg.Seed),
 		sampler: cfg.Pattern.NewSampler(cat.Len()),
 	}
+	var sm *obs.StationMetrics
+	var ring *obs.TraceRing
+	if cfg.Metrics != nil {
+		sm = cfg.Metrics.Station
+		if sm != nil {
+			ring = sm.Trace
+		}
+	}
 	for c := 0; c < cfg.Cells; c++ {
-		sel, err := core.NewSelector(cat, core.Config{})
+		sel, err := core.NewSelector(cat, core.Config{Trace: ring})
 		if err != nil {
 			return nil, err
 		}
@@ -115,6 +130,7 @@ func New(cfg Config) (*System, error) {
 			Policy:           pol,
 			BudgetPerTick:    cfg.BudgetPerTick,
 			CompulsoryMisses: true,
+			Metrics:          sm,
 		})
 		if err != nil {
 			return nil, err
@@ -142,8 +158,13 @@ func (s *System) Run(n int) (Report, error) {
 
 		// Connected clients issue requests to their cell's station.
 		perCell := make([][]client.Request, s.cfg.Cells)
+		connected := 0
 		for i := 0; i < s.pop.Len(); i++ {
-			if !s.pop.Connected(i) || !s.src.Bernoulli(s.cfg.RequestProb) {
+			if !s.pop.Connected(i) {
+				continue
+			}
+			connected++
+			if !s.src.Bernoulli(s.cfg.RequestProb) {
 				continue
 			}
 			cell := s.pop.Cell(i)
@@ -153,6 +174,12 @@ func (s *System) Run(n int) (Report, error) {
 				Target: 1,
 				Tick:   tick,
 			})
+		}
+		if m := s.cfg.Metrics; m != nil {
+			m.Connected.Set(float64(connected))
+			m.Handoffs.Add(s.pop.Handoffs() - s.lastHandoffs)
+			m.Drops.Add(s.pop.Drops() - s.lastDrops)
+			s.lastHandoffs, s.lastDrops = s.pop.Handoffs(), s.pop.Drops()
 		}
 
 		for c, st := range s.stations {
@@ -210,6 +237,9 @@ func (s *System) shareInto(cell int, reqs []client.Request, now float64) {
 		if best != nil {
 			if err := local.PutCopy(best, now); err == nil {
 				s.shared++
+				if m := s.cfg.Metrics; m != nil {
+					m.SharedCopies.Inc()
+				}
 			}
 		}
 	}

@@ -1,0 +1,384 @@
+// Package obs is the station observability layer: a lightweight,
+// allocation-conscious metrics registry (monotonic counters, gauges, and
+// fixed-bucket histograms) plus a bounded decision-trace ring buffer.
+//
+// It differs from package metrics in purpose: metrics holds the offline
+// statistics and figure renderers the paper's evaluation is built from,
+// while obs instruments *running* systems — the per-tick hot path of a
+// base station, the stationd HTTP daemon, the multi-cell aggregator. Its
+// primitives are therefore pre-sized at registration time and lock-cheap
+// to update: counters and gauges are single atomic words, a histogram
+// observation is two atomic adds and one CAS, and nothing on the update
+// path allocates. Rendering (Prometheus text format, JSON snapshots) is
+// the cold path and may allocate freely.
+//
+// Metric names may carry a Prometheus label suffix (`name{cell="0"}`);
+// the registry groups such series into one family (shared # HELP/# TYPE
+// header) keyed by the name before the brace.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; all methods are safe for concurrent use and never allocate.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that may go up and down. The zero value reads
+// 0; all methods are safe for concurrent use and never allocate.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// atomicFloat accumulates a float64 sum with CAS.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nxt := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nxt) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with Prometheus bucket semantics:
+// bucket i counts observations v <= bounds[i], with an implicit +Inf
+// bucket at the end. Bounds are fixed at registration, so Observe walks a
+// short slice and performs three atomic operations — no locks, no
+// allocation.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	sum    atomicFloat
+	n      atomic.Uint64
+}
+
+// newHistogram builds a histogram over the given ascending upper bounds.
+func newHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			return nil, fmt.Errorf("obs: histogram bounds not ascending at %d: %v", i, bounds)
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}, nil
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	h.sum.Add(v)
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.n.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Bounds returns the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 {
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// Cumulative returns the cumulative count at each bound, ending with the
+// +Inf bucket (== N up to racing writers).
+func (h *Histogram) Cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// kind discriminates registered metrics.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered series.
+type metric struct {
+	name string // full series name, possibly with {label="v"} suffix
+	help string
+	kind kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family returns the Prometheus family name (the part before any label
+// brace): both `x_total` and `x_total{cell="1"}` belong to family
+// `x_total`.
+func (m *metric) family() string {
+	if i := strings.IndexByte(m.name, '{'); i >= 0 {
+		return m.name[:i]
+	}
+	return m.name
+}
+
+// Registry holds a pre-sized set of named metrics. Registration takes a
+// mutex and may allocate; it is meant to happen once, at setup. The
+// returned Counter/Gauge/Histogram handles are then updated directly —
+// the registry is never consulted on the hot path. Registering a name
+// twice returns the existing metric (so several cells can share one
+// aggregate series); re-registering a name as a different kind panics,
+// as that is a programming error no caller can recover from.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+func (r *Registry) lookup(name string, k kind) *metric {
+	m, ok := r.byName[name]
+	if !ok {
+		return nil
+	}
+	if m.kind != k {
+		panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+	}
+	return m
+}
+
+// Counter registers (or returns the existing) named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, kindCounter); m != nil {
+		return m.counter
+	}
+	m := &metric{name: name, help: help, kind: kindCounter, counter: &Counter{}}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+	return m.counter
+}
+
+// Gauge registers (or returns the existing) named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, kindGauge); m != nil {
+		return m.gauge
+	}
+	m := &metric{name: name, help: help, kind: kindGauge, gauge: &Gauge{}}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+	return m.gauge
+}
+
+// Histogram registers (or returns the existing) named histogram over the
+// given ascending bucket upper bounds (a +Inf bucket is implicit). It
+// panics on invalid bounds — registration is setup-time code.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.lookup(name, kindHistogram); m != nil {
+		return m.hist
+	}
+	h, err := newHistogram(bounds)
+	if err != nil {
+		panic(err.Error())
+	}
+	m := &metric{name: name, help: help, kind: kindHistogram, hist: h}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+	return h
+}
+
+// formatValue renders a float in Prometheus text format.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// seriesWithLabel splices an extra label (`le="0.5"`) into a series name
+// that may already carry a label block.
+func seriesWithLabel(name, suffix, label string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		// name{cell="0"} -> name_suffix{cell="0",label}
+		return name[:i] + suffix + "{" + name[i+1:len(name)-1] + "," + label + "}"
+	}
+	return name + suffix + "{" + label + "}"
+}
+
+// seriesWithSuffix appends a suffix to the family part of a series name:
+// `x{cell="0"}` + `_sum` -> `x_sum{cell="0"}`.
+func seriesWithSuffix(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, one family header per family in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	headerDone := make(map[string]bool)
+	header := func(m *metric, typ string) {
+		fam := m.family()
+		if headerDone[fam] {
+			return
+		}
+		headerDone[fam] = true
+		if m.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam, m.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam, typ)
+	}
+	for _, m := range metrics {
+		switch m.kind {
+		case kindCounter:
+			header(m, "counter")
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Value())
+		case kindGauge:
+			header(m, "gauge")
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatValue(m.gauge.Value()))
+		case kindHistogram:
+			header(m, "histogram")
+			h := m.hist
+			cum := h.Cumulative()
+			for i, bound := range h.bounds {
+				fmt.Fprintf(&b, "%s %d\n",
+					seriesWithLabel(m.name, "_bucket", `le="`+formatValue(bound)+`"`), cum[i])
+			}
+			fmt.Fprintf(&b, "%s %d\n", seriesWithLabel(m.name, "_bucket", `le="+Inf"`), cum[len(cum)-1])
+			fmt.Fprintf(&b, "%s %s\n", seriesWithSuffix(m.name, "_sum"), formatValue(h.Sum()))
+			fmt.Fprintf(&b, "%s %d\n", seriesWithSuffix(m.name, "_count"), cum[len(cum)-1])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// BucketSnapshot is one cumulative histogram bucket in a Snapshot.
+type BucketSnapshot struct {
+	LE    float64 `json:"le"` // +Inf encodes as the largest float64
+	Count uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time histogram state.
+type HistogramSnapshot struct {
+	Count   uint64           `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// Snapshot is a point-in-time JSON-marshalable view of a registry, used
+// by the figures CLI's -metrics-out and by scripts/bench.sh.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, m := range metrics {
+		switch m.kind {
+		case kindCounter:
+			s.Counters[m.name] = m.counter.Value()
+		case kindGauge:
+			s.Gauges[m.name] = m.gauge.Value()
+		case kindHistogram:
+			h := m.hist
+			cum := h.Cumulative()
+			hs := HistogramSnapshot{Count: cum[len(cum)-1], Sum: h.Sum()}
+			for i, bound := range h.bounds {
+				hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: bound, Count: cum[i]})
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: math.MaxFloat64, Count: cum[len(cum)-1]})
+			s.Histograms[m.name] = hs
+		}
+	}
+	return s
+}
+
+// Names returns the registered series names, sorted (for tests and
+// debugging; registration order is preserved in WritePrometheus).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m.name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("g", "a gauge")
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge = %v", g.Value())
+	}
+	g.Set(-2.5)
+	if g.Value() != -2.5 {
+		t.Fatalf("gauge = %v, want -2.5", g.Value())
+	}
+	// Re-registration returns the same handle.
+	if r.Counter("c_total", "again") != c {
+		t.Fatal("re-registered counter is a different handle")
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as a gauge after a counter did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "a histogram", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 5, 100} {
+		h.Observe(v)
+	}
+	if h.N() != 7 {
+		t.Fatalf("N = %d, want 7", h.N())
+	}
+	if got := h.Sum(); got != 0.5+1+1.5+2+3+5+100 {
+		t.Fatalf("Sum = %v", got)
+	}
+	// le semantics: <=1 -> 2, <=2 -> 4, <=5 -> 6, +Inf -> 7.
+	cum := h.Cumulative()
+	want := []uint64{2, 4, 6, 7}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", cum, want)
+		}
+	}
+}
+
+func TestHistogramInvalidBounds(t *testing.T) {
+	r := NewRegistry()
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() { recover() }()
+			r.Histogram("bad", "", bounds)
+			t.Fatalf("bounds %v accepted", bounds)
+		}()
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_requests_total", "requests")
+	c.Add(3)
+	g := r.Gauge("app_temp", "temperature")
+	g.Set(1.5)
+	h := r.Histogram("app_latency_seconds", "latency", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP app_requests_total requests",
+		"# TYPE app_requests_total counter",
+		"app_requests_total 3",
+		"# TYPE app_temp gauge",
+		"app_temp 1.5",
+		"# TYPE app_latency_seconds histogram",
+		`app_latency_seconds_bucket{le="0.5"} 1`,
+		`app_latency_seconds_bucket{le="1"} 1`,
+		`app_latency_seconds_bucket{le="+Inf"} 2`,
+		"app_latency_seconds_sum 2.25",
+		"app_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`cell_requests_total{cell="0"}`, "per-cell requests").Add(1)
+	r.Counter(`cell_requests_total{cell="1"}`, "per-cell requests").Add(2)
+	h := r.Histogram(`cell_latency{cell="0"}`, "", []float64{1})
+	h.Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE cell_requests_total counter") != 1 {
+		t.Errorf("family header not deduplicated:\n%s", out)
+	}
+	for _, want := range []string{
+		`cell_requests_total{cell="0"} 1`,
+		`cell_requests_total{cell="1"} 2`,
+		`cell_latency_bucket{cell="0",le="1"} 1`,
+		`cell_latency_bucket{cell="0",le="+Inf"} 1`,
+		`cell_latency_sum{cell="0"} 0.5`,
+		`cell_latency_count{cell="0"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(7)
+	r.Gauge("g", "").Set(0.25)
+	h := r.Histogram("h", "", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(50)
+	snap := r.Snapshot()
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["c_total"] != 7 || back.Gauges["g"] != 0.25 {
+		t.Fatalf("round trip lost values: %+v", back)
+	}
+	hs := back.Histograms["h"]
+	if hs.Count != 2 || hs.Sum != 50.5 || len(hs.Buckets) != 3 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+	if hs.Buckets[0].Count != 1 || hs.Buckets[2].Count != 2 {
+		t.Fatalf("bucket counts = %+v", hs.Buckets)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h", "", []float64{10, 100})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 150))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.N() != 8000 {
+		t.Fatalf("histogram N = %d, want 8000", h.N())
+	}
+	cum := h.Cumulative()
+	if cum[len(cum)-1] != 8000 {
+		t.Fatalf("cumulative tail = %d, want 8000", cum[len(cum)-1])
+	}
+}
+
+func TestStationMetricsRegistersEverything(t *testing.T) {
+	r := NewRegistry()
+	m := NewStationMetrics(r, 16)
+	if m.Trace == nil || m.Trace.Cap() != 16 {
+		t.Fatalf("trace ring cap = %v", m.Trace)
+	}
+	names := r.Names()
+	if len(names) < 10 {
+		t.Fatalf("only %d series registered: %v", len(names), names)
+	}
+	// A second station bundle on the same registry shares the series.
+	m2 := NewStationMetrics(r, 16)
+	m.Requests.Inc()
+	if m2.Requests.Value() != 1 {
+		t.Fatal("second bundle does not share the aggregate counters")
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+// Default bucket bounds for the station histograms. Exported so the
+// daemon and tests can assert against the same layout.
+var (
+	// TickBytesBounds buckets the data units downloaded per tick.
+	TickBytesBounds = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	// FetchLatencyBounds buckets per-download fetch latency in simulated
+	// ticks (attempts plus backoff).
+	FetchLatencyBounds = []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32, 64}
+	// ClientScoreBounds buckets the per-request client score in [0, 1].
+	ClientScoreBounds = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1}
+	// SolveTimeBounds buckets the wall-clock knapsack/policy solve time
+	// per tick, in seconds.
+	SolveTimeBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
+)
+
+// StationMetrics is the pre-registered metric bundle a base station
+// updates on its per-tick hot path. Every field is registered up front,
+// so steady-state ticks touch only atomic words and the bounded trace
+// ring — zero allocations.
+type StationMetrics struct {
+	Ticks           *Counter // ticks executed
+	Requests        *Counter // client requests served
+	ServerUpdates   *Counter // master updates observed
+	PolicyDownloads *Counter // downloads chosen by the policy
+	MissDownloads   *Counter // compulsory downloads for cache misses
+	FailedDownloads *Counter // downloads abandoned after retries/timeout
+	Retries         *Counter // extra fetch attempts beyond the first
+	StaleFallbacks  *Counter // requests served stale because a refresh failed
+	DownloadUnits   *Counter // data units fetched over the fixed network
+
+	BudgetRemaining *Gauge // units left after the last tick's policy spend
+
+	TickBytes    *Histogram // per-tick downloaded units
+	FetchLatency *Histogram // per-download simulated fetch latency
+	ClientScore  *Histogram // per-request client score
+	SolveTime    *Histogram // per-tick policy decision wall time (seconds)
+
+	// Trace records why each selection candidate was fetched or served
+	// stale. Nil disables decision tracing.
+	Trace *TraceRing
+}
+
+// NewStationMetrics registers the station bundle on r with a decision
+// trace ring of traceCap entries (<= 0 uses DefaultTraceCap).
+func NewStationMetrics(r *Registry, traceCap int) *StationMetrics {
+	return &StationMetrics{
+		Ticks:           r.Counter("mobicache_ticks_total", "simulated ticks executed"),
+		Requests:        r.Counter("mobicache_requests_total", "client requests served"),
+		ServerUpdates:   r.Counter("mobicache_server_updates_total", "master updates observed at the station"),
+		PolicyDownloads: r.Counter("mobicache_policy_downloads_total", "downloads chosen by the refresh policy"),
+		MissDownloads:   r.Counter("mobicache_miss_downloads_total", "compulsory downloads for cache misses"),
+		FailedDownloads: r.Counter("mobicache_failed_downloads_total", "downloads abandoned after retries/timeout"),
+		Retries:         r.Counter("mobicache_fetch_retries_total", "extra fetch attempts beyond the first"),
+		StaleFallbacks:  r.Counter("mobicache_stale_fallbacks_total", "requests served a stale copy because the refresh failed"),
+		DownloadUnits:   r.Counter("mobicache_download_units_total", "data units fetched over the fixed network"),
+		BudgetRemaining: r.Gauge("mobicache_budget_remaining_units", "download budget left after the last tick's policy spend"),
+		TickBytes:       r.Histogram("mobicache_tick_download_units", "data units downloaded per tick", TickBytesBounds),
+		FetchLatency:    r.Histogram("mobicache_fetch_latency_ticks", "simulated fetch latency per download (attempts + backoff)", FetchLatencyBounds),
+		ClientScore:     r.Histogram("mobicache_client_score", "per-request client recency score", ClientScoreBounds),
+		SolveTime:       r.Histogram("mobicache_solve_seconds", "wall-clock policy decision time per tick", SolveTimeBounds),
+		Trace:           NewTraceRing(traceCap),
+	}
+}
+
+// MulticellMetrics extends the station bundle with the mobility and
+// cooperation counters only a multi-cell deployment produces. All cells
+// share one aggregate StationMetrics (the counters are atomic).
+type MulticellMetrics struct {
+	Station      *StationMetrics
+	Handoffs     *Counter // cell-to-cell client moves
+	Drops        *Counter // client disconnections
+	SharedCopies *Counter // cooperative copies between base stations
+	Connected    *Gauge   // currently connected clients
+}
+
+// NewMulticellMetrics registers the multi-cell bundle on r.
+func NewMulticellMetrics(r *Registry, traceCap int) *MulticellMetrics {
+	return &MulticellMetrics{
+		Station:      NewStationMetrics(r, traceCap),
+		Handoffs:     r.Counter("mobicache_handoffs_total", "cell-to-cell client moves"),
+		Drops:        r.Counter("mobicache_drops_total", "client disconnections"),
+		SharedCopies: r.Counter("mobicache_shared_copies_total", "cooperative copies between base stations"),
+		Connected:    r.Gauge("mobicache_connected_clients", "currently connected clients"),
+	}
+}

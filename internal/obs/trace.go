@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Action says what the selection decided for one candidate object.
+type Action uint8
+
+const (
+	// ActionDownload: the object was selected for a remote fetch.
+	ActionDownload Action = iota
+	// ActionStale: the object lost the knapsack — its requests are served
+	// the stale cached copy this tick.
+	ActionStale
+	// ActionFailed: the fetch layer abandoned the object's download after
+	// retries/timeout; requests fall back to the stale copy.
+	ActionFailed
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActionDownload:
+		return "download"
+	case ActionStale:
+		return "stale"
+	case ActionFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Action(%d)", uint8(a))
+	}
+}
+
+// MarshalJSON renders the action as its string form.
+func (a Action) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + a.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the string form written by MarshalJSON.
+func (a *Action) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"download"`:
+		*a = ActionDownload
+	case `"stale"`:
+		*a = ActionStale
+	case `"failed"`:
+		*a = ActionFailed
+	default:
+		return fmt.Errorf("obs: unknown action %s", b)
+	}
+	return nil
+}
+
+// UnlimitedBudget is the BudgetRemaining value recorded when the
+// selection ran with no download budget.
+const UnlimitedBudget int64 = -1
+
+// Decision records why one candidate object was fetched or served stale
+// in one selection: its knapsack profit and weight, the cached copy's
+// recency at decision time, and the budget left after the decision.
+type Decision struct {
+	// Tick is the simulated tick (or, on the daemon, the selection
+	// sequence number) the decision belongs to.
+	Tick int `json:"tick"`
+	// Object is the candidate object's ID.
+	Object int `json:"object"`
+	// Action says what happened to the candidate.
+	Action Action `json:"action"`
+	// Profit is the summed client benefit of downloading (the knapsack
+	// profit; 0 when the recording site does not run a knapsack).
+	Profit float64 `json:"profit"`
+	// Weight is the object's size in data units (the knapsack weight).
+	Weight int64 `json:"weight"`
+	// Recency is the cached copy's recency score at decision time
+	// (0 = not cached).
+	Recency float64 `json:"recency"`
+	// BudgetRemaining is the download budget left after this decision
+	// (UnlimitedBudget when no budget applied).
+	BudgetRemaining int64 `json:"budget_remaining"`
+}
+
+// TraceRing is a bounded ring buffer of Decisions. Record never
+// allocates: the buffer is sized once at construction and old entries
+// are overwritten. A single mutex guards it — recording is one lock, one
+// struct copy, one unlock, cheap enough for the per-tick hot path and
+// safe for the daemon's concurrent handlers.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []Decision
+	next  int
+	count int    // live entries, <= len(buf)
+	total uint64 // decisions ever recorded
+}
+
+// DefaultTraceCap is the ring capacity used when none is given.
+const DefaultTraceCap = 1024
+
+// NewTraceRing creates a ring holding the last n decisions (n <= 0 uses
+// DefaultTraceCap).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = DefaultTraceCap
+	}
+	return &TraceRing{buf: make([]Decision, n)}
+}
+
+// Record appends one decision, overwriting the oldest when full.
+func (t *TraceRing) Record(d Decision) {
+	t.mu.Lock()
+	t.buf[t.next] = d
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+	}
+	if t.count < len(t.buf) {
+		t.count++
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Len returns the number of live entries.
+func (t *TraceRing) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Cap returns the ring capacity.
+func (t *TraceRing) Cap() int { return len(t.buf) }
+
+// Total returns the number of decisions ever recorded (including those
+// already overwritten).
+func (t *TraceRing) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Last returns the most recent min(n, Len) decisions in chronological
+// order (oldest first). The slice is freshly allocated — this is the
+// cold inspection path.
+func (t *TraceRing) Last(n int) []Decision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > t.count {
+		n = t.count
+	}
+	out := make([]Decision, n)
+	start := t.next - n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = t.buf[(start+i)%len(t.buf)]
+	}
+	return out
+}

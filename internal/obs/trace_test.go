@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTraceRingWrapAround(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Decision{Tick: i, Object: i})
+	}
+	if r.Len() != 3 || r.Total() != 5 || r.Cap() != 3 {
+		t.Fatalf("len=%d total=%d cap=%d", r.Len(), r.Total(), r.Cap())
+	}
+	got := r.Last(10)
+	if len(got) != 3 {
+		t.Fatalf("Last(10) returned %d entries", len(got))
+	}
+	for i, d := range got {
+		if d.Tick != i+2 {
+			t.Fatalf("chronological order broken: %+v", got)
+		}
+	}
+	if last := r.Last(1); len(last) != 1 || last[0].Tick != 4 {
+		t.Fatalf("Last(1) = %+v", last)
+	}
+}
+
+func TestTraceRingDefaultCap(t *testing.T) {
+	if NewTraceRing(0).Cap() != DefaultTraceCap {
+		t.Fatal("zero capacity did not default")
+	}
+}
+
+func TestDecisionJSON(t *testing.T) {
+	d := Decision{
+		Tick: 7, Object: 3, Action: ActionStale,
+		Profit: 1.5, Weight: 4, Recency: 0.25, BudgetRemaining: UnlimitedBudget,
+	}
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Decision
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Fatalf("round trip changed decision: %+v vs %+v", back, d)
+	}
+	if back.Action.String() != "stale" {
+		t.Fatalf("action = %q", back.Action.String())
+	}
+	var bad Decision
+	if err := json.Unmarshal([]byte(`{"action":"nope"}`), &bad); err == nil {
+		t.Fatal("unknown action accepted")
+	}
+}
+
+func TestTraceRingRecordDoesNotAllocate(t *testing.T) {
+	r := NewTraceRing(64)
+	d := Decision{Tick: 1, Object: 2, Action: ActionDownload, Profit: 3, Weight: 4}
+	if allocs := testing.AllocsPerRun(200, func() { r.Record(d) }); allocs != 0 {
+		t.Fatalf("Record allocates %v times per call", allocs)
+	}
+}
+
+func TestHistogramObserveDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", TickBytesBounds)
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	if allocs := testing.AllocsPerRun(200, func() {
+		h.Observe(17)
+		c.Inc()
+		g.Set(3)
+	}); allocs != 0 {
+		t.Fatalf("hot-path updates allocate %v times per call", allocs)
+	}
+}

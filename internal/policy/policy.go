@@ -243,6 +243,7 @@ func (*OnDemandKnapsack) Name() string { return "on-demand-knapsack" }
 // workspace and are valid until its next selection — the station
 // consumes them within the tick.
 func (p *OnDemandKnapsack) Decide(v *TickView) ([]catalog.ID, error) {
+	p.selector.SetTick(v.Tick) // stamp decision-trace records
 	plan, err := p.selector.SelectRequests(v.Requests, v.Cache, v.Budget)
 	if err != nil {
 		return nil, err

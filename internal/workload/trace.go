@@ -39,14 +39,11 @@ func ReadTrace(r io.Reader) ([]client.Request, error) {
 	}
 }
 
-// SplitByTick partitions a trace into per-tick batches indexed from the
-// lowest tick in the trace to the highest; ticks with no requests yield
-// empty batches.
-func SplitByTick(reqs []client.Request) [][]client.Request {
-	if len(reqs) == 0 {
-		return nil
-	}
-	lo, hi := reqs[0].Tick, reqs[0].Tick
+// TickBounds returns the lowest and highest tick appearing in the trace.
+// It panics on an empty trace (callers check first); replayers need lo to
+// map SplitByTick's batch indices back to true tick numbers.
+func TickBounds(reqs []client.Request) (lo, hi int) {
+	lo, hi = reqs[0].Tick, reqs[0].Tick
 	for _, r := range reqs {
 		if r.Tick < lo {
 			lo = r.Tick
@@ -55,6 +52,17 @@ func SplitByTick(reqs []client.Request) [][]client.Request {
 			hi = r.Tick
 		}
 	}
+	return lo, hi
+}
+
+// SplitByTick partitions a trace into per-tick batches indexed from the
+// lowest tick in the trace to the highest (batch i holds the requests of
+// tick TickBounds(lo)+i); ticks with no requests yield empty batches.
+func SplitByTick(reqs []client.Request) [][]client.Request {
+	if len(reqs) == 0 {
+		return nil
+	}
+	lo, hi := TickBounds(reqs)
 	out := make([][]client.Request, hi-lo+1)
 	for _, r := range reqs {
 		out[r.Tick-lo] = append(out[r.Tick-lo], r)

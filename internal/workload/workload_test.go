@@ -243,3 +243,42 @@ func TestSplitByTick(t *testing.T) {
 		t.Fatal("empty split not nil")
 	}
 }
+
+func TestSplitByTickNonZeroStartAndGaps(t *testing.T) {
+	// A trace recorded mid-run: starts at tick 7, has a hole at ticks
+	// 8 and 10. Batch i must hold the requests of tick lo+i.
+	reqs := []client.Request{
+		{Client: 1, Tick: 9}, {Client: 2, Tick: 7},
+		{Client: 3, Tick: 11}, {Client: 4, Tick: 9},
+	}
+	lo, hi := TickBounds(reqs)
+	if lo != 7 || hi != 11 {
+		t.Fatalf("bounds = [%d,%d], want [7,11]", lo, hi)
+	}
+	batches := SplitByTick(reqs)
+	if len(batches) != 5 {
+		t.Fatalf("batches = %d, want 5 (ticks 7..11)", len(batches))
+	}
+	wantSizes := []int{1, 0, 2, 0, 1}
+	for i, want := range wantSizes {
+		if len(batches[i]) != want {
+			t.Fatalf("batch %d (tick %d) has %d requests, want %d", i, lo+i, len(batches[i]), want)
+		}
+		for _, r := range batches[i] {
+			if r.Tick != lo+i {
+				t.Fatalf("batch %d holds a tick-%d request", i, r.Tick)
+			}
+		}
+	}
+}
+
+func TestTickBoundsSingleTick(t *testing.T) {
+	reqs := []client.Request{{Client: 1, Tick: 42}, {Client: 2, Tick: 42}}
+	lo, hi := TickBounds(reqs)
+	if lo != 42 || hi != 42 {
+		t.Fatalf("bounds = [%d,%d], want [42,42]", lo, hi)
+	}
+	if batches := SplitByTick(reqs); len(batches) != 1 || len(batches[0]) != 2 {
+		t.Fatalf("single-tick split = %v", batches)
+	}
+}

@@ -26,7 +26,9 @@ type MulticellConfig struct {
 	// (default 200).
 	MeanResidence float64
 	// PDisconnect is the probability a departure disconnects rather than
-	// hands off (default 0.2).
+	// hands off (default 0.2). A literal 0 is indistinguishable from
+	// "unset" and takes the default; pass NeverDisconnect for an explicit
+	// zero disconnection probability.
 	PDisconnect float64
 	// MeanAbsence is the mean ticks a disconnected client stays away
 	// (default 50).
@@ -42,7 +44,16 @@ type MulticellConfig struct {
 	Ticks int
 	// Seed drives all randomness.
 	Seed uint64
+	// Metrics, when non-nil, receives live observability updates from
+	// every cell (shared aggregate counters, histograms, decision trace).
+	// Build one with NewMulticellMetrics.
+	Metrics *MulticellMetrics
 }
+
+// NeverDisconnect is the MulticellConfig.PDisconnect sentinel for "clients
+// never disconnect" — an explicit probability of zero, which a literal 0
+// cannot express because it means "use the default".
+const NeverDisconnect = client.NeverDisconnect
 
 // MulticellReport aggregates a multi-cell run.
 type MulticellReport struct {
@@ -68,17 +79,7 @@ func RunMulticell(cfg MulticellConfig) (MulticellReport, error) {
 		MeanResidence: cfg.MeanResidence,
 		PDisconnect:   cfg.PDisconnect,
 		MeanAbsence:   cfg.MeanAbsence,
-	}
-	if mobility == (client.Mobility{}) {
-		mobility = client.DefaultMobility
-	} else {
-		if mobility.MeanResidence == 0 {
-			mobility.MeanResidence = client.DefaultMobility.MeanResidence
-		}
-		if mobility.MeanAbsence == 0 {
-			mobility.MeanAbsence = client.DefaultMobility.MeanAbsence
-		}
-	}
+	}.WithDefaults()
 	sys, err := multicell.New(multicell.Config{
 		Cells:         cfg.Cells,
 		Objects:       cfg.Objects,
@@ -90,6 +91,7 @@ func RunMulticell(cfg MulticellConfig) (MulticellReport, error) {
 		Pattern:       rng.Popularity(pattern),
 		CacheSharing:  cfg.CacheSharing,
 		Seed:          cfg.Seed,
+		Metrics:       cfg.Metrics,
 	})
 	if err != nil {
 		return rep, err

@@ -63,6 +63,36 @@ func TestRunMulticellDefaults(t *testing.T) {
 	}
 }
 
+func TestRunMulticellNeverDisconnect(t *testing.T) {
+	// Setting ONLY PDisconnect used to be impossible: a zero value made
+	// the whole Mobility struct zero, which means "use DefaultMobility"
+	// (PDisconnect 0.2). The NeverDisconnect sentinel expresses the
+	// explicit zero-probability profile while the other fields default.
+	cfg := baseMulticell()
+	cfg.MeanResidence = 0
+	cfg.MeanAbsence = 0
+	cfg.PDisconnect = NeverDisconnect
+	rep, err := RunMulticell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Drops != 0 {
+		t.Fatalf("NeverDisconnect produced %d drops", rep.Drops)
+	}
+	if rep.Handoffs == 0 {
+		t.Fatal("no handoffs despite defaulted residence")
+	}
+
+	cfg.PDisconnect = 0 // all-zero mobility: the full default profile
+	rep, err = RunMulticell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Drops == 0 {
+		t.Fatal("zero-value mobility did not fall back to the default profile")
+	}
+}
+
 func TestRunMulticellValidation(t *testing.T) {
 	cfg := baseMulticell()
 	cfg.Cells = 0

@@ -1,0 +1,68 @@
+package mobicache
+
+import (
+	"testing"
+)
+
+// benchTickConfig mirrors BenchmarkSimulationTick's configuration so the
+// allocation comparison below guards the same hot path the benchmark
+// tracks.
+func benchTickConfig(m *StationMetrics) SimulationConfig {
+	return SimulationConfig{
+		Objects:         500,
+		UpdatePeriod:    5,
+		Policy:          "on-demand-knapsack",
+		BudgetPerTick:   50,
+		RequestsPerTick: 100,
+		Access:          "zipf",
+		Warmup:          0,
+		Ticks:           1,
+		Seed:            9,
+		Metrics:         m,
+	}
+}
+
+// newTickRunner builds a warmed station + generator pair and returns a
+// closure running one simulated tick, advancing the tick counter each
+// call so repeated runs exercise steady state rather than startup.
+func newTickRunner(t *testing.T, m *StationMetrics) func() {
+	t.Helper()
+	cfg := benchTickConfig(m)
+	st, _, err := buildStation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _, err := buildGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := 0
+	run := func() {
+		if _, err := st.RunTick(tick, gen.Tick(tick)); err != nil {
+			t.Fatal(err)
+		}
+		tick++
+	}
+	for i := 0; i < 200; i++ { // warm caches, solver workspaces, ring
+		run()
+	}
+	return run
+}
+
+// TestMetricsAddNoSteadyStateAllocs asserts the observability bundle —
+// counters, gauges, histograms, and the decision-trace ring — adds zero
+// steady-state allocations to the station tick path measured by
+// BenchmarkSimulationTick. Both runners replay the identical seeded
+// workload, so any difference is attributable to the instrumentation.
+func TestMetricsAddNoSteadyStateAllocs(t *testing.T) {
+	bare := newTickRunner(t, nil)
+	instrumented := newTickRunner(t, NewStationMetrics(NewMetricsRegistry(), 0))
+
+	const runs = 200
+	without := testing.AllocsPerRun(runs, bare)
+	with := testing.AllocsPerRun(runs, instrumented)
+	t.Logf("allocs/op: bare %.2f, instrumented %.2f", without, with)
+	if with > without {
+		t.Fatalf("metrics added steady-state allocations: %.2f allocs/op with metrics vs %.2f without", with, without)
+	}
+}

@@ -1,0 +1,76 @@
+package mobicache
+
+import "mobicache/internal/obs"
+
+// This file re-exports the observability layer (internal/obs): a
+// lightweight, allocation-conscious metrics registry (counters, gauges,
+// fixed-bucket histograms) plus a bounded decision-trace ring recording,
+// per knapsack selection, why each candidate object was fetched or served
+// stale. Wire a StationMetrics bundle into SimulationConfig.Metrics (or a
+// MulticellMetrics into MulticellConfig.Metrics) and scrape the registry
+// with WritePrometheus, or snapshot it as JSON via Snapshot.
+
+// MetricsRegistry holds named metric series and renders them in the
+// Prometheus text exposition format (WritePrometheus) or as a
+// JSON-marshalable snapshot (Snapshot).
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of every series in a registry.
+type MetricsSnapshot = obs.Snapshot
+
+// StationMetrics bundles the base station's counters, histograms, and
+// decision-trace ring, pre-registered on a registry.
+type StationMetrics = obs.StationMetrics
+
+// MulticellMetrics extends StationMetrics with multi-cell aggregates
+// (handoffs, drops, shared-copy seeds, connected clients).
+type MulticellMetrics = obs.MulticellMetrics
+
+// TraceRing is a bounded ring buffer of selection Decisions.
+type TraceRing = obs.TraceRing
+
+// Decision records why one candidate object was downloaded, served
+// stale, or abandoned during one tick's selection.
+type Decision = obs.Decision
+
+// DecisionAction is the outcome recorded in a Decision.
+type DecisionAction = obs.Action
+
+// The possible Decision outcomes.
+const (
+	ActionDownload = obs.ActionDownload
+	ActionStale    = obs.ActionStale
+	ActionFailed   = obs.ActionFailed
+)
+
+// UnlimitedBudget marks a Decision taken with no budget in force.
+const UnlimitedBudget = obs.UnlimitedBudget
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewStationMetrics registers the station metric bundle on r with a
+// decision-trace ring of traceCap entries (0 uses the default capacity).
+func NewStationMetrics(r *MetricsRegistry, traceCap int) *StationMetrics {
+	return obs.NewStationMetrics(r, traceCap)
+}
+
+// NewMulticellMetrics registers the multi-cell metric bundle on r.
+func NewMulticellMetrics(r *MetricsRegistry, traceCap int) *MulticellMetrics {
+	return obs.NewMulticellMetrics(r, traceCap)
+}
+
+// NewTraceRing creates a standalone decision-trace ring (0 capacity uses
+// the default).
+func NewTraceRing(capacity int) *TraceRing { return obs.NewTraceRing(capacity) }
+
+// SetTrace installs a decision-trace ring on the selector: every
+// subsequent Select records, per candidate object, whether it was
+// downloaded or served stale, with its profit, weight, cached recency,
+// and the budget remaining. Install the ring before Clone so pooled
+// clones share it.
+func (s *Selector) SetTrace(r *TraceRing) { s.inner.SetTraceRing(r) }
+
+// SetTraceTick stamps subsequent trace records with the given tick (or
+// request sequence number for daemon-style callers outside a simulation).
+func (s *Selector) SetTraceTick(tick int) { s.inner.SetTick(tick) }

@@ -24,12 +24,15 @@ func ReadTrace(r io.Reader) ([]Request, error) {
 // simulation — useful for recording reproducible workloads or feeding
 // other implementations. Warmup ticks are included (ticks 0..Warmup-1).
 func GenerateTrace(cfg SimulationConfig) ([]Request, error) {
+	// Validate the horizon before building anything so an invalid config
+	// fails with the same error RunSimulation reports, not a generator
+	// artifact.
+	if err := validateHorizon(cfg); err != nil {
+		return nil, err
+	}
 	gen, _, err := buildGenerator(cfg)
 	if err != nil {
 		return nil, err
-	}
-	if cfg.Warmup < 0 || cfg.Ticks <= 0 {
-		return nil, fmt.Errorf("mobicache: warmup %d / ticks %d invalid", cfg.Warmup, cfg.Ticks)
 	}
 	var out []Request
 	for tick := 0; tick < cfg.Warmup+cfg.Ticks; tick++ {
@@ -52,8 +55,13 @@ func ReplayTrace(cfg SimulationConfig, reqs []Request) (SimulationReport, error)
 		return rep, fmt.Errorf("mobicache: empty trace")
 	}
 	batches := workload.SplitByTick(reqs)
+	// SplitByTick indexes batches from the trace's lowest tick, which is
+	// not necessarily 0: replay each batch at its true tick so update
+	// schedules and the warmup cutoff stay aligned with the recording.
+	lo, _ := workload.TickBounds(reqs)
 	var totals basestation.Totals
-	for tick, batch := range batches {
+	for i, batch := range batches {
+		tick := lo + i
 		res, err := st.RunTick(tick, batch)
 		if err != nil {
 			return rep, err

@@ -3,6 +3,9 @@ package mobicache
 import (
 	"bytes"
 	"testing"
+
+	"mobicache/internal/basestation"
+	"mobicache/internal/workload"
 )
 
 func TestGenerateTraceAndReplayMatchesLive(t *testing.T) {
@@ -64,6 +67,112 @@ func TestTraceRoundTripThroughWriter(t *testing.T) {
 	}
 }
 
+// TestReplayUsesTraceTickNumbers pins the tick alignment of ReplayTrace:
+// a recorded trace whose first request falls on tick lo > 0 must be
+// replayed at ticks lo, lo+1, ... — not re-based to 0, which would shift
+// the server-update schedule and the warmup cutoff relative to the
+// recording. The reference is the equivalent offset simulation: the same
+// system driven by hand with every batch served at its true tick.
+func TestReplayUsesTraceTickNumbers(t *testing.T) {
+	cfg := SimulationConfig{
+		Objects:         50,
+		Policy:          "on-demand-stale",
+		RequestsPerTick: 12,
+		BudgetPerTick:   6,
+		UpdatePeriod:    5,
+		Access:          "zipf",
+		Warmup:          6,
+		Ticks:           30,
+		Seed:            13,
+	}
+	full, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the earliest ticks so the recorded workload starts at tick
+	// 3 > 0 — off the update period on purpose.
+	var late []Request
+	for _, r := range full {
+		if r.Tick >= 3 {
+			late = append(late, r)
+		}
+	}
+	lo, _ := workload.TickBounds(late)
+	if lo != 3 {
+		t.Fatalf("stripped trace starts at tick %d, want 3", lo)
+	}
+
+	st, srv, err := buildStation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totals basestation.Totals
+	for i, batch := range workload.SplitByTick(late) {
+		tick := lo + i
+		res, err := st.RunTick(tick, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tick >= cfg.Warmup {
+			totals.Add(res)
+		}
+	}
+	want := report(st, srv, totals)
+
+	got, err := ReplayTrace(cfg, late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("replay re-based the trace's ticks:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestTraceRoundTripPropertyAcrossConfigs checks the full interchange
+// loop GenerateTrace → WriteTrace → ReadTrace → ReplayTrace against the
+// live simulation across seeds and popularity skews: the replay of the
+// serialized stream must reproduce every measured quantity exactly.
+func TestTraceRoundTripPropertyAcrossConfigs(t *testing.T) {
+	for _, access := range []string{"uniform", "linear", "zipf"} {
+		for _, seed := range []uint64{1, 42, 9001} {
+			cfg := SimulationConfig{
+				Objects:         40,
+				Policy:          "on-demand-knapsack",
+				RequestsPerTick: 10,
+				BudgetPerTick:   5,
+				Access:          access,
+				Warmup:          5,
+				Ticks:           25,
+				Seed:            seed,
+			}
+			reqs, err := GenerateTrace(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := WriteTrace(&buf, reqs); err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := ReadTrace(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live, err := RunSimulation(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayed, err := ReplayTrace(cfg, decoded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if live != replayed {
+				t.Fatalf("%s/seed %d: replay of serialized trace differs:\nlive    %+v\nreplay  %+v",
+					access, seed, live, replayed)
+			}
+		}
+	}
+}
+
 func TestReplayTraceValidation(t *testing.T) {
 	cfg := SimulationConfig{Objects: 5, Ticks: 10}
 	if _, err := ReplayTrace(cfg, nil); err == nil {
@@ -74,6 +183,24 @@ func TestReplayTraceValidation(t *testing.T) {
 	}
 	if _, err := GenerateTrace(SimulationConfig{Objects: 0, Ticks: 1}); err == nil {
 		t.Fatal("no objects accepted")
+	}
+}
+
+func TestHorizonValidatedBeforeBuilding(t *testing.T) {
+	// A config that is broken in two ways — no objects AND an invalid
+	// horizon — must fail on the horizon, not on a generator artifact,
+	// and GenerateTrace and RunSimulation must report the same error.
+	bad := SimulationConfig{Objects: 0, Warmup: -1, Ticks: 0}
+	_, genErr := GenerateTrace(bad)
+	_, runErr := RunSimulation(bad)
+	if genErr == nil || runErr == nil {
+		t.Fatalf("invalid horizon accepted: gen=%v run=%v", genErr, runErr)
+	}
+	if genErr.Error() != runErr.Error() {
+		t.Fatalf("errors differ:\ngen %v\nrun %v", genErr, runErr)
+	}
+	if want := "warmup -1 / ticks 0 invalid"; !bytes.Contains([]byte(genErr.Error()), []byte(want)) {
+		t.Fatalf("error %q does not mention the horizon", genErr)
 	}
 }
 

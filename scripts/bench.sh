@@ -7,6 +7,10 @@
 # writes one JSON object per benchmark (name, ns/op, B/op, allocs/op) as a
 # JSON array to BENCH_1.json (or the given path). The raw `go test` output
 # is echoed to stderr so regressions are visible in CI logs.
+#
+# Alongside the timings it archives a station-metrics snapshot
+# (<out>.metrics.json) from a quick instrumented figures run, so counter
+# and histogram drift is reviewable next to the benchmark numbers.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,3 +35,9 @@ printf '%s\n' "$raw" | awk '
 ' > "$out"
 
 echo "wrote $out" >&2
+
+# Metrics snapshot: a quick instrumented run over the core figures, dumped
+# as JSON next to the benchmark numbers.
+metrics_out="${out%.json}.metrics.json"
+go run ./cmd/figures -fig 2 -quick -metrics-out "$metrics_out" >/dev/null
+echo "wrote $metrics_out" >&2

@@ -9,6 +9,7 @@ import (
 	"mobicache/internal/client"
 	"mobicache/internal/core"
 	"mobicache/internal/fault"
+	"mobicache/internal/obs"
 	"mobicache/internal/policy"
 	"mobicache/internal/recency"
 	"mobicache/internal/rng"
@@ -154,6 +155,11 @@ type SimulationConfig struct {
 	// fixed-network fetch path (outages, latency spikes, per-request
 	// failures). Nil keeps the paper's ideal always-answering servers.
 	Fault *FaultConfig
+	// Metrics, when non-nil, receives live observability updates from the
+	// station (counters, histograms, the decision-trace ring). Build one
+	// with NewStationMetrics; nil disables instrumentation entirely and
+	// keeps the hot path branch-cheap.
+	Metrics *StationMetrics
 }
 
 // SimulationReport summarizes the measured phase of a simulation.
@@ -178,6 +184,9 @@ type SimulationReport struct {
 // measured-phase report.
 func RunSimulation(cfg SimulationConfig) (SimulationReport, error) {
 	var rep SimulationReport
+	if err := validateHorizon(cfg); err != nil {
+		return rep, err
+	}
 	st, srv, err := buildStation(cfg)
 	if err != nil {
 		return rep, err
@@ -185,9 +194,6 @@ func RunSimulation(cfg SimulationConfig) (SimulationReport, error) {
 	gen, _, err := buildGenerator(cfg)
 	if err != nil {
 		return rep, err
-	}
-	if cfg.Warmup < 0 || cfg.Ticks <= 0 {
-		return rep, fmt.Errorf("mobicache: warmup %d / ticks %d invalid", cfg.Warmup, cfg.Ticks)
 	}
 	if _, err := st.Run(0, cfg.Warmup, gen); err != nil {
 		return rep, err
@@ -197,6 +203,16 @@ func RunSimulation(cfg SimulationConfig) (SimulationReport, error) {
 		return rep, err
 	}
 	return report(st, srv, totals), nil
+}
+
+// validateHorizon checks the warmup/measurement horizon. It runs before
+// any component is built so an invalid horizon is reported identically by
+// RunSimulation and GenerateTrace, regardless of the rest of the config.
+func validateHorizon(cfg SimulationConfig) error {
+	if cfg.Warmup < 0 || cfg.Ticks <= 0 {
+		return fmt.Errorf("mobicache: warmup %d / ticks %d invalid", cfg.Warmup, cfg.Ticks)
+	}
+	return nil
 }
 
 // buildCatalog resolves the configured object sizes.
@@ -243,6 +259,7 @@ func buildStation(cfg SimulationConfig) (*basestation.Station, *server.Server, e
 		Cache:            c,
 		BudgetPerTick:    cfg.BudgetPerTick,
 		CompulsoryMisses: cfg.CacheCapacity == 0,
+		Metrics:          cfg.Metrics,
 	}
 	if cfg.Fault != nil {
 		sched, err := cfg.Fault.schedule(cfg.Seed)
@@ -338,13 +355,13 @@ func buildPolicy(cfg SimulationConfig, cat *catalog.Catalog) (policy.Policy, err
 	case "async-on-update":
 		return policy.AsyncOnUpdate{}, nil
 	case "on-demand-knapsack":
-		sel, err := core.NewSelector(cat, core.Config{})
+		sel, err := core.NewSelector(cat, core.Config{Trace: traceRing(cfg)})
 		if err != nil {
 			return nil, err
 		}
 		return policy.NewOnDemandKnapsack(sel)
 	case "hybrid":
-		sel, err := core.NewSelector(cat, core.Config{})
+		sel, err := core.NewSelector(cat, core.Config{Trace: traceRing(cfg)})
 		if err != nil {
 			return nil, err
 		}
@@ -356,6 +373,16 @@ func buildPolicy(cfg SimulationConfig, cat *catalog.Catalog) (policy.Policy, err
 	default:
 		return nil, fmt.Errorf("mobicache: unknown policy %q", name)
 	}
+}
+
+// traceRing extracts the decision-trace ring from the configured metrics
+// bundle, if any, so knapsack selections record why each candidate was
+// fetched or left stale.
+func traceRing(cfg SimulationConfig) *obs.TraceRing {
+	if cfg.Metrics == nil {
+		return nil
+	}
+	return cfg.Metrics.Trace
 }
 
 func buildCache(cfg SimulationConfig) (*cache.Cache, error) {
