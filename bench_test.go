@@ -9,8 +9,10 @@ import (
 	"testing"
 
 	"mobicache/internal/cache"
+	"mobicache/internal/client"
 	"mobicache/internal/experiment"
 	"mobicache/internal/knapsack"
+	"mobicache/internal/multicell"
 	"mobicache/internal/recency"
 	"mobicache/internal/rng"
 	"mobicache/internal/workload"
@@ -339,9 +341,53 @@ func BenchmarkHeterogeneityStudy(b *testing.B) {
 // cells.
 func BenchmarkMulticellStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.MulticellStudy(2, uint64(i+1)); err != nil {
+		if _, err := experiment.MulticellStudy(2, uint64(i+1), 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMulticellTick times one tick of the multi-cell engine at a
+// scale where the parallel phase matters, serial loop versus goroutine
+// fan-out. The system is built and warmed outside the timer, so the
+// numbers isolate the steady-state tick. Both variants produce identical
+// reports; the benchmark measures the wall-clock gap.
+func BenchmarkMulticellTick(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			sys, err := multicell.New(multicell.Config{
+				Cells:         16,
+				Objects:       300,
+				BudgetPerTick: 10,
+				Clients:       1600,
+				Mobility:      client.Mobility{MeanResidence: 30, PDisconnect: 0.2, MeanAbsence: 15},
+				RequestProb:   0.3,
+				Pattern:       rng.Zipf,
+				CacheSharing:  true,
+				Workers:       bc.workers,
+				Seed:          1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.Run(200); err != nil { // warm caches and scratch
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			rep, err := sys.Run(b.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Ticks != b.N {
+				b.Fatalf("ran %d ticks, want %d", rep.Ticks, b.N)
+			}
+		})
 	}
 }
 

@@ -34,6 +34,7 @@ var (
 	quickFlag  = flag.Bool("quick", false, "run scaled-down configurations (for smoke tests)")
 	plotWidth  = flag.Int("plot-width", 72, "ASCII plot width")
 	plotHeight = flag.Int("plot-height", 20, "ASCII plot height")
+	workers    = flag.Int("workers", 0, "worker goroutines for the multicell study's parallel tick phase (0 = auto, 1 = serial; results are identical either way)")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	metricsOut = flag.String("metrics-out", "", "write a JSON snapshot of the run's station metrics to this file")
@@ -408,7 +409,7 @@ func multicellStudy() error {
 	if *seed != 0 {
 		s = *seed
 	}
-	out, err := experiment.MulticellStudy(4, s)
+	out, err := experiment.MulticellStudy(4, s, *workers)
 	if err != nil {
 		return err
 	}

@@ -2,10 +2,16 @@
 // data-access architecture and prints a report: downloads, delivered
 // recency, client scores, and cache behaviour.
 //
-// Example:
+// With -cells > 0 it instead runs the multi-cell deployment — one base
+// station per cell, a mobile client population, optional cooperative
+// caching — on the parallel tick engine (-workers goroutines; the report
+// is identical for any worker count).
+//
+// Examples:
 //
 //	mobisim -objects 500 -rate 100 -budget 20 -policy on-demand-knapsack \
 //	        -access zipf -update-period 5 -warmup 100 -ticks 500
+//	mobisim -cells 8 -clients 800 -sharing -workers 4 -access zipf -ticks 400
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 func main() {
 	var cfg mobicache.SimulationConfig
+	var mc mobicache.MulticellConfig
 	flag.IntVar(&cfg.Objects, "objects", 500, "number of unit-size objects")
 	flag.IntVar(&cfg.UpdatePeriod, "update-period", 5, "server update period in ticks")
 	flag.StringVar(&cfg.Policy, "policy", "on-demand-knapsack",
@@ -33,8 +40,22 @@ func main() {
 	flag.IntVar(&cfg.Warmup, "warmup", 100, "warmup ticks (excluded from the report)")
 	flag.IntVar(&cfg.Ticks, "ticks", 500, "measured ticks")
 	flag.Uint64Var(&cfg.Seed, "seed", 1, "random seed")
+
+	// Multi-cell mode.
+	flag.IntVar(&mc.Cells, "cells", 0, "number of cells; > 0 switches to the multi-cell deployment")
+	flag.IntVar(&mc.Clients, "clients", 300, "mobile population size (multi-cell mode)")
+	flag.Float64Var(&mc.MeanResidence, "mean-residence", 0, "mean ticks a client stays in one cell (0 = default)")
+	flag.Float64Var(&mc.PDisconnect, "p-disconnect", 0, "probability a departure disconnects rather than hands off (0 = default)")
+	flag.Float64Var(&mc.MeanAbsence, "mean-absence", 0, "mean ticks a disconnected client stays away (0 = default)")
+	flag.Float64Var(&mc.RequestProb, "request-prob", 0.3, "per-tick request probability of a connected client (multi-cell mode)")
+	flag.BoolVar(&mc.CacheSharing, "sharing", false, "enable cooperative base-station caching (multi-cell mode)")
+	flag.IntVar(&mc.Workers, "workers", 0, "worker goroutines for the parallel tick phase (0 = auto, 1 = serial; results are identical)")
 	flag.Parse()
 
+	if mc.Cells > 0 {
+		runMulticell(mc, cfg)
+		return
+	}
 	rep, err := mobicache.RunSimulation(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mobisim:", err)
@@ -48,4 +69,32 @@ func main() {
 	fmt.Printf("mean client score %.4f\n", rep.MeanScore)
 	fmt.Printf("mean recency      %.4f\n", rep.MeanRecency)
 	fmt.Printf("cache hit rate    %.4f\n", rep.CacheHitRate)
+}
+
+// runMulticell maps the shared single-station flags onto the multi-cell
+// deployment and prints its report, including the per-cell breakdown.
+func runMulticell(mc mobicache.MulticellConfig, cfg mobicache.SimulationConfig) {
+	mc.Objects = cfg.Objects
+	mc.UpdatePeriod = cfg.UpdatePeriod
+	mc.BudgetPerTick = cfg.BudgetPerTick
+	mc.Access = cfg.Access
+	mc.Ticks = cfg.Ticks
+	mc.Seed = cfg.Seed
+	rep, err := mobicache.RunMulticell(mc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mobisim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cells             %d (workers %d, sharing %v)\n", mc.Cells, mc.Workers, mc.CacheSharing)
+	fmt.Printf("ticks             %d\n", rep.Ticks)
+	fmt.Printf("requests          %d\n", rep.Requests)
+	fmt.Printf("server downloads  %d\n", rep.Downloads)
+	fmt.Printf("shared copies     %d (%d rejected)\n", rep.SharedCopies, rep.SharedCopyFailures)
+	fmt.Printf("handoffs / drops  %d / %d\n", rep.Handoffs, rep.Drops)
+	fmt.Printf("mean client score %.4f\n", rep.MeanScore)
+	fmt.Printf("mean recency      %.4f\n", rep.MeanRecency)
+	for c := range rep.PerCellScores {
+		fmt.Printf("cell %-3d          requests %-7d downloads %-7d score %.4f\n",
+			c, rep.PerCellRequests[c], rep.PerCellDownloads[c], rep.PerCellScores[c])
+	}
 }

@@ -11,6 +11,9 @@
 //	POST /v1/select     {"requests":[...],"budget":5}
 //	POST /v1/recommend  {"requests":[...],"max_budget":50,"fraction_of_max":0.9}
 //	POST /v1/failed     {"objects":[1],"retries":2}  — downloads lost to faults
+//	POST /v1/sim/multicell {"cells":4,"objects":200,"clients":240,"ticks":400,...}
+//	                    — run a multi-cell simulation on the parallel tick
+//	                      engine; per-cell series appear on /metrics
 //	GET  /v1/state                                  — current recency vector
 //	GET  /v1/status                                 — fault counters + retry policy
 //	GET  /v1/trace?n=K                              — last K selection decisions
@@ -44,6 +47,7 @@ func main() {
 	maxBackoff := flag.Float64("fetch-max-backoff", 0, "cap on the exponential fetch backoff (0 = uncapped)")
 	timeout := flag.Float64("fetch-timeout", 0, "total fetch budget per download across attempts (0 = none)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	workers := flag.Int("workers", 0, "default worker goroutines for /v1/sim/multicell's parallel tick phase (0 = auto, 1 = serial; results are identical)")
 	flag.Parse()
 	retry := mobicache.RetryConfig{
 		MaxAttempts: *attempts,
@@ -51,7 +55,7 @@ func main() {
 		MaxBackoff:  *maxBackoff,
 		Timeout:     *timeout,
 	}
-	srv, err := newServer(retry)
+	srv, err := newServer(retry, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stationd:", err)
 		os.Exit(2)

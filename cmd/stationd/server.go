@@ -41,6 +41,15 @@ type server struct {
 	met       daemonMetrics
 	trace     *obs.TraceRing
 	selectSeq atomic.Uint64 // stamps trace records with a selection number
+
+	// Multi-cell simulation endpoint state. simMu serializes runs: the
+	// per-cell metric shards delta-merge into the shared aggregate, which
+	// tolerates only one engine at a time. simMetrics is registered
+	// lazily on the first simulation so a daemon that never simulates
+	// exposes no mobicache_* series.
+	simMu      sync.Mutex
+	simWorkers int
+	simMetrics *mobicache.MulticellMetrics
 }
 
 // daemonMetrics holds the daemon-level series (per-endpoint request
@@ -60,14 +69,17 @@ type faultStats struct {
 	StaleFallbacks  uint64 `json:"stale_fallbacks"`
 }
 
-func newServer(retry mobicache.RetryConfig) (*server, error) {
+func newServer(retry mobicache.RetryConfig, simWorkers int) (*server, error) {
 	if retry.MaxAttempts < 1 {
 		return nil, fmt.Errorf("fetch attempts %d, need at least 1", retry.MaxAttempts)
 	}
 	if retry.BaseBackoff < 0 || retry.MaxBackoff < 0 || retry.Timeout < 0 {
 		return nil, fmt.Errorf("negative fetch backoff or timeout")
 	}
-	s := &server{decay: recency.DefaultDecay, retry: retry}
+	if simWorkers < 0 {
+		return nil, fmt.Errorf("negative simulation worker count %d", simWorkers)
+	}
+	s := &server{decay: recency.DefaultDecay, retry: retry, simWorkers: simWorkers}
 	s.reg = obs.NewRegistry()
 	s.trace = obs.NewTraceRing(0)
 	s.met = daemonMetrics{
@@ -83,6 +95,7 @@ func newServer(retry mobicache.RetryConfig) (*server, error) {
 	mux.HandleFunc("POST /v1/fetched", s.counted("fetched", s.handleFetched))
 	mux.HandleFunc("POST /v1/failed", s.counted("failed", s.handleFailed))
 	mux.HandleFunc("POST /v1/select", s.counted("select", s.handleSelect))
+	mux.HandleFunc("POST /v1/sim/multicell", s.counted("sim_multicell", s.handleSimMulticell))
 	mux.HandleFunc("POST /v1/recommend", s.counted("recommend", s.handleRecommend))
 	mux.HandleFunc("GET /v1/state", s.counted("state", s.handleState))
 	mux.HandleFunc("GET /v1/status", s.counted("status", s.handleStatus))
@@ -451,4 +464,102 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		decisions = []mobicache.Decision{}
 	}
 	writeJSON(w, http.StatusOK, traceResponse{Total: s.trace.Total(), Decisions: decisions})
+}
+
+// multicellSimRequest parameterizes one multi-cell simulation. Zero
+// mobility fields take the library defaults; workers 0 falls back to the
+// daemon's -workers flag (and from there to auto).
+type multicellSimRequest struct {
+	Cells         int     `json:"cells"`
+	Objects       int     `json:"objects"`
+	UpdatePeriod  int     `json:"update_period"`
+	BudgetPerTick int64   `json:"budget_per_tick"`
+	Clients       int     `json:"clients"`
+	MeanResidence float64 `json:"mean_residence"`
+	PDisconnect   float64 `json:"p_disconnect"`
+	MeanAbsence   float64 `json:"mean_absence"`
+	RequestProb   float64 `json:"request_prob"`
+	Access        string  `json:"access"`
+	CacheSharing  bool    `json:"cache_sharing"`
+	Workers       int     `json:"workers"`
+	Ticks         int     `json:"ticks"`
+	Seed          uint64  `json:"seed"`
+}
+
+type multicellSimResponse struct {
+	Ticks              int       `json:"ticks"`
+	Requests           uint64    `json:"requests"`
+	Downloads          uint64    `json:"downloads"`
+	SharedCopies       uint64    `json:"shared_copies"`
+	SharedCopyFailures uint64    `json:"shared_copy_failures"`
+	MeanScore          float64   `json:"mean_score"`
+	MeanRecency        float64   `json:"mean_recency"`
+	Handoffs           uint64    `json:"handoffs"`
+	Drops              uint64    `json:"drops"`
+	PerCellScores      []float64 `json:"per_cell_scores"`
+	PerCellRequests    []uint64  `json:"per_cell_requests"`
+	PerCellDownloads   []uint64  `json:"per_cell_downloads"`
+	Workers            int       `json:"workers"`
+}
+
+// handleSimMulticell runs a multi-cell simulation on the parallel tick
+// engine and returns its report. Runs are serialized (simMu): every run
+// feeds the same per-cell metric shards on the daemon registry, so
+// GET /metrics exposes one mobicache_* series per cell ({cell="N"})
+// alongside the accumulated aggregate.
+func (s *server) handleSimMulticell(w http.ResponseWriter, r *http.Request) {
+	var req multicellSimRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Ticks <= 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("ticks %d must be positive", req.Ticks))
+		return
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.simWorkers
+	}
+	s.simMu.Lock()
+	defer s.simMu.Unlock()
+	if s.simMetrics == nil {
+		s.simMetrics = mobicache.NewMulticellMetrics(s.reg, 0)
+	}
+	rep, err := mobicache.RunMulticell(mobicache.MulticellConfig{
+		Cells:         req.Cells,
+		Objects:       req.Objects,
+		UpdatePeriod:  req.UpdatePeriod,
+		BudgetPerTick: req.BudgetPerTick,
+		Clients:       req.Clients,
+		MeanResidence: req.MeanResidence,
+		PDisconnect:   req.PDisconnect,
+		MeanAbsence:   req.MeanAbsence,
+		RequestProb:   req.RequestProb,
+		Access:        req.Access,
+		CacheSharing:  req.CacheSharing,
+		Workers:       workers,
+		Ticks:         req.Ticks,
+		Seed:          req.Seed,
+		Metrics:       s.simMetrics,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, multicellSimResponse{
+		Ticks:              rep.Ticks,
+		Requests:           rep.Requests,
+		Downloads:          rep.Downloads,
+		SharedCopies:       rep.SharedCopies,
+		SharedCopyFailures: rep.SharedCopyFailures,
+		MeanScore:          rep.MeanScore,
+		MeanRecency:        rep.MeanRecency,
+		Handoffs:           rep.Handoffs,
+		Drops:              rep.Drops,
+		PerCellScores:      rep.PerCellScores,
+		PerCellRequests:    rep.PerCellRequests,
+		PerCellDownloads:   rep.PerCellDownloads,
+		Workers:            workers,
+	})
 }

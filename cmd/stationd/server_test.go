@@ -37,7 +37,7 @@ func mustStatus(t *testing.T, resp *http.Response, want int, body []byte) {
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv, err := newServer(mobicache.RetryConfig{MaxAttempts: 3, BaseBackoff: 0.5, MaxBackoff: 2, Timeout: 10})
+	srv, err := newServer(mobicache.RetryConfig{MaxAttempts: 3, BaseBackoff: 0.5, MaxBackoff: 2, Timeout: 10}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestNewServerRejectsBadRetryConfig(t *testing.T) {
 		{MaxAttempts: 2, BaseBackoff: -1},
 		{MaxAttempts: 2, Timeout: -0.1},
 	} {
-		if _, err := newServer(retry); err == nil {
+		if _, err := newServer(retry, 0); err == nil {
 			t.Errorf("retry %+v accepted", retry)
 		}
 	}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func simRequest(workers int) map[string]any {
+	return map[string]any{
+		"cells":           3,
+		"objects":         80,
+		"budget_per_tick": 10,
+		"clients":         90,
+		"mean_residence":  20,
+		"p_disconnect":    0.2,
+		"mean_absence":    10,
+		"request_prob":    0.3,
+		"access":          "zipf",
+		"cache_sharing":   true,
+		"workers":         workers,
+		"ticks":           120,
+		"seed":            7,
+	}
+}
+
+func TestSimMulticellEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := post(t, ts, "/v1/sim/multicell", simRequest(4))
+	mustStatus(t, resp, http.StatusOK, body)
+	var rep multicellSimResponse
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ticks != 120 || rep.Requests == 0 || rep.Downloads == 0 {
+		t.Fatalf("inactive simulation: %+v", rep)
+	}
+	if len(rep.PerCellScores) != 3 || len(rep.PerCellRequests) != 3 {
+		t.Fatalf("per-cell breakdowns missing: %+v", rep)
+	}
+	if rep.SharedCopies == 0 {
+		t.Fatalf("sharing enabled but no copies: %+v", rep)
+	}
+	if rep.Workers != 4 {
+		t.Fatalf("workers echoed = %d, want 4", rep.Workers)
+	}
+
+	// The run's per-cell metric shards must be visible on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	for _, want := range []string{
+		`mobicache_ticks_total{cell="0"}`,
+		`mobicache_ticks_total{cell="2"}`,
+		"mobicache_shared_copies_total",
+		"mobicache_shared_copy_failures_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics lacks %q", want)
+		}
+	}
+	// The aggregate tick counter counts engine ticks, not cell-ticks.
+	if !strings.Contains(metrics, "mobicache_ticks_total 120\n") {
+		t.Fatalf("/metrics aggregate tick counter wrong:\n%s", metrics)
+	}
+}
+
+func TestSimMulticellDeterministicAcrossWorkers(t *testing.T) {
+	ts := newTestServer(t)
+	_, serial := post(t, ts, "/v1/sim/multicell", simRequest(1))
+	_, parallel := post(t, ts, "/v1/sim/multicell", simRequest(6))
+	var a, b multicellSimResponse
+	if err := json.Unmarshal(serial, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(parallel, &b); err != nil {
+		t.Fatal(err)
+	}
+	a.Workers, b.Workers = 0, 0 // the echoed worker count is the only allowed difference
+	av, _ := json.Marshal(a)
+	bv, _ := json.Marshal(b)
+	if string(av) != string(bv) {
+		t.Fatalf("worker count changed the simulation:\n%s\nvs\n%s", av, bv)
+	}
+}
+
+func TestSimMulticellValidation(t *testing.T) {
+	ts := newTestServer(t)
+	req := simRequest(1)
+	req["ticks"] = 0
+	resp, body := post(t, ts, "/v1/sim/multicell", req)
+	mustStatus(t, resp, http.StatusBadRequest, body)
+
+	req = simRequest(1)
+	req["cells"] = 0
+	resp, body = post(t, ts, "/v1/sim/multicell", req)
+	mustStatus(t, resp, http.StatusBadRequest, body)
+
+	req = simRequest(1)
+	req["budget_per_tick"] = -5
+	resp, body = post(t, ts, "/v1/sim/multicell", req)
+	mustStatus(t, resp, http.StatusBadRequest, body)
+	if !strings.Contains(string(body), "download budget") {
+		t.Fatalf("budget error lacks context: %s", body)
+	}
+}

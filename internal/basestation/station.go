@@ -177,6 +177,9 @@ type Station struct {
 	// fetchLatency samples the per-download simulated fetch time
 	// (attempts plus backoff) whenever a Fetcher is installed.
 	fetchLatency metrics.Welford
+	// view is the reusable policy view handed to Decide each tick; kept on
+	// the station so taking its address does not heap-allocate per tick.
+	view policy.TickView
 }
 
 // New creates a Station and wires the server's update stream into the
@@ -237,13 +240,23 @@ func (s *Station) RunTick(tick int, reqs []client.Request) (TickResult, error) {
 // ServeTick runs the policy and serves requests for a tick whose server
 // updates were applied externally (multi-cell deployments share one
 // server and tick it once, then call ServeTick on every cell's station).
+//
+// Concurrency contract: ServeTick on DISTINCT stations may run
+// concurrently provided each station owns its Cache, Policy, and
+// Metrics, and the shared Server's Tick for this tick completed before
+// any call starts. The only Server methods ServeTick touches are
+// Download and the read-only accessors, which are safe for concurrent
+// use; Server.Tick itself and OnUpdate registration are
+// coordinator-only operations (OnUpdate wiring is sealed after the
+// first Tick and panics thereafter). A single station is NOT safe for
+// concurrent ServeTick calls with itself.
 func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.ID) (TickResult, error) {
 	res := TickResult{Tick: tick}
 	now := float64(tick)
 	res.Updated = len(updated)
 	m := s.cfg.Metrics
 
-	view := policy.TickView{
+	s.view = policy.TickView{
 		Tick:     tick,
 		Requests: reqs,
 		Updated:  updated,
@@ -255,7 +268,7 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 	if m != nil {
 		solveStart = time.Now()
 	}
-	ids, err := s.cfg.Policy.Decide(&view)
+	ids, err := s.cfg.Policy.Decide(&s.view)
 	if m != nil {
 		m.SolveTime.Observe(time.Since(solveStart).Seconds())
 	}

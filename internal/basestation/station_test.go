@@ -130,19 +130,19 @@ func (b badPolicy) Decide(*policy.TickView) ([]catalog.ID, error) { return b.ids
 
 func TestPolicyViolationsCaught(t *testing.T) {
 	cat := catalog.MustNew([]int64{1, 1})
-	srv := server.New(cat, nil)
-	// Invalid object.
-	st, _ := New(Config{Catalog: cat, Server: srv, Policy: badPolicy{ids: []catalog.ID{5}}})
+	// Each station gets a fresh server: OnUpdate registration (which New
+	// performs) is sealed once a server has ticked.
+	st, _ := New(Config{Catalog: cat, Server: server.New(cat, nil), Policy: badPolicy{ids: []catalog.ID{5}}})
 	if _, err := st.RunTick(0, nil); err == nil {
 		t.Fatal("invalid download accepted")
 	}
 	// Duplicate download.
-	st, _ = New(Config{Catalog: cat, Server: srv, Policy: badPolicy{ids: []catalog.ID{0, 0}}})
+	st, _ = New(Config{Catalog: cat, Server: server.New(cat, nil), Policy: badPolicy{ids: []catalog.ID{0, 0}}})
 	if _, err := st.RunTick(0, nil); err == nil {
 		t.Fatal("duplicate download accepted")
 	}
 	// Budget violation.
-	st, _ = New(Config{Catalog: cat, Server: srv, Policy: badPolicy{ids: []catalog.ID{0, 1}}, BudgetPerTick: 1})
+	st, _ = New(Config{Catalog: cat, Server: server.New(cat, nil), Policy: badPolicy{ids: []catalog.ID{0, 1}}, BudgetPerTick: 1})
 	_, err := st.RunTick(0, nil)
 	if err == nil || !strings.Contains(err.Error(), "exceeded budget") {
 		t.Fatalf("budget violation error = %v", err)
@@ -168,8 +168,9 @@ func TestCompulsoryMisses(t *testing.T) {
 	if !st.Cache().Contains(0) {
 		t.Fatal("miss download not cached")
 	}
-	// Without compulsory misses the request scores zero.
-	st2, _ := New(Config{Catalog: cat, Server: srv, Policy: nullPolicy{}})
+	// Without compulsory misses the request scores zero. (Fresh server:
+	// srv has ticked, so further OnUpdate registrations are sealed.)
+	st2, _ := New(Config{Catalog: cat, Server: server.New(cat, nil), Policy: nullPolicy{}})
 	res2, err := st2.RunTick(1, []client.Request{{Object: 0, Target: 1}})
 	if err != nil {
 		t.Fatal(err)

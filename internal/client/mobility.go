@@ -132,6 +132,19 @@ func (p *Population) Tick() {
 // Connected reports whether client i is currently connected.
 func (p *Population) Connected(i int) bool { return p.clients[i].connected }
 
+// ForEachConnected calls fn(client, cell) for every connected client in
+// ascending client order. It allocates nothing, so per-tick request
+// generation can visit the population without building an intermediate
+// slice; the fixed visit order is what keeps engines that derive
+// randomness from the visited cells deterministic.
+func (p *Population) ForEachConnected(fn func(i, cell int)) {
+	for i := range p.clients {
+		if p.clients[i].connected {
+			fn(i, p.clients[i].cell)
+		}
+	}
+}
+
 // Cell returns the cell of client i (meaningful only while connected).
 func (p *Population) Cell(i int) int { return p.clients[i].cell }
 

@@ -135,7 +135,7 @@ func TestAdaptiveStudyValidation(t *testing.T) {
 }
 
 func TestMulticellStudy(t *testing.T) {
-	out, err := MulticellStudy(2, 3)
+	out, err := MulticellStudy(2, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,15 @@ func TestMulticellStudy(t *testing.T) {
 			t.Fatalf("multicell study output missing %q:\n%s", want, out)
 		}
 	}
-	if _, err := MulticellStudy(0, 1); err == nil {
+	// The worker count must not change the rendered numbers.
+	par, err := MulticellStudy(2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != out {
+		t.Fatalf("parallel study output differs from serial:\n%s\nvs\n%s", par, out)
+	}
+	if _, err := MulticellStudy(0, 1, 0); err == nil {
 		t.Fatal("zero cells accepted")
 	}
 }

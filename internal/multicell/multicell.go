@@ -5,6 +5,24 @@
 // cooperate: on a local cache miss a station copies a neighbouring cell's
 // cached entry (staleness preserved) over the fixed network instead of
 // reaching the remote server.
+//
+// # Tick engine
+//
+// Each tick runs in two phases. The serial phase advances the shared
+// state no cell may touch concurrently: client mobility, the shared
+// server's update schedule (whose OnUpdate callbacks decay every cell's
+// cache), per-cell request generation, and — with cooperative caching on
+// — the sharing snapshot, which reads neighbour caches and must complete
+// before any cell mutates. The parallel phase then fans ServeTick across
+// cells on a bounded worker pool, each cell confined to its own cache,
+// policy, and metrics shard, with results landing in an order-stable
+// slice.
+//
+// Determinism: every random draw in the serial phase comes either from
+// the population's private stream or from one of the per-cell streams
+// derived via a splitmix64 chain from Config.Seed, and the parallel phase
+// consumes no randomness at all, so a run's Report is byte-identical for
+// any worker count — Workers only changes wall-clock time.
 package multicell
 
 import (
@@ -16,6 +34,7 @@ import (
 	"mobicache/internal/client"
 	"mobicache/internal/core"
 	"mobicache/internal/obs"
+	"mobicache/internal/parallel"
 	"mobicache/internal/policy"
 	"mobicache/internal/rng"
 	"mobicache/internal/server"
@@ -27,7 +46,7 @@ type Config struct {
 	Cells int
 	// Objects is the number of unit-size objects served.
 	Objects int
-	// UpdatePeriod is the simultaneous update period.
+	// UpdatePeriod is the simultaneous update period (0 = default 5).
 	UpdatePeriod int
 	// BudgetPerTick is each station's per-tick download budget
 	// (0 = unlimited).
@@ -43,25 +62,79 @@ type Config struct {
 	Pattern rng.Popularity
 	// CacheSharing enables cooperative base-station caching.
 	CacheSharing bool
+	// Workers bounds the goroutines serving cells in the parallel phase:
+	// 1 runs the serial engine (no goroutines), 0 picks a default from
+	// GOMAXPROCS capped at Cells. Any value yields the identical Report.
+	Workers int
 	// Seed drives all randomness.
 	Seed uint64
-	// Metrics, when non-nil, receives live observability updates. All
-	// cells share the bundle's aggregate station metrics (the counters
-	// are atomic), so mobicache_ticks_total counts cell-ticks.
+	// Metrics, when non-nil, receives live observability updates. The
+	// bundle must come from obs.NewMulticellMetrics: each cell writes to
+	// its own per-cell shard ({cell="N"} series), and after every tick
+	// the shards are merged into the aggregate Station bundle, whose
+	// mobicache_ticks_total counts engine ticks — not cell-ticks.
 	Metrics *obs.MulticellMetrics
+}
+
+// validate rejects a malformed configuration up front, so errors carry
+// multicell context instead of surfacing later from some cell's station
+// constructor.
+func (cfg *Config) validate() error {
+	if cfg.Cells <= 0 {
+		return fmt.Errorf("multicell: cells %d must be positive", cfg.Cells)
+	}
+	if cfg.Objects <= 0 {
+		return fmt.Errorf("multicell: objects %d must be positive", cfg.Objects)
+	}
+	if cfg.Clients <= 0 {
+		return fmt.Errorf("multicell: clients %d must be positive", cfg.Clients)
+	}
+	if cfg.RequestProb < 0 || cfg.RequestProb > 1 {
+		return fmt.Errorf("multicell: request probability %v out of [0,1]", cfg.RequestProb)
+	}
+	if cfg.BudgetPerTick < 0 {
+		return fmt.Errorf("multicell: negative per-cell download budget %d", cfg.BudgetPerTick)
+	}
+	if cfg.UpdatePeriod < 0 {
+		return fmt.Errorf("multicell: negative update period %d", cfg.UpdatePeriod)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("multicell: negative worker count %d", cfg.Workers)
+	}
+	m := cfg.Mobility.WithDefaults()
+	if m.MeanResidence < 1 {
+		return fmt.Errorf("multicell: mean residence %v must be >= 1", m.MeanResidence)
+	}
+	if m.PDisconnect < 0 || m.PDisconnect > 1 {
+		return fmt.Errorf("multicell: disconnect probability %v out of [0,1]", m.PDisconnect)
+	}
+	if m.MeanAbsence < 1 {
+		return fmt.Errorf("multicell: mean absence %v must be >= 1", m.MeanAbsence)
+	}
+	return nil
 }
 
 // Report aggregates a run.
 type Report struct {
-	Ticks         int
-	Requests      uint64
-	Downloads     uint64 // remote-server downloads across all cells
-	SharedCopies  uint64 // cooperative copies between stations
-	MeanScore     float64
-	MeanRecency   float64
-	Handoffs      uint64
-	Drops         uint64
-	PerCellScores []float64
+	Ticks              int
+	Requests           uint64
+	Downloads          uint64 // remote-server downloads across all cells
+	SharedCopies       uint64 // cooperative copies between stations
+	SharedCopyFailures uint64 // cooperative copies the local cache rejected
+	MeanScore          float64
+	MeanRecency        float64
+	Handoffs           uint64
+	Drops              uint64
+	PerCellScores      []float64
+	PerCellRequests    []uint64
+	PerCellDownloads   []uint64
+}
+
+// shareOp is one gathered cooperative copy: install src (an entry of some
+// neighbour's cache) into cell's cache.
+type shareOp struct {
+	cell int
+	src  *cache.Entry
 }
 
 // System is a running multi-cell deployment.
@@ -71,27 +144,43 @@ type System struct {
 	srv      *server.Server
 	stations []*basestation.Station
 	pop      *client.Population
-	src      *rng.Source
-	sampler  *rng.Alias
-	shared   uint64
+	// cellSrc holds one independent request stream per cell, derived via
+	// a splitmix64 chain from cfg.Seed, so a cell's draws depend only on
+	// the clients visiting it — never on sibling cells or worker count.
+	cellSrc []*rng.Source
+	sampler *rng.Alias
+	workers int
+	merger  *obs.ShardMerger
+
+	shared         uint64
+	sharedFailures uint64
 	// lastHandoffs/lastDrops remember the population counters at the end
 	// of the previous tick so metrics record per-tick deltas.
 	lastHandoffs uint64
 	lastDrops    uint64
+
+	// Reusable per-tick scratch, hoisted out of the tick loop so
+	// steady-state ticks allocate nothing.
+	perCell    [][]client.Request       // this tick's requests, by cell
+	results    []basestation.TickResult // order-stable parallel-phase results
+	cellTotals []basestation.Totals
+	seen       []bool       // per-object dedup during the sharing gather
+	seenIDs    []catalog.ID // flagged entries, for an O(flags) reset
+	pending    []shareOp    // gathered copies, applied after all gathers
+	genVisit   func(i, cell int)
+	genTick    int
+	connected  int
 }
 
 // New builds the system: one shared server, one station per cell (each
-// with its own unlimited cache and on-demand knapsack policy), and a
-// mobile population spread over the cells.
+// with its own unlimited cache, on-demand knapsack policy, and — when
+// metrics are attached — its own per-cell metrics shard), and a mobile
+// population spread over the cells.
 func New(cfg Config) (*System, error) {
-	if cfg.Cells <= 0 || cfg.Objects <= 0 || cfg.Clients <= 0 {
-		return nil, fmt.Errorf("multicell: cells %d / objects %d / clients %d must be positive",
-			cfg.Cells, cfg.Objects, cfg.Clients)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	if cfg.RequestProb < 0 || cfg.RequestProb > 1 {
-		return nil, fmt.Errorf("multicell: request probability %v out of [0,1]", cfg.RequestProb)
-	}
-	if cfg.UpdatePeriod <= 0 {
+	if cfg.UpdatePeriod == 0 {
 		cfg.UpdatePeriod = 5
 	}
 	cfg.Mobility = cfg.Mobility.WithDefaults()
@@ -101,19 +190,29 @@ func New(cfg Config) (*System, error) {
 	}
 	srv := server.New(cat, catalog.NewPeriodicAll(cat, cfg.UpdatePeriod))
 	sys := &System{
-		cfg:     cfg,
-		cat:     cat,
-		srv:     srv,
-		src:     rng.New(cfg.Seed),
-		sampler: cfg.Pattern.NewSampler(cat.Len()),
+		cfg:        cfg,
+		cat:        cat,
+		srv:        srv,
+		cellSrc:    rng.Streams(cfg.Seed, cfg.Cells),
+		sampler:    cfg.Pattern.NewSampler(cat.Len()),
+		workers:    parallel.Workers(cfg.Cells),
+		perCell:    make([][]client.Request, cfg.Cells),
+		results:    make([]basestation.TickResult, cfg.Cells),
+		cellTotals: make([]basestation.Totals, cfg.Cells),
+		seen:       make([]bool, cat.Len()),
 	}
-	var sm *obs.StationMetrics
+	if cfg.Workers > 0 {
+		sys.workers = cfg.Workers
+	}
 	var ring *obs.TraceRing
+	var shards []*obs.StationMetrics
 	if cfg.Metrics != nil {
-		sm = cfg.Metrics.Station
-		if sm != nil {
-			ring = sm.Trace
+		ring = cfg.Metrics.Station.Trace
+		shards = make([]*obs.StationMetrics, cfg.Cells)
+		for c := range shards {
+			shards[c] = cfg.Metrics.CellShard(c)
 		}
+		sys.merger = obs.NewShardMerger(cfg.Metrics.Station, shards)
 	}
 	for c := 0; c < cfg.Cells; c++ {
 		sel, err := core.NewSelector(cat, core.Config{Trace: ring})
@@ -123,6 +222,10 @@ func New(cfg Config) (*System, error) {
 		pol, err := policy.NewOnDemandKnapsack(sel)
 		if err != nil {
 			return nil, err
+		}
+		var sm *obs.StationMetrics
+		if shards != nil {
+			sm = shards[c]
 		}
 		st, err := basestation.New(basestation.Config{
 			Catalog:          cat,
@@ -142,69 +245,58 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	sys.pop = pop
+	// The request-generation visitor is built once so the per-tick
+	// population walk allocates no closure.
+	sys.genVisit = func(i, cell int) {
+		sys.connected++
+		src := sys.cellSrc[cell]
+		if !src.Bernoulli(sys.cfg.RequestProb) {
+			return
+		}
+		sys.perCell[cell] = append(sys.perCell[cell], client.Request{
+			Client: i,
+			Object: catalog.ID(sys.sampler.Sample(src)),
+			Target: 1,
+			Tick:   sys.genTick,
+		})
+	}
 	return sys, nil
 }
 
 // Station returns cell c's base station (for inspection).
 func (s *System) Station(c int) *basestation.Station { return s.stations[c] }
 
-// Run executes n ticks and returns the aggregated report.
+// Workers returns the worker count the parallel phase runs with.
+func (s *System) Workers() int { return s.workers }
+
+// Run executes n ticks and returns the aggregated report. Repeated Runs
+// continue the same deployment but restart the tick clock (and therefore
+// the update schedule) at zero; totals cover only the latest Run.
 func (s *System) Run(n int) (Report, error) {
 	var rep Report
-	cellTotals := make([]basestation.Totals, s.cfg.Cells)
+	for i := range s.cellTotals {
+		s.cellTotals[i] = basestation.Totals{}
+	}
 	for tick := 0; tick < n; tick++ {
-		s.pop.Tick()
-		updated := s.srv.Tick(tick)
-
-		// Connected clients issue requests to their cell's station.
-		perCell := make([][]client.Request, s.cfg.Cells)
-		connected := 0
-		for i := 0; i < s.pop.Len(); i++ {
-			if !s.pop.Connected(i) {
-				continue
-			}
-			connected++
-			if !s.src.Bernoulli(s.cfg.RequestProb) {
-				continue
-			}
-			cell := s.pop.Cell(i)
-			perCell[cell] = append(perCell[cell], client.Request{
-				Client: i,
-				Object: catalog.ID(s.sampler.Sample(s.src)),
-				Target: 1,
-				Tick:   tick,
-			})
-		}
-		if m := s.cfg.Metrics; m != nil {
-			m.Connected.Set(float64(connected))
-			m.Handoffs.Add(s.pop.Handoffs() - s.lastHandoffs)
-			m.Drops.Add(s.pop.Drops() - s.lastDrops)
-			s.lastHandoffs, s.lastDrops = s.pop.Handoffs(), s.pop.Drops()
-		}
-
-		for c, st := range s.stations {
-			if s.cfg.CacheSharing {
-				s.shareInto(c, perCell[c], float64(tick))
-			}
-			res, err := st.ServeTick(tick, perCell[c], updated)
-			if err != nil {
-				return rep, fmt.Errorf("multicell: cell %d: %w", c, err)
-			}
-			cellTotals[c].Add(res)
+		if err := s.tick(tick); err != nil {
+			return rep, err
 		}
 	}
 	rep.Ticks = n
 	rep.Handoffs = s.pop.Handoffs()
 	rep.Drops = s.pop.Drops()
 	rep.SharedCopies = s.shared
+	rep.SharedCopyFailures = s.sharedFailures
 	var scoreSum, recencySum float64
-	for c := range cellTotals {
-		t := &cellTotals[c]
+	for c := range s.cellTotals {
+		t := &s.cellTotals[c]
 		rep.Requests += t.Requests
 		rep.Downloads += t.Downloads()
 		scoreSum += t.ScoreSum
 		recencySum += t.RecencySum
 		rep.PerCellScores = append(rep.PerCellScores, t.MeanScore())
+		rep.PerCellRequests = append(rep.PerCellRequests, t.Requests)
+		rep.PerCellDownloads = append(rep.PerCellDownloads, t.Downloads())
 	}
 	if rep.Requests > 0 {
 		rep.MeanScore = scoreSum / float64(rep.Requests)
@@ -213,16 +305,94 @@ func (s *System) Run(n int) (Report, error) {
 	return rep, nil
 }
 
-// shareInto copies entries for cell's requested-but-absent objects from
-// whichever other cell holds the freshest copy.
-func (s *System) shareInto(cell int, reqs []client.Request, now float64) {
+// tick advances the system one time unit: the serial phase (mobility,
+// server updates, request generation, sharing snapshot), the parallel
+// phase (ServeTick fanned across cells), and the metrics merge.
+func (s *System) tick(tick int) error {
+	// Serial phase. Mobility and the shared server tick first: the
+	// server's OnUpdate callbacks decay every cell's cache, which must
+	// finish before any cell serves.
+	s.pop.Tick()
+	updated := s.srv.Tick(tick)
+
+	// Connected clients issue requests to their cell's station, each
+	// drawn from the cell's private stream.
+	for c := range s.perCell {
+		s.perCell[c] = s.perCell[c][:0]
+	}
+	s.connected = 0
+	s.genTick = tick
+	s.pop.ForEachConnected(s.genVisit)
+
+	if m := s.cfg.Metrics; m != nil {
+		m.Connected.Set(float64(s.connected))
+		m.Handoffs.Add(s.pop.Handoffs() - s.lastHandoffs)
+		m.Drops.Add(s.pop.Drops() - s.lastDrops)
+		s.lastHandoffs, s.lastDrops = s.pop.Handoffs(), s.pop.Drops()
+	}
+
+	if s.cfg.CacheSharing {
+		// Sharing snapshot: gather every cell's copies against the
+		// pre-tick cache state, then apply them all. No cell observes a
+		// neighbour's same-tick copies, so the outcome is independent of
+		// cell order — and of the worker count in the phase below.
+		for c := range s.stations {
+			s.gatherShared(c, s.perCell[c])
+		}
+		s.applyShared(float64(tick))
+	}
+
+	// Parallel phase: every cell serves its tick against private state
+	// (cache, policy, metrics shard); the shared server only sees
+	// concurrency-safe Downloads. Workers == 1 keeps the loop free of
+	// goroutines entirely.
+	if s.workers == 1 || len(s.stations) == 1 {
+		for c, st := range s.stations {
+			res, err := st.ServeTick(tick, s.perCell[c], updated)
+			if err != nil {
+				return fmt.Errorf("multicell: cell %d: %w", c, err)
+			}
+			s.results[c] = res
+		}
+	} else {
+		err := parallel.ForEach(len(s.stations), s.workers, func(c int) error {
+			res, err := s.stations[c].ServeTick(tick, s.perCell[c], updated)
+			if err != nil {
+				return fmt.Errorf("multicell: cell %d: %w", c, err)
+			}
+			s.results[c] = res
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for c := range s.results {
+		s.cellTotals[c].Add(s.results[c])
+	}
+
+	if m := s.cfg.Metrics; m != nil {
+		// The engine owns the aggregate's tick and update counters (one
+		// engine tick, one batch of master updates — not one per cell);
+		// everything else flows in from the per-cell shards.
+		m.Station.Ticks.Inc()
+		m.Station.ServerUpdates.Add(uint64(len(updated)))
+		s.merger.Merge()
+	}
+	return nil
+}
+
+// gatherShared scans cell's requested-but-locally-absent objects against
+// the pre-tick snapshot of the neighbour caches and queues a copy of the
+// freshest remote entry (ties to the lowest donor cell) for applyShared.
+func (s *System) gatherShared(cell int, reqs []client.Request) {
 	local := s.stations[cell].Cache()
-	seen := make(map[catalog.ID]bool)
 	for _, r := range reqs {
-		if seen[r.Object] || local.Contains(r.Object) {
+		if s.seen[r.Object] || local.Contains(r.Object) {
 			continue
 		}
-		seen[r.Object] = true
+		s.seen[r.Object] = true
+		s.seenIDs = append(s.seenIDs, r.Object)
 		var best *cache.Entry
 		for o, other := range s.stations {
 			if o == cell {
@@ -235,12 +405,33 @@ func (s *System) shareInto(cell int, reqs []client.Request, now float64) {
 			}
 		}
 		if best != nil {
-			if err := local.PutCopy(best, now); err == nil {
-				s.shared++
-				if m := s.cfg.Metrics; m != nil {
-					m.SharedCopies.Inc()
-				}
-			}
+			s.pending = append(s.pending, shareOp{cell: cell, src: best})
 		}
 	}
+	for _, id := range s.seenIDs {
+		s.seen[id] = false
+	}
+	s.seenIDs = s.seenIDs[:0]
+}
+
+// applyShared installs the gathered copies. A rejected copy (a bounded
+// local cache can refuse the insert) is counted, not dropped silently:
+// cooperative sharing that quietly does nothing looks identical to a
+// neighbourhood with no useful copies.
+func (s *System) applyShared(now float64) {
+	m := s.cfg.Metrics
+	for _, op := range s.pending {
+		if err := s.stations[op.cell].Cache().PutCopy(op.src, now); err != nil {
+			s.sharedFailures++
+			if m != nil {
+				m.SharedCopyFailures.Inc()
+			}
+			continue
+		}
+		s.shared++
+		if m != nil {
+			m.SharedCopies.Inc()
+		}
+	}
+	s.pending = s.pending[:0]
 }

@@ -123,6 +123,43 @@ func (h *Histogram) Bounds() []float64 {
 	return out
 }
 
+// SnapshotInto copies the raw (non-cumulative) per-bucket counts into
+// dst, which must have length len(Bounds())+1 (the last slot is the +Inf
+// bucket), and returns the observation sum and count. It allocates
+// nothing, so periodic shard merging can read histograms on a hot path.
+// The copy is not atomic across buckets; callers that need exact totals
+// must quiesce writers first (the multi-cell engine merges between ticks).
+func (h *Histogram) SnapshotInto(dst []uint64) (sum float64, n uint64) {
+	if len(dst) != len(h.counts) {
+		panic(fmt.Sprintf("obs: SnapshotInto dst length %d, histogram has %d buckets", len(dst), len(h.counts)))
+	}
+	for i := range h.counts {
+		dst[i] = h.counts[i].Load()
+	}
+	return h.sum.Value(), h.n.Load()
+}
+
+// AddRaw folds pre-aggregated observations into the histogram: per-bucket
+// count deltas (length len(Bounds())+1, +Inf last), a sum delta, and a
+// count delta. It is how an aggregate histogram absorbs the growth of
+// per-cell shards without replaying individual observations.
+func (h *Histogram) AddRaw(buckets []uint64, sum float64, n uint64) {
+	if len(buckets) != len(h.counts) {
+		panic(fmt.Sprintf("obs: AddRaw bucket length %d, histogram has %d buckets", len(buckets), len(h.counts)))
+	}
+	for i, c := range buckets {
+		if c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	if n != 0 {
+		h.n.Add(n)
+	}
+	if sum != 0 {
+		h.sum.Add(sum)
+	}
+}
+
 // Cumulative returns the cumulative count at each bound, ending with the
 // +Inf bucket (== N up to racing writers).
 func (h *Histogram) Cumulative() []uint64 {

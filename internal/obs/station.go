@@ -1,5 +1,10 @@
 package obs
 
+import (
+	"fmt"
+	"sync"
+)
+
 // Default bucket bounds for the station histograms. Exported so the
 // daemon and tests can assert against the same layout.
 var (
@@ -42,46 +47,223 @@ type StationMetrics struct {
 	Trace *TraceRing
 }
 
-// NewStationMetrics registers the station bundle on r with a decision
-// trace ring of traceCap entries (<= 0 uses DefaultTraceCap).
-func NewStationMetrics(r *Registry, traceCap int) *StationMetrics {
+// newStationMetrics registers one station bundle whose series names all
+// carry the given suffix (empty for the aggregate, `{cell="N"}` for a
+// per-cell shard — the registry groups labeled series into one family).
+// The trace ring is supplied by the caller so shards can share the
+// aggregate ring instead of each allocating their own.
+func newStationMetrics(r *Registry, suffix string, trace *TraceRing) *StationMetrics {
+	n := func(base string) string { return base + suffix }
 	return &StationMetrics{
-		Ticks:           r.Counter("mobicache_ticks_total", "simulated ticks executed"),
-		Requests:        r.Counter("mobicache_requests_total", "client requests served"),
-		ServerUpdates:   r.Counter("mobicache_server_updates_total", "master updates observed at the station"),
-		PolicyDownloads: r.Counter("mobicache_policy_downloads_total", "downloads chosen by the refresh policy"),
-		MissDownloads:   r.Counter("mobicache_miss_downloads_total", "compulsory downloads for cache misses"),
-		FailedDownloads: r.Counter("mobicache_failed_downloads_total", "downloads abandoned after retries/timeout"),
-		Retries:         r.Counter("mobicache_fetch_retries_total", "extra fetch attempts beyond the first"),
-		StaleFallbacks:  r.Counter("mobicache_stale_fallbacks_total", "requests served a stale copy because the refresh failed"),
-		DownloadUnits:   r.Counter("mobicache_download_units_total", "data units fetched over the fixed network"),
-		BudgetRemaining: r.Gauge("mobicache_budget_remaining_units", "download budget left after the last tick's policy spend"),
-		TickBytes:       r.Histogram("mobicache_tick_download_units", "data units downloaded per tick", TickBytesBounds),
-		FetchLatency:    r.Histogram("mobicache_fetch_latency_ticks", "simulated fetch latency per download (attempts + backoff)", FetchLatencyBounds),
-		ClientScore:     r.Histogram("mobicache_client_score", "per-request client recency score", ClientScoreBounds),
-		SolveTime:       r.Histogram("mobicache_solve_seconds", "wall-clock policy decision time per tick", SolveTimeBounds),
-		Trace:           NewTraceRing(traceCap),
+		Ticks:           r.Counter(n("mobicache_ticks_total"), "simulated ticks executed"),
+		Requests:        r.Counter(n("mobicache_requests_total"), "client requests served"),
+		ServerUpdates:   r.Counter(n("mobicache_server_updates_total"), "master updates observed at the station"),
+		PolicyDownloads: r.Counter(n("mobicache_policy_downloads_total"), "downloads chosen by the refresh policy"),
+		MissDownloads:   r.Counter(n("mobicache_miss_downloads_total"), "compulsory downloads for cache misses"),
+		FailedDownloads: r.Counter(n("mobicache_failed_downloads_total"), "downloads abandoned after retries/timeout"),
+		Retries:         r.Counter(n("mobicache_fetch_retries_total"), "extra fetch attempts beyond the first"),
+		StaleFallbacks:  r.Counter(n("mobicache_stale_fallbacks_total"), "requests served a stale copy because the refresh failed"),
+		DownloadUnits:   r.Counter(n("mobicache_download_units_total"), "data units fetched over the fixed network"),
+		BudgetRemaining: r.Gauge(n("mobicache_budget_remaining_units"), "download budget left after the last tick's policy spend"),
+		TickBytes:       r.Histogram(n("mobicache_tick_download_units"), "data units downloaded per tick", TickBytesBounds),
+		FetchLatency:    r.Histogram(n("mobicache_fetch_latency_ticks"), "simulated fetch latency per download (attempts + backoff)", FetchLatencyBounds),
+		ClientScore:     r.Histogram(n("mobicache_client_score"), "per-request client recency score", ClientScoreBounds),
+		SolveTime:       r.Histogram(n("mobicache_solve_seconds"), "wall-clock policy decision time per tick", SolveTimeBounds),
+		Trace:           trace,
 	}
 }
 
+// NewStationMetrics registers the station bundle on r with a decision
+// trace ring of traceCap entries (<= 0 uses DefaultTraceCap).
+func NewStationMetrics(r *Registry, traceCap int) *StationMetrics {
+	return newStationMetrics(r, "", NewTraceRing(traceCap))
+}
+
 // MulticellMetrics extends the station bundle with the mobility and
-// cooperation counters only a multi-cell deployment produces. All cells
-// share one aggregate StationMetrics (the counters are atomic).
+// cooperation counters only a multi-cell deployment produces. Station is
+// the aggregate across cells: its Ticks counter counts engine ticks (not
+// cell-ticks) and its other series absorb per-cell shard growth each tick
+// via a ShardMerger. Per-cell shards — the same series names with a
+// {cell="N"} label — are registered on demand through CellShard.
 type MulticellMetrics struct {
-	Station      *StationMetrics
-	Handoffs     *Counter // cell-to-cell client moves
-	Drops        *Counter // client disconnections
-	SharedCopies *Counter // cooperative copies between base stations
-	Connected    *Gauge   // currently connected clients
+	Station            *StationMetrics
+	Handoffs           *Counter // cell-to-cell client moves
+	Drops              *Counter // client disconnections
+	SharedCopies       *Counter // cooperative copies between base stations
+	SharedCopyFailures *Counter // cooperative copies rejected by the local cache
+	Connected          *Gauge   // currently connected clients
+
+	reg *Registry
+
+	mu    sync.Mutex
+	cells []*StationMetrics
 }
 
 // NewMulticellMetrics registers the multi-cell bundle on r.
 func NewMulticellMetrics(r *Registry, traceCap int) *MulticellMetrics {
 	return &MulticellMetrics{
-		Station:      NewStationMetrics(r, traceCap),
-		Handoffs:     r.Counter("mobicache_handoffs_total", "cell-to-cell client moves"),
-		Drops:        r.Counter("mobicache_drops_total", "client disconnections"),
-		SharedCopies: r.Counter("mobicache_shared_copies_total", "cooperative copies between base stations"),
-		Connected:    r.Gauge("mobicache_connected_clients", "currently connected clients"),
+		Station:            NewStationMetrics(r, traceCap),
+		Handoffs:           r.Counter("mobicache_handoffs_total", "cell-to-cell client moves"),
+		Drops:              r.Counter("mobicache_drops_total", "client disconnections"),
+		SharedCopies:       r.Counter("mobicache_shared_copies_total", "cooperative copies between base stations"),
+		SharedCopyFailures: r.Counter("mobicache_shared_copy_failures_total", "cooperative copies the local cache rejected (e.g. bounded-cache insert failures)"),
+		Connected:          r.Gauge("mobicache_connected_clients", "currently connected clients"),
+		reg:                r,
+	}
+}
+
+// CellShard returns cell's per-cell station bundle, registering it on
+// first use: every series name gains a {cell="N"} label so scrapes see
+// one family with one series per cell plus the unlabeled aggregate.
+// Shards share the aggregate's decision-trace ring (it is mutex-guarded,
+// so concurrently served cells may record into it). Registration is
+// idempotent — rebuilding a system on the same registry reuses the
+// existing series. It panics on a bundle not built by NewMulticellMetrics
+// (no registry to register shards on) or a negative cell.
+func (m *MulticellMetrics) CellShard(cell int) *StationMetrics {
+	if m.reg == nil {
+		panic("obs: CellShard on a MulticellMetrics not built by NewMulticellMetrics")
+	}
+	if cell < 0 {
+		panic(fmt.Sprintf("obs: CellShard of negative cell %d", cell))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.cells) <= cell {
+		m.cells = append(m.cells, nil)
+	}
+	if m.cells[cell] == nil {
+		m.cells[cell] = newStationMetrics(m.reg, fmt.Sprintf(`{cell="%d"}`, cell), m.Station.Trace)
+	}
+	return m.cells[cell]
+}
+
+// histCursor remembers the last-merged state of one shard histogram:
+// raw per-bucket counts plus the observation sum and count. delta is the
+// scratch the per-merge growth is computed into.
+type histCursor struct {
+	counts []uint64
+	delta  []uint64
+	sum    float64
+	n      uint64
+}
+
+// ShardMerger folds the growth of per-cell station shards into an
+// aggregate bundle. Each Merge reads every shard, computes the delta
+// since the previous Merge, and adds it to the aggregate's counters,
+// histograms, and budget gauge — all against pre-sized cursors, so the
+// steady-state merge allocates nothing.
+//
+// Two series are deliberately NOT merged: Ticks and ServerUpdates.
+// Summing those across shards would turn the aggregate back into
+// cell-tick counts (every cell ticks once per engine tick and observes
+// the same master updates); the engine owns the aggregate's view of both
+// and bumps them once per tick. The aggregate BudgetRemaining gauge is
+// set to the sum of the shard gauges, or to UnlimitedBudget if any shard
+// ran without a budget.
+//
+// Merge must not run concurrently with shard updates — the multi-cell
+// engine calls it from the serial phase, after every cell's tick has
+// completed.
+type ShardMerger struct {
+	agg    *StationMetrics
+	shards []*StationMetrics
+
+	// aggCounters[i] receives deltas of counters[s][i] for every shard s;
+	// prev[s][i] is the value merged so far.
+	aggCounters []*Counter
+	counters    [][]*Counter
+	prev        [][]uint64
+
+	aggHists []*Histogram
+	hists    [][]*Histogram
+	cursors  [][]histCursor
+}
+
+// mergeableCounters lists the shard counters an aggregate absorbs, in a
+// fixed order shared by shards and the aggregate. Ticks and ServerUpdates
+// are excluded — see the ShardMerger contract.
+func mergeableCounters(s *StationMetrics) []*Counter {
+	return []*Counter{
+		s.Requests, s.PolicyDownloads, s.MissDownloads, s.FailedDownloads,
+		s.Retries, s.StaleFallbacks, s.DownloadUnits,
+	}
+}
+
+// mergeableHistograms lists the shard histograms an aggregate absorbs.
+func mergeableHistograms(s *StationMetrics) []*Histogram {
+	return []*Histogram{s.TickBytes, s.FetchLatency, s.ClientScore, s.SolveTime}
+}
+
+// NewShardMerger prepares a merger of the given shards into agg, folding
+// only growth that happens after this call: the cursors start at the
+// shards' current values, so rebuilding an engine against shards that
+// already carry history (a daemon running simulation after simulation on
+// one registry) does not re-add that history to the aggregate. Shards
+// must have the same histogram bucket layouts as the aggregate (they do
+// when both come from the same MulticellMetrics).
+func NewShardMerger(agg *StationMetrics, shards []*StationMetrics) *ShardMerger {
+	m := &ShardMerger{
+		agg:         agg,
+		shards:      shards,
+		aggCounters: mergeableCounters(agg),
+		aggHists:    mergeableHistograms(agg),
+	}
+	for _, sh := range shards {
+		cs := mergeableCounters(sh)
+		m.counters = append(m.counters, cs)
+		prev := make([]uint64, len(cs))
+		for i, c := range cs {
+			prev[i] = c.Value()
+		}
+		m.prev = append(m.prev, prev)
+		hs := mergeableHistograms(sh)
+		m.hists = append(m.hists, hs)
+		cur := make([]histCursor, len(hs))
+		for i, h := range hs {
+			buckets := len(h.Bounds()) + 1
+			cur[i] = histCursor{counts: make([]uint64, buckets), delta: make([]uint64, buckets)}
+			cur[i].sum, cur[i].n = h.SnapshotInto(cur[i].counts)
+		}
+		m.cursors = append(m.cursors, cur)
+	}
+	return m
+}
+
+// Merge folds every shard's growth since the last Merge into the
+// aggregate bundle.
+func (m *ShardMerger) Merge() {
+	unlimited := false
+	budget := 0.0
+	for s := range m.shards {
+		for i, c := range m.counters[s] {
+			cur := c.Value()
+			if d := cur - m.prev[s][i]; d != 0 {
+				m.aggCounters[i].Add(d)
+			}
+			m.prev[s][i] = cur
+		}
+		for i, h := range m.hists[s] {
+			cur := &m.cursors[s][i]
+			sum, n := h.SnapshotInto(cur.delta)
+			if n != cur.n || sum != cur.sum {
+				for b := range cur.delta {
+					cur.delta[b], cur.counts[b] = cur.delta[b]-cur.counts[b], cur.delta[b]
+				}
+				m.aggHists[i].AddRaw(cur.delta, sum-cur.sum, n-cur.n)
+				cur.sum, cur.n = sum, n
+			}
+		}
+		v := m.shards[s].BudgetRemaining.Value()
+		if int64(v) == UnlimitedBudget {
+			unlimited = true
+		} else {
+			budget += v
+		}
+	}
+	if unlimited {
+		m.agg.BudgetRemaining.Set(float64(UnlimitedBudget))
+	} else {
+		m.agg.BudgetRemaining.Set(budget)
 	}
 }

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramSnapshotIntoAddRawRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	src := r.Histogram("src", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100, 3, 1.5} {
+		src.Observe(v)
+	}
+	buckets := make([]uint64, len(src.Bounds())+1)
+	sum, n := src.SnapshotInto(buckets)
+	if n != 6 || sum != 109.5 {
+		t.Fatalf("snapshot sum=%v n=%d", sum, n)
+	}
+
+	dst := r.Histogram("dst", "", []float64{1, 2, 4})
+	dst.AddRaw(buckets, sum, n)
+	if dst.N() != src.N() || dst.Sum() != src.Sum() {
+		t.Fatalf("round trip lost totals: n %d vs %d, sum %v vs %v", dst.N(), src.N(), dst.Sum(), src.Sum())
+	}
+	want := src.Cumulative()
+	got := dst.Cumulative()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogramSnapshotIntoLengthPanics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched SnapshotInto length accepted")
+		}
+	}()
+	h.SnapshotInto(make([]uint64, 1))
+}
+
+func TestCellShardRegistration(t *testing.T) {
+	r := NewRegistry()
+	m := NewMulticellMetrics(r, 4)
+	s0 := m.CellShard(0)
+	s2 := m.CellShard(2)
+	if s0 == nil || s2 == nil || s0 == s2 {
+		t.Fatalf("shards not distinct: %p %p", s0, s2)
+	}
+	if m.CellShard(0) != s0 {
+		t.Fatal("CellShard not idempotent")
+	}
+	if s0.Trace != m.Station.Trace {
+		t.Fatal("shard does not share the aggregate trace ring")
+	}
+	s0.Requests.Add(3)
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `mobicache_requests_total{cell="0"} 3`) {
+		t.Fatalf("labeled series missing from render:\n%s", out)
+	}
+	if !strings.Contains(out, `mobicache_ticks_total{cell="2"}`) {
+		t.Fatalf("cell 2 series missing from render:\n%s", out)
+	}
+}
+
+func TestCellShardPanics(t *testing.T) {
+	r := NewRegistry()
+	m := NewMulticellMetrics(r, 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("negative cell accepted")
+			}
+		}()
+		m.CellShard(-1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("zero-value bundle accepted")
+			}
+		}()
+		var bare MulticellMetrics
+		bare.CellShard(0)
+	}()
+}
+
+func TestShardMergerCountersAndHistograms(t *testing.T) {
+	r := NewRegistry()
+	m := NewMulticellMetrics(r, 0)
+	shards := []*StationMetrics{m.CellShard(0), m.CellShard(1)}
+	merger := NewShardMerger(m.Station, shards)
+
+	shards[0].Requests.Add(5)
+	shards[1].Requests.Add(7)
+	shards[0].DownloadUnits.Add(2)
+	shards[0].TickBytes.Observe(2)
+	shards[1].TickBytes.Observe(16)
+	shards[0].Ticks.Inc() // must NOT leak into the aggregate
+	shards[1].ServerUpdates.Add(9)
+	shards[0].BudgetRemaining.Set(3)
+	shards[1].BudgetRemaining.Set(4)
+
+	merger.Merge()
+	if got := m.Station.Requests.Value(); got != 12 {
+		t.Fatalf("aggregate requests = %d, want 12", got)
+	}
+	if got := m.Station.DownloadUnits.Value(); got != 2 {
+		t.Fatalf("aggregate units = %d, want 2", got)
+	}
+	if got := m.Station.Ticks.Value(); got != 0 {
+		t.Fatalf("shard cell-ticks leaked into aggregate: %d", got)
+	}
+	if got := m.Station.ServerUpdates.Value(); got != 0 {
+		t.Fatalf("shard server-updates leaked into aggregate: %d", got)
+	}
+	if got := m.Station.TickBytes.N(); got != 2 {
+		t.Fatalf("aggregate histogram n = %d, want 2", got)
+	}
+	if got := m.Station.TickBytes.Sum(); got != 18 {
+		t.Fatalf("aggregate histogram sum = %v, want 18", got)
+	}
+	if got := m.Station.BudgetRemaining.Value(); got != 7 {
+		t.Fatalf("aggregate budget = %v, want 7", got)
+	}
+
+	// A second merge with no shard growth must add nothing.
+	merger.Merge()
+	if got := m.Station.Requests.Value(); got != 12 {
+		t.Fatalf("idempotent merge broke: requests = %d", got)
+	}
+	if got := m.Station.TickBytes.N(); got != 2 {
+		t.Fatalf("idempotent merge broke: histogram n = %d", got)
+	}
+
+	// Growth after the first merge arrives as a delta.
+	shards[1].Requests.Add(1)
+	shards[1].TickBytes.Observe(4)
+	merger.Merge()
+	if got := m.Station.Requests.Value(); got != 13 {
+		t.Fatalf("delta merge: requests = %d, want 13", got)
+	}
+	if got := m.Station.TickBytes.Sum(); got != 22 {
+		t.Fatalf("delta merge: histogram sum = %v, want 22", got)
+	}
+
+	// Any unlimited shard makes the aggregate budget unlimited.
+	shards[0].BudgetRemaining.Set(float64(UnlimitedBudget))
+	merger.Merge()
+	if got := m.Station.BudgetRemaining.Value(); int64(got) != UnlimitedBudget {
+		t.Fatalf("aggregate budget = %v, want unlimited sentinel", got)
+	}
+}
+
+func TestShardMergerMergeDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	m := NewMulticellMetrics(r, 0)
+	shards := []*StationMetrics{m.CellShard(0), m.CellShard(1), m.CellShard(2)}
+	merger := NewShardMerger(m.Station, shards)
+	merger.Merge() // warm
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, s := range shards {
+			s.Requests.Inc()
+			s.ClientScore.Observe(0.5)
+		}
+		merger.Merge()
+	})
+	if allocs != 0 {
+		t.Fatalf("Merge allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestShardMergerBaselinesExistingHistory pins the rebuild semantics: a
+// merger built against shards that already carry values (a daemon running
+// one simulation after another on the same registry) folds only growth
+// after construction, never the pre-existing history.
+func TestShardMergerBaselinesExistingHistory(t *testing.T) {
+	r := NewRegistry()
+	m := NewMulticellMetrics(r, 0)
+	sh := m.CellShard(0)
+	sh.Requests.Add(10)
+	sh.TickBytes.Observe(5)
+
+	merger := NewShardMerger(m.Station, []*StationMetrics{sh})
+	merger.Merge()
+	if got := m.Station.Requests.Value(); got != 0 {
+		t.Fatalf("pre-existing history re-added: aggregate requests = %d", got)
+	}
+	if got := m.Station.TickBytes.N(); got != 0 {
+		t.Fatalf("pre-existing history re-added: aggregate histogram n = %d", got)
+	}
+
+	sh.Requests.Add(2)
+	sh.TickBytes.Observe(3)
+	merger.Merge()
+	if got := m.Station.Requests.Value(); got != 2 {
+		t.Fatalf("post-construction growth = %d, want 2", got)
+	}
+	if got := m.Station.TickBytes.Sum(); got != 3 {
+		t.Fatalf("post-construction histogram sum = %v, want 3", got)
+	}
+}

@@ -71,6 +71,27 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64())
 }
 
+// Streams derives n mutually independent Sources from one seed by walking
+// a splitmix64 chain: stream i is seeded from the i-th splitmix64 output
+// of seed, so it depends only on (seed, i) — never on how many sibling
+// streams exist or in what order they are consumed. The multi-cell tick
+// engine keys one stream per cell this way, which is what makes its
+// request generation identical whether cells are later served serially or
+// fanned out across workers. It panics if n is negative.
+func Streams(seed uint64, n int) []*Source {
+	if n < 0 {
+		panic(fmt.Sprintf("rng: Streams called with n = %d", n))
+	}
+	out := make([]*Source, n)
+	state := seed
+	for i := range out {
+		var sub uint64
+		state, sub = splitmix64(state)
+		out[i] = New(sub)
+	}
+	return out
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *Source) Float64() float64 {
 	return float64(r.Uint64()>>11) * 0x1p-53

@@ -366,3 +366,45 @@ func TestAdjustIntSumProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStreamsDeterministicAndPrefixStable(t *testing.T) {
+	a := Streams(9, 3)
+	b := Streams(9, 5)
+	if len(a) != 3 || len(b) != 5 {
+		t.Fatalf("lengths = %d, %d", len(a), len(b))
+	}
+	// Stream i depends only on (seed, i): asking for more streams must not
+	// change the earlier ones.
+	for i := range a {
+		for k := 0; k < 10; k++ {
+			va, vb := a[i].Uint64(), b[i].Uint64()
+			if va != vb {
+				t.Fatalf("stream %d draw %d: %d != %d", i, k, va, vb)
+			}
+		}
+	}
+	// Distinct streams diverge, and distinct seeds diverge.
+	c := Streams(9, 2)
+	d := Streams(10, 2)
+	if c[0].Uint64() == c[1].Uint64() && c[0].Uint64() == c[1].Uint64() {
+		t.Fatal("sibling streams identical")
+	}
+	if e, f := Streams(9, 1), d; e[0].Uint64() == f[0].Uint64() {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestStreamsNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative stream count accepted")
+		}
+	}()
+	Streams(1, -1)
+}
+
+func TestStreamsEmpty(t *testing.T) {
+	if s := Streams(1, 0); len(s) != 0 {
+		t.Fatalf("Streams(1, 0) = %v", s)
+	}
+}

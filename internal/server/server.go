@@ -8,6 +8,7 @@ package server
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"mobicache/internal/catalog"
 	"mobicache/internal/rng"
@@ -15,14 +16,26 @@ import (
 
 // Server holds the master copies of all catalog objects and applies an
 // update schedule to them tick by tick.
+//
+// Concurrency contract: a Server is shared by every base station of a
+// multi-cell deployment, so its methods split into two classes. Tick and
+// OnUpdate belong to the coordinator — Tick must run alone (it mutates
+// versions and fires the listeners), and all OnUpdate registrations must
+// happen before the first Tick (enforced: late registration panics).
+// Download and the counter accessors (TotalDownloads, BytesOut,
+// TotalUpdates, Version) are safe to call from many stations at once
+// between Ticks: the counters are atomic and versions only change inside
+// Tick. This is what lets the multi-cell engine fan ServeTick across
+// cells while they all download from one server.
 type Server struct {
 	cat       *catalog.Catalog
 	schedule  catalog.UpdateSchedule
 	versions  []uint64
-	updates   uint64
-	downloads uint64
-	bytesOut  int64
+	updates   atomic.Uint64
+	downloads atomic.Uint64
+	bytesOut  atomic.Int64
 	listeners []func(catalog.ID)
+	ticked    bool // set by the first Tick; seals OnUpdate registration
 }
 
 // New creates a server whose objects all start at version 0.
@@ -42,17 +55,29 @@ func (s *Server) Catalog() *catalog.Catalog { return s.cat }
 
 // OnUpdate registers a callback invoked for each object update, in update
 // order. The base-station cache uses this to decay recency scores.
+//
+// Registration is only legal before the first Tick: the listener list is
+// read without locking while ticking, and in a multi-cell deployment the
+// callbacks mutate per-cell caches that may be served concurrently, so a
+// listener appearing mid-run would race. Late registration panics — it is
+// a wiring bug, not an input condition.
 func (s *Server) OnUpdate(fn func(catalog.ID)) {
+	if s.ticked {
+		panic("server: OnUpdate registration after the first Tick; wire listeners before the simulation starts")
+	}
 	s.listeners = append(s.listeners, fn)
 }
 
 // Tick applies the update schedule for the given tick and returns the IDs
-// updated (the slice is valid until the next Tick).
+// updated (the slice is valid until the next Tick). It must not run
+// concurrently with Download or with any station serving a tick — see the
+// Server concurrency contract.
 func (s *Server) Tick(tick int) []catalog.ID {
+	s.ticked = true
 	updated := s.schedule.UpdatedAt(tick)
 	for _, id := range updated {
 		s.versions[id]++
-		s.updates++
+		s.updates.Add(1)
 		for _, fn := range s.listeners {
 			fn(id)
 		}
@@ -66,21 +91,23 @@ func (s *Server) Version(id catalog.ID) uint64 {
 }
 
 // Download records a download of an object and returns the version and
-// size delivered.
+// size delivered. It is safe for concurrent use by many stations between
+// Ticks: the accounting is atomic and the version vector is read-only
+// outside Tick.
 func (s *Server) Download(id catalog.ID) (version uint64, size int64) {
-	s.downloads++
-	s.bytesOut += s.cat.Size(id)
+	s.downloads.Add(1)
+	s.bytesOut.Add(s.cat.Size(id))
 	return s.versions[id], s.cat.Size(id)
 }
 
 // TotalUpdates returns how many object updates have occurred.
-func (s *Server) TotalUpdates() uint64 { return s.updates }
+func (s *Server) TotalUpdates() uint64 { return s.updates.Load() }
 
 // TotalDownloads returns how many downloads have been served.
-func (s *Server) TotalDownloads() uint64 { return s.downloads }
+func (s *Server) TotalDownloads() uint64 { return s.downloads.Load() }
 
 // BytesOut returns the total data units served.
-func (s *Server) BytesOut() int64 { return s.bytesOut }
+func (s *Server) BytesOut() int64 { return s.bytesOut.Load() }
 
 // LatencyModel yields per-download service latency for the event-driven
 // simulation (queueing and transfer time are modeled by the network
@@ -159,11 +186,14 @@ func NewFarm(cat *catalog.Catalog, n int, schedule catalog.UpdateSchedule, laten
 // Tick applies the shared schedule for the given tick, routing each
 // update to the owning server, and returns the updated IDs.
 func (f *Farm) Tick(tick int) []catalog.ID {
+	for _, s := range f.servers {
+		s.ticked = true
+	}
 	updated := f.schedule.UpdatedAt(tick)
 	for _, id := range updated {
 		s := f.Owner(id)
 		s.versions[id]++
-		s.updates++
+		s.updates.Add(1)
 		for _, fn := range s.listeners {
 			fn(id)
 		}

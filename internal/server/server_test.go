@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sync"
 	"testing"
 
 	"mobicache/internal/catalog"
@@ -162,5 +163,55 @@ func TestFarmOnUpdateAndServiceTime(t *testing.T) {
 	noLat, _ := NewFarm(cat, 2, nil, nil)
 	if noLat.ServiceTime(0) != 0 {
 		t.Fatal("nil-latency farm returned nonzero service time")
+	}
+}
+
+func TestOnUpdateSealedAfterFirstTick(t *testing.T) {
+	cat := unitCatalog(2)
+	s := New(cat, catalog.NewPeriodicAll(cat, 1))
+	s.OnUpdate(func(catalog.ID) {}) // before the first tick: fine
+	s.Tick(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OnUpdate after Tick accepted")
+		}
+	}()
+	s.OnUpdate(func(catalog.ID) {})
+}
+
+func TestFarmOnUpdateSealedAfterFirstTick(t *testing.T) {
+	cat := unitCatalog(2)
+	f, err := NewFarm(cat, 2, catalog.NewPeriodicAll(cat, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Tick(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("farm OnUpdate after Tick accepted")
+		}
+	}()
+	f.OnUpdate(func(catalog.ID) {})
+}
+
+func TestDownloadConcurrentAccounting(t *testing.T) {
+	cat := unitCatalog(4)
+	s := New(cat, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				s.Download(catalog.ID(i % 4))
+			}
+		}()
+	}
+	wg.Wait()
+	if s.TotalDownloads() != 2000 {
+		t.Fatalf("downloads = %d, want 2000", s.TotalDownloads())
+	}
+	if s.BytesOut() != 2000 {
+		t.Fatalf("bytes = %d, want 2000", s.BytesOut())
 	}
 }

@@ -40,13 +40,19 @@ type MulticellConfig struct {
 	// CacheSharing lets base stations copy entries from neighbouring
 	// cells on a miss instead of reaching the remote server.
 	CacheSharing bool
+	// Workers bounds the goroutines serving cells in the engine's parallel
+	// phase: 1 forces the serial engine, 0 picks a default from GOMAXPROCS
+	// capped at Cells. The report is byte-identical for any value; Workers
+	// only changes wall-clock time.
+	Workers int
 	// Ticks is the simulated duration.
 	Ticks int
 	// Seed drives all randomness.
 	Seed uint64
 	// Metrics, when non-nil, receives live observability updates from
-	// every cell (shared aggregate counters, histograms, decision trace).
-	// Build one with NewMulticellMetrics.
+	// every cell: each cell writes its own {cell="N"}-labeled series,
+	// merged into the aggregate station bundle every tick. Build one with
+	// NewMulticellMetrics.
 	Metrics *MulticellMetrics
 }
 
@@ -57,15 +63,18 @@ const NeverDisconnect = client.NeverDisconnect
 
 // MulticellReport aggregates a multi-cell run.
 type MulticellReport struct {
-	Ticks         int
-	Requests      uint64
-	Downloads     uint64 // remote-server downloads across all cells
-	SharedCopies  uint64 // cooperative copies between base stations
-	MeanScore     float64
-	MeanRecency   float64
-	Handoffs      uint64
-	Drops         uint64
-	PerCellScores []float64
+	Ticks              int
+	Requests           uint64
+	Downloads          uint64 // remote-server downloads across all cells
+	SharedCopies       uint64 // cooperative copies between base stations
+	SharedCopyFailures uint64 // cooperative copies the local cache rejected
+	MeanScore          float64
+	MeanRecency        float64
+	Handoffs           uint64
+	Drops              uint64
+	PerCellScores      []float64
+	PerCellRequests    []uint64
+	PerCellDownloads   []uint64
 }
 
 // RunMulticell builds and runs the configured deployment.
@@ -90,6 +99,7 @@ func RunMulticell(cfg MulticellConfig) (MulticellReport, error) {
 		RequestProb:   cfg.RequestProb,
 		Pattern:       rng.Popularity(pattern),
 		CacheSharing:  cfg.CacheSharing,
+		Workers:       cfg.Workers,
 		Seed:          cfg.Seed,
 		Metrics:       cfg.Metrics,
 	})
@@ -101,14 +111,17 @@ func RunMulticell(cfg MulticellConfig) (MulticellReport, error) {
 		return rep, err
 	}
 	return MulticellReport{
-		Ticks:         r.Ticks,
-		Requests:      r.Requests,
-		Downloads:     r.Downloads,
-		SharedCopies:  r.SharedCopies,
-		MeanScore:     r.MeanScore,
-		MeanRecency:   r.MeanRecency,
-		Handoffs:      r.Handoffs,
-		Drops:         r.Drops,
-		PerCellScores: r.PerCellScores,
+		Ticks:              r.Ticks,
+		Requests:           r.Requests,
+		Downloads:          r.Downloads,
+		SharedCopies:       r.SharedCopies,
+		SharedCopyFailures: r.SharedCopyFailures,
+		MeanScore:          r.MeanScore,
+		MeanRecency:        r.MeanRecency,
+		Handoffs:           r.Handoffs,
+		Drops:              r.Drops,
+		PerCellScores:      r.PerCellScores,
+		PerCellRequests:    r.PerCellRequests,
+		PerCellDownloads:   r.PerCellDownloads,
 	}, nil
 }

@@ -1,6 +1,9 @@
 package mobicache
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func baseMulticell() MulticellConfig {
 	return MulticellConfig{
@@ -112,5 +115,33 @@ func TestRunMulticellValidation(t *testing.T) {
 	}
 	if rep.Requests != 0 {
 		t.Fatalf("zero-tick run produced requests: %+v", rep)
+	}
+}
+
+func TestRunMulticellWorkersDeterministic(t *testing.T) {
+	run := func(workers int) MulticellReport {
+		cfg := baseMulticell()
+		cfg.CacheSharing = true
+		cfg.Workers = workers
+		rep, err := RunMulticell(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	serial := run(1)
+	parallel := run(4)
+	if fmt.Sprintf("%#v", serial) != fmt.Sprintf("%#v", parallel) {
+		t.Fatalf("worker count changed the report:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	if len(serial.PerCellRequests) != 3 || len(serial.PerCellDownloads) != 3 {
+		t.Fatalf("per-cell breakdowns missing: %+v", serial)
+	}
+	var reqs uint64
+	for _, r := range serial.PerCellRequests {
+		reqs += r
+	}
+	if reqs != serial.Requests {
+		t.Fatalf("per-cell requests sum %d != total %d", reqs, serial.Requests)
 	}
 }

@@ -24,8 +24,10 @@ go build ./...
 go test -race -count=1 -shuffle=on -coverprofile=coverage.out ./...
 
 # Extra race shakedown of the concurrency-heavy packages: the daemon's
-# handler/worker-pool paths, the parallel map, and the multicell loop get
-# a second shuffled run so scheduling-order bugs have two chances to trip.
+# handler/worker-pool paths, the parallel map, and the multi-cell tick
+# engine (whose parallel phase fans ServeTick across cells sharing one
+# server) get a second shuffled run so scheduling-order bugs have two
+# chances to trip.
 go test -race -count=2 -shuffle=on ./cmd/stationd ./internal/parallel ./internal/multicell
 
 coverage=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
