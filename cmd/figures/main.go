@@ -35,6 +35,7 @@ var (
 	plotWidth  = flag.Int("plot-width", 72, "ASCII plot width")
 	plotHeight = flag.Int("plot-height", 20, "ASCII plot height")
 	workers    = flag.Int("workers", 0, "worker goroutines for the multicell study's parallel tick phase (0 = auto, 1 = serial; results are identical either way)")
+	solverFlag = flag.String("solver", "dp", "knapsack solver behind the knapsack-backed studies (adaptive, heterogeneity, faults): dp, greedy, fptas, incremental, certified")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	metricsOut = flag.String("metrics-out", "", "write a JSON snapshot of the run's station metrics to this file")
@@ -47,6 +48,10 @@ var reg *obs.Registry
 
 func main() {
 	flag.Parse()
+	if err := experiment.SetSolverName(*solverFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
 	if *metricsOut != "" {
 		reg = obs.NewRegistry()
 		experiment.SetMetrics(obs.NewStationMetrics(reg, 0))

@@ -30,6 +30,8 @@ func main() {
 	flag.StringVar(&cfg.Policy, "policy", "on-demand-knapsack",
 		"refresh policy: on-demand-knapsack, on-demand-stale, on-demand-lowest-recency, async-round-robin, async-freshness, async-on-update, hybrid")
 	flag.Float64Var(&cfg.HybridFraction, "hybrid-fraction", 0.5, "on-demand budget share for the hybrid policy")
+	flag.StringVar(&cfg.Solver, "solver", "dp",
+		"knapsack solver for the knapsack-backed policies: dp, greedy, fptas, incremental, certified")
 	flag.Int64Var(&cfg.BudgetPerTick, "budget", 0, "download budget in data units per tick (0 = unlimited)")
 	flag.IntVar(&cfg.RequestsPerTick, "rate", 100, "client requests per tick")
 	flag.StringVar(&cfg.Access, "access", "uniform", "popularity skew: uniform, linear, zipf")
@@ -78,6 +80,7 @@ func runMulticell(mc mobicache.MulticellConfig, cfg mobicache.SimulationConfig) 
 	mc.UpdatePeriod = cfg.UpdatePeriod
 	mc.BudgetPerTick = cfg.BudgetPerTick
 	mc.Access = cfg.Access
+	mc.Solver = cfg.Solver
 	mc.Ticks = cfg.Ticks
 	mc.Seed = cfg.Seed
 	rep, err := mobicache.RunMulticell(mc)

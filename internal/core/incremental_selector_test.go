@@ -1,0 +1,207 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/obs"
+	"mobicache/internal/rng"
+)
+
+// absDiff avoids importing math for a one-liner.
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// TestIncrementalSelectorMatchesDP drives a DP selector and an
+// incremental selector through the same churning tick workload — aging
+// cache entries, shifting demand sets, per-tick budget changes, the
+// occasional unlimited tick — and requires identical plans throughout.
+// The random continuous profits make equal-profit ties (the one case
+// where the two instance orders may legitimately differ) vanishingly
+// unlikely, so the download sets themselves must match, not just the
+// gains. The certified selector runs alongside under its weaker
+// (1-CertEps) guarantee.
+func TestIncrementalSelectorMatchesDP(t *testing.T) {
+	const (
+		objects = 50
+		ticks   = 80
+		eps     = 0.05
+		tol     = 1e-9
+	)
+	r := rng.New(0x51E7)
+	sizes := make([]int64, objects)
+	for i := range sizes {
+		sizes[i] = int64(r.IntRange(1, 8))
+	}
+	cat := testCatalog(sizes...)
+	c := freshCache(cat, nil)
+
+	dp, err := NewSelector(cat, Config{Solver: SolverDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full, warm obs.Counter
+	inc, err := NewSelector(cat, Config{Solver: SolverIncremental, FullResolves: &full, WarmResolves: &warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := NewSelector(cat, Config{Solver: SolverCertified, CertEps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bounded := 0
+	for tick := 0; tick < ticks; tick++ {
+		for k := 0; k < 5; k++ {
+			c.OnMasterUpdate(catalog.ID(r.IntRange(0, objects-1)))
+		}
+		var reqs []client.Request
+		for k, n := 0, r.IntRange(5, 25); k < n; k++ {
+			reqs = append(reqs, client.Request{
+				Client: k,
+				Object: catalog.ID(r.IntRange(0, objects-1)),
+				Target: float64(r.IntRange(50, 100)) / 100,
+			})
+		}
+		budget := int64(r.IntRange(10, 80))
+		if tick%10 == 9 {
+			budget = Unlimited
+		}
+		want, err := dp.Select(Aggregate(reqs), c, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := inc.Select(Aggregate(reqs), c, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Requests != want.Requests || got.CachedScore != want.CachedScore {
+			t.Fatalf("tick %d: batch accounting differs: got %+v want %+v", tick, got, want)
+		}
+		if absDiff(got.Gain, want.Gain) > tol {
+			t.Fatalf("tick %d: gain %v != dp gain %v", tick, got.Gain, want.Gain)
+		}
+		if !slices.Equal(got.Download, want.Download) {
+			t.Fatalf("tick %d: download %v != dp %v", tick, got.Download, want.Download)
+		}
+		if !slices.Equal(got.FromCache, want.FromCache) {
+			t.Fatalf("tick %d: fromCache %v != dp %v", tick, got.FromCache, want.FromCache)
+		}
+		if got.DownloadUnits != want.DownloadUnits {
+			t.Fatalf("tick %d: units %d != dp %d", tick, got.DownloadUnits, want.DownloadUnits)
+		}
+		if budget != Unlimited && len(want.Download) > 0 {
+			bounded++
+		}
+
+		cp, err := cert.Select(Aggregate(reqs), c, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp.Requests != want.Requests || cp.CachedScore != want.CachedScore {
+			t.Fatalf("tick %d: certified accounting differs: got %+v want %+v", tick, cp, want)
+		}
+		if cp.Gain > want.Gain+tol {
+			t.Fatalf("tick %d: certified gain %v beats optimum %v", tick, cp.Gain, want.Gain)
+		}
+		if cp.Gain < (1-eps)*want.Gain-tol {
+			t.Fatalf("tick %d: certified gain %v below (1-%v) of optimum %v", tick, cp.Gain, eps, want.Gain)
+		}
+		if budget != Unlimited && cp.DownloadUnits > budget {
+			t.Fatalf("tick %d: certified units %d exceed budget %d", tick, cp.DownloadUnits, budget)
+		}
+	}
+	if bounded == 0 {
+		t.Fatal("workload never exercised a bounded solve")
+	}
+	if full.Value() == 0 {
+		t.Fatal("no full resolve recorded for the first bounded tick")
+	}
+
+	// A quiet stretch — no aging, the same batch and budget every tick, as
+	// when no master update lands between selections — must be served from
+	// warm solver state (the identical-instance cache), not re-solved.
+	var reqs []client.Request
+	for k := 0; k < 15; k++ {
+		reqs = append(reqs, client.Request{
+			Client: k,
+			Object: catalog.ID(r.IntRange(0, objects-1)),
+			Target: float64(r.IntRange(50, 100)) / 100,
+		})
+	}
+	warmBefore := warm.Value()
+	for i := 0; i < 5; i++ {
+		want, err := dp.Select(Aggregate(reqs), c, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := inc.Select(Aggregate(reqs), c, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if absDiff(got.Gain, want.Gain) > tol || !slices.Equal(got.Download, want.Download) {
+			t.Fatalf("quiet tick %d: got %v (gain %v) want %v (gain %v)",
+				i, got.Download, got.Gain, want.Download, want.Gain)
+		}
+	}
+	if gotWarm := warm.Value() - warmBefore; gotWarm < 4 {
+		t.Fatalf("quiet stretch warm resolves = %d, want >= 4 (full=%d)", gotWarm, full.Value())
+	}
+}
+
+// TestIncrementalSelectorCompaction shrinks a wide demand set down to a
+// few objects so tombstones dominate and the slot table compacts, then
+// widens it again; plans must stay identical to DP across both shifts.
+func TestIncrementalSelectorCompaction(t *testing.T) {
+	const objects = 40
+	r := rng.New(0xC03A)
+	sizes := make([]int64, objects)
+	for i := range sizes {
+		sizes[i] = int64(r.IntRange(1, 5))
+	}
+	cat := testCatalog(sizes...)
+	lags := map[catalog.ID]int{}
+	for i := 0; i < objects; i++ {
+		lags[catalog.ID(i)] = 1 + i%4 // everything somewhat stale
+	}
+	c := freshCache(cat, lags)
+
+	dp, _ := NewSelector(cat, Config{Solver: SolverDP})
+	inc, _ := NewSelector(cat, Config{Solver: SolverIncremental})
+
+	phases := [][2]int{{0, objects - 1}, {0, 4}, {0, 4}, {0, 4}, {0, objects - 1}}
+	for p, span := range phases {
+		for step := 0; step < 6; step++ {
+			var reqs []client.Request
+			for k := 0; k < 12; k++ {
+				reqs = append(reqs, client.Request{
+					Client: k,
+					Object: catalog.ID(r.IntRange(span[0], span[1])),
+					Target: float64(r.IntRange(60, 100)) / 100,
+				})
+			}
+			want, err := dp.Select(Aggregate(reqs), c, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := inc.Select(Aggregate(reqs), c, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if absDiff(got.Gain, want.Gain) > 1e-9 || !slices.Equal(got.Download, want.Download) {
+				t.Fatalf("phase %d step %d: got %v (gain %v) want %v (gain %v)",
+					p, step, got.Download, got.Gain, want.Download, want.Gain)
+			}
+		}
+		if narrow := span[1]-span[0] < 10; narrow && len(inc.slotItems) > 16 {
+			t.Fatalf("phase %d: slot table never compacted: %d slots for <=%d live objects",
+				p, len(inc.slotItems), span[1]-span[0]+1)
+		}
+	}
+}

@@ -87,6 +87,19 @@ const (
 	SolverGreedy
 	// SolverFPTAS is the (1-eps)-approximation scheme.
 	SolverFPTAS
+	// SolverIncremental is the exact warm-start solver: the selector
+	// keeps a slot-stable knapsack instance across ticks (departed
+	// objects become zero-profit tombstones the strict-improvement DP
+	// never takes, new objects append) and the solver re-derives only
+	// the DP rows the tick's diff invalidated. Plans achieve exactly the
+	// optimal profit, but equal-profit ties may resolve to a different
+	// download set than SolverDP, whose instance is in demand order.
+	SolverIncremental
+	// SolverCertified is SolverIncremental with the approximate first
+	// pass enabled: a density-greedy or capacity-quantized solution is
+	// returned when certifiably within (1-CertEps) of optimal, and the
+	// solver escalates to the exact path otherwise.
+	SolverCertified
 )
 
 // String implements fmt.Stringer.
@@ -98,8 +111,32 @@ func (k SolverKind) String() string {
 		return "greedy"
 	case SolverFPTAS:
 		return "fptas"
+	case SolverIncremental:
+		return "incremental"
+	case SolverCertified:
+		return "certified"
 	default:
 		return fmt.Sprintf("SolverKind(%d)", int(k))
+	}
+}
+
+// ParseSolver maps a solver name ("dp", "greedy", "fptas",
+// "incremental", "certified") to its SolverKind; the empty string means
+// the default, SolverDP.
+func ParseSolver(name string) (SolverKind, error) {
+	switch name {
+	case "", "dp":
+		return SolverDP, nil
+	case "greedy":
+		return SolverGreedy, nil
+	case "fptas":
+		return SolverFPTAS, nil
+	case "incremental":
+		return SolverIncremental, nil
+	case "certified":
+		return SolverCertified, nil
+	default:
+		return 0, fmt.Errorf("core: unknown solver %q (want dp, greedy, fptas, incremental, or certified)", name)
 	}
 }
 
@@ -113,6 +150,16 @@ type Config struct {
 	// Eps is the FPTAS approximation parameter (used only by
 	// SolverFPTAS); defaults to 0.1.
 	Eps float64
+	// CertEps is the certified-pass tolerance (used only by
+	// SolverCertified): approximate solutions are accepted only when
+	// provably within a factor (1-CertEps) of optimal. Defaults to 0.05.
+	CertEps float64
+	// FullResolves / WarmResolves, when non-nil, count each bounded-
+	// budget solve as either a cold re-solve or one served from warm
+	// incremental state (see obs.StationMetrics.SolverFullResolves).
+	// Non-incremental solvers count every solve as full.
+	FullResolves *obs.Counter
+	WarmResolves *obs.Counter
 	// Trace, when non-nil, receives one obs.Decision per knapsack
 	// candidate on every Select call — why the object was downloaded or
 	// left to its stale copy (profit, weight, cached recency, budget
@@ -145,6 +192,19 @@ type Selector struct {
 	download  []catalog.ID
 	fromCache []catalog.ID
 	taken     []bool
+
+	// Incremental-solver state (SolverIncremental / SolverCertified):
+	// a slot-stable knapsack instance that persists across ticks so the
+	// solver can diff it. slotOf maps object -> slot (-1 when absent);
+	// slots hold zero-profit tombstones between demands and are
+	// compacted — at the price of one cold solve — when tombstones
+	// outnumber live entries.
+	inc       *knapsack.IncrementalSolver
+	slotOf    []int32
+	slotObj   []catalog.ID
+	slotItems []knapsack.Item
+	slotRec   []float64 // cached recency per slot at decision time
+	slotDem   []bool    // demanded this tick (cleared each Select)
 }
 
 // NewSelector creates a selector for the given catalog.
@@ -161,8 +221,14 @@ func NewSelector(cat *catalog.Catalog, cfg Config) (*Selector, error) {
 	if cfg.Eps < 0 || cfg.Eps >= 1 {
 		return nil, fmt.Errorf("core: eps %v out of (0,1)", cfg.Eps)
 	}
+	if cfg.CertEps == 0 {
+		cfg.CertEps = 0.05
+	}
+	if cfg.CertEps < 0 || cfg.CertEps >= 1 {
+		return nil, fmt.Errorf("core: certification eps %v out of (0,1)", cfg.CertEps)
+	}
 	switch cfg.Solver {
-	case SolverDP, SolverGreedy, SolverFPTAS:
+	case SolverDP, SolverGreedy, SolverFPTAS, SolverIncremental, SolverCertified:
 	default:
 		return nil, fmt.Errorf("core: unknown solver %d", int(cfg.Solver))
 	}
@@ -266,6 +332,9 @@ func (s *Selector) SelectRequests(reqs []client.Request, c CacheView, budget int
 func (s *Selector) Select(demands []Demand, c CacheView, budget int64) (Plan, error) {
 	if budget < 0 {
 		return Plan{}, fmt.Errorf("core: negative budget %d", budget)
+	}
+	if s.cfg.Solver == SolverIncremental || s.cfg.Solver == SolverCertified {
+		return s.selectIncremental(demands, c, budget)
 	}
 	items, meta, plan := s.buildItems(demands, c)
 	plan.Download = s.download[:0]
@@ -413,6 +482,9 @@ func (s *Selector) buildItems(demands []Demand, c CacheView) ([]knapsack.Item, [
 }
 
 func (s *Selector) solve(items []knapsack.Item, budget int64) (knapsack.Solution, error) {
+	if s.cfg.FullResolves != nil {
+		s.cfg.FullResolves.Inc() // one-shot solvers always solve cold
+	}
 	switch s.cfg.Solver {
 	case SolverGreedy:
 		return s.solver.SolveGreedy(items, budget)
@@ -420,6 +492,212 @@ func (s *Selector) solve(items []knapsack.Item, budget int64) (knapsack.Solution
 		return s.solver.SolveFPTAS(items, budget, s.cfg.Eps)
 	default:
 		return s.solver.SolveDP(items, budget)
+	}
+}
+
+// selectIncremental is Select for the warm-start solver kinds. It folds
+// the batch into the selector's slot-stable instance — live demands
+// update their slot in place, new ones append, everything else decays to
+// a zero-profit tombstone the strict-improvement DP provably never takes
+// — and hands the whole instance to the incremental solver, whose diff
+// against the previous tick determines how much DP work actually runs.
+func (s *Selector) selectIncremental(demands []Demand, c CacheView, budget int64) (Plan, error) {
+	var plan Plan
+	plan.FromCache = s.fromCache[:0]
+	plan.Download = s.download[:0]
+	if s.slotOf == nil {
+		s.slotOf = make([]int32, s.cat.Len())
+		for i := range s.slotOf {
+			s.slotOf[i] = -1
+		}
+	}
+	// Fold demands into slots, scoring exactly as buildItems does.
+	for _, d := range demands {
+		if !s.cat.Valid(d.Object) {
+			continue
+		}
+		x := c.Recency(d.Object) // 0 when absent
+		profit := 0.0
+		for _, target := range d.Targets {
+			score := 0.0
+			if c.Contains(d.Object) {
+				score = s.cfg.Score(x, target)
+			}
+			plan.CachedScore += score
+			profit += recency.Benefit(score)
+		}
+		plan.Requests += d.Count()
+		if profit <= 0 {
+			// Fresh enough already; any slot it holds decays below.
+			plan.FromCache = append(plan.FromCache, d.Object)
+			continue
+		}
+		slot := s.slotOf[d.Object]
+		if slot < 0 {
+			slot = int32(len(s.slotItems))
+			s.slotOf[d.Object] = slot
+			s.slotItems = append(s.slotItems, knapsack.Item{})
+			s.slotObj = append(s.slotObj, d.Object)
+			s.slotRec = append(s.slotRec, 0)
+			s.slotDem = append(s.slotDem, false)
+		}
+		s.slotItems[slot] = knapsack.Item{Weight: s.cat.Size(d.Object), Profit: profit}
+		s.slotRec[slot] = x
+		s.slotDem[slot] = true
+	}
+	// Tombstone slots the batch no longer demands, then compact once
+	// tombstones dominate — compaction shifts positions, costing one
+	// cold solve, but keeps the table proportional to the live set.
+	live := 0
+	for i := range s.slotItems {
+		if s.slotDem[i] {
+			s.slotDem[i] = false
+			live++
+		} else {
+			s.slotItems[i].Profit = 0
+		}
+	}
+	if len(s.slotItems) > 16 && len(s.slotItems) > 2*live {
+		s.compactSlots()
+	}
+	if live == 0 {
+		slices.Sort(plan.FromCache)
+		s.fromCache = plan.FromCache
+		return plan, nil
+	}
+
+	unlimited := budget == Unlimited
+	if unlimited {
+		for i, it := range s.slotItems {
+			if it.Profit > 0 {
+				plan.Download = append(plan.Download, s.slotObj[i])
+				plan.DownloadUnits += it.Weight
+				plan.Gain += it.Profit
+			}
+		}
+	} else {
+		if s.inc == nil {
+			s.inc = knapsack.NewIncrementalSolver()
+			if s.cfg.Solver == SolverCertified {
+				s.inc.CertEps = s.cfg.CertEps
+			}
+		}
+		before := s.inc.Stats()
+		sol, err := s.inc.Solve(s.slotItems, budget)
+		if err != nil {
+			return Plan{}, err
+		}
+		s.countResolves(before)
+		if len(s.taken) < len(s.slotItems) {
+			s.taken = make([]bool, len(s.slotItems))
+		}
+		taken := s.taken[:len(s.slotItems)]
+		clear(taken)
+		for _, i := range sol.Take {
+			taken[i] = true
+			plan.Download = append(plan.Download, s.slotObj[i])
+		}
+		plan.DownloadUnits = sol.Weight
+		plan.Gain = sol.Profit
+		for i, it := range s.slotItems {
+			if it.Profit > 0 && !taken[i] {
+				plan.FromCache = append(plan.FromCache, s.slotObj[i])
+			}
+		}
+	}
+	if s.cfg.Trace != nil {
+		s.recordSlotDecisions(budget, unlimited)
+	}
+	slices.Sort(plan.Download)
+	slices.Sort(plan.FromCache)
+	s.download = plan.Download
+	s.fromCache = plan.FromCache
+	return plan, nil
+}
+
+// compactSlots drops tombstoned slots, renumbering the survivors.
+func (s *Selector) compactSlots() {
+	k := 0
+	for i := range s.slotItems {
+		if s.slotItems[i].Profit > 0 {
+			s.slotItems[k] = s.slotItems[i]
+			s.slotObj[k] = s.slotObj[i]
+			s.slotRec[k] = s.slotRec[i]
+			s.slotOf[s.slotObj[i]] = int32(k)
+			k++
+		} else {
+			s.slotOf[s.slotObj[i]] = -1
+		}
+	}
+	s.slotItems = s.slotItems[:k]
+	s.slotObj = s.slotObj[:k]
+	s.slotRec = s.slotRec[:k]
+	s.slotDem = s.slotDem[:k]
+}
+
+// countResolves folds the incremental solver's path counters since
+// `before` into the configured resolve counters: full solves on one
+// side; cached, warm, unit, and certified solves — everything that
+// avoided a cold DP — on the other.
+func (s *Selector) countResolves(before knapsack.SolverStats) {
+	if s.cfg.FullResolves == nil && s.cfg.WarmResolves == nil {
+		return
+	}
+	after := s.inc.Stats()
+	full := after.FullSolves - before.FullSolves
+	warm := (after.WarmSolves - before.WarmSolves) +
+		(after.CachedHits - before.CachedHits) +
+		(after.UnitSolves - before.UnitSolves) +
+		(after.CertifiedSolves - before.CertifiedSolves)
+	if full > 0 && s.cfg.FullResolves != nil {
+		s.cfg.FullResolves.Add(full)
+	}
+	if warm > 0 && s.cfg.WarmResolves != nil {
+		s.cfg.WarmResolves.Add(warm)
+	}
+}
+
+// recordSlotDecisions is recordDecisions for the slot-stable instance:
+// one entry per live candidate slot, downloads first.
+func (s *Selector) recordSlotDecisions(budget int64, unlimited bool) {
+	ring := s.cfg.Trace
+	remaining := obs.UnlimitedBudget
+	if !unlimited {
+		remaining = budget
+	}
+	for i, it := range s.slotItems {
+		if it.Profit <= 0 || (!unlimited && !s.taken[i]) {
+			continue
+		}
+		if !unlimited {
+			remaining -= it.Weight
+		}
+		ring.Record(obs.Decision{
+			Tick:            s.tick,
+			Object:          int(s.slotObj[i]),
+			Action:          obs.ActionDownload,
+			Profit:          it.Profit,
+			Weight:          it.Weight,
+			Recency:         s.slotRec[i],
+			BudgetRemaining: remaining,
+		})
+	}
+	if unlimited {
+		return // every candidate was downloaded
+	}
+	for i, it := range s.slotItems {
+		if it.Profit <= 0 || s.taken[i] {
+			continue
+		}
+		ring.Record(obs.Decision{
+			Tick:            s.tick,
+			Object:          int(s.slotObj[i]),
+			Action:          obs.ActionStale,
+			Profit:          it.Profit,
+			Weight:          it.Weight,
+			Recency:         s.slotRec[i],
+			BudgetRemaining: remaining,
+		})
 	}
 }
 

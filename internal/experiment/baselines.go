@@ -262,7 +262,7 @@ func newStudySelector(cfg AdaptiveStudyConfig) (*core.Selector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewSelector(cat, core.Config{})
+	return core.NewSelector(cat, solverConfig())
 }
 
 func adaptiveRun(cfg AdaptiveStudyConfig, pol policy.Policy, budget int64) (unitsPerTick, meanScore float64, err error) {

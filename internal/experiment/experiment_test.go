@@ -326,7 +326,7 @@ func TestSolverAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
+	if len(rows) != 8 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	if rows[0].Solver != "dp" || rows[0].OptFraction != 1 {
@@ -337,13 +337,19 @@ func TestSolverAblation(t *testing.T) {
 			t.Fatalf("%s fraction = %v", r.Solver, r.OptFraction)
 		}
 	}
-	// fptas(0.01) must be within its guarantee.
+	// Each solver must meet its guarantee.
 	for _, r := range rows {
 		if r.Solver == "fptas(0.01)" && r.OptFraction < 0.99 {
 			t.Fatalf("fptas(0.01) fraction = %v", r.OptFraction)
 		}
 		if r.Solver == "branch-and-bound" && r.OptFraction < 0.999999 {
 			t.Fatalf("branch-and-bound fraction = %v (must be exact)", r.OptFraction)
+		}
+		if (r.Solver == "incremental(cold)" || r.Solver == "incremental(warm)") && r.OptFraction != 1 {
+			t.Fatalf("%s fraction = %v (must be exact)", r.Solver, r.OptFraction)
+		}
+		if r.Solver == "certified(0.05)" && r.OptFraction < 0.95 {
+			t.Fatalf("certified(0.05) fraction = %v (below its certificate)", r.OptFraction)
 		}
 	}
 	out := RenderSolverAblation(rows)

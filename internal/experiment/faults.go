@@ -119,7 +119,7 @@ func faultRun(cfg FaultStudyConfig, prob float64, async bool) (float64, error) {
 	}
 	var pol policy.Policy = &policy.AsyncRoundRobin{}
 	if !async {
-		sel, err := core.NewSelector(cat, core.Config{})
+		sel, err := core.NewSelector(cat, solverConfig())
 		if err != nil {
 			return 0, err
 		}

@@ -114,7 +114,7 @@ func heterogeneityRun(cfg HeterogeneityStudyConfig, volatileFrac float64, kind s
 		// popularity-blind and loses to the learned refresher under
 		// zipf skew — popularity weighting, not request awareness alone,
 		// carries the on-demand advantage here.)
-		sel, err := core.NewSelector(cat, core.Config{})
+		sel, err := core.NewSelector(cat, solverConfig())
 		if err != nil {
 			return 0, err
 		}

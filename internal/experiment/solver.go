@@ -1,0 +1,41 @@
+package experiment
+
+import (
+	"sync/atomic"
+
+	"mobicache/internal/core"
+)
+
+// solverKind, like stationMetrics, is process-wide state the figures CLI
+// installs before dispatching studies: every knapsack-backed selector the
+// experiment runners build afterwards uses this solver. The zero value is
+// core.SolverDP, so untouched runs reproduce the paper exactly.
+var solverKind atomic.Int64
+
+// SetSolver selects the knapsack solver used by subsequent knapsack-backed
+// studies (the adaptive, heterogeneity, and fault studies). The figures
+// CLI exposes this as -solver.
+func SetSolver(kind core.SolverKind) { solverKind.Store(int64(kind)) }
+
+// SetSolverName is SetSolver for CLI flag values; see core.ParseSolver
+// for the accepted names.
+func SetSolverName(name string) error {
+	kind, err := core.ParseSolver(name)
+	if err != nil {
+		return err
+	}
+	SetSolver(kind)
+	return nil
+}
+
+// solverConfig returns the selector configuration carrying the installed
+// solver kind, with the full/warm resolve counters wired to the installed
+// metrics bundle so instrumented runs see the solve-path split.
+func solverConfig() core.Config {
+	cfg := core.Config{Solver: core.SolverKind(solverKind.Load())}
+	if m := metricsBundle(); m != nil {
+		cfg.FullResolves = m.SolverFullResolves
+		cfg.WarmResolves = m.SolverWarmResolves
+	}
+	return cfg
+}

@@ -3,6 +3,7 @@ package knapsack
 import (
 	"encoding/binary"
 	"math"
+	"slices"
 	"testing"
 )
 
@@ -70,6 +71,66 @@ func FuzzSolveDP(f *testing.F) {
 		}
 		if greedy.Profit > sol.Profit+1e-6*(1+sol.Profit) {
 			t.Fatalf("greedy %v beat the exact DP %v", greedy.Profit, sol.Profit)
+		}
+	})
+}
+
+// FuzzIncremental feeds byte-encoded edit scripts to one IncrementalSolver
+// and cross-checks every step against a cold SolveDP: identical profit,
+// weight, and Take on the exact path, regardless of how the fuzzer
+// interleaves profit edits, item churn, and capacity moves. Each 3-byte
+// record is one edit: opcode, position selector, value.
+func FuzzIncremental(f *testing.F) {
+	f.Add([]byte{0, 1, 50, 1, 2, 9, 3, 0, 7, 4, 1, 0, 5, 0, 30})
+	f.Add([]byte{3, 0, 1, 3, 0, 2, 3, 0, 3, 5, 0, 200})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items := []Item{{Weight: 3, Profit: 2.5}, {Weight: 7, Profit: 4}, {Weight: 1, Profit: 0.75}}
+		capacity := int64(8)
+		inc := NewIncrementalSolver()
+		ref := NewSolver()
+		for step := 0; step < 32 && len(data) >= 3; step++ {
+			op, pos, val := data[0], int(data[1]), data[2]
+			data = data[3:]
+			switch op % 6 {
+			case 0: // profit edit (val==255 tombstones)
+				if len(items) > 0 {
+					p := float64(val) / 16
+					if val == 255 {
+						p = 0
+					}
+					items[pos%len(items)].Profit = p
+				}
+			case 1: // weight edit
+				if len(items) > 0 {
+					items[pos%len(items)].Weight = int64(val%40) + 1
+				}
+			case 2: // append
+				if len(items) < 24 {
+					items = append(items, Item{Weight: int64(val%40) + 1, Profit: float64(pos) / 16})
+				}
+			case 3: // delete with positional shift
+				if len(items) > 0 {
+					i := pos % len(items)
+					items = append(items[:i], items[i+1:]...)
+				}
+			case 4: // capacity move
+				capacity = int64(pos)*4 + int64(val)
+			case 5: // no-op tick
+			}
+			got, err := inc.Solve(items, capacity)
+			if err != nil {
+				t.Fatalf("step %d: %v (items %v cap %d)", step, err, items, capacity)
+			}
+			want, err := ref.SolveDP(items, capacity)
+			if err != nil {
+				t.Fatalf("step %d: reference: %v", step, err)
+			}
+			if got.Profit != want.Profit || got.Weight != want.Weight || !slices.Equal(got.Take, want.Take) {
+				t.Fatalf("step %d: incremental (%v, %d, %v) != DP (%v, %d, %v)\nitems %v cap %d",
+					step, got.Profit, got.Weight, got.Take, want.Profit, want.Weight, want.Take, items, capacity)
+			}
 		}
 	})
 }

@@ -1,0 +1,483 @@
+// Incremental warm-start solving. Successive selection instances barely
+// change between ticks — a handful of profits drift, items join or leave,
+// the budget wiggles — yet the cold DP re-derives every row from scratch.
+// IncrementalSolver keeps the previous instance, its full decision table,
+// and periodic DP row checkpoints, and on each call:
+//
+//  1. diffs the new instance against the committed one (positional
+//     compare from both ends);
+//  2. serves unchanged instances straight from the stored table
+//     (reconstruction only — capacity moves within the materialized
+//     width are free);
+//  3. otherwise resumes the DP from the checkpoint at or before the
+//     first changed item, stopping early once the recomputed row
+//     reconverges with the stored checkpoints past the last changed
+//     item (sound because a DP row is a pure function of the preceding
+//     row and the remaining items);
+//  4. falls back to a full solve when the diff reaches back far enough
+//     that resuming would do no less work, or when the required table
+//     width grows.
+//
+// The recomputation inner loop processes item pairs fused over one pass
+// of the value row, which halves row traffic; the fusion is arranged so
+// every float is produced by the exact operation sequence of the
+// sequential loop, keeping decisions — and therefore Take — bit-identical
+// to Solver.SolveDP.
+//
+// Setting CertEps > 0 enables an approximate first pass: a density-greedy
+// lower bound and, failing that, a capacity-quantized DP, each certified
+// against the fractional upper bound. A solution is returned early only
+// when its profit is provably >= (1-CertEps) times the optimum; otherwise
+// the solver escalates to the exact path above.
+package knapsack
+
+import "sort"
+
+// quantCols bounds the number of capacity columns the certified
+// quantized pass materializes; the quantization step is
+// ceil(capacity/quantCols).
+const quantCols = 256
+
+// SolverStats counts how IncrementalSolver calls were served. Cached,
+// warm, unit, and certified solves all avoid a cold full-width DP.
+type SolverStats struct {
+	// FullSolves counts cold solves: first calls, width growth, and
+	// diffs too large to warm-start.
+	FullSolves uint64
+	// WarmSolves counts solves resumed from a row checkpoint.
+	WarmSolves uint64
+	// CachedHits counts solves served purely by reconstruction because
+	// the instance was unchanged and the capacity stayed within the
+	// materialized table.
+	CachedHits uint64
+	// UnitSolves counts all-unit-weight instances served by the top-k
+	// fast path.
+	UnitSolves uint64
+	// CertifiedSolves counts solves served by the approximate pass with
+	// a (1-CertEps) optimality certificate.
+	CertifiedSolves uint64
+	// Escalations counts certified-pass attempts that failed to certify
+	// and fell through to the exact path.
+	Escalations uint64
+}
+
+// IncrementalSolver is a reusable exact solver that warm-starts each
+// solve from the previous one. With CertEps == 0 (the default) every
+// solution is bit-identical to Solver.SolveDP on the same instance —
+// profit, weight, and Take. With CertEps > 0 an approximate pass may
+// serve a solution instead, but only with a certificate that its profit
+// is >= (1-CertEps) times the optimum.
+//
+// Like Solver, an IncrementalSolver is not safe for concurrent use and
+// the returned Solution aliases workspace memory, valid until the next
+// call. Unlike Solver, the caller should keep item positions stable
+// across calls — the diff is positional, so reordering an unchanged
+// instance reads as a full rewrite.
+type IncrementalSolver struct {
+	// CertEps, when positive, permits certified approximate solutions
+	// within a factor (1-CertEps) of optimal.
+	CertEps float64
+
+	sol Solver // unit fast path, density order, greedy machinery
+
+	items []Item // committed instance the stored DP state describes
+	valid bool
+	width int // materialized capacity columns 0..width
+	words int // bitset words per decision row
+	// stride is the checkpoint interval in items, fixed at full-solve
+	// time so warm resumes can index stored rows; always even so fused
+	// item pairs never straddle a checkpoint boundary.
+	stride int
+
+	value     []float64 // committed final DP row (width+1)
+	work      []float64 // in-progress row during recomputation
+	decisions []uint64  // flat n x words decision bitsets
+	ckpt      []float64 // flat checkpoint rows: row t is the value row
+	// after items [0, (t+1)*stride) have been processed
+	take []int
+
+	qItems []Item // certified pass: quantized-weight instance
+	ctake  []int  // certified pass: Take backing store
+
+	stats SolverStats
+}
+
+// NewIncrementalSolver returns an empty solver; buffers grow on first
+// use and persist across calls.
+func NewIncrementalSolver() *IncrementalSolver { return &IncrementalSolver{} }
+
+// Stats returns a snapshot of the solve-path counters.
+func (s *IncrementalSolver) Stats() SolverStats { return s.stats }
+
+// Reset discards the committed instance and DP state (the next solve is
+// cold) while keeping the allocated buffers and counters.
+func (s *IncrementalSolver) Reset() {
+	s.items = s.items[:0]
+	s.valid = false
+}
+
+// Solve solves the instance, reusing as much of the previous solve as
+// the diff allows. See the type doc for result guarantees and lifetime.
+func (s *IncrementalSolver) Solve(items []Item, capacity int64) (Solution, error) {
+	if capacity < 0 {
+		return Solution{}, ErrNegativeCapacity
+	}
+	if err := Validate(items); err != nil {
+		return Solution{}, err
+	}
+	if unitWeights(items) {
+		s.stats.UnitSolves++
+		return s.sol.solveUnit(items, clampCapacity(items, capacity)), nil
+	}
+	needW := clampCapacity(items, capacity)
+	first, last, same := s.diff(items)
+	if s.valid && same && needW <= s.width {
+		s.stats.CachedHits++
+		return s.reconstruct(items, needW), nil
+	}
+	if s.CertEps > 0 {
+		if sol, ok := s.solveCertified(items, capacity, needW); ok {
+			s.stats.CertifiedSolves++
+			return sol, nil
+		}
+		s.stats.Escalations++
+	}
+	s.solveExact(items, needW, first, last)
+	return s.reconstruct(items, needW), nil
+}
+
+// diff locates the changed span of the new instance against the
+// committed one. first is the index of the first differing position
+// (len of the common prefix); last is the index of the last differing
+// position, or first-1 when the instances are identical. When the
+// lengths differ no aligned suffix exists, so last is pinned to the
+// final index to disable early stopping.
+func (s *IncrementalSolver) diff(items []Item) (first, last int, same bool) {
+	oldN, n := len(s.items), len(items)
+	minN := oldN
+	if n < minN {
+		minN = n
+	}
+	for first < minN && items[first] == s.items[first] {
+		first++
+	}
+	if oldN != n {
+		return first, n - 1, false
+	}
+	last = n - 1
+	for last >= first && items[last] == s.items[last] {
+		last--
+	}
+	return first, last, last < first
+}
+
+// solveExact brings the stored DP state up to date for the new instance,
+// choosing between a checkpoint resume and a cold solve by estimated row
+// work.
+func (s *IncrementalSolver) solveExact(items []Item, needW, first, last int) {
+	n := len(items)
+	if !s.valid || needW > s.width {
+		s.fullSolve(items, needW)
+		return
+	}
+	start := first / s.stride * s.stride
+	// Resuming recomputes (n-start) rows at the stored width; a cold
+	// solve recomputes n rows at the (possibly narrower) needed width.
+	// Take whichever touches fewer cells.
+	if start == 0 || n*(needW+1) < (n-start)*(s.width+1) {
+		s.fullSolve(items, needW)
+		return
+	}
+	s.warmSolve(items, last, start)
+	s.stats.WarmSolves++
+}
+
+// strideFor picks the checkpoint interval: every 32 items, doubling so
+// no instance stores more than ~64 checkpoint rows. Always even.
+func strideFor(n int) int {
+	stride := 32
+	for stride*64 < n {
+		stride *= 2
+	}
+	return stride
+}
+
+// fullSolve re-solves from scratch at exactly the needed width and
+// commits the instance.
+func (s *IncrementalSolver) fullSolve(items []Item, needW int) {
+	n := len(items)
+	s.width = needW
+	s.words = (needW + 1 + 63) / 64
+	s.stride = strideFor(n)
+	cols := needW + 1
+	s.work = growFloats(s.work, cols)
+	s.value = growFloats(s.value, cols)
+	s.decisions = growWords(s.decisions, n*s.words)
+	s.ckpt = growFloats(s.ckpt, n/s.stride*cols)
+	s.runRows(items, 0, -1, false)
+	s.value, s.work = s.work, s.value
+	s.commit(items)
+	s.stats.FullSolves++
+}
+
+// warmSolve resumes the DP at the checkpoint boundary start (a stride
+// multiple <= the first changed item), reusing all rows before it.
+func (s *IncrementalSolver) warmSolve(items []Item, last, start int) {
+	n := len(items)
+	cols := s.width + 1
+	// Resize the decision table preserving the reused prefix rows.
+	if need := n * s.words; cap(s.decisions) < need {
+		grown := make([]uint64, need)
+		copy(grown, s.decisions[:start*s.words])
+		s.decisions = grown
+	} else {
+		s.decisions = s.decisions[:need]
+	}
+	// Likewise the checkpoint rows before the resume point.
+	if need := n / s.stride * cols; cap(s.ckpt) < need {
+		grown := make([]float64, need)
+		copy(grown, s.ckpt[:start/s.stride*cols])
+		s.ckpt = grown
+	} else {
+		s.ckpt = s.ckpt[:need]
+	}
+	copy(s.work[:cols], s.ckpt[(start/s.stride-1)*cols:])
+	// Early stopping needs the old suffix aligned with the new one,
+	// which a length change rules out (diff pins last accordingly).
+	stopped := s.runRows(items, start, last, n == len(s.items))
+	if !stopped {
+		s.value, s.work = s.work, s.value
+	}
+	s.commit(items)
+}
+
+// runRows recomputes DP rows for items [start, len(items)) into s.work,
+// rewriting their decision bitsets and the checkpoints it passes. With
+// earlyOK set it compares the working row against the stored checkpoint
+// at each boundary past the last changed item and stops on equality: the
+// remaining rows are a pure function of an identical row and identical
+// items, so the stored decisions — and s.value — remain exact. Returns
+// whether it stopped early (s.work is then dead and s.value still
+// current).
+func (s *IncrementalSolver) runRows(items []Item, start, last int, earlyOK bool) bool {
+	n := len(items)
+	cols := s.width + 1
+	for i := start; i < n; {
+		if i+1 < n {
+			s.rowPair(items, i)
+			i += 2
+		} else {
+			s.rowOne(items, i)
+			i++
+		}
+		if i%s.stride == 0 {
+			ck := s.ckpt[(i/s.stride-1)*cols : i/s.stride*cols]
+			if earlyOK && i > last && floatsEqual(s.work, ck) {
+				return true
+			}
+			copy(ck, s.work)
+		}
+	}
+	return false
+}
+
+func floatsEqual(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowOne processes one item exactly like Solver.SolveDP's inner loop.
+func (s *IncrementalSolver) rowOne(items []Item, i int) {
+	row := s.decisions[i*s.words : (i+1)*s.words]
+	clear(row)
+	s.applyRow(int(items[i].Weight), items[i].Profit, row)
+}
+
+// applyRow relaxes the working row with one item of weight w and profit
+// p, marking improvements in row.
+func (s *IncrementalSolver) applyRow(w int, p float64, row []uint64) {
+	work := s.work
+	if w > s.width {
+		return
+	}
+	for cap := s.width; cap >= w; cap-- {
+		if cand := work[cap-w] + p; cand > work[cap] {
+			work[cap] = cand
+			row[cap/64] |= 1 << (cap % 64)
+		}
+	}
+}
+
+// rowPair processes items i and i+1 fused over a single pass of the
+// working row. For capacities holding both items the four candidate
+// values are formed by the same float operation sequence the sequential
+// two-pass loop performs (addition order preserved; max distributes over
+// rounding because rounding is monotone), so the decision bits — and
+// every stored row — are bit-identical to processing the items one at a
+// time.
+func (s *IncrementalSolver) rowPair(items []Item, i int) {
+	rowi := s.decisions[i*s.words : (i+1)*s.words]
+	rowj := s.decisions[(i+1)*s.words : (i+2)*s.words]
+	clear(rowi)
+	clear(rowj)
+	wi, wj := int(items[i].Weight), int(items[i+1].Weight)
+	pi, pj := items[i].Profit, items[i+1].Profit
+	c := s.width
+	if wi > c {
+		s.applyRow(wj, pj, rowj)
+		return
+	}
+	if wj > c {
+		s.applyRow(wi, pi, rowi)
+		return
+	}
+	work := s.work
+	lo := wi + wj
+	for cap := c; cap >= lo; cap-- {
+		a := work[cap]
+		vi := a
+		if b := work[cap-wi] + pi; b > a {
+			vi = b
+			rowi[cap/64] |= 1 << (cap % 64)
+		}
+		cj := work[cap-wj] + pj
+		if d := (work[cap-lo] + pi) + pj; d > cj {
+			cj = d
+		}
+		if cj > vi {
+			work[cap] = cj
+			rowj[cap/64] |= 1 << (cap % 64)
+		} else if vi > a {
+			work[cap] = vi
+		}
+	}
+	// Capacities below wi+wj hold at most one of the pair; finish them
+	// sequentially (item i first, exactly as the two-pass loop would).
+	hi := lo - 1
+	if hi > c {
+		hi = c
+	}
+	for cap := hi; cap >= wi; cap-- {
+		if cand := work[cap-wi] + pi; cand > work[cap] {
+			work[cap] = cand
+			rowi[cap/64] |= 1 << (cap % 64)
+		}
+	}
+	for cap := hi; cap >= wj; cap-- {
+		if cand := work[cap-wj] + pj; cand > work[cap] {
+			work[cap] = cand
+			rowj[cap/64] |= 1 << (cap % 64)
+		}
+	}
+}
+
+// reconstruct walks the committed decision table at capacity needW,
+// which must be within the materialized width. Columns of a wider table
+// coincide with those of a narrower one, so the result is exactly
+// SolveDP(items, needW).
+func (s *IncrementalSolver) reconstruct(items []Item, needW int) Solution {
+	take := s.take[:0]
+	remaining := needW
+	var weight int64
+	for i := len(items) - 1; i >= 0; i-- {
+		if s.decisions[i*s.words+remaining/64]&(1<<(remaining%64)) != 0 {
+			take = append(take, i)
+			weight += items[i].Weight
+			remaining -= int(items[i].Weight)
+		}
+	}
+	reverse(take)
+	s.take = take
+	return Solution{Take: take, Profit: s.value[needW], Weight: weight}
+}
+
+// commit records items as the instance the stored DP state describes.
+func (s *IncrementalSolver) commit(items []Item) {
+	s.items = append(s.items[:0], items...)
+	s.valid = true
+}
+
+// solveCertified attempts the approximate pass: a density-greedy lower
+// bound and then a capacity-quantized DP, either returned only when its
+// profit reaches (1-CertEps) times the fractional upper bound — a sound
+// certificate since the fractional relaxation dominates the optimum.
+// The quantized instance rounds weights up (ceil(w/q)) against a
+// rounded-down capacity, so any quantized-feasible set is feasible for
+// the true instance; profits are untouched, so the DP's profit is the
+// true profit. Reports ok=false when neither bound certifies.
+func (s *IncrementalSolver) solveCertified(items []Item, capacity int64, needW int) (Solution, bool) {
+	order := s.sol.densityOrder(items)
+	remaining := capacity
+	ub := 0.0
+	for _, i := range order {
+		it := items[i]
+		if it.Weight <= remaining {
+			remaining -= it.Weight
+			ub += it.Profit
+		} else {
+			if remaining > 0 {
+				ub += it.Profit * float64(remaining) / float64(it.Weight)
+			}
+			break
+		}
+	}
+	threshold := (1 - s.CertEps) * ub
+
+	// Greedy fill in density order with the best-single-item fallback —
+	// the same rule as SolveGreedy, reusing the order sorted above.
+	take := s.ctake[:0]
+	var profit float64
+	var weight int64
+	rem := capacity
+	for _, i := range order {
+		if items[i].Weight <= rem {
+			take = append(take, i)
+			profit += items[i].Profit
+			weight += items[i].Weight
+			rem -= items[i].Weight
+		}
+	}
+	best := -1
+	for i, it := range items {
+		if it.Weight <= capacity && (best < 0 || it.Profit > items[best].Profit) {
+			best = i
+		}
+	}
+	if best >= 0 && items[best].Profit > profit {
+		take = append(take[:0], best)
+		profit = items[best].Profit
+		weight = items[best].Weight
+	}
+	s.ctake = take
+	if profit >= threshold {
+		sort.Ints(take)
+		return Solution{Take: take, Profit: profit, Weight: weight}, true
+	}
+
+	q := int64((needW + quantCols - 1) / quantCols)
+	if q <= 1 {
+		return Solution{}, false // quantization would be exact DP anyway
+	}
+	if cap(s.qItems) < len(items) {
+		s.qItems = make([]Item, len(items))
+	}
+	qi := s.qItems[:len(items)]
+	for i, it := range items {
+		qi[i] = Item{Weight: (it.Weight + q - 1) / q, Profit: it.Profit}
+	}
+	qsol, err := s.sol.SolveDP(qi, int64(needW)/q)
+	if err != nil || qsol.Profit < threshold || qsol.Profit <= profit {
+		return Solution{}, false
+	}
+	take = append(take[:0], qsol.Take...)
+	s.ctake = take
+	weight = 0
+	for _, i := range take {
+		weight += items[i].Weight
+	}
+	return Solution{Take: take, Profit: qsol.Profit, Weight: weight}, true
+}

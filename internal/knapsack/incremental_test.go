@@ -1,0 +1,280 @@
+package knapsack
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"mobicache/internal/rng"
+)
+
+// mutateInstance applies one random edit of the kinds the selector's
+// slot-stable instance produces tick to tick: profit drift, weight
+// change, zero-profit tombstoning, append, delete (positional shift),
+// capacity shrink/grow, and occasional bulk churn. It returns the edited
+// instance and capacity (the slices may be reallocated).
+func mutateInstance(r *rng.Source, items []Item, capacity int64) ([]Item, int64) {
+	randItem := func() Item {
+		return Item{Weight: int64(r.IntRange(1, 20)), Profit: float64(r.IntRange(0, 1000)) / 100}
+	}
+	switch op := r.IntRange(0, 7); op {
+	case 0: // profit drift
+		if len(items) > 0 {
+			items[r.IntRange(0, len(items)-1)].Profit = float64(r.IntRange(0, 1000)) / 100
+		}
+	case 1: // weight change
+		if len(items) > 0 {
+			items[r.IntRange(0, len(items)-1)].Weight = int64(r.IntRange(1, 20))
+		}
+	case 2: // tombstone (a departed demand in the selector's slot table)
+		if len(items) > 0 {
+			items[r.IntRange(0, len(items)-1)].Profit = 0
+		}
+	case 3: // append (a newly demanded object)
+		items = append(items, randItem())
+	case 4: // delete at a random position, shifting the suffix
+		if len(items) > 0 {
+			i := r.IntRange(0, len(items)-1)
+			items = append(items[:i], items[i+1:]...)
+		}
+	case 5: // capacity move
+		var total int64
+		for _, it := range items {
+			total += it.Weight
+		}
+		capacity = int64(r.IntRange(0, int(total)+5))
+	case 6: // bulk churn near the tail
+		for k := 0; k < 4 && len(items) > 0; k++ {
+			lo := len(items) / 2
+			items[r.IntRange(lo, len(items)-1)] = randItem()
+		}
+	case 7: // no-op tick (instance repeats verbatim)
+	}
+	return items, capacity
+}
+
+// TestIncrementalMatchesDPOverEditSequences drives random edit sequences
+// — the randomized property the incremental solver's exactness contract
+// is pinned by — and asserts after every edit that Solve returns exactly
+// SolveDP's solution: bit-equal profit, equal weight, and an identical
+// Take set.
+func TestIncrementalMatchesDPOverEditSequences(t *testing.T) {
+	r := rng.New(0x17C5)
+	for _, size := range []struct {
+		name  string
+		n     int
+		steps int
+	}{
+		{"small", 12, 60},
+		{"medium", 120, 40},
+	} {
+		t.Run(size.name, func(t *testing.T) {
+			for trial := 0; trial < 12; trial++ {
+				items := make([]Item, size.n)
+				var total int64
+				for i := range items {
+					items[i] = Item{Weight: int64(r.IntRange(1, 20)), Profit: float64(r.IntRange(0, 1000)) / 100}
+					total += items[i].Weight
+				}
+				capacity := int64(r.IntRange(0, int(total)))
+				inc := NewIncrementalSolver()
+				ref := NewSolver()
+				for step := 0; step < size.steps; step++ {
+					got, err := inc.Solve(items, capacity)
+					if err != nil {
+						t.Fatalf("trial %d step %d: %v", trial, step, err)
+					}
+					want, err := ref.SolveDP(items, capacity)
+					if err != nil {
+						t.Fatalf("trial %d step %d: reference: %v", trial, step, err)
+					}
+					if got.Profit != want.Profit || got.Weight != want.Weight || !slices.Equal(got.Take, want.Take) {
+						t.Fatalf("trial %d step %d: incremental (%v, %d, %v) != DP (%v, %d, %v)\nitems %v cap %d",
+							trial, step, got.Profit, got.Weight, got.Take, want.Profit, want.Weight, want.Take, items, capacity)
+					}
+					items, capacity = mutateInstance(r, items, capacity)
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalCertifiedWithinEps runs the same edit sequences with
+// the certified approximate pass enabled and checks its weaker but still
+// hard contract: feasible solutions, internally consistent, and profit
+// at least (1-CertEps) times the exact optimum.
+func TestIncrementalCertifiedWithinEps(t *testing.T) {
+	const eps = 0.1
+	const tol = 1e-9
+	r := rng.New(0xCE47)
+	for trial := 0; trial < 12; trial++ {
+		items := make([]Item, 80)
+		var total int64
+		for i := range items {
+			items[i] = Item{Weight: int64(r.IntRange(1, 20)), Profit: float64(r.IntRange(0, 1000)) / 100}
+			total += items[i].Weight
+		}
+		capacity := total / 2
+		inc := NewIncrementalSolver()
+		inc.CertEps = eps
+		ref := NewSolver()
+		for step := 0; step < 40; step++ {
+			got, err := inc.Solve(items, capacity)
+			if err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			if got.Weight > capacity {
+				t.Fatalf("trial %d step %d: weight %d exceeds capacity %d", trial, step, got.Weight, capacity)
+			}
+			var weight int64
+			profit := 0.0
+			prev := -1
+			for _, i := range got.Take {
+				if i <= prev || i >= len(items) {
+					t.Fatalf("trial %d step %d: take %v not strictly ascending in range", trial, step, got.Take)
+				}
+				prev = i
+				weight += items[i].Weight
+				profit += items[i].Profit
+			}
+			if weight != got.Weight || math.Abs(profit-got.Profit) > tol {
+				t.Fatalf("trial %d step %d: reported (%v, %d) != recomputed (%v, %d)",
+					trial, step, got.Profit, got.Weight, profit, weight)
+			}
+			want, err := ref.SolveDP(items, capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Profit < (1-eps)*want.Profit-tol {
+				t.Fatalf("trial %d step %d: certified profit %v below (1-eps) x optimum %v",
+					trial, step, got.Profit, want.Profit)
+			}
+			if got.Profit > want.Profit+tol {
+				t.Fatalf("trial %d step %d: profit %v beats the optimum %v", trial, step, got.Profit, want.Profit)
+			}
+			items, capacity = mutateInstance(r, items, capacity)
+		}
+	}
+}
+
+// TestIncrementalStats pins which path serves which call shape: cold
+// first solve, cached repeat, capacity moves within the table, a warm
+// resume for a tail edit, and a cold re-solve for a head edit.
+func TestIncrementalStats(t *testing.T) {
+	r := rng.New(0x57A75)
+	items := make([]Item, 200)
+	var total int64
+	for i := range items {
+		items[i] = Item{Weight: int64(r.IntRange(1, 20)), Profit: float64(r.IntRange(1, 1000)) / 100}
+		total += items[i].Weight
+	}
+	capacity := total / 2
+	inc := NewIncrementalSolver()
+	solve := func() {
+		t.Helper()
+		if _, err := inc.Solve(items, capacity); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expect := func(what string, want SolverStats) {
+		t.Helper()
+		if got := inc.Stats(); got != want {
+			t.Fatalf("%s: stats %+v, want %+v", what, got, want)
+		}
+	}
+	solve()
+	expect("first solve", SolverStats{FullSolves: 1})
+	solve()
+	expect("unchanged repeat", SolverStats{FullSolves: 1, CachedHits: 1})
+	capacity /= 2
+	solve()
+	expect("capacity shrink, same items", SolverStats{FullSolves: 1, CachedHits: 2})
+	items[len(items)-1].Profit += 1
+	solve()
+	expect("tail edit", SolverStats{FullSolves: 1, CachedHits: 2, WarmSolves: 1})
+	items[0].Profit += 1
+	solve()
+	expect("head edit", SolverStats{FullSolves: 2, CachedHits: 2, WarmSolves: 1})
+
+	inc.Reset()
+	solve()
+	expect("post-reset solve", SolverStats{FullSolves: 3, CachedHits: 2, WarmSolves: 1})
+}
+
+// TestIncrementalUnitFastPath checks all-unit instances route to the
+// top-k path and still match the DP exactly.
+func TestIncrementalUnitFastPath(t *testing.T) {
+	items := []Item{{1, 0.5}, {1, 0.9}, {1, 0.9}, {1, 0}, {1, 0.2}}
+	inc := NewIncrementalSolver()
+	got, err := inc.Solve(items, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SolveDP(items, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Profit != want.Profit || !slices.Equal(got.Take, want.Take) {
+		t.Fatalf("unit path (%v, %v) != DP (%v, %v)", got.Profit, got.Take, want.Profit, want.Take)
+	}
+	if s := inc.Stats(); s.UnitSolves != 1 || s.FullSolves != 0 {
+		t.Fatalf("unit instance took the wrong path: %+v", s)
+	}
+}
+
+// TestIncrementalRejectsInvalid mirrors the Solver error contract.
+func TestIncrementalRejectsInvalid(t *testing.T) {
+	inc := NewIncrementalSolver()
+	if _, err := inc.Solve([]Item{{2, 1}}, -1); err != ErrNegativeCapacity {
+		t.Fatalf("negative capacity: err = %v", err)
+	}
+	if _, err := inc.Solve([]Item{{0, 1}}, 5); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := inc.Solve([]Item{{2, math.NaN()}}, 5); err == nil {
+		t.Fatal("NaN profit accepted")
+	}
+	// The failed calls must not have corrupted warm state for good ones.
+	sol, err := inc.Solve([]Item{{2, 1}, {3, 2}}, 5)
+	if err != nil || sol.Profit != 3 {
+		t.Fatalf("solve after rejections: %v, %v", sol, err)
+	}
+}
+
+// TestIncrementalSolveNoSteadyStateAllocs pins the 0 allocs/op invariant
+// on both the exact and certified paths under steady-state drift (profit
+// edits and tombstones at fixed instance size).
+func TestIncrementalSolveNoSteadyStateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		eps  float64
+	}{
+		{"exact", 0},
+		{"certified", 0.05},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rng.New(0xA110C)
+			items := make([]Item, 200)
+			var total int64
+			for i := range items {
+				items[i] = Item{Weight: int64(r.IntRange(1, 20)), Profit: float64(r.IntRange(1, 1000)) / 100}
+				total += items[i].Weight
+			}
+			capacity := total / 2
+			inc := NewIncrementalSolver()
+			inc.CertEps = tc.eps
+			step := func() {
+				items[r.IntRange(0, len(items)-1)].Profit = float64(r.IntRange(0, 1000)) / 100
+				if _, err := inc.Solve(items, capacity); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 50; i++ { // grow all buffers to steady state
+				step()
+			}
+			if allocs := testing.AllocsPerRun(100, step); allocs != 0 {
+				t.Fatalf("steady-state Solve allocates %.1f times per op", allocs)
+			}
+		})
+	}
+}

@@ -66,6 +66,11 @@ type Config struct {
 	// 1 runs the serial engine (no goroutines), 0 picks a default from
 	// GOMAXPROCS capped at Cells. Any value yields the identical Report.
 	Workers int
+	// Solver selects the knapsack algorithm each cell's selector uses
+	// (default core.SolverDP). Each cell owns its own selector, so the
+	// incremental kinds keep per-cell warm state and stay deterministic
+	// for any worker count.
+	Solver core.SolverKind
 	// Seed drives all randomness.
 	Seed uint64
 	// Metrics, when non-nil, receives live observability updates. The
@@ -215,7 +220,12 @@ func New(cfg Config) (*System, error) {
 		sys.merger = obs.NewShardMerger(cfg.Metrics.Station, shards)
 	}
 	for c := 0; c < cfg.Cells; c++ {
-		sel, err := core.NewSelector(cat, core.Config{Trace: ring})
+		scfg := core.Config{Solver: cfg.Solver, Trace: ring}
+		if shards != nil {
+			scfg.FullResolves = shards[c].SolverFullResolves
+			scfg.WarmResolves = shards[c].SolverWarmResolves
+		}
+		sel, err := core.NewSelector(cat, scfg)
 		if err != nil {
 			return nil, err
 		}

@@ -35,6 +35,15 @@ type StationMetrics struct {
 	StaleFallbacks  *Counter // requests served stale because a refresh failed
 	DownloadUnits   *Counter // data units fetched over the fixed network
 
+	// SolverFullResolves / SolverWarmResolves split the selection solves
+	// by how much work they did: full counts cold solves that re-ran the
+	// solver from scratch, warm counts solves served from incremental
+	// state (unchanged-instance cache hits, checkpoint resumes, the
+	// unit-weight fast path, and certified approximate passes). Their
+	// ratio is the warm-start hit rate.
+	SolverFullResolves *Counter
+	SolverWarmResolves *Counter
+
 	BudgetRemaining *Gauge // units left after the last tick's policy spend
 
 	TickBytes    *Histogram // per-tick downloaded units
@@ -64,6 +73,10 @@ func newStationMetrics(r *Registry, suffix string, trace *TraceRing) *StationMet
 		Retries:         r.Counter(n("mobicache_fetch_retries_total"), "extra fetch attempts beyond the first"),
 		StaleFallbacks:  r.Counter(n("mobicache_stale_fallbacks_total"), "requests served a stale copy because the refresh failed"),
 		DownloadUnits:   r.Counter(n("mobicache_download_units_total"), "data units fetched over the fixed network"),
+		SolverFullResolves: r.Counter(n("mobicache_solver_full_resolves_total"),
+			"selection solves that re-ran the knapsack solver from scratch"),
+		SolverWarmResolves: r.Counter(n("mobicache_solver_warm_resolves_total"),
+			"selection solves served from warm incremental solver state"),
 		BudgetRemaining: r.Gauge(n("mobicache_budget_remaining_units"), "download budget left after the last tick's policy spend"),
 		TickBytes:       r.Histogram(n("mobicache_tick_download_units"), "data units downloaded per tick", TickBytesBounds),
 		FetchLatency:    r.Histogram(n("mobicache_fetch_latency_ticks"), "simulated fetch latency per download (attempts + backoff)", FetchLatencyBounds),
@@ -187,6 +200,7 @@ func mergeableCounters(s *StationMetrics) []*Counter {
 	return []*Counter{
 		s.Requests, s.PolicyDownloads, s.MissDownloads, s.FailedDownloads,
 		s.Retries, s.StaleFallbacks, s.DownloadUnits,
+		s.SolverFullResolves, s.SolverWarmResolves,
 	}
 }
 

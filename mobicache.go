@@ -89,7 +89,10 @@ func WithScore(f ScoreFunc) Option {
 }
 
 // WithSolver selects the knapsack solver: "dp" (exact, default), "greedy"
-// (fast 1/2-approximation), or "fptas" (1-eps approximation).
+// (fast 1/2-approximation), "fptas" (1-eps approximation), "incremental"
+// (exact warm-start solving that diffs each call against the previous
+// one), or "certified" (warm-start with an approximate first pass
+// accepted only when provably within 1-eps of optimal).
 func WithSolver(name string) Option {
 	return func(c *core.Config) error {
 		switch name {
@@ -99,8 +102,12 @@ func WithSolver(name string) Option {
 			c.Solver = core.SolverGreedy
 		case "fptas":
 			c.Solver = core.SolverFPTAS
+		case "incremental":
+			c.Solver = core.SolverIncremental
+		case "certified":
+			c.Solver = core.SolverCertified
 		default:
-			return fmt.Errorf("mobicache: unknown solver %q (want dp, greedy, or fptas)", name)
+			return fmt.Errorf("mobicache: unknown solver %q (want dp, greedy, fptas, incremental, or certified)", name)
 		}
 		return nil
 	}

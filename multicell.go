@@ -45,6 +45,10 @@ type MulticellConfig struct {
 	// capped at Cells. The report is byte-identical for any value; Workers
 	// only changes wall-clock time.
 	Workers int
+	// Solver selects the knapsack algorithm behind every cell's
+	// selection: "dp" (default), "greedy", "fptas", "incremental", or
+	// "certified". See SimulationConfig.Solver.
+	Solver string
 	// Ticks is the simulated duration.
 	Ticks int
 	// Seed drives all randomness.
@@ -84,6 +88,10 @@ func RunMulticell(cfg MulticellConfig) (MulticellReport, error) {
 	if err != nil {
 		return rep, err
 	}
+	solver, err := parseSolver(cfg.Solver)
+	if err != nil {
+		return rep, err
+	}
 	mobility := client.Mobility{
 		MeanResidence: cfg.MeanResidence,
 		PDisconnect:   cfg.PDisconnect,
@@ -100,6 +108,7 @@ func RunMulticell(cfg MulticellConfig) (MulticellReport, error) {
 		Pattern:       rng.Popularity(pattern),
 		CacheSharing:  cfg.CacheSharing,
 		Workers:       cfg.Workers,
+		Solver:        solver,
 		Seed:          cfg.Seed,
 		Metrics:       cfg.Metrics,
 	})

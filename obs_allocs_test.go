@@ -49,6 +49,18 @@ func newTickRunner(t *testing.T, m *StationMetrics) func() {
 	return run
 }
 
+// TestSimulationTickSteadyStateAllocs pins the allocation budget of the
+// hot tick path BenchmarkSimulationTick measures: after warmup, a tick
+// must average under one allocation (the only remaining source is the
+// occasional cache fill of a first-touched zipf-tail object — there is no
+// per-tick garbage).
+func TestSimulationTickSteadyStateAllocs(t *testing.T) {
+	run := newTickRunner(t, nil)
+	if allocs := testing.AllocsPerRun(200, run); allocs >= 1 {
+		t.Fatalf("steady-state tick averages %.2f allocs/op, want < 1", allocs)
+	}
+}
+
 // TestMetricsAddNoSteadyStateAllocs asserts the observability bundle —
 // counters, gauges, histograms, and the decision-trace ring — adds zero
 // steady-state allocations to the station tick path measured by

@@ -15,17 +15,26 @@ set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_1.json}"
-benches='BenchmarkSolverDP|BenchmarkSolverTrace|BenchmarkSolverGreedy|BenchmarkSelectorSelect|BenchmarkSimulationTick|BenchmarkMulticellTick'
+benches='BenchmarkSolverDP|BenchmarkSolverIncremental|BenchmarkSolverTrace|BenchmarkSolverGreedy|BenchmarkSelectorSelect|BenchmarkSimulationTick|BenchmarkMulticellTick'
 
 raw=$(go test -run '^$' -bench "^(${benches})\$" -benchmem -benchtime 30x .)
 printf '%s\n' "$raw" >&2
 
+# Fields are located by their unit (ns/op, B/op, allocs/op) rather than by
+# position: benchmarks that b.ReportMetric extra per-op series (the
+# incremental solver's path mix) shift the column layout.
 printf '%s\n' "$raw" | awk '
   /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    ns = 0; bytes = 0; allocs = 0
+    for (i = 3; i <= NF; i++) {
+      if ($i == "ns/op") ns = $(i - 1)
+      else if ($i == "B/op") bytes = $(i - 1)
+      else if ($i == "allocs/op") allocs = $(i - 1)
+    }
     rows[++n] = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                        name, $3, $5, $7)
+                        name, ns, bytes, allocs)
   }
   END {
     print "["

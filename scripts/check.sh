@@ -11,6 +11,10 @@ cd "$(dirname "$0")/.."
 COVERAGE_BASELINE=80.0
 # Per-target budget for the fuzz smoke; set FUZZTIME=0 to skip.
 FUZZTIME=${FUZZTIME:-10s}
+# Archived benchmark baseline for the incremental-solver perf gate; set
+# PERFCHECK=0 to skip the (benchmark-running) comparison.
+PERF_BASELINE=BENCH_3.json
+PERFCHECK=${PERFCHECK:-1}
 
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -38,9 +42,32 @@ if awk "BEGIN {exit !($coverage < $COVERAGE_BASELINE)}"; then
     exit 1
 fi
 
+# Solver-equivalence gate: the incremental warm-start solver must return
+# bit-identical solutions to the cold DP across randomized edit sequences
+# (knapsack layer) and identical plans through the selector (core layer).
+go test -race -count=1 -run Incremental ./internal/knapsack ./internal/core
+
 if [ "$FUZZTIME" != "0" ]; then
     go test -run=NONE -fuzz=FuzzSolveDP -fuzztime="$FUZZTIME" ./internal/knapsack
+    go test -run=NONE -fuzz=FuzzIncremental -fuzztime="$FUZZTIME" ./internal/knapsack
     go test -run=NONE -fuzz=FuzzRecencyCurve -fuzztime="$FUZZTIME" ./internal/recency
+fi
+
+# Perf-regression gate: the headline incremental-solver benchmark must stay
+# within 20% of the number archived in BENCH_3.json (scripts/bench.sh).
+if [ "$PERFCHECK" != "0" ] && [ -f "$PERF_BASELINE" ]; then
+    target='BenchmarkSolverIncremental/certified'
+    baseline=$(awk -F'[:,]' -v t="$target" \
+        '$0 ~ t {for (i = 1; i < NF; i++) if ($i ~ /"ns_per_op"/) print $(i + 1)}' "$PERF_BASELINE")
+    if [ -n "$baseline" ]; then
+        now=$(go test -run '^$' -bench "^BenchmarkSolverIncremental/certified\$" -benchtime 200x . |
+            awk '/^BenchmarkSolverIncremental/ {for (i = 3; i <= NF; i++) if ($i == "ns/op") print $(i - 1)}')
+        echo "perf gate: $target now ${now} ns/op, baseline ${baseline} ns/op"
+        if awk "BEGIN {exit !($now > $baseline * 1.20)}"; then
+            echo "$target regressed >20% vs $PERF_BASELINE (${now} ns/op > 1.2 x ${baseline})" >&2
+            exit 1
+        fi
+    fi
 fi
 
 echo "all checks passed"

@@ -132,6 +132,13 @@ type SimulationConfig struct {
 	// HybridFraction is the on-demand share of the budget for "hybrid"
 	// (default 0.5).
 	HybridFraction float64
+	// Solver selects the knapsack algorithm behind the knapsack-backed
+	// policies: "dp" (default, the paper's exact dynamic program),
+	// "greedy", "fptas", "incremental" (exact warm-start solving that
+	// reuses the previous tick's DP state), or "certified" (warm-start
+	// plus an approximate first pass accepted only when provably within
+	// 1-eps of optimal).
+	Solver string
 	// BudgetPerTick caps downloaded data units per tick (0 = unlimited).
 	BudgetPerTick int64
 	// RequestsPerTick is the client request rate.
@@ -355,13 +362,21 @@ func buildPolicy(cfg SimulationConfig, cat *catalog.Catalog) (policy.Policy, err
 	case "async-on-update":
 		return policy.AsyncOnUpdate{}, nil
 	case "on-demand-knapsack":
-		sel, err := core.NewSelector(cat, core.Config{Trace: traceRing(cfg)})
+		scfg, err := selectorConfig(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sel, err := core.NewSelector(cat, scfg)
 		if err != nil {
 			return nil, err
 		}
 		return policy.NewOnDemandKnapsack(sel)
 	case "hybrid":
-		sel, err := core.NewSelector(cat, core.Config{Trace: traceRing(cfg)})
+		scfg, err := selectorConfig(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sel, err := core.NewSelector(cat, scfg)
 		if err != nil {
 			return nil, err
 		}
@@ -373,6 +388,30 @@ func buildPolicy(cfg SimulationConfig, cat *catalog.Catalog) (policy.Policy, err
 	default:
 		return nil, fmt.Errorf("mobicache: unknown policy %q", name)
 	}
+}
+
+// selectorConfig assembles the selector configuration shared by the
+// knapsack-backed policies: the configured solver kind, the decision
+// trace, and — when metrics are on — the full/warm resolve counters.
+func selectorConfig(cfg SimulationConfig) (core.Config, error) {
+	kind, err := parseSolver(cfg.Solver)
+	if err != nil {
+		return core.Config{}, err
+	}
+	c := core.Config{Solver: kind, Trace: traceRing(cfg)}
+	if cfg.Metrics != nil {
+		c.FullResolves = cfg.Metrics.SolverFullResolves
+		c.WarmResolves = cfg.Metrics.SolverWarmResolves
+	}
+	return c, nil
+}
+
+func parseSolver(name string) (core.SolverKind, error) {
+	kind, err := core.ParseSolver(name)
+	if err != nil {
+		return 0, fmt.Errorf("mobicache: unknown solver %q", name)
+	}
+	return kind, nil
 }
 
 // traceRing extracts the decision-trace ring from the configured metrics
