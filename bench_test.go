@@ -475,6 +475,47 @@ func BenchmarkMulticellTick(b *testing.B) {
 	}
 }
 
+// BenchmarkStationTickDegraded times a steady-state tick with the
+// resilience layer fully engaged: a permanent upstream outage keeps the
+// circuit breaker cycling open/half-open, and admission control sheds
+// half the request stream every tick. The degraded path must stay
+// 0 allocs/op — resilience machinery that allocates under pressure is
+// load-shedding in the wrong direction.
+func BenchmarkStationTickDegraded(b *testing.B) {
+	cfg := benchTickConfig(nil)
+	cfg.Fault = &FaultConfig{
+		Outages: []FaultWindow{{Server: AllServers, From: 0, To: 1 << 30}},
+		Retry:   RetryConfig{MaxAttempts: 2, BaseBackoff: 0.5},
+	}
+	cfg.Resilience = &ResilienceConfig{
+		BreakerFailures:    3,
+		BreakerOpenTicks:   5,
+		MaxRequestsPerTick: cfg.RequestsPerTick / 2,
+	}
+	st, _, err := buildStation(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, _, err := buildGenerator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tick := 0
+	for ; tick < 200; tick++ { // grow shed scratch, trip the breaker
+		if _, err := st.RunTick(tick, gen.Tick(tick)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.RunTick(tick, gen.Tick(tick)); err != nil {
+			b.Fatal(err)
+		}
+		tick++
+	}
+}
+
 // BenchmarkCacheOps times the hot cache path (Get + master-update decay)
 // under an LRU-bounded cache.
 func BenchmarkCacheOps(b *testing.B) {

@@ -1,0 +1,260 @@
+package mobicache
+
+import "testing"
+
+// chaosCounters are the resilience counters each chaos scenario pins
+// exactly: any drift in shedding, breaker behaviour, or fallback
+// accounting under faults is a regression, not noise.
+type chaosCounters struct {
+	Shed, ShortCircuits, Trips, Probes, Degraded, Failed, Stale uint64
+}
+
+func chaosOf(rep SimulationReport) chaosCounters {
+	return chaosCounters{
+		Shed:          rep.ShedRequests,
+		ShortCircuits: rep.ShortCircuits,
+		Trips:         rep.BreakerTrips,
+		Probes:        rep.BreakerProbes,
+		Degraded:      rep.DegradedTicks,
+		Failed:        rep.FailedDownloads,
+		Stale:         rep.StaleFallbacks,
+	}
+}
+
+// TestChaosScenariosDeterministic is the chaos harness: each scenario
+// injects a failure profile (blackout, flapping upstream, request
+// overload) against a resilient station and pins the exact shed /
+// breaker-trip / fallback counters, then reruns to prove bit-identical
+// replay. The paired run with resilience off shows the layer earning its
+// keep: the breaker saves retry budget, admission bounds served load.
+func TestChaosScenariosDeterministic(t *testing.T) {
+	base := SimulationConfig{
+		Objects:         50,
+		UpdatePeriod:    1,
+		Policy:          "on-demand-stale",
+		RequestsPerTick: 20,
+		Access:          "zipf",
+		Warmup:          10,
+		Ticks:           40,
+		Seed:            12345,
+	}
+	scenarios := []struct {
+		name       string
+		fault      *FaultConfig
+		resilience ResilienceConfig
+		want       chaosCounters
+		check      func(t *testing.T, with, without SimulationReport)
+	}{
+		{
+			// The blackout from the fault harness, now behind a breaker:
+			// three consecutive failures trip it and the station rides
+			// out the rest of the outage in stale-only mode instead of
+			// burning retries against a dead upstream.
+			name: "blackout-breaker",
+			fault: &FaultConfig{
+				Outages: []FaultWindow{{Server: AllServers, From: 20, To: 30}},
+				Retry:   RetryConfig{MaxAttempts: 2, BaseBackoff: 0.5},
+			},
+			resilience: ResilienceConfig{BreakerFailures: 3, BreakerOpenTicks: 4},
+			want:       chaosCounters{ShortCircuits: 32, Trips: 3, Probes: 3, Degraded: 9, Failed: 5, Stale: 236},
+			check: func(t *testing.T, with, without SimulationReport) {
+				if with.FailedDownloads >= without.FailedDownloads {
+					t.Errorf("breaker saved nothing: %d failed downloads with, %d without",
+						with.FailedDownloads, without.FailedDownloads)
+				}
+				if with.Retries >= without.Retries {
+					t.Errorf("breaker burned as many retries as raw retrying: %d vs %d",
+						with.Retries, without.Retries)
+				}
+				// The cost side of the trade: stale-only mode outlives the
+				// outage until a probe succeeds, so the breaker serves a
+				// few MORE requests stale than raw retrying — never fewer.
+				if with.StaleFallbacks < without.StaleFallbacks {
+					t.Errorf("breaker served fresher than raw retrying under blackout: %d vs %d stale",
+						with.StaleFallbacks, without.StaleFallbacks)
+				}
+			},
+		},
+		{
+			// A flapping upstream: down 3 of every 6 ticks. The breaker
+			// trips during each down phase and reprobes its way back
+			// during each up phase.
+			name: "flapping-breaker",
+			fault: &FaultConfig{
+				Outages: []FaultWindow{{Server: AllServers, From: 12, To: 15, Every: 6}},
+				Retry:   RetryConfig{MaxAttempts: 3, BaseBackoff: 1, MaxBackoff: 4},
+			},
+			resilience: ResilienceConfig{BreakerFailures: 2, BreakerOpenTicks: 3, BreakerCloseAfter: 1},
+			want:       chaosCounters{ShortCircuits: 73, Trips: 7, Probes: 6, Degraded: 13, Failed: 14, Stale: 395},
+			check: func(t *testing.T, with, without SimulationReport) {
+				if with.Retries >= without.Retries {
+					t.Errorf("flapping: breaker burned %d retries, raw run %d", with.Retries, without.Retries)
+				}
+			},
+		},
+		{
+			// Pure overload, healthy network: admission control sheds the
+			// excess above 12 requests/tick every tick — deterministically
+			// the requests the cache already serves best.
+			name:       "overload-shed",
+			resilience: ResilienceConfig{MaxRequestsPerTick: 12},
+			want:       chaosCounters{Shed: 320},
+			check: func(t *testing.T, with, without SimulationReport) {
+				if with.ShedTicks != uint64(with.Ticks) {
+					t.Errorf("overload every tick: shed on %d of %d ticks", with.ShedTicks, with.Ticks)
+				}
+				if with.Requests+with.ShedRequests != without.Requests {
+					t.Errorf("admitted %d + shed %d != offered %d",
+						with.Requests, with.ShedRequests, without.Requests)
+				}
+			},
+		},
+		{
+			// Blackout and overload at once: the ladder runs all the way
+			// down — shedding on every tick, stale-only while the breaker
+			// is open.
+			name: "blackout-overload",
+			fault: &FaultConfig{
+				Outages: []FaultWindow{{Server: AllServers, From: 20, To: 30}},
+				Retry:   RetryConfig{MaxAttempts: 2, BaseBackoff: 0.5},
+			},
+			// DegradedTicks stays 0 here: the mode gauge reports the WORST
+			// rung of the ladder each tick, and with overload shedding on
+			// every tick Shed outranks StaleOnly.
+			resilience: ResilienceConfig{BreakerFailures: 3, BreakerOpenTicks: 4, MaxRequestsPerTick: 12},
+			want:       chaosCounters{Shed: 320, ShortCircuits: 23, Trips: 3, Probes: 3, Failed: 5, Stale: 140},
+		},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			cfg := base
+			cfg.Fault = sc.fault
+			res := sc.resilience
+			cfg.Resilience = &res
+			rep, err := RunSimulation(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := chaosOf(rep); got != sc.want {
+				t.Errorf("counters %+v, want %+v", got, sc.want)
+			}
+			// Identical rerun reproduces the report bit for bit.
+			again, err := RunSimulation(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != rep {
+				t.Errorf("rerun diverged:\n first %+v\nsecond %+v", rep, again)
+			}
+			if sc.check != nil {
+				raw := base
+				raw.Fault = sc.fault
+				without, err := RunSimulation(raw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc.check(t, rep, without)
+			}
+		})
+	}
+}
+
+// TestBreakerZeroFaultMatchesIdealPath extends the zero-fault identity to
+// the resilience layer: a breaker over a healthy fetch path never opens,
+// generous admission never sheds, and the report matches the ideal run on
+// every field — which is what keeps Figures 2-6 byte-identical with the
+// resilience machinery merged.
+func TestBreakerZeroFaultMatchesIdealPath(t *testing.T) {
+	base := SimulationConfig{
+		Objects:         80,
+		UpdatePeriod:    3,
+		Policy:          "on-demand-knapsack",
+		BudgetPerTick:   12,
+		RequestsPerTick: 30,
+		Access:          "zipf",
+		Warmup:          20,
+		Ticks:           100,
+		Seed:            7,
+	}
+	ideal, err := RunSimulation(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed := base
+	armed.Resilience = &ResilienceConfig{BreakerFailures: 3, MaxRequestsPerTick: 10000}
+	rep, err := RunSimulation(armed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != ideal {
+		t.Fatalf("armed-but-idle resilience diverged from the ideal path:\nideal %+v\narmed %+v", ideal, rep)
+	}
+}
+
+// TestCellDeathChaos drives the multi-cell failure domains end-to-end
+// through the facade: a single-cell death reroutes every request with
+// none lost, a total blackout loses exactly the darkened requests, and
+// both replay bit-identically.
+func TestCellDeathChaos(t *testing.T) {
+	base := MulticellConfig{
+		Cells:         3,
+		Objects:       60,
+		BudgetPerTick: 8,
+		Clients:       90,
+		RequestProb:   0.4,
+		Access:        "zipf",
+		Ticks:         80,
+		Seed:          42,
+	}
+	plain, err := RunMulticell(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oneDown := base
+	oneDown.CellOutages = []CellOutage{{Cell: 1, From: 20, To: 50}}
+	rep, err := RunMulticell(oneDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CellDownTicks != 30 {
+		t.Errorf("CellDownTicks = %d, want 30", rep.CellDownTicks)
+	}
+	if rep.Reroutes == 0 || rep.LostRequests != 0 {
+		t.Errorf("single-cell death: %d reroutes, %d lost; want >0 rerouted, 0 lost", rep.Reroutes, rep.LostRequests)
+	}
+	if rep.Requests != plain.Requests {
+		t.Errorf("reroute conservation broken: served %d, fault-free %d", rep.Requests, plain.Requests)
+	}
+
+	allDown := base
+	allDown.CellOutages = []CellOutage{{Cell: AllCells, From: 20, To: 30}}
+	dark, err := RunMulticell(allDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dark.LostRequests == 0 || dark.Reroutes != 0 {
+		t.Errorf("total blackout: %d lost, %d rerouted; want >0 lost, 0 rerouted", dark.LostRequests, dark.Reroutes)
+	}
+	if dark.Requests+dark.LostRequests != plain.Requests {
+		t.Errorf("blackout accounting: served %d + lost %d != offered %d",
+			dark.Requests, dark.LostRequests, plain.Requests)
+	}
+
+	// Overlapping windows on one cell are rejected up front.
+	bad := base
+	bad.CellOutages = []CellOutage{{Cell: 0, From: 5, To: 15}, {Cell: 0, From: 10, To: 20}}
+	if _, err := RunMulticell(bad); err == nil {
+		t.Error("overlapping cell outages accepted")
+	}
+
+	// Bit-identical replay, resilience counters included.
+	again, err := RunMulticell(oneDown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Reroutes != rep.Reroutes || again.MeanScore != rep.MeanScore ||
+		again.CellDownTicks != rep.CellDownTicks || again.Requests != rep.Requests {
+		t.Errorf("cell-death rerun diverged:\n first %+v\nsecond %+v", rep, again)
+	}
+}

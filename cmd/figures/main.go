@@ -28,7 +28,7 @@ import (
 )
 
 var (
-	figFlag    = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, table1, replacement, ablation, fullsystem, broadcast, sleeper, adaptive, multicell, estimation, quasi, heterogeneity, faults, or all")
+	figFlag    = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, table1, replacement, ablation, fullsystem, broadcast, sleeper, adaptive, multicell, estimation, quasi, heterogeneity, faults, resilience, or all")
 	format     = flag.String("format", "table", "output format: table, csv, or plot")
 	seed       = flag.Uint64("seed", 0, "override the default experiment seed (0 keeps defaults)")
 	quickFlag  = flag.Bool("quick", false, "run scaled-down configurations (for smoke tests)")
@@ -126,7 +126,7 @@ func run(which string) error {
 		{"replacement", replacement}, {"ablation", ablation}, {"fullsystem", fullsystem},
 		{"broadcast", broadcastStudy}, {"sleeper", sleeperStudy}, {"adaptive", adaptiveStudy},
 		{"multicell", multicellStudy}, {"estimation", estimationStudy}, {"quasi", quasiStudy},
-		{"heterogeneity", heterogeneityStudy}, {"faults", faultStudy},
+		{"heterogeneity", heterogeneityStudy}, {"faults", faultStudy}, {"resilience", resilienceStudy},
 	}
 	if which == "table1" {
 		fmt.Print(experiment.Table1())
@@ -415,6 +415,19 @@ func multicellStudy() error {
 		s = *seed
 	}
 	out, err := experiment.MulticellStudy(4, s, *workers)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func resilienceStudy() error {
+	s := uint64(1)
+	if *seed != 0 {
+		s = *seed
+	}
+	out, err := experiment.ResilienceStudy(4, s, *workers)
 	if err != nil {
 		return err
 	}

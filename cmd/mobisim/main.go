@@ -52,7 +52,31 @@ func main() {
 	flag.Float64Var(&mc.RequestProb, "request-prob", 0.3, "per-tick request probability of a connected client (multi-cell mode)")
 	flag.BoolVar(&mc.CacheSharing, "sharing", false, "enable cooperative base-station caching (multi-cell mode)")
 	flag.IntVar(&mc.Workers, "workers", 0, "worker goroutines for the parallel tick phase (0 = auto, 1 = serial; results are identical)")
+
+	// Resilience layer (both modes).
+	var res mobicache.ResilienceConfig
+	flag.IntVar(&res.BreakerFailures, "breaker-failures", 0,
+		"consecutive failed downloads that trip the circuit breaker (0 = no breaker)")
+	flag.IntVar(&res.BreakerOpenTicks, "breaker-open-ticks", 0,
+		"ticks a tripped breaker refuses fetches before probing (0 = default 8)")
+	flag.IntVar(&res.MaxRequestsPerTick, "max-requests", 0,
+		"admission cap on requests per station per tick (0 = unlimited)")
+	cellOutage := flag.String("cell-outage", "",
+		"whole-cell outage as cell:from:to (multi-cell mode; cell -1 = all cells)")
 	flag.Parse()
+
+	if res.BreakerFailures > 0 || res.MaxRequestsPerTick > 0 {
+		cfg.Resilience = &res
+		mc.Resilience = &res
+	}
+	if *cellOutage != "" {
+		var o mobicache.CellOutage
+		if _, err := fmt.Sscanf(*cellOutage, "%d:%d:%d", &o.Cell, &o.From, &o.To); err != nil {
+			fmt.Fprintf(os.Stderr, "mobisim: bad -cell-outage %q (want cell:from:to): %v\n", *cellOutage, err)
+			os.Exit(1)
+		}
+		mc.CellOutages = append(mc.CellOutages, o)
+	}
 
 	if mc.Cells > 0 {
 		runMulticell(mc, cfg)
@@ -71,6 +95,11 @@ func main() {
 	fmt.Printf("mean client score %.4f\n", rep.MeanScore)
 	fmt.Printf("mean recency      %.4f\n", rep.MeanRecency)
 	fmt.Printf("cache hit rate    %.4f\n", rep.CacheHitRate)
+	if cfg.Resilience != nil {
+		fmt.Printf("shed requests     %d (%d shedding ticks)\n", rep.ShedRequests, rep.ShedTicks)
+		fmt.Printf("breaker           %d trips, %d probes, %d short circuits, %d degraded ticks\n",
+			rep.BreakerTrips, rep.BreakerProbes, rep.ShortCircuits, rep.DegradedTicks)
+	}
 }
 
 // runMulticell maps the shared single-station flags onto the multi-cell
@@ -96,6 +125,14 @@ func runMulticell(mc mobicache.MulticellConfig, cfg mobicache.SimulationConfig) 
 	fmt.Printf("handoffs / drops  %d / %d\n", rep.Handoffs, rep.Drops)
 	fmt.Printf("mean client score %.4f\n", rep.MeanScore)
 	fmt.Printf("mean recency      %.4f\n", rep.MeanRecency)
+	if len(mc.CellOutages) > 0 {
+		fmt.Printf("cell failures     %d rerouted, %d lost, %d cell-down ticks\n",
+			rep.Reroutes, rep.LostRequests, rep.CellDownTicks)
+	}
+	if mc.Resilience != nil {
+		fmt.Printf("resilience        %d shed, %d breaker trips, %d short circuits, %d stale fallbacks\n",
+			rep.ShedRequests, rep.BreakerTrips, rep.ShortCircuits, rep.StaleFallbacks)
+	}
 	for c := range rep.PerCellScores {
 		fmt.Printf("cell %-3d          requests %-7d downloads %-7d score %.4f\n",
 			c, rep.PerCellRequests[c], rep.PerCellDownloads[c], rep.PerCellScores[c])

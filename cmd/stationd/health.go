@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+
+	"mobicache/internal/resilience"
+)
+
+// Resilience layer of the daemon: a circuit breaker over the upstream
+// fetch path the fronting proxy reports into, an in-flight request cap
+// that sheds excess load, and the /healthz + /readyz probes that expose
+// both to the orchestrator.
+//
+// The breaker reuses the simulation's tick-driven state machine with an
+// EVENT clock: every outcome the proxy reports (one object on /v1/failed
+// or /v1/fetched) advances the clock by one. "Open for N ticks" therefore
+// means "refuse until N more outcomes have been reported", which is the
+// natural unit for a daemon with no simulated time — a dead upstream
+// produces a burst of failure reports, and recovery is observed as soon
+// as successes flow again, regardless of wall-clock gaps.
+
+// healthBody is the JSON shape of both probes.
+type healthBody struct {
+	Status  string `json:"status"`
+	Breaker string `json:"breaker,omitempty"`
+}
+
+// armBreaker enables the daemon's circuit breaker: failures consecutive
+// failed downloads open it, and it stays open for openEvents reported
+// outcomes before a success may close it.
+func (s *server) armBreaker(failures, openEvents int) error {
+	b, err := resilience.NewBreaker(resilience.BreakerConfig{
+		FailureThreshold: failures,
+		OpenTicks:        openEvents,
+	})
+	if err != nil {
+		return err
+	}
+	s.brkMu.Lock()
+	s.breaker = b
+	s.brkEvents = 0
+	s.brkMu.Unlock()
+	return nil
+}
+
+// setMaxInflight caps concurrently served requests; 0 removes the cap.
+func (s *server) setMaxInflight(n int64) { s.maxInflight = n }
+
+// startDraining flips /readyz to "draining" so load balancers stop
+// routing here while the HTTP server finishes in-flight requests.
+func (s *server) startDraining() { s.draining.Store(true) }
+
+// reportOutcomes feeds n fetch outcomes into the breaker (no-op when the
+// breaker is disabled). Called with the server mutex NOT held: the
+// breaker has its own lock so probes never contend with select traffic.
+func (s *server) reportOutcomes(n int, failed bool) {
+	if s.breaker == nil || n <= 0 {
+		return
+	}
+	s.brkMu.Lock()
+	defer s.brkMu.Unlock()
+	for i := 0; i < n; i++ {
+		s.brkEvents++
+		if failed {
+			s.breaker.OnFailure(s.brkEvents)
+		} else {
+			s.breaker.OnSuccess(s.brkEvents)
+		}
+	}
+	s.met.breakerState.Set(float64(s.breaker.State(s.brkEvents)))
+}
+
+// breakerState reports the breaker's current state name, or "" when the
+// breaker is disabled.
+func (s *server) breakerState() string {
+	if s.breaker == nil {
+		return ""
+	}
+	s.brkMu.Lock()
+	defer s.brkMu.Unlock()
+	return s.breaker.State(s.brkEvents).String()
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthBody{Status: "ok"})
+}
+
+// handleReadyz is the readiness probe, reporting the degradation ladder:
+//
+//	200 "ready"    — serving normally
+//	200 "degraded" — serving, but the upstream breaker is open or probing
+//	                 (selection still works; refreshes are suspect)
+//	503 "shedding" — at the in-flight cap; new work is being refused
+//	503 "draining" — shutting down; in-flight requests are completing
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, healthBody{Status: "draining"})
+		return
+	}
+	if s.maxInflight > 0 && s.inflight.Load() >= s.maxInflight {
+		writeJSON(w, http.StatusServiceUnavailable, healthBody{Status: "shedding"})
+		return
+	}
+	if st := s.breakerState(); st != "" && st != "closed" {
+		writeJSON(w, http.StatusOK, healthBody{Status: "degraded", Breaker: st})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthBody{Status: "ready", Breaker: s.breakerState()})
+}
+
+// shedding wraps a handler with the in-flight cap: when maxInflight
+// concurrent requests are already being served, the request is refused
+// with 503 instead of queueing behind the mutex. Health probes and
+// /metrics bypass this wrapper — an overloaded daemon must still answer
+// its orchestrator.
+func (s *server) shedding(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.maxInflight > 0 {
+			if n := s.inflight.Add(1); n > s.maxInflight {
+				s.inflight.Add(-1)
+				s.met.shedRequests.Inc()
+				writeErr(w, http.StatusServiceUnavailable,
+					fmt.Errorf("shedding load: %d requests in flight (cap %d)", n-1, s.maxInflight))
+				return
+			}
+			defer s.inflight.Add(-1)
+		}
+		h(w, r)
+	}
+}

@@ -15,27 +15,42 @@
 //	                    — run a multi-cell simulation on the parallel tick
 //	                      engine; per-cell series appear on /metrics
 //	GET  /v1/state                                  — current recency vector
-//	GET  /v1/status                                 — fault counters + retry policy
+//	GET  /v1/status                                 — fault counters + retry policy + breaker state
 //	GET  /v1/trace?n=K                              — last K selection decisions
+//	GET  /healthz                                   — liveness (always 200 while serving)
+//	GET  /readyz                                    — readiness: ready/degraded (200), shedding/draining (503)
 //	GET  /metrics                                   — Prometheus text exposition
 //
 // Start with:
 //
-//	stationd -addr :8080 -fetch-attempts 3 -fetch-backoff 0.5 -fetch-timeout 10
+//	stationd -addr :8080 -fetch-attempts 3 -fetch-backoff 0.5 -fetch-timeout 10 \
+//	         -max-inflight 64 -breaker-failures 5
 //
 // Pass -pprof to additionally expose net/http/pprof under /debug/pprof/.
 //
 // The fetch flags describe the retry policy the fronting proxy should
 // apply to upstream fetches; the daemon reports the policy on /v1/status
 // so operators can confirm what a station is configured to do.
+//
+// Resilience: -max-inflight caps concurrently served requests (excess
+// gets 503 instead of queueing; probes and /metrics are exempt), and
+// -breaker-failures arms a circuit breaker over the upstream fetch path,
+// fed by the outcomes the proxy reports on /v1/failed and /v1/fetched.
+// On SIGINT/SIGTERM the daemon flips /readyz to "draining" and finishes
+// in-flight requests within -drain-timeout before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"mobicache"
 )
@@ -48,6 +63,10 @@ func main() {
 	timeout := flag.Float64("fetch-timeout", 0, "total fetch budget per download across attempts (0 = none)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	workers := flag.Int("workers", 0, "default worker goroutines for /v1/sim/multicell's parallel tick phase (0 = auto, 1 = serial; results are identical)")
+	maxInflight := flag.Int64("max-inflight", 0, "concurrent request cap; excess requests get 503 instead of queueing (0 = unlimited)")
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failed downloads (via /v1/failed) that open the upstream circuit breaker (0 = no breaker)")
+	breakerOpen := flag.Int("breaker-open-events", 0, "reported fetch outcomes an open breaker waits before probing (0 = default 8)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	flag.Parse()
 	retry := mobicache.RetryConfig{
 		MaxAttempts: *attempts,
@@ -64,10 +83,43 @@ func main() {
 		srv.enablePprof()
 		log.Printf("stationd: pprof enabled on /debug/pprof/")
 	}
+	if *maxInflight < 0 {
+		fmt.Fprintln(os.Stderr, "stationd: negative -max-inflight")
+		os.Exit(2)
+	}
+	srv.setMaxInflight(*maxInflight)
+	if *breakerFailures > 0 {
+		if err := srv.armBreaker(*breakerFailures, *breakerOpen); err != nil {
+			fmt.Fprintln(os.Stderr, "stationd:", err)
+			os.Exit(2)
+		}
+		log.Printf("stationd: circuit breaker armed (threshold %d)", *breakerFailures)
+	}
 	log.Printf("stationd: listening on %s (fetch attempts %d, backoff %g, timeout %g)",
 		*addr, retry.MaxAttempts, retry.BaseBackoff, retry.Timeout)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		fmt.Fprintln(os.Stderr, "stationd:", err)
-		os.Exit(1)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "stationd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		// Flip /readyz to "draining" first so load balancers stop routing
+		// here, then let in-flight requests finish within the budget.
+		srv.startDraining()
+		log.Printf("stationd: draining in-flight requests (budget %s)", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("stationd: shutdown: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("stationd: shutdown complete")
 	}
 }

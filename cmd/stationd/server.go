@@ -13,6 +13,7 @@ import (
 	"mobicache"
 	"mobicache/internal/obs"
 	"mobicache/internal/recency"
+	"mobicache/internal/resilience"
 )
 
 // server holds the daemon's state: a selector over the installed catalog
@@ -50,6 +51,16 @@ type server struct {
 	simMu      sync.Mutex
 	simWorkers int
 	simMetrics *mobicache.MulticellMetrics
+
+	// Resilience state (see health.go). The breaker runs on an event
+	// clock advanced by reported fetch outcomes; it has a dedicated
+	// mutex so readiness probes never contend with selection traffic.
+	brkMu       sync.Mutex
+	breaker     *resilience.Breaker // nil = disabled
+	brkEvents   int                 // event clock: one per reported outcome
+	maxInflight int64               // concurrent-request cap (0 = unlimited)
+	inflight    atomic.Int64
+	draining    atomic.Bool
 }
 
 // daemonMetrics holds the daemon-level series (per-endpoint request
@@ -60,6 +71,8 @@ type daemonMetrics struct {
 	failedDownloads *obs.Counter   // mirrors faultStats.FailedDownloads
 	retries         *obs.Counter   // mirrors faultStats.Retries
 	staleFallbacks  *obs.Counter   // mirrors faultStats.StaleFallbacks
+	shedRequests    *obs.Counter   // requests refused by the in-flight cap
+	breakerState    *obs.Gauge     // 0 closed, 1 half-open, 2 open
 }
 
 // faultStats accumulates what the fronting proxy reports via /v1/failed.
@@ -88,6 +101,8 @@ func newServer(retry mobicache.RetryConfig, simWorkers int) (*server, error) {
 		failedDownloads: s.reg.Counter("stationd_failed_downloads_total", "downloads the fronting proxy lost to upstream faults"),
 		retries:         s.reg.Counter("stationd_fetch_retries_total", "extra fetch attempts reported by the fronting proxy"),
 		staleFallbacks:  s.reg.Counter("stationd_stale_fallbacks_total", "failed objects served from a stale cached copy"),
+		shedRequests:    s.reg.Counter("stationd_shed_requests_total", "requests refused by the in-flight cap"),
+		breakerState:    s.reg.Gauge("stationd_breaker_state", "upstream circuit breaker: 0 closed, 1 half-open, 2 open"),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/catalog", s.counted("catalog", s.handleCatalog))
@@ -100,6 +115,10 @@ func newServer(retry mobicache.RetryConfig, simWorkers int) (*server, error) {
 	mux.HandleFunc("GET /v1/state", s.counted("state", s.handleState))
 	mux.HandleFunc("GET /v1/status", s.counted("status", s.handleStatus))
 	mux.HandleFunc("GET /v1/trace", s.counted("trace", s.handleTrace))
+	// Probes and metrics bypass counted()'s shedding wrapper: an
+	// overloaded or draining daemon must still answer its orchestrator.
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s, nil
@@ -111,9 +130,10 @@ func newServer(retry mobicache.RetryConfig, simWorkers int) (*server, error) {
 func (s *server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	c := s.reg.Counter(fmt.Sprintf("stationd_requests_total{endpoint=%q}", endpoint),
 		"HTTP requests served, by endpoint")
+	sh := s.shedding(h)
 	return func(w http.ResponseWriter, r *http.Request) {
 		c.Inc()
-		h(w, r)
+		sh(w, r)
 	}
 }
 
@@ -234,6 +254,9 @@ func (s *server) handleFetched(w http.ResponseWriter, r *http.Request) {
 	for _, id := range req.Objects {
 		s.recencies[id] = recency.Fresh
 	}
+	// Lock order is always s.mu -> s.brkMu (never the reverse), so
+	// feeding the breaker here cannot deadlock.
+	s.reportOutcomes(len(req.Objects), false)
 	writeJSON(w, http.StatusOK, map[string]int{"refreshed": len(req.Objects)})
 }
 
@@ -275,6 +298,7 @@ func (s *server) handleFailed(w http.ResponseWriter, r *http.Request) {
 	}
 	s.faults.Retries += req.Retries
 	s.met.retries.Add(req.Retries)
+	s.reportOutcomes(len(req.Objects), true)
 	writeJSON(w, http.StatusOK, map[string]int{
 		"failed":          len(req.Objects),
 		"stale_fallbacks": fallbacks,
@@ -292,6 +316,7 @@ type statusResponse struct {
 	Objects int         `json:"objects"`
 	Retry   retryPolicy `json:"retry"`
 	Faults  faultStats  `json:"faults"`
+	Breaker string      `json:"breaker,omitempty"` // "" when disabled
 }
 
 // handleStatus reports the fault counters and the configured retry
@@ -308,7 +333,8 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			MaxBackoff:  s.retry.MaxBackoff,
 			Timeout:     s.retry.Timeout,
 		},
-		Faults: s.faults,
+		Faults:  s.faults,
+		Breaker: s.breakerState(),
 	})
 }
 

@@ -8,6 +8,7 @@ package basestation
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mobicache/internal/cache"
@@ -17,6 +18,7 @@ import (
 	"mobicache/internal/obs"
 	"mobicache/internal/policy"
 	"mobicache/internal/recency"
+	"mobicache/internal/resilience"
 	"mobicache/internal/server"
 )
 
@@ -84,6 +86,21 @@ type Config struct {
 	Fetcher Fetcher
 	// Retry governs retries of failed fetches (used only with Fetcher).
 	Retry RetryConfig
+	// Breaker, when non-nil, is a circuit breaker on the fetch path:
+	// repeated abandoned downloads trip it, and while it is open every
+	// download short-circuits straight to the stale-fallback path
+	// instead of burning retry and timeout budget. While the breaker is
+	// open the station serves the whole tick in stale-only mode (no
+	// policy downloads, no compulsory misses). Requires a Fetcher — the
+	// ideal path cannot fail, so a breaker there could never trip and
+	// would only hide a miswired configuration.
+	Breaker *resilience.Breaker
+	// Admission bounds the per-tick request load; excess requests are
+	// shed deterministically, lowest knapsack profit first (the profit
+	// of refreshing the requested object, 1 − cachedScore: a request
+	// whose cached copy is already fresh needs the station least). The
+	// zero value admits everything.
+	Admission resilience.Admission
 	// Metrics, when non-nil, receives per-tick observability updates
 	// (counters, histograms, failed-download trace records). The bundle
 	// is pre-registered and lock-cheap, so steady-state ticks stay
@@ -105,6 +122,14 @@ type TickResult struct {
 	ScoreSum        float64 // sum of per-request client scores
 	RecencySum      float64 // sum of per-request delivered recency values
 	FetchLatency    float64 // simulated time spent fetching (attempts + backoff)
+
+	// Resilience accounting. Shed requests are refused before service
+	// and appear in no other counter (not Requests, not the score sums).
+	Shed          int             // requests refused by admission control
+	ShortCircuits int             // downloads refused outright by the open breaker
+	BreakerTrips  int             // breaker trips during this tick
+	BreakerProbes int             // half-open probes granted during this tick
+	Mode          resilience.Mode // the tick's degradation-ladder rung
 }
 
 // Totals accumulates TickResults.
@@ -121,6 +146,13 @@ type Totals struct {
 	ScoreSum        float64
 	RecencySum      float64
 	FetchLatency    float64
+
+	Shed          uint64
+	ShortCircuits uint64
+	BreakerTrips  uint64
+	BreakerProbes uint64
+	DegradedTicks uint64 // ticks served in stale-only mode
+	ShedTicks     uint64 // ticks that shed at least one request
 }
 
 // Add folds one tick into the totals.
@@ -137,6 +169,16 @@ func (t *Totals) Add(r TickResult) {
 	t.ScoreSum += r.ScoreSum
 	t.RecencySum += r.RecencySum
 	t.FetchLatency += r.FetchLatency
+	t.Shed += uint64(r.Shed)
+	t.ShortCircuits += uint64(r.ShortCircuits)
+	t.BreakerTrips += uint64(r.BreakerTrips)
+	t.BreakerProbes += uint64(r.BreakerProbes)
+	if r.Mode == resilience.ModeStaleOnly {
+		t.DegradedTicks++
+	}
+	if r.Mode == resilience.ModeShed {
+		t.ShedTicks++
+	}
 }
 
 // Downloads returns all downloads (policy plus compulsory).
@@ -180,7 +222,33 @@ type Station struct {
 	// view is the reusable policy view handed to Decide each tick; kept on
 	// the station so taking its address does not heap-allocate per tick.
 	view policy.TickView
+	// Admission-control scratch, reused across ticks so shedding stays
+	// allocation-free: per-request profits, the profit-sorted index
+	// permutation (shedOrder wraps both for sort.Sort — an interface
+	// value over a pointer field does not allocate), the shed flags, and
+	// the admitted-requests buffer handed to the rest of the tick.
+	shedProfit []float64
+	shedFlag   []bool
+	shedOrder  shedOrder
+	admitted   []client.Request
 }
+
+// shedOrder sorts request indexes by ascending profit, ties broken by
+// the original (deterministic) request order.
+type shedOrder struct {
+	profit []float64
+	idx    []int
+}
+
+func (o *shedOrder) Len() int { return len(o.idx) }
+func (o *shedOrder) Less(i, j int) bool {
+	a, b := o.idx[i], o.idx[j]
+	if o.profit[a] != o.profit[b] {
+		return o.profit[a] < o.profit[b]
+	}
+	return a < b
+}
+func (o *shedOrder) Swap(i, j int) { o.idx[i], o.idx[j] = o.idx[j], o.idx[i] }
 
 // New creates a Station and wires the server's update stream into the
 // cache's recency decay.
@@ -199,6 +267,12 @@ func New(cfg Config) (*Station, error) {
 	}
 	if err := cfg.Retry.validate(); err != nil {
 		return nil, err
+	}
+	if err := cfg.Admission.Validate(); err != nil {
+		return nil, fmt.Errorf("basestation: %w", err)
+	}
+	if cfg.Breaker != nil && cfg.Fetcher == nil {
+		return nil, fmt.Errorf("basestation: breaker requires a fetcher (the ideal path cannot fail)")
 	}
 	if cfg.Retry.MaxAttempts == 0 {
 		cfg.Retry.MaxAttempts = 1
@@ -256,72 +330,89 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 	res.Updated = len(updated)
 	m := s.cfg.Metrics
 
-	s.view = policy.TickView{
-		Tick:     tick,
-		Requests: reqs,
-		Updated:  updated,
-		Cache:    s.cache,
-		Catalog:  s.cfg.Catalog,
-		Budget:   s.cfg.BudgetPerTick,
+	// Resilience pre-pass: settle the tick's degradation-ladder rung
+	// before any work. An open breaker pins the tick to stale-only
+	// service (no policy run, no downloads); admission pressure sheds
+	// the lowest-profit requests before the policy ever sees them.
+	brk := s.cfg.Breaker
+	staleOnly := false
+	var tripsBefore, probesBefore, scBefore uint64
+	if brk != nil {
+		tripsBefore, probesBefore, scBefore = brk.Trips(), brk.Probes(), brk.ShortCircuits()
+		staleOnly = brk.State(tick) == resilience.Open
 	}
-	var solveStart time.Time
-	if m != nil {
-		solveStart = time.Now()
+	if max := s.cfg.Admission.MaxRequestsPerTick; max > 0 && len(reqs) > max {
+		reqs = s.shed(reqs, max, &res)
 	}
-	ids, err := s.cfg.Policy.Decide(&s.view)
-	if m != nil {
-		m.SolveTime.Observe(time.Since(solveStart).Seconds())
-	}
-	if err != nil {
-		return res, fmt.Errorf("basestation: policy %s: %w", s.cfg.Policy.Name(), err)
-	}
+
 	defer s.resetDownloadedNow()
-	var used int64
-	for _, id := range ids {
-		if !s.cfg.Catalog.Valid(id) {
-			return res, fmt.Errorf("basestation: policy %s chose invalid object %d", s.cfg.Policy.Name(), id)
+	if !staleOnly {
+		s.view = policy.TickView{
+			Tick:     tick,
+			Requests: reqs,
+			Updated:  updated,
+			Cache:    s.cache,
+			Catalog:  s.cfg.Catalog,
+			Budget:   s.cfg.BudgetPerTick,
 		}
-		if s.downloadedNow[id] || s.failedNow[id] {
-			return res, fmt.Errorf("basestation: policy %s chose object %d twice", s.cfg.Policy.Name(), id)
+		var solveStart time.Time
+		if m != nil {
+			solveStart = time.Now()
 		}
-		ok, err := s.download(id, tick, now, &res)
+		ids, err := s.cfg.Policy.Decide(&s.view)
+		if m != nil {
+			m.SolveTime.Observe(time.Since(solveStart).Seconds())
+		}
 		if err != nil {
-			return res, err
+			return res, fmt.Errorf("basestation: policy %s: %w", s.cfg.Policy.Name(), err)
 		}
-		if !ok {
-			// Graceful degradation: the download is skipped; requests
-			// for the object fall back to the (stale) cached copy.
-			s.markFailed(id)
-			if m != nil && m.Trace != nil {
-				remaining := obs.UnlimitedBudget
-				if s.cfg.BudgetPerTick != policy.Unlimited {
-					remaining = s.cfg.BudgetPerTick - used
-				}
-				m.Trace.Record(obs.Decision{
-					Tick:            tick,
-					Object:          int(id),
-					Action:          obs.ActionFailed,
-					Weight:          s.cfg.Catalog.Size(id),
-					Recency:         s.cache.Recency(id),
-					BudgetRemaining: remaining,
-				})
+		var used int64
+		for _, id := range ids {
+			if !s.cfg.Catalog.Valid(id) {
+				return res, fmt.Errorf("basestation: policy %s chose invalid object %d", s.cfg.Policy.Name(), id)
 			}
-			continue
+			if s.downloadedNow[id] || s.failedNow[id] {
+				return res, fmt.Errorf("basestation: policy %s chose object %d twice", s.cfg.Policy.Name(), id)
+			}
+			ok, err := s.download(id, tick, now, &res)
+			if err != nil {
+				return res, err
+			}
+			if !ok {
+				// Graceful degradation: the download is skipped; requests
+				// for the object fall back to the (stale) cached copy.
+				s.markFailed(id)
+				if m != nil && m.Trace != nil {
+					remaining := obs.UnlimitedBudget
+					if s.cfg.BudgetPerTick != policy.Unlimited {
+						remaining = s.cfg.BudgetPerTick - used
+					}
+					m.Trace.Record(obs.Decision{
+						Tick:            tick,
+						Object:          int(id),
+						Action:          obs.ActionFailed,
+						Weight:          s.cfg.Catalog.Size(id),
+						Recency:         s.cache.Recency(id),
+						BudgetRemaining: remaining,
+					})
+				}
+				continue
+			}
+			s.markDownloaded(id)
+			used += s.cfg.Catalog.Size(id)
+			res.PolicyDownloads++
 		}
-		s.markDownloaded(id)
-		used += s.cfg.Catalog.Size(id)
-		res.PolicyDownloads++
-	}
-	if s.cfg.BudgetPerTick != policy.Unlimited && used > s.cfg.BudgetPerTick {
-		return res, fmt.Errorf("basestation: policy %s exceeded budget: %d > %d",
-			s.cfg.Policy.Name(), used, s.cfg.BudgetPerTick)
-	}
-	res.DownloadUnits += used
-	if m != nil {
-		if s.cfg.BudgetPerTick == policy.Unlimited {
-			m.BudgetRemaining.Set(float64(obs.UnlimitedBudget))
-		} else {
-			m.BudgetRemaining.Set(float64(s.cfg.BudgetPerTick - used))
+		if s.cfg.BudgetPerTick != policy.Unlimited && used > s.cfg.BudgetPerTick {
+			return res, fmt.Errorf("basestation: policy %s exceeded budget: %d > %d",
+				s.cfg.Policy.Name(), used, s.cfg.BudgetPerTick)
+		}
+		res.DownloadUnits += used
+		if m != nil {
+			if s.cfg.BudgetPerTick == policy.Unlimited {
+				m.BudgetRemaining.Set(float64(obs.UnlimitedBudget))
+			} else {
+				m.BudgetRemaining.Set(float64(s.cfg.BudgetPerTick - used))
+			}
 		}
 	}
 
@@ -338,7 +429,11 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 			continue
 		}
 		if e, ok := s.cache.Get(r.Object, now); ok {
-			if inRange && s.failedNow[r.Object] {
+			// A stale fallback is a request that wanted a refresh the
+			// fetch layer could not deliver: either this object's
+			// download was abandoned this tick, or the whole tick is
+			// stale-only and the copy has missed master updates.
+			if (inRange && s.failedNow[r.Object]) || (staleOnly && e.Lag > 0) {
 				res.StaleFallbacks++
 			}
 			score := s.cfg.Score(e.Recency, r.Target)
@@ -353,7 +448,7 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 		// A compulsory download is attempted once per tick; if the fetch
 		// layer already gave up on the object this tick, the request
 		// scores 0 rather than hammering a down server again.
-		if s.cfg.CompulsoryMisses && !(inRange && s.failedNow[r.Object]) {
+		if s.cfg.CompulsoryMisses && !staleOnly && !(inRange && s.failedNow[r.Object]) {
 			ok, err := s.download(r.Object, tick, now, &res)
 			if err != nil {
 				return res, err
@@ -377,10 +472,60 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 			m.ClientScore.Observe(0)
 		}
 	}
+	// Close out the ladder accounting: the tick's rung is the most
+	// degraded condition that held, and the breaker counters advance by
+	// whatever this tick's fetch traffic did to them.
+	if brk != nil {
+		res.BreakerTrips = int(brk.Trips() - tripsBefore)
+		res.BreakerProbes = int(brk.Probes() - probesBefore)
+		res.ShortCircuits = int(brk.ShortCircuits() - scBefore)
+	}
+	if staleOnly {
+		res.Mode = resilience.ModeStaleOnly
+	}
+	if res.Shed > 0 {
+		res.Mode = resilience.ModeShed
+	}
 	if m != nil {
 		s.observeTick(&res)
 	}
 	return res, nil
+}
+
+// shed drops the lowest-profit requests so at most max remain, keeping
+// the survivors in their original order. Profit is the knapsack gain of
+// refreshing the requested object (1 − the score its cached copy would
+// earn): a request whose cached copy is already fresh needs the station
+// least and is shed first, ties broken by arrival order. Runs entirely
+// against reusable scratch.
+func (s *Station) shed(reqs []client.Request, max int, res *TickResult) []client.Request {
+	n := len(reqs)
+	if cap(s.shedProfit) < n {
+		s.shedProfit = make([]float64, 0, n)
+		s.shedFlag = make([]bool, 0, n)
+		s.shedOrder.idx = make([]int, 0, n)
+	}
+	s.shedProfit = s.shedProfit[:n]
+	s.shedFlag = s.shedFlag[:n]
+	s.shedOrder.idx = s.shedOrder.idx[:n]
+	for i, r := range reqs {
+		s.shedProfit[i] = 1 - s.cfg.Score(s.cache.Recency(r.Object), r.Target)
+		s.shedFlag[i] = false
+		s.shedOrder.idx[i] = i
+	}
+	s.shedOrder.profit = s.shedProfit
+	sort.Sort(&s.shedOrder)
+	for _, i := range s.shedOrder.idx[:n-max] {
+		s.shedFlag[i] = true
+	}
+	res.Shed = n - max
+	s.admitted = s.admitted[:0]
+	for i, r := range reqs {
+		if !s.shedFlag[i] {
+			s.admitted = append(s.admitted, r)
+		}
+	}
+	return s.admitted
 }
 
 // observeTick folds one tick's result into the metrics bundle. Every
@@ -398,6 +543,20 @@ func (s *Station) observeTick(res *TickResult) {
 	m.StaleFallbacks.Add(uint64(res.StaleFallbacks))
 	m.DownloadUnits.Add(uint64(res.DownloadUnits))
 	m.TickBytes.Observe(float64(res.DownloadUnits))
+	m.ShedRequests.Add(uint64(res.Shed))
+	m.ShortCircuits.Add(uint64(res.ShortCircuits))
+	m.BreakerTrips.Add(uint64(res.BreakerTrips))
+	m.BreakerProbes.Add(uint64(res.BreakerProbes))
+	switch res.Mode {
+	case resilience.ModeStaleOnly:
+		m.DegradedTicks.Inc()
+	case resilience.ModeShed:
+		m.ShedTicks.Inc()
+	}
+	m.ServiceMode.Set(float64(res.Mode))
+	if b := s.cfg.Breaker; b != nil {
+		m.BreakerState.Set(float64(b.State(res.Tick)))
+	}
 }
 
 // Run executes ticks [start, start+n) with requests drawn from gen (which
@@ -428,6 +587,13 @@ func (s *Station) download(id catalog.ID, tick int, now float64, res *TickResult
 		version, size := s.cfg.Server.Download(id)
 		return true, s.cache.Put(id, size, version, now)
 	}
+	// The breaker gates each download once, not each attempt: a refusal
+	// short-circuits straight to the stale-fallback path at zero
+	// simulated cost (no attempts, no backoff, no timeout burn), and is
+	// counted as a short-circuit — not a failed download.
+	if s.cfg.Breaker != nil && !s.cfg.Breaker.Allow(tick) {
+		return false, nil
+	}
 	elapsed := 0.0
 	backoff := s.cfg.Retry.BaseBackoff
 	for attempt := 1; ; attempt++ {
@@ -440,6 +606,9 @@ func (s *Station) download(id catalog.ID, tick int, now float64, res *TickResult
 			if m := s.cfg.Metrics; m != nil {
 				m.FetchLatency.Observe(elapsed)
 			}
+			if s.cfg.Breaker != nil {
+				s.cfg.Breaker.OnSuccess(tick)
+			}
 			return true, s.cache.Put(id, size, version, now)
 		}
 		if timedOut || attempt >= s.cfg.Retry.MaxAttempts {
@@ -448,6 +617,9 @@ func (s *Station) download(id catalog.ID, tick int, now float64, res *TickResult
 			s.fetchLatency.Add(elapsed)
 			if m := s.cfg.Metrics; m != nil {
 				m.FetchLatency.Observe(elapsed)
+			}
+			if s.cfg.Breaker != nil {
+				s.cfg.Breaker.OnFailure(tick)
 			}
 			return false, nil
 		}

@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResilienceStudy(t *testing.T) {
+	out, err := ResilienceStudy(2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"blackout", "flapping", "overload", "cell-death",
+		"raw", "resilient", "shed rate", "breaker trips", "reroutes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("resilience study output missing %q:\n%s", want, out)
+		}
+	}
+	// The worker count must not change the rendered numbers.
+	par, err := ResilienceStudy(2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != out {
+		t.Fatalf("parallel study output differs from serial:\n%s\nvs\n%s", par, out)
+	}
+	if _, err := ResilienceStudy(0, 1, 0); err == nil {
+		t.Fatal("zero cells accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package fault
+
+import "fmt"
+
+// AllCells targets every cell in CellSchedule-mutating calls.
+const AllCells = -1
+
+// CellSchedule takes whole wireless cells down and back up: a failure
+// domain above the per-server fetch faults of Schedule. A down cell's
+// base station serves nothing — its clients' requests are rerouted to a
+// neighbour cell by the multicell engine — and on recovery the station
+// rejoins with the (stale) cache it had when it failed. Downtime is a
+// pure function of (cell, tick), so cell failures never perturb the
+// simulation's random streams.
+type CellSchedule struct {
+	cells [][]Window
+}
+
+// NewCellSchedule creates an empty schedule covering cells cells.
+func NewCellSchedule(cells int) (*CellSchedule, error) {
+	if cells <= 0 {
+		return nil, fmt.Errorf("fault: cell schedule needs at least one cell, got %d", cells)
+	}
+	return &CellSchedule{cells: make([][]Window, cells)}, nil
+}
+
+// MustCellSchedule is NewCellSchedule for arguments known to be valid.
+func MustCellSchedule(cells int) *CellSchedule {
+	s, err := NewCellSchedule(cells)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Cells returns the number of cells covered.
+func (s *CellSchedule) Cells() int { return len(s.cells) }
+
+// AddOutage schedules the window as a total outage of the given cell
+// (AllCells for a full blackout). Like server outages, windows that
+// overlap an existing outage of the same cell are rejected.
+func (s *CellSchedule) AddOutage(cell int, w Window) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	if cell == AllCells {
+		for c := range s.cells {
+			if err := checkOutageOverlap(s.cells[c], w); err != nil {
+				return err
+			}
+		}
+		for c := range s.cells {
+			s.cells[c] = append(s.cells[c], w)
+		}
+		return nil
+	}
+	if cell < 0 || cell >= len(s.cells) {
+		return fmt.Errorf("fault: cell %d out of range (schedule has %d)", cell, len(s.cells))
+	}
+	if err := checkOutageOverlap(s.cells[cell], w); err != nil {
+		return err
+	}
+	s.cells[cell] = append(s.cells[cell], w)
+	return nil
+}
+
+// Down reports whether the cell is inside an outage window at tick.
+func (s *CellSchedule) Down(cell, tick int) bool {
+	for _, w := range s.cells[cell] {
+		if w.Contains(tick) {
+			return true
+		}
+	}
+	return false
+}

@@ -160,11 +160,105 @@ func (s *Schedule) each(server int, fn func(*serverFaults)) error {
 
 // AddOutage marks the window as a total outage of the given server
 // (AllServers for a network-wide blackout): every fetch inside it fails.
+// A window that overlaps an already-scheduled outage of the same server
+// is rejected: overlapping outages are always a schedule-authoring bug
+// (the overlap region would silently behave like one outage), and
+// catching it up front keeps chaos scenarios honest about their
+// intended downtime. Overlapping latency spikes stay legal — they
+// compound by design.
 func (s *Schedule) AddOutage(server int, w Window) error {
 	if err := w.Validate(); err != nil {
 		return err
 	}
+	check := func(f *serverFaults) error { return checkOutageOverlap(f.outages, w) }
+	if server == AllServers {
+		for i := range s.servers {
+			if err := check(&s.servers[i]); err != nil {
+				return err
+			}
+		}
+	} else if server >= 0 && server < len(s.servers) {
+		if err := check(&s.servers[server]); err != nil {
+			return err
+		}
+	}
 	return s.each(server, func(f *serverFaults) { f.outages = append(f.outages, w) })
+}
+
+// checkOutageOverlap rejects w if it shares a tick with any scheduled
+// outage window.
+func checkOutageOverlap(outages []Window, w Window) error {
+	for _, prev := range outages {
+		if windowsOverlap(prev, w) {
+			return fmt.Errorf("fault: outage %+v overlaps scheduled outage %+v", w, prev)
+		}
+	}
+	return nil
+}
+
+// windowsOverlap reports whether two validated windows share at least one
+// tick, accounting for repetition. Exact in O(1): no tick enumeration.
+func windowsOverlap(a, b Window) bool {
+	if a.Every <= 0 && b.Every <= 0 {
+		return a.From < b.To && b.From < a.To
+	}
+	if a.Every > 0 && b.Every > 0 {
+		// Occurrence starts are a.From+i·Ea and b.From+j·Eb (i, j ≥ 0).
+		// Occurrences [x, x+la) and [y, y+lb) overlap iff x−y lies in
+		// the open interval (−la, lb). Over all i, j the realizable
+		// start differences are exactly d + g·Z with g = gcd(Ea, Eb)
+		// and d = a.From − b.From (Bézout coefficients shifted
+		// nonnegative by adding multiples of Eb/g and Ea/g), so the
+		// windows overlap iff some multiple of g falls strictly inside
+		// (−la−d, lb−d).
+		g := gcd(a.Every, b.Every)
+		la, lb := a.To-a.From, b.To-b.From
+		d := a.From - b.From
+		lo, hi := -la-d, lb-d
+		return (floorDiv(lo, g)+1)*g < hi
+	}
+	if a.Every <= 0 {
+		a, b = b, a // now a repeats and b is a single occurrence
+	}
+	la := a.To - a.From
+	lo := b.From
+	if lo < a.From {
+		lo = a.From
+	}
+	if b.To <= lo {
+		return false // b ends before a's first occurrence begins
+	}
+	if b.To-lo >= a.Every {
+		return true // b spans a whole period of a past a's start
+	}
+	// Only the occurrence straddling lo and the next one can intersect b:
+	// la ≤ Every bounds every earlier occurrence's end at or before lo,
+	// and b.To − lo < Every puts every later start past b's end.
+	k := (lo - a.From) / a.Every
+	for _, kk := range [2]int{k, k + 1} {
+		start := a.From + kk*a.Every
+		if start < b.To && b.From < start+la {
+			return true
+		}
+	}
+	return false
+}
+
+// gcd returns the greatest common divisor of two positive ints.
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// floorDiv returns ⌊a/b⌋ for positive b.
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
 }
 
 // AddSpike multiplies the server's fetch latency by factor inside the

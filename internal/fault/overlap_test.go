@@ -1,0 +1,160 @@
+package fault
+
+import "testing"
+
+// bruteOverlap enumerates ticks to decide overlap — the oracle the O(1)
+// analytic check is tested against. For repeating windows a horizon of
+// From values plus several lcm-scale periods is enough to witness any
+// residue coincidence; 4·Every(a)·Every(b) safely covers the lcm.
+func bruteOverlap(a, b Window) bool {
+	horizon := a.To + b.To + 4
+	if a.Every > 0 && b.Every > 0 {
+		horizon = a.From + b.From + 4*a.Every*b.Every + a.To + b.To
+	} else if a.Every > 0 {
+		horizon = b.To + 2*a.Every
+	} else if b.Every > 0 {
+		horizon = a.To + 2*b.Every
+	}
+	for tick := 0; tick < horizon; tick++ {
+		if a.Contains(tick) && b.Contains(tick) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestWindowsOverlapMatchesBruteForce(t *testing.T) {
+	wins := []Window{
+		{From: 0, To: 1},
+		{From: 0, To: 10},
+		{From: 5, To: 9},
+		{From: 9, To: 12},
+		{From: 12, To: 20},
+		{From: 0, To: 2, Every: 6},
+		{From: 1, To: 3, Every: 6},
+		{From: 2, To: 4, Every: 6},
+		{From: 3, To: 4, Every: 9},
+		{From: 10, To: 12, Every: 7},
+		{From: 0, To: 5, Every: 5},
+		{From: 7, To: 8, Every: 4},
+		{From: 25, To: 30},
+		{From: 30, To: 31, Every: 13},
+	}
+	for _, a := range wins {
+		for _, b := range wins {
+			want := bruteOverlap(a, b)
+			if got := windowsOverlap(a, b); got != want {
+				t.Errorf("windowsOverlap(%+v, %+v) = %v, brute force says %v", a, b, got, want)
+			}
+			// The check must be symmetric.
+			if got := windowsOverlap(b, a); got != want {
+				t.Errorf("windowsOverlap(%+v, %+v) = %v (asymmetric), want %v", b, a, got, want)
+			}
+		}
+	}
+}
+
+// TestOutageRejections is the table-driven satellite: malformed or
+// overlapping schedules must be rejected up front with fault: errors.
+func TestOutageRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		first Window
+		then  Window
+		ok    bool
+	}{
+		{"identical windows", Window{From: 5, To: 10}, Window{From: 5, To: 10}, false},
+		{"straddling start", Window{From: 5, To: 10}, Window{From: 3, To: 6}, false},
+		{"straddling end", Window{From: 5, To: 10}, Window{From: 9, To: 14}, false},
+		{"nested", Window{From: 5, To: 10}, Window{From: 6, To: 8}, false},
+		{"adjacent before", Window{From: 5, To: 10}, Window{From: 0, To: 5}, true},
+		{"adjacent after", Window{From: 5, To: 10}, Window{From: 10, To: 15}, true},
+		{"disjoint", Window{From: 5, To: 10}, Window{From: 20, To: 30}, true},
+		{"repeat hits single", Window{From: 0, To: 2, Every: 6}, Window{From: 12, To: 13}, false},
+		{"single in repeat gap", Window{From: 0, To: 2, Every: 6}, Window{From: 14, To: 18}, true},
+		{"single spans period", Window{From: 20, To: 22, Every: 8}, Window{From: 0, To: 30}, false},
+		{"repeats same phase", Window{From: 0, To: 1, Every: 4}, Window{From: 8, To: 9, Every: 4}, false},
+		{"repeats interleaved", Window{From: 0, To: 2, Every: 4}, Window{From: 2, To: 4, Every: 4}, true},
+		{"coprime periods collide", Window{From: 0, To: 1, Every: 3}, Window{From: 1, To: 2, Every: 5}, false},
+		{"same period disjoint phase", Window{From: 0, To: 1, Every: 6}, Window{From: 3, To: 4, Every: 6}, true},
+	}
+	for _, tc := range cases {
+		s := MustSchedule(1, 1)
+		if err := s.AddOutage(0, tc.first); err != nil {
+			t.Fatalf("%s: first window rejected: %v", tc.name, err)
+		}
+		err := s.AddOutage(0, tc.then)
+		if tc.ok && err != nil {
+			t.Errorf("%s: non-overlapping window rejected: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: overlapping window accepted", tc.name)
+		}
+	}
+
+	// Malformed windows are rejected regardless of overlap.
+	s := MustSchedule(2, 1)
+	for _, w := range []Window{
+		{From: 3, To: 3},            // zero length
+		{From: 5, To: 4},            // negative length
+		{From: -1, To: 2},           // negative start
+		{From: 0, To: 2, Every: -3}, // negative period
+		{From: 0, To: 9, Every: 4},  // longer than its period
+	} {
+		if err := s.AddOutage(0, w); err == nil {
+			t.Errorf("malformed outage %+v accepted", w)
+		}
+	}
+	// AllServers overlap checking covers every server.
+	if err := s.AddOutage(1, Window{From: 10, To: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddOutage(AllServers, Window{From: 15, To: 16}); err == nil {
+		t.Error("AllServers outage overlapping server 1 accepted")
+	}
+	if err := s.AddOutage(AllServers, Window{From: 30, To: 40}); err != nil {
+		t.Errorf("clean AllServers outage rejected: %v", err)
+	}
+}
+
+func TestCellSchedule(t *testing.T) {
+	if _, err := NewCellSchedule(0); err == nil {
+		t.Error("NewCellSchedule(0) succeeded")
+	}
+	s := MustCellSchedule(3)
+	if s.Cells() != 3 {
+		t.Fatalf("Cells() = %d, want 3", s.Cells())
+	}
+	if err := s.AddOutage(3, Window{From: 0, To: 1}); err == nil {
+		t.Error("out-of-range cell accepted")
+	}
+	if err := s.AddOutage(1, Window{From: 10, To: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Down(0, 15) || s.Down(2, 15) {
+		t.Error("cell outage leaked to other cells")
+	}
+	if !s.Down(1, 15) || s.Down(1, 20) || s.Down(1, 9) {
+		t.Error("cell 1 outage window wrong")
+	}
+	if err := s.AddOutage(1, Window{From: 15, To: 25}); err == nil {
+		t.Error("overlapping cell outage accepted")
+	}
+	if err := s.AddOutage(AllCells, Window{From: 12, To: 13}); err == nil {
+		t.Error("blackout overlapping cell 1 accepted")
+	}
+	if err := s.AddOutage(AllCells, Window{From: 30, To: 32}); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		if !s.Down(c, 30) || !s.Down(c, 31) || s.Down(c, 32) {
+			t.Errorf("blackout wrong on cell %d", c)
+		}
+	}
+	if err := s.AddOutage(2, Window{From: 0, To: 1, Every: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddOutage(0, Window{From: 0, To: 0}); err == nil {
+		t.Error("zero-length cell outage accepted")
+	}
+}

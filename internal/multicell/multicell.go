@@ -33,9 +33,11 @@ import (
 	"mobicache/internal/catalog"
 	"mobicache/internal/client"
 	"mobicache/internal/core"
+	"mobicache/internal/fault"
 	"mobicache/internal/obs"
 	"mobicache/internal/parallel"
 	"mobicache/internal/policy"
+	"mobicache/internal/resilience"
 	"mobicache/internal/rng"
 	"mobicache/internal/server"
 )
@@ -73,6 +75,34 @@ type Config struct {
 	Solver core.SolverKind
 	// Seed drives all randomness.
 	Seed uint64
+	// CellFaults, when non-nil, schedules whole-cell outages (failure
+	// domains above the fetch-path faults). A down cell serves nothing:
+	// its clients' requests are rerouted to the nearest live cell
+	// (scanning upward mod Cells), it neither donates nor receives
+	// cooperative copies, and its cache keeps decaying with master
+	// updates so it rejoins stale — exactly what a station that was
+	// offline through update traffic should look like. Downtime is a
+	// pure function of (cell, tick) and rerouted requests still draw
+	// from their home cell's stream, so reports stay byte-identical for
+	// any Workers count, and a schedule with no windows reproduces the
+	// fault-free run exactly. Must cover exactly Cells cells.
+	CellFaults *fault.CellSchedule
+	// FetchFaults, when non-nil, is called once per cell to build that
+	// cell's upstream fault schedule; the cell's station then fetches
+	// through its own server.FaultyServer wrapping the shared server.
+	// Per-cell schedules (rather than one shared one) keep the parallel
+	// phase race-free and deterministic: each cell owns its failure
+	// draws, so they depend only on that cell's fetch sequence.
+	FetchFaults func(cell int) (*fault.Schedule, error)
+	// Retry is each station's fetch retry policy (used with FetchFaults
+	// or Resilience).
+	Retry basestation.RetryConfig
+	// Resilience, when non-nil, arms every cell's station with its own
+	// circuit breaker and admission control. A breaker needs a fetch
+	// path that can fail, so enabling one without FetchFaults installs
+	// an empty (fault-free) per-cell schedule — behaviourally identical
+	// to the ideal path.
+	Resilience *resilience.Config
 	// Metrics, when non-nil, receives live observability updates. The
 	// bundle must come from obs.NewMulticellMetrics: each cell writes to
 	// its own per-cell shard ({cell="N"} series), and after every tick
@@ -106,6 +136,15 @@ func (cfg *Config) validate() error {
 	if cfg.Workers < 0 {
 		return fmt.Errorf("multicell: negative worker count %d", cfg.Workers)
 	}
+	if cfg.CellFaults != nil && cfg.CellFaults.Cells() != cfg.Cells {
+		return fmt.Errorf("multicell: cell-fault schedule covers %d cells, deployment has %d",
+			cfg.CellFaults.Cells(), cfg.Cells)
+	}
+	if cfg.Resilience != nil {
+		if err := cfg.Resilience.Validate(); err != nil {
+			return fmt.Errorf("multicell: %w", err)
+		}
+	}
 	m := cfg.Mobility.WithDefaults()
 	if m.MeanResidence < 1 {
 		return fmt.Errorf("multicell: mean residence %v must be >= 1", m.MeanResidence)
@@ -133,6 +172,17 @@ type Report struct {
 	PerCellScores      []float64
 	PerCellRequests    []uint64
 	PerCellDownloads   []uint64
+
+	// Resilience accounting (zero without cell faults / breakers /
+	// admission control).
+	Reroutes        uint64 // requests rerouted from a down cell to a live one
+	LostRequests    uint64 // requests lost because every cell was down
+	CellDownTicks   uint64 // cell-ticks spent inside a cell outage window
+	ShedRequests    uint64 // requests refused by admission control
+	ShortCircuits   uint64 // downloads refused outright by open breakers
+	BreakerTrips    uint64 // circuit-breaker trips across all cells
+	FailedDownloads uint64 // downloads abandoned after retries/timeout
+	StaleFallbacks  uint64 // requests served stale because a refresh failed
 }
 
 // shareOp is one gathered cooperative copy: install src (an entry of some
@@ -163,6 +213,24 @@ type System struct {
 	// of the previous tick so metrics record per-tick deltas.
 	lastHandoffs uint64
 	lastDrops    uint64
+
+	// breakers holds each cell's circuit breaker (nil entries when
+	// resilience is off); the engine reads them for the aggregate
+	// breaker-state gauge and the trips report.
+	breakers []*resilience.Breaker
+	// downNow/rerouteTo are the tick's cell-failure view: downNow[c]
+	// marks a cell inside an outage window, rerouteTo[c] is the cell
+	// that serves c's requests this tick (c itself when live, -1 when
+	// every cell is down). Identity when no CellFaults are scheduled.
+	downNow   []bool
+	rerouteTo []int
+	// Cell-failure totals for the current Run.
+	reroutes      uint64
+	lost          uint64
+	cellDownTicks uint64
+	// reroutesNow/lostNow accumulate within one tick's generation walk.
+	reroutesNow int
+	lostNow     int
 
 	// Reusable per-tick scratch, hoisted out of the tick loop so
 	// steady-state ticks allocate nothing.
@@ -205,6 +273,12 @@ func New(cfg Config) (*System, error) {
 		results:    make([]basestation.TickResult, cfg.Cells),
 		cellTotals: make([]basestation.Totals, cfg.Cells),
 		seen:       make([]bool, cat.Len()),
+		breakers:   make([]*resilience.Breaker, cfg.Cells),
+		downNow:    make([]bool, cfg.Cells),
+		rerouteTo:  make([]int, cfg.Cells),
+	}
+	for c := range sys.rerouteTo {
+		sys.rerouteTo[c] = c
 	}
 	if cfg.Workers > 0 {
 		sys.workers = cfg.Workers
@@ -237,14 +311,43 @@ func New(cfg Config) (*System, error) {
 		if shards != nil {
 			sm = shards[c]
 		}
-		st, err := basestation.New(basestation.Config{
+		bcfg := basestation.Config{
 			Catalog:          cat,
 			Server:           srv,
 			Policy:           pol,
 			BudgetPerTick:    cfg.BudgetPerTick,
 			CompulsoryMisses: true,
 			Metrics:          sm,
-		})
+		}
+		needFetcher := cfg.FetchFaults != nil ||
+			(cfg.Resilience != nil && cfg.Resilience.Breaker.Enabled())
+		if needFetcher {
+			sched := fault.MustSchedule(1, cfg.Seed)
+			if cfg.FetchFaults != nil {
+				var err error
+				if sched, err = cfg.FetchFaults(c); err != nil {
+					return nil, fmt.Errorf("multicell: cell %d fault schedule: %w", c, err)
+				}
+			}
+			fs, err := server.NewFaultyServer(srv, sched, nil)
+			if err != nil {
+				return nil, err
+			}
+			bcfg.Fetcher = fs
+			bcfg.Retry = cfg.Retry
+		}
+		if cfg.Resilience != nil {
+			if cfg.Resilience.Breaker.Enabled() {
+				b, err := resilience.NewBreaker(cfg.Resilience.Breaker)
+				if err != nil {
+					return nil, fmt.Errorf("multicell: %w", err)
+				}
+				sys.breakers[c] = b
+				bcfg.Breaker = b
+			}
+			bcfg.Admission = cfg.Resilience.Admission
+		}
+		st, err := basestation.New(bcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -256,16 +359,30 @@ func New(cfg Config) (*System, error) {
 	}
 	sys.pop = pop
 	// The request-generation visitor is built once so the per-tick
-	// population walk allocates no closure.
+	// population walk allocates no closure. Every draw comes from the
+	// client's HOME cell stream even when the request is rerouted to a
+	// neighbour, so cell failures never shift any cell's random
+	// sequence — a schedule with no active outage reproduces the
+	// fault-free run bit for bit.
 	sys.genVisit = func(i, cell int) {
 		sys.connected++
 		src := sys.cellSrc[cell]
 		if !src.Bernoulli(sys.cfg.RequestProb) {
 			return
 		}
-		sys.perCell[cell] = append(sys.perCell[cell], client.Request{
+		obj := catalog.ID(sys.sampler.Sample(src))
+		target := sys.rerouteTo[cell]
+		if target < 0 {
+			// Every cell is down: the request is lost outright.
+			sys.lostNow++
+			return
+		}
+		if target != cell {
+			sys.reroutesNow++
+		}
+		sys.perCell[target] = append(sys.perCell[target], client.Request{
 			Client: i,
-			Object: catalog.ID(sys.sampler.Sample(src)),
+			Object: obj,
 			Target: 1,
 			Tick:   sys.genTick,
 		})
@@ -287,6 +404,7 @@ func (s *System) Run(n int) (Report, error) {
 	for i := range s.cellTotals {
 		s.cellTotals[i] = basestation.Totals{}
 	}
+	s.reroutes, s.lost, s.cellDownTicks = 0, 0, 0
 	for tick := 0; tick < n; tick++ {
 		if err := s.tick(tick); err != nil {
 			return rep, err
@@ -297,6 +415,9 @@ func (s *System) Run(n int) (Report, error) {
 	rep.Drops = s.pop.Drops()
 	rep.SharedCopies = s.shared
 	rep.SharedCopyFailures = s.sharedFailures
+	rep.Reroutes = s.reroutes
+	rep.LostRequests = s.lost
+	rep.CellDownTicks = s.cellDownTicks
 	var scoreSum, recencySum float64
 	for c := range s.cellTotals {
 		t := &s.cellTotals[c]
@@ -307,6 +428,11 @@ func (s *System) Run(n int) (Report, error) {
 		rep.PerCellScores = append(rep.PerCellScores, t.MeanScore())
 		rep.PerCellRequests = append(rep.PerCellRequests, t.Requests)
 		rep.PerCellDownloads = append(rep.PerCellDownloads, t.Downloads())
+		rep.ShedRequests += t.Shed
+		rep.ShortCircuits += t.ShortCircuits
+		rep.BreakerTrips += t.BreakerTrips
+		rep.FailedDownloads += t.FailedDownloads
+		rep.StaleFallbacks += t.StaleFallbacks
 	}
 	if rep.Requests > 0 {
 		rep.MeanScore = scoreSum / float64(rep.Requests)
@@ -325,6 +451,38 @@ func (s *System) tick(tick int) error {
 	s.pop.Tick()
 	updated := s.srv.Tick(tick)
 
+	// Cell-failure view for this tick: downtime is a pure function of
+	// (cell, tick), and a down cell's requests are rerouted to the
+	// nearest live cell scanning upward mod Cells (-1 if none is live).
+	if cf := s.cfg.CellFaults; cf != nil {
+		down := 0
+		for c := range s.downNow {
+			s.downNow[c] = cf.Down(c, tick)
+			if s.downNow[c] {
+				down++
+				s.cellDownTicks++
+			}
+		}
+		n := len(s.rerouteTo)
+		for c := range s.rerouteTo {
+			s.rerouteTo[c] = c
+			if !s.downNow[c] {
+				continue
+			}
+			s.rerouteTo[c] = -1
+			for k := 1; k < n; k++ {
+				if t := (c + k) % n; !s.downNow[t] {
+					s.rerouteTo[c] = t
+					break
+				}
+			}
+		}
+		if m := s.cfg.Metrics; m != nil {
+			m.CellsDown.Set(float64(down))
+			m.CellDownTicks.Add(uint64(down))
+		}
+	}
+
 	// Connected clients issue requests to their cell's station, each
 	// drawn from the cell's private stream.
 	for c := range s.perCell {
@@ -332,13 +490,22 @@ func (s *System) tick(tick int) error {
 	}
 	s.connected = 0
 	s.genTick = tick
+	s.reroutesNow, s.lostNow = 0, 0
 	s.pop.ForEachConnected(s.genVisit)
+	s.reroutes += uint64(s.reroutesNow)
+	s.lost += uint64(s.lostNow)
 
 	if m := s.cfg.Metrics; m != nil {
 		m.Connected.Set(float64(s.connected))
 		m.Handoffs.Add(s.pop.Handoffs() - s.lastHandoffs)
 		m.Drops.Add(s.pop.Drops() - s.lastDrops)
 		s.lastHandoffs, s.lastDrops = s.pop.Handoffs(), s.pop.Drops()
+		if s.reroutesNow > 0 {
+			m.Reroutes.Add(uint64(s.reroutesNow))
+		}
+		if s.lostNow > 0 {
+			m.LostRequests.Add(uint64(s.lostNow))
+		}
 	}
 
 	if s.cfg.CacheSharing {
@@ -358,6 +525,10 @@ func (s *System) tick(tick int) error {
 	// goroutines entirely.
 	if s.workers == 1 || len(s.stations) == 1 {
 		for c, st := range s.stations {
+			if s.downNow[c] {
+				s.results[c] = basestation.TickResult{Tick: tick}
+				continue
+			}
 			res, err := st.ServeTick(tick, s.perCell[c], updated)
 			if err != nil {
 				return fmt.Errorf("multicell: cell %d: %w", c, err)
@@ -366,6 +537,10 @@ func (s *System) tick(tick int) error {
 		}
 	} else {
 		err := parallel.ForEach(len(s.stations), s.workers, func(c int) error {
+			if s.downNow[c] {
+				s.results[c] = basestation.TickResult{Tick: tick}
+				return nil
+			}
 			res, err := s.stations[c].ServeTick(tick, s.perCell[c], updated)
 			if err != nil {
 				return fmt.Errorf("multicell: cell %d: %w", c, err)
@@ -388,6 +563,31 @@ func (s *System) tick(tick int) error {
 		m.Station.Ticks.Inc()
 		m.Station.ServerUpdates.Add(uint64(len(updated)))
 		s.merger.Merge()
+		if s.cfg.Resilience != nil {
+			// Aggregate gauges report the deployment's worst cell: the
+			// most degraded service mode and the most open breaker.
+			// Gauges aren't shard-merged (sums would be meaningless), so
+			// the engine sets them after the counter merge.
+			var worstMode resilience.Mode
+			for c := range s.results {
+				if s.downNow[c] {
+					continue
+				}
+				if m := s.results[c].Mode; m > worstMode {
+					worstMode = m
+				}
+			}
+			m.Station.ServiceMode.Set(float64(worstMode))
+			if s.breakers[0] != nil {
+				var worst resilience.State
+				for _, b := range s.breakers {
+					if st := b.State(tick); st > worst {
+						worst = st
+					}
+				}
+				m.Station.BreakerState.Set(float64(worst))
+			}
+		}
 	}
 	return nil
 }
@@ -405,7 +605,9 @@ func (s *System) gatherShared(cell int, reqs []client.Request) {
 		s.seenIDs = append(s.seenIDs, r.Object)
 		var best *cache.Entry
 		for o, other := range s.stations {
-			if o == cell {
+			// A down cell donates nothing: its station is unreachable
+			// over the fixed network, cache contents notwithstanding.
+			if o == cell || s.downNow[o] {
 				continue
 			}
 			if e, ok := other.Cache().Peek(r.Object); ok {

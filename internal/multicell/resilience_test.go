@@ -1,0 +1,273 @@
+package multicell
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mobicache/internal/basestation"
+	"mobicache/internal/client"
+	"mobicache/internal/fault"
+	"mobicache/internal/resilience"
+	"mobicache/internal/rng"
+)
+
+// resilientConfig is the shared fixture: 4 cells, a cell-failure schedule
+// taking cell 1 down mid-run, flaky fetch paths, a breaker, and admission
+// control — every resilience feature armed at once.
+func resilientConfig(t *testing.T) Config {
+	t.Helper()
+	cs := fault.MustCellSchedule(4)
+	if err := cs.AddOutage(1, fault.Window{From: 30, To: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.AddOutage(3, fault.Window{From: 10, To: 12, Every: 25}); err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Cells:         4,
+		Objects:       60,
+		BudgetPerTick: 8,
+		Clients:       120,
+		Mobility:      client.Mobility{MeanResidence: 15, PDisconnect: 0.2, MeanAbsence: 8},
+		RequestProb:   0.5,
+		Pattern:       rng.Zipf,
+		Seed:          11,
+		CellFaults:    cs,
+		FetchFaults: func(cell int) (*fault.Schedule, error) {
+			s := fault.MustSchedule(1, 100+uint64(cell))
+			err := s.AddOutage(0, fault.Window{From: 40, To: 55, Every: 50})
+			return s, err
+		},
+		Retry: basestation.RetryConfig{MaxAttempts: 2},
+		Resilience: &resilience.Config{
+			Breaker:   resilience.BreakerConfig{FailureThreshold: 3, OpenTicks: 6},
+			Admission: resilience.Admission{MaxRequestsPerTick: 12},
+		},
+	}
+}
+
+// TestResilienceParallelMatchesSerial extends the engine keystone to the
+// failure-domain machinery: with cells dying and rejoining, breakers
+// tripping, and admission shedding, the Report must stay byte-identical
+// for any worker count.
+func TestResilienceParallelMatchesSerial(t *testing.T) {
+	for _, sharing := range []bool{false, true} {
+		t.Run(fmt.Sprintf("sharing=%v", sharing), func(t *testing.T) {
+			run := func(workers int) string {
+				cfg := resilientConfig(t)
+				cfg.CacheSharing = sharing
+				cfg.Workers = workers
+				sys, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := sys.Run(120)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return fmt.Sprintf("%#v", rep)
+			}
+			serial := run(1)
+			for _, w := range []int{4, 0} {
+				if got := run(w); got != serial {
+					t.Fatalf("workers=%d report diverges from serial:\nserial: %s\ngot:    %s", w, serial, got)
+				}
+			}
+		})
+	}
+}
+
+// TestEmptyResilienceIsIdentity pins the no-op guarantees: a cell
+// schedule with no windows, and a breaker that never sees a failure,
+// must both reproduce the plain run bit for bit.
+func TestEmptyResilienceIsIdentity(t *testing.T) {
+	run := func(mutate func(*Config)) string {
+		cfg := baseConfig()
+		cfg.Workers = 1
+		mutate(&cfg)
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.Run(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Blank the resilience accounting before comparing: the plain
+		// run has no breakers, so only behaviour must match.
+		rep.ShedRequests, rep.ShortCircuits, rep.BreakerTrips = 0, 0, 0
+		rep.FailedDownloads, rep.StaleFallbacks = 0, 0
+		return fmt.Sprintf("%#v", rep)
+	}
+	plain := run(func(*Config) {})
+	emptySched := run(func(c *Config) { c.CellFaults = fault.MustCellSchedule(c.Cells) })
+	if emptySched != plain {
+		t.Fatalf("empty cell schedule diverges:\nplain: %s\ngot:   %s", plain, emptySched)
+	}
+	// A breaker over a fault-free fetch path stays closed forever and
+	// admission far above the request rate never sheds.
+	idleBreaker := run(func(c *Config) {
+		c.Resilience = &resilience.Config{
+			Breaker:   resilience.BreakerConfig{FailureThreshold: 3},
+			Admission: resilience.Admission{MaxRequestsPerTick: 100000},
+		}
+	})
+	if idleBreaker != plain {
+		t.Fatalf("idle breaker diverges:\nplain: %s\ngot:   %s", plain, idleBreaker)
+	}
+}
+
+// TestCellBlackoutReroutes pins the failure-domain accounting: with one
+// cell down, every one of its requests lands on the nearest live cell —
+// none lost, total served conserved against the fault-free run.
+func TestCellBlackoutReroutes(t *testing.T) {
+	run := func(cs *fault.CellSchedule) Report {
+		cfg := baseConfig()
+		cfg.Workers = 1
+		cfg.CellFaults = cs
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.Run(80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	plain := run(nil)
+
+	cs := fault.MustCellSchedule(3)
+	if err := cs.AddOutage(1, fault.Window{From: 20, To: 50}); err != nil {
+		t.Fatal(err)
+	}
+	rep := run(cs)
+	if rep.CellDownTicks != 30 {
+		t.Errorf("CellDownTicks = %d, want 30", rep.CellDownTicks)
+	}
+	if rep.Reroutes == 0 {
+		t.Error("no requests rerouted during a 30-tick cell outage")
+	}
+	if rep.LostRequests != 0 {
+		t.Errorf("LostRequests = %d with live neighbours available", rep.LostRequests)
+	}
+	// Conservation: the generation draws are identical (rerouting never
+	// consumes randomness), so every request the plain run served is
+	// served somewhere — rerouted, not dropped.
+	if rep.Requests != plain.Requests {
+		t.Errorf("served %d requests, fault-free run served %d", rep.Requests, plain.Requests)
+	}
+	// The down cell serves nothing inside its window, so its share drops
+	// and its upward neighbour (cell 2, the reroute target) absorbs it.
+	if rep.PerCellRequests[1] >= plain.PerCellRequests[1] {
+		t.Errorf("down cell served %d >= fault-free %d", rep.PerCellRequests[1], plain.PerCellRequests[1])
+	}
+	if rep.PerCellRequests[2] <= plain.PerCellRequests[2] {
+		t.Errorf("reroute target served %d <= fault-free %d", rep.PerCellRequests[2], plain.PerCellRequests[2])
+	}
+
+	// Total blackout: with every cell down there is nowhere to reroute,
+	// so the window's requests are lost — and exactly accounted for.
+	all := fault.MustCellSchedule(3)
+	if err := all.AddOutage(fault.AllCells, fault.Window{From: 20, To: 30}); err != nil {
+		t.Fatal(err)
+	}
+	dark := run(all)
+	if dark.CellDownTicks != 30 { // 3 cells x 10 ticks
+		t.Errorf("blackout CellDownTicks = %d, want 30", dark.CellDownTicks)
+	}
+	if dark.LostRequests == 0 {
+		t.Error("total blackout lost no requests")
+	}
+	if dark.Reroutes != 0 {
+		t.Errorf("Reroutes = %d during total blackout, want 0", dark.Reroutes)
+	}
+	if dark.Requests+dark.LostRequests != plain.Requests {
+		t.Errorf("served %d + lost %d != fault-free %d", dark.Requests, dark.LostRequests, plain.Requests)
+	}
+}
+
+// TestBreakerTripsAcrossCells drives every cell's fetch path through a
+// long upstream outage and checks the breakers trip and the stations fall
+// back to stale service instead of burning retries all outage long.
+func TestBreakerTripsAcrossCells(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Workers = 1
+	cfg.FetchFaults = func(cell int) (*fault.Schedule, error) {
+		s := fault.MustSchedule(1, uint64(cell))
+		err := s.AddOutage(0, fault.Window{From: 20, To: 70})
+		return s, err
+	}
+	cfg.Retry = basestation.RetryConfig{MaxAttempts: 2}
+	cfg.Resilience = &resilience.Config{
+		Breaker: resilience.BreakerConfig{FailureThreshold: 2, OpenTicks: 8},
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BreakerTrips == 0 {
+		t.Error("no breaker tripped through a 50-tick upstream outage")
+	}
+	if rep.StaleFallbacks == 0 {
+		t.Error("no stale fallbacks while breakers were open")
+	}
+	if rep.FailedDownloads == 0 {
+		t.Error("no failed downloads recorded during the outage")
+	}
+}
+
+// TestResilienceConfigRejections covers the new validation paths.
+func TestResilienceConfigRejections(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CellFaults = fault.MustCellSchedule(2) // deployment has 3 cells
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "covers 2 cells") {
+		t.Errorf("mismatched cell schedule: err = %v", err)
+	}
+	cfg = baseConfig()
+	cfg.Resilience = &resilience.Config{Admission: resilience.Admission{MaxRequestsPerTick: -1}}
+	if _, err := New(cfg); err == nil || !strings.HasPrefix(err.Error(), "multicell: ") {
+		t.Errorf("negative admission: err = %v", err)
+	}
+	cfg = baseConfig()
+	cfg.FetchFaults = func(cell int) (*fault.Schedule, error) {
+		return nil, fmt.Errorf("boom")
+	}
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "cell 0 fault schedule") {
+		t.Errorf("fetch-fault constructor error: err = %v", err)
+	}
+}
+
+// TestAdmissionShedsUnderOverload arms a tiny per-tick budget and checks
+// the engine sheds deterministically and reports it.
+func TestAdmissionShedsUnderOverload(t *testing.T) {
+	run := func() Report {
+		cfg := baseConfig()
+		cfg.Workers = 4
+		cfg.RequestProb = 0.9
+		cfg.Resilience = &resilience.Config{
+			Admission: resilience.Admission{MaxRequestsPerTick: 5},
+		}
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.Run(60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := run()
+	if rep.ShedRequests == 0 {
+		t.Fatal("overloaded system shed nothing")
+	}
+	if again := run(); fmt.Sprintf("%#v", again) != fmt.Sprintf("%#v", rep) {
+		t.Error("overload shedding not deterministic across runs")
+	}
+}

@@ -35,6 +35,25 @@ type StationMetrics struct {
 	StaleFallbacks  *Counter // requests served stale because a refresh failed
 	DownloadUnits   *Counter // data units fetched over the fixed network
 
+	// Resilience counters. Trips/probes/short-circuits follow the fetch
+	// breaker; shed counts requests refused by admission control; the
+	// degraded/shed tick counters measure time spent on each lower rung
+	// of the degradation ladder (for a multi-cell aggregate they count
+	// cell-ticks, like every merged series).
+	BreakerTrips  *Counter // breaker closed/half-open → open transitions
+	BreakerProbes *Counter // half-open probe fetches granted
+	ShortCircuits *Counter // fetches refused outright by the open breaker
+	ShedRequests  *Counter // requests refused by admission control
+	DegradedTicks *Counter // ticks served in stale-only mode
+	ShedTicks     *Counter // ticks that shed at least one request
+
+	// BreakerState and ServiceMode expose the current resilience posture
+	// (breaker: 0 closed, 1 half-open, 2 open; mode: 0 full,
+	// 1 stale-only, 2 shed). A multi-cell aggregate reports the worst
+	// value across live cells.
+	BreakerState *Gauge
+	ServiceMode  *Gauge
+
 	// SolverFullResolves / SolverWarmResolves split the selection solves
 	// by how much work they did: full counts cold solves that re-ran the
 	// solver from scratch, warm counts solves served from incremental
@@ -73,6 +92,14 @@ func newStationMetrics(r *Registry, suffix string, trace *TraceRing) *StationMet
 		Retries:         r.Counter(n("mobicache_fetch_retries_total"), "extra fetch attempts beyond the first"),
 		StaleFallbacks:  r.Counter(n("mobicache_stale_fallbacks_total"), "requests served a stale copy because the refresh failed"),
 		DownloadUnits:   r.Counter(n("mobicache_download_units_total"), "data units fetched over the fixed network"),
+		BreakerTrips:    r.Counter(n("mobicache_breaker_trips_total"), "circuit breaker trips on the fetch path"),
+		BreakerProbes:   r.Counter(n("mobicache_breaker_probes_total"), "half-open breaker probe fetches granted"),
+		ShortCircuits:   r.Counter(n("mobicache_breaker_short_circuits_total"), "fetches refused outright by the open breaker"),
+		ShedRequests:    r.Counter(n("mobicache_shed_requests_total"), "requests refused by admission control"),
+		DegradedTicks:   r.Counter(n("mobicache_degraded_ticks_total"), "ticks served in stale-only mode (breaker open)"),
+		ShedTicks:       r.Counter(n("mobicache_shed_ticks_total"), "ticks that shed at least one request"),
+		BreakerState:    r.Gauge(n("mobicache_breaker_state"), "fetch breaker state (0 closed, 1 half-open, 2 open)"),
+		ServiceMode:     r.Gauge(n("mobicache_service_mode"), "degradation-ladder rung (0 full, 1 stale-only, 2 shed)"),
 		SolverFullResolves: r.Counter(n("mobicache_solver_full_resolves_total"),
 			"selection solves that re-ran the knapsack solver from scratch"),
 		SolverWarmResolves: r.Counter(n("mobicache_solver_warm_resolves_total"),
@@ -106,6 +133,14 @@ type MulticellMetrics struct {
 	SharedCopyFailures *Counter // cooperative copies rejected by the local cache
 	Connected          *Gauge   // currently connected clients
 
+	// Cell-failure counters, produced only when a fault.CellSchedule is
+	// installed: requests rerouted from a down cell to a live neighbour,
+	// requests lost because no cell was live, and cell-ticks spent down.
+	Reroutes      *Counter
+	LostRequests  *Counter
+	CellDownTicks *Counter
+	CellsDown     *Gauge // cells currently inside an outage window
+
 	reg *Registry
 
 	mu    sync.Mutex
@@ -121,6 +156,10 @@ func NewMulticellMetrics(r *Registry, traceCap int) *MulticellMetrics {
 		SharedCopies:       r.Counter("mobicache_shared_copies_total", "cooperative copies between base stations"),
 		SharedCopyFailures: r.Counter("mobicache_shared_copy_failures_total", "cooperative copies the local cache rejected (e.g. bounded-cache insert failures)"),
 		Connected:          r.Gauge("mobicache_connected_clients", "currently connected clients"),
+		Reroutes:           r.Counter("mobicache_cell_reroutes_total", "requests rerouted from a down cell to a live neighbour"),
+		LostRequests:       r.Counter("mobicache_cell_lost_requests_total", "requests lost because every cell was down"),
+		CellDownTicks:      r.Counter("mobicache_cell_down_ticks_total", "cell-ticks spent inside a cell outage window"),
+		CellsDown:          r.Gauge("mobicache_cells_down", "cells currently inside an outage window"),
 		reg:                r,
 	}
 }
@@ -200,6 +239,8 @@ func mergeableCounters(s *StationMetrics) []*Counter {
 	return []*Counter{
 		s.Requests, s.PolicyDownloads, s.MissDownloads, s.FailedDownloads,
 		s.Retries, s.StaleFallbacks, s.DownloadUnits,
+		s.BreakerTrips, s.BreakerProbes, s.ShortCircuits,
+		s.ShedRequests, s.DegradedTicks, s.ShedTicks,
 		s.SolverFullResolves, s.SolverWarmResolves,
 	}
 }

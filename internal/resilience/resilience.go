@@ -1,0 +1,292 @@
+// Package resilience holds the base station's overload and failure
+// machinery: a deterministic circuit breaker for the fixed-network fetch
+// path and the admission-control configuration behind per-tick load
+// shedding. The paper assumes the base station itself never degrades; a
+// production station must stop hammering a dead upstream (the breaker),
+// bound how much work one tick may admit (admission control), and report
+// which rung of the degradation ladder it is standing on (Mode).
+//
+// Everything here is driven by the simulation's tick clock and the
+// station's own success/failure events — no wall-clock time, no
+// randomness — so a run with a breaker installed is exactly as replayable
+// as one without, and chaos scenarios can pin exact trip and
+// short-circuit counts.
+package resilience
+
+import "fmt"
+
+// State is a circuit breaker's position.
+type State uint8
+
+const (
+	// Closed lets every fetch through; consecutive failures are counted.
+	Closed State = iota
+	// HalfOpen lets exactly one probe fetch through at a time; its
+	// outcome decides between Closed and Open.
+	HalfOpen
+	// Open refuses every fetch until OpenTicks ticks have passed.
+	Open
+)
+
+// String returns the conventional lowercase state name.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Mode is a rung of the station's degradation ladder, ordered by
+// severity: full service, then serve-stale-only (the breaker is open and
+// no downloads happen), then shedding (admission control refused
+// requests this tick).
+type Mode uint8
+
+const (
+	// ModeFull is normal operation.
+	ModeFull Mode = iota
+	// ModeStaleOnly serves every request from the cache without
+	// attempting any download (the breaker is open).
+	ModeStaleOnly
+	// ModeShed refused at least one request this tick.
+	ModeShed
+)
+
+// String returns the ladder rung's name.
+func (m Mode) String() string {
+	switch m {
+	case ModeFull:
+		return "full"
+	case ModeStaleOnly:
+		return "stale-only"
+	case ModeShed:
+		return "shed"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// BreakerConfig parameterizes a Breaker. The zero value disables the
+// breaker (Enabled reports false); a config with FailureThreshold > 0
+// takes defaults for the other fields.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failed downloads
+	// that trips the breaker open. 0 disables the breaker entirely.
+	FailureThreshold int
+	// OpenTicks is how many ticks a tripped breaker stays open before
+	// moving to half-open and probing (default 8).
+	OpenTicks int
+	// CloseAfter is the number of consecutive successful probes that
+	// close a half-open breaker (default 1).
+	CloseAfter int
+}
+
+// Enabled reports whether the configuration asks for a breaker at all.
+func (c BreakerConfig) Enabled() bool { return c.FailureThreshold != 0 }
+
+// withDefaults fills the zero fields of an enabled config.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.OpenTicks == 0 {
+		c.OpenTicks = 8
+	}
+	if c.CloseAfter == 0 {
+		c.CloseAfter = 1
+	}
+	return c
+}
+
+// Validate rejects a malformed configuration.
+func (c BreakerConfig) Validate() error {
+	if c.FailureThreshold < 0 {
+		return fmt.Errorf("resilience: negative failure threshold %d", c.FailureThreshold)
+	}
+	if c.OpenTicks < 0 {
+		return fmt.Errorf("resilience: negative open duration %d", c.OpenTicks)
+	}
+	if c.CloseAfter < 0 {
+		return fmt.Errorf("resilience: negative close-after count %d", c.CloseAfter)
+	}
+	return nil
+}
+
+// Admission bounds the requests a station admits per tick. The zero
+// value means no admission control.
+type Admission struct {
+	// MaxRequestsPerTick caps the requests served in one tick; excess
+	// requests are shed deterministically, lowest knapsack profit first
+	// (0 = unlimited).
+	MaxRequestsPerTick int
+}
+
+// Validate rejects a malformed configuration.
+func (a Admission) Validate() error {
+	if a.MaxRequestsPerTick < 0 {
+		return fmt.Errorf("resilience: negative admission budget %d", a.MaxRequestsPerTick)
+	}
+	return nil
+}
+
+// Config bundles the per-station resilience knobs.
+type Config struct {
+	Breaker   BreakerConfig
+	Admission Admission
+}
+
+// Validate rejects a malformed configuration.
+func (c Config) Validate() error {
+	if err := c.Breaker.Validate(); err != nil {
+		return err
+	}
+	return c.Admission.Validate()
+}
+
+// Breaker is a deterministic closed/open/half-open circuit breaker
+// driven entirely by an external tick clock and explicit success/failure
+// events. It is the single-owner kind of object the tick simulation
+// deals in: not safe for concurrent use.
+//
+// Lifecycle: Closed counts consecutive failures and trips Open at the
+// threshold. Open refuses everything (Allow returns false) for
+// OpenTicks ticks, then becomes HalfOpen. HalfOpen grants exactly one
+// probe at a time: the first Allow returns true, further Allows return
+// false until the probe resolves via OnSuccess (CloseAfter consecutive
+// successes close the breaker) or OnFailure (re-trips Open immediately).
+type Breaker struct {
+	cfg       BreakerConfig
+	state     State
+	failures  int  // consecutive failures while closed
+	successes int  // consecutive probe successes while half-open
+	openedAt  int  // tick of the most recent trip
+	probeOut  bool // a half-open probe is awaiting its outcome
+
+	trips         uint64
+	probes        uint64
+	shortCircuits uint64
+}
+
+// NewBreaker builds a breaker. The config must be enabled
+// (FailureThreshold > 0) and valid.
+func NewBreaker(cfg BreakerConfig) (*Breaker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, fmt.Errorf("resilience: breaker config disabled (failure threshold 0)")
+	}
+	return &Breaker{cfg: cfg.withDefaults()}, nil
+}
+
+// MustBreaker is NewBreaker for configs known to be valid.
+func MustBreaker(cfg BreakerConfig) *Breaker {
+	b, err := NewBreaker(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// resolve applies the open → half-open timeout transition at tick.
+func (b *Breaker) resolve(tick int) {
+	if b.state == Open && tick-b.openedAt >= b.cfg.OpenTicks {
+		b.state = HalfOpen
+		b.probeOut = false
+		b.successes = 0
+	}
+}
+
+// State returns the breaker's state as of tick, resolving the
+// open → half-open timeout without consuming a probe. It does not
+// mutate the breaker, so per-tick gauges may call it freely.
+func (b *Breaker) State(tick int) State {
+	if b.state == Open && tick-b.openedAt >= b.cfg.OpenTicks {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Allow reports whether one fetch may proceed at tick. A refusal is
+// counted as a short-circuit. In half-open state the first Allow is the
+// probe; further calls are refused until the probe resolves.
+func (b *Breaker) Allow(tick int) bool {
+	b.resolve(tick)
+	switch b.state {
+	case Closed:
+		return true
+	case HalfOpen:
+		if b.probeOut {
+			b.shortCircuits++
+			return false
+		}
+		b.probeOut = true
+		b.probes++
+		return true
+	default: // Open
+		b.shortCircuits++
+		return false
+	}
+}
+
+// OnSuccess records one successful download at tick.
+func (b *Breaker) OnSuccess(tick int) {
+	b.resolve(tick)
+	switch b.state {
+	case Closed:
+		b.failures = 0
+	case HalfOpen:
+		b.probeOut = false
+		b.successes++
+		if b.successes >= b.cfg.CloseAfter {
+			b.state = Closed
+			b.failures = 0
+			b.successes = 0
+		}
+	}
+	// A success while open is a straggler from before the trip; ignore.
+}
+
+// OnFailure records one abandoned download at tick.
+func (b *Breaker) OnFailure(tick int) {
+	b.resolve(tick)
+	switch b.state {
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip(tick)
+		}
+	case HalfOpen:
+		b.trip(tick)
+	}
+}
+
+// trip opens the breaker at tick.
+func (b *Breaker) trip(tick int) {
+	b.state = Open
+	b.openedAt = tick
+	b.failures = 0
+	b.successes = 0
+	b.probeOut = false
+	b.trips++
+}
+
+// Trips returns the number of closed/half-open → open transitions.
+func (b *Breaker) Trips() uint64 { return b.trips }
+
+// Probes returns the number of half-open probe fetches granted.
+func (b *Breaker) Probes() uint64 { return b.probes }
+
+// ShortCircuits returns the number of fetches Allow refused.
+func (b *Breaker) ShortCircuits() uint64 { return b.shortCircuits }
+
+// Reset returns the breaker to its initial closed state, keeping the
+// lifetime counters.
+func (b *Breaker) Reset() {
+	b.state = Closed
+	b.failures = 0
+	b.successes = 0
+	b.probeOut = false
+	b.openedAt = 0
+}

@@ -1,0 +1,270 @@
+package resilience
+
+import (
+	"testing"
+
+	"mobicache/internal/rng"
+)
+
+func mustBreaker(t *testing.T, cfg BreakerConfig) *Breaker {
+	t.Helper()
+	b, err := NewBreaker(cfg)
+	if err != nil {
+		t.Fatalf("NewBreaker(%+v): %v", cfg, err)
+	}
+	return b
+}
+
+func TestBreakerConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  BreakerConfig
+	}{
+		{"negative threshold", BreakerConfig{FailureThreshold: -1}},
+		{"negative open ticks", BreakerConfig{FailureThreshold: 3, OpenTicks: -2}},
+		{"negative close after", BreakerConfig{FailureThreshold: 3, CloseAfter: -1}},
+		{"disabled", BreakerConfig{}},
+	}
+	for _, tc := range cases {
+		if _, err := NewBreaker(tc.cfg); err == nil {
+			t.Errorf("%s: NewBreaker(%+v) accepted", tc.name, tc.cfg)
+		}
+	}
+	if err := (Admission{MaxRequestsPerTick: -1}).Validate(); err == nil {
+		t.Error("negative admission budget accepted")
+	}
+	if err := (Config{Admission: Admission{MaxRequestsPerTick: -5}}).Validate(); err == nil {
+		t.Error("config with negative admission budget accepted")
+	}
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b := mustBreaker(t, BreakerConfig{FailureThreshold: 3, OpenTicks: 5})
+	for i := 0; i < 2; i++ {
+		b.OnFailure(i)
+		if got := b.State(i); got != Closed {
+			t.Fatalf("after %d failures: state %v, want closed", i+1, got)
+		}
+	}
+	b.OnFailure(2)
+	if got := b.State(2); got != Open {
+		t.Fatalf("after threshold failures: state %v, want open", got)
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+	// A success between failures resets the consecutive count.
+	b2 := mustBreaker(t, BreakerConfig{FailureThreshold: 3})
+	b2.OnFailure(0)
+	b2.OnFailure(0)
+	b2.OnSuccess(0)
+	b2.OnFailure(0)
+	b2.OnFailure(0)
+	if got := b2.State(0); got != Closed {
+		t.Fatalf("interleaved successes: state %v, want closed", got)
+	}
+}
+
+func TestBreakerOpenRefusesUntilTimeout(t *testing.T) {
+	b := mustBreaker(t, BreakerConfig{FailureThreshold: 1, OpenTicks: 4})
+	b.OnFailure(10)
+	for tick := 10; tick < 14; tick++ {
+		if b.Allow(tick) {
+			t.Fatalf("tick %d: open breaker allowed a fetch", tick)
+		}
+	}
+	if b.ShortCircuits() != 4 {
+		t.Fatalf("short circuits = %d, want 4", b.ShortCircuits())
+	}
+	if got := b.State(14); got != HalfOpen {
+		t.Fatalf("state at timeout: %v, want half-open", got)
+	}
+	if !b.Allow(14) {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Probes() != 1 {
+		t.Fatalf("probes = %d, want 1", b.Probes())
+	}
+	if b.Allow(14) || b.Allow(15) {
+		t.Fatal("half-open breaker granted a second concurrent probe")
+	}
+	b.OnSuccess(15)
+	if got := b.State(15); got != Closed {
+		t.Fatalf("state after probe success: %v, want closed", got)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := mustBreaker(t, BreakerConfig{FailureThreshold: 1, OpenTicks: 2})
+	b.OnFailure(0)
+	if !b.Allow(2) {
+		t.Fatal("probe refused at half-open")
+	}
+	b.OnFailure(2)
+	if got := b.State(2); got != Open {
+		t.Fatalf("state after probe failure: %v, want open", got)
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+	// The re-opened window restarts from the failed probe's tick.
+	if b.State(3) != Open {
+		t.Fatal("re-opened breaker relaxed too early")
+	}
+	if b.State(4) != HalfOpen {
+		t.Fatal("re-opened breaker did not reach half-open after OpenTicks")
+	}
+}
+
+func TestBreakerCloseAfterMultipleProbes(t *testing.T) {
+	b := mustBreaker(t, BreakerConfig{FailureThreshold: 1, OpenTicks: 1, CloseAfter: 2})
+	b.OnFailure(0)
+	if !b.Allow(1) {
+		t.Fatal("first probe refused")
+	}
+	b.OnSuccess(1)
+	if got := b.State(1); got != HalfOpen {
+		t.Fatalf("state after first probe success: %v, want half-open (CloseAfter=2)", got)
+	}
+	if !b.Allow(1) {
+		t.Fatal("second probe refused after first resolved")
+	}
+	b.OnSuccess(1)
+	if got := b.State(1); got != Closed {
+		t.Fatalf("state after second probe success: %v, want closed", got)
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	b := mustBreaker(t, BreakerConfig{FailureThreshold: 1, OpenTicks: 100})
+	b.OnFailure(5)
+	b.Reset()
+	if got := b.State(5); got != Closed {
+		t.Fatalf("state after Reset: %v, want closed", got)
+	}
+	if !b.Allow(5) {
+		t.Fatal("reset breaker refused a fetch")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("Reset cleared the trip counter: %d", b.Trips())
+	}
+}
+
+func TestStateAndModeStrings(t *testing.T) {
+	if Closed.String() != "closed" || HalfOpen.String() != "half-open" || Open.String() != "open" {
+		t.Error("unexpected state names")
+	}
+	if ModeFull.String() != "full" || ModeStaleOnly.String() != "stale-only" || ModeShed.String() != "shed" {
+		t.Error("unexpected mode names")
+	}
+	if State(9).String() == "" || Mode(9).String() == "" {
+		t.Error("out-of-range values must still print")
+	}
+}
+
+// op codes for the model-checked event driver shared by the property test
+// and the fuzzer.
+const (
+	opAllow = iota
+	opSuccess
+	opFailure
+	opAdvance
+	opCount
+)
+
+// driveChecked feeds ops to a breaker while checking the two safety
+// properties from the issue after every step: the breaker never serves a
+// fetch while open, and half-open grants exactly one probe at a time
+// (a second Allow is refused until the outstanding probe resolves).
+func driveChecked(t *testing.T, cfg BreakerConfig, ops []byte) {
+	t.Helper()
+	b, err := NewBreaker(cfg)
+	if err != nil {
+		t.Fatalf("NewBreaker(%+v): %v", cfg, err)
+	}
+	tick := 0
+	probeOut := false
+	for step, op := range ops {
+		switch int(op) % opCount {
+		case opAllow:
+			pre := b.State(tick)
+			got := b.Allow(tick)
+			switch pre {
+			case Open:
+				if got {
+					t.Fatalf("step %d tick %d: Allow granted while open", step, tick)
+				}
+			case Closed:
+				if !got {
+					t.Fatalf("step %d tick %d: Allow refused while closed", step, tick)
+				}
+			case HalfOpen:
+				if got && probeOut {
+					t.Fatalf("step %d tick %d: second probe granted before the first resolved", step, tick)
+				}
+				if !got && !probeOut {
+					t.Fatalf("step %d tick %d: half-open refused the first probe", step, tick)
+				}
+				if got {
+					probeOut = true
+				}
+			}
+		case opSuccess:
+			b.OnSuccess(tick)
+			probeOut = false
+		case opFailure:
+			b.OnFailure(tick)
+			probeOut = false
+		case opAdvance:
+			tick++
+		}
+		// State must never be able to regress from Open to Closed without
+		// passing through half-open: a closed breaker here right after an
+		// open observation can only come from a resolved probe, which the
+		// probeOut bookkeeping above already witnessed.
+		if b.Trips() > 0 && b.Probes() == 0 && b.State(tick) == Closed && probeOut {
+			t.Fatalf("step %d: closed with an unresolved probe and no probe count", step)
+		}
+	}
+}
+
+// TestBreakerProperties drives seeded pseudo-random event sequences
+// through every small config and checks the open/half-open safety
+// properties on each step.
+func TestBreakerProperties(t *testing.T) {
+	configs := []BreakerConfig{
+		{FailureThreshold: 1, OpenTicks: 1, CloseAfter: 1},
+		{FailureThreshold: 1, OpenTicks: 4, CloseAfter: 2},
+		{FailureThreshold: 3, OpenTicks: 2, CloseAfter: 1},
+		{FailureThreshold: 5, OpenTicks: 8, CloseAfter: 3},
+	}
+	for _, cfg := range configs {
+		for seed := uint64(1); seed <= 8; seed++ {
+			src := rng.New(seed)
+			ops := make([]byte, 512)
+			for i := range ops {
+				ops[i] = byte(src.Intn(opCount))
+			}
+			driveChecked(t, cfg, ops)
+		}
+	}
+}
+
+// FuzzBreaker feeds arbitrary event sequences through the state machine.
+// The first three bytes pick the config; the rest drive events.
+func FuzzBreaker(f *testing.F) {
+	f.Add([]byte{1, 1, 1, 2, 0, 3, 0, 1})
+	f.Add([]byte{3, 4, 2, 2, 2, 2, 3, 3, 3, 3, 0, 1, 0, 2})
+	f.Add([]byte{5, 8, 1, 0, 0, 0, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			t.Skip()
+		}
+		cfg := BreakerConfig{
+			FailureThreshold: 1 + int(data[0])%8,
+			OpenTicks:        1 + int(data[1])%16,
+			CloseAfter:       1 + int(data[2])%4,
+		}
+		driveChecked(t, cfg, data[3:])
+	})
+}

@@ -2,6 +2,7 @@ package mobicache
 
 import (
 	"mobicache/internal/client"
+	"mobicache/internal/fault"
 	"mobicache/internal/multicell"
 	"mobicache/internal/rng"
 )
@@ -53,6 +54,18 @@ type MulticellConfig struct {
 	Ticks int
 	// Seed drives all randomness.
 	Seed uint64
+	// CellOutages schedules whole-cell failure domains: a down cell
+	// serves nothing and its clients' requests are rerouted to the
+	// nearest live cell (see CellOutage). Windows on the same cell must
+	// not overlap.
+	CellOutages []CellOutage
+	// Fault, when non-nil, injects deterministic faults into every cell's
+	// fixed-network fetch path. Each cell gets its own failure stream
+	// (same windows, different draws), so cells don't fail in lockstep.
+	Fault *FaultConfig
+	// Resilience, when non-nil, arms every cell's station with its own
+	// circuit breaker and admission control (see ResilienceConfig).
+	Resilience *ResilienceConfig
 	// Metrics, when non-nil, receives live observability updates from
 	// every cell: each cell writes its own {cell="N"}-labeled series,
 	// merged into the aggregate station bundle every tick. Build one with
@@ -79,6 +92,17 @@ type MulticellReport struct {
 	PerCellScores      []float64
 	PerCellRequests    []uint64
 	PerCellDownloads   []uint64
+
+	// Resilience accounting (all zero without CellOutages / Fault /
+	// Resilience configs).
+	Reroutes        uint64 // requests rerouted from a down cell to a live one
+	LostRequests    uint64 // requests lost because every cell was down
+	CellDownTicks   uint64 // cell-ticks spent inside a cell outage window
+	ShedRequests    uint64 // requests refused by admission control
+	ShortCircuits   uint64 // downloads refused outright by open breakers
+	BreakerTrips    uint64 // circuit-breaker trips across all cells
+	FailedDownloads uint64 // downloads abandoned after retries/timeout
+	StaleFallbacks  uint64 // requests served stale because a refresh failed
 }
 
 // RunMulticell builds and runs the configured deployment.
@@ -97,7 +121,7 @@ func RunMulticell(cfg MulticellConfig) (MulticellReport, error) {
 		PDisconnect:   cfg.PDisconnect,
 		MeanAbsence:   cfg.MeanAbsence,
 	}.WithDefaults()
-	sys, err := multicell.New(multicell.Config{
+	mcfg := multicell.Config{
 		Cells:         cfg.Cells,
 		Objects:       cfg.Objects,
 		UpdatePeriod:  cfg.UpdatePeriod,
@@ -111,7 +135,25 @@ func RunMulticell(cfg MulticellConfig) (MulticellReport, error) {
 		Solver:        solver,
 		Seed:          cfg.Seed,
 		Metrics:       cfg.Metrics,
-	})
+	}
+	if len(cfg.CellOutages) > 0 {
+		cs, err := cellSchedule(cfg.Cells, cfg.CellOutages)
+		if err != nil {
+			return rep, err
+		}
+		mcfg.CellFaults = cs
+	}
+	if cfg.Fault != nil {
+		f, seed := cfg.Fault, cfg.Seed
+		mcfg.FetchFaults = func(cell int) (*fault.Schedule, error) {
+			return f.scheduleFor(seed, uint64(cell))
+		}
+		mcfg.Retry = f.Retry
+	}
+	if cfg.Resilience != nil {
+		mcfg.Resilience = cfg.Resilience.internal()
+	}
+	sys, err := multicell.New(mcfg)
 	if err != nil {
 		return rep, err
 	}
@@ -132,5 +174,13 @@ func RunMulticell(cfg MulticellConfig) (MulticellReport, error) {
 		PerCellScores:      r.PerCellScores,
 		PerCellRequests:    r.PerCellRequests,
 		PerCellDownloads:   r.PerCellDownloads,
+		Reroutes:           r.Reroutes,
+		LostRequests:       r.LostRequests,
+		CellDownTicks:      r.CellDownTicks,
+		ShedRequests:       r.ShedRequests,
+		ShortCircuits:      r.ShortCircuits,
+		BreakerTrips:       r.BreakerTrips,
+		FailedDownloads:    r.FailedDownloads,
+		StaleFallbacks:     r.StaleFallbacks,
 	}, nil
 }

@@ -1,0 +1,85 @@
+package mobicache
+
+import (
+	"mobicache/internal/fault"
+	"mobicache/internal/resilience"
+)
+
+// ResilienceConfig arms a station (or every cell of a multi-cell
+// deployment) with a deterministic circuit breaker and admission control.
+//
+// The breaker watches the remote fetch path: BreakerFailures consecutive
+// abandoned downloads trip it open, and while open every fetch is refused
+// instantly — requests are served the stale cached copy instead of
+// burning the retry/timeout budget against a dead upstream. After
+// BreakerOpenTicks the breaker goes half-open and lets exactly one probe
+// download through per tick; BreakerCloseAfter consecutive probe
+// successes close it again, while a probe failure re-opens it.
+//
+// Admission control bounds each station to MaxRequestsPerTick requests
+// per tick. Overload sheds deterministically: the requests most likely
+// already served well by the cache (highest score if answered right now)
+// are refused first, so scarce service capacity goes to the clients the
+// knapsack objective values most.
+//
+// Everything is driven by the tick clock and sheds by a deterministic
+// order, so runs remain byte-for-byte reproducible — and with a
+// fault-free fetch path the breaker never opens, reproducing the ideal
+// run exactly.
+type ResilienceConfig struct {
+	// BreakerFailures is the consecutive-failure threshold that trips the
+	// breaker. 0 disables the breaker entirely.
+	BreakerFailures int
+	// BreakerOpenTicks is how long a tripped breaker refuses fetches
+	// before probing (default 8).
+	BreakerOpenTicks int
+	// BreakerCloseAfter is the consecutive probe successes needed to
+	// close a half-open breaker (default 1).
+	BreakerCloseAfter int
+	// MaxRequestsPerTick caps admitted requests per station per tick
+	// (0 = unlimited).
+	MaxRequestsPerTick int
+}
+
+// internal compiles the public knobs into the internal config.
+func (r *ResilienceConfig) internal() *resilience.Config {
+	return &resilience.Config{
+		Breaker: resilience.BreakerConfig{
+			FailureThreshold: r.BreakerFailures,
+			OpenTicks:        r.BreakerOpenTicks,
+			CloseAfter:       r.BreakerCloseAfter,
+		},
+		Admission: resilience.Admission{MaxRequestsPerTick: r.MaxRequestsPerTick},
+	}
+}
+
+// AllCells targets every cell in a CellOutage.
+const AllCells = fault.AllCells
+
+// CellOutage takes a whole cell (or AllCells) out of service for the
+// half-open tick interval [From, To); Every > 0 repeats the window with
+// that period. A down cell serves nothing: its clients' requests are
+// rerouted to the nearest live cell, it neither donates nor receives
+// cooperative copies, and its cache keeps decaying through master
+// updates, so it rejoins stale. Windows on the same cell must not
+// overlap.
+type CellOutage struct {
+	Cell     int
+	From, To int
+	Every    int
+}
+
+// cellSchedule compiles the outage list into a fault.CellSchedule.
+func cellSchedule(cells int, outages []CellOutage) (*fault.CellSchedule, error) {
+	cs, err := fault.NewCellSchedule(cells)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outages {
+		w := fault.Window{From: o.From, To: o.To, Every: o.Every}
+		if err := cs.AddOutage(o.Cell, w); err != nil {
+			return nil, err
+		}
+	}
+	return cs, nil
+}

@@ -15,7 +15,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_1.json}"
-benches='BenchmarkSolverDP|BenchmarkSolverIncremental|BenchmarkSolverTrace|BenchmarkSolverGreedy|BenchmarkSelectorSelect|BenchmarkSimulationTick|BenchmarkMulticellTick'
+benches='BenchmarkSolverDP|BenchmarkSolverIncremental|BenchmarkSolverTrace|BenchmarkSolverGreedy|BenchmarkSelectorSelect|BenchmarkSimulationTick|BenchmarkMulticellTick|BenchmarkStationTickDegraded'
 
 raw=$(go test -run '^$' -bench "^(${benches})\$" -benchmem -benchtime 30x .)
 printf '%s\n' "$raw" >&2

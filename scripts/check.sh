@@ -28,11 +28,13 @@ go build ./...
 go test -race -count=1 -shuffle=on -coverprofile=coverage.out ./...
 
 # Extra race shakedown of the concurrency-heavy packages: the daemon's
-# handler/worker-pool paths, the parallel map, and the multi-cell tick
+# handler/worker-pool paths, the parallel map, the multi-cell tick
 # engine (whose parallel phase fans ServeTick across cells sharing one
-# server) get a second shuffled run so scheduling-order bugs have two
-# chances to trip.
-go test -race -count=2 -shuffle=on ./cmd/stationd ./internal/parallel ./internal/multicell
+# server), and the resilience state machines get a second shuffled run so
+# scheduling-order bugs have two chances to trip. The multicell run
+# includes the cell-failure grid (TestResilienceParallelMatchesSerial
+# sweeps sharing x workers under cell outages).
+go test -race -count=2 -shuffle=on ./cmd/stationd ./internal/parallel ./internal/multicell ./internal/resilience
 
 coverage=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
 rm -f coverage.out
@@ -51,6 +53,7 @@ if [ "$FUZZTIME" != "0" ]; then
     go test -run=NONE -fuzz=FuzzSolveDP -fuzztime="$FUZZTIME" ./internal/knapsack
     go test -run=NONE -fuzz=FuzzIncremental -fuzztime="$FUZZTIME" ./internal/knapsack
     go test -run=NONE -fuzz=FuzzRecencyCurve -fuzztime="$FUZZTIME" ./internal/recency
+    go test -run=NONE -fuzz=FuzzBreaker -fuzztime="$FUZZTIME" ./internal/resilience
 fi
 
 # Perf-regression gate: the headline incremental-solver benchmark must stay

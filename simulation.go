@@ -12,6 +12,7 @@ import (
 	"mobicache/internal/obs"
 	"mobicache/internal/policy"
 	"mobicache/internal/recency"
+	"mobicache/internal/resilience"
 	"mobicache/internal/rng"
 	"mobicache/internal/server"
 )
@@ -75,6 +76,14 @@ type FaultConfig struct {
 
 // schedule compiles the configuration into a seeded fault.Schedule.
 func (f *FaultConfig) schedule(simSeed uint64) (*fault.Schedule, error) {
+	return f.scheduleFor(simSeed, 0)
+}
+
+// scheduleFor builds cell's copy of the schedule for a multi-cell
+// deployment: identical windows and probabilities, but a per-cell failure
+// stream (splitmix64 golden-ratio mixing), so cells don't fail in
+// lockstep unless their outage windows say so.
+func (f *FaultConfig) scheduleFor(simSeed uint64, cell uint64) (*fault.Schedule, error) {
 	servers := f.Servers
 	if servers == 0 {
 		servers = 1
@@ -84,6 +93,7 @@ func (f *FaultConfig) schedule(simSeed uint64) (*fault.Schedule, error) {
 		// An independent stream: faults must not perturb the workload rng.
 		seed = simSeed ^ 0x5fa17bea7e12c0de
 	}
+	seed += cell * 0x9e3779b97f4a7c15
 	sched, err := fault.NewSchedule(servers, seed)
 	if err != nil {
 		return nil, err
@@ -162,6 +172,10 @@ type SimulationConfig struct {
 	// fixed-network fetch path (outages, latency spikes, per-request
 	// failures). Nil keeps the paper's ideal always-answering servers.
 	Fault *FaultConfig
+	// Resilience, when non-nil, arms the station with a circuit breaker
+	// and admission control (see ResilienceConfig). A breaker without a
+	// Fault config runs over a fault-free fetch path and never opens.
+	Resilience *ResilienceConfig
 	// Metrics, when non-nil, receives live observability updates from the
 	// station (counters, histograms, the decision-trace ring). Build one
 	// with NewStationMetrics; nil disables instrumentation entirely and
@@ -185,6 +199,14 @@ type SimulationReport struct {
 	Retries          uint64  // extra fetch attempts beyond the first
 	StaleFallbacks   uint64  // requests served a stale copy because the refresh failed
 	MeanFetchLatency float64 // mean simulated fetch time per download (attempts + backoff)
+
+	// Resilience counters (all zero without a ResilienceConfig).
+	ShedRequests  uint64 // requests refused by admission control
+	ShortCircuits uint64 // downloads refused outright by an open breaker
+	BreakerTrips  uint64 // times the circuit breaker tripped open
+	BreakerProbes uint64 // half-open probe downloads attempted
+	DegradedTicks uint64 // ticks served in stale-only mode (breaker open)
+	ShedTicks     uint64 // ticks on which at least one request was shed
 }
 
 // RunSimulation builds and runs the configured system, returning the
@@ -284,6 +306,34 @@ func buildStation(cfg SimulationConfig) (*basestation.Station, *server.Server, e
 		bcfg.Fetcher = fetcher
 		bcfg.Retry = cfg.Fault.Retry
 	}
+	if cfg.Resilience != nil {
+		rc := cfg.Resilience.internal()
+		if err := rc.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("mobicache: %w", err)
+		}
+		if rc.Breaker.Enabled() {
+			if bcfg.Fetcher == nil {
+				// A breaker needs a fetch path that can report failure;
+				// without a Fault config install a fault-free schedule,
+				// behaviourally identical to the ideal direct path.
+				sched, err := fault.NewSchedule(1, cfg.Seed^0x5fa17bea7e12c0de)
+				if err != nil {
+					return nil, nil, err
+				}
+				fetcher, err := server.NewFaultyServer(srv, sched, nil)
+				if err != nil {
+					return nil, nil, err
+				}
+				bcfg.Fetcher = fetcher
+			}
+			b, err := resilience.NewBreaker(rc.Breaker)
+			if err != nil {
+				return nil, nil, fmt.Errorf("mobicache: %w", err)
+			}
+			bcfg.Breaker = b
+		}
+		bcfg.Admission = rc.Admission
+	}
 	st, err := basestation.New(bcfg)
 	if err != nil {
 		return nil, nil, err
@@ -334,6 +384,12 @@ func report(st *basestation.Station, srv *server.Server, totals basestation.Tota
 		FailedDownloads: totals.FailedDownloads,
 		Retries:         totals.Retries,
 		StaleFallbacks:  totals.StaleFallbacks,
+		ShedRequests:    totals.Shed,
+		ShortCircuits:   totals.ShortCircuits,
+		BreakerTrips:    totals.BreakerTrips,
+		BreakerProbes:   totals.BreakerProbes,
+		DegradedTicks:   totals.DegradedTicks,
+		ShedTicks:       totals.ShedTicks,
 	}
 	if lat := st.FetchLatency(); lat.N() > 0 {
 		rep.MeanFetchLatency = lat.Mean()
