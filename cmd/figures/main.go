@@ -14,7 +14,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -107,13 +106,10 @@ func timed(name string, f func() error) error {
 }
 
 // writeMetricsSnapshot dumps the registry as indented JSON, the artifact
-// scripts/bench.sh archives next to the benchmark numbers.
+// scripts/bench.sh archives next to the benchmark numbers (the same
+// format the experiment runner writes per run).
 func writeMetricsSnapshot(path string) error {
-	data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return reg.Snapshot().WriteFile(path)
 }
 
 func run(which string) error {

@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"mobicache/internal/metrics"
+)
+
+// renderFigures renders figures exactly as `cmd/figures -format csv`
+// does for the data panels: a title comment line followed by the CSV
+// body.
+func renderFigures(figs ...*metrics.Figure) string {
+	var b strings.Builder
+	for _, fig := range figs {
+		fmt.Fprintf(&b, "# %s\n%s", fig.Title, fig.CSV())
+	}
+	return b.String()
+}
+
+// GoldenFigures returns the renderers behind the checked-in goldens
+// under results/golden, keyed by golden file name: Figures 2-6 at full
+// paper scale, rendered byte-for-byte as the figures CLI emits them.
+// TestFiguresGolden and the experiment runner's regression gate share
+// this map, so "byte-identical figures" means the same thing in both.
+func GoldenFigures() map[string]func() (string, error) {
+	return map[string]func() (string, error){
+		"figure2.csv": func() (string, error) {
+			fig, err := Figure2(DefaultFigure2())
+			if err != nil {
+				return "", err
+			}
+			return renderFigures(fig), nil
+		},
+		"figure3.csv": func() (string, error) {
+			figs, err := Figure3(DefaultFigure3())
+			if err != nil {
+				return "", err
+			}
+			return renderFigures(figs...), nil
+		},
+		"figure4.csv": func() (string, error) {
+			fig, err := Figure4(DefaultSolutionSpace())
+			if err != nil {
+				return "", err
+			}
+			return renderFigures(fig), nil
+		},
+		"figure5.csv": func() (string, error) {
+			figs, err := Figure5(DefaultSolutionSpace())
+			if err != nil {
+				return "", err
+			}
+			return renderFigures(figs...), nil
+		},
+		"figure6.csv": func() (string, error) {
+			figs, err := Figure6(DefaultSolutionSpace())
+			if err != nil {
+				return "", err
+			}
+			return renderFigures(figs...), nil
+		},
+	}
+}

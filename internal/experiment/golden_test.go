@@ -2,13 +2,10 @@ package experiment
 
 import (
 	"flag"
-	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
+	"sort"
 	"testing"
-
-	"mobicache/internal/metrics"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden figure files under results/golden")
@@ -17,72 +14,31 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden figure files u
 // this package.
 const goldenDir = "../../results/golden"
 
-// renderFigures renders figures exactly as `cmd/figures -format csv` does
-// for the data panels: a title comment line followed by the CSV body.
-func renderFigures(figs ...*metrics.Figure) string {
-	var b strings.Builder
-	for _, fig := range figs {
-		fmt.Fprintf(&b, "# %s\n%s", fig.Title, fig.CSV())
-	}
-	return b.String()
-}
-
 // TestFiguresGolden regenerates Figures 2-6 at full paper scale and
 // compares the CSV output byte-for-byte against the goldens under
 // results/golden. Run with -update to rewrite the goldens after an
 // intentional change. This turns "byte-identical figures" from a manual
 // claim into a regression test: any change to the simulation, the
 // solvers, or the random-number machinery that perturbs a figure fails
-// here.
+// here. The renderers come from GoldenFigures, the same map the
+// experiment runner's regression gate checks, so the gate and this test
+// can never drift apart.
 func TestFiguresGolden(t *testing.T) {
-	cases := []struct {
-		name   string
-		render func() (string, error)
-	}{
-		{"figure2.csv", func() (string, error) {
-			fig, err := Figure2(DefaultFigure2())
-			if err != nil {
-				return "", err
-			}
-			return renderFigures(fig), nil
-		}},
-		{"figure3.csv", func() (string, error) {
-			figs, err := Figure3(DefaultFigure3())
-			if err != nil {
-				return "", err
-			}
-			return renderFigures(figs...), nil
-		}},
-		{"figure4.csv", func() (string, error) {
-			fig, err := Figure4(DefaultSolutionSpace())
-			if err != nil {
-				return "", err
-			}
-			return renderFigures(fig), nil
-		}},
-		{"figure5.csv", func() (string, error) {
-			figs, err := Figure5(DefaultSolutionSpace())
-			if err != nil {
-				return "", err
-			}
-			return renderFigures(figs...), nil
-		}},
-		{"figure6.csv", func() (string, error) {
-			figs, err := Figure6(DefaultSolutionSpace())
-			if err != nil {
-				return "", err
-			}
-			return renderFigures(figs...), nil
-		}},
+	renders := GoldenFigures()
+	names := make([]string, 0, len(renders))
+	for name := range renders {
+		names = append(names, name)
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
+	sort.Strings(names)
+	for _, name := range names {
+		render := renders[name]
+		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			got, err := tc.render()
+			got, err := render()
 			if err != nil {
 				t.Fatal(err)
 			}
-			path := filepath.Join(goldenDir, tc.name)
+			path := filepath.Join(goldenDir, name)
 			if *updateGolden {
 				if err := os.MkdirAll(goldenDir, 0o755); err != nil {
 					t.Fatal(err)
@@ -98,7 +54,7 @@ func TestFiguresGolden(t *testing.T) {
 			}
 			if got != string(want) {
 				t.Fatalf("%s drifted from golden (%d bytes vs %d); first diff at byte %d\nregenerate intentionally with -update",
-					tc.name, len(got), len(want), firstDiff(got, string(want)))
+					name, len(got), len(want), firstDiff(got, string(want)))
 			}
 		})
 	}

@@ -399,17 +399,37 @@ func (s *System) Workers() int { return s.workers }
 // Run executes n ticks and returns the aggregated report. Repeated Runs
 // continue the same deployment but restart the tick clock (and therefore
 // the update schedule) at zero; totals cover only the latest Run.
-func (s *System) Run(n int) (Report, error) {
-	var rep Report
+func (s *System) Run(n int) (Report, error) { return s.RunSampled(n, nil) }
+
+// RunSampled is Run with a per-tick observer: after every tick, sample
+// (when non-nil) receives the 1-based tick count and the report
+// aggregated so far. Sampling never perturbs the run — the final report
+// is byte-identical to Run(n)'s — but building each intermediate report
+// allocates, so it is for offline harnesses (the experiment runner's
+// per-tick CSVs), not the hot path. A non-nil error from sample aborts
+// the run and is returned.
+func (s *System) RunSampled(n int, sample func(ticks int, rep Report) error) (Report, error) {
 	for i := range s.cellTotals {
 		s.cellTotals[i] = basestation.Totals{}
 	}
 	s.reroutes, s.lost, s.cellDownTicks = 0, 0, 0
 	for tick := 0; tick < n; tick++ {
 		if err := s.tick(tick); err != nil {
-			return rep, err
+			return Report{}, err
+		}
+		if sample != nil {
+			if err := sample(tick+1, s.report(tick+1)); err != nil {
+				return Report{}, err
+			}
 		}
 	}
+	return s.report(n), nil
+}
+
+// report aggregates the per-cell totals of the current Run into a
+// Report covering its first n ticks.
+func (s *System) report(n int) Report {
+	var rep Report
 	rep.Ticks = n
 	rep.Handoffs = s.pop.Handoffs()
 	rep.Drops = s.pop.Drops()
@@ -438,7 +458,7 @@ func (s *System) Run(n int) (Report, error) {
 		rep.MeanScore = scoreSum / float64(rep.Requests)
 		rep.MeanRecency = recencySum / float64(rep.Requests)
 	}
-	return rep, nil
+	return rep
 }
 
 // tick advances the system one time unit: the serial phase (mobility,

@@ -18,9 +18,11 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -405,6 +407,20 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 	}
 	return s
+}
+
+// WriteFile marshals the snapshot as indented JSON (trailing newline)
+// and writes it to path — the archive format shared by the figures CLI's
+// -metrics-out and the experiment runner's per-run metrics.json. The
+// bytes are a pure function of the registry state (encoding/json sorts
+// the maps), but registries that record wall-clock durations (solve
+// latency histograms) naturally vary between runs.
+func (s Snapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // Names returns the registered series names, sorted (for tests and

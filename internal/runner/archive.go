@@ -1,0 +1,229 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"mobicache/internal/obs"
+)
+
+// The archive layout: each run id gets its own directory under the sweep
+// directory, holding exactly these four files, plus the sweep-level
+// manifest and comparison tables beside them.
+const (
+	ConfigFile    = "config.json"
+	TicksFile     = "ticks.csv"
+	MetricsFile   = "metrics.json"
+	SummaryFile   = "summary.json"
+	ManifestFile  = "sweep.json"
+	ComparisonCSV = "comparison.csv"
+	ComparisonTxt = "comparison.txt"
+)
+
+// Manifest is the archived sweep.json: the matrix and fixed parameters
+// the sweep ran with, and the run ids it produced (in sweep order).
+type Manifest struct {
+	Matrix Matrix   `json:"matrix"`
+	Fixed  Fixed    `json:"fixed"`
+	Runs   []string `json:"runs"`
+}
+
+// writeJSON marshals v indented with a trailing newline — the format of
+// every JSON artifact in the archive.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteRun archives one executed run under dir/<run-id>/.
+func WriteRun(dir string, res *RunResult) error {
+	runDir := filepath.Join(dir, res.Config.ID)
+	if err := os.MkdirAll(runDir, 0o755); err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(runDir, ConfigFile), res.Config); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(runDir, TicksFile), res.TicksCSV, 0o644); err != nil {
+		return err
+	}
+	if err := res.Metrics.WriteFile(filepath.Join(runDir, MetricsFile)); err != nil {
+		return err
+	}
+	return writeJSON(filepath.Join(runDir, SummaryFile), res.Summary)
+}
+
+// LoadRun reads and validates one archived run directory. A corrupt or
+// partial archive — missing or unparsable config/summary/metrics, a
+// ticks.csv with the wrong header, no trailing newline, or fewer data
+// rows than the summary promises — is an error, never a silently
+// degraded Summary: the comparison table and the regression gate must
+// not ingest half a run.
+func LoadRun(runDir string) (Summary, error) {
+	var sum Summary
+	id := filepath.Base(runDir)
+
+	var cfg ResolvedConfig
+	if err := readJSON(filepath.Join(runDir, ConfigFile), &cfg); err != nil {
+		return sum, fmt.Errorf("run %s: %w", id, err)
+	}
+	if cfg.ID != id {
+		return sum, fmt.Errorf("run %s: config.json id %q does not match directory", id, cfg.ID)
+	}
+	if err := readJSON(filepath.Join(runDir, SummaryFile), &sum); err != nil {
+		return Summary{}, fmt.Errorf("run %s: %w", id, err)
+	}
+	if sum.ID != id {
+		return Summary{}, fmt.Errorf("run %s: summary.json id %q does not match directory", id, sum.ID)
+	}
+	if len(sum.Metrics) == 0 {
+		return Summary{}, fmt.Errorf("run %s: summary.json has no metrics", id)
+	}
+	var snap obs.Snapshot
+	if err := readJSON(filepath.Join(runDir, MetricsFile), &snap); err != nil {
+		return Summary{}, fmt.Errorf("run %s: %w", id, err)
+	}
+	if err := validateTicksCSV(filepath.Join(runDir, TicksFile), sum.TickRows); err != nil {
+		return Summary{}, fmt.Errorf("run %s: %w", id, err)
+	}
+	return sum, nil
+}
+
+// readJSON strictly decodes one JSON artifact.
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// validateTicksCSV checks the per-tick series for truncation: the header
+// must match the runner's schema, every row must have the header's field
+// count, the file must end in a newline (a partial final row is the
+// classic interrupted-write artifact), and the data-row count must match
+// what summary.json recorded.
+func validateTicksCSV(path string, wantRows int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		return fmt.Errorf("%s: truncated (no trailing newline)", TicksFile)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if lines[0] != ticksHeader {
+		return fmt.Errorf("%s: unexpected header %q", TicksFile, lines[0])
+	}
+	fields := strings.Count(ticksHeader, ",") + 1
+	for i, line := range lines[1:] {
+		if strings.Count(line, ",")+1 != fields {
+			return fmt.Errorf("%s: row %d has %d fields, want %d",
+				TicksFile, i+1, strings.Count(line, ",")+1, fields)
+		}
+	}
+	if got := len(lines) - 1; got != wantRows {
+		return fmt.Errorf("%s: %d data rows, summary recorded %d (truncated archive?)",
+			TicksFile, got, wantRows)
+	}
+	return nil
+}
+
+// LoadManifest reads a sweep directory's manifest.
+func LoadManifest(dir string) (Manifest, error) {
+	var m Manifest
+	if err := readJSON(filepath.Join(dir, ManifestFile), &m); err != nil {
+		return m, fmt.Errorf("sweep %s: %w", dir, err)
+	}
+	return m, nil
+}
+
+// LoadSweep loads every run listed in the directory's manifest. Corrupt
+// or partial run directories are returned as errors alongside the valid
+// summaries so callers can report them; they are never silently included.
+func LoadSweep(dir string) (sums []Summary, corrupt []error, err error) {
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, id := range m.Runs {
+		sum, err := LoadRun(filepath.Join(dir, id))
+		if err != nil {
+			corrupt = append(corrupt, err)
+			continue
+		}
+		sums = append(sums, sum)
+	}
+	return sums, corrupt, nil
+}
+
+// comparisonColumns are the metrics every run path emits, in table order.
+var comparisonColumns = []string{
+	"requests", "downloads", "mean_score", "mean_recency",
+	"failed_downloads", "stale_fallbacks", "shed_requests",
+}
+
+// RenderComparisonCSV renders the cross-run comparison as CSV, one row
+// per run in sweep order, values exact.
+func RenderComparisonCSV(sums []Summary) string {
+	var b strings.Builder
+	b.WriteString("run," + strings.Join(comparisonColumns, ",") + "\n")
+	for _, s := range sums {
+		b.WriteString(s.ID)
+		for _, col := range comparisonColumns {
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(s.Metrics[col], 'g', -1, 64))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderComparisonTable renders the comparison as an aligned text table.
+func RenderComparisonTable(sums []Summary) string {
+	rows := make([][]string, 0, len(sums)+1)
+	header := append([]string{"run"}, comparisonColumns...)
+	rows = append(rows, header)
+	for _, s := range sums {
+		row := []string{s.ID}
+		for _, col := range comparisonColumns {
+			v := s.Metrics[col]
+			if v == float64(int64(v)) {
+				row = append(row, strconv.FormatInt(int64(v), 10))
+			} else {
+				row = append(row, strconv.FormatFloat(v, 'f', 4, 64))
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,199 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile is a test helper for dropping string content at a path.
+func writeFile(t *testing.T, path, content string) error {
+	t.Helper()
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// smokeMatrix is the tiny sweep the archive and gate tests run: one
+// single-cell and one multi-cell combination.
+func smokeMatrix() Matrix {
+	return Matrix{
+		Solvers:  []string{"dp"},
+		Accesses: []string{"zipf"},
+		Budgets:  []int64{8},
+		Cells:    []int{1, 3},
+		Mobility: []string{"default"},
+		Profiles: []string{"ideal"},
+	}
+}
+
+// smokeFixed keeps test sweeps fast.
+func smokeFixed() Fixed {
+	return Fixed{Objects: 60, RequestsPerTick: 20, Clients: 60, Warmup: 5, Ticks: 40, Seed: 11}
+}
+
+// runSmokeSweep executes the smoke sweep into a fresh directory.
+func runSmokeSweep(t *testing.T) *SweepResult {
+	t.Helper()
+	res, err := Sweep(SweepConfig{Matrix: smokeMatrix(), Fixed: smokeFixed(), OutDir: filepath.Join(t.TempDir(), "runs")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestArchiveLayout pins the per-run directory contents and the
+// sweep-level artifacts.
+func TestArchiveLayout(t *testing.T) {
+	res := runSmokeSweep(t)
+	if len(res.Runs) != 2 {
+		t.Fatalf("smoke sweep produced %d runs, want 2", len(res.Runs))
+	}
+	for _, id := range res.Runs {
+		for _, f := range []string{ConfigFile, TicksFile, MetricsFile, SummaryFile} {
+			if _, err := os.Stat(filepath.Join(res.Dir, id, f)); err != nil {
+				t.Errorf("run %s missing %s: %v", id, f, err)
+			}
+		}
+	}
+	for _, f := range []string{ManifestFile, ComparisonCSV, ComparisonTxt} {
+		if _, err := os.Stat(filepath.Join(res.Dir, f)); err != nil {
+			t.Errorf("sweep missing %s: %v", f, err)
+		}
+	}
+	csv, err := os.ReadFile(filepath.Join(res.Dir, ComparisonCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("comparison.csv has %d lines, want header + 2 runs:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "run,requests,downloads,mean_score") {
+		t.Fatalf("comparison.csv header %q", lines[0])
+	}
+}
+
+// TestLoadRunDetectsCorruption is the archive-integrity satellite:
+// corrupt or partial run directories must be detected and reported —
+// never silently included in the comparison table.
+func TestLoadRunDetectsCorruption(t *testing.T) {
+	res := runSmokeSweep(t)
+	id := res.Runs[0]
+
+	corrupt := func(name string, breakIt func(runDir string) error, frag string) {
+		t.Run(name, func(t *testing.T) {
+			// A fresh copy of the run directory per case.
+			src := filepath.Join(res.Dir, id)
+			dst := filepath.Join(t.TempDir(), id)
+			if err := copyDir(src, dst); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadRun(dst); err != nil {
+				t.Fatalf("pristine copy failed to load: %v", err)
+			}
+			if err := breakIt(dst); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadRun(dst)
+			if err == nil {
+				t.Fatal("LoadRun accepted the corrupt directory")
+			}
+			if !strings.Contains(err.Error(), frag) {
+				t.Fatalf("error %q does not mention %q", err, frag)
+			}
+		})
+	}
+
+	corrupt("missing summary", func(d string) error {
+		return os.Remove(filepath.Join(d, SummaryFile))
+	}, SummaryFile)
+	corrupt("missing config", func(d string) error {
+		return os.Remove(filepath.Join(d, ConfigFile))
+	}, ConfigFile)
+	corrupt("missing metrics", func(d string) error {
+		return os.Remove(filepath.Join(d, MetricsFile))
+	}, MetricsFile)
+	corrupt("unparsable summary", func(d string) error {
+		return writeFile(t, filepath.Join(d, SummaryFile), "{not json")
+	}, SummaryFile)
+	corrupt("truncated csv mid-row", func(d string) error {
+		path := filepath.Join(d, TicksFile)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, data[:len(data)-7], 0o644)
+	}, "truncated")
+	corrupt("whole rows missing", func(d string) error {
+		path := filepath.Join(d, TicksFile)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		lines := strings.SplitAfter(string(data), "\n")
+		return os.WriteFile(path, []byte(strings.Join(lines[:len(lines)-2], "")), 0o644)
+	}, "data rows")
+	corrupt("header drift", func(d string) error {
+		path := filepath.Join(d, TicksFile)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, append([]byte("tick,wrong\n"), data...), 0o644)
+	}, "header")
+	corrupt("id mismatch", func(d string) error {
+		var cfg ResolvedConfig
+		if err := readJSON(filepath.Join(d, ConfigFile), &cfg); err != nil {
+			return err
+		}
+		cfg.ID = "someone_else"
+		return writeJSON(filepath.Join(d, ConfigFile), cfg)
+	}, "does not match")
+}
+
+// TestLoadSweepReportsCorruptRuns checks the sweep-level loader: valid
+// runs load, corrupt ones come back as errors, and the corrupt run never
+// reaches the summaries (so a comparison table built from them cannot
+// contain it).
+func TestLoadSweepReportsCorruptRuns(t *testing.T) {
+	res := runSmokeSweep(t)
+	bad := res.Runs[1]
+	if err := os.Remove(filepath.Join(res.Dir, bad, SummaryFile)); err != nil {
+		t.Fatal(err)
+	}
+	sums, corrupt, err := LoadSweep(res.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 || sums[0].ID != res.Runs[0] {
+		t.Fatalf("summaries = %+v, want only %s", sums, res.Runs[0])
+	}
+	if len(corrupt) != 1 || !strings.Contains(corrupt[0].Error(), bad) {
+		t.Fatalf("corrupt = %v, want one error naming %s", corrupt, bad)
+	}
+	table := RenderComparisonTable(sums)
+	if strings.Contains(table, bad) {
+		t.Fatalf("comparison table contains the corrupt run:\n%s", table)
+	}
+}
+
+// copyDir copies a flat directory of regular files.
+func copyDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark's archived numbers, the JSON row format
+// of the BENCH_*.json trajectory (scripts/bench.sh since PR 1).
+type BenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// DefaultBenchPattern is the hot-path benchmark set bench.sh archives.
+const DefaultBenchPattern = "BenchmarkSolverDP|BenchmarkSolverIncremental|BenchmarkSolverTrace|BenchmarkSolverGreedy|BenchmarkSelectorSelect|BenchmarkSimulationTick|BenchmarkMulticellTick|BenchmarkStationTickDegraded"
+
+// timeUnits normalizes `go test -bench` time units to nanoseconds.
+// Benchmarks that b.ReportMetric extra series shift the column layout,
+// so fields are located by their unit, never by position — the Go port
+// of bench.sh's unit-aware awk.
+var timeUnits = map[string]float64{
+	"ns/op": 1,
+	"µs/op": 1e3, "us/op": 1e3,
+	"ms/op": 1e6,
+	"s/op":  1e9,
+}
+
+// ParseBench parses `go test -bench` output into results, one per
+// Benchmark line, with the -GOMAXPROCS suffix stripped from names and
+// times normalized to ns/op. Unrecognized units and non-benchmark lines
+// are ignored; a benchmark line whose located value fails to parse is an
+// error.
+func ParseBench(r io.Reader) ([]BenchResult, error) {
+	var results []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := BenchResult{Name: name}
+		for i := 2; i < len(fields); i++ {
+			unit := fields[i]
+			scale, isTime := timeUnits[unit]
+			if !isTime && unit != "B/op" && unit != "allocs/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("runner: bench line %q: bad %s value %q", line, unit, fields[i-1])
+			}
+			switch {
+			case isTime:
+				res.NsPerOp = v * scale
+			case unit == "B/op":
+				res.BytesPerOp = v
+			case unit == "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunBench executes the repository's benchmarks matching pattern
+// (anchored) with -benchmem in dir, echoing the raw `go test` output to
+// raw (pass nil to discard) so regressions stay visible in CI logs, and
+// returns the parsed results. count > 1 runs each benchmark -count times
+// and keeps the per-name minimum — wall-clock microbenchmarks only get
+// slower under noise, so min-of-N is what makes a 20% gate hold on a
+// busy machine.
+func RunBench(dir, pattern, benchtime string, count int, raw io.Writer) ([]BenchResult, error) {
+	if pattern == "" {
+		pattern = DefaultBenchPattern
+	}
+	if benchtime == "" {
+		benchtime = "200x"
+	}
+	if count < 1 {
+		count = 1
+	}
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^("+pattern+")$", "-benchmem",
+		"-benchtime", benchtime, "-count", strconv.Itoa(count), ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if raw != nil {
+		raw.Write(out)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runner: go test -bench: %w", err)
+	}
+	results, err := ParseBench(strings.NewReader(string(out)))
+	if err != nil {
+		return nil, err
+	}
+	return minByName(results), nil
+}
+
+// minByName collapses repeated benchmark names (-count > 1) to one row
+// holding the minimum of each column, preserving first-seen order.
+func minByName(results []BenchResult) []BenchResult {
+	idx := make(map[string]int, len(results))
+	var out []BenchResult
+	for _, r := range results {
+		i, seen := idx[r.Name]
+		if !seen {
+			idx[r.Name] = len(out)
+			out = append(out, r)
+			continue
+		}
+		if r.NsPerOp < out[i].NsPerOp {
+			out[i].NsPerOp = r.NsPerOp
+		}
+		if r.BytesPerOp < out[i].BytesPerOp {
+			out[i].BytesPerOp = r.BytesPerOp
+		}
+		if r.AllocsPerOp < out[i].AllocsPerOp {
+			out[i].AllocsPerOp = r.AllocsPerOp
+		}
+	}
+	return out
+}
+
+// WriteBench archives results as a BENCH_*.json array.
+func WriteBench(path string, results []BenchResult) error {
+	var b strings.Builder
+	b.WriteString("[\n")
+	for i, r := range results {
+		data, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		b.WriteString("  " + string(data))
+		if i < len(results)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("]\n")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// ReadBench loads an archived BENCH_*.json.
+func ReadBench(path string) ([]BenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []BenchResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
+}

@@ -1,0 +1,107 @@
+package runner
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseBenchUnits pins the unit-aware parsing that used to live in
+// scripts/bench.sh's awk: fields are located by unit, not position, so
+// extra b.ReportMetric series don't shift anything, and sub-second time
+// units normalize to ns/op.
+func TestParseBenchUnits(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: mobicache
+BenchmarkSolverDP-8   	      30	   2151852 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSolverIncremental/certified-8         	     200	        62.25 µs/op	       3.000 warm/op	       0 B/op	       0 allocs/op
+BenchmarkSolverTrace-16	     100	         1.5 ms/op	     128 B/op	       2 allocs/op
+BenchmarkSimulationTick	      30	     17700 ns/op
+PASS
+ok  	mobicache	1.234s
+`
+	got, err := ParseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []BenchResult{
+		{Name: "BenchmarkSolverDP", NsPerOp: 2151852, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "BenchmarkSolverIncremental/certified", NsPerOp: 62250, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "BenchmarkSolverTrace", NsPerOp: 1.5e6, BytesPerOp: 128, AllocsPerOp: 2},
+		{Name: "BenchmarkSimulationTick", NsPerOp: 17700},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseBench:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestParseBenchBadValue rejects a benchmark line whose located field
+// fails to parse instead of silently recording a zero.
+func TestParseBenchBadValue(t *testing.T) {
+	_, err := ParseBench(strings.NewReader("BenchmarkX-8 10 oops ns/op\n"))
+	if err == nil || !strings.Contains(err.Error(), "ns/op") {
+		t.Fatalf("want ns/op parse error, got %v", err)
+	}
+}
+
+// TestMinByName pins the -count collapsing: repeated names keep the
+// per-column minimum, first-seen order is preserved.
+func TestMinByName(t *testing.T) {
+	got := minByName([]BenchResult{
+		{Name: "A", NsPerOp: 100, BytesPerOp: 8, AllocsPerOp: 1},
+		{Name: "B", NsPerOp: 50},
+		{Name: "A", NsPerOp: 90, BytesPerOp: 16, AllocsPerOp: 1},
+		{Name: "A", NsPerOp: 120, BytesPerOp: 8, AllocsPerOp: 0},
+	})
+	want := []BenchResult{
+		{Name: "A", NsPerOp: 90, BytesPerOp: 8, AllocsPerOp: 0},
+		{Name: "B", NsPerOp: 50},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("minByName:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestBenchRoundTrip pins the archived JSON shape (the BENCH_*.json
+// trajectory format) through Write and Read.
+func TestBenchRoundTrip(t *testing.T) {
+	results := []BenchResult{
+		{Name: "BenchmarkSolverDP", NsPerOp: 2151852},
+		{Name: "BenchmarkSelectorSelect", NsPerOp: 93.5, BytesPerOp: 0, AllocsPerOp: 0},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteBench(path, results); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, results) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, results)
+	}
+}
+
+// TestReadBenchLegacyFormat reads the awk-era file shape (spaces after
+// colons, integer values) so the archived BENCH_1..3 trajectory stays
+// ingestible.
+func TestReadBenchLegacyFormat(t *testing.T) {
+	legacy := `[
+  {"name": "BenchmarkSolverDP", "ns_per_op": 2151852, "bytes_per_op": 0, "allocs_per_op": 0},
+  {"name": "BenchmarkSimulationTick", "ns_per_op": 17700, "bytes_per_op": 0, "allocs_per_op": 0}
+]
+`
+	path := filepath.Join(t.TempDir(), "BENCH_legacy.json")
+	if err := writeFile(t, path, legacy); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].NsPerOp != 2151852 || got[1].Name != "BenchmarkSimulationTick" {
+		t.Fatalf("legacy read: %+v", got)
+	}
+}

@@ -1,0 +1,185 @@
+package runner
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DefaultTolerance is the gate's relative tolerance for benchmark
+// timings and swept summary metrics, matching scripts/check.sh's
+// historical 20% perf gate.
+const DefaultTolerance = 0.20
+
+// Violation is one regression the gate found. Kind is "golden", "bench",
+// or "summary"; Name identifies the artifact (figure file, benchmark,
+// run/metric); Detail is the readable diff line.
+type Violation struct {
+	Kind   string
+	Name   string
+	Detail string
+}
+
+func (v Violation) String() string { return fmt.Sprintf("[%s] %s: %s", v.Kind, v.Name, v.Detail) }
+
+// RenderViolations formats a gate report, one violation per line.
+func RenderViolations(vs []Violation) string {
+	var b strings.Builder
+	for _, v := range vs {
+		b.WriteString(v.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CheckGolden re-renders each named figure and byte-compares it against
+// the checked-in golden under goldenDir. renders maps golden file names
+// to their renderers (production callers pass
+// experiment.GoldenFigures()); a render error, a missing golden, or any
+// byte difference is a violation.
+func CheckGolden(goldenDir string, renders map[string]func() (string, error)) []Violation {
+	var vs []Violation
+	names := make([]string, 0, len(renders))
+	for name := range renders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		got, err := renders[name]()
+		if err != nil {
+			vs = append(vs, Violation{"golden", name, fmt.Sprintf("render failed: %v", err)})
+			continue
+		}
+		want, err := os.ReadFile(filepath.Join(goldenDir, name))
+		if err != nil {
+			vs = append(vs, Violation{"golden", name, fmt.Sprintf("missing golden: %v", err)})
+			continue
+		}
+		if got != string(want) {
+			i := firstDiff(got, string(want))
+			vs = append(vs, Violation{"golden", name, fmt.Sprintf(
+				"drifted from golden: %d bytes regenerated vs %d archived, first diff at byte %d (%q vs %q)",
+				len(got), len(want), i, excerpt(got, i), excerpt(string(want), i))})
+		}
+	}
+	return vs
+}
+
+// firstDiff returns the index of the first differing byte.
+func firstDiff(a, b string) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// excerpt returns a short window of s around byte i for diff messages.
+func excerpt(s string, i int) string {
+	lo, hi := i-8, i+8
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return s[lo:hi]
+}
+
+// TimeGateFloorNs is the baseline ns/op below which CheckBench skips
+// the wall-clock comparison. Sub-millisecond benchmarks measure windows
+// of a few milliseconds and swing 40%+ run to run on a shared machine —
+// far past any sane tolerance — so they are gated on allocations only
+// (which are deterministic). The millisecond-scale solver benchmarks,
+// where the hot-path regressions this gate exists for actually show up,
+// stay within a few percent under min-of-N and are time-gated.
+const TimeGateFloorNs = 1e6
+
+// CheckBench compares current benchmark results against an archived
+// baseline: a benchmark is a violation when its time regresses more than
+// tol relative to the baseline (only when the baseline is at or above
+// TimeGateFloorNs — see there), or when it allocates where the baseline
+// did not (the repo's 0 allocs/op invariants). Benchmarks present in
+// only one side are skipped — the trajectory grows new rows.
+func CheckBench(current, baseline []BenchResult, tol float64) []Violation {
+	if tol == 0 {
+		tol = DefaultTolerance
+	}
+	base := make(map[string]BenchResult, len(baseline))
+	for _, b := range baseline {
+		base[b.Name] = b
+	}
+	var vs []Violation
+	for _, c := range current {
+		b, ok := base[c.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp >= TimeGateFloorNs && c.NsPerOp > b.NsPerOp*(1+tol) {
+			vs = append(vs, Violation{"bench", c.Name, fmt.Sprintf(
+				"%.0f ns/op vs baseline %.0f ns/op (+%.1f%%, tolerance %.0f%%)",
+				c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), 100*tol)})
+		}
+		if c.AllocsPerOp > b.AllocsPerOp*(1+tol)+0.5 {
+			vs = append(vs, Violation{"bench", c.Name, fmt.Sprintf(
+				"%.0f allocs/op vs baseline %.0f allocs/op",
+				c.AllocsPerOp, b.AllocsPerOp)})
+		}
+	}
+	return vs
+}
+
+// CheckSummaries compares the current sweep's summaries against an
+// archived baseline sweep, matched by run id. A metric differing by more
+// than tol (relative to the baseline value; any change from a zero
+// baseline violates) and a baseline run missing from the current sweep
+// are violations. Runs only in the current sweep are fine — matrices
+// grow.
+func CheckSummaries(current, baseline []Summary, tol float64) []Violation {
+	if tol == 0 {
+		tol = DefaultTolerance
+	}
+	cur := make(map[string]Summary, len(current))
+	for _, s := range current {
+		cur[s.ID] = s
+	}
+	var vs []Violation
+	for _, b := range baseline {
+		c, ok := cur[b.ID]
+		if !ok {
+			vs = append(vs, Violation{"summary", b.ID, "baseline run missing from current sweep"})
+			continue
+		}
+		metrics := make([]string, 0, len(b.Metrics))
+		for name := range b.Metrics {
+			metrics = append(metrics, name)
+		}
+		sort.Strings(metrics)
+		for _, name := range metrics {
+			bv := b.Metrics[name]
+			cv, ok := c.Metrics[name]
+			if !ok {
+				vs = append(vs, Violation{"summary", b.ID + "/" + name, "metric missing from current summary"})
+				continue
+			}
+			if bv == 0 {
+				if cv != 0 {
+					vs = append(vs, Violation{"summary", b.ID + "/" + name, fmt.Sprintf(
+						"now %g, baseline 0", cv)})
+				}
+				continue
+			}
+			if rel := math.Abs(cv-bv) / math.Abs(bv); rel > tol {
+				vs = append(vs, Violation{"summary", b.ID + "/" + name, fmt.Sprintf(
+					"now %g, baseline %g (%+.1f%%, tolerance %.0f%%)",
+					cv, bv, 100*(cv/bv-1), 100*tol)})
+			}
+		}
+	}
+	return vs
+}

@@ -1,0 +1,207 @@
+// Package runner is the automated experiment harness: it expands a
+// declarative sweep matrix {solver × access skew × cache budget × cells ×
+// mobility profile × fault/resilience profile} into concrete run
+// configurations, executes each through the public facade, archives every
+// run under results/runs/<run-id>/ (resolved config, per-tick CSV, obs
+// metrics snapshot, summary JSON) with a cross-run comparison table, and
+// gates regressions: golden figures are re-checked byte-identically,
+// benchmark timings and swept summary metrics are compared against an
+// archived baseline within a configurable tolerance.
+//
+// Everything the runner emits is a deterministic function of the matrix
+// and the seed — run ids carry no wall clock, and re-running a sweep with
+// the same seed reproduces every summary JSON byte for byte.
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mobicache/internal/core"
+)
+
+// Matrix is the declarative sweep space. Expand enumerates its full
+// cross product; every dimension must be non-empty and duplicate-free so
+// each combination appears exactly once.
+type Matrix struct {
+	// Solvers are knapsack solver names (see core.ParseSolver).
+	Solvers []string `json:"solvers"`
+	// Accesses are access-pattern skews: "uniform", "linear", or "zipf".
+	Accesses []string `json:"accesses"`
+	// Budgets are per-tick download budgets in data units (0 = unlimited).
+	Budgets []int64 `json:"budgets"`
+	// Cells are deployment sizes: 1 runs the single-cell simulation,
+	// >1 the multi-cell engine.
+	Cells []int `json:"cells"`
+	// Mobility are mobility-profile names (see MobilityProfiles); the
+	// dimension only changes behavior for multi-cell combinations but is
+	// swept uniformly so ids stay a pure function of the combination.
+	Mobility []string `json:"mobility"`
+	// Profiles are fault/resilience-profile names (see FaultProfiles).
+	Profiles []string `json:"profiles"`
+}
+
+// DefaultMatrix is the matrix `cmd/experiment-runner` sweeps when no
+// dimension flags are given: 4 solvers × 2 skews × 2 budgets × 2 cell
+// counts × 1 mobility profile × 2 fault profiles = 64 combinations.
+func DefaultMatrix() Matrix {
+	return Matrix{
+		Solvers:  []string{"dp", "greedy", "incremental", "certified"},
+		Accesses: []string{"uniform", "zipf"},
+		Budgets:  []int64{8, 32},
+		Cells:    []int{1, 4},
+		Mobility: []string{"default"},
+		Profiles: []string{"ideal", "flaky"},
+	}
+}
+
+// Combo is one point of the sweep matrix.
+type Combo struct {
+	Solver   string `json:"solver"`
+	Access   string `json:"access"`
+	Budget   int64  `json:"budget"`
+	Cells    int    `json:"cells"`
+	Mobility string `json:"mobility"`
+	Profile  string `json:"profile"`
+}
+
+// ID returns the combination's run identifier for the given sweep seed.
+// It is a pure function of the combination and the seed — no wall clock,
+// no counters — so re-running a sweep maps every combination onto the
+// same archive directory, which is what lets the regression gate line up
+// runs across sweeps.
+func (c Combo) ID(seed uint64) string {
+	return fmt.Sprintf("%s_%s_b%d_c%d_%s_%s_s%d",
+		c.Solver, c.Access, c.Budget, c.Cells, c.Mobility, c.Profile, seed)
+}
+
+// Size returns the number of combinations Expand will produce.
+func (m Matrix) Size() int {
+	return len(m.Solvers) * len(m.Accesses) * len(m.Budgets) *
+		len(m.Cells) * len(m.Mobility) * len(m.Profiles)
+}
+
+// Validate checks every dimension: non-empty, duplicate-free, and each
+// value resolvable (solver names parse, profiles exist, cells >= 1).
+func (m Matrix) Validate() error {
+	if err := noDupes("solvers", m.Solvers); err != nil {
+		return err
+	}
+	for _, s := range m.Solvers {
+		if _, err := core.ParseSolver(s); err != nil {
+			return fmt.Errorf("runner: matrix solver: %w", err)
+		}
+	}
+	if err := noDupes("accesses", m.Accesses); err != nil {
+		return err
+	}
+	for _, a := range m.Accesses {
+		switch a {
+		case "uniform", "linear", "zipf":
+		default:
+			return fmt.Errorf("runner: unknown access pattern %q", a)
+		}
+	}
+	if len(m.Budgets) == 0 {
+		return fmt.Errorf("runner: empty budgets dimension")
+	}
+	seenB := make(map[int64]bool)
+	for _, b := range m.Budgets {
+		if b < 0 {
+			return fmt.Errorf("runner: negative budget %d", b)
+		}
+		if seenB[b] {
+			return fmt.Errorf("runner: duplicate budget %d", b)
+		}
+		seenB[b] = true
+	}
+	if len(m.Cells) == 0 {
+		return fmt.Errorf("runner: empty cells dimension")
+	}
+	seenC := make(map[int]bool)
+	for _, c := range m.Cells {
+		if c < 1 {
+			return fmt.Errorf("runner: cells %d must be >= 1", c)
+		}
+		if seenC[c] {
+			return fmt.Errorf("runner: duplicate cells %d", c)
+		}
+		seenC[c] = true
+	}
+	if err := noDupes("mobility", m.Mobility); err != nil {
+		return err
+	}
+	for _, name := range m.Mobility {
+		if _, ok := MobilityProfiles[name]; !ok {
+			return fmt.Errorf("runner: unknown mobility profile %q (have %s)",
+				name, profileNames(MobilityProfiles))
+		}
+	}
+	if err := noDupes("profiles", m.Profiles); err != nil {
+		return err
+	}
+	for _, name := range m.Profiles {
+		if _, ok := FaultProfiles[name]; !ok {
+			return fmt.Errorf("runner: unknown fault profile %q (have %s)",
+				name, profileNames(FaultProfiles))
+		}
+	}
+	return nil
+}
+
+// Expand enumerates the full cross product in deterministic order
+// (solver outermost, profile innermost). Every combination appears
+// exactly once.
+func (m Matrix) Expand() ([]Combo, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	combos := make([]Combo, 0, m.Size())
+	for _, solver := range m.Solvers {
+		for _, access := range m.Accesses {
+			for _, budget := range m.Budgets {
+				for _, cells := range m.Cells {
+					for _, mob := range m.Mobility {
+						for _, prof := range m.Profiles {
+							combos = append(combos, Combo{
+								Solver:   solver,
+								Access:   access,
+								Budget:   budget,
+								Cells:    cells,
+								Mobility: mob,
+								Profile:  prof,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return combos, nil
+}
+
+// noDupes rejects an empty or duplicate-carrying string dimension.
+func noDupes(dim string, vals []string) error {
+	if len(vals) == 0 {
+		return fmt.Errorf("runner: empty %s dimension", dim)
+	}
+	seen := make(map[string]bool, len(vals))
+	for _, v := range vals {
+		if seen[v] {
+			return fmt.Errorf("runner: duplicate %s value %q", dim, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// profileNames renders a registry's keys for error messages.
+func profileNames[V any](m map[string]V) string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

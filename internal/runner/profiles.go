@@ -1,0 +1,70 @@
+package runner
+
+import (
+	"mobicache"
+)
+
+// MobilityProfile names a client-mobility regime for the multi-cell
+// combinations of a sweep. Zero-valued fields take the facade defaults.
+type MobilityProfile struct {
+	// MeanResidence is the mean ticks a client stays in one cell.
+	MeanResidence float64 `json:"mean_residence,omitempty"`
+	// PDisconnect is the per-departure disconnection probability
+	// (mobicache.NeverDisconnect for an explicit zero).
+	PDisconnect float64 `json:"p_disconnect,omitempty"`
+	// MeanAbsence is the mean ticks a disconnected client stays away.
+	MeanAbsence float64 `json:"mean_absence,omitempty"`
+}
+
+// MobilityProfiles is the registry of named mobility regimes a matrix
+// can sweep. "default" is the facade default (residence 200, 20%
+// disconnection); "static" pins clients to their home cell; "nomadic"
+// models fast handoff-heavy movement with frequent disconnection.
+var MobilityProfiles = map[string]MobilityProfile{
+	"default": {},
+	"static":  {MeanResidence: 1 << 30, PDisconnect: mobicache.NeverDisconnect},
+	"nomadic": {MeanResidence: 30, PDisconnect: 0.4, MeanAbsence: 20},
+}
+
+// FaultProfile bundles the fault-injection and resilience configuration
+// for one swept operating regime, the freshness-versus-refresh-cost axis
+// of the sweep: "ideal" is the paper's always-answering fixed network,
+// the others degrade it and (optionally) arm the station against the
+// degradation.
+type FaultProfile struct {
+	Fault      *mobicache.FaultConfig      `json:"fault,omitempty"`
+	Resilience *mobicache.ResilienceConfig `json:"resilience,omitempty"`
+}
+
+// FaultProfiles is the registry of named fault/resilience regimes.
+var FaultProfiles = map[string]FaultProfile{
+	// The paper's ideal fixed network: every fetch succeeds instantly.
+	"ideal": {},
+	// Lossy fixed network: 15% of fetches fail independently; the
+	// station retries with capped exponential backoff.
+	"flaky": {
+		Fault: &mobicache.FaultConfig{
+			FailureProb: 0.15,
+			Retry:       mobicache.RetryConfig{MaxAttempts: 3, BaseBackoff: 0.5, MaxBackoff: 4},
+		},
+	},
+	// Flapping total outage: all upstream servers go dark for 20 ticks
+	// out of every 80, with a retry budget burning against the dead
+	// window. No resilience — the regime the breaker exists to fix.
+	"blackout": {
+		Fault: &mobicache.FaultConfig{
+			Outages: []mobicache.FaultWindow{{Server: mobicache.AllServers, From: 40, To: 60, Every: 80}},
+			Retry:   mobicache.RetryConfig{MaxAttempts: 3, BaseBackoff: 0.5, MaxBackoff: 4},
+		},
+	},
+	// The flaky network with the station armed: a circuit breaker trips
+	// after 5 consecutive abandoned downloads and serves stale while the
+	// upstream recovers.
+	"resilient": {
+		Fault: &mobicache.FaultConfig{
+			FailureProb: 0.15,
+			Retry:       mobicache.RetryConfig{MaxAttempts: 3, BaseBackoff: 0.5, MaxBackoff: 4},
+		},
+		Resilience: &mobicache.ResilienceConfig{BreakerFailures: 5},
+	},
+}

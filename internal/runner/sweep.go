@@ -1,0 +1,87 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// SweepConfig configures one sweep: the matrix to expand, the shared
+// parameters, the archive directory, and an optional progress writer.
+type SweepConfig struct {
+	Matrix Matrix
+	Fixed  Fixed
+	// OutDir is the sweep's archive directory (e.g. results/runs); run
+	// directories, the manifest, and the comparison tables land here.
+	OutDir string
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// SweepResult is a completed sweep: the archived run ids (sweep order)
+// and their summaries, loaded back from disk so the archive itself is
+// what was validated.
+type SweepResult struct {
+	Dir       string
+	Runs      []string
+	Summaries []Summary
+}
+
+// Sweep expands the matrix, executes every combination through the
+// facade, archives each run under OutDir/<run-id>/, writes the sweep
+// manifest, and renders the cross-run comparison table (text + CSV).
+// The summaries it returns are read back from the archive — a run
+// directory that fails validation fails the sweep.
+func Sweep(cfg SweepConfig) (*SweepResult, error) {
+	combos, err := cfg.Matrix.Expand()
+	if err != nil {
+		return nil, err
+	}
+	fixed := cfg.Fixed.WithDefaults()
+	if cfg.OutDir == "" {
+		return nil, fmt.Errorf("runner: sweep needs an output directory")
+	}
+	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+		return nil, err
+	}
+	res := &SweepResult{Dir: cfg.OutDir}
+	for i, combo := range combos {
+		run, err := Execute(combo, fixed)
+		if err != nil {
+			return nil, fmt.Errorf("runner: %s: %w", combo.ID(fixed.Seed), err)
+		}
+		if err := WriteRun(cfg.OutDir, run); err != nil {
+			return nil, err
+		}
+		res.Runs = append(res.Runs, run.Config.ID)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "[%d/%d] %s mean_score=%.4f\n",
+				i+1, len(combos), run.Config.ID, run.Summary.Metrics["mean_score"])
+		}
+	}
+	manifest := Manifest{Matrix: cfg.Matrix, Fixed: fixed, Runs: res.Runs}
+	if err := writeJSON(filepath.Join(cfg.OutDir, ManifestFile), manifest); err != nil {
+		return nil, err
+	}
+	// Build the comparison table from the archive, not from memory: a
+	// run directory the loader rejects means the sweep failed.
+	sums, corrupt, err := LoadSweep(cfg.OutDir)
+	if err != nil {
+		return nil, err
+	}
+	if len(corrupt) > 0 {
+		return nil, fmt.Errorf("runner: %d corrupt run directories after archiving, first: %w",
+			len(corrupt), corrupt[0])
+	}
+	res.Summaries = sums
+	if err := os.WriteFile(filepath.Join(cfg.OutDir, ComparisonCSV),
+		[]byte(RenderComparisonCSV(sums)), 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(cfg.OutDir, ComparisonTxt),
+		[]byte(RenderComparisonTable(sums)), 0o644); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mobicache"
+)
+
+// TestSweepReproducible is the determinism half of the matrix property
+// satellite: re-running a sweep with the same matrix and seed reproduces
+// the simulation artifacts byte for byte — summary JSONs, per-tick CSVs,
+// configs, the manifest, and both comparison tables. metrics.json is
+// deliberately excluded: it archives the obs registry, whose solve
+// latency histograms record wall-clock durations.
+func TestSweepReproducible(t *testing.T) {
+	runTwice := func(dir string) *SweepResult {
+		res, err := Sweep(SweepConfig{Matrix: smokeMatrix(), Fixed: smokeFixed(), OutDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := runTwice(filepath.Join(t.TempDir(), "a"))
+	b := runTwice(filepath.Join(t.TempDir(), "b"))
+	if len(a.Runs) != len(b.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(a.Runs), len(b.Runs))
+	}
+	compare := func(rel string) {
+		t.Helper()
+		da, err := os.ReadFile(filepath.Join(a.Dir, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := os.ReadFile(filepath.Join(b.Dir, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(da) != string(db) {
+			t.Errorf("%s differs between identically seeded sweeps", rel)
+		}
+	}
+	for _, id := range a.Runs {
+		for _, f := range []string{ConfigFile, TicksFile, SummaryFile} {
+			compare(filepath.Join(id, f))
+		}
+	}
+	for _, f := range []string{ManifestFile, ComparisonCSV, ComparisonTxt} {
+		compare(f)
+	}
+}
+
+// TestExecuteMatchesFacade pins that the runner's summary is exactly the
+// facade's unsampled report — sampling and archiving never perturb a
+// run — for both the single-cell and the multi-cell path.
+func TestExecuteMatchesFacade(t *testing.T) {
+	fixed := smokeFixed().WithDefaults()
+
+	single := Combo{Solver: "dp", Access: "zipf", Budget: 8, Cells: 1, Mobility: "default", Profile: "flaky"}
+	res, err := Execute(single, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := FaultProfiles["flaky"]
+	rep, err := mobicache.RunSimulation(mobicache.SimulationConfig{
+		Objects:         fixed.Objects,
+		Solver:          single.Solver,
+		Access:          single.Access,
+		BudgetPerTick:   single.Budget,
+		RequestsPerTick: fixed.RequestsPerTick,
+		Warmup:          fixed.Warmup,
+		Ticks:           fixed.Ticks,
+		Seed:            fixed.Seed,
+		Fault:           prof.Fault,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		"requests":         float64(rep.Requests),
+		"downloads":        float64(rep.Downloads),
+		"mean_score":       rep.MeanScore,
+		"mean_recency":     rep.MeanRecency,
+		"failed_downloads": float64(rep.FailedDownloads),
+		"stale_fallbacks":  float64(rep.StaleFallbacks),
+	}
+	for name, want := range checks {
+		if got := res.Summary.Metrics[name]; got != want {
+			t.Errorf("single-cell %s = %v, facade reports %v", name, got, want)
+		}
+	}
+
+	multi := Combo{Solver: "dp", Access: "zipf", Budget: 8, Cells: 3, Mobility: "default", Profile: "ideal"}
+	mres, err := Execute(multi, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrep, err := mobicache.RunMulticell(mobicache.MulticellConfig{
+		Cells:         multi.Cells,
+		Objects:       fixed.Objects,
+		Solver:        multi.Solver,
+		Access:        multi.Access,
+		BudgetPerTick: multi.Budget,
+		Clients:       fixed.Clients,
+		RequestProb:   fixed.RequestProb,
+		Ticks:         fixed.Ticks,
+		Seed:          fixed.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mchecks := map[string]float64{
+		"requests":     float64(mrep.Requests),
+		"downloads":    float64(mrep.Downloads),
+		"mean_score":   mrep.MeanScore,
+		"mean_recency": mrep.MeanRecency,
+		"handoffs":     float64(mrep.Handoffs),
+		"drops":        float64(mrep.Drops),
+	}
+	for name, want := range mchecks {
+		if got := mres.Summary.Metrics[name]; got != want {
+			t.Errorf("multicell %s = %v, facade reports %v", name, got, want)
+		}
+	}
+}
+
+// TestSweepSummaryGateCleanOnSelf: a sweep compared against its own
+// archive has zero violations — the clean-on-HEAD half of the gate's
+// acceptance criterion.
+func TestSweepSummaryGateCleanOnSelf(t *testing.T) {
+	res := runSmokeSweep(t)
+	sums, corrupt, err := LoadSweep(res.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrupt) != 0 {
+		t.Fatalf("corrupt runs in a fresh sweep: %v", corrupt)
+	}
+	if vs := CheckSummaries(sums, sums, DefaultTolerance); len(vs) != 0 {
+		t.Fatalf("self-comparison violated: %v", vs)
+	}
+}

@@ -107,14 +107,28 @@ type MulticellReport struct {
 
 // RunMulticell builds and runs the configured deployment.
 func RunMulticell(cfg MulticellConfig) (MulticellReport, error) {
-	var rep MulticellReport
+	sys, err := buildMulticell(cfg)
+	if err != nil {
+		return MulticellReport{}, err
+	}
+	r, err := sys.Run(cfg.Ticks)
+	if err != nil {
+		return MulticellReport{}, err
+	}
+	return multicellReport(r), nil
+}
+
+// buildMulticell compiles the public configuration into a running
+// internal/multicell System (shared by RunMulticell and
+// RunMulticellTicks).
+func buildMulticell(cfg MulticellConfig) (*multicell.System, error) {
 	pattern, err := parseAccess(cfg.Access)
 	if err != nil {
-		return rep, err
+		return nil, err
 	}
 	solver, err := parseSolver(cfg.Solver)
 	if err != nil {
-		return rep, err
+		return nil, err
 	}
 	mobility := client.Mobility{
 		MeanResidence: cfg.MeanResidence,
@@ -139,7 +153,7 @@ func RunMulticell(cfg MulticellConfig) (MulticellReport, error) {
 	if len(cfg.CellOutages) > 0 {
 		cs, err := cellSchedule(cfg.Cells, cfg.CellOutages)
 		if err != nil {
-			return rep, err
+			return nil, err
 		}
 		mcfg.CellFaults = cs
 	}
@@ -153,14 +167,11 @@ func RunMulticell(cfg MulticellConfig) (MulticellReport, error) {
 	if cfg.Resilience != nil {
 		mcfg.Resilience = cfg.Resilience.internal()
 	}
-	sys, err := multicell.New(mcfg)
-	if err != nil {
-		return rep, err
-	}
-	r, err := sys.Run(cfg.Ticks)
-	if err != nil {
-		return rep, err
-	}
+	return multicell.New(mcfg)
+}
+
+// multicellReport converts the internal report into the public type.
+func multicellReport(r multicell.Report) MulticellReport {
 	return MulticellReport{
 		Ticks:              r.Ticks,
 		Requests:           r.Requests,
@@ -182,5 +193,5 @@ func RunMulticell(cfg MulticellConfig) (MulticellReport, error) {
 		BreakerTrips:       r.BreakerTrips,
 		FailedDownloads:    r.FailedDownloads,
 		StaleFallbacks:     r.StaleFallbacks,
-	}, nil
+	}
 }

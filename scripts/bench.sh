@@ -8,6 +8,10 @@
 # JSON array to BENCH_1.json (or the given path). The raw `go test` output
 # is echoed to stderr so regressions are visible in CI logs.
 #
+# The unit-aware parsing that used to live here as awk now lives in
+# internal/runner (ParseBench, with fixture tests over ns/µs/ms lines);
+# this script just shells out to the experiment runner's bench mode.
+#
 # Alongside the timings it archives a station-metrics snapshot
 # (<out>.metrics.json) from a quick instrumented figures run, so counter
 # and histogram drift is reviewable next to the benchmark numbers.
@@ -15,35 +19,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_1.json}"
-benches='BenchmarkSolverDP|BenchmarkSolverIncremental|BenchmarkSolverTrace|BenchmarkSolverGreedy|BenchmarkSelectorSelect|BenchmarkSimulationTick|BenchmarkMulticellTick|BenchmarkStationTickDegraded'
 
-raw=$(go test -run '^$' -bench "^(${benches})\$" -benchmem -benchtime 30x .)
-printf '%s\n' "$raw" >&2
-
-# Fields are located by their unit (ns/op, B/op, allocs/op) rather than by
-# position: benchmarks that b.ReportMetric extra per-op series (the
-# incremental solver's path mix) shift the column layout.
-printf '%s\n' "$raw" | awk '
-  /^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
-    ns = 0; bytes = 0; allocs = 0
-    for (i = 3; i <= NF; i++) {
-      if ($i == "ns/op") ns = $(i - 1)
-      else if ($i == "B/op") bytes = $(i - 1)
-      else if ($i == "allocs/op") allocs = $(i - 1)
-    }
-    rows[++n] = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                        name, ns, bytes, allocs)
-  }
-  END {
-    print "["
-    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
-    print "]"
-  }
-' > "$out"
-
-echo "wrote $out" >&2
+go run ./cmd/experiment-runner -mode bench -out-bench "$out"
 
 # Metrics snapshot: a quick instrumented run over the core figures, dumped
 # as JSON next to the benchmark numbers.

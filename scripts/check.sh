@@ -11,9 +11,9 @@ cd "$(dirname "$0")/.."
 COVERAGE_BASELINE=80.0
 # Per-target budget for the fuzz smoke; set FUZZTIME=0 to skip.
 FUZZTIME=${FUZZTIME:-10s}
-# Archived benchmark baseline for the incremental-solver perf gate; set
-# PERFCHECK=0 to skip the (benchmark-running) comparison.
-PERF_BASELINE=BENCH_3.json
+# Archived benchmark baseline for the perf gate; set PERFCHECK=0 to skip
+# the (benchmark-running) comparison.
+PERF_BASELINE=BENCH_4.json
 PERFCHECK=${PERFCHECK:-1}
 
 unformatted=$(gofmt -l .)
@@ -56,21 +56,36 @@ if [ "$FUZZTIME" != "0" ]; then
     go test -run=NONE -fuzz=FuzzBreaker -fuzztime="$FUZZTIME" ./internal/resilience
 fi
 
-# Perf-regression gate: the headline incremental-solver benchmark must stay
-# within 20% of the number archived in BENCH_3.json (scripts/bench.sh).
+# Experiment-runner smoke: a tiny 2x2 sweep (two solvers x two cell
+# counts, short horizon) archived to a temp dir, then swept again against
+# that archive as the baseline — exercising the matrix expansion, the
+# per-run archive, and the summary gate end to end under the race
+# detector. A third pass injects a regression into the baseline and
+# requires the gate to fail.
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+smoke='-solvers dp,greedy -cells 1,2 -accesses zipf -budgets 8 -profiles ideal
+       -objects 60 -rate 20 -clients 60 -warmup 5 -ticks 40'
+# shellcheck disable=SC2086
+go run -race ./cmd/experiment-runner $smoke -out "$smokedir/base" >/dev/null
+# shellcheck disable=SC2086
+go run -race ./cmd/experiment-runner $smoke -out "$smokedir/head" -baseline "$smokedir/base" >/dev/null
+tampered=$(find "$smokedir/base" -name summary.json | head -1)
+sed 's/"mean_score": /"mean_score": 9/' "$tampered" > "$tampered.tmp" && mv "$tampered.tmp" "$tampered"
+# shellcheck disable=SC2086
+if go run -race ./cmd/experiment-runner $smoke -out "$smokedir/head2" -baseline "$smokedir/base" >/dev/null 2>&1; then
+    echo "experiment-runner summary gate passed on an injected regression" >&2
+    exit 1
+fi
+echo "experiment-runner smoke: sweep + archive + gate (incl. injected failure) OK"
+
+# Perf + golden regression gate: regenerate Figures 2-6 and byte-compare
+# against results/golden, and re-run the hot-path benchmark set against
+# the numbers archived in BENCH_4.json (scripts/bench.sh). Both checks
+# live in the experiment runner's gate mode; tolerance stays at the
+# historical 20%.
 if [ "$PERFCHECK" != "0" ] && [ -f "$PERF_BASELINE" ]; then
-    target='BenchmarkSolverIncremental/certified'
-    baseline=$(awk -F'[:,]' -v t="$target" \
-        '$0 ~ t {for (i = 1; i < NF; i++) if ($i ~ /"ns_per_op"/) print $(i + 1)}' "$PERF_BASELINE")
-    if [ -n "$baseline" ]; then
-        now=$(go test -run '^$' -bench "^BenchmarkSolverIncremental/certified\$" -benchtime 200x . |
-            awk '/^BenchmarkSolverIncremental/ {for (i = 3; i <= NF; i++) if ($i == "ns/op") print $(i - 1)}')
-        echo "perf gate: $target now ${now} ns/op, baseline ${baseline} ns/op"
-        if awk "BEGIN {exit !($now > $baseline * 1.20)}"; then
-            echo "$target regressed >20% vs $PERF_BASELINE (${now} ns/op > 1.2 x ${baseline})" >&2
-            exit 1
-        fi
-    fi
+    go run ./cmd/experiment-runner -mode gate -bench-baseline "$PERF_BASELINE"
 fi
 
 echo "all checks passed"

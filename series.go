@@ -1,0 +1,76 @@
+package mobicache
+
+import (
+	"mobicache/internal/basestation"
+	"mobicache/internal/multicell"
+)
+
+// This file is the per-tick observation surface used by the experiment
+// runner (cmd/experiment-runner): the same simulations RunSimulation and
+// RunMulticell execute, but with a sampling callback invoked after every
+// measured tick so harnesses can archive time series (per-tick CSVs)
+// without re-running a configuration once per horizon length. Sampling
+// never perturbs a run — the final report is byte-identical to the
+// unsampled entry point's.
+
+// RunSimulationTicks runs the configured single-cell simulation exactly
+// as RunSimulation does, but calls sample after every measured tick with
+// the number of measured ticks completed so far (1-based) and the report
+// aggregated over them. Warmup ticks are not sampled. A non-nil error
+// from sample aborts the run and is returned; a nil sample makes this
+// identical to RunSimulation.
+func RunSimulationTicks(cfg SimulationConfig, sample func(ticks int, rep SimulationReport) error) (SimulationReport, error) {
+	var rep SimulationReport
+	if err := validateHorizon(cfg); err != nil {
+		return rep, err
+	}
+	st, srv, err := buildStation(cfg)
+	if err != nil {
+		return rep, err
+	}
+	gen, _, err := buildGenerator(cfg)
+	if err != nil {
+		return rep, err
+	}
+	if _, err := st.Run(0, cfg.Warmup, gen); err != nil {
+		return rep, err
+	}
+	// The measured phase of station.Run, unrolled one tick at a time so
+	// the accumulating totals can be observed between ticks.
+	var totals basestation.Totals
+	for t := 0; t < cfg.Ticks; t++ {
+		tick := cfg.Warmup + t
+		res, err := st.RunTick(tick, gen.Tick(tick))
+		if err != nil {
+			return rep, err
+		}
+		totals.Add(res)
+		if sample != nil {
+			if err := sample(t+1, report(st, srv, totals)); err != nil {
+				return rep, err
+			}
+		}
+	}
+	return report(st, srv, totals), nil
+}
+
+// RunMulticellTicks runs the configured multi-cell deployment exactly as
+// RunMulticell does, but calls sample after every tick with the number
+// of ticks completed so far (1-based) and the report aggregated over
+// them. A non-nil error from sample aborts the run and is returned; a
+// nil sample makes this identical to RunMulticell.
+func RunMulticellTicks(cfg MulticellConfig, sample func(ticks int, rep MulticellReport) error) (MulticellReport, error) {
+	sys, err := buildMulticell(cfg)
+	if err != nil {
+		return MulticellReport{}, err
+	}
+	var inner func(int, multicell.Report) error
+	if sample != nil {
+		inner = func(n int, r multicell.Report) error { return sample(n, multicellReport(r)) }
+	}
+	r, err := sys.RunSampled(cfg.Ticks, inner)
+	if err != nil {
+		return MulticellReport{}, err
+	}
+	return multicellReport(r), nil
+}
