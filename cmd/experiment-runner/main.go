@@ -41,6 +41,7 @@ var (
 	cells     = flag.String("cells", "", "cell-count dimension (1 = single-cell simulation)")
 	mobility  = flag.String("mobility", "", "mobility-profile dimension (default,static,nomadic)")
 	profiles  = flag.String("profiles", "", "fault/resilience-profile dimension (ideal,flaky,blackout,resilient)")
+	policies  = flag.String("policies", "", "dissemination-policy dimension (on-demand,push-ts,push-at,broadcast-flat,broadcast-disk,hybrid-pushpull)")
 	objects   = flag.Int("objects", 0, "catalog size (0 = default 120)")
 	rate      = flag.Int("rate", 0, "single-cell requests per tick (0 = default 40)")
 	clients   = flag.Int("clients", 0, "multi-cell population (0 = default 160)")
@@ -64,6 +65,7 @@ var (
 	benchTime  = flag.String("benchtime", "200x", "go test -benchtime for bench runs")
 	benchCount = flag.Int("benchcount", 3, "go test -count for bench runs; the per-benchmark minimum is kept")
 	outBench   = flag.String("out-bench", "", "write the benchmark results JSON here (-mode bench)")
+	appendNew  = flag.Bool("append-bench", true, "after a passing bench gate, append benchmarks new in this run to the -bench-baseline file so the trajectory grows rows automatically")
 )
 
 func main() {
@@ -113,6 +115,9 @@ func matrix() (runner.Matrix, error) {
 	}
 	if *profiles != "" {
 		m.Profiles = strings.Split(*profiles, ",")
+	}
+	if *policies != "" {
+		m.Policies = strings.Split(*policies, ",")
 	}
 	return m, nil
 }
@@ -214,6 +219,20 @@ func gate() error {
 		violations = append(violations, vs...)
 		fmt.Fprintf(os.Stderr, "bench gate: %d benchmarks vs %s, %d violations\n",
 			len(current), *benchBaseline, len(vs))
+		// A passing gate grows the trajectory: benchmarks that exist only
+		// in the current run (new code, renamed sets) are appended to the
+		// baseline so the next gate covers them too. A failing gate never
+		// rewrites its own baseline.
+		if len(vs) == 0 && *appendNew {
+			merged, added := runner.MergeBench(base, current)
+			if added > 0 {
+				if err := runner.WriteBench(*benchBaseline, merged); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "bench gate: appended %d new benchmarks to %s\n",
+					added, *benchBaseline)
+			}
+		}
 	}
 	if len(violations) > 0 {
 		fmt.Fprint(os.Stderr, runner.RenderViolations(violations))

@@ -27,7 +27,7 @@ import (
 )
 
 var (
-	figFlag    = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, table1, replacement, ablation, fullsystem, broadcast, sleeper, adaptive, multicell, estimation, quasi, heterogeneity, faults, resilience, or all")
+	figFlag    = flag.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, 6, table1, replacement, ablation, fullsystem, broadcast, sleeper, adaptive, multicell, estimation, quasi, heterogeneity, faults, resilience, dissemination, or all")
 	format     = flag.String("format", "table", "output format: table, csv, or plot")
 	seed       = flag.Uint64("seed", 0, "override the default experiment seed (0 keeps defaults)")
 	quickFlag  = flag.Bool("quick", false, "run scaled-down configurations (for smoke tests)")
@@ -123,6 +123,7 @@ func run(which string) error {
 		{"broadcast", broadcastStudy}, {"sleeper", sleeperStudy}, {"adaptive", adaptiveStudy},
 		{"multicell", multicellStudy}, {"estimation", estimationStudy}, {"quasi", quasiStudy},
 		{"heterogeneity", heterogeneityStudy}, {"faults", faultStudy}, {"resilience", resilienceStudy},
+		{"dissemination", disseminationStudy},
 	}
 	if which == "table1" {
 		fmt.Print(experiment.Table1())
@@ -382,6 +383,24 @@ func faultStudy() error {
 		cfg.FailureProbs = []float64{0, 0.3, 0.6, 0.9}
 	}
 	fig, err := experiment.FaultStudy(cfg)
+	if err != nil {
+		return err
+	}
+	emit(fig)
+	return nil
+}
+
+func disseminationStudy() error {
+	cfg := experiment.DefaultDisseminationStudy()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *quickFlag {
+		cfg.Objects, cfg.RatePerTick, cfg.Warmup, cfg.Measure = 64, 20, 20, 100
+		cfg.Threshold = 8
+		cfg.Levels = cfg.Levels[:2]
+	}
+	fig, _, err := experiment.DisseminationStudy(cfg)
 	if err != nil {
 		return err
 	}

@@ -53,6 +53,17 @@ func main() {
 	flag.BoolVar(&mc.CacheSharing, "sharing", false, "enable cooperative base-station caching (multi-cell mode)")
 	flag.IntVar(&mc.Workers, "workers", 0, "worker goroutines for the parallel tick phase (0 = auto, 1 = serial; results are identical)")
 
+	// Dissemination strategy (both modes).
+	var dis mobicache.DisseminationConfig
+	flag.StringVar(&dis.Strategy, "strategy", "on-demand",
+		"dissemination strategy: on-demand (pull station), push-ts, push-at, broadcast-flat, broadcast-disk, hybrid-pushpull")
+	flag.IntVar(&dis.Interval, "report-interval", 0, "invalidation report period in ticks (push strategies; 0 = default 10)")
+	flag.IntVar(&dis.Window, "report-window", 0, "TS report window in intervals (0 = default 2)")
+	flag.IntVar(&dis.SlotsPerTick, "slots-per-tick", 0, "broadcast slots aired per tick (0 = default 4)")
+	flag.IntVar(&dis.PullEvery, "pull-every", 0, "hybrid pull-slot spacing (0 = default 4)")
+	flag.IntVar(&dis.Threshold, "push-threshold", 0, "hybrid push wait above which clients pull (0 = default catalog/8)")
+	flag.Float64Var(&dis.SleepProb, "sleep-prob", 0, "per-report probability the terminal population sleeps through it")
+
 	// Resilience layer (both modes).
 	var res mobicache.ResilienceConfig
 	flag.IntVar(&res.BreakerFailures, "breaker-failures", 0,
@@ -68,6 +79,15 @@ func main() {
 	if res.BreakerFailures > 0 || res.MaxRequestsPerTick > 0 {
 		cfg.Resilience = &res
 		mc.Resilience = &res
+	}
+	if dis.Strategy != "" && dis.Strategy != "on-demand" {
+		cfg.Dissemination = &dis
+		mc.Dissemination = &dis
+		// The pull-side policy flag is inert under a push strategy; only
+		// its untouched default is dropped silently.
+		if cfg.Policy == "on-demand-knapsack" {
+			cfg.Policy = ""
+		}
 	}
 	if *cellOutage != "" {
 		var o mobicache.CellOutage
@@ -87,7 +107,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mobisim:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("policy            %s\n", cfg.Policy)
+	if rep.Dissemination != "" {
+		fmt.Printf("strategy          %s\n", rep.Dissemination)
+	} else {
+		fmt.Printf("policy            %s\n", cfg.Policy)
+	}
 	fmt.Printf("ticks             %d (after %d warmup)\n", rep.Ticks, cfg.Warmup)
 	fmt.Printf("requests          %d\n", rep.Requests)
 	fmt.Printf("downloads         %d (%d data units)\n", rep.Downloads, rep.DownloadUnits)
@@ -99,6 +123,12 @@ func main() {
 		fmt.Printf("shed requests     %d (%d shedding ticks)\n", rep.ShedRequests, rep.ShedTicks)
 		fmt.Printf("breaker           %d trips, %d probes, %d short circuits, %d degraded ticks\n",
 			rep.BreakerTrips, rep.BreakerProbes, rep.ShortCircuits, rep.DegradedTicks)
+	}
+	if rep.Dissemination != "" {
+		fmt.Printf("reports           %d (%d entries invalidated, %d purges)\n",
+			rep.InvalidationReports, rep.InvalidatedEntries, rep.TerminalPurges)
+		fmt.Printf("push / pull       %d / %d served, %d push units, %.2f mean wait slots\n",
+			rep.PushServed, rep.PullServed, rep.PushUnits, rep.MeanWaitSlots)
 	}
 }
 
@@ -132,6 +162,13 @@ func runMulticell(mc mobicache.MulticellConfig, cfg mobicache.SimulationConfig) 
 	if mc.Resilience != nil {
 		fmt.Printf("resilience        %d shed, %d breaker trips, %d short circuits, %d stale fallbacks\n",
 			rep.ShedRequests, rep.BreakerTrips, rep.ShortCircuits, rep.StaleFallbacks)
+	}
+	if rep.Dissemination != "" {
+		fmt.Printf("strategy          %s\n", rep.Dissemination)
+		fmt.Printf("reports           %d (%d entries invalidated, %d purges)\n",
+			rep.InvalidationReports, rep.InvalidatedEntries, rep.TerminalPurges)
+		fmt.Printf("push / pull       %d / %d served, %d push units\n",
+			rep.PushServed, rep.PullServed, rep.PushUnits)
 	}
 	for c := range rep.PerCellScores {
 		fmt.Printf("cell %-3d          requests %-7d downloads %-7d score %.4f\n",

@@ -510,6 +510,16 @@ type multicellSimRequest struct {
 	Workers       int     `json:"workers"`
 	Ticks         int     `json:"ticks"`
 	Seed          uint64  `json:"seed"`
+
+	// Dissemination strategy; empty or "on-demand" keeps the pull
+	// stations. The knobs mirror DisseminationConfig (zero = defaults).
+	Strategy       string  `json:"strategy"`
+	ReportInterval int     `json:"report_interval"`
+	ReportWindow   int     `json:"report_window"`
+	SlotsPerTick   int     `json:"slots_per_tick"`
+	PullEvery      int     `json:"pull_every"`
+	PushThreshold  int     `json:"push_threshold"`
+	SleepProb      float64 `json:"sleep_prob"`
 }
 
 type multicellSimResponse struct {
@@ -526,6 +536,15 @@ type multicellSimResponse struct {
 	PerCellRequests    []uint64  `json:"per_cell_requests"`
 	PerCellDownloads   []uint64  `json:"per_cell_downloads"`
 	Workers            int       `json:"workers"`
+
+	// Dissemination accounting (omitted on the default on-demand path).
+	Strategy            string `json:"strategy,omitempty"`
+	InvalidationReports uint64 `json:"invalidation_reports,omitempty"`
+	InvalidatedEntries  uint64 `json:"invalidated_entries,omitempty"`
+	TerminalPurges      uint64 `json:"terminal_purges,omitempty"`
+	PushServed          uint64 `json:"push_served,omitempty"`
+	PullServed          uint64 `json:"pull_served,omitempty"`
+	PushUnits           uint64 `json:"push_units,omitempty"`
 }
 
 // handleSimMulticell runs a multi-cell simulation on the parallel tick
@@ -552,6 +571,18 @@ func (s *server) handleSimMulticell(w http.ResponseWriter, r *http.Request) {
 	if s.simMetrics == nil {
 		s.simMetrics = mobicache.NewMulticellMetrics(s.reg, 0)
 	}
+	var dis *mobicache.DisseminationConfig
+	if req.Strategy != "" && req.Strategy != "on-demand" {
+		dis = &mobicache.DisseminationConfig{
+			Strategy:     req.Strategy,
+			Interval:     req.ReportInterval,
+			Window:       req.ReportWindow,
+			SlotsPerTick: req.SlotsPerTick,
+			PullEvery:    req.PullEvery,
+			Threshold:    req.PushThreshold,
+			SleepProb:    req.SleepProb,
+		}
+	}
 	rep, err := mobicache.RunMulticell(mobicache.MulticellConfig{
 		Cells:         req.Cells,
 		Objects:       req.Objects,
@@ -568,6 +599,7 @@ func (s *server) handleSimMulticell(w http.ResponseWriter, r *http.Request) {
 		Ticks:         req.Ticks,
 		Seed:          req.Seed,
 		Metrics:       s.simMetrics,
+		Dissemination: dis,
 	})
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -587,5 +619,13 @@ func (s *server) handleSimMulticell(w http.ResponseWriter, r *http.Request) {
 		PerCellRequests:    rep.PerCellRequests,
 		PerCellDownloads:   rep.PerCellDownloads,
 		Workers:            workers,
+
+		Strategy:            rep.Dissemination,
+		InvalidationReports: rep.InvalidationReports,
+		InvalidatedEntries:  rep.InvalidatedEntries,
+		TerminalPurges:      rep.TerminalPurges,
+		PushServed:          rep.PushServed,
+		PullServed:          rep.PullServed,
+		PushUnits:           rep.PushUnits,
 	})
 }

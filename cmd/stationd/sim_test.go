@@ -113,3 +113,58 @@ func TestSimMulticellValidation(t *testing.T) {
 		t.Fatalf("budget error lacks context: %s", body)
 	}
 }
+
+func TestSimMulticellDissemination(t *testing.T) {
+	ts := newTestServer(t)
+	req := simRequest(2)
+	delete(req, "cache_sharing") // sharing does not compose with push strategies
+	req["strategy"] = "push-ts"
+	req["report_interval"] = 8
+	req["sleep_prob"] = 0.2
+	resp, body := post(t, ts, "/v1/sim/multicell", req)
+	mustStatus(t, resp, http.StatusOK, body)
+	var rep multicellSimResponse
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strategy != "push-ts" {
+		t.Fatalf("strategy echoed %q: %+v", rep.Strategy, rep)
+	}
+	if rep.InvalidationReports == 0 || rep.InvalidatedEntries == 0 || rep.PushUnits == 0 {
+		t.Fatalf("push counters silent: %+v", rep)
+	}
+
+	// The new per-strategy counters surface on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	for _, want := range []string{
+		"mobicache_invalidation_reports_total",
+		`mobicache_push_units_total{cell="0"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics lacks %q", want)
+		}
+	}
+
+	// Unknown strategies and incompatible layers fail with 400.
+	bad := simRequest(1)
+	bad["strategy"] = "rumor-mill"
+	resp, body = post(t, ts, "/v1/sim/multicell", bad)
+	mustStatus(t, resp, http.StatusBadRequest, body)
+
+	conflicted := simRequest(1)
+	conflicted["strategy"] = "broadcast-disk" // cache_sharing still true
+	resp, body = post(t, ts, "/v1/sim/multicell", conflicted)
+	mustStatus(t, resp, http.StatusBadRequest, body)
+	if !strings.Contains(string(body), "cache sharing") {
+		t.Fatalf("conflict error lacks context: %s", body)
+	}
+}

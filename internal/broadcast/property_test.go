@@ -1,0 +1,327 @@
+package broadcast
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/rng"
+)
+
+// TestHybridPredictedWaitExactDelivery cross-checks Hybrid.Request's
+// promised wait against actual delivery: for swept (program, pullEvery,
+// threshold, start slot, queue depth) grids, the requested object must
+// air exactly `wait` slots after the request — not one early, not one
+// late. This pins the pull-slot interleaving arithmetic (pushWait's
+// program-position mapping and pullWait's pull-slot spacing) far tighter
+// than the older upper-bound checks.
+func TestHybridPredictedWaitExactDelivery(t *testing.T) {
+	cat := unitCatalog(28)
+	ids := cat.IDs()
+	multi, err := MultiDisk([]Disk{
+		{Objects: ids[:4], Freq: 4},
+		{Objects: ids[4:12], Freq: 2},
+		{Objects: ids[12:24], Freq: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := NewProgram(ids[:24])
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := []struct {
+		name string
+		p    *Program
+	}{{"flat", flat}, {"multidisk", multi}}
+
+	for _, pc := range progs {
+		for _, pullEvery := range []int{2, 3, 5} {
+			for _, threshold := range []int{0, 3, 1 << 20} {
+				// Start offsets cover every pull-phase position plus the
+				// major-cycle boundary of the interleaved schedule (program
+				// position L airs at absolute slot L + L/(pullEvery-1)).
+				cycleAbs := pc.p.Len() + pc.p.Len()/(pullEvery-1)
+				var starts []int
+				for s := 0; s <= 3*pullEvery; s++ {
+					starts = append(starts, s)
+				}
+				for s := cycleAbs - 2; s <= cycleAbs+2; s++ {
+					if s > 3*pullEvery {
+						starts = append(starts, s)
+					}
+				}
+				for _, start := range starts {
+					for _, depth := range []int{0, 2} {
+						// ids[24:] are never carried: ids[24], ids[25] seed
+						// the pull queue, ids[27] is a measured always-pull
+						// target.
+						targets := append([]catalog.ID{}, ids[:24]...)
+						targets = append(targets, ids[27])
+						for _, id := range targets {
+							h, err := NewHybrid(pc.p, pullEvery, threshold)
+							if err != nil {
+								t.Fatal(err)
+							}
+							for i := 0; i < start; i++ {
+								h.Air()
+							}
+							for j := 0; j < depth; j++ {
+								h.Request(ids[24+j])
+							}
+							w := h.Request(id)
+							if w < 0 {
+								t.Fatalf("%s pe=%d thr=%d start=%d depth=%d obj=%d: negative wait %d",
+									pc.name, pullEvery, threshold, start, depth, id, w)
+							}
+							for i := 0; i < w; i++ {
+								if h.Air() == id {
+									t.Fatalf("%s pe=%d thr=%d start=%d depth=%d: object %d aired %d slots early (promise %d)",
+										pc.name, pullEvery, threshold, start, depth, id, w-i, w)
+								}
+							}
+							if got := h.Air(); got != id {
+								t.Fatalf("%s pe=%d thr=%d start=%d depth=%d obj=%d: promised wait %d but slot aired %d",
+									pc.name, pullEvery, threshold, start, depth, id, w, got)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHybridRepeatRequestAccounting pins the served-counter semantics for
+// repeat requests: PullServed/PushServed count REQUESTS satisfied by each
+// path, not air slots, so a second request for an already-queued object
+// shares the queued broadcast slot (queue length stays 1) while the pull
+// counter advances.
+func TestHybridRepeatRequestAccounting(t *testing.T) {
+	p := Flat(unitCatalog(10))
+
+	h, err := NewHybrid(p, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := h.Request(9)
+	w2 := h.Request(9)
+	if w1 != w2 {
+		t.Fatalf("repeat request with no slots elapsed promised %d then %d", w1, w2)
+	}
+	if h.PullServed() != 2 || h.PushServed() != 0 {
+		t.Fatalf("pull/push served = %d/%d, want 2/0 (requests, not airings)", h.PullServed(), h.PushServed())
+	}
+	if h.QueueLen() != 1 {
+		t.Fatalf("queue length = %d, want 1 (shared slot)", h.QueueLen())
+	}
+	// One pull slot drains the shared entry for both outstanding clients.
+	for i := 0; i <= w1; i++ {
+		h.Air()
+	}
+	if h.QueueLen() != 0 {
+		t.Fatal("shared queue entry not drained by one pull slot")
+	}
+	if h.PullServed() != 2 {
+		t.Fatalf("airing changed pullServed to %d", h.PullServed())
+	}
+
+	// Push-path repeats never touch the queue.
+	h2, err := NewHybrid(p, 2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.Request(3)
+	h2.Request(3)
+	if h2.PushServed() != 2 || h2.PullServed() != 0 || h2.QueueLen() != 0 {
+		t.Fatalf("push repeats: push/pull/queue = %d/%d/%d, want 2/0/0",
+			h2.PushServed(), h2.PullServed(), h2.QueueLen())
+	}
+}
+
+// TestExpectedWaitMatchesSimulationFlat complements the multi-disk
+// simulation cross-check with the flat program under uniform access,
+// where the analytic value is exactly (N-1)/2.
+func TestExpectedWaitMatchesSimulationFlat(t *testing.T) {
+	const n = 24
+	p := Flat(unitCatalog(n))
+	weights := rng.Uniform.Weights(n)
+	analytic := p.MeanExpectedWait(weights)
+	if want := float64(n-1) / 2; math.Abs(analytic-want) > 1e-9 {
+		t.Fatalf("flat analytic wait %v, want %v", analytic, want)
+	}
+	simulated := p.SimulateWaits(rng.New(11), rng.Uniform.NewSampler(n), p.Slots, 200000)
+	if math.Abs(analytic-simulated) > 0.02*analytic {
+		t.Fatalf("analytic wait %v vs simulated %v", analytic, simulated)
+	}
+}
+
+// TestMultiDiskSpacingInvariant checks the chunk-interleaving guarantee:
+// every object on a frequency-f disk appears exactly f times per major
+// cycle, equally spaced (gap = cycle length / f, including the
+// wrap-around gap).
+func TestMultiDiskSpacingInvariant(t *testing.T) {
+	cases := []struct {
+		name  string
+		sizes []int
+		freqs []int
+	}{
+		{"4:2:1", []int{4, 8, 12}, []int{4, 2, 1}},
+		{"3:1", []int{5, 9}, []int{3, 1}},
+		{"6:3:2", []int{2, 4, 9}, []int{6, 3, 2}},
+		{"single", []int{7}, []int{1}},
+	}
+	for _, tc := range cases {
+		total := 0
+		for _, s := range tc.sizes {
+			total += s
+		}
+		ids := unitCatalog(total).IDs()
+		var disks []Disk
+		freqOf := make(map[catalog.ID]int)
+		at := 0
+		for i, s := range tc.sizes {
+			disks = append(disks, Disk{Objects: ids[at : at+s], Freq: tc.freqs[i]})
+			for _, id := range ids[at : at+s] {
+				freqOf[id] = tc.freqs[i]
+			}
+			at += s
+		}
+		p, err := MultiDisk(disks)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		occ := make(map[catalog.ID][]int)
+		for slot, id := range p.Slots {
+			occ[id] = append(occ[id], slot)
+		}
+		for _, id := range ids {
+			f := freqOf[id]
+			slots := occ[id]
+			if len(slots) != f {
+				t.Fatalf("%s: object %d aired %d times per major cycle, want %d", tc.name, id, len(slots), f)
+			}
+			if p.Len()%f != 0 {
+				t.Fatalf("%s: cycle length %d not divisible by frequency %d", tc.name, p.Len(), f)
+			}
+			gap := p.Len() / f
+			for i, s := range slots {
+				prev := slots[(i+f-1)%f]
+				g := s - prev
+				if g <= 0 {
+					g += p.Len()
+				}
+				if g != gap {
+					t.Fatalf("%s: object %d occurrences %v unevenly spaced (gap %d, want %d)",
+						tc.name, id, slots, g, gap)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiDiskChunkRejectionTable sweeps non-divisible chunkings: a
+// disk whose size does not divide into its L/freq chunks must be
+// rejected, naming the offending disk.
+func TestMultiDiskChunkRejectionTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		sizes   []int
+		freqs   []int
+		badDisk int // -1 = valid
+	}{
+		{"3 into 2 chunks", []int{3, 2}, []int{1, 2}, 0},
+		{"5 into 2 chunks", []int{4, 5}, []int{2, 1}, 1},
+		{"7 into 4 chunks", []int{4, 7}, []int{4, 1}, 1},
+		{"5 into 4 chunks, third disk", []int{2, 4, 5}, []int{4, 2, 1}, 2},
+		{"valid 4:2:1", []int{1, 2, 4}, []int{4, 2, 1}, -1},
+		{"valid coprime 3:2", []int{2, 3}, []int{3, 2}, -1},
+	}
+	for _, tc := range cases {
+		total := 0
+		for _, s := range tc.sizes {
+			total += s
+		}
+		ids := unitCatalog(total).IDs()
+		var disks []Disk
+		at := 0
+		for i, s := range tc.sizes {
+			disks = append(disks, Disk{Objects: ids[at : at+s], Freq: tc.freqs[i]})
+			at += s
+		}
+		p, err := MultiDisk(disks)
+		if tc.badDisk < 0 {
+			if err != nil {
+				t.Fatalf("%s: valid chunking rejected: %v", tc.name, err)
+			}
+			if p.Len() == 0 {
+				t.Fatalf("%s: empty program", tc.name)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("%s: indivisible chunking accepted", tc.name)
+		}
+		if want := "disk " + string(rune('0'+tc.badDisk)); !strings.Contains(err.Error(), want) {
+			t.Fatalf("%s: error %q does not name %s", tc.name, err, want)
+		}
+	}
+}
+
+// FuzzNextOccurrence fuzzes NewProgram and NextOccurrence around cycle
+// boundaries: a program built from arbitrary slot bytes must locate, for
+// any (possibly negative or cycle-spanning) position, the genuinely
+// nearest occurrence of every carried object, and report -1 for
+// uncarried ones.
+func FuzzNextOccurrence(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2}, int32(3))
+	f.Add([]byte{5}, int32(-7))
+	f.Add([]byte{}, int32(0))
+	f.Add([]byte{1, 1, 1, 2, 3, 2}, int32(1<<30))
+	f.Fuzz(func(t *testing.T, raw []byte, from int32) {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		slots := make([]catalog.ID, len(raw))
+		for i, b := range raw {
+			slots[i] = catalog.ID(b % 8)
+		}
+		p, err := NewProgram(slots)
+		if len(slots) == 0 {
+			if err == nil {
+				t.Fatal("empty program accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("program rejected: %v", err)
+		}
+		n := p.Len()
+		pos := ((int(from) % n) + n) % n
+		seen := make(map[catalog.ID]bool)
+		for _, id := range slots {
+			seen[id] = true
+		}
+		for id := catalog.ID(0); id < 8; id++ {
+			d := p.NextOccurrence(id, int(from))
+			if !seen[id] {
+				if d != -1 {
+					t.Fatalf("uncarried object %d: NextOccurrence = %d, want -1", id, d)
+				}
+				continue
+			}
+			if d < 0 || d >= n {
+				t.Fatalf("object %d from %d: wait %d out of range [0,%d)", id, from, d, n)
+			}
+			if p.Slots[(pos+d)%n] != id {
+				t.Fatalf("object %d from %d: slot %d carries %d", id, from, (pos+d)%n, p.Slots[(pos+d)%n])
+			}
+			for j := 0; j < d; j++ {
+				if p.Slots[(pos+j)%n] == id {
+					t.Fatalf("object %d from %d: wait %d misses earlier occurrence at +%d", id, from, d, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,309 @@
+package dissemination
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mobicache/internal/basestation"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/obs"
+)
+
+func unitCatalog(t *testing.T, n int) *catalog.Catalog {
+	t.Helper()
+	cat, err := catalog.Uniform(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func mustCell(t *testing.T, cfg Config) *Cell {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func req(id catalog.ID, tick int) client.Request {
+	return client.Request{Client: 0, Object: id, Target: 1, Tick: tick}
+}
+
+func TestParseStrategyRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		s, err := ParseStrategy(name)
+		if err != nil {
+			t.Fatalf("ParseStrategy(%q): %v", name, err)
+		}
+		if s.String() != name {
+			t.Fatalf("ParseStrategy(%q).String() = %q", name, s)
+		}
+	}
+	if s, err := ParseStrategy(""); err != nil || s != OnDemand {
+		t.Fatalf("empty name → (%v, %v), want on-demand default", s, err)
+	}
+	if _, err := ParseStrategy("carrier-pigeon"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestNewRejections(t *testing.T) {
+	cat := unitCatalog(t, 16)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil catalog", Config{Strategy: PushTS}},
+		{"on-demand", Config{Catalog: cat, Strategy: OnDemand}},
+		{"sleep prob", Config{Catalog: cat, Strategy: PushTS, Knobs: Knobs{SleepProb: 1.5}}},
+		{"pullEvery 1", Config{Catalog: cat, Strategy: HybridPushPull, Knobs: Knobs{PullEvery: 1}}},
+		{"negative interval", Config{Catalog: cat, Strategy: PushTS, Knobs: Knobs{Interval: -1}}},
+		{"tiny disk catalog", Config{Catalog: unitCatalog(t, 4), Strategy: BroadcastDisk}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Fatalf("%s: invalid config accepted", tc.name)
+		}
+	}
+}
+
+// TestPushReportInvalidatesStaleEntry walks the TS lifecycle end to end:
+// a miss fills the terminal cache, an updated entry survives (stale)
+// until the next report names it, and the report's airtime is billed as
+// push bandwidth.
+func TestPushReportInvalidatesStaleEntry(t *testing.T) {
+	cat := unitCatalog(t, 10)
+	c := mustCell(t, Config{Catalog: cat, Strategy: PushTS, Knobs: Knobs{Interval: 5, Window: 2}, Seed: 1})
+
+	res, err := c.ServeTick(1, []client.Request{req(3, 1)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissDownloads != 1 || res.ScoreSum != 1 {
+		t.Fatalf("first request: downloads=%d score=%v, want compulsory miss served fresh", res.MissDownloads, res.ScoreSum)
+	}
+
+	// Update arrives at tick 2; until the tick-5 report the entry still
+	// answers, at the true (stale) recency 1/2.
+	res, err = c.ServeTick(2, []client.Request{req(3, 2)}, []catalog.ID{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissDownloads != 0 {
+		t.Fatal("stale hit refetched before any report")
+	}
+	if math.Abs(res.RecencySum-0.5) > 1e-12 {
+		t.Fatalf("stale hit recency %v, want 0.5 after one missed update", res.RecencySum)
+	}
+
+	for tick := 3; tick <= 5; tick++ {
+		if _, err := c.ServeTick(tick, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.ReportsBroadcast != 1 {
+		t.Fatalf("reports = %d, want 1 (tick 5)", st.ReportsBroadcast)
+	}
+	if st.Invalidated != 1 {
+		t.Fatalf("invalidated = %d, want 1 (object 3 named by the report)", st.Invalidated)
+	}
+	if st.PushUnits != 2 {
+		t.Fatalf("push units = %d, want 2 (report header + one entry)", st.PushUnits)
+	}
+
+	// Post-report the entry is gone: the next request is a miss again.
+	res, err = c.ServeTick(6, []client.Request{req(3, 6)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissDownloads != 1 {
+		t.Fatal("invalidated entry served without refetch")
+	}
+}
+
+// TestPushSleepDeterministicAndPurges checks that sleeping cells are
+// reproducible — two cells with the same seed replay identical stats —
+// and that sleeping past the AT coverage actually purges the terminal.
+func TestPushSleepDeterministicAndPurges(t *testing.T) {
+	run := func() Stats {
+		cat := unitCatalog(t, 8)
+		c := mustCell(t, Config{Catalog: cat, Strategy: PushAT, Knobs: Knobs{Interval: 2, SleepProb: 0.5}, Seed: 77})
+		for tick := 0; tick < 200; tick++ {
+			id := catalog.ID(tick % cat.Len())
+			if _, err := c.ServeTick(tick, []client.Request{req(id, tick)}, []catalog.ID{id}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.ReportsBroadcast != 99 {
+		t.Fatalf("reports = %d, want 99 (every 2 ticks, tick>0)", a.ReportsBroadcast)
+	}
+	if a.Purges == 0 {
+		t.Fatal("AT cell slept through reports (p=0.5) yet never purged")
+	}
+	if a.Invalidated == 0 {
+		t.Fatal("no entries invalidated over 200 updated ticks")
+	}
+}
+
+// TestBroadcastFlatWaitAccounting pins the schedule-wait bookkeeping:
+// waits come from the current program position, convert to fetch latency
+// at SlotsPerTick slots per tick, and every aired slot is billed.
+func TestBroadcastFlatWaitAccounting(t *testing.T) {
+	cat := unitCatalog(t, 8)
+	c := mustCell(t, Config{Catalog: cat, Strategy: BroadcastFlat, Knobs: Knobs{SlotsPerTick: 4}})
+
+	res, err := c.ServeTick(0, []client.Request{req(0, 0), req(5, 0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.WaitSlots != 5 {
+		t.Fatalf("wait slots = %d, want 0+5 from position 0", st.WaitSlots)
+	}
+	if st.PushServed != 2 || st.PullServed != 0 {
+		t.Fatalf("push/pull = %d/%d, want 2/0", st.PushServed, st.PullServed)
+	}
+	if st.PushUnits != 4 {
+		t.Fatalf("push units = %d, want 4 aired slots", st.PushUnits)
+	}
+	if math.Abs(res.FetchLatency-5.0/4.0) > 1e-12 {
+		t.Fatalf("latency %v, want 5/4 ticks", res.FetchLatency)
+	}
+	if res.ScoreSum != 2 || res.RecencySum != 2 {
+		t.Fatalf("score/recency = %v/%v, want fresh delivery", res.ScoreSum, res.RecencySum)
+	}
+
+	// Position advanced 4 slots: object 5 is now 1 slot away.
+	if _, err := c.ServeTick(1, []client.Request{req(5, 1)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().WaitSlots - st.WaitSlots; got != 1 {
+		t.Fatalf("second-tick wait = %d, want 1 (position 4)", got)
+	}
+}
+
+// TestBroadcastDiskCoversCatalog checks the three-tier split builds for
+// a sweep of catalog sizes and that the resulting program carries every
+// object.
+func TestBroadcastDiskCoversCatalog(t *testing.T) {
+	for _, n := range []int{8, 9, 10, 11, 12, 15, 16, 23, 100, 300} {
+		cat := unitCatalog(t, n)
+		c := mustCell(t, Config{Catalog: cat, Strategy: BroadcastDisk})
+		for _, id := range cat.IDs() {
+			if !c.program.Carries(id) {
+				t.Fatalf("n=%d: program does not carry object %d", n, id)
+			}
+		}
+	}
+}
+
+// TestHybridCellCounters drives the hybrid strategy: threshold 0 pushes
+// only zero-wait requests, so a far object goes to the backchannel, and
+// push units count only non-idle aired slots.
+func TestHybridCellCounters(t *testing.T) {
+	cat := unitCatalog(t, 16)
+	c := mustCell(t, Config{Catalog: cat, Strategy: HybridPushPull, Knobs: Knobs{PullEvery: 4, Threshold: 1, SlotsPerTick: 8}})
+	far := cat.IDs()[cat.Len()-1]
+	if _, err := c.ServeTick(0, []client.Request{req(far, 0)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.PullServed != 1 || st.PushServed != 0 {
+		t.Fatalf("pull/push = %d/%d, want the far object on the backchannel", st.PullServed, st.PushServed)
+	}
+	// 8 aired slots contain 2 pull slots, one of which drains the queued
+	// object and one idles: 7 non-idle airs.
+	if st.PushUnits != 7 {
+		t.Fatalf("push units = %d, want 7 (one idle pull slot unbilled)", st.PushUnits)
+	}
+}
+
+type failingFetcher struct {
+	calls int
+	fail  int // fail the first n calls
+}
+
+func (f *failingFetcher) Fetch(id catalog.ID, tick int) (uint64, int64, float64, error) {
+	f.calls++
+	if f.calls <= f.fail {
+		return 0, 0, 0.25, errors.New("fixed network down")
+	}
+	return 1, 1, 0.25, nil
+}
+
+// TestPushFetchRetryAndFailure wires a failing fixed-network path into a
+// push cell: retries are counted, abandonment scores zero, and the
+// per-tick failure memo stops repeat hammering within the tick.
+func TestPushFetchRetryAndFailure(t *testing.T) {
+	cat := unitCatalog(t, 6)
+	ff := &failingFetcher{fail: 1 << 30}
+	c := mustCell(t, Config{
+		Catalog: cat, Strategy: PushTS, Knobs: Knobs{Interval: 5},
+		Fetcher: ff,
+		Retry:   basestation.RetryConfig{MaxAttempts: 3, BaseBackoff: 0.5},
+		Seed:    9,
+	})
+	res, err := c.ServeTick(1, []client.Request{req(2, 1), req(2, 1)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedDownloads != 1 || res.Retries != 2 {
+		t.Fatalf("failed/retries = %d/%d, want 1 abandon after 2 retries", res.FailedDownloads, res.Retries)
+	}
+	if ff.calls != 3 {
+		t.Fatalf("fetch calls = %d, want 3 (second request memoized as failed)", ff.calls)
+	}
+	if res.ScoreSum != 0 {
+		t.Fatalf("score %v for failed fetches, want 0", res.ScoreSum)
+	}
+
+	// Memo resets between ticks: the network recovers and the next tick
+	// succeeds after one retry.
+	ff.fail = ff.calls + 1
+	res, err = c.ServeTick(2, []client.Request{req(2, 2)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissDownloads != 1 || res.Retries != 1 {
+		t.Fatalf("recovery tick: downloads/retries = %d/%d, want 1/1", res.MissDownloads, res.Retries)
+	}
+}
+
+// TestMetricsObserved checks the six dissemination counters reach the
+// obs registry through a push cell's tick loop.
+func TestMetricsObserved(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := obs.NewStationMetrics(reg, 0)
+	cat := unitCatalog(t, 8)
+	c := mustCell(t, Config{Catalog: cat, Strategy: PushTS, Knobs: Knobs{Interval: 2}, Metrics: m, Seed: 3})
+	for tick := 0; tick < 20; tick++ {
+		id := catalog.ID(tick % cat.Len())
+		if _, err := c.ServeTick(tick, []client.Request{req(id, tick)}, []catalog.ID{id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if m.InvalidationReports.Value() != st.ReportsBroadcast || st.ReportsBroadcast == 0 {
+		t.Fatalf("reports counter %d vs stats %d", m.InvalidationReports.Value(), st.ReportsBroadcast)
+	}
+	if m.InvalidatedEntries.Value() != st.Invalidated {
+		t.Fatalf("invalidated counter %d vs stats %d", m.InvalidatedEntries.Value(), st.Invalidated)
+	}
+	if m.PushUnits.Value() != st.PushUnits {
+		t.Fatalf("push units counter %d vs stats %d", m.PushUnits.Value(), st.PushUnits)
+	}
+	if m.Ticks.Value() != 20 {
+		t.Fatalf("ticks counter %d, want 20", m.Ticks.Value())
+	}
+}

@@ -1,0 +1,63 @@
+package dissemination
+
+import (
+	"testing"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+)
+
+// TestStrategyAccessor pins the Strategy accessor the engines use to
+// label reports and metrics shards.
+func TestStrategyAccessor(t *testing.T) {
+	cat := unitCatalog(t, 16)
+	for _, s := range []Strategy{PushTS, PushAT, BroadcastFlat, BroadcastDisk, HybridPushPull} {
+		c := mustCell(t, Config{Catalog: cat, Strategy: s})
+		if c.Strategy() != s {
+			t.Fatalf("Strategy() = %v, want %v", c.Strategy(), s)
+		}
+	}
+}
+
+// TestObserveUpdatesDuringOutage covers the engine hook for downed
+// cells: a push cell that observes updates while silent must invalidate
+// the terminal's stale entries with its first post-recovery report,
+// while a broadcast cell treats the hook as a no-op.
+func TestObserveUpdatesDuringOutage(t *testing.T) {
+	cat := unitCatalog(t, 16)
+	cell := mustCell(t, Config{Catalog: cat, Strategy: PushTS, Knobs: Knobs{Interval: 2, Window: 4}})
+
+	// Fill the terminal's entry for object 0, then let the cell sit out
+	// two ticks of updates it only observes.
+	if _, err := cell.ServeTick(0, []client.Request{req(0, 0)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	cell.ObserveUpdates(1, []catalog.ID{0})
+	cell.ObserveUpdates(2, []catalog.ID{0})
+	before := cell.Stats()
+
+	// The next report interval must name the observed updates and drop
+	// the stale entry.
+	if _, err := cell.ServeTick(4, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := cell.Stats()
+	if after.ReportsBroadcast == before.ReportsBroadcast {
+		t.Fatalf("no report aired after recovery: %+v", after)
+	}
+	if after.Invalidated == before.Invalidated {
+		t.Fatalf("observed updates never invalidated the stale entry: %+v", after)
+	}
+
+	// Broadcast strategies always air current versions; the hook is a
+	// declared no-op and must not disturb the counters.
+	bc := mustCell(t, Config{Catalog: cat, Strategy: BroadcastFlat})
+	if _, err := bc.ServeTick(0, []client.Request{req(3, 0)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := bc.Stats()
+	bc.ObserveUpdates(1, []catalog.ID{3, 4})
+	if bc.Stats() != snap {
+		t.Fatalf("ObserveUpdates disturbed a broadcast cell: %+v vs %+v", bc.Stats(), snap)
+	}
+}

@@ -156,11 +156,20 @@ func SleeperStudy(cfg SleeperStudyConfig) (*metrics.Figure, error) {
 
 func sleeperRun(cfg SleeperStudyConfig, strategy invalidation.Strategy, sleepP float64) (float64, error) {
 	src := rng.New(cfg.Seed + uint64(sleepP*100))
-	b, err := invalidation.NewBroadcaster(cfg.Interval, cfg.Window)
+	// AT reports cover one interval only; the configured window shapes
+	// the TS broadcaster alone.
+	window := cfg.Window
+	if strategy == invalidation.AT {
+		window = 1
+	}
+	b, err := invalidation.NewBroadcaster(cfg.Interval, window)
 	if err != nil {
 		return 0, err
 	}
-	term := invalidation.NewTerminal(strategy, b)
+	term, err := invalidation.NewTerminal(strategy, b)
+	if err != nil {
+		return 0, err
+	}
 	for tick := 1; tick <= cfg.Ticks; tick++ {
 		for i := 0; i < cfg.Objects; i++ {
 			if src.Bernoulli(cfg.UpdateProb) {
@@ -171,7 +180,7 @@ func sleeperRun(cfg SleeperStudyConfig, strategy invalidation.Strategy, sleepP f
 			term.OnReport(b.ReportAt(tick))
 		}
 		id := catalog.ID(src.Intn(cfg.Objects))
-		if !term.Query(id) {
+		if !term.Query(id, tick) {
 			term.Fill(id, tick)
 		}
 	}

@@ -1,0 +1,292 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mobicache/internal/basestation"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/core"
+	"mobicache/internal/dissemination"
+	"mobicache/internal/fault"
+	"mobicache/internal/metrics"
+	"mobicache/internal/parallel"
+	"mobicache/internal/policy"
+	"mobicache/internal/rng"
+	"mobicache/internal/server"
+)
+
+// DisseminationLevel is one degradation profile the strategies are
+// compared under: a per-fetch failure probability and repeating outage
+// windows on the fixed network (hurting the pull paths) plus a sleep
+// probability on the wireless downlink (hurting the push reports).
+type DisseminationLevel struct {
+	// Name labels the profile ("ideal", "flapping-40", ...).
+	Name string
+	// X is the profile's plot coordinate.
+	X float64
+	// SleepProb is the per-report terminal sleep probability.
+	SleepProb float64
+	// FailureProb is the per-fetch fixed-network failure probability.
+	FailureProb float64
+	// Flapping, when positive, adds a repeating total outage of this
+	// duration every 4x ticks on the fixed network.
+	Flapping int
+}
+
+// DisseminationStudyConfig parameterizes the dissemination-strategy
+// comparison: the paper's on-demand knapsack station versus the push
+// alternatives it argues against (invalidation-report terminals and
+// broadcast schedules), under increasingly hostile connectivity.
+type DisseminationStudyConfig struct {
+	// Objects is the catalog size (unit-size objects).
+	Objects int
+	// UpdatePeriod is the simultaneous master-update period in ticks.
+	UpdatePeriod int
+	// BudgetPerTick caps the on-demand station's downloads per tick.
+	BudgetPerTick int64
+	// RatePerTick is the client request rate (Zipf access).
+	RatePerTick int
+	// Interval and Window configure the invalidation broadcasters.
+	Interval, Window int
+	// SlotsPerTick, PullEvery, Threshold configure the hybrid schedule.
+	SlotsPerTick, PullEvery, Threshold int
+	// Retry is the retry policy for every strategy's fetch path.
+	Retry basestation.RetryConfig
+	// Levels are the degradation profiles swept.
+	Levels []DisseminationLevel
+	// Warmup and Measure are the tick counts.
+	Warmup, Measure int
+	// Seed drives the request stream and every failure/sleep draw.
+	Seed uint64
+}
+
+// DefaultDisseminationStudy returns the configuration used in
+// EXPERIMENTS.md.
+func DefaultDisseminationStudy() DisseminationStudyConfig {
+	return DisseminationStudyConfig{
+		Objects:       120,
+		UpdatePeriod:  5,
+		BudgetPerTick: 12,
+		RatePerTick:   40,
+		Interval:      10,
+		Window:        2,
+		SlotsPerTick:  4,
+		PullEvery:     4,
+		Threshold:     15,
+		Retry:         basestation.RetryConfig{MaxAttempts: 2, BaseBackoff: 0.5, MaxBackoff: 4},
+		Levels: []DisseminationLevel{
+			{Name: "ideal", X: 0},
+			{Name: "disconnect-20", X: 1, SleepProb: 0.2, FailureProb: 0.2},
+			{Name: "flapping-40", X: 2, SleepProb: 0.4, FailureProb: 0.2, Flapping: 25},
+			{Name: "disconnect-60", X: 3, SleepProb: 0.6, FailureProb: 0.4},
+		},
+		Warmup:  40,
+		Measure: 400,
+		Seed:    11000,
+	}
+}
+
+// DisseminationStrategies are the strategy names the study compares,
+// on-demand first.
+var DisseminationStrategies = []string{"on-demand", "push-ts", "push-at", "hybrid-pushpull"}
+
+// DisseminationRow is one (strategy, level) cell's exact counters, for
+// regression pinning: every field is deterministic in the seed.
+type DisseminationRow struct {
+	Strategy string
+	Level    string
+
+	MeanScore        float64
+	MeanRecency      float64
+	BandwidthPerTick float64 // (download units + push units) / measured ticks
+
+	Downloads       uint64
+	FailedDownloads uint64
+	Reports         uint64
+	Invalidated     uint64
+	Purges          uint64
+	PushServed      uint64
+	PullServed      uint64
+	PushUnits       uint64
+}
+
+// DisseminationStudy runs every strategy through every degradation
+// level and returns the freshness-vs-bandwidth figure plus the exact
+// per-cell counters. Each cell replays the identical request stream
+// (same seed), so the rows differ only in what each strategy does with
+// it.
+func DisseminationStudy(cfg DisseminationStudyConfig) (*metrics.Figure, []DisseminationRow, error) {
+	if cfg.Objects < 8 || cfg.RatePerTick <= 0 || cfg.Measure <= 0 || cfg.UpdatePeriod <= 0 {
+		return nil, nil, fmt.Errorf("experiment: invalid dissemination study config %+v", cfg)
+	}
+	if len(cfg.Levels) == 0 {
+		return nil, nil, fmt.Errorf("experiment: dissemination study needs at least one level")
+	}
+	type cell struct {
+		strategy string
+		level    DisseminationLevel
+	}
+	var cells []cell
+	for _, s := range DisseminationStrategies {
+		for _, lv := range cfg.Levels {
+			cells = append(cells, cell{strategy: s, level: lv})
+		}
+	}
+	rows, err := parallel.Map(len(cells), 0, func(i int) (DisseminationRow, error) {
+		return disseminationRun(cfg, cells[i].strategy, cells[i].level)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	fig := metrics.NewFigure("Dissemination study (extension): freshness vs broadcast bandwidth under degraded connectivity",
+		"degradation level", "mean recency / bandwidth per tick")
+	for si, s := range DisseminationStrategies {
+		fresh := fig.AddSeries(s + " recency")
+		band := fig.AddSeries(s + " bandwidth")
+		for li, lv := range cfg.Levels {
+			row := rows[si*len(cfg.Levels)+li]
+			fresh.Add(lv.X, row.MeanRecency)
+			band.Add(lv.X, row.BandwidthPerTick)
+		}
+	}
+	return fig, rows, nil
+}
+
+// disseminationSchedule compiles one level's fixed-network faults.
+func disseminationSchedule(cfg DisseminationStudyConfig, lv DisseminationLevel) (*fault.Schedule, error) {
+	sched, err := fault.NewSchedule(1, cfg.Seed^0x5fa17bea7e12c0de)
+	if err != nil {
+		return nil, err
+	}
+	if lv.FailureProb > 0 {
+		if err := sched.SetFailureProb(fault.AllServers, lv.FailureProb); err != nil {
+			return nil, err
+		}
+	}
+	if lv.Flapping > 0 {
+		w := fault.Window{From: cfg.Warmup, To: cfg.Warmup + lv.Flapping, Every: 4 * lv.Flapping}
+		if err := sched.AddOutage(fault.AllServers, w); err != nil {
+			return nil, err
+		}
+	}
+	return sched, nil
+}
+
+// disseminationRun simulates one (strategy, level) cell.
+func disseminationRun(cfg DisseminationStudyConfig, strategy string, lv DisseminationLevel) (DisseminationRow, error) {
+	row := DisseminationRow{Strategy: strategy, Level: lv.Name}
+	cat, err := catalog.Uniform(cfg.Objects, 1)
+	if err != nil {
+		return row, err
+	}
+	srv := server.New(cat, catalog.NewPeriodicAll(cat, cfg.UpdatePeriod))
+	sched, err := disseminationSchedule(cfg, lv)
+	if err != nil {
+		return row, err
+	}
+	fs, err := server.NewFaultyServer(srv, sched, nil)
+	if err != nil {
+		return row, err
+	}
+	gen, err := client.NewGenerator(client.GeneratorConfig{
+		Catalog:     cat,
+		Pattern:     rng.Zipf,
+		RatePerTick: cfg.RatePerTick,
+		Seed:        cfg.Seed, // identical stream across strategies and levels
+	})
+	if err != nil {
+		return row, err
+	}
+
+	if strategy == "on-demand" {
+		sel, err := core.NewSelector(cat, solverConfig())
+		if err != nil {
+			return row, err
+		}
+		pol, err := policy.NewOnDemandKnapsack(sel)
+		if err != nil {
+			return row, err
+		}
+		st, err := basestation.New(basestation.Config{
+			Catalog:          cat,
+			Server:           srv,
+			Policy:           pol,
+			BudgetPerTick:    cfg.BudgetPerTick,
+			CompulsoryMisses: true,
+			Fetcher:          fs,
+			Retry:            cfg.Retry,
+			Metrics:          metricsBundle(),
+		})
+		if err != nil {
+			return row, err
+		}
+		if _, err := st.Run(0, cfg.Warmup, gen); err != nil {
+			return row, err
+		}
+		totals, err := st.Run(cfg.Warmup, cfg.Measure, gen)
+		if err != nil {
+			return row, err
+		}
+		row.MeanScore = totals.MeanScore()
+		row.MeanRecency = totals.MeanRecency()
+		row.Downloads = totals.Downloads()
+		row.FailedDownloads = totals.FailedDownloads
+		row.BandwidthPerTick = float64(totals.DownloadUnits) / float64(cfg.Measure)
+		return row, nil
+	}
+
+	strat, err := dissemination.ParseStrategy(strategy)
+	if err != nil {
+		return row, err
+	}
+	dc, err := dissemination.New(dissemination.Config{
+		Catalog:  cat,
+		Strategy: strat,
+		Knobs: dissemination.Knobs{
+			Interval:     cfg.Interval,
+			Window:       cfg.Window,
+			SlotsPerTick: cfg.SlotsPerTick,
+			PullEvery:    cfg.PullEvery,
+			Threshold:    cfg.Threshold,
+			SleepProb:    lv.SleepProb,
+		},
+		Fetcher: fs,
+		Retry:   cfg.Retry,
+		Metrics: metricsBundle(),
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return row, err
+	}
+	// Stats are cumulative since construction; the snapshot at the
+	// warmup boundary confines the reported counters to the measured
+	// window.
+	var totals basestation.Totals
+	var warm dissemination.Stats
+	for tick := 0; tick < cfg.Warmup+cfg.Measure; tick++ {
+		if tick == cfg.Warmup {
+			warm = dc.Stats()
+		}
+		res, err := dc.ServeTick(tick, gen.Tick(tick), srv.Tick(tick))
+		if err != nil {
+			return row, err
+		}
+		if tick >= cfg.Warmup {
+			totals.Add(res)
+		}
+	}
+	st := dc.Stats()
+	row.MeanScore = totals.MeanScore()
+	row.MeanRecency = totals.MeanRecency()
+	row.Downloads = totals.Downloads()
+	row.FailedDownloads = totals.FailedDownloads
+	row.Reports = st.ReportsBroadcast - warm.ReportsBroadcast
+	row.Invalidated = st.Invalidated - warm.Invalidated
+	row.Purges = st.Purges - warm.Purges
+	row.PushServed = st.PushServed - warm.PushServed
+	row.PullServed = st.PullServed - warm.PullServed
+	row.PushUnits = st.PushUnits - warm.PushUnits
+	row.BandwidthPerTick = (float64(totals.DownloadUnits) + float64(row.PushUnits)) / float64(cfg.Measure)
+	return row, nil
+}

@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"mobicache/internal/basestation"
+)
+
+func quickDisseminationStudy() DisseminationStudyConfig {
+	return DisseminationStudyConfig{
+		Objects: 64, UpdatePeriod: 5, BudgetPerTick: 8, RatePerTick: 20,
+		Interval: 10, Window: 2, SlotsPerTick: 4, PullEvery: 4, Threshold: 8,
+		Retry: basestation.RetryConfig{MaxAttempts: 2, BaseBackoff: 0.5},
+		Levels: []DisseminationLevel{
+			{Name: "ideal", X: 0},
+			{Name: "flapping-40", X: 1, SleepProb: 0.4, FailureProb: 0.2, Flapping: 25},
+		},
+		Warmup: 20, Measure: 100, Seed: 11000,
+	}
+}
+
+// TestDisseminationStudyPinnedCounters pins the exact per-cell counters
+// of the quick study configuration: every strategy, under the ideal and
+// the flapping fault profile, must reproduce these numbers bit for bit.
+// Any drift in the request stream, the fault schedule, the invalidation
+// or broadcast arithmetic, or the stats accounting shows up here.
+func TestDisseminationStudyPinnedCounters(t *testing.T) {
+	fig, rows, err := DisseminationStudy(quickDisseminationStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []DisseminationRow{
+		{Strategy: "on-demand", Level: "ideal", MeanScore: 0.9732000000000002, MeanRecency: 0.9596666666666667, BandwidthPerTick: 6.64, Downloads: 664, FailedDownloads: 0, Reports: 0, Invalidated: 0, Purges: 0, PushServed: 0, PullServed: 0, PushUnits: 0},
+		{Strategy: "on-demand", Level: "flapping-40", MeanScore: 0.8632357500085058, MeanRecency: 0.7683765873015874, BandwidthPerTick: 4.75, Downloads: 475, FailedDownloads: 229, Reports: 0, Invalidated: 0, Purges: 0, PushServed: 0, PullServed: 0, PushUnits: 0},
+		{Strategy: "push-ts", Level: "ideal", MeanScore: 0.8613333333333334, MeanRecency: 0.792, BandwidthPerTick: 11.24, Downloads: 474, FailedDownloads: 0, Reports: 10, Invalidated: 483, Purges: 0, PushServed: 0, PullServed: 0, PushUnits: 650},
+		{Strategy: "push-ts", Level: "flapping-40", MeanScore: 0.6125380952380952, MeanRecency: 0.5448333333333334, BandwidthPerTick: 9.71, Downloads: 321, FailedDownloads: 367, Reports: 10, Invalidated: 328, Purges: 0, PushServed: 0, PullServed: 0, PushUnits: 650},
+		{Strategy: "push-at", Level: "ideal", MeanScore: 0.8613333333333334, MeanRecency: 0.792, BandwidthPerTick: 11.24, Downloads: 474, FailedDownloads: 0, Reports: 10, Invalidated: 483, Purges: 0, PushServed: 0, PullServed: 0, PushUnits: 650},
+		{Strategy: "push-at", Level: "flapping-40", MeanScore: 0.6411333333333332, MeanRecency: 0.5971666666666667, BandwidthPerTick: 11.27, Downloads: 477, FailedDownloads: 377, Reports: 10, Invalidated: 327, Purges: 1, PushServed: 0, PullServed: 0, PushUnits: 650},
+		{Strategy: "hybrid-pushpull", Level: "ideal", MeanScore: 1, MeanRecency: 1, BandwidthPerTick: 4, Downloads: 0, FailedDownloads: 0, Reports: 0, Invalidated: 0, Purges: 0, PushServed: 1668, PullServed: 332, PushUnits: 400},
+		{Strategy: "hybrid-pushpull", Level: "flapping-40", MeanScore: 1, MeanRecency: 1, BandwidthPerTick: 4, Downloads: 0, FailedDownloads: 0, Reports: 0, Invalidated: 0, Purges: 0, PushServed: 1668, PullServed: 332, PushUnits: 400},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		if rows[i] != w {
+			t.Errorf("row %d (%s/%s) drifted:\n got %+v\nwant %+v", i, w.Strategy, w.Level, rows[i], w)
+		}
+	}
+	if got := len(fig.Series); got != 2*len(DisseminationStrategies) {
+		t.Fatalf("figure has %d series, want recency+bandwidth per strategy (%d)", got, 2*len(DisseminationStrategies))
+	}
+}
+
+// TestDisseminationStudyTradeoffShape checks the study reproduces the
+// qualitative claims the comparison exists to make: the broadcast hybrid
+// is immune to fixed-network degradation but pays constant airtime,
+// while both pull-side paths lose freshness as the network flaps — and
+// the invalidation terminals spend report airtime on top of their
+// downloads.
+func TestDisseminationStudyTradeoffShape(t *testing.T) {
+	_, rows, err := DisseminationStudy(quickDisseminationStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]DisseminationRow{}
+	for _, r := range rows {
+		byKey[r.Strategy+"/"+r.Level] = r
+	}
+	hybridIdeal, hybridFlap := byKey["hybrid-pushpull/ideal"], byKey["hybrid-pushpull/flapping-40"]
+	if hybridIdeal.MeanRecency != 1 || hybridFlap.MeanRecency != 1 {
+		t.Fatalf("broadcast delivery not always fresh: %+v %+v", hybridIdeal, hybridFlap)
+	}
+	if hybridIdeal.BandwidthPerTick != hybridFlap.BandwidthPerTick {
+		t.Fatalf("broadcast airtime should not depend on the fixed network: %v vs %v",
+			hybridIdeal.BandwidthPerTick, hybridFlap.BandwidthPerTick)
+	}
+	for _, s := range []string{"on-demand", "push-ts", "push-at"} {
+		if byKey[s+"/flapping-40"].MeanRecency >= byKey[s+"/ideal"].MeanRecency {
+			t.Fatalf("%s: flapping did not degrade freshness", s)
+		}
+	}
+	for _, s := range []string{"push-ts", "push-at"} {
+		r := byKey[s+"/ideal"]
+		if r.PushUnits == 0 || r.Reports == 0 {
+			t.Fatalf("%s: invalidation airtime missing: %+v", s, r)
+		}
+		if r.BandwidthPerTick <= float64(r.Downloads)/100 {
+			t.Fatalf("%s: bandwidth %v does not include report airtime", s, r.BandwidthPerTick)
+		}
+	}
+	// The knapsack station under the ideal level stays the freshness
+	// frontier for its bandwidth: more recent than the report-driven
+	// terminals, which only refetch what reports invalidate.
+	if byKey["on-demand/ideal"].MeanRecency <= byKey["push-ts/ideal"].MeanRecency {
+		t.Fatalf("knapsack station should beat TS terminals on freshness when the network is clean: %v vs %v",
+			byKey["on-demand/ideal"].MeanRecency, byKey["push-ts/ideal"].MeanRecency)
+	}
+}
+
+// TestDisseminationStudyValidation exercises the config checks.
+func TestDisseminationStudyValidation(t *testing.T) {
+	bad := quickDisseminationStudy()
+	bad.Objects = 4
+	if _, _, err := DisseminationStudy(bad); err == nil {
+		t.Fatal("tiny catalog accepted")
+	}
+	bad = quickDisseminationStudy()
+	bad.Levels = nil
+	if _, _, err := DisseminationStudy(bad); err == nil {
+		t.Fatal("empty level sweep accepted")
+	}
+}
+
+// TestDisseminationStudyScoreBounds keeps every cell's means inside
+// [0, 1] — a guard against accounting drift that the exact pins would
+// catch only for the quick config.
+func TestDisseminationStudyScoreBounds(t *testing.T) {
+	_, rows, err := DisseminationStudy(quickDisseminationStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.MeanScore < 0 || r.MeanScore > 1 || math.IsNaN(r.MeanScore) {
+			t.Fatalf("%s/%s: mean score %v out of [0,1]", r.Strategy, r.Level, r.MeanScore)
+		}
+		if r.MeanRecency < 0 || r.MeanRecency > 1 || math.IsNaN(r.MeanRecency) {
+			t.Fatalf("%s/%s: mean recency %v out of [0,1]", r.Strategy, r.Level, r.MeanRecency)
+		}
+	}
+}
+
+// TestDefaultDisseminationStudyRuns checks the default configuration —
+// the one `figures -fig dissemination` ships — validates and completes,
+// producing one figure series per strategy and a full strategy x level
+// grid of rows.
+func TestDefaultDisseminationStudyRuns(t *testing.T) {
+	cfg := DefaultDisseminationStudy()
+	fig, rows, err := DisseminationStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(DisseminationStrategies); len(fig.Series) != want {
+		t.Fatalf("%d figure series, want %d (recency + bandwidth per strategy)", len(fig.Series), want)
+	}
+	if want := len(DisseminationStrategies) * len(cfg.Levels); len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.MeanScore <= 0 || r.MeanScore > 1 {
+			t.Fatalf("%s/%s: mean score %v out of (0,1]", r.Strategy, r.Level, r.MeanScore)
+		}
+		if r.BandwidthPerTick <= 0 {
+			t.Fatalf("%s/%s: no bandwidth accounted", r.Strategy, r.Level)
+		}
+	}
+}

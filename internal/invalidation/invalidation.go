@@ -139,15 +139,24 @@ type Terminal struct {
 	stats      Stats
 }
 
-// NewTerminal creates a terminal for a broadcaster's parameters.
-func NewTerminal(strategy Strategy, b *Broadcaster) *Terminal {
+// NewTerminal creates a terminal for a broadcaster's parameters. An AT
+// terminal requires a window-1 broadcaster: AT reports cover only the
+// history since the previous report, and a windowed `ReportAt` emits
+// TS-shaped reports whose WindowStart an amnesic terminal has no right
+// to trust (it can only verify one interval back).
+func NewTerminal(strategy Strategy, b *Broadcaster) (*Terminal, error) {
+	if strategy == AT && b.Window() != 1 {
+		return nil, fmt.Errorf(
+			"invalidation: AT terminal requires a window-1 broadcaster, got window %d (AT reports cover one interval only)",
+			b.Window())
+	}
 	return &Terminal{
 		strategy:   strategy,
 		interval:   b.Interval(),
 		window:     b.Window(),
 		entries:    make(map[catalog.ID]int),
 		lastReport: -1,
-	}
+	}, nil
 }
 
 // Len returns the number of cached entries.
@@ -161,11 +170,34 @@ func (t *Terminal) Fill(id catalog.ID, tick int) {
 	t.entries[id] = tick
 }
 
-// Query reports whether the terminal can answer for id from its cache.
-func (t *Terminal) Query(id catalog.ID) bool {
-	if _, ok := t.entries[id]; ok {
-		t.stats.Hits++
-		return true
+// coverage returns how far back, in ticks, the terminal's reports can
+// verify its cache: w*L for TS, one interval for AT.
+func (t *Terminal) coverage() int {
+	if t.strategy == AT {
+		return t.interval
+	}
+	return t.interval * t.window
+}
+
+// Query reports whether the terminal can answer for id from its cache at
+// the given tick. A hit is refused — and counted as a miss — when the
+// terminal can no longer vouch for the entry: once tick-lastReport
+// exceeds the strategy's coverage the terminal has slept past its
+// window, and serving the entry anyway would violate the package
+// contract ("never knowingly serve data older than one broadcast
+// interval"). Before the first report, an entry vouches for itself only
+// within one interval of its fill tick.
+func (t *Terminal) Query(id catalog.ID, tick int) bool {
+	filled, ok := t.entries[id]
+	if ok {
+		verifiable := tick-t.lastReport <= t.coverage()
+		if t.lastReport < 0 {
+			verifiable = tick-filled <= t.interval
+		}
+		if verifiable {
+			t.stats.Hits++
+			return true
+		}
 	}
 	t.stats.Misses++
 	return false
@@ -193,10 +225,18 @@ func (t *Terminal) OnReport(r Report) {
 		}
 	}
 	// First report ever heard: nothing cached before it can be verified
-	// unless it was filled after the window start.
+	// unless it was filled after the window start. The cutoff is
+	// strategy-aware: the terminal trusts the report's WindowStart only
+	// as far back as its own coverage reaches, so a TS-shaped (windowed)
+	// report cannot trick an AT terminal into keeping entries it has no
+	// right to verify.
 	if t.lastReport < 0 {
+		start := r.Tick - t.coverage()
+		if r.WindowStart > start {
+			start = r.WindowStart
+		}
 		for id, ts := range t.entries {
-			if ts <= r.WindowStart {
+			if ts <= start {
 				delete(t.entries, id)
 				t.stats.Invalidated++
 			}

@@ -7,6 +7,17 @@ import (
 	"mobicache/internal/rng"
 )
 
+// mustTerminal builds a terminal or fails the test; most tests pair
+// strategies with compatible broadcasters, so the error path is noise.
+func mustTerminal(t *testing.T, strategy Strategy, b *Broadcaster) *Terminal {
+	t.Helper()
+	term, err := NewTerminal(strategy, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return term
+}
+
 func TestNewBroadcasterValidation(t *testing.T) {
 	if _, err := NewBroadcaster(0, 1); err == nil {
 		t.Fatal("zero interval accepted")
@@ -53,16 +64,16 @@ func TestStrategyString(t *testing.T) {
 
 func TestTerminalInvalidatesUpdatedEntries(t *testing.T) {
 	b, _ := NewBroadcaster(10, 2)
-	term := NewTerminal(TS, b)
+	term := mustTerminal(t, TS, b)
 	term.OnReport(b.ReportAt(10)) // first report: empty cache, establishes sync
 	term.Fill(1, 12)
 	term.Fill(2, 13)
 	b.RecordUpdate(1, 15) // object 1 changes after the fill
 	term.OnReport(b.ReportAt(20))
-	if term.Query(1) {
+	if term.Query(1, 20) {
 		t.Fatal("updated entry survived the report")
 	}
-	if !term.Query(2) {
+	if !term.Query(2, 20) {
 		t.Fatal("untouched entry was dropped")
 	}
 	s := term.Stats()
@@ -73,19 +84,19 @@ func TestTerminalInvalidatesUpdatedEntries(t *testing.T) {
 
 func TestTerminalKeepsEntryFilledAfterUpdate(t *testing.T) {
 	b, _ := NewBroadcaster(10, 2)
-	term := NewTerminal(TS, b)
+	term := mustTerminal(t, TS, b)
 	term.OnReport(b.ReportAt(10))
 	b.RecordUpdate(1, 12)
 	term.Fill(1, 15) // fetched AFTER the update: still current
 	term.OnReport(b.ReportAt(20))
-	if !term.Query(1) {
+	if !term.Query(1, 20) {
 		t.Fatal("entry newer than the update was invalidated")
 	}
 }
 
 func TestTSSleeperWithinWindowPatches(t *testing.T) {
 	b, _ := NewBroadcaster(10, 3) // window covers 30 ticks
-	term := NewTerminal(TS, b)
+	term := mustTerminal(t, TS, b)
 	term.OnReport(b.ReportAt(10))
 	term.Fill(1, 11)
 	term.Fill(2, 12)
@@ -96,17 +107,17 @@ func TestTSSleeperWithinWindowPatches(t *testing.T) {
 	if term.Stats().Purges != 0 {
 		t.Fatal("in-window sleeper purged its cache")
 	}
-	if term.Query(2) {
+	if term.Query(2, 40) {
 		t.Fatal("stale entry survived in-window patch")
 	}
-	if !term.Query(1) {
+	if !term.Query(1, 40) {
 		t.Fatal("fresh entry dropped by in-window patch")
 	}
 }
 
 func TestTSLongSleeperPurges(t *testing.T) {
 	b, _ := NewBroadcaster(10, 2) // coverage 20 ticks
-	term := NewTerminal(TS, b)
+	term := mustTerminal(t, TS, b)
 	term.OnReport(b.ReportAt(10))
 	term.Fill(1, 11)
 	// Sleeps 30 ticks > 20: whole cache dropped.
@@ -119,9 +130,103 @@ func TestTSLongSleeperPurges(t *testing.T) {
 	}
 }
 
+// TestSleeperQueryRefusedPastCoverage is the regression test for the
+// tick-unaware Query bug: a terminal that slept past its window kept
+// serving cache hits until the NEXT report happened to arrive, because
+// Query never compared the current tick against lastReport. Pre-fix the
+// Query at tick 45 returned true.
+func TestSleeperQueryRefusedPastCoverage(t *testing.T) {
+	b, _ := NewBroadcaster(10, 2) // TS coverage 20 ticks
+	term := mustTerminal(t, TS, b)
+	term.OnReport(b.ReportAt(10))
+	term.Fill(1, 11)
+	if !term.Query(1, 15) {
+		t.Fatal("in-coverage hit refused")
+	}
+	if !term.Query(1, 30) {
+		t.Fatal("hit at the coverage boundary (gap == w*L) refused")
+	}
+	// Tick 45: gap 35 > 20. No report has arrived to trigger the purge,
+	// but the terminal can no longer vouch for the entry.
+	if term.Query(1, 45) {
+		t.Fatal("terminal asleep past its window served a cache hit")
+	}
+	s := term.Stats()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits and the refused hit counted as a miss", s)
+	}
+}
+
+func TestATQueryRefusedAfterMissedReport(t *testing.T) {
+	b, _ := NewBroadcaster(10, 1)
+	term := mustTerminal(t, AT, b)
+	term.OnReport(b.ReportAt(10))
+	term.Fill(1, 11)
+	if !term.Query(1, 19) {
+		t.Fatal("attentive AT hit refused")
+	}
+	// One missed report (tick 20 report not heard): at tick 21 the gap
+	// 11 exceeds the single-interval coverage.
+	if term.Query(1, 21) {
+		t.Fatal("amnesic terminal served a hit past one missed report")
+	}
+}
+
+func TestPreSyncQueryBoundedByInterval(t *testing.T) {
+	b, _ := NewBroadcaster(10, 2)
+	term := mustTerminal(t, TS, b)
+	term.Fill(1, 2)
+	if !term.Query(1, 8) {
+		t.Fatal("fresh pre-sync entry refused")
+	}
+	// Never heard a report: the entry only vouches for itself one
+	// interval past its fill tick.
+	if term.Query(1, 30) {
+		t.Fatal("pre-sync entry served past one interval with no report ever heard")
+	}
+}
+
+// TestNewTerminalRejectsATWindowedBroadcaster is the constructor half of
+// the AT/window mismatch fix: ReportAt always emits `window` intervals of
+// history, which is TS-shaped, so pairing an AT terminal with a
+// window > 1 broadcaster is a configuration error. Pre-fix the pairing
+// was accepted silently.
+func TestNewTerminalRejectsATWindowedBroadcaster(t *testing.T) {
+	windowed, _ := NewBroadcaster(10, 3)
+	if _, err := NewTerminal(AT, windowed); err == nil {
+		t.Fatal("AT terminal accepted a window-3 broadcaster")
+	}
+	single, _ := NewBroadcaster(10, 1)
+	if _, err := NewTerminal(AT, single); err != nil {
+		t.Fatalf("AT with window-1 broadcaster rejected: %v", err)
+	}
+	if _, err := NewTerminal(TS, windowed); err != nil {
+		t.Fatalf("TS with windowed broadcaster rejected: %v", err)
+	}
+}
+
+// TestATFirstReportPruningIgnoresForeignWindow is the behavioral half: a
+// hand-built TS-shaped report (three intervals of claimed coverage) fed
+// to an AT terminal. Pre-fix the first-report pruning trusted
+// r.WindowStart verbatim, keeping entries filled two intervals back that
+// the amnesic scheme has no way to verify.
+func TestATFirstReportPruningIgnoresForeignWindow(t *testing.T) {
+	single, _ := NewBroadcaster(10, 1)
+	term := mustTerminal(t, AT, single)
+	term.Fill(1, 15) // two intervals before the report: unverifiable under AT
+	term.Fill(2, 35) // within (30, 40]: verifiable
+	term.OnReport(Report{Tick: 40, WindowStart: 10})
+	if term.Query(1, 40) {
+		t.Fatal("AT terminal kept an entry only a TS window could verify")
+	}
+	if !term.Query(2, 40) {
+		t.Fatal("entry within the AT interval dropped")
+	}
+}
+
 func TestATMissedReportPurges(t *testing.T) {
 	b, _ := NewBroadcaster(10, 1)
-	term := NewTerminal(AT, b)
+	term := mustTerminal(t, AT, b)
 	term.OnReport(b.ReportAt(10))
 	term.Fill(1, 11)
 	// Misses the report at 20; hears 30.
@@ -133,7 +238,7 @@ func TestATMissedReportPurges(t *testing.T) {
 
 func TestATConsecutiveReportsKeepCache(t *testing.T) {
 	b, _ := NewBroadcaster(10, 1)
-	term := NewTerminal(AT, b)
+	term := mustTerminal(t, AT, b)
 	term.OnReport(b.ReportAt(10))
 	term.Fill(1, 11)
 	term.OnReport(b.ReportAt(20))
@@ -141,22 +246,22 @@ func TestATConsecutiveReportsKeepCache(t *testing.T) {
 	if term.Stats().Purges != 0 {
 		t.Fatal("attentive amnesic terminal purged")
 	}
-	if !term.Query(1) {
+	if !term.Query(1, 30) {
 		t.Fatal("entry lost without updates")
 	}
 }
 
 func TestFirstReportDropsUnverifiableEntries(t *testing.T) {
 	b, _ := NewBroadcaster(10, 1)
-	term := NewTerminal(TS, b)
+	term := mustTerminal(t, TS, b)
 	// Filled before ever hearing a report, older than the window.
 	term.Fill(1, 2)
 	term.Fill(2, 15) // within (10, 20]: verifiable by the report at 20
 	term.OnReport(b.ReportAt(20))
-	if term.Query(1) {
+	if term.Query(1, 20) {
 		t.Fatal("unverifiable pre-sync entry survived")
 	}
-	if !term.Query(2) {
+	if !term.Query(2, 20) {
 		t.Fatal("verifiable entry dropped")
 	}
 }
@@ -172,7 +277,7 @@ func TestNoStaleReadsInvariant(t *testing.T) {
 	)
 	src := rng.New(42)
 	b, _ := NewBroadcaster(interval, 2)
-	term := NewTerminal(TS, b)
+	term := mustTerminal(t, TS, b)
 	// trueUpdate[i] is the latest update tick of object i.
 	trueUpdate := make([]int, objects)
 	for i := range trueUpdate {
@@ -191,14 +296,14 @@ func TestNoStaleReadsInvariant(t *testing.T) {
 		if tick%interval == 0 {
 			term.OnReport(b.ReportAt(tick))
 			for id := range cachedAt {
-				if !term.Query(id) {
+				if !term.Query(id, tick) {
 					delete(cachedAt, id)
 				}
 			}
 		}
 		// Random query + fill.
 		id := catalog.ID(src.Intn(objects))
-		if term.Query(id) {
+		if term.Query(id, tick) {
 			// Cached: its value must not predate an update older than one
 			// report interval (updates since the last report are the
 			// permitted staleness).
@@ -219,11 +324,17 @@ func TestNoStaleReadsInvariant(t *testing.T) {
 
 func TestTSHitRatioBeatsATUnderSleep(t *testing.T) {
 	// A terminal that periodically sleeps for one report interval: TS
-	// patches and keeps its cache, AT purges every time.
+	// patches and keeps its cache, AT purges every time. Each strategy
+	// gets the broadcaster shape it is allowed to pair with: TS a
+	// windowed one, AT window 1.
 	run := func(strategy Strategy) uint64 {
 		src := rng.New(7)
-		b, _ := NewBroadcaster(10, 4)
-		term := NewTerminal(strategy, b)
+		window := 4
+		if strategy == AT {
+			window = 1
+		}
+		b, _ := NewBroadcaster(10, window)
+		term := mustTerminal(t, strategy, b)
 		for tick := 1; tick <= 4000; tick++ {
 			if src.Bernoulli(0.01) {
 				b.RecordUpdate(catalog.ID(src.Intn(100)), tick)
@@ -235,7 +346,7 @@ func TestTSHitRatioBeatsATUnderSleep(t *testing.T) {
 				}
 			}
 			id := catalog.ID(src.Intn(100))
-			if !term.Query(id) {
+			if !term.Query(id, tick) {
 				term.Fill(id, tick)
 			}
 		}

@@ -33,6 +33,7 @@ import (
 	"mobicache/internal/catalog"
 	"mobicache/internal/client"
 	"mobicache/internal/core"
+	"mobicache/internal/dissemination"
 	"mobicache/internal/fault"
 	"mobicache/internal/obs"
 	"mobicache/internal/parallel"
@@ -109,6 +110,16 @@ type Config struct {
 	// the shards are merged into the aggregate Station bundle, whose
 	// mobicache_ticks_total counts engine ticks — not cell-ticks.
 	Metrics *obs.MulticellMetrics
+	// Dissemination replaces every cell's knapsack station with a
+	// push/broadcast cell of the given strategy (see
+	// internal/dissemination). The zero value (OnDemand) keeps stations.
+	// Cell faults and per-cell fetch faults still apply; CacheSharing
+	// and Resilience guard the stations' caches and fetch paths and do
+	// not compose with a push strategy.
+	Dissemination dissemination.Strategy
+	// DisseminationKnobs tunes the active dissemination strategy (zero
+	// values select the package defaults).
+	DisseminationKnobs dissemination.Knobs
 }
 
 // validate rejects a malformed configuration up front, so errors carry
@@ -143,6 +154,14 @@ func (cfg *Config) validate() error {
 	if cfg.Resilience != nil {
 		if err := cfg.Resilience.Validate(); err != nil {
 			return fmt.Errorf("multicell: %w", err)
+		}
+	}
+	if cfg.Dissemination != dissemination.OnDemand {
+		if cfg.CacheSharing {
+			return fmt.Errorf("multicell: cooperative cache sharing copies station caches; it does not compose with dissemination strategy %q", cfg.Dissemination)
+		}
+		if cfg.Resilience != nil {
+			return fmt.Errorf("multicell: resilience layer guards the stations' fetch paths; it does not compose with dissemination strategy %q", cfg.Dissemination)
 		}
 	}
 	m := cfg.Mobility.WithDefaults()
@@ -183,6 +202,15 @@ type Report struct {
 	BreakerTrips    uint64 // circuit-breaker trips across all cells
 	FailedDownloads uint64 // downloads abandoned after retries/timeout
 	StaleFallbacks  uint64 // requests served stale because a refresh failed
+
+	// Dissemination accounting (zero on the default on-demand path).
+	Dissemination       string // active strategy name ("" = stations)
+	InvalidationReports uint64 // invalidation reports broadcast across all cells
+	InvalidatedEntries  uint64 // terminal cache entries dropped by reports
+	TerminalPurges      uint64 // whole-cache terminal drops
+	PushServed          uint64 // requests satisfied by broadcast schedules
+	PullServed          uint64 // requests satisfied by pull backchannels
+	PushUnits           uint64 // broadcast-channel bandwidth spent
 }
 
 // shareOp is one gathered cooperative copy: install src (an entry of some
@@ -198,7 +226,13 @@ type System struct {
 	cat      *catalog.Catalog
 	srv      *server.Server
 	stations []*basestation.Station
-	pop      *client.Population
+	// dcells replaces stations cell-for-cell when a dissemination
+	// strategy is active (stations stays empty then).
+	dcells []*dissemination.Cell
+	// dcellStart snapshots each dissemination cell's stats at Run start
+	// so the report covers only the latest Run, like cellTotals.
+	dcellStart []dissemination.Stats
+	pop        *client.Population
 	// cellSrc holds one independent request stream per cell, derived via
 	// a splitmix64 chain from cfg.Seed, so a cell's draws depend only on
 	// the clients visiting it — never on sibling cells or worker count.
@@ -293,6 +327,40 @@ func New(cfg Config) (*System, error) {
 		}
 		sys.merger = obs.NewShardMerger(cfg.Metrics.Station, shards)
 	}
+	if cfg.Dissemination != dissemination.OnDemand {
+		for c := 0; c < cfg.Cells; c++ {
+			dcfg := dissemination.Config{
+				Catalog:  cat,
+				Strategy: cfg.Dissemination,
+				Knobs:    cfg.DisseminationKnobs,
+				// The same golden-ratio chain scheduleFor uses, so sleep
+				// draws are per-cell streams independent of the workload.
+				Seed: cfg.Seed + uint64(c)*0x9e3779b97f4a7c15,
+			}
+			if shards != nil {
+				dcfg.Metrics = shards[c]
+			}
+			if cfg.FetchFaults != nil {
+				sched, err := cfg.FetchFaults(c)
+				if err != nil {
+					return nil, fmt.Errorf("multicell: cell %d fault schedule: %w", c, err)
+				}
+				fs, err := server.NewFaultyServer(srv, sched, nil)
+				if err != nil {
+					return nil, err
+				}
+				dcfg.Fetcher = fs
+				dcfg.Retry = cfg.Retry
+			}
+			dc, err := dissemination.New(dcfg)
+			if err != nil {
+				return nil, fmt.Errorf("multicell: cell %d: %w", c, err)
+			}
+			sys.dcells = append(sys.dcells, dc)
+		}
+		sys.dcellStart = make([]dissemination.Stats, cfg.Cells)
+		return finishNew(sys, cfg)
+	}
 	for c := 0; c < cfg.Cells; c++ {
 		scfg := core.Config{Solver: cfg.Solver, Trace: ring}
 		if shards != nil {
@@ -353,6 +421,12 @@ func New(cfg Config) (*System, error) {
 		}
 		sys.stations = append(sys.stations, st)
 	}
+	return finishNew(sys, cfg)
+}
+
+// finishNew attaches the mobile population and the request-generation
+// visitor — the parts shared by the station and dissemination builds.
+func finishNew(sys *System, cfg Config) (*System, error) {
 	pop, err := client.NewPopulation(cfg.Clients, cfg.Cells, cfg.Mobility, cfg.Seed+1)
 	if err != nil {
 		return nil, err
@@ -412,6 +486,9 @@ func (s *System) RunSampled(n int, sample func(ticks int, rep Report) error) (Re
 	for i := range s.cellTotals {
 		s.cellTotals[i] = basestation.Totals{}
 	}
+	for c, dc := range s.dcells {
+		s.dcellStart[c] = dc.Stats()
+	}
 	s.reroutes, s.lost, s.cellDownTicks = 0, 0, 0
 	for tick := 0; tick < n; tick++ {
 		if err := s.tick(tick); err != nil {
@@ -457,6 +534,18 @@ func (s *System) report(n int) Report {
 	if rep.Requests > 0 {
 		rep.MeanScore = scoreSum / float64(rep.Requests)
 		rep.MeanRecency = recencySum / float64(rep.Requests)
+	}
+	if s.dcells != nil {
+		rep.Dissemination = s.cfg.Dissemination.String()
+		for c, dc := range s.dcells {
+			st, start := dc.Stats(), s.dcellStart[c]
+			rep.InvalidationReports += st.ReportsBroadcast - start.ReportsBroadcast
+			rep.InvalidatedEntries += st.Invalidated - start.Invalidated
+			rep.TerminalPurges += st.Purges - start.Purges
+			rep.PushServed += st.PushServed - start.PushServed
+			rep.PullServed += st.PullServed - start.PullServed
+			rep.PushUnits += st.PushUnits - start.PushUnits
+		}
 	}
 	return rep
 }
@@ -543,32 +632,17 @@ func (s *System) tick(tick int) error {
 	// (cache, policy, metrics shard); the shared server only sees
 	// concurrency-safe Downloads. Workers == 1 keeps the loop free of
 	// goroutines entirely.
-	if s.workers == 1 || len(s.stations) == 1 {
-		for c, st := range s.stations {
-			if s.downNow[c] {
-				s.results[c] = basestation.TickResult{Tick: tick}
-				continue
+	cells := len(s.results)
+	if s.workers == 1 || cells == 1 {
+		for c := 0; c < cells; c++ {
+			if err := s.serveCell(c, tick, updated); err != nil {
+				return err
 			}
-			res, err := st.ServeTick(tick, s.perCell[c], updated)
-			if err != nil {
-				return fmt.Errorf("multicell: cell %d: %w", c, err)
-			}
-			s.results[c] = res
 		}
 	} else {
-		err := parallel.ForEach(len(s.stations), s.workers, func(c int) error {
-			if s.downNow[c] {
-				s.results[c] = basestation.TickResult{Tick: tick}
-				return nil
-			}
-			res, err := s.stations[c].ServeTick(tick, s.perCell[c], updated)
-			if err != nil {
-				return fmt.Errorf("multicell: cell %d: %w", c, err)
-			}
-			s.results[c] = res
-			return nil
-		})
-		if err != nil {
+		if err := parallel.ForEach(cells, s.workers, func(c int) error {
+			return s.serveCell(c, tick, updated)
+		}); err != nil {
 			return err
 		}
 	}
@@ -609,6 +683,35 @@ func (s *System) tick(tick int) error {
 			}
 		}
 	}
+	return nil
+}
+
+// serveCell serves cell c's tick through whichever engine backs it,
+// writing the order-stable result slot. A cell inside an outage window
+// serves nothing; a down dissemination cell still observes the tick's
+// master updates (server-side knowledge — the downed base station's
+// update history keeps accumulating, so its post-recovery report names
+// everything its terminals slept through and staleness accounting stays
+// honest).
+func (s *System) serveCell(c, tick int, updated []catalog.ID) error {
+	if s.downNow[c] {
+		s.results[c] = basestation.TickResult{Tick: tick}
+		if s.dcells != nil {
+			s.dcells[c].ObserveUpdates(tick, updated)
+		}
+		return nil
+	}
+	var res basestation.TickResult
+	var err error
+	if s.dcells != nil {
+		res, err = s.dcells[c].ServeTick(tick, s.perCell[c], updated)
+	} else {
+		res, err = s.stations[c].ServeTick(tick, s.perCell[c], updated)
+	}
+	if err != nil {
+		return fmt.Errorf("multicell: cell %d: %w", c, err)
+	}
+	s.results[c] = res
 	return nil
 }
 

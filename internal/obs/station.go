@@ -63,6 +63,18 @@ type StationMetrics struct {
 	SolverFullResolves *Counter
 	SolverWarmResolves *Counter
 
+	// Dissemination counters, produced only when a push/broadcast
+	// strategy serves the cell; the on-demand pull path leaves them 0.
+	// PushUnits is the broadcast-channel bandwidth (report headers +
+	// report entries + aired slots), the push-side counterpart of
+	// DownloadUnits on the fixed network.
+	InvalidationReports *Counter // invalidation reports broadcast
+	InvalidatedEntries  *Counter // terminal cache entries dropped by reports
+	TerminalPurges      *Counter // whole-cache terminal drops after sleeping past coverage
+	PushServed          *Counter // requests satisfied by the broadcast schedule
+	PullServed          *Counter // requests satisfied by the pull backchannel
+	PushUnits           *Counter // broadcast-channel bandwidth spent
+
 	BudgetRemaining *Gauge // units left after the last tick's policy spend
 
 	TickBytes    *Histogram // per-tick downloaded units
@@ -104,12 +116,18 @@ func newStationMetrics(r *Registry, suffix string, trace *TraceRing) *StationMet
 			"selection solves that re-ran the knapsack solver from scratch"),
 		SolverWarmResolves: r.Counter(n("mobicache_solver_warm_resolves_total"),
 			"selection solves served from warm incremental solver state"),
-		BudgetRemaining: r.Gauge(n("mobicache_budget_remaining_units"), "download budget left after the last tick's policy spend"),
-		TickBytes:       r.Histogram(n("mobicache_tick_download_units"), "data units downloaded per tick", TickBytesBounds),
-		FetchLatency:    r.Histogram(n("mobicache_fetch_latency_ticks"), "simulated fetch latency per download (attempts + backoff)", FetchLatencyBounds),
-		ClientScore:     r.Histogram(n("mobicache_client_score"), "per-request client recency score", ClientScoreBounds),
-		SolveTime:       r.Histogram(n("mobicache_solve_seconds"), "wall-clock policy decision time per tick", SolveTimeBounds),
-		Trace:           trace,
+		InvalidationReports: r.Counter(n("mobicache_invalidation_reports_total"), "invalidation reports broadcast to the cell"),
+		InvalidatedEntries:  r.Counter(n("mobicache_invalidated_entries_total"), "terminal cache entries dropped by invalidation reports"),
+		TerminalPurges:      r.Counter(n("mobicache_terminal_purges_total"), "whole-cache terminal drops after sleeping past report coverage"),
+		PushServed:          r.Counter(n("mobicache_push_served_total"), "requests satisfied by the broadcast schedule"),
+		PullServed:          r.Counter(n("mobicache_pull_served_total"), "requests satisfied by the pull backchannel"),
+		PushUnits:           r.Counter(n("mobicache_push_units_total"), "broadcast-channel bandwidth spent (reports + aired slots)"),
+		BudgetRemaining:     r.Gauge(n("mobicache_budget_remaining_units"), "download budget left after the last tick's policy spend"),
+		TickBytes:           r.Histogram(n("mobicache_tick_download_units"), "data units downloaded per tick", TickBytesBounds),
+		FetchLatency:        r.Histogram(n("mobicache_fetch_latency_ticks"), "simulated fetch latency per download (attempts + backoff)", FetchLatencyBounds),
+		ClientScore:         r.Histogram(n("mobicache_client_score"), "per-request client recency score", ClientScoreBounds),
+		SolveTime:           r.Histogram(n("mobicache_solve_seconds"), "wall-clock policy decision time per tick", SolveTimeBounds),
+		Trace:               trace,
 	}
 }
 
@@ -242,6 +260,8 @@ func mergeableCounters(s *StationMetrics) []*Counter {
 		s.BreakerTrips, s.BreakerProbes, s.ShortCircuits,
 		s.ShedRequests, s.DegradedTicks, s.ShedTicks,
 		s.SolverFullResolves, s.SolverWarmResolves,
+		s.InvalidationReports, s.InvalidatedEntries, s.TerminalPurges,
+		s.PushServed, s.PullServed, s.PushUnits,
 	}
 }
 

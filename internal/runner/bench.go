@@ -146,6 +146,27 @@ func minByName(results []BenchResult) []BenchResult {
 	return out
 }
 
+// MergeBench appends to base every current result whose name base lacks,
+// preserving base's rows (and their numbers) untouched, and returns the
+// merged slice plus the number of rows added. This is how a passing gate
+// grows the benchmark trajectory: archived numbers stay the comparison
+// anchor, new benchmarks start being gated from their first passing run.
+func MergeBench(base, current []BenchResult) ([]BenchResult, int) {
+	seen := make(map[string]bool, len(base))
+	for _, b := range base {
+		seen[b.Name] = true
+	}
+	merged := append([]BenchResult(nil), base...)
+	added := 0
+	for _, c := range current {
+		if !seen[c.Name] {
+			merged = append(merged, c)
+			added++
+		}
+	}
+	return merged, added
+}
+
 // WriteBench archives results as a BENCH_*.json array.
 func WriteBench(path string, results []BenchResult) error {
 	var b strings.Builder

@@ -105,3 +105,34 @@ func TestReadBenchLegacyFormat(t *testing.T) {
 		t.Fatalf("legacy read: %+v", got)
 	}
 }
+
+// TestMergeBench pins the trajectory-growth semantics: baseline rows
+// (and their archived numbers) survive untouched, only names absent
+// from the baseline are appended, and the count reports exactly them.
+func TestMergeBench(t *testing.T) {
+	base := []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 0},
+		{Name: "BenchmarkB", NsPerOp: 200, AllocsPerOp: 1},
+	}
+	current := []BenchResult{
+		{Name: "BenchmarkB", NsPerOp: 999, AllocsPerOp: 5}, // regressed numbers must NOT replace the baseline's
+		{Name: "BenchmarkC", NsPerOp: 300, AllocsPerOp: 2},
+	}
+	merged, added := MergeBench(base, current)
+	if added != 1 {
+		t.Fatalf("added = %d, want 1", added)
+	}
+	want := []BenchResult{base[0], base[1], current[1]}
+	if len(merged) != len(want) {
+		t.Fatalf("merged %d rows, want %d", len(merged), len(want))
+	}
+	for i := range want {
+		if merged[i] != want[i] {
+			t.Fatalf("merged[%d] = %+v, want %+v", i, merged[i], want[i])
+		}
+	}
+	// No new names: the merge is a no-op and callers skip the rewrite.
+	if _, added := MergeBench(base, base); added != 0 {
+		t.Fatalf("self-merge added %d rows", added)
+	}
+}

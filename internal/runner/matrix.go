@@ -1,6 +1,7 @@
 // Package runner is the automated experiment harness: it expands a
 // declarative sweep matrix {solver × access skew × cache budget × cells ×
-// mobility profile × fault/resilience profile} into concrete run
+// mobility profile × fault/resilience profile × dissemination policy}
+// into concrete run
 // configurations, executes each through the public facade, archives every
 // run under results/runs/<run-id>/ (resolved config, per-tick CSV, obs
 // metrics snapshot, summary JSON) with a cross-run comparison table, and
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"mobicache/internal/core"
+	"mobicache/internal/dissemination"
 )
 
 // Matrix is the declarative sweep space. Expand enumerates its full
@@ -40,11 +42,20 @@ type Matrix struct {
 	Mobility []string `json:"mobility"`
 	// Profiles are fault/resilience-profile names (see FaultProfiles).
 	Profiles []string `json:"profiles"`
+	// Policies are dissemination strategies (see
+	// dissemination.ParseStrategy): "on-demand" runs the paper's pull
+	// station, the push names replace it with an invalidation or
+	// broadcast cell. Empty means {"on-demand"} — matrices archived
+	// before the dimension existed expand (and id) exactly as they did.
+	Policies []string `json:"policies,omitempty"`
 }
 
 // DefaultMatrix is the matrix `cmd/experiment-runner` sweeps when no
 // dimension flags are given: 4 solvers × 2 skews × 2 budgets × 2 cell
-// counts × 1 mobility profile × 2 fault profiles = 64 combinations.
+// counts × 1 mobility profile × 2 fault profiles × 3 dissemination
+// policies = 192 combinations. The on-demand runs keep the pre-policy
+// run ids, so archives from before the dimension existed stay valid
+// baselines.
 func DefaultMatrix() Matrix {
 	return Matrix{
 		Solvers:  []string{"dp", "greedy", "incremental", "certified"},
@@ -53,6 +64,7 @@ func DefaultMatrix() Matrix {
 		Cells:    []int{1, 4},
 		Mobility: []string{"default"},
 		Profiles: []string{"ideal", "flaky"},
+		Policies: []string{"on-demand", "push-ts", "hybrid-pushpull"},
 	}
 }
 
@@ -64,22 +76,40 @@ type Combo struct {
 	Cells    int    `json:"cells"`
 	Mobility string `json:"mobility"`
 	Profile  string `json:"profile"`
+	// Policy is the dissemination strategy; "" and "on-demand" both run
+	// the pull station (and id identically, see ID).
+	Policy string `json:"policy,omitempty"`
 }
 
 // ID returns the combination's run identifier for the given sweep seed.
 // It is a pure function of the combination and the seed — no wall clock,
 // no counters — so re-running a sweep maps every combination onto the
 // same archive directory, which is what lets the regression gate line up
-// runs across sweeps.
+// runs across sweeps. Only a non-default policy contributes a segment:
+// on-demand combinations keep the ids of archives swept before the
+// policy dimension existed.
 func (c Combo) ID(seed uint64) string {
-	return fmt.Sprintf("%s_%s_b%d_c%d_%s_%s_s%d",
-		c.Solver, c.Access, c.Budget, c.Cells, c.Mobility, c.Profile, seed)
+	policy := ""
+	if c.Policy != "" && c.Policy != "on-demand" {
+		policy = "_p" + c.Policy
+	}
+	return fmt.Sprintf("%s_%s_b%d_c%d_%s_%s%s_s%d",
+		c.Solver, c.Access, c.Budget, c.Cells, c.Mobility, c.Profile, policy, seed)
+}
+
+// policies returns the policy dimension, defaulting empty to on-demand
+// only (the pre-dimension behavior).
+func (m Matrix) policies() []string {
+	if len(m.Policies) == 0 {
+		return []string{"on-demand"}
+	}
+	return m.Policies
 }
 
 // Size returns the number of combinations Expand will produce.
 func (m Matrix) Size() int {
 	return len(m.Solvers) * len(m.Accesses) * len(m.Budgets) *
-		len(m.Cells) * len(m.Mobility) * len(m.Profiles)
+		len(m.Cells) * len(m.Mobility) * len(m.Profiles) * len(m.policies())
 }
 
 // Validate checks every dimension: non-empty, duplicate-free, and each
@@ -147,11 +177,34 @@ func (m Matrix) Validate() error {
 				name, profileNames(FaultProfiles))
 		}
 	}
+	if err := noDupes("policies", m.policies()); err != nil {
+		return err
+	}
+	pushPolicy := ""
+	for _, p := range m.policies() {
+		if _, err := dissemination.ParseStrategy(p); err != nil {
+			return fmt.Errorf("runner: matrix policy: %w", err)
+		}
+		if p != "" && p != "on-demand" {
+			pushPolicy = p
+		}
+	}
+	// A push policy replaces the station the resilience layer wraps, so
+	// the cross product would fail at execution time — reject it here
+	// where the conflicting dimension values are both visible.
+	if pushPolicy != "" {
+		for _, name := range m.Profiles {
+			if FaultProfiles[name].Resilience != nil {
+				return fmt.Errorf("runner: fault profile %q arms the station's resilience layer, which does not compose with dissemination policy %q",
+					name, pushPolicy)
+			}
+		}
+	}
 	return nil
 }
 
 // Expand enumerates the full cross product in deterministic order
-// (solver outermost, profile innermost). Every combination appears
+// (solver outermost, policy innermost). Every combination appears
 // exactly once.
 func (m Matrix) Expand() ([]Combo, error) {
 	if err := m.Validate(); err != nil {
@@ -164,14 +217,17 @@ func (m Matrix) Expand() ([]Combo, error) {
 				for _, cells := range m.Cells {
 					for _, mob := range m.Mobility {
 						for _, prof := range m.Profiles {
-							combos = append(combos, Combo{
-								Solver:   solver,
-								Access:   access,
-								Budget:   budget,
-								Cells:    cells,
-								Mobility: mob,
-								Profile:  prof,
-							})
+							for _, pol := range m.policies() {
+								combos = append(combos, Combo{
+									Solver:   solver,
+									Access:   access,
+									Budget:   budget,
+									Cells:    cells,
+									Mobility: mob,
+									Profile:  prof,
+									Policy:   pol,
+								})
+							}
 						}
 					}
 				}

@@ -37,7 +37,7 @@ func TestExpandExactlyOnce(t *testing.T) {
 			t.Fatalf("matrix %d: %v", i, err)
 		}
 		want := len(m.Solvers) * len(m.Accesses) * len(m.Budgets) *
-			len(m.Cells) * len(m.Mobility) * len(m.Profiles)
+			len(m.Cells) * len(m.Mobility) * len(m.Profiles) * len(m.policies())
 		if len(combos) != want || m.Size() != want {
 			t.Fatalf("matrix %d: %d combos, want %d (Size %d)", i, len(combos), want, m.Size())
 		}
@@ -56,7 +56,8 @@ func TestExpandExactlyOnce(t *testing.T) {
 			}
 			seen[c] = true
 			if !inDim(m.Solvers, c.Solver) || !inDim(m.Accesses, c.Access) ||
-				!inDim(m.Mobility, c.Mobility) || !inDim(m.Profiles, c.Profile) {
+				!inDim(m.Mobility, c.Mobility) || !inDim(m.Profiles, c.Profile) ||
+				!inDim(m.policies(), c.Policy) {
 				t.Fatalf("matrix %d: combination %+v has coordinates outside the matrix", i, c)
 			}
 		}
@@ -101,6 +102,17 @@ func TestRunIDsDeterministic(t *testing.T) {
 	if got, want := c.ID(1), "dp_zipf_b8_c4_default_ideal_s1"; got != want {
 		t.Fatalf("ID = %q, want %q", got, want)
 	}
+	// The on-demand policy (explicit or zero-valued) must not change the
+	// id: archives swept before the policy dimension existed stay valid
+	// gate baselines. Only a push policy contributes a segment.
+	c.Policy = "on-demand"
+	if got, want := c.ID(1), "dp_zipf_b8_c4_default_ideal_s1"; got != want {
+		t.Fatalf("on-demand ID = %q, want the pre-policy id %q", got, want)
+	}
+	c.Policy = "push-ts"
+	if got, want := c.ID(1), "dp_zipf_b8_c4_default_ideal_ppush-ts_s1"; got != want {
+		t.Fatalf("push ID = %q, want %q", got, want)
+	}
 }
 
 // TestMatrixValidation exercises the rejection paths.
@@ -130,6 +142,12 @@ func TestMatrixValidation(t *testing.T) {
 		{"duplicate cells", func(m *Matrix) { m.Cells = []int{2, 2} }, "duplicate cells"},
 		{"unknown mobility", func(m *Matrix) { m.Mobility = []string{"teleport"} }, "mobility"},
 		{"unknown profile", func(m *Matrix) { m.Profiles = []string{"meteor"} }, "fault profile"},
+		{"unknown policy", func(m *Matrix) { m.Policies = []string{"telepathy"} }, "policy"},
+		{"duplicate policy", func(m *Matrix) { m.Policies = []string{"push-ts", "push-ts"} }, "duplicate"},
+		{"policy vs resilience profile", func(m *Matrix) {
+			m.Policies = []string{"push-ts"}
+			m.Profiles = []string{"resilient"}
+		}, "does not compose"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

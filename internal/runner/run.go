@@ -128,6 +128,15 @@ func Execute(combo Combo, fixed Fixed) (*RunResult, error) {
 	return res, executeMulticell(combo, fixed, mob, prof, res)
 }
 
+// dissemination maps a combination's policy onto the facade config:
+// nil for the on-demand station, the named push strategy otherwise.
+func (c Combo) dissemination() *mobicache.DisseminationConfig {
+	if c.Policy == "" || c.Policy == "on-demand" {
+		return nil
+	}
+	return &mobicache.DisseminationConfig{Strategy: c.Policy}
+}
+
 // executeSingle runs a cells=1 combination via RunSimulationTicks.
 func executeSingle(combo Combo, fixed Fixed, prof FaultProfile, res *RunResult) error {
 	reg := mobicache.NewMetricsRegistry()
@@ -143,6 +152,7 @@ func executeSingle(combo Combo, fixed Fixed, prof FaultProfile, res *RunResult) 
 		Fault:           prof.Fault,
 		Resilience:      prof.Resilience,
 		Metrics:         mobicache.NewStationMetrics(reg, 0),
+		Dissemination:   combo.dissemination(),
 	}
 	var csv strings.Builder
 	csv.WriteString(ticksHeader + "\n")
@@ -180,6 +190,12 @@ func executeSingle(combo Combo, fixed Fixed, prof FaultProfile, res *RunResult) 
 			"short_circuits":   float64(rep.ShortCircuits),
 			"breaker_trips":    float64(rep.BreakerTrips),
 			"degraded_ticks":   float64(rep.DegradedTicks),
+			"reports":          float64(rep.InvalidationReports),
+			"invalidated":      float64(rep.InvalidatedEntries),
+			"purges":           float64(rep.TerminalPurges),
+			"push_served":      float64(rep.PushServed),
+			"pull_served":      float64(rep.PullServed),
+			"push_units":       float64(rep.PushUnits),
 		},
 	}
 	return nil
@@ -205,6 +221,7 @@ func executeMulticell(combo Combo, fixed Fixed, mob MobilityProfile, prof FaultP
 		Fault:         prof.Fault,
 		Resilience:    prof.Resilience,
 		Metrics:       mobicache.NewMulticellMetrics(reg, 0),
+		Dissemination: combo.dissemination(),
 	}
 	var csv strings.Builder
 	csv.WriteString(ticksHeader + "\n")
@@ -244,6 +261,12 @@ func executeMulticell(combo Combo, fixed Fixed, mob MobilityProfile, prof FaultP
 			"shed_requests":    float64(rep.ShedRequests),
 			"short_circuits":   float64(rep.ShortCircuits),
 			"breaker_trips":    float64(rep.BreakerTrips),
+			"reports":          float64(rep.InvalidationReports),
+			"invalidated":      float64(rep.InvalidatedEntries),
+			"purges":           float64(rep.TerminalPurges),
+			"push_served":      float64(rep.PushServed),
+			"pull_served":      float64(rep.PullServed),
+			"push_units":       float64(rep.PushUnits),
 		},
 	}
 	return nil

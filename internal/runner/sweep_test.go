@@ -3,6 +3,7 @@ package runner
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"mobicache"
@@ -139,5 +140,104 @@ func TestSweepSummaryGateCleanOnSelf(t *testing.T) {
 	}
 	if vs := CheckSummaries(sums, sums, DefaultTolerance); len(vs) != 0 {
 		t.Fatalf("self-comparison violated: %v", vs)
+	}
+}
+
+// TestExecutePolicyDissemination pins that a combination with a push
+// policy runs the dissemination cell — through the same sampled entry
+// points as every other run — and that its summary is exactly the
+// facade's unsampled report. Before RunSimulationTicks learned the
+// dissemination branch, a push combo silently ran the pull station and
+// these counters stayed zero.
+func TestExecutePolicyDissemination(t *testing.T) {
+	fixed := smokeFixed().WithDefaults()
+
+	single := Combo{Solver: "dp", Access: "zipf", Budget: 8, Cells: 1,
+		Mobility: "default", Profile: "flaky", Policy: "push-ts"}
+	res, err := Execute(single, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := FaultProfiles["flaky"]
+	rep, err := mobicache.RunSimulation(mobicache.SimulationConfig{
+		Objects:         fixed.Objects,
+		Solver:          single.Solver,
+		Access:          single.Access,
+		BudgetPerTick:   single.Budget,
+		RequestsPerTick: fixed.RequestsPerTick,
+		Warmup:          fixed.Warmup,
+		Ticks:           fixed.Ticks,
+		Seed:            fixed.Seed,
+		Fault:           prof.Fault,
+		Dissemination:   &mobicache.DisseminationConfig{Strategy: "push-ts"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InvalidationReports == 0 || rep.Downloads == 0 {
+		t.Fatalf("facade push-ts run looks inert: %+v", rep)
+	}
+	checks := map[string]float64{
+		"requests":         float64(rep.Requests),
+		"downloads":        float64(rep.Downloads),
+		"mean_score":       rep.MeanScore,
+		"mean_recency":     rep.MeanRecency,
+		"failed_downloads": float64(rep.FailedDownloads),
+		"reports":          float64(rep.InvalidationReports),
+		"invalidated":      float64(rep.InvalidatedEntries),
+		"purges":           float64(rep.TerminalPurges),
+		"push_units":       float64(rep.PushUnits),
+	}
+	for name, want := range checks {
+		if got := res.Summary.Metrics[name]; got != want {
+			t.Errorf("single-cell %s = %v, facade reports %v", name, got, want)
+		}
+	}
+
+	multi := Combo{Solver: "dp", Access: "zipf", Budget: 8, Cells: 3,
+		Mobility: "default", Profile: "ideal", Policy: "hybrid-pushpull"}
+	mres, err := Execute(multi, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.Summary.Metrics["push_served"] == 0 || mres.Summary.Metrics["push_units"] == 0 {
+		t.Fatalf("multicell hybrid run served nothing over the broadcast: %+v", mres.Summary.Metrics)
+	}
+	if mres.Summary.Metrics["downloads"] != 0 {
+		t.Fatalf("hybrid broadcast cell should not download on demand: %+v", mres.Summary.Metrics)
+	}
+}
+
+// TestSweepPolicyDimensionBackwardCompatible: sweeping with the policy
+// dimension added keeps every pre-policy run id (and its numbers), so an
+// archive swept before the dimension existed gates cleanly against the
+// grown sweep — matrices grow, baselines stay valid.
+func TestSweepPolicyDimensionBackwardCompatible(t *testing.T) {
+	old, err := Sweep(SweepConfig{Matrix: smokeMatrix(), Fixed: smokeFixed(),
+		OutDir: filepath.Join(t.TempDir(), "old")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := smokeMatrix()
+	grown.Policies = []string{"on-demand", "push-ts"}
+	cur, err := Sweep(SweepConfig{Matrix: grown, Fixed: smokeFixed(),
+		OutDir: filepath.Join(t.TempDir(), "new")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur.Runs) != 2*len(old.Runs) {
+		t.Fatalf("grown sweep has %d runs, want %d", len(cur.Runs), 2*len(old.Runs))
+	}
+	pushRuns := 0
+	for _, id := range cur.Runs {
+		if strings.Contains(id, "_ppush-ts_") {
+			pushRuns++
+		}
+	}
+	if pushRuns != len(old.Runs) {
+		t.Fatalf("%d push run ids, want %d", pushRuns, len(old.Runs))
+	}
+	if vs := CheckSummaries(cur.Summaries, old.Summaries, DefaultTolerance); len(vs) != 0 {
+		t.Fatalf("pre-policy baseline violated by the grown sweep:\n%s", RenderViolations(vs))
 	}
 }

@@ -2,6 +2,7 @@ package mobicache
 
 import (
 	"mobicache/internal/client"
+	"mobicache/internal/dissemination"
 	"mobicache/internal/fault"
 	"mobicache/internal/multicell"
 	"mobicache/internal/rng"
@@ -71,6 +72,11 @@ type MulticellConfig struct {
 	// merged into the aggregate station bundle every tick. Build one with
 	// NewMulticellMetrics.
 	Metrics *MulticellMetrics
+	// Dissemination, when non-nil and naming a non-default strategy,
+	// replaces every cell's knapsack station with a push/broadcast cell
+	// (see DisseminationConfig). Cell outages and fetch faults still
+	// apply; CacheSharing and Resilience do not compose with it.
+	Dissemination *DisseminationConfig
 }
 
 // NeverDisconnect is the MulticellConfig.PDisconnect sentinel for "clients
@@ -103,6 +109,15 @@ type MulticellReport struct {
 	BreakerTrips    uint64 // circuit-breaker trips across all cells
 	FailedDownloads uint64 // downloads abandoned after retries/timeout
 	StaleFallbacks  uint64 // requests served stale because a refresh failed
+
+	// Dissemination accounting (all zero on the default on-demand path).
+	Dissemination       string // active strategy name ("" = stations)
+	InvalidationReports uint64 // invalidation reports broadcast across all cells
+	InvalidatedEntries  uint64 // terminal cache entries dropped by reports
+	TerminalPurges      uint64 // whole-cache terminal drops
+	PushServed          uint64 // requests satisfied by broadcast schedules
+	PullServed          uint64 // requests satisfied by pull backchannels
+	PushUnits           uint64 // broadcast-channel bandwidth spent
 }
 
 // RunMulticell builds and runs the configured deployment.
@@ -167,6 +182,12 @@ func buildMulticell(cfg MulticellConfig) (*multicell.System, error) {
 	if cfg.Resilience != nil {
 		mcfg.Resilience = cfg.Resilience.internal()
 	}
+	if strat, err := cfg.Dissemination.strategy(); err != nil {
+		return nil, err
+	} else if strat != dissemination.OnDemand {
+		mcfg.Dissemination = strat
+		mcfg.DisseminationKnobs = cfg.Dissemination.knobs()
+	}
 	return multicell.New(mcfg)
 }
 
@@ -193,5 +214,13 @@ func multicellReport(r multicell.Report) MulticellReport {
 		BreakerTrips:       r.BreakerTrips,
 		FailedDownloads:    r.FailedDownloads,
 		StaleFallbacks:     r.StaleFallbacks,
+
+		Dissemination:       r.Dissemination,
+		InvalidationReports: r.InvalidationReports,
+		InvalidatedEntries:  r.InvalidatedEntries,
+		TerminalPurges:      r.TerminalPurges,
+		PushServed:          r.PushServed,
+		PullServed:          r.PullServed,
+		PushUnits:           r.PushUnits,
 	}
 }

@@ -33,8 +33,12 @@ go test -race -count=1 -shuffle=on -coverprofile=coverage.out ./...
 # server), and the resilience state machines get a second shuffled run so
 # scheduling-order bugs have two chances to trip. The multicell run
 # includes the cell-failure grid (TestResilienceParallelMatchesSerial
-# sweeps sharing x workers under cell outages).
-go test -race -count=2 -shuffle=on ./cmd/stationd ./internal/parallel ./internal/multicell ./internal/resilience
+# sweeps sharing x workers under cell outages). The dissemination stack
+# (strategy cells plus the invalidation/broadcast layers under them)
+# rides along because the multicell engine fans its per-cell ServeTick
+# across the same worker pool.
+go test -race -count=2 -shuffle=on ./cmd/stationd ./internal/parallel ./internal/multicell ./internal/resilience \
+    ./internal/broadcast ./internal/invalidation ./internal/dissemination
 
 coverage=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
 rm -f coverage.out
@@ -54,6 +58,7 @@ if [ "$FUZZTIME" != "0" ]; then
     go test -run=NONE -fuzz=FuzzIncremental -fuzztime="$FUZZTIME" ./internal/knapsack
     go test -run=NONE -fuzz=FuzzRecencyCurve -fuzztime="$FUZZTIME" ./internal/recency
     go test -run=NONE -fuzz=FuzzBreaker -fuzztime="$FUZZTIME" ./internal/resilience
+    go test -run=NONE -fuzz=FuzzNextOccurrence -fuzztime="$FUZZTIME" ./internal/broadcast
 fi
 
 # Experiment-runner smoke: a tiny 2x2 sweep (two solvers x two cell
@@ -65,7 +70,7 @@ fi
 smokedir=$(mktemp -d)
 trap 'rm -rf "$smokedir"' EXIT
 smoke='-solvers dp,greedy -cells 1,2 -accesses zipf -budgets 8 -profiles ideal
-       -objects 60 -rate 20 -clients 60 -warmup 5 -ticks 40'
+       -policies on-demand,push-ts -objects 60 -rate 20 -clients 60 -warmup 5 -ticks 40'
 # shellcheck disable=SC2086
 go run -race ./cmd/experiment-runner $smoke -out "$smokedir/base" >/dev/null
 # shellcheck disable=SC2086

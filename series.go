@@ -2,6 +2,7 @@ package mobicache
 
 import (
 	"mobicache/internal/basestation"
+	"mobicache/internal/dissemination"
 	"mobicache/internal/multicell"
 )
 
@@ -23,6 +24,11 @@ func RunSimulationTicks(cfg SimulationConfig, sample func(ticks int, rep Simulat
 	var rep SimulationReport
 	if err := validateHorizon(cfg); err != nil {
 		return rep, err
+	}
+	if strat, err := cfg.Dissemination.strategy(); err != nil {
+		return rep, err
+	} else if strat != dissemination.OnDemand {
+		return runDissemination(cfg, strat, sample)
 	}
 	st, srv, err := buildStation(cfg)
 	if err != nil {

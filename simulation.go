@@ -8,6 +8,7 @@ import (
 	"mobicache/internal/catalog"
 	"mobicache/internal/client"
 	"mobicache/internal/core"
+	"mobicache/internal/dissemination"
 	"mobicache/internal/fault"
 	"mobicache/internal/obs"
 	"mobicache/internal/policy"
@@ -121,6 +122,75 @@ func (f *FaultConfig) scheduleFor(simSeed uint64, cell uint64) (*fault.Schedule,
 	return sched, nil
 }
 
+// DisseminationConfig selects how the cell delivers data to its clients.
+// The zero value (or Strategy "on-demand") keeps the paper's pull
+// architecture: the knapsack-driven base station cache. Any other
+// strategy replaces the station with a push/broadcast cell from
+// internal/dissemination: "push-ts" and "push-at" keep terminal caches
+// consistent with periodic invalidation reports (Barbara & Imielinski),
+// "broadcast-flat" and "broadcast-disk" air the catalog on a schedule
+// clients wait for, and "hybrid-pushpull" adds a pull backchannel to the
+// multi-disk schedule. Under a push strategy the pull-side knobs
+// (Policy, Solver, BudgetPerTick, CacheCapacity) are inert.
+type DisseminationConfig struct {
+	// Strategy is one of "on-demand" (default), "push-ts", "push-at",
+	// "broadcast-flat", "broadcast-disk", or "hybrid-pushpull".
+	Strategy string
+	// Interval is the invalidation-report period in ticks (push
+	// strategies; default 10).
+	Interval int
+	// Window is the TS report window in intervals (default 2; push-at
+	// always uses 1).
+	Window int
+	// SlotsPerTick is how many broadcast slots air per tick (broadcast
+	// strategies; default 4).
+	SlotsPerTick int
+	// PullEvery dedicates every n-th hybrid slot to the pull backchannel
+	// (default 4).
+	PullEvery int
+	// Threshold is the hybrid push wait above which clients pull
+	// (default catalog/8).
+	Threshold int
+	// SleepProb is the per-report probability that the terminal
+	// population sleeps through an invalidation report.
+	SleepProb float64
+}
+
+// strategy parses the configured name; a nil config is on-demand.
+func (d *DisseminationConfig) strategy() (dissemination.Strategy, error) {
+	if d == nil {
+		return dissemination.OnDemand, nil
+	}
+	s, err := dissemination.ParseStrategy(d.Strategy)
+	if err != nil {
+		return s, fmt.Errorf("mobicache: %w", err)
+	}
+	return s, nil
+}
+
+// cellConfig compiles the public knobs into the internal cell config.
+func (d *DisseminationConfig) cellConfig(cat *catalog.Catalog, s dissemination.Strategy, seed uint64, m *StationMetrics) dissemination.Config {
+	return dissemination.Config{
+		Catalog:  cat,
+		Strategy: s,
+		Knobs:    d.knobs(),
+		Metrics:  m,
+		Seed:     seed,
+	}
+}
+
+// knobs maps the public tuning fields onto the internal knob set.
+func (d *DisseminationConfig) knobs() dissemination.Knobs {
+	return dissemination.Knobs{
+		Interval:     d.Interval,
+		Window:       d.Window,
+		SlotsPerTick: d.SlotsPerTick,
+		PullEvery:    d.PullEvery,
+		Threshold:    d.Threshold,
+		SleepProb:    d.SleepProb,
+	}
+}
+
 // SimulationConfig configures a tick-based simulation of the paper's
 // architecture: remote servers updating objects on a schedule, a base
 // station cache, a refresh policy with a per-tick download budget, and a
@@ -181,6 +251,10 @@ type SimulationConfig struct {
 	// with NewStationMetrics; nil disables instrumentation entirely and
 	// keeps the hot path branch-cheap.
 	Metrics *StationMetrics
+	// Dissemination, when non-nil and naming a non-default strategy,
+	// replaces the pull-based station with a push/broadcast cell. Nil (or
+	// Strategy "on-demand") is the paper's architecture, bit-for-bit.
+	Dissemination *DisseminationConfig
 }
 
 // SimulationReport summarizes the measured phase of a simulation.
@@ -207,6 +281,16 @@ type SimulationReport struct {
 	BreakerProbes uint64 // half-open probe downloads attempted
 	DegradedTicks uint64 // ticks served in stale-only mode (breaker open)
 	ShedTicks     uint64 // ticks on which at least one request was shed
+
+	// Dissemination counters (all zero on the default on-demand path).
+	Dissemination       string  // active strategy name ("" = on-demand station)
+	InvalidationReports uint64  // invalidation reports broadcast
+	InvalidatedEntries  uint64  // terminal cache entries dropped by reports
+	TerminalPurges      uint64  // whole-cache terminal drops
+	PushServed          uint64  // requests satisfied by the broadcast schedule
+	PullServed          uint64  // requests satisfied by the pull backchannel
+	PushUnits           uint64  // broadcast-channel bandwidth spent
+	MeanWaitSlots       float64 // mean broadcast wait per served request, in slots
 }
 
 // RunSimulation builds and runs the configured system, returning the
@@ -215,6 +299,11 @@ func RunSimulation(cfg SimulationConfig) (SimulationReport, error) {
 	var rep SimulationReport
 	if err := validateHorizon(cfg); err != nil {
 		return rep, err
+	}
+	if strat, err := cfg.Dissemination.strategy(); err != nil {
+		return rep, err
+	} else if strat != dissemination.OnDemand {
+		return runDissemination(cfg, strat, nil)
 	}
 	st, srv, err := buildStation(cfg)
 	if err != nil {
@@ -232,6 +321,110 @@ func RunSimulation(cfg SimulationConfig) (SimulationReport, error) {
 		return rep, err
 	}
 	return report(st, srv, totals), nil
+}
+
+// runDissemination runs the simulation with a push/broadcast cell in
+// place of the pull-based station. The workload side (catalog, update
+// schedule, request generator, fault injection) is built exactly as for
+// the station so the two paths answer the same question under the same
+// load. A non-nil sample is invoked after every measured tick, exactly
+// as in RunSimulationTicks; sampling never perturbs the run.
+func runDissemination(cfg SimulationConfig, strat dissemination.Strategy, sample func(int, SimulationReport) error) (SimulationReport, error) {
+	var rep SimulationReport
+	if cfg.Policy != "" {
+		return rep, fmt.Errorf("mobicache: policy %q conflicts with dissemination strategy %q (push strategies replace the refresh policy)", cfg.Policy, strat)
+	}
+	if cfg.Resilience != nil {
+		return rep, fmt.Errorf("mobicache: resilience layer guards the station's fetch path; it does not compose with dissemination strategy %q", strat)
+	}
+	cat, err := buildCatalog(cfg)
+	if err != nil {
+		return rep, err
+	}
+	period := cfg.UpdatePeriod
+	if period == 0 {
+		period = 5
+	}
+	if period < 0 {
+		return rep, fmt.Errorf("mobicache: negative update period %d", period)
+	}
+	srv := server.New(cat, catalog.NewPeriodicAll(cat, period))
+	dcfg := cfg.Dissemination.cellConfig(cat, strat, cfg.Seed, cfg.Metrics)
+	if cfg.Fault != nil {
+		sched, err := cfg.Fault.schedule(cfg.Seed)
+		if err != nil {
+			return rep, err
+		}
+		var latency server.LatencyModel
+		if cfg.Fault.BaseLatency != 0 || cfg.Fault.PerUnitLatency != 0 {
+			latency = server.SizeProportionalLatency{Setup: cfg.Fault.BaseLatency, PerUnit: cfg.Fault.PerUnitLatency}
+		}
+		fetcher, err := server.NewFaultyServer(srv, sched, latency)
+		if err != nil {
+			return rep, err
+		}
+		dcfg.Fetcher = fetcher
+		dcfg.Retry = cfg.Fault.Retry
+	}
+	cell, err := dissemination.New(dcfg)
+	if err != nil {
+		return rep, err
+	}
+	gen, _, err := buildGenerator(cfg)
+	if err != nil {
+		return rep, err
+	}
+	for tick := 0; tick < cfg.Warmup; tick++ {
+		if _, err := cell.ServeTick(tick, gen.Tick(tick), srv.Tick(tick)); err != nil {
+			return rep, err
+		}
+	}
+	warm := cell.Stats()
+	var totals basestation.Totals
+	for t := 0; t < cfg.Ticks; t++ {
+		tick := cfg.Warmup + t
+		res, err := cell.ServeTick(tick, gen.Tick(tick), srv.Tick(tick))
+		if err != nil {
+			return rep, err
+		}
+		totals.Add(res)
+		if sample != nil {
+			if err := sample(t+1, disseminationReport(strat, srv, totals, warm, cell.Stats())); err != nil {
+				return rep, err
+			}
+		}
+	}
+	return disseminationReport(strat, srv, totals, warm, cell.Stats()), nil
+}
+
+// disseminationReport folds the measured-phase totals and the cell's
+// cumulative stats (less the warmup snapshot) into a report.
+func disseminationReport(strat dissemination.Strategy, srv *server.Server, totals basestation.Totals, warm, st dissemination.Stats) SimulationReport {
+	rep := SimulationReport{
+		Ticks:               totals.Ticks,
+		Requests:            totals.Requests,
+		Downloads:           totals.Downloads(),
+		DownloadUnits:       totals.DownloadUnits,
+		MeanScore:           totals.MeanScore(),
+		MeanRecency:         totals.MeanRecency(),
+		ServerUpdates:       srv.TotalUpdates(),
+		FailedDownloads:     totals.FailedDownloads,
+		Retries:             totals.Retries,
+		Dissemination:       strat.String(),
+		InvalidationReports: st.ReportsBroadcast - warm.ReportsBroadcast,
+		InvalidatedEntries:  st.Invalidated - warm.Invalidated,
+		TerminalPurges:      st.Purges - warm.Purges,
+		PushServed:          st.PushServed - warm.PushServed,
+		PullServed:          st.PullServed - warm.PullServed,
+		PushUnits:           st.PushUnits - warm.PushUnits,
+	}
+	if served := rep.PushServed + rep.PullServed; served > 0 {
+		rep.MeanWaitSlots = float64(st.WaitSlots-warm.WaitSlots) / float64(served)
+	}
+	if rep.Downloads > 0 {
+		rep.MeanFetchLatency = totals.FetchLatency / float64(rep.Downloads+rep.FailedDownloads)
+	}
+	return rep
 }
 
 // validateHorizon checks the warmup/measurement horizon. It runs before
