@@ -16,6 +16,7 @@ import (
 	"mobicache/internal/multicell"
 	"mobicache/internal/recency"
 	"mobicache/internal/rng"
+	"mobicache/internal/serve"
 	"mobicache/internal/workload"
 )
 
@@ -569,5 +570,48 @@ func BenchmarkSimulationTick(b *testing.B) {
 				tick++
 			}
 		})
+	}
+}
+
+// BenchmarkServeWindow times one steady-state selection window of the
+// event-driven serving tier over the same system BenchmarkSimulationTick
+// measures (500 objects, 100 requests per window, knapsack policy,
+// budget 50). The engine wraps a warmed station, so the bench isolates
+// what the window path adds on top of RunTick: the batch hand-off, the
+// scheduled-update bookkeeping, and the (empty, single-station) peer
+// phase. The serving path is required to be allocation-free at steady
+// state — check.sh gates on 0 allocs/op here.
+func BenchmarkServeWindow(b *testing.B) {
+	cfg := benchTickConfig(nil)
+	st, srv, err := buildStation(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, _, err := buildGenerator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := serve.New(serve.Config{
+		Station:         st,
+		Server:          srv,
+		MaxBatch:        cfg.RequestsPerTick + 1, // windows close by the driver, never by count
+		ScheduleUpdates: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tick := 0
+	for ; tick < 300; tick++ { // warm caches, solver workspaces, update schedule
+		if _, err := eng.ServeWindow(gen.Tick(tick)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ServeWindow(gen.Tick(tick)); err != nil {
+			b.Fatal(err)
+		}
+		tick++
 	}
 }

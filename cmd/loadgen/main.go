@@ -1,0 +1,382 @@
+// Command loadgen drives a fleet of serving-tier stationd processes with
+// a zipf-distributed request stream at a target rate and reports latency
+// percentiles (exact nearest-rank p50/p95/p99), hit ratio, freshness
+// ratio, and cooperative peer-fetch counts. The stream is seeded and
+// fully deterministic, so a run can be replayed against a rebuilt fleet.
+//
+//	loadgen -stations http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	        -install -objects 200 -requests 5000 -rps 500 -zipf 1.1 \
+//	        -out runs/load.json
+//
+// Requests round-robin across the stations, so an object owned by
+// another shard exercises the cooperative peer-fetch path. With
+// -min-peer-hits / -max-dropped / -max-errors the run self-gates: the
+// exit status reports whether the fleet met the bar, which is how the
+// repository's check.sh smoke-tests the serving tier.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"mobicache/internal/loadgen"
+)
+
+// wire shapes of stationd's serving endpoints (kept in sync with
+// cmd/stationd/serve.go; the daemon rejects unknown fields).
+type wireRequest struct {
+	Client int     `json:"client"`
+	Object int     `json:"object"`
+	Target float64 `json:"target"`
+}
+
+type wireResponse struct {
+	Window      int     `json:"window"`
+	Source      string  `json:"source"`
+	Peer        bool    `json:"peer"`
+	Score       float64 `json:"score"`
+	Recency     float64 `json:"recency"`
+	Stale       bool    `json:"stale"`
+	WaitSeconds float64 `json:"wait_seconds"`
+}
+
+type wireServeStatus struct {
+	PeerHits       uint64 `json:"peer_hits"`
+	PeerFetches    uint64 `json:"peer_fetches"`
+	Windows        uint64 `json:"windows"`
+	DroppedWindows uint64 `json:"dropped_windows"`
+}
+
+// fleetStatus is the per-run aggregate of the stations' own counters,
+// archived next to the client-side summary.
+type fleetStatus struct {
+	PeerHits       uint64 `json:"peer_hits"`
+	PeerFetches    uint64 `json:"peer_fetches"`
+	Windows        uint64 `json:"windows"`
+	DroppedWindows uint64 `json:"dropped_windows"`
+}
+
+// archive is the JSON written by -out.
+type archive struct {
+	Stations []string        `json:"stations"`
+	Objects  int             `json:"objects"`
+	ZipfS    float64         `json:"zipf_s"`
+	RPS      float64         `json:"rps"`
+	Seed     uint64          `json:"seed"`
+	Summary  loadgen.Summary `json:"summary"`
+	Fleet    fleetStatus     `json:"fleet"`
+}
+
+// gateConfig are the pass/fail thresholds applied to a finished run.
+type gateConfig struct {
+	MinPeerHits uint64
+	MaxDropped  uint64
+	MaxErrors   uint64
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	stationsFlag := flag.String("stations", "", "comma-separated serving-tier stationd URLs (required)")
+	requests := flag.Int("requests", 2000, "total requests to send")
+	rps := flag.Float64("rps", 500, "target request rate (0 = as fast as possible)")
+	objects := flag.Int("objects", 200, "catalog size (for -install and the request stream)")
+	zipfS := flag.Float64("zipf", 1.1, "zipf skew of object popularity (0 = uniform)")
+	clients := flag.Int("clients", 32, "distinct client ids to round-robin")
+	targetLo := flag.Float64("target-lo", 0.5, "lower bound of the uniform target-recency draw")
+	targetHi := flag.Float64("target-hi", 1.0, "upper bound of the uniform target-recency draw")
+	seed := flag.Uint64("seed", 1, "request stream seed")
+	workers := flag.Int("workers", 16, "concurrent request submitters")
+	install := flag.Bool("install", false, "install a fresh -objects catalog on every station first")
+	waitReady := flag.Duration("wait-ready", 0, "poll each station's /healthz this long before starting")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request HTTP timeout")
+	out := flag.String("out", "", "write the run summary as JSON to this file")
+	minPeerHits := flag.Uint64("min-peer-hits", 0, "gate: fail unless the fleet reports at least this many cooperative peer hits")
+	maxDropped := flag.Uint64("max-dropped", ^uint64(0), "gate: fail if the fleet dropped more windows than this")
+	maxErrors := flag.Uint64("max-errors", ^uint64(0), "gate: fail if more requests than this errored")
+	flag.Parse()
+
+	stations := parseStations(*stationsFlag)
+	if len(stations) == 0 {
+		fatalf("no -stations given")
+	}
+	if *requests <= 0 || *workers <= 0 {
+		fatalf("need positive -requests and -workers")
+	}
+	stream, err := loadgen.NewStream(loadgen.StreamConfig{
+		Objects:  *objects,
+		ZipfS:    *zipfS,
+		Clients:  *clients,
+		TargetLo: *targetLo,
+		TargetHi: *targetHi,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	httpc := &http.Client{Timeout: *timeout}
+
+	if *waitReady > 0 {
+		if err := awaitReady(httpc, stations, *waitReady); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *install {
+		if err := installCatalog(httpc, stations, *objects); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	summary, elapsed := drive(httpc, stations, stream, *requests, *rps, *workers)
+	fleet, err := fleetFrom(httpc, stations)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("loadgen: %d requests to %d stations in %.2fs (%.0f req/s achieved)\n",
+		summary.Requests, len(stations), elapsed.Seconds(), float64(summary.Requests)/elapsed.Seconds())
+	fmt.Printf("  latency  p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+		summary.P50*1e3, summary.P95*1e3, summary.P99*1e3, summary.Max*1e3)
+	fmt.Printf("  served   hits %d (ratio %.3f)  downloads %d  fresh ratio %.3f\n",
+		summary.Hits, summary.HitRatio, summary.Downloads, summary.FreshRatio)
+	fmt.Printf("  dropped  shed %d  misses %d  errors %d\n", summary.Shed, summary.Misses, summary.Errors)
+	fmt.Printf("  fleet    windows %d (dropped %d)  peer fetches %d  peer hits %d (client-observed %d)\n",
+		fleet.Windows, fleet.DroppedWindows, fleet.PeerFetches, fleet.PeerHits, summary.PeerHits)
+
+	if *out != "" {
+		a := archive{
+			Stations: stations,
+			Objects:  *objects,
+			ZipfS:    *zipfS,
+			RPS:      *rps,
+			Seed:     *seed,
+			Summary:  summary,
+			Fleet:    fleet,
+		}
+		if err := writeArchive(*out, a); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("  archived %s\n", *out)
+	}
+
+	failures := checkGates(summary, fleet, gateConfig{
+		MinPeerHits: *minPeerHits,
+		MaxDropped:  *maxDropped,
+		MaxErrors:   *maxErrors,
+	})
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "loadgen: GATE FAILED: %s\n", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// parseStations splits the -stations flag into trimmed base URLs.
+func parseStations(s string) []string {
+	var stations []string
+	for _, st := range strings.Split(s, ",") {
+		if st = strings.TrimSpace(st); st != "" {
+			stations = append(stations, strings.TrimSuffix(st, "/"))
+		}
+	}
+	return stations
+}
+
+// awaitReady polls each station's /healthz until it answers 200 or the
+// budget runs out.
+func awaitReady(httpc *http.Client, stations []string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for _, st := range stations {
+		for {
+			resp, err := httpc.Get(st + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("station %s not ready within %s", st, budget)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// installCatalog installs an identical n-object catalog (sizes cycling
+// 1..4) on every station, so the fleet shards one shared object space.
+func installCatalog(httpc *http.Client, stations []string, n int) error {
+	sizes := make([]int64, n)
+	for i := range sizes {
+		sizes[i] = 1 + int64(i%4)
+	}
+	body, err := json.Marshal(map[string]any{"sizes": sizes})
+	if err != nil {
+		return err
+	}
+	for _, st := range stations {
+		resp, err := httpc.Post(st+"/v1/catalog", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("install on %s: %v", st, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("install on %s: status %d", st, resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+// drive sends the whole stream at the target rate through a worker pool
+// and returns the collected client-side summary plus the wall clock.
+func drive(httpc *http.Client, stations []string, stream *loadgen.Stream, requests int, rps float64, workers int) (loadgen.Summary, time.Duration) {
+	// Pre-draw the whole stream (it is not concurrency-safe) and
+	// round-robin the stations so remotely-owned objects exercise the
+	// cooperative path.
+	type workItem struct {
+		req     wireRequest
+		station string
+	}
+	work := make([]workItem, requests)
+	for i := range work {
+		r := stream.Next()
+		work[i] = workItem{
+			req:     wireRequest{Client: r.Client, Object: int(r.Object), Target: r.Target},
+			station: stations[i%len(stations)],
+		}
+	}
+
+	collector := loadgen.NewCollector(requests)
+	outcomes := make(chan loadgen.Outcome, 4*workers)
+	collectDone := make(chan struct{})
+	go func() {
+		defer close(collectDone)
+		for o := range outcomes {
+			collector.Record(o)
+		}
+	}()
+
+	// Open-loop pacing: a central feeder releases work at the target
+	// rate; workers absorb service-time variance up to their count.
+	feed := make(chan workItem, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for item := range feed {
+				outcomes <- submit(httpc, item.station, item.req)
+			}
+		}()
+	}
+	var interval time.Duration
+	if rps > 0 {
+		interval = time.Duration(float64(time.Second) / rps)
+	}
+	start := time.Now()
+	for i, item := range work {
+		if interval > 0 {
+			next := start.Add(time.Duration(i) * interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		feed <- item
+	}
+	close(feed)
+	wg.Wait()
+	close(outcomes)
+	<-collectDone
+	return collector.Summarize(), time.Since(start)
+}
+
+// fleetFrom aggregates every station's /v1/serve/status counters.
+func fleetFrom(httpc *http.Client, stations []string) (fleetStatus, error) {
+	var fleet fleetStatus
+	for _, st := range stations {
+		var ws wireServeStatus
+		resp, err := httpc.Get(st + "/v1/serve/status")
+		if err != nil {
+			return fleet, fmt.Errorf("serve status from %s: %v", st, err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&ws)
+		resp.Body.Close()
+		if err != nil {
+			return fleet, fmt.Errorf("serve status from %s: %v", st, err)
+		}
+		fleet.PeerHits += ws.PeerHits
+		fleet.PeerFetches += ws.PeerFetches
+		fleet.Windows += ws.Windows
+		fleet.DroppedWindows += ws.DroppedWindows
+	}
+	return fleet, nil
+}
+
+// writeArchive writes the run archive as indented JSON, creating the
+// parent directory as needed.
+func writeArchive(path string, a archive) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	blob, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// checkGates returns one message per violated threshold; an empty slice
+// is a passing run.
+func checkGates(summary loadgen.Summary, fleet fleetStatus, g gateConfig) []string {
+	var failures []string
+	if fleet.PeerHits < g.MinPeerHits {
+		failures = append(failures, fmt.Sprintf("fleet peer hits %d < required %d", fleet.PeerHits, g.MinPeerHits))
+	}
+	if fleet.DroppedWindows > g.MaxDropped {
+		failures = append(failures, fmt.Sprintf("fleet dropped %d windows > allowed %d", fleet.DroppedWindows, g.MaxDropped))
+	}
+	if summary.Errors > g.MaxErrors {
+		failures = append(failures, fmt.Sprintf("%d request errors > allowed %d", summary.Errors, g.MaxErrors))
+	}
+	return failures
+}
+
+// submit sends one request and maps the answer to a collector outcome.
+func submit(httpc *http.Client, station string, req wireRequest) loadgen.Outcome {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return loadgen.Outcome{Err: true}
+	}
+	start := time.Now()
+	resp, err := httpc.Post(station+"/v1/request", "application/json", bytes.NewReader(body))
+	lat := time.Since(start)
+	if err != nil {
+		return loadgen.Outcome{Latency: lat, Err: true}
+	}
+	defer resp.Body.Close()
+	var wr wireResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&wr) != nil {
+		return loadgen.Outcome{Latency: lat, Err: true}
+	}
+	return loadgen.Outcome{
+		Latency: lat,
+		Source:  wr.Source,
+		Peer:    wr.Peer,
+		Stale:   wr.Stale,
+	}
+}

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mobicache/internal/loadgen"
+)
+
+// stubStation is a minimal in-process stand-in for a serving-tier
+// stationd: it answers the four endpoints loadgen talks to and counts
+// what it saw, so driver tests need no real daemon.
+type stubStation struct {
+	requests atomic.Uint64
+	installs atomic.Uint64
+	status   wireServeStatus
+	srv      *httptest.Server
+}
+
+func newStubStation(t *testing.T, status wireServeStatus) *stubStation {
+	t.Helper()
+	st := &stubStation{status: status}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+		st.installs.Add(1)
+		var req struct {
+			Sizes []int64 `json:"sizes"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Sizes) == 0 {
+			http.Error(w, "bad catalog", http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]int{"objects": len(req.Sizes)})
+	})
+	mux.HandleFunc("/v1/request", func(w http.ResponseWriter, r *http.Request) {
+		var req wireRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		n := st.requests.Add(1)
+		// Alternate cache hits and downloads so both ratio paths in the
+		// summary see traffic.
+		resp := wireResponse{Window: int(n), Source: "download"}
+		if n%2 == 0 {
+			resp.Source = "cache"
+			resp.Peer = true
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/v1/serve/status", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(st.status)
+	})
+	st.srv = httptest.NewServer(mux)
+	t.Cleanup(st.srv.Close)
+	return st
+}
+
+func testStream(t *testing.T, objects int) *loadgen.Stream {
+	t.Helper()
+	stream, err := loadgen.NewStream(loadgen.StreamConfig{
+		Objects: objects, ZipfS: 1.1, Clients: 8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stream
+}
+
+func TestParseStations(t *testing.T) {
+	got := parseStations(" http://a:1/ ,, http://b:2 ")
+	want := []string{"http://a:1", "http://b:2"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("parseStations = %v, want %v", got, want)
+	}
+	if parseStations("") != nil {
+		t.Fatalf("empty flag parsed to %v", parseStations(""))
+	}
+}
+
+func TestDriveAgainstStubFleet(t *testing.T) {
+	a := newStubStation(t, wireServeStatus{PeerHits: 3, PeerFetches: 5, Windows: 10})
+	b := newStubStation(t, wireServeStatus{PeerHits: 2, PeerFetches: 4, Windows: 12, DroppedWindows: 1})
+	stations := []string{a.srv.URL, b.srv.URL}
+	httpc := &http.Client{Timeout: 2 * time.Second}
+
+	if err := awaitReady(httpc, stations, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := installCatalog(httpc, stations, 40); err != nil {
+		t.Fatal(err)
+	}
+	if a.installs.Load() != 1 || b.installs.Load() != 1 {
+		t.Fatalf("installs = %d/%d, want 1/1", a.installs.Load(), b.installs.Load())
+	}
+
+	const requests = 200
+	summary, elapsed := drive(httpc, stations, testStream(t, 40), requests, 0, 8)
+	if summary.Requests != requests || summary.Errors != 0 {
+		t.Fatalf("summary = %+v, want %d requests and 0 errors", summary, requests)
+	}
+	if summary.Hits+summary.Downloads != requests {
+		t.Fatalf("hits %d + downloads %d != %d", summary.Hits, summary.Downloads, requests)
+	}
+	if summary.HitRatio <= 0 || summary.HitRatio >= 1 {
+		t.Fatalf("hit ratio %v outside (0,1) for the alternating stub", summary.HitRatio)
+	}
+	if summary.P50 <= 0 || summary.P99 < summary.P50 {
+		t.Fatalf("implausible percentiles p50=%v p99=%v", summary.P50, summary.P99)
+	}
+	if elapsed <= 0 {
+		t.Fatalf("elapsed = %v", elapsed)
+	}
+	// Round-robin splits the stream evenly across the two stubs.
+	if a.requests.Load() != requests/2 || b.requests.Load() != requests/2 {
+		t.Fatalf("request split %d/%d, want %d each", a.requests.Load(), b.requests.Load(), requests/2)
+	}
+
+	fleet, err := fleetFrom(httpc, stations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fleetStatus{PeerHits: 5, PeerFetches: 9, Windows: 22, DroppedWindows: 1}
+	if fleet != want {
+		t.Fatalf("fleet = %+v, want %+v", fleet, want)
+	}
+}
+
+func TestDrivePacedRate(t *testing.T) {
+	a := newStubStation(t, wireServeStatus{})
+	httpc := &http.Client{Timeout: 2 * time.Second}
+	// 50 requests at 1000 rps should take ~50ms of feeder pacing.
+	start := time.Now()
+	summary, _ := drive(httpc, []string{a.srv.URL}, testStream(t, 20), 50, 1000, 4)
+	if summary.Requests != 50 || summary.Errors != 0 {
+		t.Fatalf("summary = %+v", summary)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("paced run finished in %v, faster than the target rate allows", elapsed)
+	}
+}
+
+func TestAwaitReadyTimesOut(t *testing.T) {
+	httpc := &http.Client{Timeout: 100 * time.Millisecond}
+	err := awaitReady(httpc, []string{"http://127.0.0.1:1"}, 150*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "not ready") {
+		t.Fatalf("err = %v, want a not-ready timeout", err)
+	}
+}
+
+func TestInstallCatalogErrors(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	if err := installCatalog(&http.Client{}, []string{bad.URL}, 10); err == nil {
+		t.Fatal("500 install did not error")
+	}
+	if err := installCatalog(&http.Client{Timeout: 100 * time.Millisecond}, []string{"http://127.0.0.1:1"}, 10); err == nil {
+		t.Fatal("unreachable install did not error")
+	}
+}
+
+func TestFleetFromErrors(t *testing.T) {
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not json"))
+	}))
+	defer garbage.Close()
+	if _, err := fleetFrom(&http.Client{}, []string{garbage.URL}); err == nil {
+		t.Fatal("garbage status did not error")
+	}
+	if _, err := fleetFrom(&http.Client{Timeout: 100 * time.Millisecond}, []string{"http://127.0.0.1:1"}); err == nil {
+		t.Fatal("unreachable status did not error")
+	}
+}
+
+func TestSubmitErrorPaths(t *testing.T) {
+	httpc := &http.Client{Timeout: 2 * time.Second}
+	fail := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "shed", http.StatusServiceUnavailable)
+	}))
+	defer fail.Close()
+	if o := submit(httpc, fail.URL, wireRequest{}); !o.Err {
+		t.Fatalf("503 mapped to %+v, want Err", o)
+	}
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{truncated"))
+	}))
+	defer garbage.Close()
+	if o := submit(httpc, garbage.URL, wireRequest{}); !o.Err {
+		t.Fatalf("bad JSON mapped to %+v, want Err", o)
+	}
+	if o := submit(&http.Client{Timeout: 100 * time.Millisecond}, "http://127.0.0.1:1", wireRequest{}); !o.Err || o.Latency <= 0 {
+		t.Fatalf("unreachable mapped to %+v, want Err with latency", o)
+	}
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(wireResponse{Source: "cache", Peer: true, Stale: true})
+	}))
+	defer ok.Close()
+	if o := submit(httpc, ok.URL, wireRequest{}); o.Err || o.Source != "cache" || !o.Peer || !o.Stale {
+		t.Fatalf("ok response mapped to %+v", o)
+	}
+}
+
+func TestCheckGates(t *testing.T) {
+	cases := []struct {
+		name    string
+		summary loadgen.Summary
+		fleet   fleetStatus
+		g       gateConfig
+		want    int
+	}{
+		{"all pass", loadgen.Summary{}, fleetStatus{PeerHits: 2}, gateConfig{MinPeerHits: 1, MaxDropped: 0, MaxErrors: 0}, 0},
+		{"peer hits short", loadgen.Summary{}, fleetStatus{PeerHits: 0}, gateConfig{MinPeerHits: 1, MaxDropped: 0, MaxErrors: 0}, 1},
+		{"dropped windows", loadgen.Summary{}, fleetStatus{DroppedWindows: 3}, gateConfig{MaxDropped: 2, MaxErrors: 0}, 1},
+		{"errors", loadgen.Summary{Errors: 5}, fleetStatus{}, gateConfig{MaxDropped: 0, MaxErrors: 4}, 1},
+		{"everything wrong", loadgen.Summary{Errors: 1}, fleetStatus{DroppedWindows: 1}, gateConfig{MinPeerHits: 1, MaxDropped: 0, MaxErrors: 0}, 3},
+		{"unset gates pass", loadgen.Summary{Errors: 99}, fleetStatus{DroppedWindows: 99}, gateConfig{MaxDropped: ^uint64(0), MaxErrors: ^uint64(0)}, 0},
+	}
+	for _, tc := range cases {
+		if got := checkGates(tc.summary, tc.fleet, tc.g); len(got) != tc.want {
+			t.Errorf("%s: %d failures %v, want %d", tc.name, len(got), got, tc.want)
+		}
+	}
+}
+
+func TestWriteArchive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "load.json")
+	a := archive{Stations: []string{"http://a"}, Objects: 10, Seed: 7,
+		Summary: loadgen.Summary{Requests: 5}, Fleet: fleetStatus{Windows: 2}}
+	if err := writeArchive(path, a); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back archive
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Objects != 10 || back.Seed != 7 || back.Summary.Requests != 5 || back.Fleet.Windows != 2 {
+		t.Fatalf("round-trip = %+v", back)
+	}
+}

@@ -110,6 +110,32 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthBody{Status: "ready", Breaker: s.breakerState()})
 }
 
+// acquire reserves one in-flight slot using reserve-then-check: the
+// counter is incremented FIRST and compared against the cap, and the
+// reservation is rolled back on refusal. Check-then-increment (Load,
+// compare, Add) would let concurrent requests race past the cap between
+// the check and the increment; reserve-then-check can transiently
+// overshoot the counter but never admits more than maxInflight handlers.
+// Every admission path goes through this one helper so the invariant
+// cannot drift between endpoints.
+func (s *server) acquire() bool {
+	if s.maxInflight <= 0 {
+		return true
+	}
+	if s.inflight.Add(1) > s.maxInflight {
+		s.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+// release returns a slot taken by a successful acquire.
+func (s *server) release() {
+	if s.maxInflight > 0 {
+		s.inflight.Add(-1)
+	}
+}
+
 // shedding wraps a handler with the in-flight cap: when maxInflight
 // concurrent requests are already being served, the request is refused
 // with 503 instead of queueing behind the mutex. Health probes and
@@ -117,16 +143,13 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // its orchestrator.
 func (s *server) shedding(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if s.maxInflight > 0 {
-			if n := s.inflight.Add(1); n > s.maxInflight {
-				s.inflight.Add(-1)
-				s.met.shedRequests.Inc()
-				writeErr(w, http.StatusServiceUnavailable,
-					fmt.Errorf("shedding load: %d requests in flight (cap %d)", n-1, s.maxInflight))
-				return
-			}
-			defer s.inflight.Add(-1)
+		if !s.acquire() {
+			s.met.shedRequests.Inc()
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Errorf("shedding load: %d requests in flight (cap %d)", s.inflight.Load(), s.maxInflight))
+			return
 		}
+		defer s.release()
 		h(w, r)
 	}
 }

@@ -14,6 +14,14 @@
 //	POST /v1/sim/multicell {"cells":4,"objects":200,"clients":240,"ticks":400,...}
 //	                    — run a multi-cell simulation on the parallel tick
 //	                      engine; per-cell series appear on /metrics
+//	POST /v1/config     {"solver":"greedy"}         — swap the knapsack solver at
+//	                      runtime (selector and clone pool rebuild atomically)
+//	POST /v1/request    {"client":0,"object":7,"target":0.8}
+//	                    — serving tier (-serve): ingest one request into the
+//	                      current selection window; blocks until served
+//	GET  /v1/peer/object?id=N                       — cooperative-fetch probe: this
+//	                      station's cached copy of N (200) or 404; shed-exempt
+//	GET  /v1/serve/status                           — window/peer counters + config
 //	GET  /v1/state                                  — current recency vector
 //	GET  /v1/status                                 — fault counters + retry policy + breaker state
 //	GET  /v1/trace?n=K                              — last K selection decisions
@@ -38,6 +46,24 @@
 // fed by the outcomes the proxy reports on /v1/failed and /v1/fetched.
 // On SIGINT/SIGTERM the daemon flips /readyz to "draining" and finishes
 // in-flight requests within -drain-timeout before exiting.
+//
+// Serving tier: -serve turns the daemon into an event-driven station.
+// POST /v1/request ingests individual client requests, which accumulate
+// into selection windows (closed by -serve-max-batch requests or
+// -serve-max-wait elapsed) and are served by the knapsack selector one
+// window at a time — the simulator's "tick" with requests arriving over
+// the wire. A fleet shards the catalog by consistent hashing over the
+// -peers URLs (which must include -self); an object owned by another
+// member is first requested from that peer's cache via GET
+// /v1/peer/object, guarded by a per-peer circuit breaker. Start a
+// two-station fleet with:
+//
+//	stationd -addr :8081 -serve -self http://127.0.0.1:8081 \
+//	         -peers http://127.0.0.1:8081,http://127.0.0.1:8082
+//	stationd -addr :8082 -serve -self http://127.0.0.1:8082 \
+//	         -peers http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// then install the same catalog on both and drive them with cmd/loadgen.
 package main
 
 import (
@@ -49,6 +75,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -67,6 +94,17 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failed downloads (via /v1/failed) that open the upstream circuit breaker (0 = no breaker)")
 	breakerOpen := flag.Int("breaker-open-events", 0, "reported fetch outcomes an open breaker waits before probing (0 = default 8)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	solver := flag.String("solver", "dp", "knapsack solver: dp, greedy, fptas, incremental, or certified (also settable at runtime via POST /v1/config)")
+	serveOn := flag.Bool("serve", false, "enable the event-driven serving tier (POST /v1/request)")
+	serveMaxBatch := flag.Int("serve-max-batch", 32, "requests that close a selection window")
+	serveMaxWait := flag.Duration("serve-max-wait", 5*time.Millisecond, "max wait before a non-full window closes")
+	serveQueue := flag.Int("serve-queue", 0, "submit queue bound (0 = 4x max batch); a full queue blocks, not drops")
+	serveBudget := flag.Int64("serve-budget", 0, "download budget per window in data units (0 = unlimited)")
+	serveUpdatePeriod := flag.Int("serve-update-period", 0, "run the station's periodic update schedule every N windows (0 = updates only via POST /v1/updates)")
+	self := flag.String("self", "", "this station's own peer URL (must appear in -peers)")
+	peersFlag := flag.String("peers", "", "comma-separated peer URLs of the station fleet, including -self; fewer than two disables cooperative fetching")
+	peerBreakerFailures := flag.Int("peer-breaker-failures", 0, "consecutive failed peer fetches that open that peer's circuit breaker (0 = default 5)")
+	peerBreakerOpen := flag.Int("peer-breaker-open-events", 0, "fetch attempts an open peer breaker refuses before probing (0 = default)")
 	flag.Parse()
 	retry := mobicache.RetryConfig{
 		MaxAttempts: *attempts,
@@ -88,6 +126,37 @@ func main() {
 		os.Exit(2)
 	}
 	srv.setMaxInflight(*maxInflight)
+	if err := srv.setSolver(*solver); err != nil {
+		fmt.Fprintln(os.Stderr, "stationd:", err)
+		os.Exit(2)
+	}
+	if *serveOn {
+		var peers []string
+		if *peersFlag != "" {
+			for _, p := range strings.Split(*peersFlag, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					peers = append(peers, p)
+				}
+			}
+		}
+		err := srv.enableServing(serveOptions{
+			MaxBatch:              *serveMaxBatch,
+			MaxWait:               *serveMaxWait,
+			Queue:                 *serveQueue,
+			Budget:                *serveBudget,
+			UpdatePeriod:          *serveUpdatePeriod,
+			Self:                  *self,
+			Peers:                 peers,
+			PeerBreakerFailures:   *peerBreakerFailures,
+			PeerBreakerOpenEvents: *peerBreakerOpen,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stationd:", err)
+			os.Exit(2)
+		}
+		log.Printf("stationd: serving tier enabled (max batch %d, max wait %s, %d peers)",
+			*serveMaxBatch, *serveMaxWait, len(peers))
+	}
 	if *breakerFailures > 0 {
 		if err := srv.armBreaker(*breakerFailures, *breakerOpen); err != nil {
 			fmt.Fprintln(os.Stderr, "stationd:", err)
@@ -120,6 +189,9 @@ func main() {
 			log.Printf("stationd: shutdown: %v", err)
 			os.Exit(1)
 		}
+		// With the listener drained no new submits can arrive; stop the
+		// window loop last so in-flight requests were answered normally.
+		srv.stopEngine()
 		log.Printf("stationd: shutdown complete")
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"mobicache/internal/obs"
 	"mobicache/internal/recency"
 	"mobicache/internal/resilience"
+	"mobicache/internal/serve"
 )
 
 // server holds the daemon's state: a selector over the installed catalog
@@ -25,14 +26,22 @@ import (
 // rebuilt whenever a catalog is installed. Steady-state requests reuse
 // pooled workspaces, so the selection hot path allocates nothing.
 type server struct {
-	mu        sync.RWMutex
-	selector  *mobicache.Selector
-	pool      *sync.Pool // of *mobicache.Selector clones for s.selector
-	recencies []float64
-	decay     recency.Decay
-	retry     mobicache.RetryConfig
-	faults    faultStats
-	mux       *http.ServeMux
+	mu         sync.RWMutex
+	selector   *mobicache.Selector
+	pool       *sync.Pool // of *mobicache.Selector clones for s.selector
+	recencies  []float64
+	sizes      []int64 // installed catalog sizes, retained for solver rebuilds
+	solverName string  // current solver for selector (re)builds; see /v1/config
+	decay      recency.Decay
+	retry      mobicache.RetryConfig
+	faults     faultStats
+	mux        *http.ServeMux
+
+	// Serving tier (see serve.go): nil serveOpts = disabled. The engine
+	// lives under mu and is rebuilt by every catalog install.
+	serveOpts *serveOptions
+	serveMet  *obs.ServeMetrics
+	engine    *serve.Engine
 
 	// Observability: a metrics registry scraped by GET /metrics, the
 	// daemon's own series, and the decision-trace ring served by
@@ -92,7 +101,7 @@ func newServer(retry mobicache.RetryConfig, simWorkers int) (*server, error) {
 	if simWorkers < 0 {
 		return nil, fmt.Errorf("negative simulation worker count %d", simWorkers)
 	}
-	s := &server{decay: recency.DefaultDecay, retry: retry, simWorkers: simWorkers}
+	s := &server{decay: recency.DefaultDecay, retry: retry, simWorkers: simWorkers, solverName: "dp"}
 	s.reg = obs.NewRegistry()
 	s.trace = obs.NewTraceRing(0)
 	s.met = daemonMetrics{
@@ -115,6 +124,15 @@ func newServer(retry mobicache.RetryConfig, simWorkers int) (*server, error) {
 	mux.HandleFunc("GET /v1/state", s.counted("state", s.handleState))
 	mux.HandleFunc("GET /v1/status", s.counted("status", s.handleStatus))
 	mux.HandleFunc("GET /v1/trace", s.counted("trace", s.handleTrace))
+	mux.HandleFunc("POST /v1/config", s.counted("config", s.handleConfig))
+	// Serving tier (enabled by -serve; see serve.go).
+	mux.HandleFunc("POST /v1/request", s.counted("request", s.handleRequest))
+	mux.HandleFunc("GET /v1/serve/status", s.counted("serve_status", s.handleServeStatus))
+	// The peer endpoint is counted but exempt from load shedding: the
+	// cooperative path is how an overloaded fleet spreads work, and
+	// refusing it would trip the callers' breakers exactly when
+	// cooperation matters most.
+	mux.HandleFunc("GET /v1/peer/object", s.countedExempt("peer_object", s.handlePeerObject))
 	// Probes and metrics bypass counted()'s shedding wrapper: an
 	// overloaded or draining daemon must still answer its orchestrator.
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -134,6 +152,17 @@ func (s *server) counted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		c.Inc()
 		sh(w, r)
+	}
+}
+
+// countedExempt is counted without the shedding wrapper, for endpoints
+// that must keep answering at the in-flight cap.
+func (s *server) countedExempt(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	c := s.reg.Counter(fmt.Sprintf("stationd_requests_total{endpoint=%q}", endpoint),
+		"HTTP requests served, by endpoint")
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		h(w, r)
 	}
 }
 
@@ -182,7 +211,10 @@ func (s *server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	sel, err := mobicache.NewSelector(req.Sizes)
+	s.mu.RLock()
+	solverName := s.solverName
+	s.mu.RUnlock()
+	sel, err := mobicache.NewSelector(req.Sizes, mobicache.WithSolver(solverName))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -190,12 +222,32 @@ func (s *server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	// Install the trace ring before the clone pool exists so every pooled
 	// worker records into the shared ring.
 	sel.SetTrace(s.trace)
+	// When serving is enabled, each catalog install also builds a fresh
+	// window engine (station, cache, and peers); the old one is stopped
+	// after the swap so in-flight submits fail fast instead of serving a
+	// stale catalog.
+	var eng *serve.Engine
+	if s.serveOpts != nil {
+		eng, err = s.buildEngine(req.Sizes, solverName)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		eng.Start()
+	}
 	s.mu.Lock()
 	s.selector = sel
 	s.pool = &sync.Pool{New: func() any { return sel.Clone() }}
-	// All objects start absent (recency 0): nothing fetched yet.
+	// All objects start absent (recency 0): nothing fetched yet. Sizes
+	// are retained so /v1/config can rebuild the selector in place.
 	s.recencies = make([]float64, len(req.Sizes))
+	s.sizes = append([]int64(nil), req.Sizes...)
+	old := s.engine
+	s.engine = eng
 	s.mu.Unlock()
+	if old != nil {
+		old.Stop()
+	}
 	writeJSON(w, http.StatusOK, map[string]int{"objects": len(req.Sizes)})
 }
 
@@ -231,6 +283,11 @@ func (s *server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, id := range req.Objects {
 		s.recencies[id] = s.decay.Next(s.recencies[id])
+	}
+	// The window engine learns of the same master updates; they apply at
+	// its next window boundary.
+	if s.engine != nil {
+		s.engine.NotifyUpdates(req.Objects)
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"decayed": len(req.Objects)})
 }
@@ -314,6 +371,7 @@ type retryPolicy struct {
 
 type statusResponse struct {
 	Objects int         `json:"objects"`
+	Solver  string      `json:"solver"`
 	Retry   retryPolicy `json:"retry"`
 	Faults  faultStats  `json:"faults"`
 	Breaker string      `json:"breaker,omitempty"` // "" when disabled
@@ -327,6 +385,7 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, statusResponse{
 		Objects: len(s.recencies),
+		Solver:  s.solverName,
 		Retry: retryPolicy{
 			MaxAttempts: s.retry.MaxAttempts,
 			BaseBackoff: s.retry.BaseBackoff,
@@ -473,17 +532,34 @@ type traceResponse struct {
 	Decisions []mobicache.Decision `json:"decisions"`
 }
 
+// maxQueryInt caps every integer query parameter. Atoi happily parses
+// values up to 2^63-1, and a handler that sizes work from an unchecked
+// parameter (?n=9e18) can be driven into pathological allocation by one
+// request; nothing the daemon serves legitimately needs more than 2^20.
+const maxQueryInt = 1 << 20
+
+// queryInt parses an integer query parameter with hardened bounds: an
+// absent parameter yields def, anything non-numeric, negative, or above
+// maxQueryInt is an error (the caller answers 400).
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 || n > maxQueryInt {
+		return 0, fmt.Errorf("invalid %s %q: want an integer in [0, %d]", name, v, maxQueryInt)
+	}
+	return n, nil
+}
+
 // handleTrace returns the most recent selection decisions, oldest first.
 // ?n=K bounds the count (default: everything the ring holds).
 func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	n := s.trace.Cap()
-	if v := r.URL.Query().Get("n"); v != "" {
-		parsed, err := strconv.Atoi(v)
-		if err != nil || parsed < 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", v))
-			return
-		}
-		n = parsed
+	n, err := queryInt(r, "n", s.trace.Cap())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
 	}
 	decisions := s.trace.Last(n)
 	if decisions == nil {

@@ -132,6 +132,51 @@ type TickResult struct {
 	Mode          resilience.Mode // the tick's degradation-ladder rung
 }
 
+// Source says where one request's answer came from.
+type Source uint8
+
+const (
+	// SourceMiss is a request nothing could serve (not cached, not
+	// downloadable this tick): score 0.
+	SourceMiss Source = iota
+	// SourceDownload is a request served by a download made this tick
+	// (policy-chosen or compulsory): score 1.
+	SourceDownload
+	// SourceCache is a request served from the cached copy, scored by
+	// the recency curve.
+	SourceCache
+	// SourceShed is a request refused by admission control before
+	// service; it appears in no score sum.
+	SourceShed
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case SourceMiss:
+		return "miss"
+	case SourceDownload:
+		return "download"
+	case SourceCache:
+		return "cache"
+	case SourceShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Outcome is the per-request counterpart of TickResult: what one request
+// was served, where it came from, and what it scored. The serve engine
+// uses it to answer each ingested request individually; the tick
+// simulation never materializes outcomes (ServeTick passes a nil slice).
+type Outcome struct {
+	Source  Source
+	Score   float64 // the client score this request earned
+	Recency float64 // recency of the delivered data (0 on miss/shed)
+	Stale   bool    // served a stale copy after a failed/suppressed refresh
+}
+
 // Totals accumulates TickResults.
 type Totals struct {
 	Ticks           int
@@ -231,6 +276,10 @@ type Station struct {
 	shedFlag   []bool
 	shedOrder  shedOrder
 	admitted   []client.Request
+	// admittedIdx maps each admitted request back to its index in the
+	// original batch, so per-request outcomes land at the caller's
+	// positions even after shedding compacted the slice.
+	admittedIdx []int
 }
 
 // shedOrder sorts request indexes by ascending profit, ties broken by
@@ -300,6 +349,9 @@ func New(cfg Config) (*Station, error) {
 // Cache returns the station's cache.
 func (s *Station) Cache() *cache.Cache { return s.cache }
 
+// Catalog returns the catalog the station serves.
+func (s *Station) Catalog() *catalog.Catalog { return s.cfg.Catalog }
+
 // FetchLatency returns the distribution of per-download simulated fetch
 // time (attempts plus backoff waits) observed so far. It only accumulates
 // when a Fetcher is installed; the ideal path is instantaneous.
@@ -325,6 +377,25 @@ func (s *Station) RunTick(tick int, reqs []client.Request) (TickResult, error) {
 // first Tick and panics thereafter). A single station is NOT safe for
 // concurrent ServeTick calls with itself.
 func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.ID) (TickResult, error) {
+	return s.serveTick(tick, reqs, updated, nil)
+}
+
+// ServeTickOutcomes is ServeTick with per-request outcome recording:
+// out[i] receives what happened to reqs[i] — including requests refused
+// by admission control, which are marked SourceShed at their original
+// positions. len(out) must equal len(reqs). The aggregate TickResult is
+// bit-identical to the one ServeTick would return: outcome recording is
+// a write into the caller's slice per request, nothing more.
+func (s *Station) ServeTickOutcomes(tick int, reqs []client.Request, updated []catalog.ID, out []Outcome) (TickResult, error) {
+	if len(out) != len(reqs) {
+		return TickResult{Tick: tick}, fmt.Errorf("basestation: %d outcome slots for %d requests", len(out), len(reqs))
+	}
+	return s.serveTick(tick, reqs, updated, out)
+}
+
+// serveTick is the shared tick body. out, when non-nil, receives one
+// Outcome per original request.
+func (s *Station) serveTick(tick int, reqs []client.Request, updated []catalog.ID, out []Outcome) (TickResult, error) {
 	res := TickResult{Tick: tick}
 	now := float64(tick)
 	res.Updated = len(updated)
@@ -341,8 +412,10 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 		tripsBefore, probesBefore, scBefore = brk.Trips(), brk.Probes(), brk.ShortCircuits()
 		staleOnly = brk.State(tick) == resilience.Open
 	}
+	shedded := false
 	if max := s.cfg.Admission.MaxRequestsPerTick; max > 0 && len(reqs) > max {
-		reqs = s.shed(reqs, max, &res)
+		reqs = s.shed(reqs, max, &res, out)
+		shedded = true
 	}
 
 	defer s.resetDownloadedNow()
@@ -416,8 +489,14 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 		}
 	}
 
-	// Serve the tick's requests.
-	for _, r := range reqs {
+	// Serve the tick's requests. oi is the request's index in the
+	// caller's original batch (shedding compacts reqs, admittedIdx maps
+	// back), where its outcome is recorded when the caller asked for one.
+	for ri, r := range reqs {
+		oi := ri
+		if shedded {
+			oi = s.admittedIdx[ri]
+		}
 		res.Requests++
 		inRange := int(r.Object) >= 0 && int(r.Object) < len(s.downloadedNow)
 		if inRange && s.downloadedNow[r.Object] {
@@ -426,6 +505,9 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 			if m != nil {
 				m.ClientScore.Observe(1)
 			}
+			if out != nil {
+				out[oi] = Outcome{Source: SourceDownload, Score: 1, Recency: 1}
+			}
 			continue
 		}
 		if e, ok := s.cache.Get(r.Object, now); ok {
@@ -433,7 +515,8 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 			// fetch layer could not deliver: either this object's
 			// download was abandoned this tick, or the whole tick is
 			// stale-only and the copy has missed master updates.
-			if (inRange && s.failedNow[r.Object]) || (staleOnly && e.Lag > 0) {
+			stale := (inRange && s.failedNow[r.Object]) || (staleOnly && e.Lag > 0)
+			if stale {
 				res.StaleFallbacks++
 			}
 			score := s.cfg.Score(e.Recency, r.Target)
@@ -441,6 +524,9 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 			res.RecencySum += e.Recency
 			if m != nil {
 				m.ClientScore.Observe(score)
+			}
+			if out != nil {
+				out[oi] = Outcome{Source: SourceCache, Score: score, Recency: e.Recency, Stale: stale}
 			}
 			continue
 		}
@@ -462,6 +548,9 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 				if m != nil {
 					m.ClientScore.Observe(1)
 				}
+				if out != nil {
+					out[oi] = Outcome{Source: SourceDownload, Score: 1, Recency: 1}
+				}
 				continue
 			}
 			s.markFailed(r.Object)
@@ -470,6 +559,9 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 		// request scores 0 (nothing delivered) — both sums gain nothing.
 		if m != nil {
 			m.ClientScore.Observe(0)
+		}
+		if out != nil {
+			out[oi] = Outcome{Source: SourceMiss}
 		}
 	}
 	// Close out the ladder accounting: the tick's rung is the most
@@ -497,8 +589,10 @@ func (s *Station) ServeTick(tick int, reqs []client.Request, updated []catalog.I
 // refreshing the requested object (1 − the score its cached copy would
 // earn): a request whose cached copy is already fresh needs the station
 // least and is shed first, ties broken by arrival order. Runs entirely
-// against reusable scratch.
-func (s *Station) shed(reqs []client.Request, max int, res *TickResult) []client.Request {
+// against reusable scratch. out, when non-nil, gets SourceShed recorded
+// at every dropped request's original index; admittedIdx maps each
+// survivor back to its original position.
+func (s *Station) shed(reqs []client.Request, max int, res *TickResult, out []Outcome) []client.Request {
 	n := len(reqs)
 	if cap(s.shedProfit) < n {
 		s.shedProfit = make([]float64, 0, n)
@@ -517,12 +611,17 @@ func (s *Station) shed(reqs []client.Request, max int, res *TickResult) []client
 	sort.Sort(&s.shedOrder)
 	for _, i := range s.shedOrder.idx[:n-max] {
 		s.shedFlag[i] = true
+		if out != nil {
+			out[i] = Outcome{Source: SourceShed}
+		}
 	}
 	res.Shed = n - max
 	s.admitted = s.admitted[:0]
+	s.admittedIdx = s.admittedIdx[:0]
 	for i, r := range reqs {
 		if !s.shedFlag[i] {
 			s.admitted = append(s.admitted, r)
+			s.admittedIdx = append(s.admittedIdx, i)
 		}
 	}
 	return s.admitted

@@ -247,6 +247,11 @@ func (s *Selector) Clone() *Selector {
 // for subsequent Select calls. Clones made after the call inherit it.
 func (s *Selector) SetTraceRing(r *obs.TraceRing) { s.cfg.Trace = r }
 
+// Solver reports which knapsack algorithm this selector runs. Clones
+// share their parent's configuration, so a pooled clone answers for the
+// selector it was cloned from.
+func (s *Selector) Solver() SolverKind { return s.cfg.Solver }
+
 // SetTick sets the tick stamped on subsequent decision-trace records.
 // Tick-driven callers (the knapsack policy) set the simulated tick; the
 // daemon stamps a selection sequence number instead.

@@ -1,0 +1,201 @@
+// Package loadgen generates zipf-distributed request streams for driving
+// live stations and summarizes the results: exact nearest-rank latency
+// percentiles, hit ratio, freshness ratio, and peer-service counts. The
+// stream is fully deterministic for a given seed so a load run can be
+// replayed bit-for-bit, and the percentile estimator is exact (it sorts
+// the recorded samples) rather than an approximating sketch — load runs
+// are small enough that exactness is cheap and removes one source of
+// cross-run noise from the archived numbers.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/rng"
+)
+
+// StreamConfig configures a deterministic request stream.
+type StreamConfig struct {
+	// Objects is the catalog size; requests draw objects in [0, Objects).
+	Objects int
+	// ZipfS is the zipf skew exponent (0 = uniform popularity).
+	ZipfS float64
+	// Clients is the number of distinct client IDs to round-robin over
+	// (0 = 1).
+	Clients int
+	// TargetLo and TargetHi bound the uniform target-recency draw. Both
+	// zero means every request demands target 1.0.
+	TargetLo, TargetHi float64
+	// Seed seeds the stream's private RNG.
+	Seed uint64
+}
+
+// Stream produces a deterministic sequence of requests: zipf-popular
+// objects, uniform target recencies, round-robin client IDs.
+type Stream struct {
+	alias   *rng.Alias
+	src     *rng.Source
+	clients int
+	lo, hi  float64
+	n       uint64
+}
+
+// NewStream validates the config and builds the alias table.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	if cfg.Objects <= 0 {
+		return nil, fmt.Errorf("loadgen: need a positive object count, got %d", cfg.Objects)
+	}
+	if cfg.ZipfS < 0 {
+		return nil, fmt.Errorf("loadgen: negative zipf skew %v", cfg.ZipfS)
+	}
+	if cfg.TargetLo < 0 || cfg.TargetHi > 1 || cfg.TargetLo > cfg.TargetHi {
+		return nil, fmt.Errorf("loadgen: target range [%v, %v] outside [0, 1]", cfg.TargetLo, cfg.TargetHi)
+	}
+	alias, err := rng.NewAlias(rng.ZipfWeights(cfg.Objects, cfg.ZipfS))
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	clients := cfg.Clients
+	if clients <= 0 {
+		clients = 1
+	}
+	lo, hi := cfg.TargetLo, cfg.TargetHi
+	if lo == 0 && hi == 0 {
+		lo, hi = 1, 1
+	}
+	return &Stream{
+		alias:   alias,
+		src:     rng.New(cfg.Seed),
+		clients: clients,
+		lo:      lo,
+		hi:      hi,
+	}, nil
+}
+
+// Next returns the stream's next request. Not safe for concurrent use;
+// give each worker its own Stream (vary Seed) or serialize draws.
+func (s *Stream) Next() client.Request {
+	target := s.lo
+	if s.hi > s.lo {
+		target = s.lo + (s.hi-s.lo)*s.src.Float64()
+	}
+	r := client.Request{
+		Client: int(s.n % uint64(s.clients)),
+		Object: catalog.ID(s.alias.Sample(s.src)),
+		Target: target,
+	}
+	s.n++
+	return r
+}
+
+// Percentile returns the exact nearest-rank percentile of sorted (which
+// MUST be ascending): the smallest sample such that at least q·N samples
+// are ≤ it, i.e. rank ⌈q·N⌉ (1-based), clamped to the ends. By
+// convention q=0 returns the minimum. NaN on an empty slice.
+func Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Summary is one load run's archived result. Latencies are seconds.
+type Summary struct {
+	Requests   uint64  `json:"requests"`
+	Errors     uint64  `json:"errors"`
+	Hits       uint64  `json:"hits"`        // served from station cache
+	Downloads  uint64  `json:"downloads"`   // served via a fresh download
+	Shed       uint64  `json:"shed"`        // refused by admission control
+	Misses     uint64  `json:"misses"`      // not served at all
+	PeerHits   uint64  `json:"peer_hits"`   // cache hits on cooperative copies
+	Fresh      uint64  `json:"fresh"`       // served at or above target recency
+	HitRatio   float64 `json:"hit_ratio"`   // Hits / served
+	FreshRatio float64 `json:"fresh_ratio"` // Fresh / served
+	P50        float64 `json:"p50_seconds"`
+	P95        float64 `json:"p95_seconds"`
+	P99        float64 `json:"p99_seconds"`
+	Max        float64 `json:"max_seconds"`
+}
+
+// Collector accumulates per-request observations for one load run. Not
+// safe for concurrent use; merge per-worker collectors or serialize.
+type Collector struct {
+	latencies []float64
+	sum       Summary
+}
+
+// NewCollector pre-sizes the latency buffer for n expected requests.
+func NewCollector(n int) *Collector {
+	return &Collector{latencies: make([]float64, 0, n)}
+}
+
+// Outcome is the per-request observation fed to Record, mirroring the
+// station's response: how the request was served and whether the served
+// copy met the client's target recency.
+type Outcome struct {
+	Latency time.Duration
+	Source  string // "download", "cache", "shed", "miss"
+	Peer    bool   // served from a cooperatively fetched copy
+	Stale   bool   // served below the client's target recency
+	Err     bool   // transport or server error; nothing served
+}
+
+// Record folds one request's outcome into the run.
+func (c *Collector) Record(o Outcome) {
+	c.sum.Requests++
+	if o.Err {
+		c.sum.Errors++
+		return
+	}
+	c.latencies = append(c.latencies, o.Latency.Seconds())
+	switch o.Source {
+	case "cache":
+		c.sum.Hits++
+		if o.Peer {
+			c.sum.PeerHits++
+		}
+		if !o.Stale {
+			c.sum.Fresh++
+		}
+	case "download":
+		c.sum.Downloads++
+		c.sum.Fresh++
+	case "shed":
+		c.sum.Shed++
+	default:
+		c.sum.Misses++
+	}
+}
+
+// Summarize computes the final numbers. The collector's latency buffer
+// is sorted in place; Record must not be called afterwards.
+func (c *Collector) Summarize() Summary {
+	s := c.sum
+	served := s.Hits + s.Downloads
+	if served > 0 {
+		s.HitRatio = float64(s.Hits) / float64(served)
+		s.FreshRatio = float64(s.Fresh) / float64(served)
+	}
+	sort.Float64s(c.latencies)
+	s.P50 = Percentile(c.latencies, 0.50)
+	s.P95 = Percentile(c.latencies, 0.95)
+	s.P99 = Percentile(c.latencies, 0.99)
+	if n := len(c.latencies); n > 0 {
+		s.Max = c.latencies[n-1]
+	} else {
+		s.P50, s.P95, s.P99 = 0, 0, 0
+	}
+	return s
+}

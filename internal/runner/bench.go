@@ -21,7 +21,7 @@ type BenchResult struct {
 }
 
 // DefaultBenchPattern is the hot-path benchmark set bench.sh archives.
-const DefaultBenchPattern = "BenchmarkSolverDP|BenchmarkSolverIncremental|BenchmarkSolverTrace|BenchmarkSolverGreedy|BenchmarkSelectorSelect|BenchmarkSimulationTick|BenchmarkMulticellTick|BenchmarkStationTickDegraded"
+const DefaultBenchPattern = "BenchmarkSolverDP|BenchmarkSolverIncremental|BenchmarkSolverTrace|BenchmarkSolverGreedy|BenchmarkSelectorSelect|BenchmarkSimulationTick|BenchmarkMulticellTick|BenchmarkStationTickDegraded|BenchmarkServeWindow"
 
 // timeUnits normalizes `go test -bench` time units to nanoseconds.
 // Benchmarks that b.ReportMetric extra series shift the column layout,

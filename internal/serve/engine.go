@@ -1,0 +1,473 @@
+// Package serve is the event-driven serving tier: it turns the paper's
+// tick-driven base station into a request-driven service. Individual
+// client requests are ingested concurrently, accumulated into bounded
+// selection windows (closed by MaxBatch requests or MaxWait elapsed,
+// whichever comes first), and each window is served as one station tick —
+// "tick" becomes "window" and the whole solver/resilience/obs stack is
+// reused unchanged. A window-mode station fed a recorded trace's batches
+// therefore produces byte-identical selections to the tick engine.
+//
+// Stations shard the catalog across a fleet with consistent hashing
+// (internal/serve/ring): an object owned by another member is first
+// requested from that peer as a cooperative copy (the multicell sharing
+// snapshot generalized to cross-process), with a per-peer circuit breaker
+// guarding the window loop against dead peers.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobicache/internal/basestation"
+	"mobicache/internal/cache"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/obs"
+	"mobicache/internal/server"
+)
+
+// ErrStopped is returned by Submit when the engine has been stopped.
+var ErrStopped = errors.New("serve: engine stopped")
+
+// Config configures an Engine.
+type Config struct {
+	// Station executes each window as one tick. The engine owns it: no
+	// other goroutine may call ServeTick while the engine runs.
+	Station *basestation.Station
+	// Server is the station's update source, ticked (ScheduleUpdates)
+	// or fed externally applied updates (NotifyUpdates) per window.
+	Server *server.Server
+	// MaxBatch closes a window when this many requests have accumulated
+	// (required, >= 1).
+	MaxBatch int
+	// MaxWait closes a window this long after its first request even if
+	// MaxBatch was not reached (0 = default 5ms).
+	MaxWait time.Duration
+	// Queue bounds the submit queue (0 = 4*MaxBatch). A full queue makes
+	// Submit block until the loop drains — backpressure, not loss.
+	Queue int
+	// Metrics, when non-nil, receives window/peer accounting.
+	Metrics *obs.ServeMetrics
+	// Peers, when non-nil, enables the cooperative peer-fetch path.
+	Peers *Peers
+	// ScheduleUpdates, when true, drives Server's own update schedule
+	// one tick per window (simulation parity and the standalone daemon);
+	// when false, only updates delivered via NotifyUpdates are applied.
+	ScheduleUpdates bool
+}
+
+// Result answers one submitted request: which window served it, where
+// the data came from, and what it scored.
+type Result struct {
+	Window  int
+	Source  basestation.Source
+	Peer    bool // served from a cooperative peer copy installed this window
+	Score   float64
+	Recency float64
+	Stale   bool
+	Wait    time.Duration // ingestion to service
+	Err     error         // non-nil when the window was dropped
+}
+
+// pending is one submitted request waiting for its window.
+type pending struct {
+	req client.Request
+	enq time.Time
+	ch  chan Result // buffered 1: the loop never blocks delivering
+}
+
+// Engine accumulates submitted requests into selection windows and
+// serves each window as one station tick.
+//
+// Two usage modes, not to be mixed: the synchronous mode calls
+// ServeWindow directly from a single driver goroutine (equivalence
+// tests, benchmarks); the asynchronous mode calls Start once and feeds
+// requests through Submit from any number of goroutines. PeerLookup is
+// safe concurrently with either.
+type Engine struct {
+	cfg Config
+	cat *catalog.Catalog
+
+	// mu guards the station/cache/server state and the window counter
+	// against PeerLookup readers. The window loop releases it during
+	// peer fetches so two stations cooperatively fetching from each
+	// other cannot deadlock.
+	mu     sync.Mutex
+	window int
+
+	// Live update ingestion (NotifyUpdates), drained per window.
+	upMu    sync.Mutex
+	upQueue []catalog.ID
+	upApply []catalog.ID
+
+	// Window scratch, reused so the steady-state window allocates
+	// nothing: the per-window request/outcome slices, the deduplicated
+	// peer-fetch candidates, and the installed-from-peer flags (cleared
+	// lazily at the next window via peerInstalled).
+	reqs          []client.Request
+	outs          []basestation.Outcome
+	peerIDs       []catalog.ID
+	peerSeen      []bool
+	copies        []PeerCopy
+	peerNow       []bool
+	peerInstalled []catalog.ID
+
+	// Async loop state.
+	subCh    chan pending
+	batch    []pending
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	started  atomic.Bool
+	stopOnce sync.Once
+}
+
+// New validates the configuration and builds an engine. The engine is
+// idle until Start (async mode) or the first ServeWindow (sync mode).
+func New(cfg Config) (*Engine, error) {
+	if cfg.Station == nil {
+		return nil, fmt.Errorf("serve: nil station")
+	}
+	if cfg.Server == nil {
+		return nil, fmt.Errorf("serve: nil server")
+	}
+	if cfg.MaxBatch < 1 {
+		return nil, fmt.Errorf("serve: max batch %d, need at least 1", cfg.MaxBatch)
+	}
+	if cfg.MaxWait < 0 {
+		return nil, fmt.Errorf("serve: negative max wait %v", cfg.MaxWait)
+	}
+	if cfg.MaxWait == 0 {
+		cfg.MaxWait = 5 * time.Millisecond
+	}
+	if cfg.Queue < 0 {
+		return nil, fmt.Errorf("serve: negative queue %d", cfg.Queue)
+	}
+	if cfg.Queue == 0 {
+		cfg.Queue = 4 * cfg.MaxBatch
+	}
+	cat := cfg.Station.Catalog()
+	return &Engine{
+		cfg:      cfg,
+		cat:      cat,
+		peerSeen: make([]bool, cat.Len()),
+		peerNow:  make([]bool, cat.Len()),
+		subCh:    make(chan pending, cfg.Queue),
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}, nil
+}
+
+// Window returns the number of windows served so far.
+func (e *Engine) Window() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.window
+}
+
+// NotifyUpdates queues externally observed master updates; they are
+// applied at the start of the next window. Unknown IDs are the caller's
+// responsibility to filter. Safe for concurrent use.
+func (e *Engine) NotifyUpdates(ids []catalog.ID) {
+	if len(ids) == 0 {
+		return
+	}
+	e.upMu.Lock()
+	e.upQueue = append(e.upQueue, ids...)
+	e.upMu.Unlock()
+}
+
+// PeerLookup answers a peer's cooperative-fetch probe from the local
+// cache without side effects (no stat mutation, no remote fetch). Safe
+// for concurrent use with the window loop.
+func (e *Engine) PeerLookup(id catalog.ID) (PeerCopy, bool) {
+	if int(id) < 0 || int(id) >= e.cat.Len() {
+		return PeerCopy{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	entry, ok := e.cfg.Station.Cache().Peek(id)
+	if !ok {
+		return PeerCopy{}, false
+	}
+	return PeerCopy{
+		ID:        entry.ID,
+		Size:      entry.Size,
+		Version:   entry.Version,
+		Recency:   entry.Recency,
+		Lag:       entry.Lag,
+		FetchedAt: entry.FetchedAt,
+	}, true
+}
+
+// ServeWindow serves one window synchronously: the given requests become
+// one station tick (updates applied first, then the cooperative peer
+// phase, then selection and service). Single-driver use only — do not
+// mix with Start. The aggregate result is exactly what the tick engine's
+// RunTick would report for the same batch at the same tick number.
+func (e *Engine) ServeWindow(reqs []client.Request) (basestation.TickResult, error) {
+	res, _, err := e.serveWindow(reqs, nil)
+	return res, err
+}
+
+// serveWindow runs one window in three phases. Phase A (locked) applies
+// updates and snapshots which requested objects want a cooperative peer
+// copy; phase B (unlocked, so peers probing us via PeerLookup are never
+// blocked behind our own peer fetches — the cross-station deadlock) does
+// the remote fetches; phase C (locked) installs the copies that are
+// still absent and runs the station tick.
+func (e *Engine) serveWindow(reqs []client.Request, outs []basestation.Outcome) (basestation.TickResult, int, error) {
+	e.mu.Lock()
+	w := e.window
+	e.window++
+	var updated []catalog.ID
+	if e.cfg.ScheduleUpdates {
+		updated = e.cfg.Server.Tick(w)
+	} else {
+		updated = e.takeUpdates()
+		e.cfg.Server.ApplyUpdates(updated)
+	}
+	e.peerIDs = e.peerIDs[:0]
+	if e.cfg.Peers != nil {
+		c := e.cfg.Station.Cache()
+		for _, r := range reqs {
+			id := r.Object
+			if int(id) < 0 || int(id) >= len(e.peerSeen) || e.peerSeen[id] {
+				continue
+			}
+			if c.Contains(id) {
+				continue
+			}
+			if _, remote := e.cfg.Peers.Remote(id); !remote {
+				continue
+			}
+			e.peerSeen[id] = true
+			e.peerIDs = append(e.peerIDs, id)
+		}
+	}
+	e.mu.Unlock()
+
+	e.copies = e.copies[:0]
+	for _, id := range e.peerIDs {
+		owner, _ := e.cfg.Peers.Remote(id)
+		if pc, ok := e.cfg.Peers.Fetch(owner, id); ok {
+			e.copies = append(e.copies, pc)
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Clear the previous window's peer-install flags (kept across the
+	// result-building gap so the loop can mark peer-served results).
+	for _, id := range e.peerInstalled {
+		e.peerNow[id] = false
+	}
+	e.peerInstalled = e.peerInstalled[:0]
+	now := float64(w)
+	c := e.cfg.Station.Cache()
+	for i := range e.copies {
+		pc := &e.copies[i]
+		if c.Contains(pc.ID) {
+			continue
+		}
+		entry := cache.Entry{
+			ID:        pc.ID,
+			Size:      pc.Size,
+			Version:   pc.Version,
+			Recency:   pc.Recency,
+			Lag:       pc.Lag,
+			FetchedAt: pc.FetchedAt,
+		}
+		if err := c.PutCopy(&entry, now); err == nil {
+			e.peerNow[pc.ID] = true
+			e.peerInstalled = append(e.peerInstalled, pc.ID)
+		}
+	}
+	for _, id := range e.peerIDs {
+		e.peerSeen[id] = false
+	}
+
+	var res basestation.TickResult
+	var err error
+	if outs == nil {
+		res, err = e.cfg.Station.ServeTick(w, reqs, updated)
+	} else {
+		res, err = e.cfg.Station.ServeTickOutcomes(w, reqs, updated, outs)
+	}
+	if m := e.cfg.Metrics; m != nil {
+		m.Windows.Inc()
+		m.WindowRequests.Add(uint64(len(reqs)))
+		m.WindowSize.Observe(float64(len(reqs)))
+		if err != nil {
+			m.DroppedWindows.Inc()
+		}
+	}
+	return res, w, err
+}
+
+// takeUpdates drains the NotifyUpdates queue into the reusable apply
+// buffer.
+func (e *Engine) takeUpdates() []catalog.ID {
+	e.upMu.Lock()
+	defer e.upMu.Unlock()
+	e.upApply = append(e.upApply[:0], e.upQueue...)
+	e.upQueue = e.upQueue[:0]
+	return e.upApply
+}
+
+// Start launches the window loop (async mode). Idempotent.
+func (e *Engine) Start() {
+	if !e.started.CompareAndSwap(false, true) {
+		return
+	}
+	go e.run()
+}
+
+// Stop shuts the window loop down and waits for it to exit. Pending and
+// queued requests receive ErrStopped. Idempotent; safe without Start.
+func (e *Engine) Stop() {
+	e.stopOnce.Do(func() { close(e.stopCh) })
+	if e.started.Load() {
+		<-e.doneCh
+	}
+}
+
+// Submit ingests one request and blocks until its window has been served
+// (or ctx is done / the engine stops). Safe for concurrent use; a full
+// queue applies backpressure rather than dropping.
+func (e *Engine) Submit(ctx context.Context, req client.Request) (Result, error) {
+	p := pending{req: req, enq: time.Now(), ch: make(chan Result, 1)}
+	select {
+	case e.subCh <- p:
+	case <-e.stopCh:
+		return Result{}, ErrStopped
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+	select {
+	case r := <-p.ch:
+		return r, r.Err
+	case <-e.stopCh:
+		// The loop may have delivered concurrently with stopping.
+		select {
+		case r := <-p.ch:
+			return r, r.Err
+		default:
+			return Result{}, ErrStopped
+		}
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// run is the window loop: block for a first request, then accumulate
+// until MaxBatch or MaxWait, then serve the window and deliver results.
+func (e *Engine) run() {
+	defer close(e.doneCh)
+	timer := time.NewTimer(e.cfg.MaxWait)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		e.batch = e.batch[:0]
+		select {
+		case p := <-e.subCh:
+			e.batch = append(e.batch, p)
+		case <-e.stopCh:
+			e.drainStopped()
+			return
+		}
+		timer.Reset(e.cfg.MaxWait)
+		closed := false
+		for !closed && len(e.batch) < e.cfg.MaxBatch {
+			select {
+			case p := <-e.subCh:
+				e.batch = append(e.batch, p)
+			case <-timer.C:
+				closed = true
+			case <-e.stopCh:
+				timer.Stop()
+				e.failBatch(ErrStopped)
+				e.drainStopped()
+				return
+			}
+		}
+		if !closed {
+			timer.Stop()
+			// Drain a fire between the last receive and the Stop so the
+			// next Reset starts clean.
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		e.serveBatch()
+	}
+}
+
+// serveBatch serves the accumulated batch as one window and answers
+// every pending request.
+func (e *Engine) serveBatch() {
+	n := len(e.batch)
+	e.reqs = e.reqs[:0]
+	for i := range e.batch {
+		e.reqs = append(e.reqs, e.batch[i].req)
+	}
+	if cap(e.outs) < n {
+		e.outs = make([]basestation.Outcome, n)
+	}
+	e.outs = e.outs[:n]
+	_, w, err := e.serveWindow(e.reqs, e.outs)
+	m := e.cfg.Metrics
+	if m != nil {
+		m.QueueDepth.Set(float64(len(e.subCh)))
+	}
+	if err != nil {
+		e.failBatch(fmt.Errorf("serve: window %d: %w", w, err))
+		return
+	}
+	now := time.Now()
+	for i := range e.batch {
+		p := &e.batch[i]
+		o := e.outs[i]
+		r := Result{
+			Window:  w,
+			Source:  o.Source,
+			Score:   o.Score,
+			Recency: o.Recency,
+			Stale:   o.Stale,
+			Wait:    now.Sub(p.enq),
+		}
+		if o.Source == basestation.SourceCache &&
+			int(p.req.Object) < len(e.peerNow) && e.peerNow[p.req.Object] {
+			r.Peer = true
+		}
+		if m != nil {
+			m.WindowWait.Observe(r.Wait.Seconds())
+		}
+		p.ch <- r
+	}
+}
+
+// failBatch answers every request of the current batch with err.
+func (e *Engine) failBatch(err error) {
+	for i := range e.batch {
+		e.batch[i].ch <- Result{Err: err}
+	}
+	e.batch = e.batch[:0]
+}
+
+// drainStopped fails whatever is still queued at shutdown.
+func (e *Engine) drainStopped() {
+	for {
+		select {
+		case p := <-e.subCh:
+			p.ch <- Result{Err: ErrStopped}
+		default:
+			return
+		}
+	}
+}

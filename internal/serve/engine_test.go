@@ -1,0 +1,474 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"mobicache/internal/basestation"
+	"mobicache/internal/catalog"
+	"mobicache/internal/client"
+	"mobicache/internal/core"
+	"mobicache/internal/obs"
+	"mobicache/internal/policy"
+	"mobicache/internal/rng"
+	"mobicache/internal/serve/ring"
+	"mobicache/internal/server"
+)
+
+// testSystem is one station + server pair plus its engine.
+type testSystem struct {
+	cat    *catalog.Catalog
+	srv    *server.Server
+	st     *basestation.Station
+	engine *Engine
+}
+
+// newTestSystem builds a small serving system: n unit-size objects,
+// updates every period windows (0 = never), knapsack policy with the
+// given per-window budget, unlimited cache with compulsory misses.
+func newTestSystem(t *testing.T, n, period int, budget int64, mod func(*Config)) *testSystem {
+	t.Helper()
+	sizes := make([]int64, n)
+	for i := range sizes {
+		sizes[i] = 1 + int64(i%3)
+	}
+	cat, err := catalog.New(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sched catalog.UpdateSchedule
+	if period > 0 {
+		sched = catalog.NewPeriodicAll(cat, period)
+	}
+	srv := server.New(cat, sched)
+	sel, err := core.NewSelector(cat, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := policy.NewOnDemandKnapsack(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := basestation.New(basestation.Config{
+		Catalog:          cat,
+		Server:           srv,
+		Policy:           pol,
+		BudgetPerTick:    budget,
+		CompulsoryMisses: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Station:         st,
+		Server:          srv,
+		MaxBatch:        8,
+		MaxWait:         2 * time.Millisecond,
+		ScheduleUpdates: true,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testSystem{cat: cat, srv: srv, st: st, engine: eng}
+}
+
+func req(cl, obj int, target float64) client.Request {
+	return client.Request{Client: cl, Object: catalog.ID(obj), Target: target}
+}
+
+func TestNewValidates(t *testing.T) {
+	sys := newTestSystem(t, 4, 0, 0, nil)
+	cases := []Config{
+		{Server: sys.srv, MaxBatch: 1},                                 // nil station
+		{Station: sys.st, MaxBatch: 1},                                 // nil server
+		{Station: sys.st, Server: sys.srv},                             // zero batch
+		{Station: sys.st, Server: sys.srv, MaxBatch: 1, MaxWait: -1},   // negative wait
+		{Station: sys.st, Server: sys.srv, MaxBatch: 1, Queue: -1},     // negative queue
+		{Station: sys.st, Server: sys.srv, MaxBatch: -3, MaxWait: 1e6}, // negative batch
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestServeWindowMatchesRunTick pins the tentpole equivalence at the
+// package level: the same request batches through ServeWindow and
+// through the tick engine's RunTick produce identical TickResults —
+// "window" is "tick" with a different ingestion story. (The root-package
+// serve equivalence test does the same through the full simulation
+// configuration.)
+func TestServeWindowMatchesRunTick(t *testing.T) {
+	window := newTestSystem(t, 40, 4, 10, nil)
+	tickSys := newTestSystem(t, 40, 4, 10, nil)
+
+	src := rng.New(7)
+	for w := 0; w < 60; w++ {
+		batch := make([]client.Request, 0, 6)
+		for i := 0; i < 6; i++ {
+			batch = append(batch, req(i, src.Intn(40), 0.3+0.7*src.Float64()))
+		}
+		got, err := window.engine.ServeWindow(batch)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		want, err := tickSys.st.RunTick(w, batch)
+		if err != nil {
+			t.Fatalf("tick %d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("window %d diverged:\n got %+v\nwant %+v", w, got, want)
+		}
+	}
+	if window.engine.Window() != 60 {
+		t.Fatalf("Window() = %d, want 60", window.engine.Window())
+	}
+}
+
+// TestSubmitBatchesByCount pins the MaxBatch close condition: submitting
+// exactly MaxBatch requests concurrently serves them all in one window.
+func TestSubmitBatchesByCount(t *testing.T) {
+	sys := newTestSystem(t, 20, 0, 0, func(c *Config) {
+		c.MaxBatch = 4
+		c.MaxWait = time.Minute // only the count can close the window
+	})
+	sys.engine.Start()
+	defer sys.engine.Stop()
+
+	var wg sync.WaitGroup
+	results := make([]Result, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := sys.engine.Submit(context.Background(), req(i, i, 1))
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.Window != results[0].Window {
+			t.Fatalf("request %d served in window %d, request 0 in %d", i, r.Window, results[0].Window)
+		}
+		if r.Source != basestation.SourceDownload {
+			t.Fatalf("request %d source %v, want download (cold cache, compulsory misses)", i, r.Source)
+		}
+		if r.Score != 1 {
+			t.Fatalf("request %d score %v, want 1", i, r.Score)
+		}
+	}
+}
+
+// TestSubmitClosesByTimer pins the MaxWait close condition: a lone
+// request is served once the wait elapses, in a window of size 1.
+func TestSubmitClosesByTimer(t *testing.T) {
+	sys := newTestSystem(t, 20, 0, 0, func(c *Config) {
+		c.MaxBatch = 1000
+		c.MaxWait = time.Millisecond
+	})
+	sys.engine.Start()
+	defer sys.engine.Stop()
+
+	r, err := sys.engine.Submit(context.Background(), req(0, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Source != basestation.SourceDownload || r.Score != 1 {
+		t.Fatalf("result %+v, want fresh download at score 1", r)
+	}
+	if r.Wait <= 0 {
+		t.Fatalf("wait %v, want > 0", r.Wait)
+	}
+}
+
+// TestSubmitSecondWindowServesFromCache: a re-request of an object the
+// previous window downloaded is a cache hit.
+func TestSubmitSecondWindowServesFromCache(t *testing.T) {
+	sys := newTestSystem(t, 20, 0, 0, func(c *Config) {
+		c.MaxBatch = 1
+	})
+	sys.engine.Start()
+	defer sys.engine.Stop()
+
+	if _, err := sys.engine.Submit(context.Background(), req(0, 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.engine.Submit(context.Background(), req(1, 5, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Source != basestation.SourceCache {
+		t.Fatalf("second request source %v, want cache", r.Source)
+	}
+	if r.Recency != 1 {
+		t.Fatalf("recency %v, want 1 (no updates scheduled)", r.Recency)
+	}
+}
+
+func TestStopFailsPendingAndQueued(t *testing.T) {
+	sys := newTestSystem(t, 8, 0, 0, func(c *Config) {
+		c.MaxBatch = 1000
+		c.MaxWait = time.Minute // nothing closes the window before Stop
+	})
+	sys.engine.Start()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := sys.engine.Submit(context.Background(), req(0, 1, 1))
+		errCh <- err
+	}()
+	// Wait for the submission to reach the loop's batch.
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.engine.Window() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+		break // the window counter never moves pre-close; just yield once
+	}
+	sys.engine.Stop()
+	if err := <-errCh; !errors.Is(err, ErrStopped) {
+		t.Fatalf("submit after stop returned %v, want ErrStopped", err)
+	}
+	// Submit on a stopped engine fails immediately.
+	if _, err := sys.engine.Submit(context.Background(), req(0, 1, 1)); !errors.Is(err, ErrStopped) {
+		t.Fatalf("submit on stopped engine returned %v, want ErrStopped", err)
+	}
+	sys.engine.Stop() // idempotent
+}
+
+func TestSubmitContextCancelled(t *testing.T) {
+	sys := newTestSystem(t, 8, 0, 0, func(c *Config) {
+		c.MaxBatch = 1000
+		c.MaxWait = time.Minute
+	})
+	sys.engine.Start()
+	defer sys.engine.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := sys.engine.Submit(ctx, req(0, 1, 1)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("submit returned %v, want deadline exceeded", err)
+	}
+}
+
+// TestNotifyUpdates pins live update ingestion: queued updates are
+// applied at the next window boundary, advancing master versions and
+// decaying the cached copy's recency.
+func TestNotifyUpdates(t *testing.T) {
+	sys := newTestSystem(t, 10, 0, 0, func(c *Config) {
+		c.ScheduleUpdates = false
+	})
+	// Window 0: download object 2.
+	if _, err := sys.engine.ServeWindow([]client.Request{req(0, 2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	sys.engine.NotifyUpdates([]catalog.ID{2})
+	sys.engine.NotifyUpdates([]catalog.ID{2})
+	// Window 1 applies both queued updates before serving.
+	res, err := sys.engine.ServeWindow([]client.Request{req(0, 2, 0.1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updated != 2 {
+		t.Fatalf("window applied %d updates, want 2", res.Updated)
+	}
+	if got := sys.srv.Version(2); got != 2 {
+		t.Fatalf("master version %d, want 2", got)
+	}
+	if sys.st.Cache().Recency(2) >= 1 {
+		t.Fatalf("cached recency %v did not decay", sys.st.Cache().Recency(2))
+	}
+	// The queue is drained: the next window applies nothing.
+	res, err = sys.engine.ServeWindow(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updated != 0 {
+		t.Fatalf("drained queue still applied %d updates", res.Updated)
+	}
+}
+
+func TestPeerLookup(t *testing.T) {
+	sys := newTestSystem(t, 10, 0, 0, nil)
+	if _, ok := sys.engine.PeerLookup(3); ok {
+		t.Fatal("lookup hit on an empty cache")
+	}
+	if _, ok := sys.engine.PeerLookup(-1); ok {
+		t.Fatal("lookup hit on a negative id")
+	}
+	if _, ok := sys.engine.PeerLookup(catalog.ID(99)); ok {
+		t.Fatal("lookup hit past the catalog")
+	}
+	if _, err := sys.engine.ServeWindow([]client.Request{req(0, 3, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	pc, ok := sys.engine.PeerLookup(3)
+	if !ok {
+		t.Fatal("lookup missed a cached object")
+	}
+	if pc.ID != 3 || pc.Recency != 1 || pc.Size != sys.cat.Size(3) {
+		t.Fatalf("peer copy %+v, want id 3, recency 1, size %d", pc, sys.cat.Size(3))
+	}
+}
+
+// TestCooperativePeerFetch wires two engines into a two-member fleet and
+// pins the cooperative path end to end: a request at station A for an
+// object owned (and cached) by station B is installed from B's copy and
+// served from cache, flagged Peer, without A downloading it.
+func TestCooperativePeerFetch(t *testing.T) {
+	rg, err := ring.New([]string{"A", "B"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metA := obs.NewServeMetrics(obs.NewRegistry())
+	sysB := newTestSystem(t, 30, 0, 0, nil)
+	fetch := func(peer string, id catalog.ID) (PeerCopy, bool, error) {
+		if peer != "B" {
+			return PeerCopy{}, false, fmt.Errorf("unexpected peer %q", peer)
+		}
+		pc, ok := sysB.engine.PeerLookup(id)
+		return pc, ok, nil
+	}
+	peers, err := NewPeers(PeersConfig{Self: "A", Ring: rg, Fetch: fetch, Metrics: metA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysA := newTestSystem(t, 30, 0, 0, func(c *Config) {
+		c.Peers = peers
+		c.Metrics = metA
+	})
+
+	// Find an object owned by B, and warm it in B's cache.
+	remote := -1
+	for id := 0; id < 30; id++ {
+		if rg.OwnerObject(id) == "B" {
+			remote = id
+			break
+		}
+	}
+	if remote < 0 {
+		t.Fatal("no object owned by B in 30 ids")
+	}
+	if _, err := sysB.engine.ServeWindow([]client.Request{req(0, remote, 1)}); err != nil {
+		t.Fatal(err)
+	}
+
+	downloadsBefore := sysA.srv.TotalDownloads()
+	res, err := sysA.engine.ServeWindow([]client.Request{req(0, remote, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissDownloads != 0 || sysA.srv.TotalDownloads() != downloadsBefore {
+		t.Fatalf("station A downloaded despite the cooperative copy: %+v", res)
+	}
+	if !sysA.st.Cache().Contains(catalog.ID(remote)) {
+		t.Fatal("cooperative copy not installed")
+	}
+	if got := metA.PeerHits.Value(); got != 1 {
+		t.Fatalf("peer hits %d, want 1", got)
+	}
+	if got := metA.PeerFetches.Value(); got != 1 {
+		t.Fatalf("peer fetches %d, want 1", got)
+	}
+
+	// Peer-served results carry the Peer flag through the async path.
+	sysA.engine.Start()
+	defer sysA.engine.Stop()
+	// A second remote object, warmed at B.
+	remote2 := -1
+	for id := remote + 1; id < 30; id++ {
+		if rg.OwnerObject(id) == "B" {
+			remote2 = id
+			break
+		}
+	}
+	if remote2 < 0 {
+		t.Skip("only one B-owned object in 30 ids")
+	}
+	if _, err := sysB.engine.ServeWindow([]client.Request{req(0, remote2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := sysA.engine.Submit(context.Background(), req(1, remote2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Source != basestation.SourceCache || !r.Peer {
+		t.Fatalf("result %+v, want peer-flagged cache service", r)
+	}
+}
+
+// TestPeerMissFallsBackToDownload: when the owning peer lacks the
+// object, the station downloads it itself — the cooperative path is an
+// optimization, never a correctness dependency.
+func TestPeerMissFallsBackToDownload(t *testing.T) {
+	rg, err := ring.New([]string{"A", "B"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := obs.NewServeMetrics(obs.NewRegistry())
+	fetch := func(peer string, id catalog.ID) (PeerCopy, bool, error) {
+		return PeerCopy{}, false, nil // peer answers: no copy
+	}
+	peers, err := NewPeers(PeersConfig{Self: "A", Ring: rg, Fetch: fetch, Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newTestSystem(t, 30, 0, 0, func(c *Config) { c.Peers = peers })
+	remote := -1
+	for id := 0; id < 30; id++ {
+		if rg.OwnerObject(id) == "B" {
+			remote = id
+			break
+		}
+	}
+	res, err := sys.engine.ServeWindow([]client.Request{req(0, remote, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PolicyDownloads+res.MissDownloads != 1 {
+		t.Fatalf("fallback did not download: %+v", res)
+	}
+	if met.PeerMisses.Value() != 1 {
+		t.Fatalf("peer misses %d, want 1", met.PeerMisses.Value())
+	}
+}
+
+// TestServeWindowSteadyStateAllocs pins the 0 allocs/op invariant of the
+// synchronous window path that BenchmarkServeWindow tracks: after
+// warmup, serving a window from pre-built batches allocates nothing.
+func TestServeWindowSteadyStateAllocs(t *testing.T) {
+	sys := newTestSystem(t, 60, 5, 15, nil)
+	src := rng.New(3)
+	batch := make([]client.Request, 12)
+	refill := func() {
+		for i := range batch {
+			batch[i] = req(i, src.Intn(60), 0.3+0.7*src.Float64())
+		}
+	}
+	for w := 0; w < 300; w++ { // warm cache, solver workspace, scratch
+		refill()
+		if _, err := sys.engine.ServeWindow(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		refill()
+		if _, err := sys.engine.ServeWindow(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs >= 1 {
+		t.Fatalf("steady-state window averages %.2f allocs/op, want < 1", allocs)
+	}
+}

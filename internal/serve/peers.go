@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"fmt"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/obs"
+	"mobicache/internal/resilience"
+	"mobicache/internal/serve/ring"
+)
+
+// PeerCopy is the wire form of one cooperative cache entry: everything a
+// station needs to install another station's copy with cache.PutCopy —
+// the version it holds and the recency/lag it has already accumulated —
+// so a cooperative copy is never mistaken for a fresh download. It is the
+// cross-process generalization of the multicell engine's sharing
+// snapshot.
+type PeerCopy struct {
+	ID        catalog.ID `json:"id"`
+	Size      int64      `json:"size"`
+	Version   uint64     `json:"version"`
+	Recency   float64    `json:"recency"`
+	Lag       int        `json:"lag"`
+	FetchedAt float64    `json:"fetched_at"`
+}
+
+// FetchFunc retrieves one object's cooperative copy from a peer station.
+// ok=false with a nil error means the peer answered but has no copy —
+// a normal miss, not a peer failure. A non-nil error is a transport or
+// protocol failure and feeds that peer's circuit breaker.
+type FetchFunc func(peer string, id catalog.ID) (PeerCopy, bool, error)
+
+// PeersConfig configures the cooperative peer-fetch path.
+type PeersConfig struct {
+	// Self is this station's own ring member name; objects it owns are
+	// never peer-fetched. Must be a ring member.
+	Self string
+	// Ring shards catalog objects across the station fleet.
+	Ring *ring.Ring
+	// Fetch performs the actual cross-process fetch (HTTP in stationd;
+	// tests inject in-memory fakes).
+	Fetch FetchFunc
+	// BreakerFailures is the consecutive-failure count that opens a
+	// peer's circuit breaker (0 = default 5). Each peer gets its own
+	// breaker on an event clock: one event per fetch outcome, so "open
+	// for N ticks" means "refuse until N more outcomes elsewhere" — the
+	// same convention stationd uses for its upstream breaker.
+	BreakerFailures int
+	// BreakerOpenEvents is how many fetch outcomes an open breaker waits
+	// before probing (0 = the resilience default).
+	BreakerOpenEvents int
+	// Metrics, when non-nil, receives peer-fetch accounting.
+	Metrics *obs.ServeMetrics
+}
+
+// peerState is one peer's breaker and its event clock.
+type peerState struct {
+	breaker *resilience.Breaker
+	events  int
+}
+
+// Peers routes cooperative fetches to the ring owner of each object,
+// guarding every peer with its own circuit breaker so one dead station
+// cannot stall the window loop with repeated timeouts.
+//
+// Peers is confined to the engine's window loop (the breakers and event
+// clocks are not locked); only the engine may call Fetch.
+type Peers struct {
+	self    string
+	ring    *ring.Ring
+	fetch   FetchFunc
+	metrics *obs.ServeMetrics
+	states  map[string]*peerState
+}
+
+// NewPeers validates the configuration and builds one breaker per
+// remote member.
+func NewPeers(cfg PeersConfig) (*Peers, error) {
+	if cfg.Ring == nil {
+		return nil, fmt.Errorf("serve: nil ring")
+	}
+	if cfg.Fetch == nil {
+		return nil, fmt.Errorf("serve: nil peer fetch func")
+	}
+	if !cfg.Ring.Contains(cfg.Self) {
+		return nil, fmt.Errorf("serve: self %q is not a ring member %v", cfg.Self, cfg.Ring.Members())
+	}
+	failures := cfg.BreakerFailures
+	if failures == 0 {
+		failures = 5
+	}
+	p := &Peers{
+		self:    cfg.Self,
+		ring:    cfg.Ring,
+		fetch:   cfg.Fetch,
+		metrics: cfg.Metrics,
+		states:  make(map[string]*peerState),
+	}
+	for _, m := range cfg.Ring.Members() {
+		if m == cfg.Self {
+			continue
+		}
+		b, err := resilience.NewBreaker(resilience.BreakerConfig{
+			FailureThreshold: failures,
+			OpenTicks:        cfg.BreakerOpenEvents,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: peer breaker: %w", err)
+		}
+		p.states[m] = &peerState{breaker: b}
+	}
+	return p, nil
+}
+
+// Remote returns the owning peer of an object, or ok=false when this
+// station owns it (no cooperative fetch applies).
+func (p *Peers) Remote(id catalog.ID) (string, bool) {
+	owner := p.ring.OwnerObject(int(id))
+	if owner == p.self {
+		return "", false
+	}
+	return owner, true
+}
+
+// Fetch attempts a breaker-guarded cooperative fetch of id from owner
+// (which must be a remote member, i.e. what Remote returned). ok=false
+// means no copy was obtained — breaker open, peer miss, or peer failure;
+// the engine falls back to its own fetch path either way.
+func (p *Peers) Fetch(owner string, id catalog.ID) (PeerCopy, bool) {
+	st := p.states[owner]
+	if st == nil {
+		return PeerCopy{}, false
+	}
+	m := p.metrics
+	// The event clock advances per fetch ATTEMPT, refused or not: an
+	// open breaker whose clock only moved on outcomes would never reach
+	// its probe time, since refusals produce no outcomes. "Open for N
+	// events" therefore means "refuse the next N attempts, then probe".
+	st.events++
+	if !st.breaker.Allow(st.events) {
+		if m != nil {
+			m.PeerShortCircuits.Inc()
+		}
+		return PeerCopy{}, false
+	}
+	if m != nil {
+		m.PeerFetches.Inc()
+	}
+	pc, ok, err := p.fetch(owner, id)
+	if err != nil {
+		st.breaker.OnFailure(st.events)
+		if m != nil {
+			m.PeerFailures.Inc()
+		}
+		return PeerCopy{}, false
+	}
+	st.breaker.OnSuccess(st.events)
+	if !ok {
+		if m != nil {
+			m.PeerMisses.Inc()
+		}
+		return PeerCopy{}, false
+	}
+	if m != nil {
+		m.PeerHits.Inc()
+	}
+	return pc, true
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"mobicache/internal/catalog"
+	"mobicache/internal/obs"
+	"mobicache/internal/serve/ring"
+)
+
+func testRing(t *testing.T, members ...string) *ring.Ring {
+	t.Helper()
+	r, err := ring.New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewPeersValidates(t *testing.T) {
+	rg := testRing(t, "a", "b")
+	fetch := func(string, catalog.ID) (PeerCopy, bool, error) { return PeerCopy{}, false, nil }
+	if _, err := NewPeers(PeersConfig{Self: "a", Fetch: fetch}); err == nil {
+		t.Fatal("nil ring accepted")
+	}
+	if _, err := NewPeers(PeersConfig{Self: "a", Ring: rg}); err == nil {
+		t.Fatal("nil fetch accepted")
+	}
+	if _, err := NewPeers(PeersConfig{Self: "zzz", Ring: rg, Fetch: fetch}); err == nil {
+		t.Fatal("non-member self accepted")
+	}
+}
+
+func TestPeersRemote(t *testing.T) {
+	rg := testRing(t, "a", "b")
+	fetch := func(string, catalog.ID) (PeerCopy, bool, error) { return PeerCopy{}, false, nil }
+	p, err := NewPeers(PeersConfig{Self: "a", Ring: rg, Fetch: fetch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRemote := false
+	for id := 0; id < 64; id++ {
+		owner, remote := p.Remote(catalog.ID(id))
+		want := rg.OwnerObject(id)
+		if want == "a" {
+			if remote {
+				t.Fatalf("object %d: self-owned object reported remote (%q)", id, owner)
+			}
+			continue
+		}
+		if !remote || owner != want {
+			t.Fatalf("object %d: Remote = (%q, %v), want (%q, true)", id, owner, remote, want)
+		}
+		sawRemote = true
+	}
+	if !sawRemote {
+		t.Fatal("no remote objects in 64 ids")
+	}
+}
+
+// TestPeersAccounting pins the three fetch outcomes against the metric
+// counters: hit, miss (peer answered, no copy), and transport failure.
+func TestPeersAccounting(t *testing.T) {
+	rg := testRing(t, "a", "b")
+	var mode string
+	fetch := func(peer string, id catalog.ID) (PeerCopy, bool, error) {
+		switch mode {
+		case "hit":
+			return PeerCopy{ID: id, Size: 1, Recency: 1}, true, nil
+		case "miss":
+			return PeerCopy{}, false, nil
+		default:
+			return PeerCopy{}, false, errors.New("boom")
+		}
+	}
+	m := obs.NewServeMetrics(obs.NewRegistry())
+	p, err := NewPeers(PeersConfig{Self: "a", Ring: rg, Fetch: fetch, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mode = "hit"
+	if pc, ok := p.Fetch("b", 1); !ok || pc.ID != 1 {
+		t.Fatalf("hit fetch = (%+v, %v)", pc, ok)
+	}
+	mode = "miss"
+	if _, ok := p.Fetch("b", 2); ok {
+		t.Fatal("miss fetch reported ok")
+	}
+	mode = "fail"
+	if _, ok := p.Fetch("b", 3); ok {
+		t.Fatal("failed fetch reported ok")
+	}
+	if m.PeerFetches.Value() != 3 || m.PeerHits.Value() != 1 ||
+		m.PeerMisses.Value() != 1 || m.PeerFailures.Value() != 1 {
+		t.Fatalf("counters fetches=%d hits=%d misses=%d failures=%d, want 3/1/1/1",
+			m.PeerFetches.Value(), m.PeerHits.Value(), m.PeerMisses.Value(), m.PeerFailures.Value())
+	}
+	// Unknown owner (e.g. self passed by mistake) is a no-op miss.
+	if _, ok := p.Fetch("a", 4); ok {
+		t.Fatal("fetch from self reported ok")
+	}
+	if _, ok := p.Fetch("nobody", 4); ok {
+		t.Fatal("fetch from unknown member reported ok")
+	}
+}
+
+// TestPeersBreakerOpensAndProbes pins the breaker life cycle on the
+// attempt clock: consecutive failures open the peer's breaker, the open
+// breaker short-circuits attempts (without calling the fetch func), and
+// after enough refused attempts it probes again; a successful probe
+// closes it.
+func TestPeersBreakerOpensAndProbes(t *testing.T) {
+	rg := testRing(t, "a", "b")
+	calls := 0
+	fail := true
+	fetch := func(peer string, id catalog.ID) (PeerCopy, bool, error) {
+		calls++
+		if fail {
+			return PeerCopy{}, false, errors.New("down")
+		}
+		return PeerCopy{ID: id, Size: 1, Recency: 1}, true, nil
+	}
+	m := obs.NewServeMetrics(obs.NewRegistry())
+	p, err := NewPeers(PeersConfig{
+		Self: "a", Ring: rg, Fetch: fetch, Metrics: m,
+		BreakerFailures:   2,
+		BreakerOpenEvents: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two failures open the breaker.
+	p.Fetch("b", 1)
+	p.Fetch("b", 1)
+	if calls != 2 {
+		t.Fatalf("calls = %d before opening, want 2", calls)
+	}
+	// Open: the next OpenEvents-1 attempts advance the clock and are
+	// refused without touching the peer (the clock itself counts toward
+	// the open duration, so the third attempt is already the probe).
+	refusedAt := calls
+	shorted := m.PeerShortCircuits.Value()
+	for i := 0; i < 2; i++ {
+		if _, ok := p.Fetch("b", 1); ok {
+			t.Fatal("open breaker let a fetch through early")
+		}
+	}
+	if calls != refusedAt {
+		t.Fatalf("open breaker still called the peer (%d calls)", calls)
+	}
+	if got := m.PeerShortCircuits.Value() - shorted; got != 2 {
+		t.Fatalf("short circuits = %d, want 2", got)
+	}
+	// The peer recovers; the next attempt is the half-open probe and its
+	// success closes the breaker for good.
+	fail = false
+	if _, ok := p.Fetch("b", 1); !ok {
+		t.Fatal("probe fetch did not succeed")
+	}
+	if _, ok := p.Fetch("b", 1); !ok {
+		t.Fatal("closed breaker refused a fetch")
+	}
+	if calls != refusedAt+2 {
+		t.Fatalf("calls = %d after recovery, want %d", calls, refusedAt+2)
+	}
+}

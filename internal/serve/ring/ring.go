@@ -1,0 +1,136 @@
+// Package ring implements the consistent-hash ring that shards catalog
+// objects across station instances. Each member contributes a fixed
+// number of virtual nodes hashed onto a 64-bit circle; an object is owned
+// by the member whose virtual node follows the object's hash clockwise.
+// The construction is fully deterministic — same members, same owners,
+// regardless of the order the members were listed in — and removing a
+// member only remaps the keys that member owned, which is the property
+// that lets a station fleet resize without reshuffling every cell.
+package ring
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per member when New is given
+// zero. 64 keeps the ownership imbalance of small fleets within a few
+// percent while the ring stays tiny (a few KB per member).
+const DefaultVnodes = 64
+
+// vnode is one virtual node: a point on the hash circle and the index of
+// the member it routes to.
+type vnode struct {
+	hash   uint64
+	member int32
+}
+
+// Ring is an immutable consistent-hash ring over a fixed member set.
+// All methods are safe for concurrent use once built.
+type Ring struct {
+	members []string
+	vnodes  []vnode
+}
+
+// New builds a ring over the given members with vnodes virtual nodes
+// each (0 = DefaultVnodes). Members are deduplicated and sorted before
+// hashing, so the ring is a pure function of the member set.
+func New(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("ring: no members")
+	}
+	if vnodes < 0 {
+		return nil, fmt.Errorf("ring: negative vnode count %d", vnodes)
+	}
+	if vnodes == 0 {
+		vnodes = DefaultVnodes
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	uniq := sorted[:0]
+	for i, m := range sorted {
+		if m == "" {
+			return nil, fmt.Errorf("ring: empty member name")
+		}
+		if i > 0 && m == sorted[i-1] {
+			continue
+		}
+		uniq = append(uniq, m)
+	}
+	r := &Ring{
+		members: uniq,
+		vnodes:  make([]vnode, 0, len(uniq)*vnodes),
+	}
+	for mi, m := range uniq {
+		h := HashString(m)
+		for v := 0; v < vnodes; v++ {
+			// Derive each virtual node by remixing the member hash with
+			// the vnode index; the odd constant decorrelates successive
+			// indices (splitmix64's increment).
+			h2 := mix64(h + uint64(v)*0x9e3779b97f4a7c15)
+			r.vnodes = append(r.vnodes, vnode{hash: h2, member: int32(mi)})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		a, b := r.vnodes[i], r.vnodes[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Hash collisions between members resolve by member order so the
+		// ring stays a pure function of the member set.
+		return a.member < b.member
+	})
+	return r, nil
+}
+
+// Members returns the deduplicated, sorted member set.
+func (r *Ring) Members() []string { return r.members }
+
+// Contains reports whether name is a ring member.
+func (r *Ring) Contains(name string) bool {
+	i := sort.SearchStrings(r.members, name)
+	return i < len(r.members) && r.members[i] == name
+}
+
+// Owner returns the member owning an arbitrary pre-hashed key: the one
+// whose virtual node follows key clockwise on the circle.
+func (r *Ring) Owner(key uint64) string {
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= key })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return r.members[r.vnodes[i].member]
+}
+
+// OwnerObject returns the member owning a catalog object. Dense small
+// integers are remixed first so consecutive IDs spread over the circle.
+func (r *Ring) OwnerObject(id int) string {
+	return r.Owner(HashObject(id))
+}
+
+// HashObject maps a catalog object ID onto the hash circle.
+func HashObject(id int) uint64 {
+	return mix64(uint64(id) + 0x9e3779b97f4a7c15)
+}
+
+// HashString is 64-bit FNV-1a, the member-name hash.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 is splitmix64's finalizer: a cheap, well-distributed bijection
+// on 64-bit words.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,147 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty member set accepted")
+	}
+	if _, err := New([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+	if _, err := New([]string{"a"}, -1); err == nil {
+		t.Fatal("negative vnode count accepted")
+	}
+}
+
+func TestMembersDeduplicatedSorted(t *testing.T) {
+	r, err := New([]string{"c", "a", "b", "a"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Members()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("members %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("members %v, want %v", got, want)
+		}
+	}
+	for _, m := range want {
+		if !r.Contains(m) {
+			t.Fatalf("Contains(%q) = false", m)
+		}
+	}
+	if r.Contains("d") {
+		t.Fatal(`Contains("d") = true`)
+	}
+}
+
+// TestDeterministicAcrossOrder pins that ownership is a pure function of
+// the member set: any listing order yields identical owners for every
+// key, which is what lets each station of a fleet build its own ring
+// from its own -peers flag and still agree on sharding.
+func TestDeterministicAcrossOrder(t *testing.T) {
+	a, err := New([]string{"s1", "s2", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]string{"s3", "s1", "s2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 4096; id++ {
+		if a.OwnerObject(id) != b.OwnerObject(id) {
+			t.Fatalf("object %d: owner %q vs %q across member orderings",
+				id, a.OwnerObject(id), b.OwnerObject(id))
+		}
+	}
+}
+
+// TestBalance checks that virtual nodes spread ownership within a
+// reasonable factor of fair share.
+func TestBalance(t *testing.T) {
+	members := []string{"s1", "s2", "s3", "s4"}
+	r, err := New(members, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 20000
+	counts := map[string]int{}
+	for id := 0; id < keys; id++ {
+		counts[r.OwnerObject(id)]++
+	}
+	fair := float64(keys) / float64(len(members))
+	for _, m := range members {
+		share := float64(counts[m]) / fair
+		if share < 0.5 || share > 2.0 {
+			t.Fatalf("member %s owns %d of %d keys (%.2fx fair share)", m, counts[m], keys, share)
+		}
+	}
+}
+
+// TestMinimalRemapping pins the consistent-hashing property: removing
+// one member only remaps the keys that member owned; every other key
+// keeps its owner.
+func TestMinimalRemapping(t *testing.T) {
+	full, err := New([]string{"s1", "s2", "s3", "s4"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smaller, err := New([]string{"s1", "s2", "s4"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for id := 0; id < 8192; id++ {
+		before := full.OwnerObject(id)
+		after := smaller.OwnerObject(id)
+		if before == "s3" {
+			moved++
+			if after == "s3" {
+				t.Fatalf("object %d still owned by the removed member", id)
+			}
+			continue
+		}
+		if before != after {
+			t.Fatalf("object %d moved %s -> %s though its owner stayed in the ring", id, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys — balance test should have caught this")
+	}
+}
+
+func TestSingleMemberOwnsEverything(t *testing.T) {
+	r, err := New([]string{"only"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 100; id++ {
+		if got := r.OwnerObject(id); got != "only" {
+			t.Fatalf("object %d owned by %q", id, got)
+		}
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	// FNV-1a of "a" is a published constant; pin it so the member-name
+	// hash (and therefore every deployed ring layout) never drifts.
+	if got := HashString("a"); got != 0xaf63dc4c8601ec8c {
+		t.Fatalf("HashString(a) = %#x, want 0xaf63dc4c8601ec8c", got)
+	}
+	if HashString("") != 14695981039346656037 {
+		t.Fatalf("HashString empty = %d, want FNV offset basis", HashString(""))
+	}
+}
+
+func ExampleRing_OwnerObject() {
+	r, _ := New([]string{"http://a:8080", "http://b:8080"}, 0)
+	fmt.Println(len(r.Members()))
+	// Output: 2
+}

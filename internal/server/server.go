@@ -73,16 +73,27 @@ func (s *Server) OnUpdate(fn func(catalog.ID)) {
 // concurrently with Download or with any station serving a tick — see the
 // Server concurrency contract.
 func (s *Server) Tick(tick int) []catalog.ID {
-	s.ticked = true
 	updated := s.schedule.UpdatedAt(tick)
-	for _, id := range updated {
+	s.ApplyUpdates(updated)
+	return updated
+}
+
+// ApplyUpdates applies externally sourced update notifications: each id's
+// master version advances and the update listeners fire, exactly as if
+// the schedule had produced the ids. This is the ingestion path for a
+// serving deployment where update notifications arrive over the network
+// instead of from a simulated schedule. It follows Tick's concurrency
+// contract: coordinator-only, never concurrent with Download or a station
+// serving a tick, and it seals OnUpdate registration like the first Tick.
+func (s *Server) ApplyUpdates(ids []catalog.ID) {
+	s.ticked = true
+	for _, id := range ids {
 		s.versions[id]++
 		s.updates.Add(1)
 		for _, fn := range s.listeners {
 			fn(id)
 		}
 	}
-	return updated
 }
 
 // Version returns the current master version of an object.

@@ -162,6 +162,12 @@ func NewSelector(sizes []int64, opts ...Option) (*Selector, error) {
 // NumObjects returns the catalog size.
 func (s *Selector) NumObjects() int { return s.cat.Len() }
 
+// Solver reports the configured knapsack solver's name ("dp", "greedy",
+// "fptas", "incremental", or "certified"). Clones answer for the
+// selector they were cloned from, so a server can verify that pooled
+// workers match its live configuration.
+func (s *Selector) Solver() string { return s.inner.Solver().String() }
+
 // TotalSize returns the summed size of all objects.
 func (s *Selector) TotalSize() int64 { return s.cat.TotalSize() }
 
